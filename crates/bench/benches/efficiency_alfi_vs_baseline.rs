@@ -1,0 +1,66 @@
+//! Bench target for the validation-efficiency comparison (DESIGN.md
+//! experiment E1): ALFI's pre-generated replayable fault matrix versus
+//! the PyTorchFI-style sample-on-the-fly baseline, on identical models
+//! and fault budgets.
+
+use alfi_bench::{build_classifier, ExperimentScale};
+use alfi_core::baseline::AdHocInjector;
+use alfi_core::{decode_fault_matrix, encode_fault_matrix, FaultMatrix, Ptfiwrap, resolve_targets};
+use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scenario(n: usize) -> Scenario {
+    let mut s = Scenario::default();
+    s.dataset_size = n;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    s
+}
+
+fn bench_efficiency(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let (model, mcfg) = build_classifier("alexnet", scale, 3);
+    let input = Tensor::ones(&mcfg.input_dims(1));
+
+    let mut group = c.benchmark_group("efficiency_alfi_vs_baseline");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    // Reference: clean inference.
+    group.bench_function("clean_inference", |b| {
+        b.iter(|| black_box(model.forward(&input).expect("forward")))
+    });
+
+    // ALFI: arm next pre-generated fault slot + inference.
+    group.bench_function("alfi_faulty_inference", |b| {
+        let mut wrapper = Ptfiwrap::new(&model, scenario(100_000), &mcfg.input_dims(1))
+            .expect("wrapper");
+        b.iter(|| {
+            let fm = wrapper.next_faulty_model().expect("matrix large enough");
+            black_box(fm.forward(&input).expect("forward"))
+        })
+    });
+
+    // Baseline: sample faults ad hoc + inference.
+    group.bench_function("baseline_faulty_inference", |b| {
+        let mut adhoc =
+            AdHocInjector::new(&model, scenario(1), &mcfg.input_dims(1)).expect("injector");
+        b.iter(|| black_box(adhoc.run_once(&model, &input, 1).expect("run")))
+    });
+
+    // ALFI replay: decode + verify the binary artifact (the baseline has
+    // no equivalent; replay means a full re-run).
+    let targets = resolve_targets(&[&model], &scenario(1), &[Some(mcfg.input_dims(1))]).unwrap();
+    let matrix = FaultMatrix::generate(&scenario(1000), &targets).unwrap();
+    let bytes = encode_fault_matrix(&matrix);
+    group.bench_function("alfi_replay_decode_1k_faults", |b| {
+        b.iter(|| black_box(decode_fault_matrix(&bytes).expect("decode")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_efficiency);
+criterion_main!(benches);

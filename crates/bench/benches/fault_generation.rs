@@ -1,0 +1,42 @@
+//! Bench target: fault-matrix generation throughput (part of DESIGN.md
+//! experiment E1). Large-scale campaigns hinge on cheap pre-generation —
+//! "a 16-bit model with over 10 million parameters will result in 160
+//! million vulnerable bits being tested" (§I) — so generation must scale
+//! linearly and stay in the millions-of-faults-per-second range.
+
+use alfi_bench::{build_classifier, ExperimentScale};
+use alfi_core::{resolve_targets, FaultMatrix};
+use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let (model, mcfg) = build_classifier("resnet50", ExperimentScale::quick(), 3);
+    let mut scenario = Scenario::default();
+    scenario.injection_target = InjectionTarget::Weights;
+    scenario.fault_mode = FaultMode::exponent_bit_flip();
+    let targets =
+        resolve_targets(&[&model], &scenario, &[Some(mcfg.input_dims(1))]).expect("targets");
+
+    let mut group = c.benchmark_group("fault_generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [1_000usize, 10_000, 100_000] {
+        scenario.dataset_size = n;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("weights_resnet50", n), &n, |b, _| {
+            b.iter(|| black_box(FaultMatrix::generate(&scenario, &targets).expect("generate")))
+        });
+    }
+    // Neuron faults need output shapes — same scale.
+    scenario.injection_target = InjectionTarget::Neurons;
+    scenario.dataset_size = 10_000;
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("neurons_resnet50_10k", |b| {
+        b.iter(|| black_box(FaultMatrix::generate(&scenario, &targets).expect("generate")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench target for Fig. 2a (see DESIGN.md experiment F2a): runs the
+//! classification-SDE campaign for each model of the paper's figure and
+//! reports both wall-clock cost (Criterion) and the reproduced SDE
+//! numbers (printed once per model to stderr).
+//!
+//! The full printed table lives in `repro_fig2a`; this target keeps the
+//! experiment runnable under `cargo bench` as required by the
+//! reproduction index.
+
+use alfi_bench::{run_fig2a_point, ExperimentScale, CLASSIFIERS};
+use alfi_mitigation::Protection;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig2a(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let mut group = c.benchmark_group("fig2a_classification_sde");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for model in CLASSIFIERS {
+        // Print the reproduced data point once, outside the timing loop.
+        let unprot = run_fig2a_point(model, None, 1, scale, 42);
+        let ranger = run_fig2a_point(model, Some(Protection::Ranger), 1, scale, 42);
+        eprintln!(
+            "[fig2a] {model}: SDE {:.1}% unprotected vs {:.1}% ranger @ 1 fault/img (n={})",
+            unprot.sde.percent(),
+            ranger.sde.percent(),
+            unprot.sde.total
+        );
+        group.bench_function(format!("{model}_unprotected_1fault"), |b| {
+            b.iter(|| run_fig2a_point(model, None, 1, scale, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2a);
+criterion_main!(benches);

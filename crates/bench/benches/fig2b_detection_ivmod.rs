@@ -1,0 +1,29 @@
+//! Bench target for Fig. 2b (DESIGN.md experiment F2b): detection IVMOD
+//! campaigns per detector architecture, timed by Criterion, with the
+//! reproduced IVMOD numbers printed once per configuration.
+
+use alfi_bench::{run_fig2b_point, ExperimentScale, DETECTORS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig2b(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let mut group = c.benchmark_group("fig2b_detection_ivmod");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for detector in DETECTORS {
+        let p = run_fig2b_point(detector, "synth-coco", 1, scale, 42);
+        eprintln!(
+            "[fig2b] {detector}/synth-coco: IVMOD_SDE {:.1}%, IVMOD_DUE {:.1}% @ 1 fault/img (n={})",
+            p.ivmod.ivmod_sde.percent(),
+            p.ivmod.ivmod_due.percent(),
+            p.ivmod.ivmod_sde.total
+        );
+        group.bench_function(format!("{detector}_synthcoco_1fault"), |b| {
+            b.iter(|| run_fig2b_point(detector, "synth-coco", 1, scale, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2b);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bench target: hook-dispatch and injection overhead at the layer
+//! level (part of DESIGN.md experiment E1). Separates the cost of
+//! (a) the hook mechanism itself, (b) a counting no-op hook on every
+//! node, and (c) an armed neuron-fault hook, all against the clean
+//! forward pass.
+
+use alfi_bench::{build_classifier, ExperimentScale};
+use alfi_core::baseline::CountingHook;
+use alfi_core::monitor::{attach_monitor, NanInfMonitor};
+use alfi_core::Ptfiwrap;
+use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_overhead(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let (model, mcfg) = build_classifier("alexnet", scale, 3);
+    let input = Tensor::ones(&mcfg.input_dims(1));
+
+    let mut group = c.benchmark_group("injection_overhead");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("forward_clean", |b| {
+        b.iter(|| black_box(model.forward(&input).expect("forward")))
+    });
+
+    // No-op counting hook on every node: pure dispatch cost.
+    group.bench_function("forward_counting_hooks_all_nodes", |b| {
+        let mut hooked = model.clone();
+        let hook = Arc::new(CountingHook::new());
+        for id in 0..hooked.num_nodes() {
+            hooked.register_hook(id, Arc::<CountingHook>::clone(&hook) as _).expect("register");
+        }
+        b.iter(|| black_box(hooked.forward(&input).expect("forward")))
+    });
+
+    // NaN/Inf monitor on every node: the DUE-observability cost.
+    group.bench_function("forward_naninf_monitor_all_nodes", |b| {
+        let mut hooked = model.clone();
+        let monitor = Arc::new(NanInfMonitor::new());
+        attach_monitor(&mut hooked, Arc::<NanInfMonitor>::clone(&monitor) as _).expect("attach");
+        b.iter(|| black_box(hooked.forward(&input).expect("forward")))
+    });
+
+    // One armed neuron fault: the actual injection path.
+    group.bench_function("forward_one_neuron_fault", |b| {
+        let mut s = Scenario::default();
+        s.dataset_size = 1;
+        s.injection_target = InjectionTarget::Neurons;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let mut wrapper = Ptfiwrap::new(&model, s, &mcfg.input_dims(1)).expect("wrapper");
+        let fm = wrapper.next_faulty_model().expect("slot");
+        b.iter(|| black_box(fm.forward(&input).expect("forward")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

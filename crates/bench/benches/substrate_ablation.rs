@@ -1,0 +1,54 @@
+//! Ablation benches for the substrate design choices DESIGN.md calls
+//! out: the im2col+GEMM convolution fast path versus the direct
+//! reference kernel, model clone cost (the safety mechanism behind
+//! `fimodel_iter`), and forward-pass scaling across the model zoo.
+
+use alfi_bench::{build_classifier, ExperimentScale, CLASSIFIERS};
+use alfi_tensor::conv::{conv2d_direct, conv2d_im2col, ConvConfig};
+use alfi_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("conv_kernel_ablation");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &(c_in, c_out, hw, k) in &[(8usize, 16usize, 16usize, 3usize), (16, 32, 32, 3)] {
+        let input = Tensor::rand_normal(&mut rng, &[1, c_in, hw, hw], 0.0, 1.0);
+        let weight = Tensor::rand_normal(&mut rng, &[c_out, c_in, k, k], 0.0, 0.2);
+        let cfg = ConvConfig { stride: 1, padding: 1 };
+        let label = format!("{c_in}x{hw}x{hw}_to_{c_out}");
+        group.bench_with_input(BenchmarkId::new("direct", &label), &(), |b, ()| {
+            b.iter(|| black_box(conv2d_direct(&input, &weight, None, cfg).expect("conv")))
+        });
+        group.bench_with_input(BenchmarkId::new("im2col", &label), &(), |b, ()| {
+            b.iter(|| black_box(conv2d_im2col(&input, &weight, None, cfg).expect("conv")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_forward_and_clone(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let mut group = c.benchmark_group("model_substrate");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for model_name in CLASSIFIERS {
+        let (model, cfg) = build_classifier(model_name, scale, 7);
+        let input = Tensor::ones(&cfg.input_dims(1));
+        group.bench_function(format!("forward_{model_name}"), |b| {
+            b.iter(|| black_box(model.forward(&input).expect("forward")))
+        });
+        // Clone cost: what every faulty-model instantiation pays to keep
+        // the original pristine.
+        group.bench_function(format!("clone_{model_name}"), |b| {
+            b.iter(|| black_box(model.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_kernels, bench_model_forward_and_clone);
+criterion_main!(benches);

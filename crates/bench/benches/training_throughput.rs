@@ -1,0 +1,87 @@
+//! Bench target: training-substrate throughput — forward vs
+//! forward+backward+SGD step cost on the trainable CNN used by the
+//! trained-substrate reproduction (`repro_trained_sde`). The classic
+//! rule of thumb is backward ≈ 2× forward; this bench pins the actual
+//! ratio of this substrate.
+
+use alfi_nn::train::{backward, softmax_cross_entropy, train_step, SgdTrainer};
+use alfi_nn::{Conv2d, Layer, Linear, Network};
+use alfi_tensor::conv::ConvConfig;
+use alfi_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn build_cnn(classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut he = |dims: &[usize]| {
+        let fan_in: usize = dims[1..].iter().product();
+        Tensor::rand_normal(&mut rng, dims, 0.0, (2.0 / fan_in as f32).sqrt())
+    };
+    let mut net = Network::new("bench_cnn");
+    let c1 = net
+        .push(
+            "conv1",
+            Layer::Conv2d(Conv2d {
+                weight: he(&[8, 3, 3, 3]),
+                bias: Some(Tensor::zeros(&[8])),
+                cfg: ConvConfig { stride: 1, padding: 1 },
+            }),
+            &[],
+        )
+        .expect("graph");
+    let r1 = net.push("relu1", Layer::Relu, &[c1]).expect("graph");
+    let p1 = net
+        .push("pool1", Layer::MaxPool2d { k: 2, cfg: ConvConfig { stride: 2, padding: 0 } }, &[r1])
+        .expect("graph");
+    let fl = net.push("flatten", Layer::Flatten, &[p1]).expect("graph");
+    let f1 = net
+        .push(
+            "fc1",
+            Layer::Linear(Linear {
+                weight: he(&[classes, 8 * 8 * 8]),
+                bias: Some(Tensor::zeros(&[classes])),
+            }),
+            &[fl],
+        )
+        .expect("graph");
+    net.set_output(f1).expect("graph");
+    net
+}
+
+fn bench_training(c: &mut Criterion) {
+    let classes = 4usize;
+    let net = build_cnn(classes, 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let images = Tensor::rand_uniform(&mut rng, &[8, 3, 16, 16], 0.0, 1.0);
+    let labels: Vec<usize> = (0..8).map(|i| i % classes).collect();
+
+    let mut group = c.benchmark_group("training_throughput");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("forward_batch8", |b| {
+        b.iter(|| black_box(net.forward(&images).expect("forward")))
+    });
+    group.bench_function("forward_loss_backward_batch8", |b| {
+        b.iter(|| {
+            let logits = net.forward(&images).expect("forward");
+            let (_, grad) = softmax_cross_entropy(&logits, &labels).expect("loss");
+            black_box(backward(&net, &images, &grad).expect("backward"))
+        })
+    });
+    group.bench_function("full_sgd_step_batch8", |b| {
+        let mut train_net = net.clone();
+        let mut trainer = SgdTrainer::new(0.01, 0.9);
+        b.iter(|| {
+            black_box(
+                train_step(&mut train_net, &mut trainer, &images, &labels).expect("train step"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Bench targets for the §V use-case sweeps (DESIGN.md experiments U1,
+//! U2a–U2d): each sweep is runnable under `cargo bench` at quick scale,
+//! with its reproduced headline numbers printed once. The full printed
+//! tables live in `repro_sweeps`.
+
+use alfi_bench::{build_classifier, ExperimentScale};
+use alfi_core::Ptfiwrap;
+use alfi_nn::Network;
+use alfi_scenario::{FaultCount, FaultMode, InjectionTarget, Scenario};
+use alfi_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn base_scenario(images: usize) -> Scenario {
+    let mut s = Scenario::default();
+    s.dataset_size = images;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    s.seed = 99;
+    s
+}
+
+fn sde_probability(model: &Network, wrapper: &mut Ptfiwrap, input: &Tensor) -> f64 {
+    let orig = model.forward(input).expect("forward").batch_item(0).expect("item").argmax();
+    let mut sde = 0usize;
+    let mut total = 0usize;
+    while let Ok(fm) = wrapper.next_faulty_model() {
+        let out = fm.forward(input).expect("forward");
+        if out.batch_item(0).expect("item").argmax() != orig || out.has_non_finite() {
+            sde += 1;
+        }
+        total += 1;
+    }
+    sde as f64 / total.max(1) as f64
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let (model, mcfg) = build_classifier("alexnet", scale, 5);
+    let input = Tensor::ones(&mcfg.input_dims(1));
+    let mut group = c.benchmark_group("use_case_sweeps");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // U1: random positions campaign.
+    {
+        let mut w = Ptfiwrap::new(&model, base_scenario(scale.images), &mcfg.input_dims(1))
+            .expect("wrapper");
+        let p = sde_probability(&model, &mut w, &input);
+        eprintln!("[U1] random-position SDE probability: {:.1}%", p * 100.0);
+    }
+    group.bench_function("u1_random_positions", |b| {
+        b.iter(|| {
+            let mut w = Ptfiwrap::new(&model, base_scenario(scale.images), &mcfg.input_dims(1))
+                .expect("wrapper");
+            black_box(sde_probability(&model, &mut w, &input))
+        })
+    });
+
+    // U2a: one pinned-layer pass (layer 0 vs last layer printed).
+    {
+        let layers = model.injectable_layers(None, None).expect("layers").len();
+        for layer in [0, layers - 1] {
+            let mut s = base_scenario(scale.images);
+            s.layer_range = Some((layer, layer));
+            s.weighted_layer_selection = false;
+            let mut w = Ptfiwrap::new(&model, s, &mcfg.input_dims(1)).expect("wrapper");
+            let p = sde_probability(&model, &mut w, &input);
+            eprintln!("[U2a] layer {layer} SDE: {:.1}%", p * 100.0);
+        }
+    }
+    group.bench_function("u2a_layer_sweep_single_layer", |b| {
+        b.iter(|| {
+            let mut s = base_scenario(scale.images);
+            s.layer_range = Some((0, 0));
+            s.weighted_layer_selection = false;
+            let mut w = Ptfiwrap::new(&model, s, &mcfg.input_dims(1)).expect("wrapper");
+            black_box(sde_probability(&model, &mut w, &input))
+        })
+    });
+
+    // U2b: escalation endpoint (50 faults).
+    {
+        let mut s = base_scenario(scale.images);
+        s.faults_per_image = FaultCount::Fixed(50);
+        let mut w = Ptfiwrap::new(&model, s, &mcfg.input_dims(1)).expect("wrapper");
+        let p = sde_probability(&model, &mut w, &input);
+        eprintln!("[U2b] 50 faults/img SDE: {:.1}%", p * 100.0);
+    }
+    group.bench_function("u2b_fault_count_50", |b| {
+        b.iter(|| {
+            let mut s = base_scenario(scale.images);
+            s.faults_per_image = FaultCount::Fixed(50);
+            let mut w = Ptfiwrap::new(&model, s, &mcfg.input_dims(1)).expect("wrapper");
+            black_box(sde_probability(&model, &mut w, &input))
+        })
+    });
+
+    // U2c: neuron-target campaign.
+    {
+        let mut s = base_scenario(scale.images);
+        s.injection_target = InjectionTarget::Neurons;
+        let mut w = Ptfiwrap::new(&model, s, &mcfg.input_dims(1)).expect("wrapper");
+        let p = sde_probability(&model, &mut w, &input);
+        eprintln!("[U2c] neuron-fault SDE: {:.1}%", p * 100.0);
+    }
+    group.bench_function("u2c_neuron_faults", |b| {
+        b.iter(|| {
+            let mut s = base_scenario(scale.images);
+            s.injection_target = InjectionTarget::Neurons;
+            let mut w = Ptfiwrap::new(&model, s, &mcfg.input_dims(1)).expect("wrapper");
+            black_box(sde_probability(&model, &mut w, &input))
+        })
+    });
+
+    // U2d: single-bit campaign at the most/least dangerous positions.
+    {
+        for bit in [30u8, 0u8] {
+            let mut s = base_scenario(scale.images);
+            s.fault_mode = FaultMode::BitFlip { bit_range: (bit, bit) };
+            let mut w = Ptfiwrap::new(&model, s, &mcfg.input_dims(1)).expect("wrapper");
+            let p = sde_probability(&model, &mut w, &input);
+            eprintln!("[U2d] bit {bit} SDE: {:.1}%", p * 100.0);
+        }
+    }
+    group.bench_function("u2d_bit30_campaign", |b| {
+        b.iter(|| {
+            let mut s = base_scenario(scale.images);
+            s.fault_mode = FaultMode::BitFlip { bit_range: (30, 30) };
+            let mut w = Ptfiwrap::new(&model, s, &mcfg.input_dims(1)).expect("wrapper");
+            black_box(sde_probability(&model, &mut w, &input))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -1,0 +1,265 @@
+//! PyTorchFI-style ad-hoc fault injection — the baseline ALFI's
+//! efficiency claims are measured against.
+//!
+//! Plain PyTorchFI samples fault locations on the fly, per call, with no
+//! pre-generated reusable fault matrix, no persistence and no applied-
+//! fault logging. This module reimplements that workflow so the
+//! `efficiency_alfi_vs_baseline` benchmark can compare:
+//!
+//! * fault preparation cost (ALFI pays once up front, the baseline pays
+//!   per inference),
+//! * replayability (the baseline cannot replay an identical campaign
+//!   without re-seeding and re-running everything in the same order),
+//! * logging (the baseline reports nothing about what it hit).
+
+use crate::error::CoreError;
+use crate::fault::{FaultRecord, FaultValue};
+use crate::injector::corrupt_value;
+use crate::matrix::LayerTarget;
+use alfi_nn::{ForwardHook, LayerCtx, Network};
+use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi_tensor::Tensor;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Ad-hoc injector: every call samples fresh fault locations directly
+/// against the model, applies them for a single forward pass, and
+/// forgets them.
+#[derive(Debug)]
+pub struct AdHocInjector {
+    targets: Vec<LayerTarget>,
+    scenario: Scenario,
+    rng: StdRng,
+}
+
+impl AdHocInjector {
+    /// Creates an injector for a model. Unlike [`crate::Ptfiwrap`], no
+    /// fault matrix is generated.
+    ///
+    /// # Errors
+    ///
+    /// Returns layer-resolution errors.
+    pub fn new(model: &Network, scenario: Scenario, input_dims: &[usize]) -> Result<Self, CoreError> {
+        let targets =
+            crate::matrix::resolve_targets(&[model], &scenario, &[Some(input_dims.to_vec())])?;
+        let rng = StdRng::seed_from_u64(scenario.seed);
+        Ok(AdHocInjector { targets, scenario, rng })
+    }
+
+    fn sample_fault(&mut self) -> FaultRecord {
+        let li = self.rng.gen_range(0..self.targets.len());
+        let t = &self.targets[li];
+        let value = match self.scenario.fault_mode {
+            FaultMode::BitFlip { bit_range } => {
+                FaultValue::BitFlip(self.rng.gen_range(bit_range.0..=bit_range.1))
+            }
+            FaultMode::StuckAt { bit_range, stuck_high } => FaultValue::StuckAt {
+                pos: self.rng.gen_range(bit_range.0..=bit_range.1),
+                high: stuck_high,
+            },
+            FaultMode::RandomValue { min, max } => {
+                FaultValue::Replace(if min == max { min } else { self.rng.gen_range(min..max) })
+            }
+        };
+        match self.scenario.injection_target {
+            InjectionTarget::Weights => {
+                let d = &t.weight_dims;
+                match d.len() {
+                    2 => FaultRecord {
+                        batch: 0,
+                        layer: li,
+                        channel: self.rng.gen_range(0..d[0]),
+                        channel_in: 0,
+                        depth: None,
+                        height: 0,
+                        width: self.rng.gen_range(0..d[1]),
+                        value,
+                    },
+                    4 => FaultRecord {
+                        batch: 0,
+                        layer: li,
+                        channel: self.rng.gen_range(0..d[0]),
+                        channel_in: self.rng.gen_range(0..d[1]),
+                        depth: None,
+                        height: self.rng.gen_range(0..d[2]),
+                        width: self.rng.gen_range(0..d[3]),
+                        value,
+                    },
+                    _ => FaultRecord {
+                        batch: 0,
+                        layer: li,
+                        channel: self.rng.gen_range(0..d[0]),
+                        channel_in: self.rng.gen_range(0..d[1]),
+                        depth: Some(self.rng.gen_range(0..d[2])),
+                        height: self.rng.gen_range(0..d[3]),
+                        width: self.rng.gen_range(0..d[4]),
+                        value,
+                    },
+                }
+            }
+            InjectionTarget::Neurons => {
+                let d = t.output_dims.as_deref().unwrap_or(&t.weight_dims[..1]);
+                match d.len() {
+                    2 => FaultRecord {
+                        batch: 0,
+                        layer: li,
+                        channel: 0,
+                        channel_in: 0,
+                        depth: None,
+                        height: 0,
+                        width: self.rng.gen_range(0..d[1]),
+                        value,
+                    },
+                    4 => FaultRecord {
+                        batch: 0,
+                        layer: li,
+                        channel: self.rng.gen_range(0..d[1]),
+                        channel_in: 0,
+                        depth: None,
+                        height: self.rng.gen_range(0..d[2]),
+                        width: self.rng.gen_range(0..d[3]),
+                        value,
+                    },
+                    _ => FaultRecord {
+                        batch: 0,
+                        layer: li,
+                        channel: if d.len() > 1 { self.rng.gen_range(0..d[1]) } else { 0 },
+                        channel_in: 0,
+                        depth: None,
+                        height: 0,
+                        width: 0,
+                        value,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Runs one fault-injected inference: samples `k` fresh faults,
+    /// applies them, forwards, reverts. Nothing is logged or persisted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn run_once(&mut self, model: &Network, input: &Tensor, k: usize) -> Result<Tensor, CoreError> {
+        let faults: Vec<FaultRecord> = (0..k).map(|_| self.sample_fault()).collect();
+        match self.scenario.injection_target {
+            InjectionTarget::Weights => {
+                let mut net = model.clone();
+                for f in &faults {
+                    let t = &self.targets[f.layer];
+                    let layer = net.layer_mut(t.node_id)?;
+                    let w = layer.weight_mut().expect("injectable layer has weights");
+                    let coords: Vec<usize> = match w.dims().len() {
+                        2 => vec![f.channel, f.width],
+                        4 => vec![f.channel, f.channel_in, f.height, f.width],
+                        _ => vec![f.channel, f.channel_in, f.depth.unwrap_or(0), f.height, f.width],
+                    };
+                    let (corrupted, _) = corrupt_value(w.get(&coords), f.value);
+                    w.set(&coords, corrupted);
+                }
+                Ok(net.forward(input)?)
+            }
+            InjectionTarget::Neurons => {
+                let mut net = model.clone();
+                for f in &faults {
+                    let t = &self.targets[f.layer];
+                    let fault = *f;
+                    let hook = move |_ctx: &LayerCtx, out: &mut Tensor| {
+                        let dims = out.dims().to_vec();
+                        if let Some(flat) = crate::injector::neuron_flat_index(&fault, &dims) {
+                            let data = out.data_mut();
+                            let (v, _) = corrupt_value(data[flat], fault.value);
+                            data[flat] = v;
+                        }
+                    };
+                    net.register_hook(t.node_id, Arc::new(hook))?;
+                }
+                Ok(net.forward(input)?)
+            }
+        }
+    }
+}
+
+/// A trivially countable hook used by overhead benchmarks: does nothing
+/// but bump a counter, measuring pure hook-dispatch cost.
+#[derive(Debug, Default)]
+pub struct CountingHook {
+    count: Mutex<u64>,
+}
+
+impl CountingHook {
+    /// Creates a zeroed counter hook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of invocations so far.
+    pub fn count(&self) -> u64 {
+        *self.count.lock()
+    }
+}
+
+impl ForwardHook for CountingHook {
+    fn on_output(&self, _ctx: &LayerCtx, _output: &mut Tensor) {
+        *self.count.lock() += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfi_nn::models::{alexnet, ModelConfig};
+
+    fn model_cfg() -> ModelConfig {
+        ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() }
+    }
+
+    #[test]
+    fn adhoc_runs_and_leaves_model_untouched() {
+        let model = alexnet(&model_cfg());
+        let mut s = Scenario::default();
+        s.injection_target = InjectionTarget::Weights;
+        let x = Tensor::ones(&model_cfg().input_dims(1));
+        let clean = model.forward(&x).unwrap();
+        let mut inj = AdHocInjector::new(&model, s, &model_cfg().input_dims(1)).unwrap();
+        let out = inj.run_once(&model, &x, 3).unwrap();
+        assert_eq!(out.dims(), clean.dims());
+        assert_eq!(model.forward(&x).unwrap().data(), clean.data());
+    }
+
+    #[test]
+    fn adhoc_neuron_mode_also_runs() {
+        let model = alexnet(&model_cfg());
+        let mut s = Scenario::default();
+        s.injection_target = InjectionTarget::Neurons;
+        s.fault_mode = FaultMode::RandomValue { min: 500.0, max: 500.1 };
+        let x = Tensor::ones(&model_cfg().input_dims(1));
+        let mut inj = AdHocInjector::new(&model, s, &model_cfg().input_dims(1)).unwrap();
+        let out = inj.run_once(&model, &x, 2).unwrap();
+        assert_eq!(out.dims()[0], 1);
+    }
+
+    #[test]
+    fn adhoc_successive_calls_sample_different_faults() {
+        let model = alexnet(&model_cfg());
+        let s = Scenario::default();
+        let mut inj = AdHocInjector::new(&model, s, &model_cfg().input_dims(1)).unwrap();
+        let a = inj.sample_fault();
+        let b = inj.sample_fault();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counting_hook_counts() {
+        let h = CountingHook::new();
+        assert_eq!(h.count(), 0);
+        let ctx = LayerCtx { node_id: 0, name: "x".into(), kind: alfi_nn::LayerKind::Other };
+        let mut t = Tensor::zeros(&[1]);
+        h.on_output(&ctx, &mut t);
+        h.on_output(&ctx, &mut t);
+        assert_eq!(h.count(), 2);
+    }
+}

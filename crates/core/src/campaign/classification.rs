@@ -1,0 +1,799 @@
+//! High-level image-classification campaign — the
+//! `test_error_models_imgclass.py` equivalent.
+//!
+//! Runs fault-free, faulty and (optionally) hardened model instances in
+//! lock-step over a dataset, producing per-image top-5 rows, the applied
+//! fault trace and CSV/YAML/binary output files (§V-B, §V-F-1).
+
+use crate::error::CoreError;
+use crate::fault::AppliedFault;
+use crate::injector::arm_faults;
+use crate::matrix::{resolve_targets, FaultMatrix, LayerTarget};
+use crate::monitor::{attach_monitor, NanInfMonitor};
+use crate::persist::{save_fault_matrix, RunTrace, TraceEntry};
+use alfi_datasets::loader::ClassificationLoader;
+use alfi_nn::Network;
+use alfi_scenario::{InjectionPolicy, Scenario};
+use alfi_tensor::Tensor;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Top-K classes with probabilities for one model output.
+pub type TopK = Vec<(usize, f32)>;
+
+/// Per-image campaign result row.
+#[derive(Debug, Clone)]
+pub struct ClassificationRow {
+    /// Dataset image id.
+    pub image_id: u64,
+    /// Virtual file path from the dataset record.
+    pub file_name: String,
+    /// Ground-truth label.
+    pub label: usize,
+    /// Fault-free model top-5 `(class, probability)`.
+    pub orig_top5: TopK,
+    /// Fault-injected model top-5.
+    pub corr_top5: TopK,
+    /// Hardened (mitigation) model top-5, when a resil model was given.
+    pub resil_top5: Option<TopK>,
+    /// Faults applied while this image was processed.
+    pub faults: Vec<AppliedFault>,
+    /// NaN elements observed anywhere in the corrupted model.
+    pub corr_nan: usize,
+    /// Infinite elements observed anywhere in the corrupted model.
+    pub corr_inf: usize,
+}
+
+/// Full campaign output: rows plus everything needed for exact replay.
+#[derive(Debug, Clone)]
+pub struct ClassificationCampaignResult {
+    /// One row per processed image.
+    pub rows: Vec<ClassificationRow>,
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// The pre-generated fault matrix (reusable across experiments).
+    pub fault_matrix: FaultMatrix,
+    /// Applied-fault trace with per-inference NaN/Inf counts.
+    pub trace: RunTrace,
+}
+
+impl ClassificationCampaignResult {
+    /// Writes the paper's three output sets into `dir`:
+    /// `scenario.yml` (meta), `faults.bin` + `trace.bin` (binary fault
+    /// files), `results_orig.csv` / `results_corr.csv`
+    /// (/`results_resil.csv`) (model outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on filesystem failures.
+    pub fn save_outputs(&self, dir: impl AsRef<Path>) -> Result<(), CoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        self.scenario
+            .save(dir.join("scenario.yml"))
+            .map_err(|e| CoreError::Io(e.to_string()))?;
+        save_fault_matrix(&self.fault_matrix, dir.join("faults.bin"))?;
+        self.trace.save(dir.join("trace.bin"))?;
+        std::fs::write(dir.join("results_orig.csv"), self.to_csv(CsvVariant::Original))?;
+        std::fs::write(dir.join("results_corr.csv"), self.to_csv(CsvVariant::Corrupted))?;
+        if self.rows.iter().any(|r| r.resil_top5.is_some()) {
+            std::fs::write(dir.join("results_resil.csv"), self.to_csv(CsvVariant::Resilient))?;
+        }
+        Ok(())
+    }
+
+    /// Renders one of the CSV result files. Columns: image identity,
+    /// label, top-5 classes and probabilities, fault positions (layer,
+    /// channel, depth, height, width, bit) and NaN/Inf counts.
+    pub fn to_csv(&self, variant: CsvVariant) -> String {
+        let mut out = String::from(
+            "image_id,file_name,label,\
+             top1,top1_p,top2,top2_p,top3,top3_p,top4,top4_p,top5,top5_p,\
+             fault_layers,fault_channels,fault_depths,fault_heights,fault_widths,fault_bits,\
+             nan_count,inf_count\n",
+        );
+        for row in &self.rows {
+            let topk: &TopK = match variant {
+                CsvVariant::Original => &row.orig_top5,
+                CsvVariant::Corrupted => &row.corr_top5,
+                CsvVariant::Resilient => match &row.resil_top5 {
+                    Some(t) => t,
+                    None => continue,
+                },
+            };
+            out.push_str(&format!("{},{},{}", row.image_id, row.file_name, row.label));
+            for k in 0..5 {
+                match topk.get(k) {
+                    Some((c, p)) => out.push_str(&format!(",{c},{p}")),
+                    None => out.push_str(",,"),
+                }
+            }
+            let join = |f: &dyn Fn(&AppliedFault) -> String| {
+                row.faults.iter().map(f).collect::<Vec<_>>().join(";")
+            };
+            out.push_str(&format!(
+                ",{},{},{},{},{},{}",
+                join(&|a| a.record.layer.to_string()),
+                join(&|a| a.record.channel.to_string()),
+                join(&|a| a.record.depth.map_or("-".into(), |d| d.to_string())),
+                join(&|a| a.record.height.to_string()),
+                join(&|a| a.record.width.to_string()),
+                join(&|a| match a.record.value {
+                    crate::fault::FaultValue::BitFlip(p) => p.to_string(),
+                    crate::fault::FaultValue::StuckAt { pos, .. } => format!("s{pos}"),
+                    crate::fault::FaultValue::Replace(_) => "v".into(),
+                }),
+            ));
+            out.push_str(&format!(",{},{}\n", row.corr_nan, row.corr_inf));
+        }
+        out
+    }
+}
+
+/// Which of the three synchronized model instances a CSV file reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsvVariant {
+    /// The fault-free model.
+    Original,
+    /// The fault-injected model.
+    Corrupted,
+    /// The hardened (mitigation) model under the same faults.
+    Resilient,
+}
+
+/// The high-level classification campaign runner.
+#[derive(Debug)]
+pub struct ImgClassCampaign {
+    model: Network,
+    resil_model: Option<Network>,
+    scenario: Scenario,
+    loader: ClassificationLoader,
+    fault_matrix: Option<FaultMatrix>,
+}
+
+impl ImgClassCampaign {
+    /// Creates a campaign over `model` with the given scenario and data.
+    pub fn new(model: Network, scenario: Scenario, loader: ClassificationLoader) -> Self {
+        ImgClassCampaign { model, resil_model: None, scenario, loader, fault_matrix: None }
+    }
+
+    /// Replays a previously persisted fault matrix instead of generating
+    /// a new one — the paper's `fault_file` parameter, letting "the
+    /// identical set of faults be utilized across various experiments".
+    pub fn with_fault_matrix(mut self, matrix: FaultMatrix) -> Self {
+        self.fault_matrix = Some(matrix);
+        self
+    }
+
+    /// Adds a hardened model to run in lock-step under the *same* faults
+    /// — the paper's "tight integration of fault-free, faulty, and
+    /// enhanced models". The hardened model must expose the same
+    /// injectable-layer list (mitigation wrappers insert only
+    /// non-injectable protection nodes, preserving it).
+    pub fn with_resil_model(mut self, resil: Network) -> Self {
+        self.resil_model = Some(resil);
+        self
+    }
+
+    /// Runs the fault-free / faulty / hardened triple for one fault
+    /// scope (a single image or a whole batch) and appends one row per
+    /// contained image. Trace entries attribute each applied fault to
+    /// the image its batch coordinate addressed (weight faults and
+    /// out-of-range coordinates attribute to the scope's first image).
+    #[allow(clippy::too_many_arguments)]
+    fn process_scope(
+        &self,
+        images: &Tensor,
+        faults: &[crate::fault::FaultRecord],
+        targets: &[LayerTarget],
+        resil_targets: Option<&[LayerTarget]>,
+        records: &[alfi_datasets::ImageRecord],
+        labels: &[usize],
+        rows: &mut Vec<ClassificationRow>,
+        trace: &mut RunTrace,
+    ) -> Result<(), CoreError> {
+        let n = records.len();
+        let orig_logits = self.model.forward(images)?;
+
+        let mut corrupted = self.model.clone();
+        let monitor = Arc::new(NanInfMonitor::new());
+        attach_monitor(&mut corrupted, Arc::<NanInfMonitor>::clone(&monitor) as _)?;
+        let armed = {
+            let mut nets = [&mut corrupted];
+            arm_faults(&mut nets, targets, faults, self.scenario.injection_target)?
+        };
+        let corr_logits = corrupted.forward(images)?;
+        let applied = armed.collect_applied();
+        let totals = monitor.totals();
+
+        let resil_logits = match (&self.resil_model, resil_targets) {
+            (Some(resil), Some(rt)) => {
+                let mut hardened = resil.clone();
+                let _armed_r = {
+                    let mut nets = [&mut hardened];
+                    arm_faults(&mut nets, rt, faults, self.scenario.injection_target)?
+                };
+                Some(hardened.forward(images)?)
+            }
+            _ => None,
+        };
+
+        for a in &applied {
+            let img_idx = if self.scenario.injection_target
+                == alfi_scenario::InjectionTarget::Neurons
+            {
+                a.record.batch.min(n - 1)
+            } else {
+                0
+            };
+            trace.entries.push(TraceEntry {
+                image_id: records[img_idx].image_id,
+                applied: *a,
+                output_nan_count: totals.nan as u32,
+                output_inf_count: totals.inf as u32,
+            });
+        }
+        for i in 0..n {
+            // Faults are listed on every row of the scope (the paper's
+            // per-scope fault set); per-image attribution lives in the
+            // trace entries above.
+            rows.push(ClassificationRow {
+                image_id: records[i].image_id,
+                file_name: records[i].file_name.clone(),
+                label: labels[i],
+                orig_top5: softmax_topk_row(&orig_logits, i, 5)?,
+                corr_top5: softmax_topk_row(&corr_logits, i, 5)?,
+                resil_top5: resil_logits
+                    .as_ref()
+                    .map(|l| softmax_topk_row(l, i, 5))
+                    .transpose()?,
+                faults: applied.clone(),
+                corr_nan: totals.nan,
+                corr_inf: totals.inf,
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves the fault matrix: a replayed one (validated against the
+    /// scenario target) or a freshly generated one.
+    fn take_or_generate_matrix(
+        &self,
+        targets: &[LayerTarget],
+    ) -> Result<FaultMatrix, CoreError> {
+        match &self.fault_matrix {
+            Some(m) => {
+                if m.target != self.scenario.injection_target {
+                    return Err(CoreError::CorruptFile {
+                        kind: "fault",
+                        reason: format!(
+                            "replayed matrix target {:?} disagrees with scenario target {:?}",
+                            m.target, self.scenario.injection_target
+                        ),
+                    });
+                }
+                Ok(m.clone())
+            }
+            None => FaultMatrix::generate(&self.scenario, targets),
+        }
+    }
+
+    /// Runs the campaign: for every image, a fault-free pass, a faulty
+    /// pass (fault set advanced per the injection policy) and optionally
+    /// a hardened pass with identical faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution/injection errors; an exhausted fault matrix
+    /// ends the run gracefully instead.
+    pub fn run(&mut self) -> Result<ClassificationCampaignResult, CoreError> {
+        let input_dims = {
+            let ds = self.loader.dataset();
+            vec![1, ds.channels(), ds.image_hw(), ds.image_hw()]
+        };
+        let targets = resolve_targets(&[&self.model], &self.scenario, &[Some(input_dims.clone())])?;
+        let resil_targets: Option<Vec<LayerTarget>> = match &self.resil_model {
+            Some(r) => {
+                let rt = resolve_targets(&[r], &self.scenario, &[Some(input_dims)])?;
+                if rt.len() != targets.len() {
+                    return Err(CoreError::FaultOutOfBounds {
+                        detail: format!(
+                            "hardened model exposes {} injectable layers, original {}",
+                            rt.len(),
+                            targets.len()
+                        ),
+                    });
+                }
+                Some(rt)
+            }
+            None => None,
+        };
+        let matrix = self.take_or_generate_matrix(&targets)?;
+
+        let mut rows = Vec::new();
+        let mut trace = RunTrace::default();
+        let mut slot = 0usize;
+
+        for epoch in 0..self.scenario.num_runs as u64 {
+            let mut epoch_slot_armed = false;
+            for batch in self.loader.iter_epoch(epoch) {
+                if slot >= matrix.num_slots() {
+                    break;
+                }
+                match self.scenario.injection_policy {
+                    InjectionPolicy::PerImage => {
+                        // One fault slot and one single-image forward per
+                        // image: fault batch coordinates are always 0.
+                        for i in 0..batch.labels.len() {
+                            if slot >= matrix.num_slots() {
+                                break;
+                            }
+                            let faults = matrix.faults_for_slot(slot).to_vec();
+                            slot += 1;
+                            let image =
+                                batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
+                            let image =
+                                Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
+                            self.process_scope(
+                                &image,
+                                &faults,
+                                &targets,
+                                resil_targets.as_deref(),
+                                &batch.records[i..=i],
+                                &batch.labels[i..=i],
+                                &mut rows,
+                                &mut trace,
+                            )?;
+                        }
+                    }
+                    InjectionPolicy::PerBatch | InjectionPolicy::PerEpoch => {
+                        // One fault slot per scope, applied to a whole-batch
+                        // forward pass — neuron faults may target any batch
+                        // coordinate, exactly as in the paper.
+                        let advance = self.scenario.injection_policy
+                            == InjectionPolicy::PerBatch
+                            || !epoch_slot_armed;
+                        let faults = if advance {
+                            epoch_slot_armed = true;
+                            let f = matrix.faults_for_slot(slot).to_vec();
+                            slot += 1;
+                            f
+                        } else {
+                            matrix.faults_for_slot(slot - 1).to_vec()
+                        };
+                        self.process_scope(
+                            &batch.images,
+                            &faults,
+                            &targets,
+                            resil_targets.as_deref(),
+                            &batch.records,
+                            &batch.labels,
+                            &mut rows,
+                            &mut trace,
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(ClassificationCampaignResult {
+            rows,
+            scenario: self.scenario.clone(),
+            fault_matrix: matrix,
+            trace,
+        })
+    }
+}
+
+impl ImgClassCampaign {
+    /// Parallel variant of [`ImgClassCampaign::run`] for `per_image`
+    /// scenarios: images are independent under that policy, so the
+    /// fault-free / faulty / hardened triple per image fans out across
+    /// `threads` workers (crossbeam scoped threads). Row order, fault
+    /// assignment and all outputs are bit-identical to the sequential
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Scenario`]-level errors as [`run`] does, and
+    /// rejects non-`per_image` policies (their fault scopes are
+    /// inherently sequential).
+    ///
+    /// [`run`]: ImgClassCampaign::run
+    pub fn run_parallel(&mut self, threads: usize) -> Result<ClassificationCampaignResult, CoreError> {
+        if self.scenario.injection_policy != InjectionPolicy::PerImage {
+            return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
+                field: "injection_policy",
+                reason: "run_parallel requires per_image".into(),
+            }));
+        }
+        let threads = threads.max(1);
+        let input_dims = {
+            let ds = self.loader.dataset();
+            vec![1, ds.channels(), ds.image_hw(), ds.image_hw()]
+        };
+        let targets = resolve_targets(&[&self.model], &self.scenario, &[Some(input_dims.clone())])?;
+        let resil_targets: Option<Vec<LayerTarget>> = match &self.resil_model {
+            Some(r) => {
+                let rt = resolve_targets(&[r], &self.scenario, &[Some(input_dims)])?;
+                if rt.len() != targets.len() {
+                    return Err(CoreError::FaultOutOfBounds {
+                        detail: format!(
+                            "hardened model exposes {} injectable layers, original {}",
+                            rt.len(),
+                            targets.len()
+                        ),
+                    });
+                }
+                Some(rt)
+            }
+            None => None,
+        };
+        let matrix = self.take_or_generate_matrix(&targets)?;
+
+        // Materialize the work list: (slot, image tensor, label, record).
+        struct WorkItem {
+            slot: usize,
+            image: Tensor,
+            label: usize,
+            record: alfi_datasets::ImageRecord,
+        }
+        let mut work = Vec::new();
+        let mut slot = 0usize;
+        for epoch in 0..self.scenario.num_runs as u64 {
+            for batch in self.loader.iter_epoch(epoch) {
+                for i in 0..batch.labels.len() {
+                    if slot >= matrix.num_slots() {
+                        break;
+                    }
+                    let image = batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
+                    let image = Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
+                    work.push(WorkItem {
+                        slot,
+                        image,
+                        label: batch.labels[i],
+                        record: batch.records[i].clone(),
+                    });
+                    slot += 1;
+                }
+            }
+        }
+
+        let model = &self.model;
+        let resil = self.resil_model.as_ref();
+        let scenario = &self.scenario;
+        let matrix_ref = &matrix;
+        let targets_ref = &targets;
+        let resil_targets_ref = resil_targets.as_deref();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        type Slot = parking_lot::Mutex<Option<Result<(ClassificationRow, Vec<TraceEntry>), CoreError>>>;
+        let results: Vec<Slot> = (0..work.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(item) = work.get(idx) else { break };
+                    let outcome = process_image(
+                        model,
+                        resil,
+                        scenario,
+                        targets_ref,
+                        resil_targets_ref,
+                        matrix_ref,
+                        item.slot,
+                        &item.image,
+                        item.label,
+                        &item.record,
+                    );
+                    *results[idx].lock() = Some(outcome);
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+
+        let mut rows = Vec::with_capacity(work.len());
+        let mut trace = RunTrace::default();
+        for cell in results {
+            let (row, entries) = cell.into_inner().expect("all work items processed")?;
+            rows.push(row);
+            trace.entries.extend(entries);
+        }
+        Ok(ClassificationCampaignResult {
+            rows,
+            scenario: self.scenario.clone(),
+            fault_matrix: matrix,
+            trace,
+        })
+    }
+}
+
+/// Runs the orig/faulty/hardened triple for one image — shared by the
+/// sequential and parallel campaign paths.
+#[allow(clippy::too_many_arguments)]
+fn process_image(
+    model: &Network,
+    resil: Option<&Network>,
+    scenario: &Scenario,
+    targets: &[LayerTarget],
+    resil_targets: Option<&[LayerTarget]>,
+    matrix: &FaultMatrix,
+    slot: usize,
+    image: &Tensor,
+    label: usize,
+    record: &alfi_datasets::ImageRecord,
+) -> Result<(ClassificationRow, Vec<TraceEntry>), CoreError> {
+    let faults = matrix.faults_for_slot(slot).to_vec();
+
+    let orig_logits = model.forward(image)?;
+    let orig_top5 = softmax_topk(&orig_logits, 5)?;
+
+    let mut corrupted = model.clone();
+    let monitor = Arc::new(NanInfMonitor::new());
+    attach_monitor(&mut corrupted, Arc::<NanInfMonitor>::clone(&monitor) as _)?;
+    let armed = {
+        let mut nets = [&mut corrupted];
+        arm_faults(&mut nets, targets, &faults, scenario.injection_target)?
+    };
+    let corr_logits = corrupted.forward(image)?;
+    let corr_top5 = softmax_topk(&corr_logits, 5)?;
+    let applied = armed.collect_applied();
+    let totals = monitor.totals();
+
+    let resil_top5 = match (resil, resil_targets) {
+        (Some(r), Some(rt)) => {
+            let mut hardened = r.clone();
+            let _armed_r = {
+                let mut nets = [&mut hardened];
+                arm_faults(&mut nets, rt, &faults, scenario.injection_target)?
+            };
+            let logits = hardened.forward(image)?;
+            Some(softmax_topk(&logits, 5)?)
+        }
+        _ => None,
+    };
+
+    let entries: Vec<TraceEntry> = applied
+        .iter()
+        .map(|a| TraceEntry {
+            image_id: record.image_id,
+            applied: *a,
+            output_nan_count: totals.nan as u32,
+            output_inf_count: totals.inf as u32,
+        })
+        .collect();
+    Ok((
+        ClassificationRow {
+            image_id: record.image_id,
+            file_name: record.file_name.clone(),
+            label,
+            orig_top5,
+            corr_top5,
+            resil_top5,
+            faults: applied,
+            corr_nan: totals.nan,
+            corr_inf: totals.inf,
+        },
+        entries,
+    ))
+}
+
+/// Softmax over logits `[1, classes]` followed by top-k extraction.
+fn softmax_topk(logits: &Tensor, k: usize) -> Result<TopK, CoreError> {
+    softmax_topk_row(logits, 0, k)
+}
+
+/// Softmax over batch logits `[n, classes]` and top-k extraction of row `i`.
+fn softmax_topk_row(logits: &Tensor, i: usize, k: usize) -> Result<TopK, CoreError> {
+    let probs = logits.softmax_lastdim().map_err(alfi_nn::NnError::from)?;
+    let row = probs.batch_item(i).map_err(alfi_nn::NnError::from)?;
+    Ok(row.topk(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfi_datasets::classification::ClassificationDataset;
+    use alfi_nn::models::{alexnet, ModelConfig};
+    use alfi_scenario::{FaultCount, FaultMode, InjectionTarget};
+
+    fn campaign(scenario: Scenario) -> ImgClassCampaign {
+        let mcfg = ModelConfig { input_hw: 16, width_mult: 0.0625, ..ModelConfig::default() };
+        let model = alexnet(&mcfg);
+        let ds = ClassificationDataset::new(scenario.dataset_size, mcfg.num_classes, 3, 16, 5);
+        let loader = ClassificationLoader::new(ds, scenario.batch_size);
+        ImgClassCampaign::new(model, scenario, loader)
+    }
+
+    #[test]
+    fn per_image_campaign_produces_one_row_per_image() {
+        let mut s = Scenario::default();
+        s.dataset_size = 6;
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let result = campaign(s).run().unwrap();
+        assert_eq!(result.rows.len(), 6);
+        for row in &result.rows {
+            assert_eq!(row.orig_top5.len(), 5);
+            assert_eq!(row.corr_top5.len(), 5);
+            assert_eq!(row.faults.len(), 1);
+            assert!(row.resil_top5.is_none());
+        }
+        assert_eq!(result.trace.entries.len(), 6);
+    }
+
+    #[test]
+    fn per_epoch_policy_reuses_one_slot() {
+        let mut s = Scenario::default();
+        s.dataset_size = 5;
+        s.injection_policy = InjectionPolicy::PerEpoch;
+        s.injection_target = InjectionTarget::Weights;
+        let result = campaign(s).run().unwrap();
+        assert_eq!(result.rows.len(), 5);
+        // every image saw the identical fault record
+        let first = result.rows[0].faults[0].record;
+        for row in &result.rows {
+            assert_eq!(row.faults[0].record, first);
+        }
+    }
+
+    #[test]
+    fn per_batch_policy_advances_per_batch() {
+        let mut s = Scenario::default();
+        s.dataset_size = 6;
+        s.batch_size = 3;
+        s.injection_policy = InjectionPolicy::PerBatch;
+        s.injection_target = InjectionTarget::Weights;
+        let result = campaign(s).run().unwrap();
+        let r = &result.rows;
+        assert_eq!(r[0].faults[0].record, r[1].faults[0].record);
+        assert_eq!(r[0].faults[0].record, r[2].faults[0].record);
+        assert_ne!(r[2].faults[0].record, r[3].faults[0].record);
+    }
+
+    #[test]
+    fn neuron_campaign_logs_applications() {
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_target = InjectionTarget::Neurons;
+        s.faults_per_image = FaultCount::Fixed(2);
+        let result = campaign(s).run().unwrap();
+        for row in &result.rows {
+            assert_eq!(row.faults.len(), 2, "both neuron faults applied");
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut s = Scenario::default();
+        s.dataset_size = 2;
+        s.injection_target = InjectionTarget::Weights;
+        let result = campaign(s).run().unwrap();
+        let csv = result.to_csv(CsvVariant::Corrupted);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("image_id,file_name,label,top1"));
+        assert!(lines[1].contains("synthetic/class/"));
+    }
+
+    #[test]
+    fn outputs_are_saved_and_replayable() {
+        let mut s = Scenario::default();
+        s.dataset_size = 2;
+        s.injection_target = InjectionTarget::Weights;
+        let result = campaign(s).run().unwrap();
+        let dir = std::env::temp_dir().join("alfi_campaign_out");
+        let _ = std::fs::remove_dir_all(&dir);
+        result.save_outputs(&dir).unwrap();
+        for f in ["scenario.yml", "faults.bin", "trace.bin", "results_orig.csv", "results_corr.csv"] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        // fault file round-trips
+        let m = crate::persist::load_fault_matrix(dir.join("faults.bin")).unwrap();
+        assert_eq!(m, result.fault_matrix);
+        let t = RunTrace::load(dir.join("trace.bin")).unwrap();
+        assert_eq!(t, result.trace);
+        // scenario replays
+        let s2 = Scenario::load(dir.join("scenario.yml")).unwrap();
+        assert_eq!(s2, result.scenario);
+    }
+
+    #[test]
+    fn per_batch_neuron_faults_can_hit_any_batch_coordinate() {
+        // With batch_size 4 and per-batch policy the whole batch goes
+        // through one forward pass, so neuron faults targeting batch
+        // index > 0 land instead of being skipped.
+        let mut s = Scenario::default();
+        s.dataset_size = 8;
+        s.batch_size = 4;
+        s.injection_policy = InjectionPolicy::PerBatch;
+        s.injection_target = InjectionTarget::Neurons;
+        s.fault_mode = FaultMode::RandomValue { min: 7.0, max: 7.1 };
+        s.seed = 3; // seed chosen so at least one fault has batch > 0
+        let result = campaign(s).run().unwrap();
+        assert_eq!(result.rows.len(), 8);
+        let applied: Vec<_> = result.trace.entries.iter().map(|e| e.applied).collect();
+        assert_eq!(applied.len(), 2, "one neuron fault per batch, two batches");
+        assert!(
+            applied.iter().any(|a| a.record.batch > 0),
+            "expected a fault with batch > 0 to be applied: {applied:?}"
+        );
+        // trace attribution points at the image the coordinate addressed
+        for e in &result.trace.entries {
+            let expect_row = e.applied.record.batch;
+            let batch_start = result
+                .rows
+                .iter()
+                .position(|r| r.image_id == e.image_id)
+                .unwrap();
+            assert_eq!(batch_start % 4, expect_row);
+        }
+    }
+
+    #[test]
+    fn replayed_fault_matrix_reproduces_identical_rows() {
+        let mut s = Scenario::default();
+        s.dataset_size = 4;
+        s.injection_target = InjectionTarget::Weights;
+        let first = campaign(s.clone()).run().unwrap();
+        let replay = campaign(s)
+            .with_fault_matrix(first.fault_matrix.clone())
+            .run()
+            .unwrap();
+        assert_eq!(first.trace, replay.trace);
+        for (a, b) in first.rows.iter().zip(replay.rows.iter()) {
+            assert_eq!(a.corr_top5, b.corr_top5);
+        }
+    }
+
+    #[test]
+    fn replayed_matrix_with_wrong_target_is_rejected() {
+        let mut s = Scenario::default();
+        s.dataset_size = 2;
+        s.injection_target = InjectionTarget::Weights;
+        let first = campaign(s.clone()).run().unwrap();
+        s.injection_target = InjectionTarget::Neurons;
+        let err = campaign(s).with_fault_matrix(first.fault_matrix).run().unwrap_err();
+        assert!(matches!(err, crate::CoreError::CorruptFile { .. }));
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_bit_exactly() {
+        let mut s = Scenario::default();
+        s.dataset_size = 8;
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let sequential = campaign(s.clone()).run().unwrap();
+        let parallel = campaign(s).run_parallel(4).unwrap();
+        assert_eq!(sequential.rows.len(), parallel.rows.len());
+        for (a, b) in sequential.rows.iter().zip(parallel.rows.iter()) {
+            assert_eq!(a.image_id, b.image_id);
+            assert_eq!(a.orig_top5, b.orig_top5);
+            assert_eq!(a.corr_top5, b.corr_top5);
+            assert_eq!(a.faults, b.faults);
+        }
+        assert_eq!(sequential.trace, parallel.trace);
+        assert_eq!(sequential.fault_matrix, parallel.fault_matrix);
+    }
+
+    #[test]
+    fn parallel_run_rejects_non_per_image_policy() {
+        let mut s = Scenario::default();
+        s.dataset_size = 4;
+        s.injection_policy = InjectionPolicy::PerEpoch;
+        assert!(campaign(s).run_parallel(2).is_err());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_target = InjectionTarget::Weights;
+        let a = campaign(s.clone()).run().unwrap();
+        let b = campaign(s).run().unwrap();
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+            assert_eq!(ra.corr_top5, rb.corr_top5);
+            assert_eq!(ra.faults, rb.faults);
+        }
+    }
+}

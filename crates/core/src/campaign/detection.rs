@@ -1,0 +1,290 @@
+//! High-level object-detection campaign — the
+//! `test_error_models_objdet.py` equivalent.
+//!
+//! Runs fault-free and faulty detection passes in lock-step over a
+//! detection dataset (§V-B, §V-F-2). Faults may land in any of the
+//! detector's networks (backbone, heads, second stage); the fault
+//! record's layer index spans the combined injectable-layer list.
+
+use crate::error::CoreError;
+use crate::fault::AppliedFault;
+use crate::injector::arm_faults;
+use crate::matrix::{resolve_targets, FaultMatrix};
+use crate::monitor::{attach_monitor, NanInfMonitor};
+use crate::persist::{RunTrace, TraceEntry};
+use alfi_datasets::loader::DetectionLoader;
+use alfi_datasets::GroundTruthBox;
+use alfi_nn::detection::{Detection, Detector};
+use alfi_scenario::{InjectionPolicy, Scenario};
+use std::sync::Arc;
+
+/// Per-image detection campaign row.
+#[derive(Debug, Clone)]
+pub struct DetectionRow {
+    /// Dataset image id.
+    pub image_id: u64,
+    /// Ground-truth objects for the image.
+    pub ground_truth: Vec<GroundTruthBox>,
+    /// Fault-free detections.
+    pub orig: Vec<Detection>,
+    /// Fault-injected detections.
+    pub corr: Vec<Detection>,
+    /// Faults applied while this image was processed.
+    pub faults: Vec<AppliedFault>,
+    /// NaN elements observed in the corrupted detector's networks.
+    pub corr_nan: usize,
+    /// Infinite elements observed in the corrupted detector's networks.
+    pub corr_inf: usize,
+}
+
+/// Full detection campaign output.
+#[derive(Debug, Clone)]
+pub struct DetectionCampaignResult {
+    /// One row per processed image.
+    pub rows: Vec<DetectionRow>,
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// The pre-generated fault matrix.
+    pub fault_matrix: FaultMatrix,
+    /// Applied-fault trace.
+    pub trace: RunTrace,
+    /// Detector model name.
+    pub model_name: String,
+}
+
+/// The high-level object-detection campaign runner. Owns the detector
+/// mutably for the duration of the run; faults are armed in place and
+/// disarmed after each scope, leaving the detector pristine afterwards.
+#[derive(Debug)]
+pub struct ObjDetCampaign<'a, D: Detector + ?Sized> {
+    detector: &'a mut D,
+    scenario: Scenario,
+    loader: DetectionLoader,
+    fault_matrix: Option<FaultMatrix>,
+}
+
+impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
+    /// Creates a campaign over `detector` with the given scenario and
+    /// data.
+    pub fn new(detector: &'a mut D, scenario: Scenario, loader: DetectionLoader) -> Self {
+        ObjDetCampaign { detector, scenario, loader, fault_matrix: None }
+    }
+
+    /// Replays a previously persisted fault matrix instead of generating
+    /// a new one (the paper's `fault_file` parameter of
+    /// `test_rand_ObjDet_SBFs_inj`).
+    pub fn with_fault_matrix(mut self, matrix: FaultMatrix) -> Self {
+        self.fault_matrix = Some(matrix);
+        self
+    }
+
+    /// Runs the campaign, one image at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution/injection errors; an exhausted fault matrix
+    /// ends the run gracefully instead.
+    pub fn run(&mut self) -> Result<DetectionCampaignResult, CoreError> {
+        let input_dims = {
+            let ds = self.loader.dataset();
+            vec![1usize, 3, ds.image_hw(), ds.image_hw()]
+        };
+        // Reference shapes: the first (primary) network sees the image;
+        // further networks (e.g. RoI heads) have run-time-dependent
+        // inputs, so their neuron coordinates fall back to channel
+        // bounds.
+        let (targets, matrix) = {
+            let nets = self.detector.networks();
+            let mut dims: Vec<Option<Vec<usize>>> = vec![None; nets.len()];
+            dims[0] = Some(input_dims.clone());
+            let targets = resolve_targets(&nets, &self.scenario, &dims)?;
+            let matrix = match &self.fault_matrix {
+                Some(m) => {
+                    if m.target != self.scenario.injection_target {
+                        return Err(CoreError::CorruptFile {
+                            kind: "fault",
+                            reason: format!(
+                                "replayed matrix target {:?} disagrees with scenario target {:?}",
+                                m.target, self.scenario.injection_target
+                            ),
+                        });
+                    }
+                    m.clone()
+                }
+                None => FaultMatrix::generate(&self.scenario, &targets)?,
+            };
+            (targets, matrix)
+        };
+
+        let mut rows = Vec::new();
+        let mut trace = RunTrace::default();
+        let mut slot = 0usize;
+
+        for epoch in 0..self.scenario.num_runs as u64 {
+            let mut epoch_armed = false;
+            let batches: Vec<_> = self.loader.iter_epoch(epoch).collect();
+            for batch in batches {
+                let n = batch.records.len();
+                for i in 0..n {
+                    if slot >= matrix.num_slots() {
+                        break;
+                    }
+                    let advance = match self.scenario.injection_policy {
+                        InjectionPolicy::PerImage => true,
+                        InjectionPolicy::PerBatch => i == 0,
+                        InjectionPolicy::PerEpoch => !epoch_armed,
+                    };
+                    let faults = if advance {
+                        epoch_armed = true;
+                        let f = matrix.faults_for_slot(slot).to_vec();
+                        slot += 1;
+                        f
+                    } else {
+                        matrix.faults_for_slot(slot - 1).to_vec()
+                    };
+
+                    let image = batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
+                    let image =
+                        alfi_tensor::Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
+                    let record = &batch.records[i];
+
+                    // Fault-free pass.
+                    let orig = self.detector.detect(&image)?.remove(0);
+
+                    // Arm faults + monitors in place, detect, disarm.
+                    let monitor = Arc::new(NanInfMonitor::new());
+                    let (applied, totals, corr) = {
+                        let mut nets = self.detector.networks_mut();
+                        let mut monitor_handles = Vec::new();
+                        for net in nets.iter_mut() {
+                            monitor_handles.push(attach_monitor(
+                                net,
+                                Arc::<NanInfMonitor>::clone(&monitor) as _,
+                            )?);
+                        }
+                        let armed = arm_faults(
+                            &mut nets,
+                            &targets,
+                            &faults,
+                            self.scenario.injection_target,
+                        )?;
+                        drop(nets);
+                        let corr = self.detector.detect(&image)?.remove(0);
+                        let applied = armed.collect_applied();
+                        let totals = monitor.totals();
+                        let mut nets = self.detector.networks_mut();
+                        armed.disarm(&mut nets);
+                        for (net, handles) in nets.iter_mut().zip(monitor_handles) {
+                            for h in handles {
+                                net.remove_hook(h);
+                            }
+                        }
+                        (applied, totals, corr)
+                    };
+
+                    for a in &applied {
+                        trace.entries.push(TraceEntry {
+                            image_id: record.image_id,
+                            applied: *a,
+                            output_nan_count: totals.nan as u32,
+                            output_inf_count: totals.inf as u32,
+                        });
+                    }
+                    rows.push(DetectionRow {
+                        image_id: record.image_id,
+                        ground_truth: batch.objects[i].clone(),
+                        orig,
+                        corr,
+                        faults: applied,
+                        corr_nan: totals.nan,
+                        corr_inf: totals.inf,
+                    });
+                }
+            }
+        }
+        Ok(DetectionCampaignResult {
+            rows,
+            scenario: self.scenario.clone(),
+            fault_matrix: matrix,
+            trace,
+            model_name: self.detector.name().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfi_datasets::detection::DetectionDataset;
+    use alfi_nn::detection::{DetectorConfig, YoloGrid};
+    use alfi_scenario::{FaultMode, InjectionTarget};
+    use alfi_tensor::Tensor;
+
+    fn run_with(scenario: Scenario) -> DetectionCampaignResult {
+        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+        let mut det = YoloGrid::new(&dcfg);
+        let ds = DetectionDataset::new(scenario.dataset_size, dcfg.num_classes, 3, 32, 3);
+        let loader = DetectionLoader::new(ds, scenario.batch_size);
+        ObjDetCampaign::new(&mut det, scenario, loader).run().unwrap()
+    }
+
+    #[test]
+    fn detection_campaign_produces_rows_and_traces() {
+        let mut s = Scenario::default();
+        s.dataset_size = 4;
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let result = run_with(s);
+        assert_eq!(result.rows.len(), 4);
+        assert_eq!(result.model_name, "yolo_grid");
+        for row in &result.rows {
+            assert!(!row.ground_truth.is_empty());
+            assert_eq!(row.faults.len(), 1);
+        }
+        assert_eq!(result.trace.entries.len(), 4);
+    }
+
+    #[test]
+    fn detector_is_pristine_after_campaign() {
+        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+        let mut det = YoloGrid::new(&dcfg);
+        let reference = YoloGrid::new(&dcfg);
+        let probe = Tensor::ones(&[1, 3, 32, 32]);
+        let before = reference.detect(&probe).unwrap();
+
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_target = InjectionTarget::Weights;
+        let ds = DetectionDataset::new(3, dcfg.num_classes, 3, 32, 3);
+        let loader = DetectionLoader::new(ds, 1);
+        ObjDetCampaign::new(&mut det, s, loader).run().unwrap();
+
+        let after = det.detect(&probe).unwrap();
+        assert_eq!(before, after, "weights must be reverted and hooks removed");
+        assert_eq!(det.networks()[0].num_hooks(), 0);
+    }
+
+    #[test]
+    fn neuron_faults_into_detector_apply() {
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_target = InjectionTarget::Neurons;
+        s.fault_mode = FaultMode::RandomValue { min: 100.0, max: 100.1 };
+        let result = run_with(s);
+        let applied: usize = result.rows.iter().map(|r| r.faults.len()).sum();
+        assert!(applied >= 2, "most neuron faults should land (batch 1), got {applied}");
+    }
+
+    #[test]
+    fn detection_campaign_is_deterministic() {
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_target = InjectionTarget::Weights;
+        let a = run_with(s.clone());
+        let b = run_with(s);
+        for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+            assert_eq!(ra.orig, rb.orig);
+            assert_eq!(ra.corr, rb.corr);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! High-level campaign runners: the `TestErrorModels_*` equivalents that
+//! tightly couple fault-free, faulty and hardened models over a dataset
+//! and produce the paper's three output sets.
+
+pub mod classification;
+pub mod detection;
+
+pub use classification::{
+    ClassificationCampaignResult, ClassificationRow, CsvVariant, ImgClassCampaign, TopK,
+};
+pub use detection::{DetectionCampaignResult, DetectionRow, ObjDetCampaign};

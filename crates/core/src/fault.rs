@@ -1,0 +1,163 @@
+//! Fault records — the columns of the paper's fault matrix (Table I).
+//!
+//! Each pre-generated fault is one column of a conceptual matrix whose
+//! rows are: batch, layer, channel, (depth,) height, width, value. For
+//! weight faults the channel row splits into output and input channel
+//! ("the first row denotes the layer index, and the second and third rows
+//! specify the weight's output and input channel", §IV-B).
+
+use alfi_tensor::bits::FlipDirection;
+
+/// The corruption applied at a fault location (Table I row 7: "either a
+/// number or the index of bit position").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultValue {
+    /// Flip the bit at this position.
+    BitFlip(u8),
+    /// Force the bit at this position to a fixed level (stuck-at).
+    StuckAt {
+        /// Bit position.
+        pos: u8,
+        /// `true` = stuck-at-1.
+        high: bool,
+    },
+    /// Replace the value outright.
+    Replace(f32),
+}
+
+/// A single pre-generated fault location + value: one column of the
+/// fault matrix.
+///
+/// Coordinate semantics depend on the injection target:
+///
+/// * **Neuron faults** address the *output tensor* of a layer:
+///   `(batch, channel, [depth,] height, width)`, or `(batch, width)` for
+///   linear-layer outputs (`channel`, `height` zero).
+/// * **Weight faults** address the *weight tensor*:
+///   `(channel_out, channel_in, [depth,] height, width)` for
+///   convolutions and `(channel_out, width)` for linear weights; `batch`
+///   is the image index the fault scope is associated with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRecord {
+    /// Table I row 1: image index within a batch (neuron faults) or the
+    /// image slot the fault is associated with (weight faults).
+    pub batch: usize,
+    /// Table I row 2: index into the model's injectable-layer list.
+    pub layer: usize,
+    /// Table I row 3: channel (neurons) or output channel (weights).
+    pub channel: usize,
+    /// Weight faults only: input channel (the paper's third row for
+    /// weight injection). `0` for neuron faults.
+    pub channel_in: usize,
+    /// Table I row 4: depth index for conv3d tensors; `None` elsewhere.
+    pub depth: Option<usize>,
+    /// Table I row 5: y position.
+    pub height: usize,
+    /// Table I row 6: x position.
+    pub width: usize,
+    /// Table I row 7: the corruption.
+    pub value: FaultValue,
+}
+
+impl FaultRecord {
+    /// The conceptual Table I column as `[batch, layer, channel, depth,
+    /// height, width, value-tag]` with `usize::MAX` marking an absent
+    /// depth. Used by tests asserting the matrix layout and by the
+    /// human-readable dump.
+    pub fn as_column(&self) -> [usize; 7] {
+        [
+            self.batch,
+            self.layer,
+            self.channel,
+            self.depth.unwrap_or(usize::MAX),
+            self.height,
+            self.width,
+            match self.value {
+                FaultValue::BitFlip(p) => p as usize,
+                FaultValue::StuckAt { pos, .. } => pos as usize,
+                FaultValue::Replace(_) => usize::MAX,
+            },
+        ]
+    }
+}
+
+/// The outcome of actually applying one fault during a run — the paper's
+/// second binary output file records "the fault locations and the
+/// original and altered values of the neuron/weight before and after the
+/// fault injection run" plus monitored NaN/Inf information.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppliedFault {
+    /// The fault that was applied.
+    pub record: FaultRecord,
+    /// Value before corruption.
+    pub original: f32,
+    /// Value after corruption.
+    pub corrupted: f32,
+    /// Bit-flip direction, when the fault was a bit flip.
+    pub direction: Option<FlipDirection>,
+}
+
+impl AppliedFault {
+    /// Whether the corruption produced a non-finite value (a DUE
+    /// precursor).
+    pub fn is_non_finite(&self) -> bool {
+        !self.corrupted.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> FaultRecord {
+        FaultRecord {
+            batch: 1,
+            layer: 4,
+            channel: 7,
+            channel_in: 2,
+            depth: None,
+            height: 3,
+            width: 9,
+            value: FaultValue::BitFlip(30),
+        }
+    }
+
+    #[test]
+    fn column_layout_matches_table_i() {
+        let c = record().as_column();
+        assert_eq!(c[0], 1); // batch
+        assert_eq!(c[1], 4); // layer
+        assert_eq!(c[2], 7); // channel
+        assert_eq!(c[3], usize::MAX); // no depth (not conv3d)
+        assert_eq!(c[4], 3); // height
+        assert_eq!(c[5], 9); // width
+        assert_eq!(c[6], 30); // bit position
+    }
+
+    #[test]
+    fn conv3d_column_carries_depth() {
+        let mut r = record();
+        r.depth = Some(5);
+        assert_eq!(r.as_column()[3], 5);
+    }
+
+    #[test]
+    fn replace_value_has_sentinel_tag() {
+        let mut r = record();
+        r.value = FaultValue::Replace(3.5);
+        assert_eq!(r.as_column()[6], usize::MAX);
+    }
+
+    #[test]
+    fn applied_fault_flags_non_finite() {
+        let a = AppliedFault {
+            record: record(),
+            original: 1.0,
+            corrupted: f32::INFINITY,
+            direction: Some(FlipDirection::ZeroToOne),
+        };
+        assert!(a.is_non_finite());
+        let b = AppliedFault { corrupted: 2.0, ..a };
+        assert!(!b.is_non_finite());
+    }
+}

@@ -1,0 +1,712 @@
+//! The fault-injection engine: arming faults on networks and the
+//! faulty-model iterator.
+//!
+//! Neuron faults are applied through forward hooks that corrupt the
+//! layer's output tensor in place at inference time (mirroring
+//! PyTorchFI's hook mechanism, §II); weight faults mutate layer
+//! parameters directly and are reverted bit-exactly when disarmed
+//! (transient) or left sticky (permanent).
+
+use crate::error::CoreError;
+use crate::fault::{AppliedFault, FaultRecord, FaultValue};
+use crate::matrix::{resolve_targets, FaultMatrix, LayerTarget};
+use alfi_nn::{ForwardHook, HookHandle, LayerCtx, Network, NodeId};
+use alfi_scenario::{FaultDuration, InjectionTarget, Scenario};
+use alfi_tensor::bits::{flip_bit_traced, set_bit, FlipDirection};
+use alfi_tensor::Tensor;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Applies one fault value to a scalar, returning the corrupted value and
+/// the flip direction when applicable.
+pub fn corrupt_value(original: f32, value: FaultValue) -> (f32, Option<FlipDirection>) {
+    match value {
+        FaultValue::BitFlip(pos) => {
+            let (v, d) = flip_bit_traced(original, pos);
+            (v, Some(d))
+        }
+        FaultValue::StuckAt { pos, high } => (set_bit(original, pos, high), None),
+        FaultValue::Replace(v) => (v, None),
+    }
+}
+
+/// Computes the flat index of a neuron fault within an output tensor,
+/// or `None` if the coordinates fall outside the actual shape (e.g. a
+/// partial final batch) — such faults are skipped and counted.
+pub fn neuron_flat_index(record: &FaultRecord, dims: &[usize]) -> Option<usize> {
+    let coords: Vec<usize> = match dims.len() {
+        2 => vec![record.batch, record.width],
+        4 => vec![record.batch, record.channel, record.height, record.width],
+        5 => vec![
+            record.batch,
+            record.channel,
+            record.depth.unwrap_or(0),
+            record.height,
+            record.width,
+        ],
+        _ => return None,
+    };
+    let mut flat = 0usize;
+    for (c, d) in coords.iter().zip(dims.iter()) {
+        if c >= d {
+            return None;
+        }
+        flat = flat * d + c;
+    }
+    Some(flat)
+}
+
+/// Hook applying a set of neuron faults to one node's output.
+///
+/// The hook records every application (original/corrupted value, flip
+/// direction) behind a mutex so the campaign can persist the run trace —
+/// matching the paper's second binary output file.
+#[derive(Debug)]
+pub struct NeuronFaultHook {
+    faults: Vec<FaultRecord>,
+    log: Mutex<Vec<AppliedFault>>,
+    skipped: Mutex<usize>,
+}
+
+impl NeuronFaultHook {
+    /// Creates a hook applying the given faults.
+    pub fn new(faults: Vec<FaultRecord>) -> Self {
+        NeuronFaultHook { faults, log: Mutex::new(Vec::new()), skipped: Mutex::new(0) }
+    }
+
+    /// Drains the application log.
+    pub fn take_log(&self) -> Vec<AppliedFault> {
+        std::mem::take(&mut self.log.lock())
+    }
+
+    /// Number of faults skipped because their coordinates were out of
+    /// bounds for the actual runtime tensor shape.
+    pub fn skipped(&self) -> usize {
+        *self.skipped.lock()
+    }
+}
+
+impl ForwardHook for NeuronFaultHook {
+    fn on_output(&self, _ctx: &LayerCtx, output: &mut Tensor) {
+        let dims = output.dims().to_vec();
+        for record in &self.faults {
+            match neuron_flat_index(record, &dims) {
+                Some(flat) => {
+                    let data = output.data_mut();
+                    let original = data[flat];
+                    let (corrupted, direction) = corrupt_value(original, record.value);
+                    data[flat] = corrupted;
+                    self.log.lock().push(AppliedFault {
+                        record: *record,
+                        original,
+                        corrupted,
+                        direction,
+                    });
+                }
+                None => *self.skipped.lock() += 1,
+            }
+        }
+    }
+}
+
+/// Computes the index of a weight fault within a weight tensor.
+fn weight_index(record: &FaultRecord, dims: &[usize]) -> Result<Vec<usize>, CoreError> {
+    let coords: Vec<usize> = match dims.len() {
+        2 => vec![record.channel, record.width],
+        4 => vec![record.channel, record.channel_in, record.height, record.width],
+        5 => vec![
+            record.channel,
+            record.channel_in,
+            record.depth.unwrap_or(0),
+            record.height,
+            record.width,
+        ],
+        _ => {
+            return Err(CoreError::FaultOutOfBounds {
+                detail: format!("weight rank {} unsupported", dims.len()),
+            })
+        }
+    };
+    for (c, d) in coords.iter().zip(dims.iter()) {
+        if c >= d {
+            return Err(CoreError::FaultOutOfBounds {
+                detail: format!("weight coords {coords:?} vs dims {dims:?}"),
+            });
+        }
+    }
+    Ok(coords)
+}
+
+/// Faults armed on a set of networks; dropping *without* calling
+/// [`ArmedFaults::disarm`] leaves them active (the permanent-fault case).
+#[derive(Debug)]
+pub struct ArmedFaults {
+    /// (net_idx, node_id, weight coords, original value) for exact revert.
+    weight_undo: Vec<(usize, NodeId, Vec<usize>, f32)>,
+    weight_log: Vec<AppliedFault>,
+    hooks: Vec<(usize, HookHandle, Arc<NeuronFaultHook>)>,
+}
+
+impl ArmedFaults {
+    /// Applied weight faults (available immediately) plus all neuron
+    /// fault applications logged so far (drained from the hooks).
+    pub fn collect_applied(&self) -> Vec<AppliedFault> {
+        let mut out = self.weight_log.clone();
+        for (_, _, hook) in &self.hooks {
+            out.extend(hook.take_log());
+        }
+        out
+    }
+
+    /// Total neuron faults skipped due to out-of-bounds coordinates.
+    pub fn skipped_neuron_faults(&self) -> usize {
+        self.hooks.iter().map(|(_, _, h)| h.skipped()).sum()
+    }
+
+    /// Reverts weight faults bit-exactly and removes neuron hooks.
+    ///
+    /// `networks` must be the same networks (same order) the faults were
+    /// armed on.
+    pub fn disarm(self, networks: &mut [&mut Network]) {
+        // Revert in reverse order so overlapping faults restore correctly.
+        for (net_idx, node_id, coords, original) in self.weight_undo.into_iter().rev() {
+            if let Ok(layer) = networks[net_idx].layer_mut(node_id) {
+                if let Some(w) = layer.weight_mut() {
+                    w.set(&coords, original);
+                }
+            }
+        }
+        for (net_idx, handle, _) in self.hooks {
+            networks[net_idx].remove_hook(handle);
+        }
+    }
+}
+
+/// Arms a set of fault records on networks, given the resolved targets
+/// the records' layer indices refer to.
+///
+/// Weight faults are applied immediately; neuron faults register hooks
+/// that fire on every subsequent forward pass until disarmed.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FaultOutOfBounds`] if a weight fault addresses
+/// coordinates outside its layer's weight tensor, or if a record's layer
+/// index is out of range for `targets`.
+pub fn arm_faults(
+    networks: &mut [&mut Network],
+    targets: &[LayerTarget],
+    faults: &[FaultRecord],
+    target_kind: InjectionTarget,
+) -> Result<ArmedFaults, CoreError> {
+    let mut armed = ArmedFaults { weight_undo: Vec::new(), weight_log: Vec::new(), hooks: Vec::new() };
+    match target_kind {
+        InjectionTarget::Weights => {
+            for record in faults {
+                let t = targets.get(record.layer).ok_or_else(|| CoreError::FaultOutOfBounds {
+                    detail: format!("layer index {} out of range", record.layer),
+                })?;
+                let coords = weight_index(record, &t.weight_dims)?;
+                let layer = networks[t.net_idx].layer_mut(t.node_id)?;
+                let w = layer.weight_mut().ok_or_else(|| CoreError::FaultOutOfBounds {
+                    detail: format!("node {} has no weights", t.node_id),
+                })?;
+                let original = w.get(&coords);
+                let (corrupted, direction) = corrupt_value(original, record.value);
+                w.set(&coords, corrupted);
+                armed.weight_undo.push((t.net_idx, t.node_id, coords, original));
+                armed.weight_log.push(AppliedFault { record: *record, original, corrupted, direction });
+            }
+        }
+        InjectionTarget::Neurons => {
+            // Group faults by (net, node) so each node gets one hook.
+            let mut by_node: Vec<((usize, NodeId), Vec<FaultRecord>)> = Vec::new();
+            for record in faults {
+                let t = targets.get(record.layer).ok_or_else(|| CoreError::FaultOutOfBounds {
+                    detail: format!("layer index {} out of range", record.layer),
+                })?;
+                let key = (t.net_idx, t.node_id);
+                match by_node.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, v)) => v.push(*record),
+                    None => by_node.push((key, vec![*record])),
+                }
+            }
+            for ((net_idx, node_id), records) in by_node {
+                let hook = Arc::new(NeuronFaultHook::new(records));
+                let handle = networks[net_idx]
+                    .register_hook(node_id, Arc::<NeuronFaultHook>::clone(&hook))?;
+                armed.hooks.push((net_idx, handle, hook));
+            }
+        }
+    }
+    Ok(armed)
+}
+
+/// A faulty model instance produced by the iterator: a clone of the
+/// original network with one fault slot armed. The original stays
+/// pristine, so "synchronized inference ... of separate DNN instances"
+/// (fault-free vs faulty) is a matter of calling both.
+#[derive(Debug)]
+pub struct FaultyModel {
+    network: Network,
+    armed: ArmedFaults,
+    /// The faults this instance carries.
+    pub faults: Vec<FaultRecord>,
+}
+
+impl FaultyModel {
+    /// Runs the faulty network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network evaluation errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, CoreError> {
+        Ok(self.network.forward(input)?)
+    }
+
+    /// The underlying faulty network (hooks armed).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Applied-fault log: weight corruptions plus every neuron corruption
+    /// performed by forward passes so far.
+    pub fn applied_faults(&self) -> Vec<AppliedFault> {
+        self.armed.collect_applied()
+    }
+
+    /// Neuron faults skipped because of shape mismatches.
+    pub fn skipped_faults(&self) -> usize {
+        self.armed.skipped_neuron_faults()
+    }
+}
+
+/// The `ptfiwrap` equivalent: owns the pristine model, the scenario and
+/// the pre-generated fault matrix, and hands out faulty model instances
+/// (paper Listing 1: `wrapper.get_fimodel_iter()` /
+/// `next(fault_iter)`).
+///
+/// # Example
+///
+/// ```
+/// use alfi_core::Ptfiwrap;
+/// use alfi_nn::models::{alexnet, ModelConfig};
+/// use alfi_scenario::Scenario;
+///
+/// let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+/// let model = alexnet(&cfg);
+/// let mut scenario = Scenario::default();
+/// scenario.dataset_size = 4;
+/// let mut wrapper = Ptfiwrap::new(&model, scenario, &cfg.input_dims(1))?;
+/// let faulty = wrapper.next_faulty_model()?;
+/// assert_eq!(faulty.faults.len(), 1);
+/// # Ok::<(), alfi_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Ptfiwrap {
+    model: Network,
+    scenario: Scenario,
+    input_dims: Vec<usize>,
+    targets: Vec<LayerTarget>,
+    matrix: FaultMatrix,
+    cursor: usize,
+    /// Accumulated fault records for permanent-fault runs.
+    permanent_accum: Vec<FaultRecord>,
+}
+
+impl Ptfiwrap {
+    /// Creates a wrapper around `model`, resolving the scenario's layer
+    /// filter and pre-generating the full fault matrix.
+    ///
+    /// `input_dims` is the reference input shape (batch included) used
+    /// for neuron-coordinate bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario/model resolution errors.
+    pub fn new(model: &Network, scenario: Scenario, input_dims: &[usize]) -> Result<Self, CoreError> {
+        let targets = resolve_targets(&[model], &scenario, &[Some(input_dims.to_vec())])?;
+        let matrix = FaultMatrix::generate(&scenario, &targets)?;
+        Ok(Ptfiwrap {
+            model: model.clone(),
+            scenario,
+            input_dims: input_dims.to_vec(),
+            targets,
+            matrix,
+            cursor: 0,
+            permanent_accum: Vec::new(),
+        })
+    }
+
+    /// Creates a wrapper replaying a previously persisted fault matrix
+    /// instead of generating a new one — the paper's `fault_file`
+    /// parameter ("the identical set of faults can be utilized across
+    /// various experiments").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix's injection target disagrees with
+    /// the scenario, or on resolution failure.
+    pub fn with_fault_matrix(
+        model: &Network,
+        scenario: Scenario,
+        input_dims: &[usize],
+        matrix: FaultMatrix,
+    ) -> Result<Self, CoreError> {
+        if matrix.target != scenario.injection_target {
+            return Err(CoreError::CorruptFile {
+                kind: "fault",
+                reason: format!(
+                    "matrix target {:?} disagrees with scenario target {:?}",
+                    matrix.target, scenario.injection_target
+                ),
+            });
+        }
+        let targets = resolve_targets(&[model], &scenario, &[Some(input_dims.to_vec())])?;
+        Ok(Ptfiwrap {
+            model: model.clone(),
+            scenario,
+            input_dims: input_dims.to_vec(),
+            targets,
+            matrix,
+            cursor: 0,
+            permanent_accum: Vec::new(),
+        })
+    }
+
+    /// Creates a wrapper from the conventional `scenarios/default.yml`
+    /// file (the paper's Listing-1 contract: "the code expects the file
+    /// `default.yml` inside folder `scenarios`"), resolved relative to
+    /// the current working directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario-file and resolution errors.
+    pub fn from_default_scenario(model: &Network, input_dims: &[usize]) -> Result<Self, CoreError> {
+        let scenario = Scenario::load("scenarios/default.yml")?;
+        Ptfiwrap::new(model, scenario, input_dims)
+    }
+
+    /// The current scenario (the paper's `wrapper.get_scenario()`).
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Replaces the scenario, re-resolving targets, regenerating the
+    /// fault matrix and resetting the cursor (the paper's
+    /// `wrapper.set_scenario()`, used for layer sweeps and other
+    /// iterative experiments without manual reconfiguration).
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution/generation errors; on error the old state is
+    /// retained.
+    pub fn set_scenario(&mut self, scenario: Scenario) -> Result<(), CoreError> {
+        let targets = resolve_targets(&[&self.model], &scenario, &[Some(self.input_dims.clone())])?;
+        let matrix = FaultMatrix::generate(&scenario, &targets)?;
+        self.scenario = scenario;
+        self.targets = targets;
+        self.matrix = matrix;
+        self.cursor = 0;
+        self.permanent_accum.clear();
+        Ok(())
+    }
+
+    /// The pristine model.
+    pub fn model(&self) -> &Network {
+        &self.model
+    }
+
+    /// The resolved injection targets.
+    pub fn targets(&self) -> &[LayerTarget] {
+        &self.targets
+    }
+
+    /// The pre-generated fault matrix.
+    pub fn fault_matrix(&self) -> &FaultMatrix {
+        &self.matrix
+    }
+
+    /// Remaining fault slots.
+    pub fn remaining_slots(&self) -> usize {
+        self.matrix.num_slots().saturating_sub(self.cursor)
+    }
+
+    /// Produces the next faulty model instance: a clone of the pristine
+    /// model with the next fault slot armed. For permanent-fault
+    /// scenarios faults accumulate across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MatrixExhausted`] when all slots are used.
+    pub fn next_faulty_model(&mut self) -> Result<FaultyModel, CoreError> {
+        if self.cursor >= self.matrix.num_slots() {
+            return Err(CoreError::MatrixExhausted);
+        }
+        let slot: Vec<FaultRecord> = self.matrix.faults_for_slot(self.cursor).to_vec();
+        self.cursor += 1;
+        let active: Vec<FaultRecord> = match self.scenario.fault_duration {
+            FaultDuration::Transient => slot.clone(),
+            FaultDuration::Permanent => {
+                self.permanent_accum.extend_from_slice(&slot);
+                self.permanent_accum.clone()
+            }
+        };
+        let mut network = self.model.clone();
+        let armed = {
+            let mut nets = [&mut network];
+            arm_faults(&mut nets, &self.targets, &active, self.scenario.injection_target)?
+        };
+        Ok(FaultyModel { network, armed, faults: active })
+    }
+
+    /// An iterator over faulty models (the paper's `get_fimodel_iter`).
+    /// Yields until the fault matrix is exhausted; arming errors end the
+    /// iteration (inspect [`Ptfiwrap::next_faulty_model`] directly for
+    /// error details).
+    pub fn fimodel_iter(&mut self) -> FimodelIter<'_> {
+        FimodelIter { wrapper: self }
+    }
+}
+
+/// Iterator over faulty model instances. See [`Ptfiwrap::fimodel_iter`].
+#[derive(Debug)]
+pub struct FimodelIter<'a> {
+    wrapper: &'a mut Ptfiwrap,
+}
+
+impl Iterator for FimodelIter<'_> {
+    type Item = FaultyModel;
+
+    fn next(&mut self) -> Option<FaultyModel> {
+        self.wrapper.next_faulty_model().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfi_nn::models::{alexnet, ModelConfig};
+    use alfi_scenario::{FaultCount, FaultMode};
+
+    fn model_cfg() -> ModelConfig {
+        ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() }
+    }
+
+    fn scenario() -> Scenario {
+        Scenario { dataset_size: 6, batch_size: 1, ..Scenario::default() }
+    }
+
+    #[test]
+    fn corrupt_value_covers_all_modes() {
+        let (v, d) = corrupt_value(1.0, FaultValue::BitFlip(31));
+        assert_eq!(v, -1.0);
+        assert_eq!(d, Some(FlipDirection::ZeroToOne));
+        let (v, d) = corrupt_value(1.0, FaultValue::StuckAt { pos: 23, high: true });
+        assert_eq!(v, 1.0); // bit already set
+        assert_eq!(d, None);
+        let (v, _) = corrupt_value(1.0, FaultValue::Replace(9.0));
+        assert_eq!(v, 9.0);
+    }
+
+    #[test]
+    fn neuron_flat_index_matches_row_major() {
+        let r = FaultRecord {
+            batch: 1,
+            layer: 0,
+            channel: 2,
+            channel_in: 0,
+            depth: None,
+            height: 3,
+            width: 4,
+            value: FaultValue::BitFlip(0),
+        };
+        let dims = [2usize, 3, 5, 6];
+        let flat = neuron_flat_index(&r, &dims).unwrap();
+        assert_eq!(flat, ((3 + 2) * 5 + 3) * 6 + 4);
+        // out of bounds -> None
+        let mut r2 = r;
+        r2.batch = 2;
+        assert_eq!(neuron_flat_index(&r2, &dims), None);
+    }
+
+    #[test]
+    fn weight_fault_changes_output_and_disarm_restores_bit_exactly() {
+        let model = alexnet(&model_cfg());
+        let mut s = scenario();
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let mut wrapper = Ptfiwrap::new(&model, s, &model_cfg().input_dims(1)).unwrap();
+        let x = Tensor::ones(&model_cfg().input_dims(1));
+        let clean = model.forward(&x).unwrap();
+        let faulty = wrapper.next_faulty_model().unwrap();
+        let out = faulty.forward(&x).unwrap();
+        // The corrupted weight is logged with original != corrupted.
+        let log = faulty.applied_faults();
+        assert_eq!(log.len(), 1);
+        assert_ne!(log[0].original.to_bits(), log[0].corrupted.to_bits());
+        // Original model must be untouched.
+        assert_eq!(model.forward(&x).unwrap().data(), clean.data());
+        // (out may or may not differ depending on masking; just ensure it ran)
+        assert_eq!(out.dims(), clean.dims());
+    }
+
+    #[test]
+    fn neuron_fault_corrupts_only_during_forward() {
+        let model = alexnet(&model_cfg());
+        let mut s = scenario();
+        s.injection_target = InjectionTarget::Neurons;
+        s.fault_mode = FaultMode::RandomValue { min: 1000.0, max: 1000.1 };
+        let mut wrapper = Ptfiwrap::new(&model, s, &model_cfg().input_dims(1)).unwrap();
+        let faulty = wrapper.next_faulty_model().unwrap();
+        assert!(faulty.applied_faults().is_empty(), "no application before forward");
+        let x = Tensor::ones(&model_cfg().input_dims(1));
+        faulty.forward(&x).unwrap();
+        let log = faulty.applied_faults();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].corrupted, log[0].record_replace_value());
+    }
+
+    impl AppliedFault {
+        fn record_replace_value(&self) -> f32 {
+            match self.record.value {
+                FaultValue::Replace(v) => v,
+                _ => panic!("expected replace"),
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_yields_all_slots_then_stops() {
+        let model = alexnet(&model_cfg());
+        let mut s = scenario();
+        s.dataset_size = 4;
+        s.faults_per_image = FaultCount::Fixed(2);
+        let mut wrapper = Ptfiwrap::new(&model, s, &model_cfg().input_dims(1)).unwrap();
+        assert_eq!(wrapper.remaining_slots(), 4);
+        let count = wrapper.fimodel_iter().count();
+        assert_eq!(count, 4);
+        assert!(matches!(wrapper.next_faulty_model(), Err(CoreError::MatrixExhausted)));
+    }
+
+    #[test]
+    fn each_slot_gets_distinct_faults() {
+        let model = alexnet(&model_cfg());
+        let mut wrapper = Ptfiwrap::new(&model, scenario(), &model_cfg().input_dims(1)).unwrap();
+        let a = wrapper.next_faulty_model().unwrap().faults;
+        let b = wrapper.next_faulty_model().unwrap().faults;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn permanent_faults_accumulate() {
+        let model = alexnet(&model_cfg());
+        let mut s = scenario();
+        s.fault_duration = FaultDuration::Permanent;
+        s.injection_target = InjectionTarget::Weights;
+        let mut wrapper = Ptfiwrap::new(&model, s, &model_cfg().input_dims(1)).unwrap();
+        assert_eq!(wrapper.next_faulty_model().unwrap().faults.len(), 1);
+        assert_eq!(wrapper.next_faulty_model().unwrap().faults.len(), 2);
+        assert_eq!(wrapper.next_faulty_model().unwrap().faults.len(), 3);
+    }
+
+    #[test]
+    fn set_scenario_regenerates_and_resets() {
+        let model = alexnet(&model_cfg());
+        let mut wrapper = Ptfiwrap::new(&model, scenario(), &model_cfg().input_dims(1)).unwrap();
+        wrapper.next_faulty_model().unwrap();
+        let old_matrix = wrapper.fault_matrix().clone();
+        let mut s2 = scenario();
+        s2.seed = 99;
+        wrapper.set_scenario(s2).unwrap();
+        assert_eq!(wrapper.remaining_slots(), wrapper.fault_matrix().num_slots());
+        assert_ne!(&old_matrix, wrapper.fault_matrix());
+    }
+
+    #[test]
+    fn replayed_matrix_reproduces_identical_corruptions() {
+        let model = alexnet(&model_cfg());
+        let mut s = scenario();
+        s.injection_target = InjectionTarget::Weights;
+        let mut w1 = Ptfiwrap::new(&model, s.clone(), &model_cfg().input_dims(1)).unwrap();
+        let matrix = w1.fault_matrix().clone();
+        let f1 = w1.next_faulty_model().unwrap();
+        let log1 = f1.applied_faults();
+
+        let mut w2 =
+            Ptfiwrap::with_fault_matrix(&model, s, &model_cfg().input_dims(1), matrix).unwrap();
+        let f2 = w2.next_faulty_model().unwrap();
+        let log2 = f2.applied_faults();
+        assert_eq!(log1, log2);
+    }
+
+    #[test]
+    fn with_fault_matrix_rejects_target_mismatch() {
+        let model = alexnet(&model_cfg());
+        let mut s = scenario();
+        s.injection_target = InjectionTarget::Weights;
+        let w = Ptfiwrap::new(&model, s.clone(), &model_cfg().input_dims(1)).unwrap();
+        let matrix = w.fault_matrix().clone();
+        s.injection_target = InjectionTarget::Neurons;
+        assert!(Ptfiwrap::with_fault_matrix(&model, s, &model_cfg().input_dims(1), matrix).is_err());
+    }
+
+    #[test]
+    fn arm_disarm_round_trip_is_bit_exact() {
+        let mut model = alexnet(&model_cfg());
+        let snapshot: Vec<Vec<f32>> = model
+            .nodes()
+            .iter()
+            .filter_map(|n| n.layer.weight().map(|w| w.data().to_vec()))
+            .collect();
+        let mut s = scenario();
+        s.injection_target = InjectionTarget::Weights;
+        s.dataset_size = 1;
+        s.faults_per_image = FaultCount::Fixed(8);
+        let targets =
+            resolve_targets(&[&model], &s, &[Some(model_cfg().input_dims(1))]).unwrap();
+        let matrix = FaultMatrix::generate(&s, &targets).unwrap();
+        let armed = {
+            let mut nets = [&mut model];
+            arm_faults(&mut nets, &targets, &matrix.records, InjectionTarget::Weights).unwrap()
+        };
+        assert_eq!(armed.collect_applied().len(), 8);
+        {
+            let mut nets = [&mut model];
+            armed.disarm(&mut nets);
+        }
+        let restored: Vec<Vec<f32>> = model
+            .nodes()
+            .iter()
+            .filter_map(|n| n.layer.weight().map(|w| w.data().to_vec()))
+            .collect();
+        for (a, b) in snapshot.iter().zip(restored.iter()) {
+            let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ab, bb);
+        }
+    }
+
+    #[test]
+    fn neuron_hook_skips_out_of_bounds_batches() {
+        let model = alexnet(&model_cfg());
+        let mut s = scenario();
+        s.injection_target = InjectionTarget::Neurons;
+        s.batch_size = 4; // faults may target batch index up to 3
+        let mut wrapper = Ptfiwrap::new(&model, s, &model_cfg().input_dims(4)).unwrap();
+        // Find a slot whose fault targets batch > 0, then run batch of 1.
+        loop {
+            let faulty = match wrapper.next_faulty_model() {
+                Ok(f) => f,
+                Err(_) => break,
+            };
+            if faulty.faults[0].batch > 0 {
+                faulty.forward(&Tensor::ones(&model_cfg().input_dims(1))).unwrap();
+                assert_eq!(faulty.skipped_faults(), 1);
+                assert!(faulty.applied_faults().is_empty());
+                return;
+            }
+        }
+        panic!("no fault with batch > 0 generated");
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! # alfi-core
+//!
+//! The fault-injection core of ALFI — a Rust reproduction of
+//! PyTorchALFI's `alficore` (Gräfe et al., DSN 2023).
+//!
+//! Pipeline:
+//!
+//! 1. A [`Scenario`](alfi_scenario::Scenario) (from `default.yml`)
+//!    describes the campaign: neuron vs weight faults, fault model, layer
+//!    filters, counts and policies.
+//! 2. [`matrix`] resolves the model's injectable layers, weights them by
+//!    relative size (paper Eq. 1) and pre-generates the full fault matrix
+//!    (`n = dataset_size · num_runs · faults_per_image`).
+//! 3. [`injector`] arms faults: neuron faults via in-place forward hooks,
+//!    weight faults via direct parameter mutation with bit-exact revert.
+//!    [`Ptfiwrap`] is the paper's Listing-1 wrapper with
+//!    `fimodel_iter()`.
+//! 4. [`monitor`] observes NaN/Inf occurrences (DUE) and activation
+//!    ranges (mitigation profiling).
+//! 5. [`persist`] stores the fault matrix and the applied-fault trace as
+//!    versioned, checksummed binary files for exact replay.
+//! 6. [`campaign`] runs the high-level `TestErrorModels_*` flows over
+//!    classification and detection models.
+//! 7. [`baseline`] reimplements plain PyTorchFI-style ad-hoc injection as
+//!    the efficiency comparator.
+//!
+//! # Example
+//!
+//! ```
+//! use alfi_core::Ptfiwrap;
+//! use alfi_nn::models::{vgg16, ModelConfig};
+//! use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
+//! use alfi_tensor::Tensor;
+//!
+//! let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+//! let model = vgg16(&cfg);
+//! let mut scenario = Scenario::default();
+//! scenario.dataset_size = 2;
+//! scenario.injection_target = InjectionTarget::Weights;
+//! scenario.fault_mode = FaultMode::exponent_bit_flip();
+//!
+//! let mut wrapper = Ptfiwrap::new(&model, scenario, &cfg.input_dims(1))?;
+//! let x = Tensor::ones(&cfg.input_dims(1));
+//! for faulty in wrapper.fimodel_iter() {
+//!     let orig = model.forward(&x)?;
+//!     let corr = faulty.forward(&x)?;
+//!     assert_eq!(orig.dims(), corr.dims());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod baseline;
+pub mod campaign;
+pub mod error;
+pub mod fault;
+pub mod injector;
+pub mod matrix;
+pub mod monitor;
+pub mod persist;
+pub mod sweep;
+
+pub use error::CoreError;
+pub use fault::{AppliedFault, FaultRecord, FaultValue};
+pub use injector::{arm_faults, corrupt_value, ArmedFaults, FaultyModel, FimodelIter, Ptfiwrap};
+pub use matrix::{layer_weights, resolve_targets, FaultMatrix, LayerTarget};
+pub use monitor::{attach_monitor, NanInfCounts, NanInfMonitor, RangeMonitor};
+pub use sweep::ScenarioSweep;
+pub use persist::{
+    crc32, decode_fault_matrix, encode_fault_matrix, load_fault_matrix, save_fault_matrix,
+    RunTrace, TraceEntry,
+};

@@ -1,0 +1,513 @@
+//! Binary persistence of fault matrices and run traces.
+//!
+//! PyTorchALFI stores two binary files per campaign (§IV-B): the
+//! pre-generated fault matrix ("the identical set of faults can be
+//! utilized across various experiments") and a post-run trace with the
+//! original/altered values, bit-flip directions and NaN/Inf monitor
+//! counts for every applied fault. Both formats here are versioned,
+//! length-prefixed and CRC32-checksummed so that corrupted or truncated
+//! files are rejected instead of silently replaying wrong faults.
+
+use crate::error::CoreError;
+use crate::fault::{AppliedFault, FaultRecord, FaultValue};
+use crate::matrix::FaultMatrix;
+use alfi_scenario::InjectionTarget;
+use alfi_tensor::bits::FlipDirection;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::path::Path;
+
+const FAULT_MAGIC: &[u8; 8] = b"ALFIFLT1";
+const TRACE_MAGIC: &[u8; 8] = b"ALFITRC1";
+const FORMAT_VERSION: u32 = 1;
+
+/// Computes the CRC32 (IEEE 802.3 polynomial, reflected) of a byte slice.
+///
+/// Implemented locally — no checksum crate ships with the offline
+/// toolchain — and exercised against known vectors in the tests.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn put_record(buf: &mut BytesMut, r: &FaultRecord) {
+    buf.put_u32_le(r.batch as u32);
+    buf.put_u32_le(r.layer as u32);
+    buf.put_u32_le(r.channel as u32);
+    buf.put_u32_le(r.channel_in as u32);
+    match r.depth {
+        Some(d) => {
+            buf.put_u8(1);
+            buf.put_u32_le(d as u32);
+        }
+        None => {
+            buf.put_u8(0);
+            buf.put_u32_le(0);
+        }
+    }
+    buf.put_u32_le(r.height as u32);
+    buf.put_u32_le(r.width as u32);
+    match r.value {
+        FaultValue::BitFlip(p) => {
+            buf.put_u8(0);
+            buf.put_u8(p);
+            buf.put_u8(0);
+            buf.put_f32_le(0.0);
+        }
+        FaultValue::StuckAt { pos, high } => {
+            buf.put_u8(1);
+            buf.put_u8(pos);
+            buf.put_u8(u8::from(high));
+            buf.put_f32_le(0.0);
+        }
+        FaultValue::Replace(v) => {
+            buf.put_u8(2);
+            buf.put_u8(0);
+            buf.put_u8(0);
+            buf.put_f32_le(v);
+        }
+    }
+}
+
+fn get_record(buf: &mut Bytes) -> Result<FaultRecord, CoreError> {
+    if buf.remaining() < 4 * 6 + 1 + 1 + 1 + 1 + 4 {
+        return Err(CoreError::CorruptFile { kind: "fault", reason: "truncated record".into() });
+    }
+    let batch = buf.get_u32_le() as usize;
+    let layer = buf.get_u32_le() as usize;
+    let channel = buf.get_u32_le() as usize;
+    let channel_in = buf.get_u32_le() as usize;
+    let has_depth = buf.get_u8();
+    let depth_v = buf.get_u32_le() as usize;
+    let height = buf.get_u32_le() as usize;
+    let width = buf.get_u32_le() as usize;
+    let tag = buf.get_u8();
+    let pos = buf.get_u8();
+    let high = buf.get_u8();
+    let fval = buf.get_f32_le();
+    let value = match tag {
+        0 => FaultValue::BitFlip(pos),
+        1 => FaultValue::StuckAt { pos, high: high != 0 },
+        2 => FaultValue::Replace(fval),
+        t => {
+            return Err(CoreError::CorruptFile {
+                kind: "fault",
+                reason: format!("unknown value tag {t}"),
+            })
+        }
+    };
+    Ok(FaultRecord {
+        batch,
+        layer,
+        channel,
+        channel_in,
+        depth: (has_depth != 0).then_some(depth_v),
+        height,
+        width,
+        value,
+    })
+}
+
+/// Serializes a fault matrix to its binary wire form.
+pub fn encode_fault_matrix(m: &FaultMatrix) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    body.put_u8(match m.target {
+        InjectionTarget::Neurons => 0,
+        InjectionTarget::Weights => 1,
+    });
+    body.put_u32_le(m.faults_per_image as u32);
+    body.put_u64_le(m.records.len() as u64);
+    for r in &m.records {
+        put_record(&mut body, r);
+    }
+    let mut out = BytesMut::new();
+    out.put_slice(FAULT_MAGIC);
+    out.put_u32_le(FORMAT_VERSION);
+    out.put_u64_le(body.len() as u64);
+    out.put_u32_le(crc32(&body));
+    out.put_slice(&body);
+    out.to_vec()
+}
+
+/// Parses a binary fault matrix, validating magic, version, length and
+/// checksum.
+///
+/// # Errors
+///
+/// Returns [`CoreError::CorruptFile`] for any structural damage.
+pub fn decode_fault_matrix(data: &[u8]) -> Result<FaultMatrix, CoreError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 8 + 4 + 8 + 4 {
+        return Err(CoreError::CorruptFile { kind: "fault", reason: "file too short".into() });
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != FAULT_MAGIC {
+        return Err(CoreError::CorruptFile { kind: "fault", reason: "bad magic".into() });
+    }
+    let version = buf.get_u32_le();
+    if version != FORMAT_VERSION {
+        return Err(CoreError::CorruptFile {
+            kind: "fault",
+            reason: format!("unsupported version {version}"),
+        });
+    }
+    let body_len = buf.get_u64_le() as usize;
+    let checksum = buf.get_u32_le();
+    if buf.remaining() != body_len {
+        return Err(CoreError::CorruptFile {
+            kind: "fault",
+            reason: format!("body length mismatch: header says {body_len}, got {}", buf.remaining()),
+        });
+    }
+    if crc32(&buf) != checksum {
+        return Err(CoreError::CorruptFile { kind: "fault", reason: "checksum mismatch".into() });
+    }
+    let target = match buf.get_u8() {
+        0 => InjectionTarget::Neurons,
+        1 => InjectionTarget::Weights,
+        t => {
+            return Err(CoreError::CorruptFile {
+                kind: "fault",
+                reason: format!("unknown target tag {t}"),
+            })
+        }
+    };
+    let faults_per_image = buf.get_u32_le() as usize;
+    let n = buf.get_u64_le() as usize;
+    let mut records = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        records.push(get_record(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(CoreError::CorruptFile { kind: "fault", reason: "trailing bytes".into() });
+    }
+    Ok(FaultMatrix { records, target, faults_per_image })
+}
+
+/// Writes a fault matrix to a file.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Io`] on filesystem failure.
+pub fn save_fault_matrix(m: &FaultMatrix, path: impl AsRef<Path>) -> Result<(), CoreError> {
+    std::fs::write(path.as_ref(), encode_fault_matrix(m))?;
+    Ok(())
+}
+
+/// Reads and validates a fault matrix from a file.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Io`] on filesystem failure or
+/// [`CoreError::CorruptFile`] on validation failure.
+pub fn load_fault_matrix(path: impl AsRef<Path>) -> Result<FaultMatrix, CoreError> {
+    let data = std::fs::read(path.as_ref())?;
+    decode_fault_matrix(&data)
+}
+
+/// One trace entry: what actually happened when a fault was applied
+/// during inference, plus the per-inference NaN/Inf monitor counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Image id (from the dataset record) the fault was active for.
+    pub image_id: u64,
+    /// The application outcome (location, original/corrupted values,
+    /// flip direction).
+    pub applied: AppliedFault,
+    /// NaN values observed in the model output for this inference.
+    pub output_nan_count: u32,
+    /// Infinite values observed in the model output for this inference.
+    pub output_inf_count: u32,
+}
+
+/// A full run trace — the paper's "second binary file ... generated after
+/// the fault injection experiment".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTrace {
+    /// All applied-fault entries in application order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl RunTrace {
+    /// Serializes the trace to its binary wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = BytesMut::new();
+        body.put_u64_le(self.entries.len() as u64);
+        for e in &self.entries {
+            body.put_u64_le(e.image_id);
+            put_record(&mut body, &e.applied.record);
+            body.put_f32_le(e.applied.original);
+            body.put_f32_le(e.applied.corrupted);
+            body.put_u8(match e.applied.direction {
+                None => 0,
+                Some(FlipDirection::ZeroToOne) => 1,
+                Some(FlipDirection::OneToZero) => 2,
+            });
+            body.put_u32_le(e.output_nan_count);
+            body.put_u32_le(e.output_inf_count);
+        }
+        let mut out = BytesMut::new();
+        out.put_slice(TRACE_MAGIC);
+        out.put_u32_le(FORMAT_VERSION);
+        out.put_u64_le(body.len() as u64);
+        out.put_u32_le(crc32(&body));
+        out.put_slice(&body);
+        out.to_vec()
+    }
+
+    /// Parses and validates a binary trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CorruptFile`] for any structural damage.
+    pub fn decode(data: &[u8]) -> Result<RunTrace, CoreError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        if buf.remaining() < 8 + 4 + 8 + 4 {
+            return Err(CoreError::CorruptFile { kind: "trace", reason: "file too short".into() });
+        }
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != TRACE_MAGIC {
+            return Err(CoreError::CorruptFile { kind: "trace", reason: "bad magic".into() });
+        }
+        let version = buf.get_u32_le();
+        if version != FORMAT_VERSION {
+            return Err(CoreError::CorruptFile {
+                kind: "trace",
+                reason: format!("unsupported version {version}"),
+            });
+        }
+        let body_len = buf.get_u64_le() as usize;
+        let checksum = buf.get_u32_le();
+        if buf.remaining() != body_len {
+            return Err(CoreError::CorruptFile { kind: "trace", reason: "body length mismatch".into() });
+        }
+        if crc32(&buf) != checksum {
+            return Err(CoreError::CorruptFile { kind: "trace", reason: "checksum mismatch".into() });
+        }
+        let n = buf.get_u64_le() as usize;
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            if buf.remaining() < 8 {
+                return Err(CoreError::CorruptFile { kind: "trace", reason: "truncated entry".into() });
+            }
+            let image_id = buf.get_u64_le();
+            let record = get_record(&mut buf).map_err(|_| CoreError::CorruptFile {
+                kind: "trace",
+                reason: "truncated record".into(),
+            })?;
+            if buf.remaining() < 4 + 4 + 1 + 4 + 4 {
+                return Err(CoreError::CorruptFile { kind: "trace", reason: "truncated entry".into() });
+            }
+            let original = buf.get_f32_le();
+            let corrupted = buf.get_f32_le();
+            let direction = match buf.get_u8() {
+                0 => None,
+                1 => Some(FlipDirection::ZeroToOne),
+                2 => Some(FlipDirection::OneToZero),
+                t => {
+                    return Err(CoreError::CorruptFile {
+                        kind: "trace",
+                        reason: format!("unknown direction tag {t}"),
+                    })
+                }
+            };
+            let output_nan_count = buf.get_u32_le();
+            let output_inf_count = buf.get_u32_le();
+            entries.push(TraceEntry {
+                image_id,
+                applied: AppliedFault { record, original, corrupted, direction },
+                output_nan_count,
+                output_inf_count,
+            });
+        }
+        if buf.has_remaining() {
+            return Err(CoreError::CorruptFile { kind: "trace", reason: "trailing bytes".into() });
+        }
+        Ok(RunTrace { entries })
+    }
+
+    /// Writes the trace to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        std::fs::write(path.as_ref(), self.encode())?;
+        Ok(())
+    }
+
+    /// Reads and validates a trace from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] or [`CoreError::CorruptFile`].
+    pub fn load(path: impl AsRef<Path>) -> Result<RunTrace, CoreError> {
+        let data = std::fs::read(path.as_ref())?;
+        RunTrace::decode(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> FaultMatrix {
+        FaultMatrix {
+            records: vec![
+                FaultRecord {
+                    batch: 0,
+                    layer: 3,
+                    channel: 5,
+                    channel_in: 2,
+                    depth: None,
+                    height: 1,
+                    width: 2,
+                    value: FaultValue::BitFlip(30),
+                },
+                FaultRecord {
+                    batch: 1,
+                    layer: 0,
+                    channel: 0,
+                    channel_in: 0,
+                    depth: Some(4),
+                    height: 0,
+                    width: 7,
+                    value: FaultValue::StuckAt { pos: 23, high: false },
+                },
+                FaultRecord {
+                    batch: 2,
+                    layer: 7,
+                    channel: 9,
+                    channel_in: 0,
+                    depth: None,
+                    height: 0,
+                    width: 0,
+                    value: FaultValue::Replace(-123.5),
+                },
+            ],
+            target: InjectionTarget::Weights,
+            faults_per_image: 3,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn fault_matrix_round_trips() {
+        let m = sample_matrix();
+        let bytes = encode_fault_matrix(&m);
+        let back = decode_fault_matrix(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn bitflip_in_file_is_detected() {
+        let m = sample_matrix();
+        let mut bytes = encode_fault_matrix(&m);
+        // corrupt one body byte
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = decode_fault_matrix(&bytes).unwrap_err();
+        assert!(matches!(err, CoreError::CorruptFile { kind: "fault", .. }));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let m = sample_matrix();
+        let bytes = encode_fault_matrix(&m);
+        for cut in [0, 10, bytes.len() - 5] {
+            assert!(decode_fault_matrix(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let m = sample_matrix();
+        let mut bytes = encode_fault_matrix(&m);
+        bytes[0] = b'X';
+        assert!(decode_fault_matrix(&bytes).is_err());
+        let mut bytes = encode_fault_matrix(&m);
+        bytes[8] = 99; // version
+        assert!(decode_fault_matrix(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("alfi_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faults.bin");
+        let m = sample_matrix();
+        save_fault_matrix(&m, &path).unwrap();
+        assert_eq!(load_fault_matrix(&path).unwrap(), m);
+        assert!(load_fault_matrix(dir.join("missing.bin")).is_err());
+    }
+
+    #[test]
+    fn trace_round_trips_with_all_directions() {
+        let m = sample_matrix();
+        let trace = RunTrace {
+            entries: vec![
+                TraceEntry {
+                    image_id: 42,
+                    applied: AppliedFault {
+                        record: m.records[0],
+                        original: 1.5,
+                        corrupted: 3.0e38,
+                        direction: Some(FlipDirection::ZeroToOne),
+                    },
+                    output_nan_count: 0,
+                    output_inf_count: 2,
+                },
+                TraceEntry {
+                    image_id: 43,
+                    applied: AppliedFault {
+                        record: m.records[2],
+                        original: -0.25,
+                        corrupted: -123.5,
+                        direction: None,
+                    },
+                    output_nan_count: 1,
+                    output_inf_count: 0,
+                },
+            ],
+        };
+        let back = RunTrace::decode(&trace.encode()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn trace_corruption_is_detected() {
+        let trace = RunTrace { entries: vec![] };
+        let mut bytes = trace.encode();
+        bytes[9] ^= 1; // version field
+        assert!(RunTrace::decode(&bytes).is_err());
+        // fault magic is not trace magic
+        let m = sample_matrix();
+        assert!(RunTrace::decode(&encode_fault_matrix(&m)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_and_trace_round_trip() {
+        let m = FaultMatrix {
+            records: vec![],
+            target: InjectionTarget::Neurons,
+            faults_per_image: 1,
+        };
+        assert_eq!(decode_fault_matrix(&encode_fault_matrix(&m)).unwrap(), m);
+        let t = RunTrace::default();
+        assert_eq!(RunTrace::decode(&t.encode()).unwrap(), t);
+    }
+}

@@ -1,0 +1,158 @@
+//! Scenario sweeps — programmatic generation of the iterative
+//! experiment series of §V-D ("iterating through layers ... faults per
+//! image or bit position ... a change between neuron and weight faults
+//! is equally possible. This method allows the efficient setup of fault
+//! injection scenarios without manual reconfiguration").
+//!
+//! A [`ScenarioSweep`] takes a base scenario and derives one scenario
+//! per sweep point; feed each into [`crate::Ptfiwrap::set_scenario`] (or
+//! a fresh campaign) to run the series.
+
+use alfi_scenario::{FaultCount, FaultMode, InjectionTarget, Scenario};
+
+/// Derives families of scenarios from a base configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioSweep {
+    base: Scenario,
+}
+
+impl ScenarioSweep {
+    /// Creates a sweep generator around a base scenario.
+    pub fn new(base: Scenario) -> Self {
+        ScenarioSweep { base }
+    }
+
+    /// The base scenario.
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// One scenario per injectable layer `0..num_layers`, each pinning
+    /// `layer_range` to that single layer (weighted selection disabled —
+    /// the point of the sweep is uniform per-layer attention).
+    pub fn over_layers(&self, num_layers: usize) -> Vec<Scenario> {
+        (0..num_layers)
+            .map(|layer| {
+                let mut s = self.base.clone();
+                s.layer_range = Some((layer, layer));
+                s.weighted_layer_selection = false;
+                s
+            })
+            .collect()
+    }
+
+    /// One scenario per bit position in `bits`, each restricting the
+    /// flip range to that single bit.
+    pub fn over_bit_positions(&self, bits: impl IntoIterator<Item = u8>) -> Vec<Scenario> {
+        bits.into_iter()
+            .map(|bit| {
+                let mut s = self.base.clone();
+                s.fault_mode = FaultMode::BitFlip { bit_range: (bit, bit) };
+                s
+            })
+            .collect()
+    }
+
+    /// One scenario per simultaneous-fault count.
+    pub fn over_fault_counts(&self, counts: impl IntoIterator<Item = usize>) -> Vec<Scenario> {
+        counts
+            .into_iter()
+            .map(|k| {
+                let mut s = self.base.clone();
+                s.faults_per_image = FaultCount::Fixed(k);
+                s
+            })
+            .collect()
+    }
+
+    /// The neuron/weight pair of scenarios (use case 2c).
+    pub fn over_targets(&self) -> [Scenario; 2] {
+        let mut weights = self.base.clone();
+        weights.injection_target = InjectionTarget::Weights;
+        let mut neurons = self.base.clone();
+        neurons.injection_target = InjectionTarget::Neurons;
+        [weights, neurons]
+    }
+
+    /// One scenario per seed — for repeating a campaign across
+    /// independent fault draws to tighten confidence intervals.
+    pub fn over_seeds(&self, seeds: impl IntoIterator<Item = u64>) -> Vec<Scenario> {
+        seeds
+            .into_iter()
+            .map(|seed| {
+                let mut s = self.base.clone();
+                s.seed = seed;
+                s
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ptfiwrap;
+    use alfi_nn::models::{alexnet, ModelConfig};
+
+    fn base() -> Scenario {
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_target = InjectionTarget::Weights;
+        s
+    }
+
+    #[test]
+    fn layer_sweep_pins_each_layer() {
+        let sweep = ScenarioSweep::new(base());
+        let scenarios = sweep.over_layers(5);
+        assert_eq!(scenarios.len(), 5);
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.layer_range, Some((i, i)));
+            assert!(!s.weighted_layer_selection);
+            assert_eq!(s.dataset_size, 3, "other fields untouched");
+        }
+    }
+
+    #[test]
+    fn bit_sweep_restricts_flip_range() {
+        let sweep = ScenarioSweep::new(base());
+        let scenarios = sweep.over_bit_positions([0u8, 23, 31]);
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[1].fault_mode, FaultMode::BitFlip { bit_range: (23, 23) });
+    }
+
+    #[test]
+    fn count_sweep_sets_fixed_counts() {
+        let sweep = ScenarioSweep::new(base());
+        let scenarios = sweep.over_fault_counts([1usize, 10, 100]);
+        assert_eq!(scenarios[2].faults_per_image, FaultCount::Fixed(100));
+    }
+
+    #[test]
+    fn target_pair_covers_both() {
+        let [w, n] = ScenarioSweep::new(base()).over_targets();
+        assert_eq!(w.injection_target, InjectionTarget::Weights);
+        assert_eq!(n.injection_target, InjectionTarget::Neurons);
+    }
+
+    #[test]
+    fn seed_sweep_changes_only_the_seed() {
+        let scenarios = ScenarioSweep::new(base()).over_seeds([7u64, 8]);
+        assert_eq!(scenarios[0].seed, 7);
+        assert_eq!(scenarios[1].seed, 8);
+        assert_eq!(scenarios[0].fault_mode, scenarios[1].fault_mode);
+    }
+
+    #[test]
+    fn sweep_scenarios_drive_set_scenario_without_manual_reconfig() {
+        let cfg = ModelConfig { input_hw: 16, width_mult: 0.0625, ..ModelConfig::default() };
+        let model = alexnet(&cfg);
+        let mut wrapper = Ptfiwrap::new(&model, base(), &cfg.input_dims(1)).unwrap();
+        let num_layers = wrapper.targets().len();
+        for s in ScenarioSweep::new(base()).over_layers(num_layers) {
+            wrapper.set_scenario(s).unwrap();
+            assert_eq!(wrapper.targets().len(), 1);
+            assert_eq!(wrapper.remaining_slots(), 3);
+        }
+    }
+}

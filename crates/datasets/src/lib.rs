@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # alfi-datasets
+//!
+//! Synthetic datasets and metadata-preserving data loaders for the ALFI
+//! fault-injection framework.
+//!
+//! PyTorchALFI enriches existing data loaders so that every fault can be
+//! traced back to the exact image it hit (§V-E): each image carries an
+//! [`record::ImageRecord`] (id, virtual path, geometry), detection ground
+//! truth is exported in COCO JSON form, and loaders support seeded
+//! shuffling and subsetting so experiments replay exactly. Because
+//! ImageNet/COCO are not available offline, the images themselves are
+//! procedural (class-conditioned textures; rectangle scenes) — see
+//! DESIGN.md for why this substitution preserves fault-propagation
+//! behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use alfi_datasets::classification::ClassificationDataset;
+//! use alfi_datasets::loader::ClassificationLoader;
+//!
+//! let ds = ClassificationDataset::new(100, 10, 3, 32, 42);
+//! let loader = ClassificationLoader::new(ds, 8).with_limit(16);
+//! let n: usize = loader.iter_epoch(0).map(|b| b.labels.len()).sum();
+//! assert_eq!(n, 16);
+//! ```
+
+pub mod classification;
+pub mod detection;
+pub mod loader;
+pub mod record;
+
+pub use classification::{ClassificationDataset, ClassificationSample};
+pub use detection::{DetectionDataset, DetectionSample, GroundTruthBox};
+pub use loader::{ClassificationBatch, ClassificationLoader, DetectionBatch, DetectionLoader};
+pub use record::{CocoAnnotation, CocoCategory, CocoGroundTruth, ImageRecord};

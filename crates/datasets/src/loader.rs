@@ -1,0 +1,266 @@
+//! Batching data loaders that preserve per-image metadata.
+//!
+//! PyTorchALFI "builds on the user's existing data loader" and enriches
+//! it so fault conditions can be reproduced "down to a single data item"
+//! (§I, §V-E). These loaders stack samples into batch tensors while
+//! carrying the [`ImageRecord`]s (and labels / ground truth) alongside,
+//! with optional seeded shuffling and subsetting.
+
+use crate::classification::ClassificationDataset;
+use crate::detection::{DetectionDataset, GroundTruthBox};
+use crate::record::ImageRecord;
+use alfi_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A batch of classification samples.
+#[derive(Debug, Clone)]
+pub struct ClassificationBatch {
+    /// Stacked images `[n, c, h, w]`.
+    pub images: Tensor,
+    /// Ground-truth labels, one per image.
+    pub labels: Vec<usize>,
+    /// Preserved metadata, one record per image.
+    pub records: Vec<ImageRecord>,
+}
+
+/// A batch of detection samples.
+#[derive(Debug, Clone)]
+pub struct DetectionBatch {
+    /// Stacked images `[n, c, h, w]`.
+    pub images: Tensor,
+    /// Ground-truth boxes per image.
+    pub objects: Vec<Vec<GroundTruthBox>>,
+    /// Preserved metadata, one record per image.
+    pub records: Vec<ImageRecord>,
+}
+
+/// Computes the (possibly shuffled, possibly truncated) index order for
+/// one epoch.
+fn epoch_order(len: usize, limit: Option<usize>, shuffle_seed: Option<u64>) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    if let Some(seed) = shuffle_seed {
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+    }
+    if let Some(n) = limit {
+        order.truncate(n);
+    }
+    order
+}
+
+/// Batching loader over a [`ClassificationDataset`].
+///
+/// # Example
+///
+/// ```
+/// use alfi_datasets::classification::ClassificationDataset;
+/// use alfi_datasets::loader::ClassificationLoader;
+///
+/// let ds = ClassificationDataset::new(10, 4, 3, 16, 0);
+/// let loader = ClassificationLoader::new(ds, 4);
+/// let batches: Vec<_> = loader.iter_epoch(0).collect();
+/// assert_eq!(batches.len(), 3); // 4 + 4 + 2
+/// assert_eq!(batches[0].images.dims(), &[4, 3, 16, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassificationLoader {
+    dataset: ClassificationDataset,
+    batch_size: usize,
+    limit: Option<usize>,
+    shuffle: bool,
+}
+
+impl ClassificationLoader {
+    /// Creates a loader with the given batch size (in-order, full set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(dataset: ClassificationDataset, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        ClassificationLoader { dataset, batch_size, limit: None, shuffle: false }
+    }
+
+    /// Limits each epoch to the first `n` (post-shuffle) samples — the
+    /// scenario's `dataset_size` knob.
+    pub fn with_limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Enables seeded shuffling (a fresh permutation per epoch derived
+    /// from the epoch number).
+    pub fn with_shuffle(mut self, enabled: bool) -> Self {
+        self.shuffle = enabled;
+        self
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &ClassificationDataset {
+        &self.dataset
+    }
+
+    /// Number of samples per epoch (after limiting).
+    pub fn epoch_len(&self) -> usize {
+        self.limit.map_or(self.dataset.len(), |l| l.min(self.dataset.len()))
+    }
+
+    /// Iterates the batches of epoch `epoch`.
+    pub fn iter_epoch(&self, epoch: u64) -> impl Iterator<Item = ClassificationBatch> + '_ {
+        let order = epoch_order(
+            self.dataset.len(),
+            self.limit,
+            self.shuffle.then_some(epoch.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(1)),
+        );
+        let batch_size = self.batch_size;
+        (0..order.len().div_ceil(batch_size)).map(move |b| {
+            let idxs = &order[b * batch_size..((b + 1) * batch_size).min(order.len())];
+            let samples: Vec<_> = idxs.iter().map(|&i| self.dataset.get(i)).collect();
+            let images =
+                Tensor::stack(&samples.iter().map(|s| s.image.clone()).collect::<Vec<_>>())
+                    .expect("equal shapes from one dataset");
+            ClassificationBatch {
+                images,
+                labels: samples.iter().map(|s| s.label).collect(),
+                records: samples.iter().map(|s| s.record.clone()).collect(),
+            }
+        })
+    }
+}
+
+/// Batching loader over a [`DetectionDataset`].
+#[derive(Debug, Clone)]
+pub struct DetectionLoader {
+    dataset: DetectionDataset,
+    batch_size: usize,
+    limit: Option<usize>,
+    shuffle: bool,
+}
+
+impl DetectionLoader {
+    /// Creates a loader with the given batch size (in-order, full set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(dataset: DetectionDataset, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        DetectionLoader { dataset, batch_size, limit: None, shuffle: false }
+    }
+
+    /// Limits each epoch to the first `n` (post-shuffle) samples.
+    pub fn with_limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Enables seeded per-epoch shuffling.
+    pub fn with_shuffle(mut self, enabled: bool) -> Self {
+        self.shuffle = enabled;
+        self
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &DetectionDataset {
+        &self.dataset
+    }
+
+    /// Number of samples per epoch (after limiting).
+    pub fn epoch_len(&self) -> usize {
+        self.limit.map_or(self.dataset.len(), |l| l.min(self.dataset.len()))
+    }
+
+    /// Iterates the batches of epoch `epoch`.
+    pub fn iter_epoch(&self, epoch: u64) -> impl Iterator<Item = DetectionBatch> + '_ {
+        let order = epoch_order(
+            self.dataset.len(),
+            self.limit,
+            self.shuffle.then_some(epoch.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(1)),
+        );
+        let batch_size = self.batch_size;
+        (0..order.len().div_ceil(batch_size)).map(move |b| {
+            let idxs = &order[b * batch_size..((b + 1) * batch_size).min(order.len())];
+            let samples: Vec<_> = idxs.iter().map(|&i| self.dataset.get(i)).collect();
+            let images =
+                Tensor::stack(&samples.iter().map(|s| s.image.clone()).collect::<Vec<_>>())
+                    .expect("equal shapes from one dataset");
+            DetectionBatch {
+                images,
+                objects: samples.iter().map(|s| s.objects.clone()).collect(),
+                records: samples.iter().map(|s| s.record.clone()).collect(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> ClassificationDataset {
+        ClassificationDataset::new(10, 4, 1, 8, 3)
+    }
+
+    #[test]
+    fn batches_cover_dataset_in_order() {
+        let loader = ClassificationLoader::new(ds(), 4);
+        let batches: Vec<_> = loader.iter_epoch(0).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[2].images.dims()[0], 2);
+        let ids: Vec<u64> =
+            batches.iter().flat_map(|b| b.records.iter().map(|r| r.image_id)).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn limit_truncates_epoch() {
+        let loader = ClassificationLoader::new(ds(), 4).with_limit(6);
+        assert_eq!(loader.epoch_len(), 6);
+        let total: usize = loader.iter_epoch(0).map(|b| b.labels.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn shuffle_permutes_but_preserves_set() {
+        let loader = ClassificationLoader::new(ds(), 10).with_shuffle(true);
+        let e0: Vec<u64> = loader.iter_epoch(0).flat_map(|b| b.records.iter().map(|r| r.image_id).collect::<Vec<_>>()).collect();
+        let e1: Vec<u64> = loader.iter_epoch(1).flat_map(|b| b.records.iter().map(|r| r.image_id).collect::<Vec<_>>()).collect();
+        let mut s0 = e0.clone();
+        s0.sort_unstable();
+        assert_eq!(s0, (0..10).collect::<Vec<u64>>());
+        assert_ne!(e0, e1, "different epochs should permute differently");
+        // same epoch replays the same order
+        let e0b: Vec<u64> = loader.iter_epoch(0).flat_map(|b| b.records.iter().map(|r| r.image_id).collect::<Vec<_>>()).collect();
+        assert_eq!(e0, e0b);
+    }
+
+    #[test]
+    fn labels_match_dataset() {
+        let dataset = ds();
+        let loader = ClassificationLoader::new(dataset.clone(), 3);
+        for batch in loader.iter_epoch(0) {
+            for (i, r) in batch.records.iter().enumerate() {
+                assert_eq!(batch.labels[i], dataset.get(r.image_id as usize).label);
+            }
+        }
+    }
+
+    #[test]
+    fn detection_loader_batches_with_objects() {
+        let dataset = DetectionDataset::new(6, 3, 3, 32, 1);
+        let loader = DetectionLoader::new(dataset, 4);
+        let batches: Vec<_> = loader.iter_epoch(0).collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].images.dims(), &[4, 3, 32, 32]);
+        assert_eq!(batches[0].objects.len(), 4);
+        assert!(batches[0].objects.iter().all(|o| !o.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = ClassificationLoader::new(ds(), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Post-processing analysis of campaign results — the paper's "this raw
+//! basic information is further processed to quantify the vulnerability
+//! ... bit-wise and layer-wise, SDE information was easily extracted"
+//! (§V-F-1).
+//!
+//! All breakdowns operate on the campaign rows (which carry the applied
+//! faults) so they can equally run on freshly produced results or on
+//! results reloaded from persisted CSV/trace files.
+
+use crate::classification::{classify_row, Outcome, SdeCriterion};
+use crate::stats::Rate;
+use alfi_core::campaign::ClassificationRow;
+use alfi_core::FaultValue;
+use alfi_tensor::bits::{BitField, FlipDirection};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// SDE/DUE/masked counts for one slice of a breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Silent data errors.
+    pub sde: usize,
+    /// Detected uncorrectable errors.
+    pub due: usize,
+    /// Masked (absorbed) faults.
+    pub masked: usize,
+}
+
+impl OutcomeCounts {
+    fn add(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Sde => self.sde += 1,
+            Outcome::Due => self.due += 1,
+            Outcome::Masked => self.masked += 1,
+        }
+    }
+
+    /// Total observations in this slice.
+    pub fn total(&self) -> usize {
+        self.sde + self.due + self.masked
+    }
+
+    /// The slice's SDE rate with confidence interval.
+    pub fn sde_rate(&self) -> Rate {
+        Rate::from_counts(self.sde, self.total())
+    }
+
+    /// The slice's corruption (SDE + DUE) rate with confidence interval.
+    pub fn corruption_rate(&self) -> Rate {
+        Rate::from_counts(self.sde + self.due, self.total())
+    }
+}
+
+/// Layer-wise outcome breakdown: which layers' faults corrupted the
+/// output. Rows with multiple faults contribute to every involved layer.
+pub fn outcomes_by_layer(
+    rows: &[ClassificationRow],
+    criterion: SdeCriterion,
+) -> BTreeMap<usize, OutcomeCounts> {
+    let mut map: BTreeMap<usize, OutcomeCounts> = BTreeMap::new();
+    for row in rows {
+        let outcome = classify_row(row, criterion);
+        for fault in &row.faults {
+            map.entry(fault.record.layer).or_default().add(outcome);
+        }
+    }
+    map
+}
+
+/// Bit-position breakdown (bit-flip faults only).
+pub fn outcomes_by_bit_position(
+    rows: &[ClassificationRow],
+    criterion: SdeCriterion,
+) -> BTreeMap<u8, OutcomeCounts> {
+    let mut map: BTreeMap<u8, OutcomeCounts> = BTreeMap::new();
+    for row in rows {
+        let outcome = classify_row(row, criterion);
+        for fault in &row.faults {
+            if let FaultValue::BitFlip(pos) = fault.record.value {
+                map.entry(pos).or_default().add(outcome);
+            }
+        }
+    }
+    map
+}
+
+/// Bit-field (mantissa/exponent/sign) breakdown of bit-flip faults.
+pub fn outcomes_by_bit_field(
+    rows: &[ClassificationRow],
+    criterion: SdeCriterion,
+) -> BTreeMap<String, OutcomeCounts> {
+    let mut map: BTreeMap<String, OutcomeCounts> = BTreeMap::new();
+    for (pos, counts) in outcomes_by_bit_position(rows, criterion) {
+        let field = BitField::of(pos).to_string();
+        let entry = map.entry(field).or_default();
+        entry.sde += counts.sde;
+        entry.due += counts.due;
+        entry.masked += counts.masked;
+    }
+    map
+}
+
+/// Flip-direction statistics: how many applied bit flips were 0→1 vs
+/// 1→0, and the corruption rate of each direction — the paper's trace
+/// files record the direction for exactly this analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DirectionStats {
+    /// 0→1 flips observed / corrupted.
+    pub zero_to_one: OutcomeCounts,
+    /// 1→0 flips observed / corrupted.
+    pub one_to_zero: OutcomeCounts,
+}
+
+/// Computes flip-direction statistics over campaign rows.
+pub fn flip_direction_stats(
+    rows: &[ClassificationRow],
+    criterion: SdeCriterion,
+) -> DirectionStats {
+    let mut stats = DirectionStats::default();
+    for row in rows {
+        let outcome = classify_row(row, criterion);
+        for fault in &row.faults {
+            match fault.direction {
+                Some(FlipDirection::ZeroToOne) => stats.zero_to_one.add(outcome),
+                Some(FlipDirection::OneToZero) => stats.one_to_zero.add(outcome),
+                None => {}
+            }
+        }
+    }
+    stats
+}
+
+/// Renders a layer-wise breakdown as an aligned text table — the
+/// at-a-glance artifact the paper's campaign logs provide.
+pub fn layer_table(breakdown: &BTreeMap<usize, OutcomeCounts>) -> String {
+    let mut out = String::from("layer     n     sde     due  masked  sde_rate\n");
+    for (layer, c) in breakdown {
+        out.push_str(&format!(
+            "{:<7} {:>4} {:>7} {:>7} {:>7}  {:>7.2}%\n",
+            layer,
+            c.total(),
+            c.sde,
+            c.due,
+            c.masked,
+            c.sde_rate().percent()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfi_core::{AppliedFault, FaultRecord};
+
+    fn fault(layer: usize, bit: u8, dir: FlipDirection) -> AppliedFault {
+        AppliedFault {
+            record: FaultRecord {
+                batch: 0,
+                layer,
+                channel: 0,
+                channel_in: 0,
+                depth: None,
+                height: 0,
+                width: 0,
+                value: FaultValue::BitFlip(bit),
+            },
+            original: 1.0,
+            corrupted: 2.0,
+            direction: Some(dir),
+        }
+    }
+
+    fn row(orig_cls: usize, corr_cls: usize, nan: usize, faults: Vec<AppliedFault>) -> ClassificationRow {
+        ClassificationRow {
+            image_id: 0,
+            file_name: "x".into(),
+            label: orig_cls,
+            orig_top5: vec![(orig_cls, 0.9)],
+            corr_top5: vec![(corr_cls, 0.9)],
+            resil_top5: None,
+            faults,
+            corr_nan: nan,
+            corr_inf: 0,
+        }
+    }
+
+    #[test]
+    fn layer_breakdown_attributes_outcomes_to_fault_layers() {
+        let rows = vec![
+            row(1, 1, 0, vec![fault(0, 30, FlipDirection::ZeroToOne)]), // masked @ layer0
+            row(1, 2, 0, vec![fault(0, 30, FlipDirection::ZeroToOne)]), // sde @ layer0
+            row(1, 1, 1, vec![fault(3, 23, FlipDirection::OneToZero)]), // due @ layer3
+        ];
+        let b = outcomes_by_layer(&rows, SdeCriterion::Top1Mismatch);
+        assert_eq!(b[&0].sde, 1);
+        assert_eq!(b[&0].masked, 1);
+        assert_eq!(b[&0].total(), 2);
+        assert_eq!(b[&3].due, 1);
+        assert!((b[&0].sde_rate().value - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_fault_rows_count_once_per_fault() {
+        let rows = vec![row(
+            1,
+            2,
+            0,
+            vec![fault(0, 30, FlipDirection::ZeroToOne), fault(5, 24, FlipDirection::ZeroToOne)],
+        )];
+        let b = outcomes_by_layer(&rows, SdeCriterion::Top1Mismatch);
+        assert_eq!(b[&0].sde, 1);
+        assert_eq!(b[&5].sde, 1);
+    }
+
+    #[test]
+    fn bit_breakdowns_group_positions_and_fields() {
+        let rows = vec![
+            row(1, 2, 0, vec![fault(0, 30, FlipDirection::ZeroToOne)]), // exponent sde
+            row(1, 1, 0, vec![fault(0, 2, FlipDirection::OneToZero)]),  // mantissa masked
+            row(1, 2, 0, vec![fault(0, 31, FlipDirection::ZeroToOne)]), // sign sde
+        ];
+        let pos = outcomes_by_bit_position(&rows, SdeCriterion::Top1Mismatch);
+        assert_eq!(pos[&30].sde, 1);
+        assert_eq!(pos[&2].masked, 1);
+        let field = outcomes_by_bit_field(&rows, SdeCriterion::Top1Mismatch);
+        assert_eq!(field["exponent"].sde, 1);
+        assert_eq!(field["mantissa"].masked, 1);
+        assert_eq!(field["sign"].sde, 1);
+    }
+
+    #[test]
+    fn direction_stats_split_by_flip_direction() {
+        let rows = vec![
+            row(1, 2, 0, vec![fault(0, 30, FlipDirection::ZeroToOne)]),
+            row(1, 1, 0, vec![fault(0, 30, FlipDirection::OneToZero)]),
+        ];
+        let d = flip_direction_stats(&rows, SdeCriterion::Top1Mismatch);
+        assert_eq!(d.zero_to_one.sde, 1);
+        assert_eq!(d.one_to_zero.masked, 1);
+    }
+
+    #[test]
+    fn layer_table_renders_rows() {
+        let rows = vec![row(1, 2, 0, vec![fault(4, 30, FlipDirection::ZeroToOne)])];
+        let b = outcomes_by_layer(&rows, SdeCriterion::Top1Mismatch);
+        let table = layer_table(&b);
+        assert!(table.starts_with("layer"));
+        assert!(table.contains('4'));
+        assert!(table.contains("100.00%"));
+    }
+
+    #[test]
+    fn corruption_rate_combines_sde_and_due() {
+        let mut c = OutcomeCounts::default();
+        c.sde = 2;
+        c.due = 1;
+        c.masked = 7;
+        assert!((c.corruption_rate().value - 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! Classification KPIs: SDE / DUE / masked outcome classification and
+//! campaign-level rates (paper §V-F-1, Fig. 2a).
+
+use crate::stats::Rate;
+use alfi_core::campaign::{ClassificationRow, TopK};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one fault-injected inference relative to the fault-free
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The fault was absorbed: the reference prediction is unchanged.
+    Masked,
+    /// Silent data error: the prediction changed with no error signature.
+    Sde,
+    /// Detected uncorrectable error: NaN/Inf surfaced during inference,
+    /// i.e. the corruption is detectable without a reference run.
+    Due,
+}
+
+/// Which comparison defines an SDE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SdeCriterion {
+    /// The top-1 class changed.
+    Top1Mismatch,
+    /// The top-5 class *sets* differ (order-insensitive).
+    Top5SetMismatch,
+}
+
+fn top1(t: &TopK) -> Option<usize> {
+    t.first().map(|&(c, _)| c)
+}
+
+/// Classifies one row's corrupted output against its fault-free output.
+///
+/// DUE takes precedence: an inference that produced NaN/Inf anywhere is
+/// *detected*, not silent, regardless of the final prediction.
+pub fn classify_row(row: &ClassificationRow, criterion: SdeCriterion) -> Outcome {
+    classify(
+        &row.orig_top5,
+        &row.corr_top5,
+        row.corr_nan + row.corr_inf > 0,
+        criterion,
+    )
+}
+
+/// Classifies a corrupted top-k against a reference top-k.
+pub fn classify(
+    orig: &TopK,
+    corr: &TopK,
+    non_finite_detected: bool,
+    criterion: SdeCriterion,
+) -> Outcome {
+    if non_finite_detected || corr.iter().any(|(_, p)| !p.is_finite()) {
+        return Outcome::Due;
+    }
+    let mismatch = match criterion {
+        SdeCriterion::Top1Mismatch => top1(orig) != top1(corr),
+        SdeCriterion::Top5SetMismatch => {
+            let mut a: Vec<usize> = orig.iter().map(|&(c, _)| c).collect();
+            let mut b: Vec<usize> = corr.iter().map(|&(c, _)| c).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            a != b
+        }
+    };
+    if mismatch {
+        Outcome::Sde
+    } else {
+        Outcome::Masked
+    }
+}
+
+/// Campaign-level classification KPIs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationKpis {
+    /// Fraction of inferences whose prediction silently changed.
+    pub sde: Rate,
+    /// Fraction of inferences that signalled NaN/Inf.
+    pub due: Rate,
+    /// Fraction of inferences with unchanged predictions.
+    pub masked: Rate,
+    /// Fault-free top-1 accuracy against dataset labels.
+    pub orig_top1_accuracy: Rate,
+    /// Corrupted top-1 accuracy against dataset labels.
+    pub corr_top1_accuracy: Rate,
+}
+
+/// Computes campaign KPIs over all rows.
+pub fn classification_kpis(rows: &[ClassificationRow], criterion: SdeCriterion) -> ClassificationKpis {
+    let total = rows.len();
+    let mut sde = 0usize;
+    let mut due = 0usize;
+    let mut masked = 0usize;
+    let mut orig_correct = 0usize;
+    let mut corr_correct = 0usize;
+    for row in rows {
+        match classify_row(row, criterion) {
+            Outcome::Sde => sde += 1,
+            Outcome::Due => due += 1,
+            Outcome::Masked => masked += 1,
+        }
+        if top1(&row.orig_top5) == Some(row.label) {
+            orig_correct += 1;
+        }
+        if top1(&row.corr_top5) == Some(row.label) {
+            corr_correct += 1;
+        }
+    }
+    ClassificationKpis {
+        sde: Rate::from_counts(sde, total),
+        due: Rate::from_counts(due, total),
+        masked: Rate::from_counts(masked, total),
+        orig_top1_accuracy: Rate::from_counts(orig_correct, total),
+        corr_top1_accuracy: Rate::from_counts(corr_correct, total),
+    }
+}
+
+/// Computes the SDE rate of hardened (resil) outputs relative to the
+/// fault-free original — the number Fig. 2a reports for Ranger/Clipper
+/// curves. Rows without a resil output are skipped.
+pub fn resil_sde_rate(rows: &[ClassificationRow], criterion: SdeCriterion) -> Rate {
+    let mut sde = 0usize;
+    let mut total = 0usize;
+    for row in rows {
+        let Some(resil) = &row.resil_top5 else { continue };
+        total += 1;
+        // The hardened model neutralizes NaN/Inf by construction; judge
+        // purely on prediction change (non-finite resil output still
+        // counts as SDE-adjacent corruption).
+        let out = classify(&row.orig_top5, resil, false, criterion);
+        if out != Outcome::Masked {
+            sde += 1;
+        }
+    }
+    Rate::from_counts(sde, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topk(classes: &[usize]) -> TopK {
+        classes.iter().enumerate().map(|(i, &c)| (c, 1.0 - i as f32 * 0.1)).collect()
+    }
+
+    fn row(orig: &[usize], corr: &[usize], nan: usize) -> ClassificationRow {
+        ClassificationRow {
+            image_id: 0,
+            file_name: "x".into(),
+            label: orig[0],
+            orig_top5: topk(orig),
+            corr_top5: topk(corr),
+            resil_top5: None,
+            faults: vec![],
+            corr_nan: nan,
+            corr_inf: 0,
+        }
+    }
+
+    #[test]
+    fn unchanged_prediction_is_masked() {
+        let r = row(&[3, 1, 2], &[3, 2, 1], 0);
+        assert_eq!(classify_row(&r, SdeCriterion::Top1Mismatch), Outcome::Masked);
+    }
+
+    #[test]
+    fn changed_top1_is_sde() {
+        let r = row(&[3, 1, 2], &[1, 3, 2], 0);
+        assert_eq!(classify_row(&r, SdeCriterion::Top1Mismatch), Outcome::Sde);
+    }
+
+    #[test]
+    fn top5_set_criterion_ignores_order_but_not_membership() {
+        let r = row(&[1, 2, 3, 4, 5], &[5, 4, 3, 2, 1], 0);
+        assert_eq!(classify_row(&r, SdeCriterion::Top5SetMismatch), Outcome::Masked);
+        // membership change -> SDE even though top-1 matches
+        let r = row(&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 9], 0);
+        assert_eq!(classify_row(&r, SdeCriterion::Top5SetMismatch), Outcome::Sde);
+        assert_eq!(classify_row(&r, SdeCriterion::Top1Mismatch), Outcome::Masked);
+    }
+
+    #[test]
+    fn nan_detection_is_due_even_if_prediction_matches() {
+        let r = row(&[3, 1], &[3, 1], 2);
+        assert_eq!(classify_row(&r, SdeCriterion::Top1Mismatch), Outcome::Due);
+    }
+
+    #[test]
+    fn non_finite_probability_is_due() {
+        let mut r = row(&[3, 1], &[3, 1], 0);
+        r.corr_top5[0].1 = f32::NAN;
+        assert_eq!(classify_row(&r, SdeCriterion::Top1Mismatch), Outcome::Due);
+    }
+
+    #[test]
+    fn kpis_partition_rows() {
+        let rows = vec![
+            row(&[1], &[1], 0), // masked
+            row(&[1], &[2], 0), // sde
+            row(&[1], &[1], 1), // due
+            row(&[2], &[2], 0), // masked
+        ];
+        let k = classification_kpis(&rows, SdeCriterion::Top1Mismatch);
+        assert_eq!(k.sde.hits, 1);
+        assert_eq!(k.due.hits, 1);
+        assert_eq!(k.masked.hits, 2);
+        assert_eq!(k.sde.hits + k.due.hits + k.masked.hits, 4);
+        assert_eq!(k.orig_top1_accuracy.hits, 4); // labels == orig top1 here
+        assert_eq!(k.corr_top1_accuracy.hits, 3);
+    }
+
+    #[test]
+    fn resil_rate_skips_rows_without_resil_output() {
+        let mut with = row(&[1], &[2], 0);
+        with.resil_top5 = Some(topk(&[1]));
+        let without = row(&[1], &[2], 0);
+        let r = resil_sde_rate(&[with.clone(), without], SdeCriterion::Top1Mismatch);
+        assert_eq!(r.total, 1);
+        assert_eq!(r.hits, 0, "resil restored the prediction");
+        with.resil_top5 = Some(topk(&[9]));
+        let r = resil_sde_rate(&[with], SdeCriterion::Top1Mismatch);
+        assert_eq!(r.hits, 1);
+    }
+}

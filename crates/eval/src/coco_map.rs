@@ -1,0 +1,353 @@
+//! COCO-style average precision / average recall.
+//!
+//! PyTorchALFI evaluates object detection with "COCO-based Average-
+//! Precision metric variants (AP) ... Intersection over Union (IoU),
+//! average precision (AP), and average recall (AR) are computed using
+//! COCO's defined metrics" (§V-E). This module implements the 101-point
+//! interpolated AP, AP@[.50:.95] averaging and AR, operating on the
+//! framework's detection and ground-truth types.
+
+use alfi_datasets::GroundTruthBox;
+use alfi_nn::detection::{BBox, Detection};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Converts a COCO `[x, y, w, h]` ground-truth box to corner form.
+fn gt_bbox(g: &GroundTruthBox) -> BBox {
+    BBox::new(g.bbox[0], g.bbox[1], g.bbox[0] + g.bbox[2], g.bbox[1] + g.bbox[3])
+}
+
+/// Summary metrics over a detection dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CocoMetrics {
+    /// Mean AP at IoU 0.50 over classes with ground truth.
+    pub map_50: f64,
+    /// Mean AP averaged over IoU ∈ {0.50, 0.55, …, 0.95}.
+    pub map_50_95: f64,
+    /// Per-class AP at IoU 0.50.
+    pub ap_per_class_50: BTreeMap<usize, f64>,
+    /// Average recall at 100 detections per image, averaged over the
+    /// same IoU grid.
+    pub ar_100: f64,
+}
+
+/// Computes the 101-point interpolated average precision for one class
+/// at one IoU threshold.
+///
+/// `detections[i]` / `ground_truth[i]` belong to image `i`; only entries
+/// of `class_id` are considered. Returns 0 when the class has no ground
+/// truth.
+pub fn average_precision(
+    detections: &[Vec<Detection>],
+    ground_truth: &[Vec<GroundTruthBox>],
+    class_id: usize,
+    iou_thresh: f32,
+) -> f64 {
+    let pr = precision_recall_curve(detections, ground_truth, class_id, iou_thresh);
+    // 101-point interpolation: p(r) = max precision at recall >= r.
+    let mut ap = 0.0;
+    for i in 0..=100 {
+        let r = i as f64 / 100.0;
+        let p = pr
+            .iter()
+            .filter(|(rec, _)| *rec >= r)
+            .map(|(_, prec)| *prec)
+            .fold(0.0, f64::max);
+        ap += p;
+    }
+    ap / 101.0
+}
+
+/// Computes the raw precision-recall points for one class at one IoU
+/// threshold: one `(recall, precision)` pair per detection, in score
+/// order — the series a PR-curve plot consumes. Empty when the class has
+/// no ground truth.
+///
+/// # Panics
+///
+/// Panics if the per-image lists have different lengths.
+pub fn precision_recall_curve(
+    detections: &[Vec<Detection>],
+    ground_truth: &[Vec<GroundTruthBox>],
+    class_id: usize,
+    iou_thresh: f32,
+) -> Vec<(f64, f64)> {
+    assert_eq!(detections.len(), ground_truth.len(), "per-image lists must align");
+    let num_gt: usize = ground_truth
+        .iter()
+        .map(|g| g.iter().filter(|b| b.category_id == class_id).count())
+        .sum();
+    if num_gt == 0 {
+        return Vec::new();
+    }
+    // Gather (score, image, det) for the class, sorted by score desc.
+    let mut all: Vec<(f32, usize, &Detection)> = Vec::new();
+    for (img, dets) in detections.iter().enumerate() {
+        for d in dets {
+            if d.class_id == class_id && d.score.is_finite() {
+                all.push((d.score, img, d));
+            }
+        }
+    }
+    all.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+
+    // Greedy matching in score order, one GT used at most once.
+    let mut gt_used: Vec<Vec<bool>> = ground_truth
+        .iter()
+        .map(|g| vec![false; g.len()])
+        .collect();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut pr: Vec<(f64, f64)> = Vec::with_capacity(all.len());
+    for (_, img, det) in &all {
+        let gts = &ground_truth[*img];
+        let mut best = None;
+        let mut best_iou = iou_thresh;
+        for (gi, g) in gts.iter().enumerate() {
+            if g.category_id != class_id || gt_used[*img][gi] {
+                continue;
+            }
+            let iou = det.bbox.iou(&gt_bbox(g));
+            if iou >= best_iou {
+                best_iou = iou;
+                best = Some(gi);
+            }
+        }
+        match best {
+            Some(gi) => {
+                gt_used[*img][gi] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+        pr.push((tp as f64 / num_gt as f64, tp as f64 / (tp + fp) as f64));
+    }
+    pr
+}
+
+/// Computes the recall for one class at one IoU threshold, considering
+/// at most `max_dets` highest-scoring detections per image.
+pub fn recall(
+    detections: &[Vec<Detection>],
+    ground_truth: &[Vec<GroundTruthBox>],
+    class_id: usize,
+    iou_thresh: f32,
+    max_dets: usize,
+) -> f64 {
+    let num_gt: usize = ground_truth
+        .iter()
+        .map(|g| g.iter().filter(|b| b.category_id == class_id).count())
+        .sum();
+    if num_gt == 0 {
+        return 0.0;
+    }
+    let mut matched = 0usize;
+    for (dets, gts) in detections.iter().zip(ground_truth.iter()) {
+        let mut top: Vec<&Detection> =
+            dets.iter().filter(|d| d.class_id == class_id && d.score.is_finite()).collect();
+        top.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        top.truncate(max_dets);
+        let mut used = vec![false; gts.len()];
+        for d in top {
+            let mut best = None;
+            let mut best_iou = iou_thresh;
+            for (gi, g) in gts.iter().enumerate() {
+                if g.category_id != class_id || used[gi] {
+                    continue;
+                }
+                let iou = d.bbox.iou(&gt_bbox(g));
+                if iou >= best_iou {
+                    best_iou = iou;
+                    best = Some(gi);
+                }
+            }
+            if let Some(gi) = best {
+                used[gi] = true;
+                matched += 1;
+            }
+        }
+    }
+    matched as f64 / num_gt as f64
+}
+
+/// The ten COCO IoU thresholds `0.50, 0.55, …, 0.95`.
+pub fn coco_iou_grid() -> [f32; 10] {
+    let mut grid = [0.0f32; 10];
+    for (i, g) in grid.iter_mut().enumerate() {
+        *g = 0.5 + 0.05 * i as f32;
+    }
+    grid
+}
+
+/// Computes the full COCO metric summary over per-image detections and
+/// ground truth. Classes absent from the ground truth are excluded from
+/// the means (COCO convention).
+pub fn coco_metrics(
+    detections: &[Vec<Detection>],
+    ground_truth: &[Vec<GroundTruthBox>],
+    num_classes: usize,
+) -> CocoMetrics {
+    let classes_with_gt: Vec<usize> = (0..num_classes)
+        .filter(|c| {
+            ground_truth.iter().any(|g| g.iter().any(|b| b.category_id == *c))
+        })
+        .collect();
+    let mut ap_per_class_50 = BTreeMap::new();
+    let mut map_50 = 0.0;
+    let mut map_50_95 = 0.0;
+    let mut ar_100 = 0.0;
+    let grid = coco_iou_grid();
+    for &c in &classes_with_gt {
+        let ap50 = average_precision(detections, ground_truth, c, 0.5);
+        ap_per_class_50.insert(c, ap50);
+        map_50 += ap50;
+        let mut ap_sum = 0.0;
+        let mut r_sum = 0.0;
+        for &iou in &grid {
+            ap_sum += average_precision(detections, ground_truth, c, iou);
+            r_sum += recall(detections, ground_truth, c, iou, 100);
+        }
+        map_50_95 += ap_sum / grid.len() as f64;
+        ar_100 += r_sum / grid.len() as f64;
+    }
+    let n = classes_with_gt.len().max(1) as f64;
+    CocoMetrics {
+        map_50: map_50 / n,
+        map_50_95: map_50_95 / n,
+        ap_per_class_50,
+        ar_100: ar_100 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(x: f32, y: f32, w: f32, h: f32, c: usize) -> GroundTruthBox {
+        GroundTruthBox { bbox: [x, y, w, h], category_id: c }
+    }
+
+    fn det(x: f32, y: f32, w: f32, h: f32, c: usize, score: f32) -> Detection {
+        Detection { bbox: BBox::new(x, y, x + w, y + h), score, class_id: c }
+    }
+
+    #[test]
+    fn perfect_detections_have_ap_one() {
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0)], vec![gt(5.0, 5.0, 10.0, 10.0, 0)]];
+        let dets = vec![
+            vec![det(0.0, 0.0, 10.0, 10.0, 0, 0.9)],
+            vec![det(5.0, 5.0, 10.0, 10.0, 0, 0.8)],
+        ];
+        let ap = average_precision(&dets, &gts, 0, 0.5);
+        assert!((ap - 1.0).abs() < 1e-9, "ap {ap}");
+    }
+
+    #[test]
+    fn no_detections_ap_zero() {
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0)]];
+        let dets = vec![vec![]];
+        assert_eq!(average_precision(&dets, &gts, 0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn class_without_gt_has_ap_zero_and_is_excluded_from_map() {
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0)]];
+        let dets = vec![vec![det(0.0, 0.0, 10.0, 10.0, 0, 0.9)]];
+        assert_eq!(average_precision(&dets, &gts, 1, 0.5), 0.0);
+        let m = coco_metrics(&dets, &gts, 3);
+        assert_eq!(m.ap_per_class_50.len(), 1);
+        assert!((m.map_50 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positive_before_true_positive_halves_early_precision() {
+        // One GT; two detections: higher-scored FP then TP.
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0)]];
+        let dets = vec![vec![
+            det(50.0, 50.0, 10.0, 10.0, 0, 0.9), // FP
+            det(0.0, 0.0, 10.0, 10.0, 0, 0.8),   // TP
+        ]];
+        let ap = average_precision(&dets, &gts, 0, 0.5);
+        // recall 1.0 reached at precision 1/2 => AP = 0.5
+        assert!((ap - 0.5).abs() < 0.01, "ap {ap}");
+    }
+
+    #[test]
+    fn duplicate_detection_of_one_gt_is_fp() {
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0)]];
+        let dets = vec![vec![
+            det(0.0, 0.0, 10.0, 10.0, 0, 0.9),
+            det(0.5, 0.5, 10.0, 10.0, 0, 0.8), // matches same GT -> FP
+        ]];
+        let ap = average_precision(&dets, &gts, 0, 0.5);
+        assert!((ap - 1.0).abs() < 1e-9, "TP came first so AP stays 1, got {ap}");
+        let r = recall(&dets, &gts, 0, 0.5, 100);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn higher_iou_threshold_is_stricter() {
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0)]];
+        // Overlap ~0.6 box
+        let dets = vec![vec![det(2.0, 0.0, 10.0, 10.0, 0, 0.9)]];
+        let ap_50 = average_precision(&dets, &gts, 0, 0.5);
+        let ap_90 = average_precision(&dets, &gts, 0, 0.9);
+        assert!(ap_50 > 0.9);
+        assert_eq!(ap_90, 0.0);
+    }
+
+    #[test]
+    fn recall_respects_max_dets() {
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0), gt(50.0, 50.0, 10.0, 10.0, 0)]];
+        let dets = vec![vec![
+            det(0.0, 0.0, 10.0, 10.0, 0, 0.9),
+            det(50.0, 50.0, 10.0, 10.0, 0, 0.8),
+        ]];
+        assert_eq!(recall(&dets, &gts, 0, 0.5, 100), 1.0);
+        assert_eq!(recall(&dets, &gts, 0, 0.5, 1), 0.5);
+    }
+
+    #[test]
+    fn nan_scores_are_ignored() {
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0)]];
+        let dets = vec![vec![det(0.0, 0.0, 10.0, 10.0, 0, f32::NAN)]];
+        assert_eq!(average_precision(&dets, &gts, 0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn coco_grid_has_ten_thresholds() {
+        let g = coco_iou_grid();
+        assert_eq!(g.len(), 10);
+        assert!((g[0] - 0.5).abs() < 1e-6);
+        assert!((g[9] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pr_curve_recall_is_monotone_and_bounded() {
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0), gt(50.0, 50.0, 10.0, 10.0, 0)]];
+        let dets = vec![vec![
+            det(0.0, 0.0, 10.0, 10.0, 0, 0.9),   // TP
+            det(90.0, 90.0, 5.0, 5.0, 0, 0.8),   // FP
+            det(50.0, 50.0, 10.0, 10.0, 0, 0.7), // TP
+        ]];
+        let pr = precision_recall_curve(&dets, &gts, 0, 0.5);
+        assert_eq!(pr.len(), 3);
+        assert_eq!(pr[0], (0.5, 1.0));
+        assert_eq!(pr[1], (0.5, 0.5));
+        assert_eq!(pr[2], (1.0, 2.0 / 3.0));
+        for w in pr.windows(2) {
+            assert!(w[1].0 >= w[0].0, "recall never decreases");
+        }
+        // no ground truth -> empty curve
+        assert!(precision_recall_curve(&dets, &gts, 3, 0.5).is_empty());
+    }
+
+    #[test]
+    fn map_50_95_is_at_most_map_50() {
+        let gts = vec![vec![gt(0.0, 0.0, 10.0, 10.0, 0)]];
+        let dets = vec![vec![det(1.0, 0.0, 10.0, 10.0, 0, 0.9)]];
+        let m = coco_metrics(&dets, &gts, 1);
+        assert!(m.map_50_95 <= m.map_50 + 1e-9);
+        assert!(m.ar_100 <= 1.0);
+    }
+}

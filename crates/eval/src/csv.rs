@@ -1,0 +1,217 @@
+//! Reader for the classification result CSV files.
+//!
+//! PyTorchALFI stores classification outputs as CSV so that
+//! "post-processing" can run long after the campaign (§V-F-1). This
+//! module parses the files `alfi-core` writes back into structured rows,
+//! closing the persistence loop: analyses in [`crate::analysis`]-style
+//! can run on reloaded data.
+
+use std::fmt;
+use std::path::Path;
+
+/// One parsed CSV result row (the per-variant view: one top-5 set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvRow {
+    /// Dataset image id.
+    pub image_id: u64,
+    /// Virtual file path.
+    pub file_name: String,
+    /// Ground-truth label.
+    pub label: usize,
+    /// Top-5 `(class, probability)`; fewer entries if the model has
+    /// fewer classes.
+    pub top5: Vec<(usize, f32)>,
+    /// Fault layer indices (one per simultaneous fault).
+    pub fault_layers: Vec<usize>,
+    /// Flipped bit positions; `None` for stuck-at/value faults.
+    pub fault_bits: Vec<Option<u8>>,
+    /// NaN count observed during the corrupted inference.
+    pub nan_count: usize,
+    /// Inf count observed during the corrupted inference.
+    pub inf_count: usize,
+}
+
+/// Error produced when a result CSV is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCsvError {
+    /// 1-based line number (line 1 is the header).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csv parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+fn field_err(line: usize, what: impl Into<String>) -> ParseCsvError {
+    ParseCsvError { line, message: what.into() }
+}
+
+/// Parses the content of a `results_*.csv` file.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] with the offending line number on malformed
+/// input (wrong column count, unparseable numbers, missing header).
+pub fn parse_classification_csv(text: &str) -> Result<Vec<CsvRow>, ParseCsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| field_err(1, "empty file"))?;
+    if !header.starts_with("image_id,file_name,label") {
+        return Err(field_err(1, "unrecognized header"));
+    }
+    let expected_cols = header.split(',').count();
+    let mut rows = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != expected_cols {
+            return Err(field_err(
+                lineno,
+                format!("expected {expected_cols} columns, got {}", cols.len()),
+            ));
+        }
+        let image_id =
+            cols[0].parse().map_err(|_| field_err(lineno, "bad image_id"))?;
+        let file_name = cols[1].to_string();
+        let label = cols[2].parse().map_err(|_| field_err(lineno, "bad label"))?;
+        let mut top5 = Vec::new();
+        for k in 0..5 {
+            let c = cols[3 + 2 * k];
+            let p = cols[4 + 2 * k];
+            if c.is_empty() {
+                continue;
+            }
+            let class: usize = c.parse().map_err(|_| field_err(lineno, "bad top-k class"))?;
+            let prob: f32 = p.parse().map_err(|_| field_err(lineno, "bad top-k probability"))?;
+            top5.push((class, prob));
+        }
+        fn split_list(s: &str) -> Vec<&str> {
+            if s.is_empty() {
+                Vec::new()
+            } else {
+                s.split(';').collect()
+            }
+        }
+        let fault_layers = split_list(cols[13])
+            .into_iter()
+            .map(|s| s.parse().map_err(|_| field_err(lineno, "bad fault layer")))
+            .collect::<Result<Vec<usize>, _>>()?;
+        let fault_bits = split_list(cols[18])
+            .into_iter()
+            .map(|s| {
+                if s.starts_with('s') || s == "v" {
+                    Ok(None)
+                } else {
+                    s.parse::<u8>().map(Some).map_err(|_| field_err(lineno, "bad fault bit"))
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let nan_count = cols[19].parse().map_err(|_| field_err(lineno, "bad nan count"))?;
+        let inf_count = cols[20].parse().map_err(|_| field_err(lineno, "bad inf count"))?;
+        rows.push(CsvRow {
+            image_id,
+            file_name,
+            label,
+            top5,
+            fault_layers,
+            fault_bits,
+            nan_count,
+            inf_count,
+        });
+    }
+    Ok(rows)
+}
+
+/// Reads and parses a result CSV file from disk.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] for parse failures (I/O errors are reported
+/// as line-0 errors with the OS message).
+pub fn read_classification_csv(path: impl AsRef<Path>) -> Result<Vec<CsvRow>, ParseCsvError> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| field_err(0, format!("cannot read file: {e}")))?;
+    parse_classification_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "image_id,file_name,label,top1,top1_p,top2,top2_p,top3,top3_p,top4,top4_p,top5,top5_p,fault_layers,fault_channels,fault_depths,fault_heights,fault_widths,fault_bits,nan_count,inf_count";
+
+    fn sample_line() -> String {
+        format!("{HEADER}\n7,synthetic/class/img_000007.png,3,3,0.9,1,0.05,0,0.03,2,0.01,4,0.01,2;5,10;3,-;-,1;0,4;2,30;s23,0,2\n")
+    }
+
+    #[test]
+    fn parses_written_format() {
+        let rows = parse_classification_csv(&sample_line()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.image_id, 7);
+        assert_eq!(r.label, 3);
+        assert_eq!(r.top5.len(), 5);
+        assert_eq!(r.top5[0], (3, 0.9));
+        assert_eq!(r.fault_layers, vec![2, 5]);
+        assert_eq!(r.fault_bits, vec![Some(30), None]);
+        assert_eq!((r.nan_count, r.inf_count), (0, 2));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_classification_csv("").is_err());
+        assert!(parse_classification_csv("wrong,header\n").is_err());
+        let missing_cols = format!("{HEADER}\n1,x,2\n");
+        let e = parse_classification_csv(&missing_cols).unwrap_err();
+        assert_eq!(e.line, 2);
+        let bad_number = sample_line().replace("7,synthetic", "seven,synthetic");
+        assert!(parse_classification_csv(&bad_number).is_err());
+    }
+
+    #[test]
+    fn empty_fault_lists_parse() {
+        let line = format!("{HEADER}\n1,x,0,0,1.0,,,,,,,,,,,,,,,0,0\n");
+        let rows = parse_classification_csv(&line).unwrap();
+        assert!(rows[0].fault_layers.is_empty());
+        assert!(rows[0].fault_bits.is_empty());
+        assert_eq!(rows[0].top5.len(), 1);
+    }
+
+    #[test]
+    fn round_trips_a_real_campaign_csv() {
+        use alfi_core::campaign::{CsvVariant, ImgClassCampaign};
+        use alfi_datasets::{ClassificationDataset, ClassificationLoader};
+        use alfi_nn::models::{alexnet, ModelConfig};
+        use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
+
+        let mcfg = ModelConfig { input_hw: 16, width_mult: 0.0625, ..ModelConfig::default() };
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let ds = ClassificationDataset::new(3, mcfg.num_classes, 3, 16, 1);
+        let loader = ClassificationLoader::new(ds, 1);
+        let result = ImgClassCampaign::new(alexnet(&mcfg), s, loader).run().unwrap();
+        let csv = result.to_csv(CsvVariant::Corrupted);
+        let rows = parse_classification_csv(&csv).unwrap();
+        assert_eq!(rows.len(), result.rows.len());
+        for (parsed, orig) in rows.iter().zip(result.rows.iter()) {
+            assert_eq!(parsed.image_id, orig.image_id);
+            assert_eq!(parsed.label, orig.label);
+            assert_eq!(parsed.top5.len(), orig.corr_top5.len());
+            assert_eq!(parsed.top5[0].0, orig.corr_top5[0].0);
+            assert_eq!(parsed.fault_layers.len(), orig.faults.len());
+        }
+    }
+}

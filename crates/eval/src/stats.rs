@@ -1,0 +1,141 @@
+//! Statistical helpers: rates with confidence intervals.
+//!
+//! Large-scale FI campaigns report *rates* (SDE %, DUE %) estimated from
+//! finite samples; comparing models or protections is only meaningful
+//! with uncertainty bounds, so every rate carries a Wilson score
+//! interval.
+
+use serde::{Deserialize, Serialize};
+
+/// A binomial rate estimate with a Wilson score confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rate {
+    /// Number of positive outcomes.
+    pub hits: usize,
+    /// Number of trials.
+    pub total: usize,
+    /// Point estimate `hits / total` (0 for zero trials).
+    pub value: f64,
+    /// Lower bound of the 95 % Wilson interval.
+    pub ci_low: f64,
+    /// Upper bound of the 95 % Wilson interval.
+    pub ci_high: f64,
+}
+
+impl Rate {
+    /// Estimates a rate with a 95 % Wilson score interval.
+    pub fn from_counts(hits: usize, total: usize) -> Rate {
+        Rate::with_confidence(hits, total, 1.959964)
+    }
+
+    /// Estimates a rate with a Wilson interval at the given z-score.
+    pub fn with_confidence(hits: usize, total: usize, z: f64) -> Rate {
+        if total == 0 {
+            return Rate { hits, total, value: 0.0, ci_low: 0.0, ci_high: 1.0 };
+        }
+        let n = total as f64;
+        let p = hits as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        Rate {
+            hits,
+            total,
+            value: p,
+            ci_low: (center - half).max(0.0),
+            ci_high: (center + half).min(1.0),
+        }
+    }
+
+    /// The rate as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.value * 100.0
+    }
+
+    /// Whether two rates' confidence intervals are disjoint (a crude but
+    /// conservative significance check used when ranking models).
+    pub fn significantly_differs_from(&self, other: &Rate) -> bool {
+        self.ci_high < other.ci_low || other.ci_high < self.ci_low
+    }
+}
+
+impl std::fmt::Display for Rate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2}% [{:.2}, {:.2}] ({}/{})",
+            self.percent(),
+            self.ci_low * 100.0,
+            self.ci_high * 100.0,
+            self.hits,
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate_is_ratio() {
+        let r = Rate::from_counts(25, 100);
+        assert!((r.value - 0.25).abs() < 1e-12);
+        assert!((r.percent() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilson_interval_known_value() {
+        // 10/100 at 95%: Wilson interval approx [0.0552, 0.1744]
+        let r = Rate::from_counts(10, 100);
+        assert!((r.ci_low - 0.0552).abs() < 0.002, "low {}", r.ci_low);
+        assert!((r.ci_high - 0.1744).abs() < 0.002, "high {}", r.ci_high);
+    }
+
+    #[test]
+    fn zero_hits_interval_excludes_negative() {
+        let r = Rate::from_counts(0, 50);
+        assert_eq!(r.value, 0.0);
+        assert_eq!(r.ci_low, 0.0);
+        assert!(r.ci_high > 0.0 && r.ci_high < 0.15);
+    }
+
+    #[test]
+    fn full_hits_interval_excludes_above_one() {
+        let r = Rate::from_counts(50, 50);
+        assert_eq!(r.value, 1.0);
+        assert!(r.ci_low > 0.85);
+        assert!(r.ci_high > 1.0 - 1e-9, "upper bound {}", r.ci_high);
+    }
+
+    #[test]
+    fn zero_trials_is_vacuous() {
+        let r = Rate::from_counts(0, 0);
+        assert_eq!(r.value, 0.0);
+        assert_eq!((r.ci_low, r.ci_high), (0.0, 1.0));
+    }
+
+    #[test]
+    fn interval_shrinks_with_samples() {
+        let small = Rate::from_counts(10, 100);
+        let large = Rate::from_counts(100, 1000);
+        assert!(large.ci_high - large.ci_low < small.ci_high - small.ci_low);
+    }
+
+    #[test]
+    fn significance_check_requires_disjoint_intervals() {
+        let a = Rate::from_counts(10, 1000);
+        let b = Rate::from_counts(300, 1000);
+        assert!(a.significantly_differs_from(&b));
+        let c = Rate::from_counts(11, 1000);
+        assert!(!a.significantly_differs_from(&c));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Rate::from_counts(118, 1000).to_string();
+        assert!(s.contains("11.80%"));
+        assert!(s.contains("118/1000"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Two-stage region-proposal detector in the Faster-RCNN style.
+
+use super::geometry::{nms, BBox, Detection};
+use super::{cap_detections, decode_deltas, sigmoid, Detector, DetectorConfig};
+use crate::error::NnError;
+use crate::graph::{Network, NodeId};
+use crate::models::NetBuilder;
+use alfi_tensor::Tensor;
+
+/// Square anchor side lengths (pixels) used by the RPN.
+const RPN_ANCHORS: [f32; 3] = [12.0, 24.0, 48.0];
+/// Proposals kept before NMS.
+const PRE_NMS_TOP_N: usize = 64;
+/// Proposals kept after NMS and fed to the second stage.
+const POST_NMS_TOP_N: usize = 16;
+/// RoI pooling output side length.
+const ROI_POOL: usize = 4;
+
+/// Faster-RCNN-style two-stage detector.
+///
+/// Stage 1 is a convolutional backbone plus a region-proposal network
+/// (RPN) emitting per-anchor objectness and box deltas; proposals are
+/// decoded, NMS-filtered and RoI-pooled from the backbone feature map.
+/// Stage 2 is a fully-connected head scoring each proposal over
+/// `num_classes + 1` classes (last index = background) and refining its
+/// box. Both stages are ordinary [`Network`]s, so ALFI can inject faults
+/// into either — the paper's fault-location "layer index" space simply
+/// spans both networks in order.
+#[derive(Debug)]
+pub struct FrcnnTwoStage {
+    backbone: Network,
+    head: Network,
+    cfg: DetectorConfig,
+    feat_node: NodeId,
+    obj_node: NodeId,
+    delta_node: NodeId,
+    feat_ch: usize,
+    stride: usize,
+}
+
+impl FrcnnTwoStage {
+    /// Builds the detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.input_hw` is not divisible by 8 (backbone stride).
+    pub fn new(cfg: &DetectorConfig) -> FrcnnTwoStage {
+        assert!(cfg.input_hw.is_multiple_of(8), "input_hw must be divisible by 8");
+        let a = RPN_ANCHORS.len();
+        let stride = 8usize;
+
+        let mut b = NetBuilder::new("frcnn.backbone", cfg.seed, cfg.in_channels);
+        b.conv("backbone.conv1", cfg.ch(32), 3, 2, 1);
+        b.batchnorm("backbone.bn1");
+        b.relu("backbone.relu1");
+        b.conv("backbone.conv2", cfg.ch(64), 3, 2, 1);
+        b.batchnorm("backbone.bn2");
+        b.relu("backbone.relu2");
+        b.conv("backbone.conv3", cfg.ch(128), 3, 2, 1);
+        b.batchnorm("backbone.bn3");
+        let feat_node = b.relu("backbone.relu3");
+        let feat_ch = b.channels;
+        // RPN head on the shared feature map.
+        b.conv("rpn.conv", cfg.ch(128), 3, 1, 1);
+        let rpn_mid = b.relu("rpn.relu");
+        let obj_node = b.conv("rpn.objectness", a, 1, 1, 0);
+        b.last = Some(rpn_mid);
+        b.channels = cfg.ch(128);
+        let delta_node = b.conv("rpn.deltas", a * 4, 1, 1, 0);
+        let backbone = b.finish();
+
+        // Second-stage head on RoI-pooled features.
+        let roi_feat = feat_ch * ROI_POOL * ROI_POOL;
+        let mut h = NetBuilder::new("frcnn.head", cfg.seed.wrapping_add(1), 0);
+        h.linear("head.fc1", roi_feat, cfg.ch(256));
+        h.relu("head.relu1");
+        h.linear("head.out", cfg.ch(256), (cfg.num_classes + 1) + 4);
+        let head = h.finish();
+
+        FrcnnTwoStage {
+            backbone,
+            head,
+            cfg: *cfg,
+            feat_node,
+            obj_node,
+            delta_node,
+            feat_ch,
+            stride,
+        }
+    }
+
+    /// Decodes RPN outputs into up to [`POST_NMS_TOP_N`] proposals for
+    /// batch item `b`.
+    fn proposals(&self, acts: &[Tensor], b: usize) -> Vec<(BBox, f32)> {
+        let obj = &acts[self.obj_node];
+        let deltas = &acts[self.delta_node];
+        let s = obj.dims()[2];
+        let img = self.cfg.input_hw as f32;
+        let mut cands: Vec<(BBox, f32)> = Vec::new();
+        for (ai, &side) in RPN_ANCHORS.iter().enumerate() {
+            for gy in 0..s {
+                for gx in 0..s {
+                    let score = sigmoid(obj.get(&[b, ai, gy, gx]));
+                    let acx = (gx as f32 + 0.5) * self.stride as f32;
+                    let acy = (gy as f32 + 0.5) * self.stride as f32;
+                    let d = |k: usize| deltas.get(&[b, ai * 4 + k, gy, gx]);
+                    let bbox = decode_deltas(acx, acy, side, side, d(0), d(1), d(2), d(3))
+                        .clamp_to(img, img);
+                    if bbox.area() > 1.0 {
+                        cands.push((bbox, score));
+                    }
+                }
+            }
+        }
+        cands.sort_by(|a, b| match (a.1.is_nan(), b.1.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => b.1.partial_cmp(&a.1).expect("non-nan"),
+        });
+        cands.truncate(PRE_NMS_TOP_N);
+        // class-agnostic NMS at IoU 0.7
+        let dets: Vec<Detection> = cands
+            .iter()
+            .map(|&(bbox, score)| Detection { bbox, score, class_id: 0 })
+            .collect();
+        let kept = nms(dets, 0.7);
+        kept.into_iter().take(POST_NMS_TOP_N).map(|d| (d.bbox, d.score)).collect()
+    }
+
+    /// RoI-pools the backbone feature map over a proposal box into a
+    /// flat `feat_ch * ROI_POOL^2` vector (mean pooling per sub-cell).
+    fn roi_pool(&self, feat: &Tensor, b: usize, bbox: &BBox) -> Vec<f32> {
+        let (c, fh, fw) = (feat.dims()[1], feat.dims()[2], feat.dims()[3]);
+        let sx = self.stride as f32;
+        // proposal in feature coordinates, clamped
+        let fx1 = (bbox.x1 / sx).floor().clamp(0.0, (fw - 1) as f32) as usize;
+        let fy1 = (bbox.y1 / sx).floor().clamp(0.0, (fh - 1) as f32) as usize;
+        let fx2 = ((bbox.x2 / sx).ceil().clamp(1.0, fw as f32) as usize).max(fx1 + 1);
+        let fy2 = ((bbox.y2 / sx).ceil().clamp(1.0, fh as f32) as usize).max(fy1 + 1);
+        let rw = fx2 - fx1;
+        let rh = fy2 - fy1;
+        let mut out = Vec::with_capacity(c * ROI_POOL * ROI_POOL);
+        for ch in 0..c {
+            for py in 0..ROI_POOL {
+                let y0 = fy1 + py * rh / ROI_POOL;
+                let y1 = (fy1 + ((py + 1) * rh).div_ceil(ROI_POOL)).min(fy2);
+                for px in 0..ROI_POOL {
+                    let x0 = fx1 + px * rw / ROI_POOL;
+                    let x1 = (fx1 + ((px + 1) * rw).div_ceil(ROI_POOL)).min(fx2);
+                    let mut acc = 0.0f32;
+                    let mut cnt = 0usize;
+                    for y in y0..y1.max(y0 + 1).min(fh) {
+                        for x in x0..x1.max(x0 + 1).min(fw) {
+                            acc += feat.get(&[b, ch, y, x]);
+                            cnt += 1;
+                        }
+                    }
+                    out.push(if cnt > 0 { acc / cnt as f32 } else { 0.0 });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Detector for FrcnnTwoStage {
+    fn name(&self) -> &str {
+        "frcnn_two_stage"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.cfg.num_classes
+    }
+
+    fn networks(&self) -> Vec<&Network> {
+        vec![&self.backbone, &self.head]
+    }
+
+    fn networks_mut(&mut self) -> Vec<&mut Network> {
+        vec![&mut self.backbone, &mut self.head]
+    }
+
+    fn detect(&self, images: &Tensor) -> Result<Vec<Vec<Detection>>, NnError> {
+        let acts = self.backbone.forward_all(images)?;
+        let feat = &acts[self.feat_node];
+        let n = images.dims()[0];
+        let c = self.cfg.num_classes;
+        let img = self.cfg.input_hw as f32;
+        let mut out = Vec::with_capacity(n);
+        for b in 0..n {
+            let props = self.proposals(&acts, b);
+            let mut dets = Vec::new();
+            if !props.is_empty() {
+                let pooled: Vec<f32> = props
+                    .iter()
+                    .flat_map(|(bbox, _)| self.roi_pool(feat, b, bbox))
+                    .collect();
+                let roi_feat = self.feat_ch * ROI_POOL * ROI_POOL;
+                let input = Tensor::from_vec(pooled, &[props.len(), roi_feat])
+                    .map_err(NnError::from)?;
+                let head_out = self.head.forward(&input)?;
+                for (pi, (pbox, _pscore)) in props.iter().enumerate() {
+                    // softmax over the (C+1) class logits
+                    let mut best_cls = 0usize;
+                    let mut best_logit = f32::NEG_INFINITY;
+                    let mut denom = 0.0f32;
+                    let max_logit = (0..=c)
+                        .map(|ci| head_out.get(&[pi, ci]))
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    for ci in 0..=c {
+                        let l = head_out.get(&[pi, ci]);
+                        denom += (l - max_logit).exp();
+                        if ci < c && l > best_logit {
+                            best_logit = l;
+                            best_cls = ci;
+                        }
+                    }
+                    let score = (best_logit - max_logit).exp() / denom;
+                    // `<` is false for NaN, so NaN-corrupted scores pass through and
+                    // surface as DUE symptoms downstream.
+                    if score < self.cfg.score_thresh {
+                        continue;
+                    }
+                    let d = |k: usize| head_out.get(&[pi, c + 1 + k]);
+                    let cx = (pbox.x1 + pbox.x2) / 2.0;
+                    let cy = (pbox.y1 + pbox.y2) / 2.0;
+                    let bbox = decode_deltas(
+                        cx,
+                        cy,
+                        pbox.width().max(1.0),
+                        pbox.height().max(1.0),
+                        d(0),
+                        d(1),
+                        d(2),
+                        d(3),
+                    )
+                    .clamp_to(img, img);
+                    dets.push(Detection { bbox, score, class_id: best_cls });
+                }
+            }
+            out.push(cap_detections(nms(dets, self.cfg.nms_iou), self.cfg.max_dets));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            input_hw: 32,
+            width_mult: 0.125,
+            score_thresh: 0.2,
+            ..DetectorConfig::default()
+        }
+    }
+
+    #[test]
+    fn frcnn_exposes_two_networks() {
+        let mut det = FrcnnTwoStage::new(&cfg());
+        assert_eq!(det.networks().len(), 2);
+        assert_eq!(det.networks_mut().len(), 2);
+        // both networks have injectable layers
+        for net in det.networks() {
+            assert!(!net.injectable_layers(None, None).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn frcnn_detects_without_panic_and_respects_cap() {
+        let det = FrcnnTwoStage::new(&cfg());
+        let mut rng = StdRng::seed_from_u64(7);
+        let imgs = Tensor::rand_uniform(&mut rng, &[2, 3, 32, 32], 0.0, 1.0);
+        let out = det.detect(&imgs).unwrap();
+        assert_eq!(out.len(), 2);
+        for dets in out {
+            assert!(dets.len() <= det.cfg.max_dets);
+            for d in dets {
+                assert!(d.class_id < det.num_classes());
+                assert!(d.bbox.x2 <= 32.0);
+            }
+        }
+    }
+
+    #[test]
+    fn frcnn_is_deterministic() {
+        let a = FrcnnTwoStage::new(&cfg());
+        let b = FrcnnTwoStage::new(&cfg());
+        let imgs = Tensor::ones(&[1, 3, 32, 32]);
+        assert_eq!(a.detect(&imgs).unwrap(), b.detect(&imgs).unwrap());
+    }
+
+    #[test]
+    fn proposals_are_bounded_and_sorted() {
+        let det = FrcnnTwoStage::new(&cfg());
+        let mut rng = StdRng::seed_from_u64(8);
+        let imgs = Tensor::rand_uniform(&mut rng, &[1, 3, 32, 32], 0.0, 1.0);
+        let acts = det.backbone.forward_all(&imgs).unwrap();
+        let props = det.proposals(&acts, 0);
+        assert!(props.len() <= POST_NMS_TOP_N);
+        assert!(!props.is_empty());
+        for w in props.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn roi_pool_produces_fixed_size_vector() {
+        let det = FrcnnTwoStage::new(&cfg());
+        let imgs = Tensor::ones(&[1, 3, 32, 32]);
+        let acts = det.backbone.forward_all(&imgs).unwrap();
+        let feat = &acts[det.feat_node];
+        let v = det.roi_pool(feat, 0, &BBox::new(4.0, 4.0, 20.0, 28.0));
+        assert_eq!(v.len(), det.feat_ch * ROI_POOL * ROI_POOL);
+        assert!(v.iter().all(|x| x.is_finite()));
+        // degenerate box still pools
+        let v2 = det.roi_pool(feat, 0, &BBox::new(0.0, 0.0, 0.5, 0.5));
+        assert_eq!(v2.len(), v.len());
+    }
+}

@@ -1,0 +1,272 @@
+//! Bounding-box geometry: IoU, detections, non-maximum suppression.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in `(x1, y1, x2, y2)` corner format,
+/// pixel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge.
+    pub x1: f32,
+    /// Top edge.
+    pub y1: f32,
+    /// Right edge.
+    pub x2: f32,
+    /// Bottom edge.
+    pub y2: f32,
+}
+
+impl BBox {
+    /// Creates a box, normalizing so that `x1 <= x2` and `y1 <= y2`.
+    pub fn new(x1: f32, y1: f32, x2: f32, y2: f32) -> BBox {
+        BBox { x1: x1.min(x2), y1: y1.min(y2), x2: x1.max(x2), y2: y1.max(y2) }
+    }
+
+    /// Creates a box from center/size form.
+    pub fn from_cxcywh(cx: f32, cy: f32, w: f32, h: f32) -> BBox {
+        BBox::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0)
+    }
+
+    /// Box width (never negative).
+    pub fn width(&self) -> f32 {
+        (self.x2 - self.x1).max(0.0)
+    }
+
+    /// Box height (never negative).
+    pub fn height(&self) -> f32 {
+        (self.y2 - self.y1).max(0.0)
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        self.width() * self.height()
+    }
+
+    /// Intersection-over-union with another box, in `[0, 1]`.
+    ///
+    /// Degenerate (zero-area) pairs yield 0. NaN coordinates yield 0 —
+    /// a NaN-corrupted detection never matches anything, which is the
+    /// conservative choice for SDE counting.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let ix = (self.x2.min(other.x2) - self.x1.max(other.x1)).max(0.0);
+        let iy = (self.y2.min(other.y2) - self.y1.max(other.y1)).max(0.0);
+        let inter = ix * iy;
+        let union = self.area() + other.area() - inter;
+        if union > 0.0 && inter.is_finite() {
+            let v = inter / union;
+            if v.is_nan() {
+                0.0
+            } else {
+                v.clamp(0.0, 1.0)
+            }
+        } else {
+            0.0
+        }
+    }
+
+    /// Clamps the box to the `[0, w] × [0, h]` image frame.
+    pub fn clamp_to(&self, w: f32, h: f32) -> BBox {
+        BBox::new(
+            self.x1.clamp(0.0, w),
+            self.y1.clamp(0.0, h),
+            self.x2.clamp(0.0, w),
+            self.y2.clamp(0.0, h),
+        )
+    }
+
+    /// Whether any coordinate is NaN or infinite — a DUE symptom.
+    pub fn has_non_finite(&self) -> bool {
+        !(self.x1.is_finite() && self.y1.is_finite() && self.x2.is_finite() && self.y2.is_finite())
+    }
+}
+
+/// One detected object: box, confidence and class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Location of the detected object.
+    pub bbox: BBox,
+    /// Confidence score in `[0, 1]` (possibly NaN after a fault).
+    pub score: f32,
+    /// Predicted class id.
+    pub class_id: usize,
+}
+
+/// Greedy per-class non-maximum suppression.
+///
+/// Detections are processed in descending score order; a detection is
+/// kept unless it overlaps an already-kept detection *of the same class*
+/// with IoU above `iou_thresh`. NaN scores sort last.
+pub fn nms(mut dets: Vec<Detection>, iou_thresh: f32) -> Vec<Detection> {
+    dets.sort_by(|a, b| match (a.score.is_nan(), b.score.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.score.partial_cmp(&a.score).expect("non-nan scores"),
+    });
+    let mut keep: Vec<Detection> = Vec::new();
+    'outer: for d in dets {
+        for k in &keep {
+            if k.class_id == d.class_id && k.bbox.iou(&d.bbox) > iou_thresh {
+                continue 'outer;
+            }
+        }
+        keep.push(d);
+    }
+    keep
+}
+
+/// Greedy one-to-one matching between two detection sets by IoU.
+///
+/// Returns index pairs `(i, j)` meaning `a[i]` matches `b[j]`. A pair
+/// requires equal class ids and IoU at or above `iou_thresh`. Pairs are
+/// matched best-IoU-first. This is the matcher underlying the IVMOD
+/// metric (faulty-vs-fault-free comparison) and the COCO-style AP
+/// evaluation in `alfi-eval`.
+pub fn match_detections(
+    a: &[Detection],
+    b: &[Detection],
+    iou_thresh: f32,
+) -> Vec<(usize, usize)> {
+    let mut candidates: Vec<(f32, usize, usize)> = Vec::new();
+    for (i, da) in a.iter().enumerate() {
+        for (j, db) in b.iter().enumerate() {
+            if da.class_id == db.class_id {
+                let iou = da.bbox.iou(&db.bbox);
+                if iou >= iou_thresh {
+                    candidates.push((iou, i, j));
+                }
+            }
+        }
+    }
+    candidates.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("iou is finite"));
+    let mut used_a = vec![false; a.len()];
+    let mut used_b = vec![false; b.len()];
+    let mut pairs = Vec::new();
+    for (_, i, j) in candidates {
+        if !used_a[i] && !used_b[j] {
+            used_a[i] = true;
+            used_b[j] = true;
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x1: f32, y1: f32, x2: f32, y2: f32, score: f32, class_id: usize) -> Detection {
+        Detection { bbox: BBox::new(x1, y1, x2, y2), score, class_id }
+    }
+
+    #[test]
+    fn bbox_normalizes_corners() {
+        let b = BBox::new(10.0, 20.0, 5.0, 2.0);
+        assert_eq!((b.x1, b.y1, b.x2, b.y2), (5.0, 2.0, 10.0, 20.0));
+    }
+
+    #[test]
+    fn iou_identical_boxes_is_one() {
+        let b = BBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_boxes_is_zero() {
+        let a = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let b = BBox::new(5.0, 5.0, 6.0, 6.0);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = BBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BBox::new(1.0, 0.0, 3.0, 2.0);
+        // intersection 2, union 6
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = BBox::new(0.0, 0.0, 4.0, 3.0);
+        let b = BBox::new(2.0, 1.0, 6.0, 5.0);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn iou_with_nan_is_zero() {
+        let a = BBox { x1: f32::NAN, y1: 0.0, x2: 1.0, y2: 1.0 };
+        let b = BBox::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(a.iou(&b), 0.0);
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn clamp_to_frame() {
+        let b = BBox::new(-5.0, -5.0, 100.0, 100.0).clamp_to(64.0, 64.0);
+        assert_eq!((b.x1, b.y1, b.x2, b.y2), (0.0, 0.0, 64.0, 64.0));
+    }
+
+    #[test]
+    fn from_cxcywh_round_trips() {
+        let b = BBox::from_cxcywh(10.0, 20.0, 4.0, 6.0);
+        assert_eq!((b.x1, b.y1, b.x2, b.y2), (8.0, 17.0, 12.0, 23.0));
+    }
+
+    #[test]
+    fn nms_keeps_highest_and_suppresses_same_class_overlap() {
+        let dets = vec![
+            d(0.0, 0.0, 10.0, 10.0, 0.9, 1),
+            d(1.0, 1.0, 11.0, 11.0, 0.8, 1), // overlaps, same class -> dropped
+            d(1.0, 1.0, 11.0, 11.0, 0.7, 2), // overlaps, other class -> kept
+            d(50.0, 50.0, 60.0, 60.0, 0.6, 1), // disjoint -> kept
+        ];
+        let kept = nms(dets, 0.5);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].score, 0.9);
+        assert!(kept.iter().any(|k| k.class_id == 2));
+    }
+
+    #[test]
+    fn nms_sorts_nan_scores_last() {
+        let dets = vec![
+            d(0.0, 0.0, 10.0, 10.0, f32::NAN, 1),
+            d(0.0, 0.0, 10.0, 10.0, 0.5, 1),
+        ];
+        let kept = nms(dets, 0.5);
+        // the NaN detection has IoU 0 with anything (not NaN bbox) — here
+        // bboxes are valid so the NaN det overlaps and is suppressed after
+        // the scored one.
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.5);
+    }
+
+    #[test]
+    fn match_detections_pairs_best_iou_first() {
+        let a = vec![d(0.0, 0.0, 10.0, 10.0, 0.9, 1), d(20.0, 20.0, 30.0, 30.0, 0.8, 1)];
+        let b = vec![
+            d(1.0, 1.0, 10.0, 10.0, 0.7, 1),  // best match for a[0]
+            d(21.0, 21.0, 30.0, 30.0, 0.6, 1), // best match for a[1]
+        ];
+        let pairs = match_detections(&a, &b, 0.5);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(0, 0)));
+        assert!(pairs.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn match_detections_requires_class_equality() {
+        let a = vec![d(0.0, 0.0, 10.0, 10.0, 0.9, 1)];
+        let b = vec![d(0.0, 0.0, 10.0, 10.0, 0.9, 2)];
+        assert!(match_detections(&a, &b, 0.5).is_empty());
+    }
+
+    #[test]
+    fn match_is_one_to_one() {
+        let a = vec![d(0.0, 0.0, 10.0, 10.0, 0.9, 1), d(0.5, 0.5, 10.0, 10.0, 0.8, 1)];
+        let b = vec![d(0.0, 0.0, 10.0, 10.0, 0.9, 1)];
+        let pairs = match_detections(&a, &b, 0.5);
+        assert_eq!(pairs.len(), 1);
+    }
+}

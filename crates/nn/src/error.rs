@@ -1,0 +1,65 @@
+//! Error type for network construction and inference.
+
+use alfi_tensor::TensorError;
+use std::fmt;
+
+/// Error produced by network construction or a forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor kernel failed.
+    Tensor(TensorError),
+    /// A node referenced an input node id that does not exist (or is not
+    /// earlier in topological order).
+    InvalidGraph(String),
+    /// A layer received an input of unsupported shape.
+    BadInput {
+        /// Name of the layer reporting the problem.
+        layer: String,
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// A referenced node id was out of range.
+    NoSuchNode(usize),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
+            NnError::BadInput { layer, reason } => {
+                write!(f, "bad input to layer `{layer}`: {reason}")
+            }
+            NnError::NoSuchNode(id) => write!(f, "no such node: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::RankMismatch { expected: 4, actual: 2 });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = NnError::NoSuchNode(3);
+        assert_eq!(e.to_string(), "no such node: 3");
+    }
+}

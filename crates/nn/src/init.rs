@@ -1,0 +1,96 @@
+//! Deterministic, seeded weight initialization.
+//!
+//! ALFI experiments must be exactly replayable (§IV-A: "storing and
+//! reusing fault locations is essential to ensure comparability and
+//! reproducibility"). Since pre-trained PyTorch checkpoints are not
+//! available to the Rust substrate, every model in the zoo is built from
+//! a seed: the same seed always produces bit-identical parameters, so a
+//! persisted fault file replayed against a re-built model corrupts
+//! exactly the same values.
+
+use alfi_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seeded weight initializer handed to model builders.
+#[derive(Debug)]
+pub struct Initializer {
+    rng: StdRng,
+}
+
+impl Initializer {
+    /// Creates an initializer from a seed. Equal seeds yield bit-identical
+    /// parameter streams.
+    pub fn from_seed(seed: u64) -> Self {
+        Initializer { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// He (Kaiming) normal initialization for a conv weight
+    /// `[c_out, c_in, kh, kw]` or linear weight `[out, in]`: zero-mean
+    /// normal with `std = sqrt(2 / fan_in)`. Suits ReLU networks.
+    pub fn he_normal(&mut self, dims: &[usize]) -> Tensor {
+        let fan_in: usize = dims[1..].iter().product::<usize>().max(1);
+        let std = (2.0 / fan_in as f32).sqrt();
+        Tensor::rand_normal(&mut self.rng, dims, 0.0, std)
+    }
+
+    /// Xavier (Glorot) uniform initialization:
+    /// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+    pub fn xavier_uniform(&mut self, dims: &[usize]) -> Tensor {
+        let fan_in: usize = dims[1..].iter().product::<usize>().max(1);
+        let fan_out = dims[0].max(1);
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(&mut self.rng, dims, -bound, bound)
+    }
+
+    /// Small uniform bias initialization `U(-0.05, 0.05)`.
+    pub fn bias(&mut self, n: usize) -> Tensor {
+        Tensor::rand_uniform(&mut self.rng, &[n], -0.05, 0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let mut a = Initializer::from_seed(99);
+        let mut b = Initializer::from_seed(99);
+        let wa = a.he_normal(&[8, 4, 3, 3]);
+        let wb = b.he_normal(&[8, 4, 3, 3]);
+        assert_eq!(wa.data(), wb.data());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Initializer::from_seed(1);
+        let mut b = Initializer::from_seed(2);
+        assert_ne!(a.he_normal(&[4, 4]).data(), b.he_normal(&[4, 4]).data());
+    }
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut init = Initializer::from_seed(5);
+        let w = init.he_normal(&[64, 128, 3, 3]);
+        let std_expected = (2.0f32 / (128.0 * 9.0)).sqrt();
+        let mean = w.mean();
+        let std = w.map(|x| (x - mean) * (x - mean)).mean().sqrt();
+        assert!((std - std_expected).abs() < std_expected * 0.1);
+    }
+
+    #[test]
+    fn xavier_uniform_respects_bound() {
+        let mut init = Initializer::from_seed(5);
+        let w = init.xavier_uniform(&[32, 32]);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(w.max() <= bound && w.min() >= -bound);
+    }
+
+    #[test]
+    fn bias_is_small() {
+        let mut init = Initializer::from_seed(5);
+        let b = init.bias(100);
+        assert!(b.max() <= 0.05 && b.min() >= -0.05);
+    }
+}

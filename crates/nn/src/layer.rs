@@ -1,0 +1,605 @@
+//! Layer operations and their parameters.
+//!
+//! A [`Layer`] is a single operation in a [`crate::Network`] graph. The
+//! three *injectable* kinds — [`Conv2d`], [`Conv3d`] and [`Linear`] — are
+//! exactly the layer types PyTorchALFI supports for fault injection
+//! (§IV-B: "Supported layer types are conv2d, conv3d, and Linear").
+
+use crate::error::NnError;
+use alfi_tensor::conv::{
+    adaptive_avg_pool2d, avg_pool2d, conv2d_im2col, conv3d_direct, max_pool2d, ConvConfig,
+};
+use alfi_tensor::Tensor;
+
+/// Classification of layer kinds, used to filter injectable layers in a
+/// fault-injection scenario (`layer_types: [conv2d, linear]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// 2-D convolution — injectable.
+    Conv2d,
+    /// 3-D convolution — injectable.
+    Conv3d,
+    /// Fully-connected layer — injectable.
+    Linear,
+    /// Any non-injectable operation (activations, pooling, arithmetic...).
+    Other,
+}
+
+impl LayerKind {
+    /// Whether ALFI may target this layer kind for fault injection.
+    pub fn is_injectable(self) -> bool {
+        !matches!(self, LayerKind::Other)
+    }
+}
+
+impl std::fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LayerKind::Conv2d => "conv2d",
+            LayerKind::Conv3d => "conv3d",
+            LayerKind::Linear => "linear",
+            LayerKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A 2-D convolution layer with weights `[c_out, c_in, kh, kw]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    /// Convolution weight tensor `[c_out, c_in, kh, kw]`.
+    pub weight: Tensor,
+    /// Optional per-output-channel bias `[c_out]`.
+    pub bias: Option<Tensor>,
+    /// Stride and padding.
+    pub cfg: ConvConfig,
+}
+
+/// A 3-D convolution layer with weights `[c_out, c_in, kd, kh, kw]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv3d {
+    /// Convolution weight tensor `[c_out, c_in, kd, kh, kw]`.
+    pub weight: Tensor,
+    /// Optional per-output-channel bias `[c_out]`.
+    pub bias: Option<Tensor>,
+    /// Stride and padding.
+    pub cfg: ConvConfig,
+}
+
+/// A fully-connected layer computing `x · Wᵀ + b` with weight `[out, in]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// Weight matrix `[out_features, in_features]`.
+    pub weight: Tensor,
+    /// Optional bias `[out_features]`.
+    pub bias: Option<Tensor>,
+}
+
+/// Inference-mode 2-D batch normalization with frozen statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm2d {
+    /// Per-channel scale γ.
+    pub gamma: Tensor,
+    /// Per-channel shift β.
+    pub beta: Tensor,
+    /// Frozen running mean.
+    pub running_mean: Tensor,
+    /// Frozen running variance.
+    pub running_var: Tensor,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Identity-initialized batch norm over `c` channels (γ=1, β=0,
+    /// mean=0, var=1).
+    pub fn identity(c: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::ones(&[c]),
+            beta: Tensor::zeros(&[c]),
+            running_mean: Tensor::zeros(&[c]),
+            running_var: Tensor::ones(&[c]),
+            eps: 1e-5,
+        }
+    }
+}
+
+/// A user-defined layer operation — the extensibility hook of paper
+/// §V-G ("the tool is designed to easily incorporate new custom
+/// trainable layers not native to PyTorch by adding the custom layer's
+/// type in the `verify_layer` function").
+///
+/// A custom layer may expose a weight tensor and masquerade as one of
+/// the supported injectable kinds via [`CustomLayer::injection_kind`];
+/// ALFI then targets it exactly like a native conv/linear layer. Weight
+/// tensors must be rank 2, 4 or 5 so fault coordinates can be sampled.
+pub trait CustomLayer: Send + Sync + std::fmt::Debug {
+    /// Short type name shown in logs and debugging output.
+    fn type_name(&self) -> &str;
+    /// Executes the layer (unary).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`NnError`] for incompatible inputs.
+    fn forward(&self, input: &Tensor) -> Result<Tensor, NnError>;
+    /// Clones the layer into a fresh box (custom layers must be
+    /// clonable so faulty model instances can be spun off).
+    fn clone_box(&self) -> Box<dyn CustomLayer>;
+    /// The injectable kind this layer registers as, or `None` to opt out
+    /// of fault injection.
+    fn injection_kind(&self) -> Option<LayerKind> {
+        None
+    }
+    /// The layer's weight tensor, if it has one.
+    fn weight(&self) -> Option<&Tensor> {
+        None
+    }
+    /// Mutable weight access for weight fault injection.
+    fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        None
+    }
+}
+
+impl Clone for Box<dyn CustomLayer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A single operation in a network graph.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// A user-defined operation (see [`CustomLayer`]).
+    Custom(Box<dyn CustomLayer>),
+    /// 2-D convolution (injectable).
+    Conv2d(Conv2d),
+    /// 3-D convolution (injectable).
+    Conv3d(Conv3d),
+    /// Fully-connected layer (injectable).
+    Linear(Linear),
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(f32),
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Inference batch normalization.
+    BatchNorm2d(BatchNorm2d),
+    /// Max pooling with square window `k`.
+    MaxPool2d {
+        /// Window size.
+        k: usize,
+        /// Stride and padding.
+        cfg: ConvConfig,
+    },
+    /// Average pooling with square window `k`.
+    AvgPool2d {
+        /// Window size.
+        k: usize,
+        /// Stride and padding.
+        cfg: ConvConfig,
+    },
+    /// Adaptive average pooling to `out × out`.
+    AdaptiveAvgPool2d(usize),
+    /// Flattens `[n, ...]` to `[n, rest]`.
+    Flatten,
+    /// Elementwise sum of two inputs (residual connections).
+    Add,
+    /// Channel-dimension concatenation of two NCHW inputs.
+    ConcatChannels,
+    /// Nearest-neighbour 2× spatial upsampling (FPN top-down path).
+    Upsample2x,
+    /// Identity pass-through (graph plumbing).
+    Identity,
+    /// Activation-range supervision (Ranger/Clipper, Geissler et al.):
+    /// values outside `[lo, hi]` are clipped to the bound (`Clip`) or
+    /// zeroed (`Zero`). Inserted by `alfi-mitigation` to harden models;
+    /// non-injectable, so hardening preserves the injectable-layer list.
+    RangeRestrict {
+        /// Lower bound of the healthy activation range.
+        lo: f32,
+        /// Upper bound of the healthy activation range.
+        hi: f32,
+        /// What to do with out-of-range values.
+        mode: RestrictMode,
+    },
+}
+
+/// Out-of-range handling for [`Layer::RangeRestrict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RestrictMode {
+    /// Ranger: saturate to the violated bound. NaN maps to `lo`.
+    Clip,
+    /// Clipper: replace with zero. NaN maps to zero.
+    Zero,
+}
+
+impl Layer {
+    /// The kind used for injectability filtering.
+    pub fn kind(&self) -> LayerKind {
+        match self {
+            Layer::Conv2d(_) => LayerKind::Conv2d,
+            Layer::Conv3d(_) => LayerKind::Conv3d,
+            Layer::Linear(_) => LayerKind::Linear,
+            Layer::Custom(c) => c.injection_kind().unwrap_or(LayerKind::Other),
+            _ => LayerKind::Other,
+        }
+    }
+
+    /// Immutable access to the layer's weight tensor, if it has one.
+    pub fn weight(&self) -> Option<&Tensor> {
+        match self {
+            Layer::Conv2d(c) => Some(&c.weight),
+            Layer::Conv3d(c) => Some(&c.weight),
+            Layer::Linear(l) => Some(&l.weight),
+            Layer::Custom(c) => c.weight(),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the layer's weight tensor — the entry point for
+    /// weight fault injection ("fault injections into weights don't have
+    /// to use hooks, because weights are defined before the inference
+    /// run", §II).
+    pub fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        match self {
+            Layer::Conv2d(c) => Some(&mut c.weight),
+            Layer::Conv3d(c) => Some(&mut c.weight),
+            Layer::Linear(l) => Some(&mut l.weight),
+            Layer::Custom(c) => c.weight_mut(),
+            _ => None,
+        }
+    }
+
+    /// Number of arguments this layer consumes (1 or 2).
+    pub fn arity(&self) -> usize {
+        match self {
+            Layer::Add | Layer::ConcatChannels => 2,
+            _ => 1,
+        }
+    }
+
+    /// Executes the layer on its inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if input ranks/shapes are incompatible with the
+    /// operation.
+    pub fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, NnError> {
+        let x = inputs[0];
+        match self {
+            Layer::Custom(c) => c.forward(x),
+            Layer::Conv2d(c) => Ok(conv2d_im2col(x, &c.weight, c.bias.as_ref(), c.cfg)?),
+            Layer::Conv3d(c) => Ok(conv3d_direct(x, &c.weight, c.bias.as_ref(), c.cfg)?),
+            Layer::Linear(l) => linear_forward(x, l),
+            Layer::Relu => Ok(x.map(|v| v.max(0.0))),
+            Layer::LeakyRelu(slope) => {
+                let s = *slope;
+                Ok(x.map(move |v| if v >= 0.0 { v } else { s * v }))
+            }
+            Layer::Sigmoid => Ok(x.map(|v| 1.0 / (1.0 + (-v).exp()))),
+            Layer::BatchNorm2d(bn) => batchnorm_forward(x, bn),
+            Layer::MaxPool2d { k, cfg } => Ok(max_pool2d(x, *k, *cfg)?),
+            Layer::AvgPool2d { k, cfg } => Ok(avg_pool2d(x, *k, *cfg)?),
+            Layer::AdaptiveAvgPool2d(out) => Ok(adaptive_avg_pool2d(x, *out)?),
+            Layer::Flatten => {
+                if x.rank() < 2 {
+                    return Err(NnError::BadInput {
+                        layer: "flatten".into(),
+                        reason: format!("rank {} < 2", x.rank()),
+                    });
+                }
+                let n = x.dims()[0];
+                let rest: usize = x.dims()[1..].iter().product();
+                Ok(x.reshape(&[n, rest])?)
+            }
+            Layer::Add => Ok(x.add(inputs[1])?),
+            Layer::ConcatChannels => concat_channels(x, inputs[1]),
+            Layer::Upsample2x => upsample2x(x),
+            Layer::Identity => Ok(x.clone()),
+            Layer::RangeRestrict { lo, hi, mode } => {
+                let (lo, hi, mode) = (*lo, *hi, *mode);
+                Ok(x.map(move |v| match mode {
+                    RestrictMode::Clip => {
+                        if v.is_nan() {
+                            lo
+                        } else {
+                            v.clamp(lo, hi)
+                        }
+                    }
+                    RestrictMode::Zero => {
+                        if v.is_nan() || v < lo || v > hi {
+                            0.0
+                        } else {
+                            v
+                        }
+                    }
+                }))
+            }
+        }
+    }
+}
+
+fn linear_forward(x: &Tensor, l: &Linear) -> Result<Tensor, NnError> {
+    if x.rank() != 2 {
+        return Err(NnError::BadInput {
+            layer: "linear".into(),
+            reason: format!("expected rank 2 input, got rank {}", x.rank()),
+        });
+    }
+    let (out_f, in_f) = (l.weight.dims()[0], l.weight.dims()[1]);
+    if x.dims()[1] != in_f {
+        return Err(NnError::BadInput {
+            layer: "linear".into(),
+            reason: format!("input features {} != weight in_features {}", x.dims()[1], in_f),
+        });
+    }
+    // x [n, in] · W^T [in, out]; transpose W on the fly.
+    let n = x.dims()[0];
+    let mut out = vec![0.0f32; n * out_f];
+    let xd = x.data();
+    let wd = l.weight.data();
+    for i in 0..n {
+        for o in 0..out_f {
+            let mut acc = l.bias.as_ref().map_or(0.0, |b| b.data()[o]);
+            let row = &wd[o * in_f..(o + 1) * in_f];
+            let xin = &xd[i * in_f..(i + 1) * in_f];
+            for (a, b) in xin.iter().zip(row.iter()) {
+                acc += a * b;
+            }
+            out[i * out_f + o] = acc;
+        }
+    }
+    Ok(Tensor::from_vec(out, &[n, out_f])?)
+}
+
+fn batchnorm_forward(x: &Tensor, bn: &BatchNorm2d) -> Result<Tensor, NnError> {
+    if x.rank() != 4 {
+        return Err(NnError::BadInput {
+            layer: "batchnorm2d".into(),
+            reason: format!("expected rank 4 input, got rank {}", x.rank()),
+        });
+    }
+    let c = x.dims()[1];
+    if bn.gamma.num_elements() != c {
+        return Err(NnError::BadInput {
+            layer: "batchnorm2d".into(),
+            reason: format!("{} channels but {} gammas", c, bn.gamma.num_elements()),
+        });
+    }
+    let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+    let mut out = vec![0.0f32; x.num_elements()];
+    let data = x.data();
+    for b in 0..n {
+        for ch in 0..c {
+            let inv_std = 1.0 / (bn.running_var.data()[ch] + bn.eps).sqrt();
+            let g = bn.gamma.data()[ch] * inv_std;
+            let off = bn.beta.data()[ch] - bn.running_mean.data()[ch] * g;
+            let base = (b * c + ch) * h * w;
+            for i in 0..h * w {
+                out[base + i] = data[base + i] * g + off;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, x.dims())?)
+}
+
+fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor, NnError> {
+    if a.rank() != 4 || b.rank() != 4 {
+        return Err(NnError::BadInput {
+            layer: "concat".into(),
+            reason: "both inputs must be rank 4".into(),
+        });
+    }
+    let (n, ca, h, w) = (a.dims()[0], a.dims()[1], a.dims()[2], a.dims()[3]);
+    let cb = b.dims()[1];
+    if b.dims()[0] != n || b.dims()[2] != h || b.dims()[3] != w {
+        return Err(NnError::BadInput {
+            layer: "concat".into(),
+            reason: format!("incompatible shapes {:?} vs {:?}", a.dims(), b.dims()),
+        });
+    }
+    let mut out = Vec::with_capacity(a.num_elements() + b.num_elements());
+    let plane = h * w;
+    for i in 0..n {
+        out.extend_from_slice(&a.data()[i * ca * plane..(i + 1) * ca * plane]);
+        out.extend_from_slice(&b.data()[i * cb * plane..(i + 1) * cb * plane]);
+    }
+    Ok(Tensor::from_vec(out, &[n, ca + cb, h, w])?)
+}
+
+fn upsample2x(x: &Tensor) -> Result<Tensor, NnError> {
+    if x.rank() != 4 {
+        return Err(NnError::BadInput {
+            layer: "upsample2x".into(),
+            reason: format!("expected rank 4 input, got rank {}", x.rank()),
+        });
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let mut out = vec![0.0f32; n * c * 4 * h * w];
+    let data = x.data();
+    for b in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                for xx in 0..w {
+                    let v = data[((b * c + ch) * h + y) * w + xx];
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            out[((b * c + ch) * 2 * h + 2 * y + dy) * 2 * w + 2 * xx + dx] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[n, c, 2 * h, 2 * w])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layer_kinds_and_injectability() {
+        let lin = Layer::Linear(Linear { weight: Tensor::zeros(&[2, 2]), bias: None });
+        assert_eq!(lin.kind(), LayerKind::Linear);
+        assert!(lin.kind().is_injectable());
+        assert!(!Layer::Relu.kind().is_injectable());
+        assert_eq!(LayerKind::Conv2d.to_string(), "conv2d");
+    }
+
+    #[test]
+    fn relu_and_leaky_relu() {
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[1, 3]).unwrap();
+        let r = Layer::Relu.forward(&[&x]).unwrap();
+        assert_eq!(r.data(), &[0.0, 0.0, 3.0]);
+        let l = Layer::LeakyRelu(0.1).forward(&[&x]).unwrap();
+        assert_eq!(l.data(), &[-0.2, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_maps_to_unit_interval() {
+        let x = Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[3]).unwrap();
+        let s = Layer::Sigmoid.forward(&[&x]).unwrap();
+        assert!(s.data()[0] < 1e-6);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn linear_matches_hand_computation() {
+        let l = Linear {
+            weight: Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+            bias: Some(Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap()),
+        };
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = Layer::Linear(l).forward(&[&x]).unwrap();
+        assert_eq!(y.data(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn linear_rejects_bad_input() {
+        let l = Layer::Linear(Linear { weight: Tensor::zeros(&[2, 3]), bias: None });
+        assert!(l.forward(&[&Tensor::zeros(&[1, 4])]).is_err());
+        assert!(l.forward(&[&Tensor::zeros(&[4])]).is_err());
+    }
+
+    #[test]
+    fn batchnorm_identity_passes_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_normal(&mut rng, &[2, 3, 4, 4], 0.0, 1.0);
+        let bn = Layer::BatchNorm2d(BatchNorm2d::identity(3));
+        let y = bn.forward(&[&x]).unwrap();
+        assert!(x.max_abs_diff(&y).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_known_stats() {
+        let mut bn = BatchNorm2d::identity(1);
+        bn.running_mean = Tensor::from_vec(vec![2.0], &[1]).unwrap();
+        bn.running_var = Tensor::from_vec(vec![4.0], &[1]).unwrap();
+        let x = Tensor::full(&[1, 1, 1, 2], 4.0);
+        let y = Layer::BatchNorm2d(bn).forward(&[&x]).unwrap();
+        // (4-2)/sqrt(4+eps) ~= 1.0
+        assert!((y.data()[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn flatten_collapses_trailing_dims() {
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = Layer::Flatten.forward(&[&x]).unwrap();
+        assert_eq!(y.dims(), &[2, 60]);
+    }
+
+    #[test]
+    fn add_requires_same_shape() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::ones(&[2, 2]);
+        let y = Layer::Add.forward(&[&a, &b]).unwrap();
+        assert!(y.data().iter().all(|&v| v == 2.0));
+        let c = Tensor::ones(&[3]);
+        assert!(Layer::Add.forward(&[&a, &c]).is_err());
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let b = Tensor::full(&[1, 2, 2, 2], 2.0);
+        let y = Layer::ConcatChannels.forward(&[&a, &b]).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 2, 2]);
+        assert_eq!(y.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.get(&[0, 1, 0, 0]), 2.0);
+        assert_eq!(y.get(&[0, 2, 1, 1]), 2.0);
+    }
+
+    #[test]
+    fn upsample_doubles_spatial_dims() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = Layer::Upsample2x.forward(&[&x]).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.get(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(y.get(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(y.get(&[0, 0, 3, 3]), 4.0);
+    }
+
+    #[test]
+    fn weight_accessors_cover_injectable_layers() {
+        let mut conv = Layer::Conv2d(Conv2d {
+            weight: Tensor::zeros(&[1, 1, 1, 1]),
+            bias: None,
+            cfg: ConvConfig::default(),
+        });
+        assert!(conv.weight().is_some());
+        conv.weight_mut().unwrap().set(&[0, 0, 0, 0], 5.0);
+        assert_eq!(conv.weight().unwrap().get(&[0, 0, 0, 0]), 5.0);
+        assert!(Layer::Relu.weight().is_none());
+    }
+
+    #[test]
+    fn arity_is_two_only_for_binary_ops() {
+        assert_eq!(Layer::Add.arity(), 2);
+        assert_eq!(Layer::ConcatChannels.arity(), 2);
+        assert_eq!(Layer::Relu.arity(), 1);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        assert_eq!(Layer::Identity.forward(&[&x]).unwrap(), x);
+    }
+
+    #[test]
+    fn ranger_clips_to_bounds() {
+        let x = Tensor::from_vec(vec![-5.0, 0.5, 99.0, f32::NAN, f32::INFINITY], &[5]).unwrap();
+        let l = Layer::RangeRestrict { lo: -1.0, hi: 2.0, mode: RestrictMode::Clip };
+        let y = l.forward(&[&x]).unwrap();
+        assert_eq!(y.data(), &[-1.0, 0.5, 2.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn clipper_zeroes_out_of_range() {
+        let x = Tensor::from_vec(vec![-5.0, 0.5, 99.0, f32::NAN, f32::NEG_INFINITY], &[5]).unwrap();
+        let l = Layer::RangeRestrict { lo: -1.0, hi: 2.0, mode: RestrictMode::Zero };
+        let y = l.forward(&[&x]).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.5, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn range_restrict_is_not_injectable() {
+        let l = Layer::RangeRestrict { lo: 0.0, hi: 1.0, mode: RestrictMode::Clip };
+        assert_eq!(l.kind(), LayerKind::Other);
+        assert!(l.weight().is_none());
+    }
+
+    #[test]
+    fn in_range_values_pass_unchanged() {
+        let x = Tensor::from_vec(vec![0.1, 0.9], &[2]).unwrap();
+        for mode in [RestrictMode::Clip, RestrictMode::Zero] {
+            let l = Layer::RangeRestrict { lo: 0.0, hi: 1.0, mode };
+            assert_eq!(l.forward(&[&x]).unwrap(), x);
+        }
+    }
+}

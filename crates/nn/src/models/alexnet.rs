@@ -1,0 +1,77 @@
+//! AlexNet (Krizhevsky et al., 2012) with scalable widths.
+
+use super::{ModelConfig, NetBuilder};
+use crate::graph::Network;
+
+/// Builds an AlexNet-topology classifier.
+///
+/// Layer structure matches torchvision's `alexnet`: five convolutions
+/// with interleaved ReLU/max-pool, adaptive average pooling, then three
+/// fully-connected layers. Channel counts scale with
+/// [`ModelConfig::width_mult`]. The kernel/stride schedule is adapted for
+/// small inputs: the stem uses stride 2 (instead of 4) when
+/// `input_hw < 128` so that feature maps do not collapse.
+pub fn alexnet(cfg: &ModelConfig) -> Network {
+    let mut b = NetBuilder::new("alexnet", cfg.seed, cfg.in_channels);
+    let small = cfg.input_hw < 128;
+    let stem_stride = if small { 2 } else { 4 };
+    // Small inputs keep the 3x2 pooling schedule but pad by 1 so the
+    // final feature map never collapses below the pooling window.
+    let pool_pad = usize::from(small);
+
+    b.conv("features.conv1", cfg.ch(64), 11, stem_stride, 2);
+    b.relu("features.relu1");
+    b.maxpool("features.pool1", 3, 2, pool_pad);
+    b.conv("features.conv2", cfg.ch(192), 5, 1, 2);
+    b.relu("features.relu2");
+    b.maxpool("features.pool2", 3, 2, pool_pad);
+    b.conv("features.conv3", cfg.ch(384), 3, 1, 1);
+    b.relu("features.relu3");
+    b.conv("features.conv4", cfg.ch(256), 3, 1, 1);
+    b.relu("features.relu4");
+    b.conv("features.conv5", cfg.ch(256), 3, 1, 1);
+    b.relu("features.relu5");
+    b.maxpool("features.pool5", 3, 2, pool_pad);
+    b.adaptive_avgpool("avgpool", 2);
+
+    let feats = b.flat_features(&cfg.input_dims(1));
+    b.flatten("flatten");
+    let hidden = cfg.ch(4096);
+    b.linear("classifier.fc1", feats, hidden);
+    b.relu("classifier.relu1");
+    b.linear("classifier.fc2", hidden, hidden);
+    b.relu("classifier.relu2");
+    b.linear("classifier.fc3", hidden, cfg.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfi_tensor::Tensor;
+
+    #[test]
+    fn alexnet_runs_on_batches() {
+        let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+        let net = alexnet(&cfg);
+        let y = net.forward(&Tensor::ones(&cfg.input_dims(3))).unwrap();
+        assert_eq!(y.dims(), &[3, cfg.num_classes]);
+    }
+
+    #[test]
+    fn alexnet_layer_names_follow_torchvision_convention() {
+        let net = alexnet(&ModelConfig::default());
+        assert!(net.node_by_name("features.conv1").is_some());
+        assert!(net.node_by_name("classifier.fc3").is_some());
+    }
+
+    #[test]
+    fn alexnet_full_width_channel_counts() {
+        let cfg = ModelConfig { width_mult: 1.0, input_hw: 128, ..ModelConfig::default() };
+        let net = alexnet(&cfg);
+        let conv1 = net.layer(net.node_by_name("features.conv1").unwrap()).unwrap();
+        assert_eq!(conv1.weight().unwrap().dims(), &[64, 3, 11, 11]);
+        let conv5 = net.layer(net.node_by_name("features.conv5").unwrap()).unwrap();
+        assert_eq!(conv5.weight().unwrap().dims()[0], 256);
+    }
+}

@@ -1,0 +1,127 @@
+//! A compact C3D-style 3-D convolutional video classifier.
+//!
+//! PyTorchALFI supports conv3d as one of its three injectable layer
+//! types, and Table I's fault records carry a *Depth* row for exactly
+//! this case (§IV-B). This model exercises that path end-to-end: 3-D
+//! convolutions over `[n, c, frames, h, w]` clips, downsampled by
+//! strided convolutions, followed by a fully-connected classifier.
+
+use super::NetBuilder;
+use crate::graph::Network;
+
+/// Configuration for the [`c3d`] builder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct C3dConfig {
+    /// Number of frames per clip (depth dimension).
+    pub frames: usize,
+    /// Spatial side length.
+    pub input_hw: usize,
+    /// Input channels per frame.
+    pub in_channels: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Channel-width multiplier.
+    pub width_mult: f32,
+    /// Seed for deterministic initialization.
+    pub seed: u64,
+}
+
+impl Default for C3dConfig {
+    fn default() -> Self {
+        C3dConfig {
+            frames: 8,
+            input_hw: 16,
+            in_channels: 3,
+            num_classes: 10,
+            width_mult: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+impl C3dConfig {
+    /// Scales a base channel count (minimum 1).
+    pub fn ch(&self, base: usize) -> usize {
+        ((base as f32 * self.width_mult).round() as usize).max(1)
+    }
+
+    /// The input clip dims `[n, c, frames, hw, hw]`.
+    pub fn input_dims(&self, n: usize) -> Vec<usize> {
+        vec![n, self.in_channels, self.frames, self.input_hw, self.input_hw]
+    }
+}
+
+/// Builds a C3D-style clip classifier with three 3-D convolution stages
+/// (two of them stride-2 downsampling) and one fully-connected head.
+///
+/// # Panics
+///
+/// Panics if `frames` or `input_hw` is smaller than 4 (two stride-2
+/// stages need room to downsample).
+pub fn c3d(cfg: &C3dConfig) -> Network {
+    assert!(cfg.frames >= 4 && cfg.input_hw >= 4, "c3d needs frames/hw >= 4");
+    let mut b = NetBuilder::new("c3d", cfg.seed, cfg.in_channels);
+    b.conv3d("features.conv1", cfg.ch(32), 3, 1, 1);
+    b.relu("features.relu1");
+    b.conv3d("features.down1", cfg.ch(64), 3, 2, 1);
+    b.relu("features.relu2");
+    b.conv3d("features.conv2", cfg.ch(64), 3, 1, 1);
+    b.relu("features.relu3");
+    b.conv3d("features.down2", cfg.ch(128), 3, 2, 1);
+    b.relu("features.relu4");
+    let feats = b.flat_features(&cfg.input_dims(1));
+    b.flatten("flatten");
+    b.linear("classifier.fc1", feats, cfg.ch(256));
+    b.relu("classifier.relu_fc1");
+    b.linear("classifier.fc2", cfg.ch(256), cfg.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+    use alfi_tensor::Tensor;
+
+    fn tiny() -> C3dConfig {
+        C3dConfig { frames: 4, input_hw: 8, width_mult: 0.125, ..C3dConfig::default() }
+    }
+
+    #[test]
+    fn c3d_runs_and_is_deterministic() {
+        let cfg = tiny();
+        let a = c3d(&cfg);
+        let b = c3d(&cfg);
+        let x = Tensor::ones(&cfg.input_dims(2));
+        let ya = a.forward(&x).unwrap();
+        let yb = b.forward(&x).unwrap();
+        assert_eq!(ya.dims(), &[2, cfg.num_classes]);
+        assert_eq!(ya.data(), yb.data());
+        assert!(!ya.has_non_finite());
+    }
+
+    #[test]
+    fn c3d_has_four_conv3d_and_two_linear_layers() {
+        let net = c3d(&tiny());
+        let inj = net.injectable_layers(None, None).unwrap();
+        let c3 = inj.iter().filter(|l| l.kind == LayerKind::Conv3d).count();
+        let lin = inj.iter().filter(|l| l.kind == LayerKind::Linear).count();
+        assert_eq!((c3, lin), (4, 2));
+    }
+
+    #[test]
+    fn c3d_downsamples_depth_and_space() {
+        let cfg = tiny();
+        let net = c3d(&cfg);
+        let shapes = net.infer_shapes(&cfg.input_dims(1)).unwrap();
+        let down2 = net.node_by_name("features.down2").unwrap();
+        // 4 frames -> 2 -> 1; 8 px -> 4 -> 2
+        assert_eq!(&shapes[down2].dims()[2..], &[1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "frames/hw >= 4")]
+    fn c3d_rejects_tiny_clips() {
+        let _ = c3d(&C3dConfig { frames: 2, ..tiny() });
+    }
+}

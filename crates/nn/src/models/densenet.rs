@@ -1,0 +1,116 @@
+//! A compact DenseNet-style classifier with channel-concatenation blocks.
+//!
+//! Exercises the graph substrate's `ConcatChannels` nodes inside a
+//! classifier and gives the "comparing the robustness of different types
+//! of NN" use case a fourth, structurally distinct architecture: dense
+//! connectivity re-exposes every layer's activations to all later
+//! layers, which changes how a single corrupted value spreads compared
+//! to the sequential (VGG/AlexNet) and residual (ResNet) topologies.
+
+use super::{ModelConfig, NetBuilder};
+use crate::graph::Network;
+use crate::layer::Layer;
+
+/// Builds a small DenseNet-style classifier: a stem convolution, two
+/// dense blocks (three concatenative layers each) separated by a
+/// 1×1-conv + pool transition, global pooling and one linear head.
+pub fn densenet_tiny(cfg: &ModelConfig) -> Network {
+    let growth = cfg.ch(32).max(2);
+    let mut b = NetBuilder::new("densenet_tiny", cfg.seed, cfg.in_channels);
+    b.conv("stem.conv", cfg.ch(32), 3, 1, 1);
+    b.batchnorm("stem.bn");
+    b.relu("stem.relu");
+
+    dense_block(&mut b, "block1", 3, growth);
+    // Transition: 1x1 compression + 2x2 pooling.
+    let compressed = (b.channels / 2).max(1);
+    b.conv("trans1.conv", compressed, 1, 1, 0);
+    b.relu("trans1.relu");
+    b.maxpool("trans1.pool", 2, 2, 0);
+
+    dense_block(&mut b, "block2", 3, growth);
+
+    b.adaptive_avgpool("avgpool", 1);
+    let feats = b.flat_features(&cfg.input_dims(1));
+    b.flatten("flatten");
+    b.linear("classifier", feats, cfg.num_classes);
+    b.finish()
+}
+
+/// Appends one dense block: each layer convolves the concatenation of
+/// all previous features in the block and contributes `growth` new
+/// channels.
+fn dense_block(b: &mut NetBuilder, prefix: &str, layers: usize, growth: usize) {
+    for i in 0..layers {
+        let block_in = b.last.expect("stem precedes blocks");
+        let in_ch = b.channels;
+        b.conv(&format!("{prefix}.conv{i}"), growth, 3, 1, 1);
+        b.batchnorm(&format!("{prefix}.bn{i}"));
+        let new_feat = b.relu(&format!("{prefix}.relu{i}"));
+        let concat = b
+            .net
+            .push(format!("{prefix}.concat{i}"), Layer::ConcatChannels, &[block_in, new_feat])
+            .expect("valid concat node");
+        b.last = Some(concat);
+        b.channels = in_ch + growth;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+    use alfi_tensor::Tensor;
+
+    fn tiny() -> ModelConfig {
+        ModelConfig { input_hw: 16, width_mult: 0.125, ..ModelConfig::default() }
+    }
+
+    #[test]
+    fn densenet_runs_and_is_deterministic() {
+        let cfg = tiny();
+        let a = densenet_tiny(&cfg);
+        let b = densenet_tiny(&cfg);
+        let x = Tensor::ones(&cfg.input_dims(2));
+        let ya = a.forward(&x).unwrap();
+        assert_eq!(ya.dims(), &[2, cfg.num_classes]);
+        assert_eq!(ya.data(), b.forward(&x).unwrap().data());
+        assert!(!ya.has_non_finite());
+    }
+
+    #[test]
+    fn dense_blocks_grow_channels_by_concatenation() {
+        let cfg = tiny();
+        let net = densenet_tiny(&cfg);
+        let shapes = net.infer_shapes(&cfg.input_dims(1)).unwrap();
+        let growth = cfg.ch(32).max(2);
+        let stem = cfg.ch(32);
+        // after block1: stem + 3*growth channels
+        let c1 = net.node_by_name("block1.concat2").unwrap();
+        assert_eq!(shapes[c1].dims()[1], stem + 3 * growth);
+        // concat count: 6 total
+        let concats =
+            net.nodes().iter().filter(|n| matches!(n.layer, Layer::ConcatChannels)).count();
+        assert_eq!(concats, 6);
+    }
+
+    #[test]
+    fn densenet_has_expected_injectable_layers() {
+        let net = densenet_tiny(&tiny());
+        let inj = net.injectable_layers(None, None).unwrap();
+        // stem + 6 dense convs + 1 transition conv + 1 linear
+        let convs = inj.iter().filter(|l| l.kind == LayerKind::Conv2d).count();
+        let linears = inj.iter().filter(|l| l.kind == LayerKind::Linear).count();
+        assert_eq!((convs, linears), (8, 1));
+    }
+
+    #[test]
+    fn transition_halves_channels() {
+        let cfg = tiny();
+        let net = densenet_tiny(&cfg);
+        let shapes = net.infer_shapes(&cfg.input_dims(1)).unwrap();
+        let c1 = net.node_by_name("block1.concat2").unwrap();
+        let t = net.node_by_name("trans1.conv").unwrap();
+        assert_eq!(shapes[t].dims()[1], (shapes[c1].dims()[1] / 2).max(1));
+    }
+}

@@ -1,0 +1,233 @@
+//! Classification model zoo.
+//!
+//! Faithful (width-scalable) reproductions of the three classification
+//! architectures the paper's Fig. 2a evaluates — AlexNet, VGG-16 and
+//! ResNet-50 — plus a small CNN for fast tests. Pre-trained ImageNet
+//! checkpoints are not available to the Rust substrate, so parameters
+//! come from seeded deterministic initialization (see
+//! [`crate::init::Initializer`]); all ALFI KPIs compare against the
+//! *fault-free output of the same model*, which makes trained weights
+//! unnecessary for reproducing fault-propagation behaviour.
+
+mod alexnet;
+mod c3d;
+mod densenet;
+mod resnet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use c3d::{c3d, C3dConfig};
+pub use densenet::densenet_tiny;
+pub use resnet::resnet50;
+pub use vgg::vgg16;
+
+use crate::graph::Network;
+use crate::init::Initializer;
+use crate::layer::{BatchNorm2d, Conv2d, Conv3d, Layer, Linear};
+use alfi_tensor::conv::ConvConfig;
+
+/// Configuration shared by all model builders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Input image side length (images are square `in_channels × hw × hw`).
+    pub input_hw: usize,
+    /// Number of input channels (3 for RGB).
+    pub in_channels: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Multiplier applied to every internal channel count. 1.0 gives the
+    /// original architecture widths; small values (e.g. 0.125) give fast
+    /// test-scale models with identical topology.
+    pub width_mult: f32,
+    /// Seed for deterministic weight initialization.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig { input_hw: 64, in_channels: 3, num_classes: 10, width_mult: 0.125, seed: 0 }
+    }
+}
+
+impl ModelConfig {
+    /// Scales a base channel count by the width multiplier (minimum 1).
+    pub fn ch(&self, base: usize) -> usize {
+        ((base as f32 * self.width_mult).round() as usize).max(1)
+    }
+
+    /// The input tensor dims for batch size `n`.
+    pub fn input_dims(&self, n: usize) -> Vec<usize> {
+        vec![n, self.in_channels, self.input_hw, self.input_hw]
+    }
+}
+
+/// Incremental network builder shared by model constructors: tracks the
+/// previous node and channel count and fabricates initialized layers.
+pub(crate) struct NetBuilder {
+    pub net: Network,
+    pub init: Initializer,
+    pub last: Option<usize>,
+    pub channels: usize,
+}
+
+impl NetBuilder {
+    pub fn new(name: &str, seed: u64, in_channels: usize) -> Self {
+        NetBuilder {
+            net: Network::new(name),
+            init: Initializer::from_seed(seed),
+            last: None,
+            channels: in_channels,
+        }
+    }
+
+    fn push(&mut self, name: String, layer: Layer) -> usize {
+        let id = match self.last {
+            Some(p) => self.net.push(name, layer, &[p]).expect("valid sequential graph"),
+            None => self.net.push(name, layer, &[]).expect("valid first node"),
+        };
+        self.last = Some(id);
+        id
+    }
+
+    pub fn conv(&mut self, name: &str, out_c: usize, k: usize, stride: usize, padding: usize) -> usize {
+        let weight = self.init.he_normal(&[out_c, self.channels, k, k]);
+        let bias = self.init.bias(out_c);
+        let layer = Layer::Conv2d(Conv2d {
+            weight,
+            bias: Some(bias),
+            cfg: ConvConfig { stride, padding },
+        });
+        self.channels = out_c;
+        self.push(name.to_string(), layer)
+    }
+
+    pub fn conv3d(&mut self, name: &str, out_c: usize, k: usize, stride: usize, padding: usize) -> usize {
+        let weight = self.init.he_normal(&[out_c, self.channels, k, k, k]);
+        let bias = self.init.bias(out_c);
+        let layer = Layer::Conv3d(Conv3d {
+            weight,
+            bias: Some(bias),
+            cfg: ConvConfig { stride, padding },
+        });
+        self.channels = out_c;
+        self.push(name.to_string(), layer)
+    }
+
+    pub fn relu(&mut self, name: &str) -> usize {
+        self.push(name.to_string(), Layer::Relu)
+    }
+
+    pub fn leaky_relu(&mut self, name: &str, slope: f32) -> usize {
+        self.push(name.to_string(), Layer::LeakyRelu(slope))
+    }
+
+    pub fn batchnorm(&mut self, name: &str) -> usize {
+        self.push(name.to_string(), Layer::BatchNorm2d(BatchNorm2d::identity(self.channels)))
+    }
+
+    pub fn maxpool(&mut self, name: &str, k: usize, stride: usize, padding: usize) -> usize {
+        self.push(name.to_string(), Layer::MaxPool2d { k, cfg: ConvConfig { stride, padding } })
+    }
+
+    pub fn adaptive_avgpool(&mut self, name: &str, out: usize) -> usize {
+        self.push(name.to_string(), Layer::AdaptiveAvgPool2d(out))
+    }
+
+    pub fn flatten(&mut self, name: &str) -> usize {
+        self.push(name.to_string(), Layer::Flatten)
+    }
+
+    pub fn linear(&mut self, name: &str, in_f: usize, out_f: usize) -> usize {
+        let weight = self.init.he_normal(&[out_f, in_f]);
+        let bias = self.init.bias(out_f);
+        self.push(name.to_string(), Layer::Linear(Linear { weight, bias: Some(bias) }))
+    }
+
+    /// Number of features a `[1, c, h, w]` activation flattens to, via a
+    /// dummy shape-inference run up to the current last node.
+    pub fn flat_features(&mut self, input_dims: &[usize]) -> usize {
+        let last = self.last.expect("at least one node before probing");
+        let mut probe = self.net.clone();
+        probe.set_output(last).expect("last node exists");
+        let out = probe
+            .forward(&alfi_tensor::Tensor::zeros(input_dims))
+            .expect("shape probe succeeds");
+        out.dims()[1..].iter().product()
+    }
+
+    pub fn finish(mut self) -> Network {
+        let last = self.last.expect("non-empty network");
+        self.net.set_output(last).expect("last node exists");
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfi_tensor::Tensor;
+
+    #[test]
+    fn model_config_channel_scaling() {
+        let cfg = ModelConfig { width_mult: 0.25, ..ModelConfig::default() };
+        assert_eq!(cfg.ch(64), 16);
+        assert_eq!(cfg.ch(1), 1); // never drops to zero
+        assert_eq!(cfg.input_dims(2), vec![2, 3, 64, 64]);
+    }
+
+    #[test]
+    fn builder_constructs_runnable_chain() {
+        let cfg = ModelConfig::default();
+        let mut b = NetBuilder::new("chain", 1, cfg.in_channels);
+        b.conv("c1", 4, 3, 1, 1);
+        b.relu("r1");
+        b.maxpool("p1", 2, 2, 0);
+        let feats = b.flat_features(&cfg.input_dims(1));
+        b.flatten("flat");
+        b.linear("fc", feats, cfg.num_classes);
+        let net = b.finish();
+        let y = net.forward(&Tensor::zeros(&cfg.input_dims(1))).unwrap();
+        assert_eq!(y.dims(), &[1, cfg.num_classes]);
+    }
+
+    #[test]
+    fn all_zoo_models_run_and_are_deterministic() {
+        let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+        for (name, build) in [
+            ("alexnet", alexnet as fn(&ModelConfig) -> Network),
+            ("vgg16", vgg16),
+            ("resnet50", resnet50),
+        ] {
+            let m1 = build(&cfg);
+            let m2 = build(&cfg);
+            let x = Tensor::ones(&cfg.input_dims(1));
+            let y1 = m1.forward(&x).unwrap_or_else(|e| panic!("{name} forward: {e}"));
+            let y2 = m2.forward(&x).unwrap();
+            assert_eq!(y1.dims(), &[1, cfg.num_classes], "{name} output shape");
+            assert_eq!(y1.data(), y2.data(), "{name} determinism");
+            assert!(!y1.has_non_finite(), "{name} produced non-finite logits");
+        }
+    }
+
+    #[test]
+    fn zoo_models_have_expected_injectable_layer_counts() {
+        let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+        // AlexNet: 5 convs + 3 linears
+        let a = alexnet(&cfg).injectable_layers(None, None).unwrap();
+        assert_eq!(a.len(), 8, "alexnet injectable layers");
+        // VGG-16: 13 convs + 3 linears
+        let v = vgg16(&cfg).injectable_layers(None, None).unwrap();
+        assert_eq!(v.len(), 16, "vgg16 injectable layers");
+        // ResNet-50: 53 convs (incl. downsamples) + 1 linear
+        let r = resnet50(&cfg).injectable_layers(None, None).unwrap();
+        assert_eq!(r.len(), 54, "resnet50 injectable layers");
+    }
+
+    #[test]
+    fn different_seeds_give_different_logits() {
+        let a = alexnet(&ModelConfig { input_hw: 32, width_mult: 0.0625, seed: 1, ..ModelConfig::default() });
+        let b = alexnet(&ModelConfig { input_hw: 32, width_mult: 0.0625, seed: 2, ..ModelConfig::default() });
+        let x = Tensor::ones(&[1, 3, 32, 32]);
+        assert_ne!(a.forward(&x).unwrap().data(), b.forward(&x).unwrap().data());
+    }
+}

@@ -1,0 +1,129 @@
+//! ResNet-50 (He et al., 2015) with scalable widths.
+
+use super::{ModelConfig, NetBuilder};
+use crate::graph::Network;
+use crate::layer::Layer;
+
+/// Builds a ResNet-50-topology classifier: a 7×7 stem, four stages of
+/// bottleneck blocks (3, 4, 6, 3), global average pooling and one
+/// fully-connected layer. Residual additions use the graph's binary
+/// `Add` nodes; projection shortcuts are 1×1 convolutions, exactly as in
+/// the original architecture. In total the model has 53 convolutions and
+/// 1 linear layer — all injectable by ALFI.
+pub fn resnet50(cfg: &ModelConfig) -> Network {
+    let mut b = NetBuilder::new("resnet50", cfg.seed, cfg.in_channels);
+    let stem_stride = if cfg.input_hw < 64 { 1 } else { 2 };
+    b.conv("stem.conv", cfg.ch(64), 7, stem_stride, 3);
+    b.batchnorm("stem.bn");
+    b.relu("stem.relu");
+    b.maxpool("stem.pool", 3, 2, 1);
+
+    let stage_plan: [(usize, usize, usize); 4] =
+        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
+
+    for (stage_i, (width, blocks, first_stride)) in stage_plan.iter().enumerate() {
+        for block_i in 0..*blocks {
+            let stride = if block_i == 0 { *first_stride } else { 1 };
+            bottleneck(
+                &mut b,
+                &format!("layer{}.{}", stage_i + 1, block_i),
+                cfg.ch(*width),
+                cfg.ch(width * 4),
+                stride,
+            );
+        }
+    }
+
+    b.adaptive_avgpool("avgpool", 1);
+    let feats = b.flat_features(&cfg.input_dims(1));
+    b.flatten("flatten");
+    b.linear("fc", feats, cfg.num_classes);
+    b.finish()
+}
+
+/// Appends one bottleneck block (`1×1 reduce → 3×3 → 1×1 expand` plus a
+/// shortcut) to the builder.
+fn bottleneck(b: &mut NetBuilder, prefix: &str, width: usize, out_c: usize, stride: usize) {
+    let block_in = b.last.expect("stem precedes all blocks");
+    let in_c = b.channels;
+
+    // Main path.
+    b.conv(&format!("{prefix}.conv1"), width, 1, 1, 0);
+    b.batchnorm(&format!("{prefix}.bn1"));
+    b.relu(&format!("{prefix}.relu1"));
+    b.conv(&format!("{prefix}.conv2"), width, 3, stride, 1);
+    b.batchnorm(&format!("{prefix}.bn2"));
+    b.relu(&format!("{prefix}.relu2"));
+    b.conv(&format!("{prefix}.conv3"), out_c, 1, 1, 0);
+    b.batchnorm(&format!("{prefix}.bn3"));
+    let main_out = b.last.expect("main path built");
+
+    // Shortcut path.
+    let shortcut_out = if stride != 1 || in_c != out_c {
+        b.last = Some(block_in);
+        b.channels = in_c;
+        b.conv(&format!("{prefix}.downsample.conv"), out_c, 1, stride, 0);
+        b.batchnorm(&format!("{prefix}.downsample.bn"));
+        b.last.expect("shortcut built")
+    } else {
+        block_in
+    };
+
+    let add = b
+        .net
+        .push(format!("{prefix}.add"), Layer::Add, &[main_out, shortcut_out])
+        .expect("valid add node");
+    b.last = Some(add);
+    b.channels = out_c;
+    b.relu(&format!("{prefix}.relu_out"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+    use alfi_tensor::Tensor;
+
+    fn tiny() -> ModelConfig {
+        ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() }
+    }
+
+    #[test]
+    fn resnet50_has_53_convs_and_1_linear() {
+        let net = resnet50(&tiny());
+        let inj = net.injectable_layers(None, None).unwrap();
+        let convs = inj.iter().filter(|l| l.kind == LayerKind::Conv2d).count();
+        let linears = inj.iter().filter(|l| l.kind == LayerKind::Linear).count();
+        assert_eq!((convs, linears), (53, 1));
+    }
+
+    #[test]
+    fn resnet50_forward_shape_and_finite() {
+        let cfg = tiny();
+        let y = resnet50(&cfg).forward(&Tensor::ones(&cfg.input_dims(2))).unwrap();
+        assert_eq!(y.dims(), &[2, cfg.num_classes]);
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn bottleneck_count_matches_stage_plan() {
+        let net = resnet50(&tiny());
+        let adds = net.nodes().iter().filter(|n| matches!(n.layer, Layer::Add)).count();
+        assert_eq!(adds, 3 + 4 + 6 + 3);
+    }
+
+    #[test]
+    fn downsample_appears_only_in_first_block_of_each_stage() {
+        let net = resnet50(&tiny());
+        let downs = net
+            .nodes()
+            .iter()
+            .filter(|n| n.name.contains("downsample.conv"))
+            .map(|n| n.name.clone())
+            .collect::<Vec<_>>();
+        assert_eq!(downs.len(), 4);
+        for (i, d) in downs.iter().enumerate() {
+            assert!(d.starts_with(&format!("layer{}.0", i + 1)), "{d}");
+        }
+    }
+}

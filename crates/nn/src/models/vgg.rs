@@ -1,0 +1,93 @@
+//! VGG-16 (Simonyan & Zisserman, 2014) with scalable widths.
+
+use super::{ModelConfig, NetBuilder};
+use crate::graph::Network;
+
+/// The thirteen convolutional stages of VGG-16: `Some(c)` is a 3×3
+/// convolution to `c` channels (followed by ReLU), `None` a 2×2 max pool.
+const VGG16_PLAN: &[Option<usize>] = &[
+    Some(64),
+    Some(64),
+    None,
+    Some(128),
+    Some(128),
+    None,
+    Some(256),
+    Some(256),
+    Some(256),
+    None,
+    Some(512),
+    Some(512),
+    Some(512),
+    None,
+    Some(512),
+    Some(512),
+    Some(512),
+    None,
+];
+
+/// Builds a VGG-16-topology classifier: 13 convolutions in five blocks
+/// separated by max pooling, followed by three fully-connected layers.
+///
+/// This is the model the paper highlights in Fig. 2a: "VGG-16 without
+/// protection has an 11.8 % vulnerability when injected with a single
+/// fault per image inference" (weight faults on exponent bits).
+pub fn vgg16(cfg: &ModelConfig) -> Network {
+    let mut b = NetBuilder::new("vgg16", cfg.seed, cfg.in_channels);
+    let mut conv_i = 0usize;
+    let mut pool_i = 0usize;
+    for step in VGG16_PLAN {
+        match step {
+            Some(c) => {
+                conv_i += 1;
+                b.conv(&format!("features.conv{conv_i}"), cfg.ch(*c), 3, 1, 1);
+                b.relu(&format!("features.relu{conv_i}"));
+            }
+            None => {
+                pool_i += 1;
+                b.maxpool(&format!("features.pool{pool_i}"), 2, 2, 0);
+            }
+        }
+    }
+    b.adaptive_avgpool("avgpool", 2);
+    let feats = b.flat_features(&cfg.input_dims(1));
+    b.flatten("flatten");
+    let hidden = cfg.ch(4096);
+    b.linear("classifier.fc1", feats, hidden);
+    b.relu("classifier.relu1");
+    b.linear("classifier.fc2", hidden, hidden);
+    b.relu("classifier.relu2");
+    b.linear("classifier.fc3", hidden, cfg.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfi_tensor::Tensor;
+
+    #[test]
+    fn vgg16_has_thirteen_convs_and_three_linears() {
+        let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+        let net = vgg16(&cfg);
+        let inj = net.injectable_layers(None, None).unwrap();
+        let convs = inj.iter().filter(|l| l.kind == crate::layer::LayerKind::Conv2d).count();
+        let linears = inj.iter().filter(|l| l.kind == crate::layer::LayerKind::Linear).count();
+        assert_eq!((convs, linears), (13, 3));
+    }
+
+    #[test]
+    fn vgg16_forward_shape() {
+        let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, num_classes: 7, ..ModelConfig::default() };
+        let y = vgg16(&cfg).forward(&Tensor::ones(&cfg.input_dims(2))).unwrap();
+        assert_eq!(y.dims(), &[2, 7]);
+    }
+
+    #[test]
+    fn vgg16_full_width_stage_channels() {
+        let cfg = ModelConfig { width_mult: 1.0, input_hw: 64, ..ModelConfig::default() };
+        let net = vgg16(&cfg);
+        let c13 = net.layer(net.node_by_name("features.conv13").unwrap()).unwrap();
+        assert_eq!(c13.weight().unwrap().dims(), &[512, 512, 3, 3]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Magnitude pruning — the substrate for the paper's use case "compare
+//! the robustness of NN between the original model and a pruned
+//! version" (§V).
+//!
+//! Pruning zeroes the smallest-magnitude fraction of each injectable
+//! layer's weights. The pruned model keeps the exact same topology and
+//! injectable-layer list, so a persisted fault matrix transfers to it
+//! unchanged — the property the comparison use case relies on.
+
+use crate::graph::Network;
+use crate::NnError;
+
+/// Zeroes the `fraction` smallest-magnitude weights of every injectable
+/// layer (per-layer thresholding), returning the pruned clone.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidGraph`] if `fraction` is outside `[0, 1]`.
+pub fn magnitude_prune(model: &Network, fraction: f64) -> Result<Network, NnError> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(NnError::InvalidGraph(format!(
+            "prune fraction {fraction} outside [0, 1]"
+        )));
+    }
+    let mut pruned = model.clone();
+    for id in 0..pruned.num_nodes() {
+        let layer = pruned.layer_mut(id)?;
+        let Some(w) = layer.weight_mut() else { continue };
+        let n = w.num_elements();
+        if n == 0 {
+            continue;
+        }
+        let k = ((n as f64) * fraction).floor() as usize;
+        if k == 0 {
+            continue;
+        }
+        // Threshold = magnitude of the k-th smallest |weight|.
+        let mut mags: Vec<f32> = w.data().iter().map(|x| x.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+        let threshold = mags[k - 1];
+        // Zero at most k weights (ties at the threshold are kept once the
+        // budget is spent, keeping the sparsity exact).
+        let mut budget = k;
+        for v in w.data_mut() {
+            if budget == 0 {
+                break;
+            }
+            if v.abs() <= threshold {
+                *v = 0.0;
+                budget -= 1;
+            }
+        }
+    }
+    Ok(pruned)
+}
+
+/// Fraction of exactly-zero weights across all injectable layers.
+pub fn sparsity(model: &Network) -> f64 {
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    for node in model.nodes() {
+        if let Some(w) = node.layer.weight() {
+            zeros += w.data().iter().filter(|x| **x == 0.0).count();
+            total += w.num_elements();
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        zeros as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{alexnet, ModelConfig};
+    use alfi_tensor::Tensor;
+
+    fn model() -> Network {
+        alexnet(&ModelConfig { input_hw: 16, width_mult: 0.0625, ..ModelConfig::default() })
+    }
+
+    #[test]
+    fn pruning_reaches_target_sparsity() {
+        let m = model();
+        assert!(sparsity(&m) < 0.01, "dense init has ~no exact zeros");
+        for frac in [0.25, 0.5, 0.9] {
+            let p = magnitude_prune(&m, frac).unwrap();
+            let s = sparsity(&p);
+            assert!((s - frac).abs() < 0.02, "target {frac}, got {s}");
+        }
+    }
+
+    #[test]
+    fn pruning_zero_fraction_is_identity() {
+        let m = model();
+        let p = magnitude_prune(&m, 0.0).unwrap();
+        let x = Tensor::ones(&[1, 3, 16, 16]);
+        assert_eq!(m.forward(&x).unwrap().data(), p.forward(&x).unwrap().data());
+    }
+
+    #[test]
+    fn pruning_removes_smallest_weights_first() {
+        let m = model();
+        let p = magnitude_prune(&m, 0.5).unwrap();
+        for (orig, pruned) in m.nodes().iter().zip(p.nodes().iter()) {
+            let (Some(wo), Some(wp)) = (orig.layer.weight(), pruned.layer.weight()) else {
+                continue;
+            };
+            // every surviving weight is at least as large as every pruned one
+            let max_pruned = wo
+                .data()
+                .iter()
+                .zip(wp.data())
+                .filter(|(_, p)| **p == 0.0)
+                .map(|(o, _)| o.abs())
+                .fold(0.0f32, f32::max);
+            let min_kept = wp
+                .data()
+                .iter()
+                .filter(|x| **x != 0.0)
+                .map(|x| x.abs())
+                .fold(f32::INFINITY, f32::min);
+            assert!(max_pruned <= min_kept + 1e-6);
+        }
+    }
+
+    #[test]
+    fn pruned_model_keeps_injectable_list_and_original_is_untouched() {
+        let m = model();
+        let before = m.layer(0).unwrap().weight().unwrap().data().to_vec();
+        let p = magnitude_prune(&m, 0.5).unwrap();
+        assert_eq!(m.layer(0).unwrap().weight().unwrap().data(), &before[..]);
+        let a: Vec<_> =
+            m.injectable_layers(None, None).unwrap().into_iter().map(|l| l.name).collect();
+        let b: Vec<_> =
+            p.injectable_layers(None, None).unwrap().into_iter().map(|l| l.name).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_fraction_is_rejected() {
+        assert!(magnitude_prune(&model(), -0.1).is_err());
+        assert!(magnitude_prune(&model(), 1.5).is_err());
+    }
+
+    #[test]
+    fn full_pruning_zeroes_everything() {
+        let p = magnitude_prune(&model(), 1.0).unwrap();
+        assert!((sparsity(&p) - 1.0).abs() < 1e-9);
+    }
+}

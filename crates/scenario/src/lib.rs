@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # alfi-scenario
+//!
+//! Scenario configuration for ALFI fault-injection campaigns — the Rust
+//! counterpart of PyTorchALFI's `default.yml` workflow: campaigns are
+//! configured in a YAML file, the effective parameters are accessible and
+//! mutable at run time, and every run dumps its parameters back to YAML
+//! so the experiment can be replicated exactly (paper §IV-B, §V-C/D).
+//!
+//! The [`yaml`] module implements the self-contained YAML-subset parser
+//! (no YAML crate is available offline); [`Scenario`] is the validated
+//! schema on top of it.
+//!
+//! # Example
+//!
+//! ```
+//! use alfi_scenario::{Scenario, InjectionTarget};
+//!
+//! let s = Scenario::from_yaml_str("injection_target: weights\nseed: 7\n")?;
+//! assert_eq!(s.injection_target, InjectionTarget::Weights);
+//! # Ok::<(), alfi_scenario::ScenarioError>(())
+//! ```
+
+pub mod scenario;
+pub mod yaml;
+
+pub use scenario::{
+    FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerType, Scenario,
+    ScenarioError,
+};
+pub use yaml::{ParseYamlError, Yaml};

@@ -1,0 +1,653 @@
+//! The scenario schema: everything `default.yml` configures.
+
+use crate::yaml::{ParseYamlError, Yaml};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Where faults are injected (§IV-B: "Faults can be inserted in weights
+/// or neurons"; the two cannot be mixed in one run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionTarget {
+    /// Corrupt layer outputs at inference time (via forward hooks).
+    Neurons,
+    /// Corrupt layer parameters before/during the run.
+    Weights,
+}
+
+impl fmt::Display for InjectionTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InjectionTarget::Neurons => "neurons",
+            InjectionTarget::Weights => "weights",
+        })
+    }
+}
+
+/// How often the active fault set changes (§IV-B: "per image, batch, or
+/// epoch").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionPolicy {
+    /// A fresh fault set for every image.
+    PerImage,
+    /// A fresh fault set for every batch.
+    PerBatch,
+    /// One fault set for a whole pass over the dataset.
+    PerEpoch,
+}
+
+impl fmt::Display for InjectionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InjectionPolicy::PerImage => "per_image",
+            InjectionPolicy::PerBatch => "per_batch",
+            InjectionPolicy::PerEpoch => "per_epoch",
+        })
+    }
+}
+
+/// Transient faults are reverted after their scope ends; permanent faults
+/// (e.g. stuck-at defects) persist for the remainder of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultDuration {
+    /// Reverted when the fault's scope (image/batch/epoch) ends.
+    Transient,
+    /// Sticks for the rest of the run.
+    Permanent,
+}
+
+impl fmt::Display for FaultDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultDuration::Transient => "transient",
+            FaultDuration::Permanent => "permanent",
+        })
+    }
+}
+
+/// The value-corruption model (§IV-B: "Modifications can be made to
+/// either numbers or specific bits").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultMode {
+    /// Flip one bit drawn uniformly from the inclusive position range
+    /// (`rnd_bit_range: [0, 31]` in the paper's notation).
+    BitFlip {
+        /// Inclusive (low, high) bit-position range.
+        bit_range: (u8, u8),
+    },
+    /// Force a bit in the range to a fixed value (permanent stuck-at).
+    StuckAt {
+        /// Inclusive (low, high) bit-position range.
+        bit_range: (u8, u8),
+        /// `true` for stuck-at-1, `false` for stuck-at-0.
+        stuck_high: bool,
+    },
+    /// Replace the value with a uniform draw from `[min, max]`.
+    RandomValue {
+        /// Lower bound of the replacement value.
+        min: f32,
+        /// Upper bound of the replacement value.
+        max: f32,
+    },
+}
+
+impl FaultMode {
+    /// Convenience constructor for the paper's headline fault model:
+    /// single bit flips restricted to the f32 exponent bits (23–30).
+    pub fn exponent_bit_flip() -> FaultMode {
+        FaultMode::BitFlip { bit_range: (23, 30) }
+    }
+
+    /// Bit flips across the whole 32-bit word.
+    pub fn any_bit_flip() -> FaultMode {
+        FaultMode::BitFlip { bit_range: (0, 31) }
+    }
+}
+
+/// Layer-type filter for fault locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerType {
+    /// 2-D convolutions.
+    Conv2d,
+    /// 3-D convolutions.
+    Conv3d,
+    /// Fully-connected layers.
+    Linear,
+}
+
+impl fmt::Display for LayerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LayerType::Conv2d => "conv2d",
+            LayerType::Conv3d => "conv3d",
+            LayerType::Linear => "linear",
+        })
+    }
+}
+
+/// Number of simultaneous faults per image: a fixed count or a fraction
+/// of the model's total weights/neurons (§IV-B: "a fixed integer or a
+/// distribution ... a fraction of the total number").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultCount {
+    /// Exactly this many faults per image.
+    Fixed(usize),
+    /// `fraction * total_elements` faults per image (at least 1).
+    Fraction(f64),
+}
+
+impl FaultCount {
+    /// Resolves the count against the model's total element count.
+    pub fn resolve(&self, total_elements: usize) -> usize {
+        match self {
+            FaultCount::Fixed(n) => *n,
+            FaultCount::Fraction(f) => ((total_elements as f64 * f).round() as usize).max(1),
+        }
+    }
+}
+
+/// Error produced when a scenario file is malformed or inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// YAML-level syntax error.
+    Parse(ParseYamlError),
+    /// A field had the wrong type or an invalid value.
+    InvalidField {
+        /// Field name.
+        field: &'static str,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// File I/O failed.
+    Io(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(e) => write!(f, "{e}"),
+            ScenarioError::InvalidField { field, reason } => {
+                write!(f, "invalid scenario field `{field}`: {reason}")
+            }
+            ScenarioError::Io(msg) => write!(f, "scenario file i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ParseYamlError> for ScenarioError {
+    fn from(e: ParseYamlError) -> Self {
+        ScenarioError::Parse(e)
+    }
+}
+
+/// A complete fault-injection campaign configuration — the Rust
+/// counterpart of PyTorchALFI's `default.yml`.
+///
+/// The total number of pre-generated faults is
+/// `dataset_size * num_runs * faults_per_image` (paper §V-C:
+/// `n = a · b · c`).
+///
+/// # Example
+///
+/// ```
+/// use alfi_scenario::{Scenario, FaultMode, InjectionTarget};
+///
+/// let mut s = Scenario::default();
+/// s.dataset_size = 100;
+/// s.injection_target = InjectionTarget::Weights;
+/// s.fault_mode = FaultMode::exponent_bit_flip();
+/// let yml = s.to_yaml_string();
+/// let back = Scenario::from_yaml_str(&yml)?;
+/// assert_eq!(s, back);
+/// # Ok::<(), alfi_scenario::ScenarioError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Number of images (or dataset subset size) per run — `a`.
+    pub dataset_size: usize,
+    /// Number of passes over the dataset (epochs) — `b`.
+    pub num_runs: usize,
+    /// Simultaneous faults per image — `c` (fixed or fractional).
+    pub faults_per_image: FaultCount,
+    /// Images per batch.
+    pub batch_size: usize,
+    /// Whether to corrupt neurons or weights.
+    pub injection_target: InjectionTarget,
+    /// How often the active fault set advances.
+    pub injection_policy: InjectionPolicy,
+    /// Transient or permanent faults.
+    pub fault_duration: FaultDuration,
+    /// The value corruption model.
+    pub fault_mode: FaultMode,
+    /// Layer kinds eligible for injection.
+    pub layer_types: Vec<LayerType>,
+    /// Optional inclusive range restricting injection to specific layer
+    /// indices (positions within the model's injectable-layer list).
+    pub layer_range: Option<(usize, usize)>,
+    /// Weight the random layer choice by relative layer size (Eq. 1).
+    pub weighted_layer_selection: bool,
+    /// RNG seed for fault generation.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            dataset_size: 100,
+            num_runs: 1,
+            faults_per_image: FaultCount::Fixed(1),
+            batch_size: 1,
+            injection_target: InjectionTarget::Neurons,
+            injection_policy: InjectionPolicy::PerImage,
+            fault_duration: FaultDuration::Transient,
+            fault_mode: FaultMode::any_bit_flip(),
+            layer_types: vec![LayerType::Conv2d, LayerType::Conv3d, LayerType::Linear],
+            layer_range: None,
+            weighted_layer_selection: true,
+            seed: 0,
+        }
+    }
+}
+
+impl Scenario {
+    /// Total number of faults to pre-generate: `a · b · c` with `c`
+    /// resolved against `total_elements` (the model's weight or neuron
+    /// count, depending on the target).
+    pub fn total_faults(&self, total_elements: usize) -> usize {
+        self.dataset_size * self.num_runs * self.faults_per_image.resolve(total_elements)
+    }
+
+    /// Parses a scenario from YAML text. Missing fields fall back to
+    /// [`Scenario::default`] values; present fields are validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] on syntax errors or invalid field values.
+    pub fn from_yaml_str(text: &str) -> Result<Scenario, ScenarioError> {
+        let y = Yaml::parse(text)?;
+        let mut s = Scenario::default();
+
+        if let Some(v) = y.get("dataset_size") {
+            s.dataset_size = usize_field(v, "dataset_size")?;
+        }
+        if let Some(v) = y.get("num_runs") {
+            s.num_runs = usize_field(v, "num_runs")?;
+        }
+        if let Some(v) = y.get("batch_size") {
+            s.batch_size = usize_field(v, "batch_size")?;
+            if s.batch_size == 0 {
+                return Err(invalid("batch_size", "must be at least 1"));
+            }
+        }
+        if let Some(v) = y.get("max_faults_per_image") {
+            s.faults_per_image = match v {
+                Yaml::Int(i) if *i >= 0 => FaultCount::Fixed(*i as usize),
+                Yaml::Float(f) if (0.0..=1.0).contains(f) => FaultCount::Fraction(*f),
+                _ => {
+                    return Err(invalid(
+                        "max_faults_per_image",
+                        "expected a non-negative integer or a fraction in [0,1]",
+                    ))
+                }
+            };
+        }
+        if let Some(v) = y.get("injection_target") {
+            s.injection_target = match v.as_str() {
+                Some("neurons") => InjectionTarget::Neurons,
+                Some("weights") => InjectionTarget::Weights,
+                _ => return Err(invalid("injection_target", "expected `neurons` or `weights`")),
+            };
+        }
+        if let Some(v) = y.get("injection_policy") {
+            s.injection_policy = match v.as_str() {
+                Some("per_image") => InjectionPolicy::PerImage,
+                Some("per_batch") => InjectionPolicy::PerBatch,
+                Some("per_epoch") => InjectionPolicy::PerEpoch,
+                _ => {
+                    return Err(invalid(
+                        "injection_policy",
+                        "expected `per_image`, `per_batch` or `per_epoch`",
+                    ))
+                }
+            };
+        }
+        if let Some(v) = y.get("fault_duration") {
+            s.fault_duration = match v.as_str() {
+                Some("transient") => FaultDuration::Transient,
+                Some("permanent") => FaultDuration::Permanent,
+                _ => return Err(invalid("fault_duration", "expected `transient` or `permanent`")),
+            };
+        }
+        if let Some(v) = y.get("fault_mode") {
+            s.fault_mode = parse_fault_mode(v)?;
+        }
+        if let Some(v) = y.get("layer_types") {
+            let list = v
+                .as_list()
+                .ok_or_else(|| invalid("layer_types", "expected a list"))?;
+            let mut types = Vec::new();
+            for item in list {
+                types.push(match item.as_str() {
+                    Some("conv2d") => LayerType::Conv2d,
+                    Some("conv3d") => LayerType::Conv3d,
+                    Some("linear") => LayerType::Linear,
+                    _ => {
+                        return Err(invalid(
+                            "layer_types",
+                            "entries must be conv2d, conv3d or linear",
+                        ))
+                    }
+                });
+            }
+            if types.is_empty() {
+                return Err(invalid("layer_types", "must not be empty"));
+            }
+            s.layer_types = types;
+        }
+        if let Some(v) = y.get("layer_range") {
+            match v {
+                Yaml::Null => s.layer_range = None,
+                Yaml::List(items) if items.len() == 2 => {
+                    let lo = usize_field(&items[0], "layer_range")?;
+                    let hi = usize_field(&items[1], "layer_range")?;
+                    if lo > hi {
+                        return Err(invalid("layer_range", "low bound exceeds high bound"));
+                    }
+                    s.layer_range = Some((lo, hi));
+                }
+                _ => return Err(invalid("layer_range", "expected `[low, high]` or null")),
+            }
+        }
+        if let Some(v) = y.get("weighted_layer_selection") {
+            s.weighted_layer_selection = v
+                .as_bool()
+                .ok_or_else(|| invalid("weighted_layer_selection", "expected a boolean"))?;
+        }
+        if let Some(v) = y.get("seed") {
+            let i = v.as_i64().ok_or_else(|| invalid("seed", "expected an integer"))?;
+            s.seed = i as u64;
+        }
+        Ok(s)
+    }
+
+    /// Serializes the scenario to YAML. `from_yaml_str` on the output
+    /// reproduces the scenario exactly.
+    pub fn to_yaml_string(&self) -> String {
+        let mut m = BTreeMap::new();
+        m.insert("dataset_size".into(), Yaml::Int(self.dataset_size as i64));
+        m.insert("num_runs".into(), Yaml::Int(self.num_runs as i64));
+        m.insert("batch_size".into(), Yaml::Int(self.batch_size as i64));
+        m.insert(
+            "max_faults_per_image".into(),
+            match self.faults_per_image {
+                FaultCount::Fixed(n) => Yaml::Int(n as i64),
+                FaultCount::Fraction(f) => Yaml::Float(f),
+            },
+        );
+        m.insert("injection_target".into(), Yaml::Str(self.injection_target.to_string()));
+        m.insert("injection_policy".into(), Yaml::Str(self.injection_policy.to_string()));
+        m.insert("fault_duration".into(), Yaml::Str(self.fault_duration.to_string()));
+        m.insert("fault_mode".into(), fault_mode_yaml(&self.fault_mode));
+        m.insert(
+            "layer_types".into(),
+            Yaml::List(self.layer_types.iter().map(|t| Yaml::Str(t.to_string())).collect()),
+        );
+        m.insert(
+            "layer_range".into(),
+            match self.layer_range {
+                None => Yaml::Null,
+                Some((lo, hi)) => Yaml::List(vec![Yaml::Int(lo as i64), Yaml::Int(hi as i64)]),
+            },
+        );
+        m.insert("weighted_layer_selection".into(), Yaml::Bool(self.weighted_layer_selection));
+        m.insert("seed".into(), Yaml::Int(self.seed as i64));
+        Yaml::Map(m).to_yaml_string()
+    }
+
+    /// Loads a scenario from a YAML file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] if the file cannot be read, plus any
+    /// parse/validation error.
+    pub fn load(path: impl AsRef<Path>) -> Result<Scenario, ScenarioError> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| ScenarioError::Io(e.to_string()))?;
+        Scenario::from_yaml_str(&text)
+    }
+
+    /// Saves the scenario as a YAML file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ScenarioError> {
+        std::fs::write(path.as_ref(), self.to_yaml_string())
+            .map_err(|e| ScenarioError::Io(e.to_string()))
+    }
+}
+
+fn invalid(field: &'static str, reason: impl Into<String>) -> ScenarioError {
+    ScenarioError::InvalidField { field, reason: reason.into() }
+}
+
+fn usize_field(v: &Yaml, field: &'static str) -> Result<usize, ScenarioError> {
+    match v.as_i64() {
+        Some(i) if i >= 0 => Ok(i as usize),
+        _ => Err(invalid(field, "expected a non-negative integer")),
+    }
+}
+
+fn bit_range(v: &Yaml, field: &'static str) -> Result<(u8, u8), ScenarioError> {
+    let list = v.as_list().ok_or_else(|| invalid(field, "expected `[low, high]`"))?;
+    if list.len() != 2 {
+        return Err(invalid(field, "expected exactly two entries"));
+    }
+    let lo = list[0].as_i64().ok_or_else(|| invalid(field, "bounds must be integers"))?;
+    let hi = list[1].as_i64().ok_or_else(|| invalid(field, "bounds must be integers"))?;
+    if !(0..=31).contains(&lo) || !(0..=31).contains(&hi) || lo > hi {
+        return Err(invalid(field, "bounds must satisfy 0 <= low <= high <= 31"));
+    }
+    Ok((lo as u8, hi as u8))
+}
+
+fn parse_fault_mode(v: &Yaml) -> Result<FaultMode, ScenarioError> {
+    let mode = v
+        .get("mode")
+        .and_then(Yaml::as_str)
+        .ok_or_else(|| invalid("fault_mode", "missing `mode` key"))?;
+    match mode {
+        "bitflip" => {
+            let range = v
+                .get("rnd_bit_range")
+                .map(|r| bit_range(r, "fault_mode"))
+                .transpose()?
+                .unwrap_or((0, 31));
+            Ok(FaultMode::BitFlip { bit_range: range })
+        }
+        "stuck_at" => {
+            let range = v
+                .get("rnd_bit_range")
+                .map(|r| bit_range(r, "fault_mode"))
+                .transpose()?
+                .unwrap_or((0, 31));
+            let stuck_high = v
+                .get("stuck_high")
+                .map(|b| b.as_bool().ok_or_else(|| invalid("fault_mode", "stuck_high must be a boolean")))
+                .transpose()?
+                .unwrap_or(true);
+            Ok(FaultMode::StuckAt { bit_range: range, stuck_high })
+        }
+        "random_value" => {
+            let min = v
+                .get("min")
+                .and_then(Yaml::as_f64)
+                .ok_or_else(|| invalid("fault_mode", "random_value requires numeric `min`"))?;
+            let max = v
+                .get("max")
+                .and_then(Yaml::as_f64)
+                .ok_or_else(|| invalid("fault_mode", "random_value requires numeric `max`"))?;
+            // NaN min/max must be rejected too: NaN compares false on
+            // both orderings, so only a definite min<=max passes.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(min <= max) {
+                return Err(invalid("fault_mode", "min must not exceed max"));
+            }
+            Ok(FaultMode::RandomValue { min: min as f32, max: max as f32 })
+        }
+        other => Err(invalid("fault_mode", format!("unknown mode `{other}`"))),
+    }
+}
+
+fn fault_mode_yaml(m: &FaultMode) -> Yaml {
+    let mut map = BTreeMap::new();
+    match m {
+        FaultMode::BitFlip { bit_range } => {
+            map.insert("mode".into(), Yaml::Str("bitflip".into()));
+            map.insert(
+                "rnd_bit_range".into(),
+                Yaml::List(vec![Yaml::Int(bit_range.0 as i64), Yaml::Int(bit_range.1 as i64)]),
+            );
+        }
+        FaultMode::StuckAt { bit_range, stuck_high } => {
+            map.insert("mode".into(), Yaml::Str("stuck_at".into()));
+            map.insert(
+                "rnd_bit_range".into(),
+                Yaml::List(vec![Yaml::Int(bit_range.0 as i64), Yaml::Int(bit_range.1 as i64)]),
+            );
+            map.insert("stuck_high".into(), Yaml::Bool(*stuck_high));
+        }
+        FaultMode::RandomValue { min, max } => {
+            map.insert("mode".into(), Yaml::Str("random_value".into()));
+            map.insert("min".into(), Yaml::Float(*min as f64));
+            map.insert("max".into(), Yaml::Float(*max as f64));
+        }
+    }
+    Yaml::Map(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_round_trips() {
+        let s = Scenario::default();
+        let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let mut s = Scenario {
+            dataset_size: 512,
+            num_runs: 3,
+            faults_per_image: FaultCount::Fraction(0.001),
+            batch_size: 8,
+            injection_target: InjectionTarget::Weights,
+            injection_policy: InjectionPolicy::PerEpoch,
+            fault_duration: FaultDuration::Permanent,
+            fault_mode: FaultMode::StuckAt { bit_range: (23, 30), stuck_high: false },
+            layer_types: vec![LayerType::Conv2d],
+            layer_range: Some((2, 7)),
+            weighted_layer_selection: false,
+            seed: 42,
+        };
+        let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+        assert_eq!(s, back);
+        s.fault_mode = FaultMode::RandomValue { min: -2.5, max: 7.25 };
+        let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn missing_fields_take_defaults() {
+        let s = Scenario::from_yaml_str("dataset_size: 7\n").unwrap();
+        assert_eq!(s.dataset_size, 7);
+        assert_eq!(s.num_runs, Scenario::default().num_runs);
+        assert_eq!(s.fault_mode, FaultMode::any_bit_flip());
+    }
+
+    #[test]
+    fn paper_style_document_parses() {
+        let text = "\
+# PyTorchALFI-style scenario
+dataset_size: 1000
+num_runs: 1
+max_faults_per_image: 1
+injection_target: weights
+injection_policy: per_image
+fault_mode:
+  mode: bitflip
+  rnd_bit_range: [23, 30]
+layer_types:
+  - conv2d
+  - linear
+weighted_layer_selection: true
+seed: 1234
+";
+        let s = Scenario::from_yaml_str(text).unwrap();
+        assert_eq!(s.injection_target, InjectionTarget::Weights);
+        assert_eq!(s.fault_mode, FaultMode::exponent_bit_flip());
+        assert_eq!(s.layer_types, vec![LayerType::Conv2d, LayerType::Linear]);
+        assert_eq!(s.seed, 1234);
+    }
+
+    #[test]
+    fn total_faults_is_product_of_a_b_c() {
+        let mut s = Scenario::default();
+        s.dataset_size = 10;
+        s.num_runs = 3;
+        s.faults_per_image = FaultCount::Fixed(5);
+        assert_eq!(s.total_faults(1_000_000), 150);
+        s.faults_per_image = FaultCount::Fraction(0.001);
+        assert_eq!(s.total_faults(10_000), 10 * 3 * 10);
+    }
+
+    #[test]
+    fn fraction_count_is_at_least_one() {
+        assert_eq!(FaultCount::Fraction(1e-9).resolve(10), 1);
+        assert_eq!(FaultCount::Fixed(0).resolve(10), 0);
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected() {
+        assert!(Scenario::from_yaml_str("injection_target: cpu\n").is_err());
+        assert!(Scenario::from_yaml_str("injection_policy: sometimes\n").is_err());
+        assert!(Scenario::from_yaml_str("fault_duration: flaky\n").is_err());
+        assert!(Scenario::from_yaml_str("dataset_size: -1\n").is_err());
+        assert!(Scenario::from_yaml_str("batch_size: 0\n").is_err());
+        assert!(Scenario::from_yaml_str("layer_types: []\n").is_err());
+        assert!(Scenario::from_yaml_str("layer_range: [5, 2]\n").is_err());
+        assert!(Scenario::from_yaml_str("fault_mode:\n  mode: wat\n").is_err());
+        assert!(Scenario::from_yaml_str("fault_mode:\n  mode: bitflip\n  rnd_bit_range: [0, 40]\n").is_err());
+        assert!(Scenario::from_yaml_str("fault_mode:\n  mode: random_value\n  min: 3\n  max: 1\n").is_err());
+        assert!(Scenario::from_yaml_str("max_faults_per_image: 1.5\n").is_err());
+    }
+
+    #[test]
+    fn fractional_faults_parse_from_float() {
+        let s = Scenario::from_yaml_str("max_faults_per_image: 0.01\n").unwrap();
+        assert_eq!(s.faults_per_image, FaultCount::Fraction(0.01));
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let dir = std::env::temp_dir().join("alfi_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("default.yml");
+        let s = Scenario { seed: 77, ..Scenario::default() };
+        s.save(&path).unwrap();
+        let back = Scenario::load(&path).unwrap();
+        assert_eq!(s, back);
+        assert!(Scenario::load(dir.join("missing.yml")).is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_field() {
+        let e = Scenario::from_yaml_str("seed: notanumber\n").unwrap_err();
+        assert!(e.to_string().contains("seed"));
+    }
+}

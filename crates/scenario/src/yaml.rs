@@ -1,0 +1,600 @@
+//! A small, self-contained YAML-subset parser and serializer.
+//!
+//! PyTorchALFI configures every campaign through a `default.yml` scenario
+//! file and dumps the effective parameters back to YAML for replay
+//! (§IV-B: "PyTorchALFI saves all experiment parameters in a yml file
+//! format, which can be used to replicate an experiment"). No YAML crate
+//! is available offline, so this module implements the subset those
+//! files need:
+//!
+//! * nested maps via indentation,
+//! * scalars: null, booleans, integers, floats, single/double-quoted and
+//!   bare strings,
+//! * inline flow lists of scalars (`[0, 31]`),
+//! * block lists of scalars (`- conv2d`),
+//! * `#` comments and blank lines.
+//!
+//! Deliberately unsupported: anchors, aliases, multi-document streams,
+//! block lists of maps, multiline strings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed YAML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Yaml {
+    /// `null` / `~` / empty value.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer scalar.
+    Int(i64),
+    /// Floating-point scalar.
+    Float(f64),
+    /// String scalar.
+    Str(String),
+    /// Sequence (`[..]` or `- item` block form).
+    List(Vec<Yaml>),
+    /// Mapping. Keys keep sorted order for deterministic serialization.
+    Map(BTreeMap<String, Yaml>),
+}
+
+/// Error produced when parsing malformed YAML input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseYamlError {
+    /// 1-based line number of the offending input line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseYamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseYamlError {}
+
+impl Yaml {
+    /// Parses a YAML document into a value (usually a [`Yaml::Map`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseYamlError`] with a line number on malformed input.
+    pub fn parse(text: &str) -> Result<Yaml, ParseYamlError> {
+        let lines: Vec<Line> = text
+            .lines()
+            .enumerate()
+            .map(|(i, raw)| Line::lex(i + 1, raw))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .flatten()
+            .collect();
+        if lines.is_empty() {
+            return Ok(Yaml::Map(BTreeMap::new()));
+        }
+        let mut pos = 0usize;
+        let v = parse_block(&lines, &mut pos, lines[0].indent)?;
+        if pos != lines.len() {
+            return Err(ParseYamlError {
+                line: lines[pos].number,
+                message: "trailing content outside the document structure".into(),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Serializes the value as a YAML document string. Parsing the output
+    /// reproduces the value exactly (round-trip property).
+    pub fn to_yaml_string(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Yaml::Map(_) | Yaml::List(_) => emit(self, 0, &mut out),
+            scalar => {
+                out.push_str(&emit_scalar(scalar));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The value under `key` if this is a map.
+    pub fn get(&self, key: &str) -> Option<&Yaml> {
+        match self {
+            Yaml::Map(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an integer (accepting `Int`).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Yaml::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a float (accepting `Float` and `Int`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Yaml::Float(f) => Some(*f),
+            Yaml::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Yaml::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Yaml::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a list slice.
+    pub fn as_list(&self) -> Option<&[Yaml]> {
+        match self {
+            Yaml::List(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Yaml {
+    fn from(v: i64) -> Self {
+        Yaml::Int(v)
+    }
+}
+
+impl From<f64> for Yaml {
+    fn from(v: f64) -> Self {
+        Yaml::Float(v)
+    }
+}
+
+impl From<bool> for Yaml {
+    fn from(v: bool) -> Self {
+        Yaml::Bool(v)
+    }
+}
+
+impl From<&str> for Yaml {
+    fn from(v: &str) -> Self {
+        Yaml::Str(v.to_string())
+    }
+}
+
+impl From<String> for Yaml {
+    fn from(v: String) -> Self {
+        Yaml::Str(v)
+    }
+}
+
+/// One meaningful (non-blank, non-comment) input line.
+#[derive(Debug)]
+struct Line {
+    number: usize,
+    indent: usize,
+    content: LineContent,
+}
+
+#[derive(Debug)]
+enum LineContent {
+    /// `key:` or `key: value`
+    KeyValue(String, Option<String>),
+    /// `- value`
+    ListItem(String),
+}
+
+impl Line {
+    /// Lexes a raw line; comments and blank lines produce `None`.
+    fn lex(number: usize, raw: &str) -> Result<Option<Line>, ParseYamlError> {
+        let without_comment = strip_comment(raw);
+        let trimmed_end = without_comment.trim_end();
+        if trimmed_end.trim().is_empty() {
+            return Ok(None);
+        }
+        let indent = trimmed_end.len() - trimmed_end.trim_start().len();
+        if trimmed_end[..indent].contains('\t') {
+            return Err(ParseYamlError { line: number, message: "tabs are not allowed in indentation".into() });
+        }
+        let body = trimmed_end.trim_start();
+        let content = if let Some(rest) = body.strip_prefix("- ") {
+            LineContent::ListItem(rest.trim().to_string())
+        } else if body == "-" {
+            LineContent::ListItem(String::new())
+        } else if let Some(colon) = find_key_colon(body) {
+            let key = unquote(body[..colon].trim());
+            let val = body[colon + 1..].trim();
+            LineContent::KeyValue(key, if val.is_empty() { None } else { Some(val.to_string()) })
+        } else {
+            return Err(ParseYamlError {
+                line: number,
+                message: format!("expected `key: value` or `- item`, got `{body}`"),
+            });
+        };
+        Ok(Some(Line { number, indent, content }))
+    }
+}
+
+/// Removes a `#` comment unless inside quotes.
+fn strip_comment(s: &str) -> &str {
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double => return &s[..i],
+            _ => {}
+        }
+    }
+    s
+}
+
+/// Finds the colon separating key from value (outside quotes / brackets).
+fn find_key_colon(s: &str) -> Option<usize> {
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '[' if !in_single && !in_double => depth += 1,
+            ']' if !in_single && !in_double => depth -= 1,
+            ':' if !in_single && !in_double && depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn unquote(s: &str) -> String {
+    let bytes = s.as_bytes();
+    if bytes.len() >= 2
+        && ((bytes[0] == b'"' && bytes[bytes.len() - 1] == b'"')
+            || (bytes[0] == b'\'' && bytes[bytes.len() - 1] == b'\''))
+    {
+        s[1..s.len() - 1].to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parses a scalar or inline-list token.
+fn parse_scalar(token: &str, line: usize) -> Result<Yaml, ParseYamlError> {
+    let t = token.trim();
+    if t.is_empty() || t == "~" || t == "null" {
+        return Ok(Yaml::Null);
+    }
+    if t == "{}" {
+        return Ok(Yaml::Map(BTreeMap::new()));
+    }
+    if t.starts_with('[') {
+        if !t.ends_with(']') {
+            return Err(ParseYamlError { line, message: format!("unterminated inline list `{t}`") });
+        }
+        let inner = &t[1..t.len() - 1];
+        let mut items = Vec::new();
+        for piece in split_inline(inner) {
+            let piece = piece.trim();
+            if !piece.is_empty() {
+                items.push(parse_scalar(piece, line)?);
+            }
+        }
+        return Ok(Yaml::List(items));
+    }
+    if t == "true" {
+        return Ok(Yaml::Bool(true));
+    }
+    if t == "false" {
+        return Ok(Yaml::Bool(false));
+    }
+    let quoted = (t.starts_with('"') && t.ends_with('"') && t.len() >= 2)
+        || (t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2);
+    if quoted {
+        return Ok(Yaml::Str(unquote(t)));
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Ok(Yaml::Int(i));
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Ok(Yaml::Float(f));
+    }
+    Ok(Yaml::Str(t.to_string()))
+}
+
+/// Splits inline list content on commas outside quotes/brackets.
+fn split_inline(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut depth = 0i32;
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '[' if !in_single && !in_double => depth += 1,
+            ']' if !in_single && !in_double => depth -= 1,
+            ',' if depth == 0 && !in_single && !in_double => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// Parses a block (map or list) whose lines share indentation `indent`.
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, ParseYamlError> {
+    let first_is_list = matches!(lines[*pos].content, LineContent::ListItem(_));
+    if first_is_list {
+        let mut items = Vec::new();
+        while *pos < lines.len() && lines[*pos].indent == indent {
+            match &lines[*pos].content {
+                LineContent::ListItem(v) => {
+                    items.push(parse_scalar(v, lines[*pos].number)?);
+                    *pos += 1;
+                }
+                LineContent::KeyValue(..) => break,
+            }
+        }
+        return Ok(Yaml::List(items));
+    }
+    let mut map = BTreeMap::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(ParseYamlError {
+                line: line.number,
+                message: "unexpected indentation increase".into(),
+            });
+        }
+        match &line.content {
+            LineContent::ListItem(_) => {
+                return Err(ParseYamlError {
+                    line: line.number,
+                    message: "list item in map context".into(),
+                })
+            }
+            LineContent::KeyValue(key, value) => {
+                let key = key.clone();
+                let number = line.number;
+                if map.contains_key(&key) {
+                    return Err(ParseYamlError {
+                        line: number,
+                        message: format!("duplicate key `{key}`"),
+                    });
+                }
+                match value {
+                    Some(v) => {
+                        let parsed = parse_scalar(v, number)?;
+                        *pos += 1;
+                        map.insert(key, parsed);
+                    }
+                    None => {
+                        *pos += 1;
+                        if *pos < lines.len() && lines[*pos].indent > indent {
+                            let child_indent = lines[*pos].indent;
+                            let child = parse_block(lines, pos, child_indent)?;
+                            map.insert(key, child);
+                        } else {
+                            map.insert(key, Yaml::Null);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Yaml::Map(map))
+}
+
+fn emit_scalar(v: &Yaml) -> String {
+    match v {
+        Yaml::Null => "null".to_string(),
+        Yaml::Bool(b) => b.to_string(),
+        Yaml::Int(i) => i.to_string(),
+        Yaml::Float(f) => {
+            // Ensure floats stay floats across a round trip.
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Yaml::Str(s) => {
+            let needs_quotes = s.is_empty()
+                || s.parse::<i64>().is_ok()
+                || s.parse::<f64>().is_ok()
+                || matches!(s.as_str(), "true" | "false" | "null" | "~")
+                || s.contains([':', '#', '[', ']', ',', '\'', '"', '\n'])
+                || s.starts_with(['-', ' '])
+                || s.ends_with(' ');
+            if needs_quotes {
+                format!("\"{}\"", s.replace('"', "'"))
+            } else {
+                s.clone()
+            }
+        }
+        Yaml::List(items) => {
+            let inner: Vec<String> = items.iter().map(emit_scalar).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Yaml::Map(m) if m.is_empty() => "{}".to_string(),
+        Yaml::Map(_) => unreachable!("non-empty maps are emitted in block form"),
+    }
+}
+
+fn emit(v: &Yaml, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Yaml::Map(m) => {
+            for (k, val) in m {
+                match val {
+                    Yaml::Map(inner) if !inner.is_empty() => {
+                        out.push_str(&format!("{pad}{k}:\n"));
+                        emit(val, indent + 1, out);
+                    }
+                    _ => {
+                        out.push_str(&format!("{pad}{k}: {}\n", emit_scalar(val)));
+                    }
+                }
+            }
+        }
+        Yaml::List(items) => {
+            for item in items {
+                out.push_str(&format!("{pad}- {}\n", emit_scalar(item)));
+            }
+        }
+        scalar => {
+            out.push_str(&format!("{pad}{}\n", emit_scalar(scalar)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_map_with_scalars() {
+        let y = Yaml::parse(
+            "dataset_size: 100\nnum_runs: 2\nfrac: 0.5\nenabled: true\nname: resnet\nnothing: ~\n",
+        )
+        .unwrap();
+        assert_eq!(y.get("dataset_size").unwrap().as_i64(), Some(100));
+        assert_eq!(y.get("frac").unwrap().as_f64(), Some(0.5));
+        assert_eq!(y.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(y.get("name").unwrap().as_str(), Some("resnet"));
+        assert_eq!(y.get("nothing"), Some(&Yaml::Null));
+    }
+
+    #[test]
+    fn parses_nested_maps() {
+        let y = Yaml::parse("fault_model:\n  mode: bitflip\n  range: [0, 31]\nseed: 7\n").unwrap();
+        let fm = y.get("fault_model").unwrap();
+        assert_eq!(fm.get("mode").unwrap().as_str(), Some("bitflip"));
+        assert_eq!(
+            fm.get("range").unwrap().as_list().unwrap(),
+            &[Yaml::Int(0), Yaml::Int(31)]
+        );
+        assert_eq!(y.get("seed").unwrap().as_i64(), Some(7));
+    }
+
+    #[test]
+    fn parses_block_lists() {
+        let y = Yaml::parse("layer_types:\n  - conv2d\n  - linear\n").unwrap();
+        let l = y.get("layer_types").unwrap().as_list().unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].as_str(), Some("conv2d"));
+    }
+
+    #[test]
+    fn strips_comments_and_blank_lines() {
+        let y = Yaml::parse("# header\n\na: 1 # trailing\n# middle\nb: 2\n").unwrap();
+        assert_eq!(y.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(y.get("b").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn quoted_strings_preserve_specials() {
+        let y = Yaml::parse("a: \"has # hash\"\nb: '123'\n").unwrap();
+        assert_eq!(y.get("a").unwrap().as_str(), Some("has # hash"));
+        assert_eq!(y.get("b").unwrap().as_str(), Some("123"));
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let e = Yaml::parse("a: 1\na: 2\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_tab_indentation_and_garbage() {
+        assert!(Yaml::parse("a:\n\tb: 1\n").is_err());
+        assert!(Yaml::parse("just some words\n").is_err());
+        assert!(Yaml::parse("a: [1, 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_list_item_in_map_context() {
+        assert!(Yaml::parse("a: 1\n- b\n").is_err());
+    }
+
+    #[test]
+    fn empty_document_is_empty_map() {
+        assert_eq!(Yaml::parse("").unwrap(), Yaml::Map(BTreeMap::new()));
+        assert_eq!(Yaml::parse("# only comments\n").unwrap(), Yaml::Map(BTreeMap::new()));
+    }
+
+    #[test]
+    fn negative_and_float_scalars() {
+        let y = Yaml::parse("a: -5\nb: -2.25\nc: 1e3\n").unwrap();
+        assert_eq!(y.get("a").unwrap().as_i64(), Some(-5));
+        assert_eq!(y.get("b").unwrap().as_f64(), Some(-2.25));
+        assert_eq!(y.get("c").unwrap().as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn round_trip_nested_document() {
+        let src = "fault_model:\n  mode: bitflip\n  range: [0, 31]\nlayers:\n  - conv2d\n  - linear\nseed: 7\nfrac: 0.5\n";
+        let y = Yaml::parse(src).unwrap();
+        let emitted = y.to_yaml_string();
+        let reparsed = Yaml::parse(&emitted).unwrap();
+        assert_eq!(y, reparsed);
+    }
+
+    #[test]
+    fn numeric_looking_strings_survive_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("v".to_string(), Yaml::Str("123".into()));
+        m.insert("w".to_string(), Yaml::Str("true".into()));
+        let y = Yaml::Map(m);
+        let reparsed = Yaml::parse(&y.to_yaml_string()).unwrap();
+        assert_eq!(y, reparsed);
+    }
+
+    #[test]
+    fn float_int_distinction_survives_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("f".to_string(), Yaml::Float(2.0));
+        m.insert("i".to_string(), Yaml::Int(2));
+        let y = Yaml::Map(m);
+        let reparsed = Yaml::parse(&y.to_yaml_string()).unwrap();
+        assert_eq!(y, reparsed);
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        let src = "a:\n  b:\n    c:\n      d: 1\n";
+        let y = Yaml::parse(src).unwrap();
+        assert_eq!(
+            y.get("a").unwrap().get("b").unwrap().get("c").unwrap().get("d").unwrap().as_i64(),
+            Some(1)
+        );
+        assert_eq!(Yaml::parse(&y.to_yaml_string()).unwrap(), y);
+    }
+
+    #[test]
+    fn key_with_empty_nested_block_is_null() {
+        let y = Yaml::parse("a:\nb: 2\n").unwrap();
+        assert_eq!(y.get("a"), Some(&Yaml::Null));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: scenario and YAML round-trip invariants.
+
+use alfi_scenario::{
+    FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerType, Scenario,
+    Yaml,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let fault_mode = prop_oneof![
+        (0u8..32, 0u8..32).prop_map(|(a, b)| FaultMode::BitFlip {
+            bit_range: (a.min(b), a.max(b))
+        }),
+        (0u8..32, 0u8..32, any::<bool>()).prop_map(|(a, b, high)| FaultMode::StuckAt {
+            bit_range: (a.min(b), a.max(b)),
+            stuck_high: high,
+        }),
+        (-100.0f32..0.0, 0.0f32..100.0)
+            .prop_map(|(min, max)| FaultMode::RandomValue { min, max }),
+    ];
+    let faults = prop_oneof![
+        (0usize..1000).prop_map(FaultCount::Fixed),
+        (0.0f64..=1.0).prop_map(FaultCount::Fraction),
+    ];
+    let layer_types = proptest::sample::subsequence(
+        vec![LayerType::Conv2d, LayerType::Conv3d, LayerType::Linear],
+        1..=3,
+    );
+    (
+        (0usize..100_000, 0usize..10, faults, 1usize..64),
+        (any::<bool>(), 0usize..3, any::<bool>(), fault_mode),
+        layer_types,
+        proptest::option::of((0usize..50, 0usize..50)),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(
+                (dataset_size, num_runs, faults_per_image, batch_size),
+                (neurons, policy, transient, fault_mode),
+                layer_types,
+                range,
+                weighted_layer_selection,
+                seed,
+            )| Scenario {
+                dataset_size,
+                num_runs,
+                faults_per_image,
+                batch_size,
+                injection_target: if neurons {
+                    InjectionTarget::Neurons
+                } else {
+                    InjectionTarget::Weights
+                },
+                injection_policy: match policy {
+                    0 => InjectionPolicy::PerImage,
+                    1 => InjectionPolicy::PerBatch,
+                    _ => InjectionPolicy::PerEpoch,
+                },
+                fault_duration: if transient {
+                    FaultDuration::Transient
+                } else {
+                    FaultDuration::Permanent
+                },
+                fault_mode,
+                layer_types,
+                layer_range: range.map(|(a, b)| (a.min(b), a.max(b))),
+                weighted_layer_selection,
+                seed,
+            },
+        )
+}
+
+/// Arbitrary YAML values over the subset our parser supports. Strings
+/// avoid the characters the emitter would have to escape beyond quoting.
+fn arb_yaml(depth: u32) -> BoxedStrategy<Yaml> {
+    let scalar = prop_oneof![
+        Just(Yaml::Null),
+        any::<bool>().prop_map(Yaml::Bool),
+        any::<i64>().prop_map(Yaml::Int),
+        (-1.0e12f64..1.0e12).prop_map(Yaml::Float),
+        "[a-zA-Z][a-zA-Z0-9 _./-]{0,14}[a-zA-Z0-9]".prop_map(Yaml::Str),
+    ];
+    if depth == 0 {
+        return scalar.boxed();
+    }
+    prop_oneof![
+        4 => scalar.clone(),
+        1 => proptest::collection::vec(scalar.clone(), 0..4).prop_map(Yaml::List),
+        1 => proptest::collection::btree_map(
+            "[a-z][a-z0-9_]{0,10}",
+            arb_yaml(depth - 1),
+            0..4,
+        )
+        .prop_map(|m| Yaml::Map(m.into_iter().collect::<BTreeMap<_, _>>())),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every representable scenario round-trips through YAML exactly.
+    #[test]
+    fn scenario_yaml_round_trip(s in arb_scenario()) {
+        let text = s.to_yaml_string();
+        let back = Scenario::from_yaml_str(&text).unwrap();
+        prop_assert_eq!(s, back);
+    }
+
+    /// YAML documents emitted by the serializer re-parse to the same
+    /// value (maps/lists/scalars, arbitrary nesting).
+    #[test]
+    fn yaml_emit_parse_round_trip(y in arb_yaml(3)) {
+        // Top-level scalars serialize as a single line; wrap in a map for
+        // the canonical document form too.
+        let mut doc = BTreeMap::new();
+        doc.insert("root".to_string(), y);
+        let doc = Yaml::Map(doc);
+        let text = doc.to_yaml_string();
+        let back = Yaml::parse(&text).unwrap();
+        prop_assert_eq!(doc, back);
+    }
+
+    /// total_faults never overflows the product semantics for sane sizes.
+    #[test]
+    fn total_faults_is_product(ds in 0usize..1000, runs in 0usize..10, fpi in 0usize..100) {
+        let mut s = Scenario::default();
+        s.dataset_size = ds;
+        s.num_runs = runs;
+        s.faults_per_image = FaultCount::Fixed(fpi);
+        prop_assert_eq!(s.total_faults(123), ds * runs * fpi);
+    }
+
+    /// The parser never panics on arbitrary input strings.
+    #[test]
+    fn parser_is_total(input in "\\PC{0,200}") {
+        let _ = Yaml::parse(&input);
+        let _ = Scenario::from_yaml_str(&input);
+    }
+}

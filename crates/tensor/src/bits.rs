@@ -1,0 +1,273 @@
+//! Bit-level fault primitives on IEEE-754 `f32` values.
+//!
+//! Hardware faults (radiation-induced single-event upsets, voltage droop,
+//! stuck-at defects) manifest at the application level as corrupted bits
+//! in register or memory words. This module implements the fault model
+//! PyTorchALFI uses: single- and multi-bit flips at chosen positions of a
+//! 32-bit float, with classification of which IEEE-754 field a bit
+//! belongs to and the direction of the flip (0→1 or 1→0) — both of which
+//! the paper's trace files record for every injected fault.
+//!
+//! Bit numbering is LSB-first: bit 0 is the least-significant mantissa
+//! bit, bits 0–22 are mantissa, 23–30 exponent, 31 the sign.
+
+/// Number of bits in the `f32` representation.
+pub const F32_BITS: u8 = 32;
+/// Inclusive range of mantissa bit positions in an `f32`.
+pub const F32_MANTISSA_RANGE: (u8, u8) = (0, 22);
+/// Inclusive range of exponent bit positions in an `f32` — the
+/// "exponential bits" the paper's Fig. 2a campaign targets.
+pub const F32_EXPONENT_RANGE: (u8, u8) = (23, 30);
+/// Sign bit position in an `f32`.
+pub const F32_SIGN_BIT: u8 = 31;
+
+/// The IEEE-754 field a bit position belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitField {
+    /// Bits 0–22: fraction. Flips here perturb the value by at most a
+    /// factor of 2 and are frequently masked by the network.
+    Mantissa,
+    /// Bits 23–30: biased exponent. Flips here rescale the value by up to
+    /// 2^128 and dominate silent-data-error rates.
+    Exponent,
+    /// Bit 31. Flips the sign of the value.
+    Sign,
+}
+
+impl BitField {
+    /// Classifies an `f32` bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 32`.
+    pub fn of(pos: u8) -> BitField {
+        assert!(pos < F32_BITS, "bit position {pos} out of range for f32");
+        match pos {
+            0..=22 => BitField::Mantissa,
+            23..=30 => BitField::Exponent,
+            _ => BitField::Sign,
+        }
+    }
+}
+
+impl std::fmt::Display for BitField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BitField::Mantissa => "mantissa",
+            BitField::Exponent => "exponent",
+            BitField::Sign => "sign",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Direction of a bit flip, recorded in ALFI trace files so experiments
+/// can distinguish 0→1 upsets (which tend to inflate magnitudes when they
+/// hit high exponent bits) from 1→0 upsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlipDirection {
+    /// The bit was 0 before the fault and 1 after.
+    ZeroToOne,
+    /// The bit was 1 before the fault and 0 after.
+    OneToZero,
+}
+
+impl std::fmt::Display for FlipDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlipDirection::ZeroToOne => f.write_str("0->1"),
+            FlipDirection::OneToZero => f.write_str("1->0"),
+        }
+    }
+}
+
+/// Flips bit `pos` of `value`, returning the corrupted value.
+///
+/// # Panics
+///
+/// Panics if `pos >= 32`.
+///
+/// # Example
+///
+/// ```
+/// use alfi_tensor::bits::flip_bit;
+///
+/// // Flipping the sign bit of 1.0 yields -1.0.
+/// assert_eq!(flip_bit(1.0, 31), -1.0);
+/// // Flipping twice restores the original bit pattern exactly.
+/// assert_eq!(flip_bit(flip_bit(3.5, 17), 17), 3.5);
+/// ```
+pub fn flip_bit(value: f32, pos: u8) -> f32 {
+    assert!(pos < F32_BITS, "bit position {pos} out of range for f32");
+    f32::from_bits(value.to_bits() ^ (1u32 << pos))
+}
+
+/// Flips bit `pos` and additionally reports the flip direction.
+///
+/// # Panics
+///
+/// Panics if `pos >= 32`.
+pub fn flip_bit_traced(value: f32, pos: u8) -> (f32, FlipDirection) {
+    assert!(pos < F32_BITS, "bit position {pos} out of range for f32");
+    let was_set = value.to_bits() & (1u32 << pos) != 0;
+    let direction = if was_set { FlipDirection::OneToZero } else { FlipDirection::ZeroToOne };
+    (flip_bit(value, pos), direction)
+}
+
+/// Reads bit `pos` of `value`.
+///
+/// # Panics
+///
+/// Panics if `pos >= 32`.
+pub fn get_bit(value: f32, pos: u8) -> bool {
+    assert!(pos < F32_BITS, "bit position {pos} out of range for f32");
+    value.to_bits() & (1u32 << pos) != 0
+}
+
+/// Forces bit `pos` of `value` to `bit` — the *stuck-at* permanent fault
+/// model (stuck-at-1 for `bit = true`, stuck-at-0 for `bit = false`).
+///
+/// # Panics
+///
+/// Panics if `pos >= 32`.
+pub fn set_bit(value: f32, pos: u8, bit: bool) -> f32 {
+    assert!(pos < F32_BITS, "bit position {pos} out of range for f32");
+    let mask = 1u32 << pos;
+    let bits = if bit { value.to_bits() | mask } else { value.to_bits() & !mask };
+    f32::from_bits(bits)
+}
+
+/// Flips several distinct bit positions at once (multi-bit upset).
+///
+/// # Panics
+///
+/// Panics if any position is `>= 32`.
+pub fn flip_bits(value: f32, positions: &[u8]) -> f32 {
+    let mut mask = 0u32;
+    for &p in positions {
+        assert!(p < F32_BITS, "bit position {p} out of range for f32");
+        mask ^= 1u32 << p;
+    }
+    f32::from_bits(value.to_bits() ^ mask)
+}
+
+/// Relative magnitude perturbation caused by flipping `pos` in `value`:
+/// `|corrupted - value| / max(|value|, f32::MIN_POSITIVE)`.
+///
+/// Infinite or NaN corruptions return `f32::INFINITY`. Used by analyses
+/// ranking bit positions by expected impact.
+///
+/// # Panics
+///
+/// Panics if `pos >= 32`.
+pub fn flip_impact(value: f32, pos: u8) -> f32 {
+    let corrupted = flip_bit(value, pos);
+    if !corrupted.is_finite() {
+        return f32::INFINITY;
+    }
+    (corrupted - value).abs() / value.abs().max(f32::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_field_classification_matches_ieee754_layout() {
+        assert_eq!(BitField::of(0), BitField::Mantissa);
+        assert_eq!(BitField::of(22), BitField::Mantissa);
+        assert_eq!(BitField::of(23), BitField::Exponent);
+        assert_eq!(BitField::of(30), BitField::Exponent);
+        assert_eq!(BitField::of(31), BitField::Sign);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_field_of_32_panics() {
+        let _ = BitField::of(32);
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for pos in 0..32u8 {
+            let v = 123.456f32;
+            assert_eq!(flip_bit(flip_bit(v, pos), pos).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn sign_bit_flip_negates() {
+        assert_eq!(flip_bit(2.5, F32_SIGN_BIT), -2.5);
+        assert_eq!(flip_bit(-2.5, F32_SIGN_BIT), 2.5);
+    }
+
+    #[test]
+    fn high_exponent_flip_explodes_magnitude() {
+        // 1.0 has exponent 0111_1111; flipping bit 30 gives exponent
+        // 1111_1111 with zero mantissa => +inf is NOT produced (exponent
+        // 0xFF with zero mantissa is inf). Verify the documented hazard.
+        let corrupted = flip_bit(1.0, 30);
+        assert!(corrupted.is_infinite() || corrupted > 1.0e30);
+    }
+
+    #[test]
+    fn low_mantissa_flip_is_tiny() {
+        let v = 1.0f32;
+        let c = flip_bit(v, 0);
+        assert!((c - v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn traced_flip_reports_direction() {
+        // Bit 30 of 1.0 (0x3F800000) is 0 -> flipping sets it.
+        let (_, d) = flip_bit_traced(1.0, 30);
+        assert_eq!(d, FlipDirection::ZeroToOne);
+        // Bit 23 of 1.0 is 1 (exponent 0x7F = 0111_1111).
+        let (_, d) = flip_bit_traced(1.0, 23);
+        assert_eq!(d, FlipDirection::OneToZero);
+    }
+
+    #[test]
+    fn set_bit_implements_stuck_at() {
+        let v = 1.0f32;
+        // stuck-at on an already-correct bit is a no-op
+        assert_eq!(set_bit(v, 23, true).to_bits(), v.to_bits());
+        // stuck-at-0 on a set bit changes the value
+        assert_ne!(set_bit(v, 23, false).to_bits(), v.to_bits());
+        // idempotent
+        let s = set_bit(v, 30, true);
+        assert_eq!(set_bit(s, 30, true).to_bits(), s.to_bits());
+    }
+
+    #[test]
+    fn multi_bit_flip_composes_single_flips() {
+        let v = 7.25f32;
+        let a = flip_bits(v, &[3, 17, 29]);
+        let b = flip_bit(flip_bit(flip_bit(v, 3), 17), 29);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // flipping the same bit twice in one call cancels
+        assert_eq!(flip_bits(v, &[5, 5]).to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn flip_impact_ranks_exponent_above_mantissa() {
+        let v = 3.0f32;
+        assert!(flip_impact(v, 30) > flip_impact(v, 1));
+    }
+
+    #[test]
+    fn flip_impact_reports_infinity_for_non_finite_corruption() {
+        // 1.5 has exponent 0111_1111 and a nonzero mantissa; setting bit 30
+        // yields exponent 1111_1111 with nonzero mantissa, i.e. NaN.
+        assert_eq!(flip_impact(1.5, 30), f32::INFINITY);
+    }
+
+    #[test]
+    fn get_bit_reads_pattern() {
+        // 1.0f32 = 0x3F80_0000
+        assert!(get_bit(1.0, 23));
+        assert!(get_bit(1.0, 29));
+        assert!(!get_bit(1.0, 30));
+        assert!(!get_bit(1.0, 31));
+    }
+}

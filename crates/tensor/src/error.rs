@@ -1,0 +1,90 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+///
+/// Display messages are lowercase and concise per Rust API guidelines
+/// (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape that was indexed.
+        shape: Vec<usize>,
+    },
+    /// The number of elements implied by a shape did not match the data length.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An operation received a tensor of unsupported rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor provided.
+        actual: usize,
+    },
+    /// Parameters to a kernel (stride, padding, kernel size) were invalid.
+    InvalidKernelConfig(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: shape implies {expected} elements, got {actual}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidKernelConfig(msg) => {
+                write!(f, "invalid kernel configuration: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] };
+        assert_eq!(e.to_string(), "shape mismatch: [2, 3] vs [3, 2]");
+        let e = TensorError::IndexOutOfBounds { index: vec![5], shape: vec![3] };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert!(e.to_string().contains('6'));
+        let e = TensorError::RankMismatch { expected: 4, actual: 2 };
+        assert!(e.to_string().contains("rank"));
+        let e = TensorError::InvalidKernelConfig("stride must be nonzero".into());
+        assert!(e.to_string().contains("stride"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,367 @@
+//! Software half-precision (`f16`) and bfloat16 (`bf16`) numeric types.
+//!
+//! The paper motivates large-scale FI partly by data-type proliferation:
+//! "a 16-bit model with over 10 million parameters will result in 160
+//! million vulnerable bits". To exercise the *vulnerability of different
+//! numeric types* use case (§V) without external crates, this module
+//! implements IEEE-754 binary16 and bfloat16 conversion and the same
+//! bit-flip API as [`crate::bits`], operating on the 16-bit encodings.
+//!
+//! Bit numbering is LSB-first within the 16-bit word.
+//! * `f16`: bits 0–9 mantissa, 10–14 exponent, 15 sign.
+//! * `bf16`: bits 0–6 mantissa, 7–14 exponent, 15 sign.
+
+use crate::bits::BitField;
+
+/// An IEEE-754 binary16 value stored as its raw 16-bit encoding.
+///
+/// # Example
+///
+/// ```
+/// use alfi_tensor::f16::F16;
+///
+/// let h = F16::from_f32(1.5);
+/// assert_eq!(h.to_f32(), 1.5);
+/// // Sign-bit flip negates, exactly as for f32.
+/// assert_eq!(h.flip_bit(15).to_f32(), -1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(pub u16);
+
+/// A bfloat16 value stored as its raw 16-bit encoding.
+///
+/// bfloat16 is the upper half of an `f32`: same 8-bit exponent, truncated
+/// 7-bit mantissa. Exponent-bit flips in bf16 are therefore exactly as
+/// catastrophic as in f32, while the format has *more* exponent bits per
+/// word than f16 — a distinction the numeric-type vulnerability benchmark
+/// surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16(pub u16);
+
+/// Number of bits in a 16-bit float encoding.
+pub const F16_BITS: u8 = 16;
+/// Inclusive exponent bit range of binary16.
+pub const F16_EXPONENT_RANGE: (u8, u8) = (10, 14);
+/// Inclusive exponent bit range of bfloat16.
+pub const BF16_EXPONENT_RANGE: (u8, u8) = (7, 14);
+
+impl F16 {
+    /// Converts an `f32` to binary16 with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> F16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN: preserve class; keep a nonzero mantissa for NaN.
+            let m = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | m);
+        }
+        // Re-bias: f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            return F16(sign | 0x7C00); // overflow to inf
+        }
+        if unbiased >= -14 {
+            // Normal range: round 23-bit mantissa to 10 bits.
+            let half_exp = (unbiased + 15) as u16;
+            let shifted = mant >> 13;
+            let round_bits = mant & 0x1FFF;
+            let mut out = (sign as u32) | ((half_exp as u32) << 10) | shifted;
+            // round to nearest even
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (shifted & 1) == 1) {
+                out += 1; // may carry into exponent; encoding stays valid
+            }
+            return F16(out as u16);
+        }
+        if unbiased >= -24 {
+            // Subnormal f16.
+            let full_mant = mant | 0x0080_0000; // implicit leading 1
+            let shift = (-14 - unbiased) as u32 + 13;
+            let shifted = full_mant >> shift;
+            let round_mask = 1u32 << (shift - 1);
+            let mut out = (sign as u32) | shifted;
+            let rem = full_mant & ((1u32 << shift) - 1);
+            if rem > round_mask || (rem == round_mask && (shifted & 1) == 1) {
+                out += 1;
+            }
+            return F16(out as u16);
+        }
+        F16(sign) // underflow to signed zero
+    }
+
+    /// Converts the binary16 encoding back to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1F;
+        let mant = bits & 0x03FF;
+        let out = if exp == 0x1F {
+            // inf / nan
+            sign | 0x7F80_0000 | (mant << 13)
+        } else if exp == 0 {
+            if mant == 0 {
+                sign // signed zero
+            } else {
+                // subnormal: value = mant * 2^-24; normalize so the implicit
+                // bit lands at position 10 after `s` shifts, giving
+                // f32 exponent field 113 - s.
+                let mut s = 0u32;
+                let mut m = mant;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    s += 1;
+                }
+                m &= 0x03FF;
+                let f32_exp = 113 - s;
+                sign | (f32_exp << 23) | (m << 13)
+            }
+        } else {
+            let f32_exp = exp + 127 - 15;
+            sign | (f32_exp << 23) | (mant << 13)
+        };
+        f32::from_bits(out)
+    }
+
+    /// Flips bit `pos` of the 16-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 16`.
+    pub fn flip_bit(self, pos: u8) -> F16 {
+        assert!(pos < F16_BITS, "bit position {pos} out of range for f16");
+        F16(self.0 ^ (1u16 << pos))
+    }
+
+    /// Classifies a binary16 bit position into sign / exponent / mantissa.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 16`.
+    pub fn bit_field(pos: u8) -> BitField {
+        assert!(pos < F16_BITS, "bit position {pos} out of range for f16");
+        match pos {
+            0..=9 => BitField::Mantissa,
+            10..=14 => BitField::Exponent,
+            _ => BitField::Sign,
+        }
+    }
+
+    /// Whether this encoding denotes NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Whether this encoding denotes ±infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+}
+
+impl Bf16 {
+    /// Converts an `f32` to bfloat16 with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Bf16 {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // keep a quiet NaN
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let round_bit = 0x0000_8000u32;
+        let mut upper = bits >> 16;
+        let lower = bits & 0xFFFF;
+        if lower > round_bit || (lower == round_bit && (upper & 1) == 1) {
+            upper += 1;
+        }
+        Bf16(upper as u16)
+    }
+
+    /// Converts the bfloat16 encoding back to `f32` (exact: zero-extend).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Flips bit `pos` of the 16-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 16`.
+    pub fn flip_bit(self, pos: u8) -> Bf16 {
+        assert!(pos < F16_BITS, "bit position {pos} out of range for bf16");
+        Bf16(self.0 ^ (1u16 << pos))
+    }
+
+    /// Classifies a bfloat16 bit position into sign / exponent / mantissa.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 16`.
+    pub fn bit_field(pos: u8) -> BitField {
+        assert!(pos < F16_BITS, "bit position {pos} out of range for bf16");
+        match pos {
+            0..=6 => BitField::Mantissa,
+            7..=14 => BitField::Exponent,
+            _ => BitField::Sign,
+        }
+    }
+
+    /// Whether this encoding denotes NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// Whether this encoding denotes ±infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7F80
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl std::fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_trips_exactly_representable_values() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, 1.5, -3.25, 65504.0, 6.1035156e-5] {
+            assert_eq!(F16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_known_encodings() {
+        assert_eq!(F16::from_f32(1.0).0, 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).0, 0xC000);
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        assert_eq!(F16::from_f32(f32::INFINITY).0, 0x7C00);
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_inf() {
+        assert!(F16::from_f32(1.0e6).is_infinite());
+        assert!(F16::from_f32(-1.0e6).to_f32().is_infinite());
+    }
+
+    #[test]
+    fn f16_nan_is_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn f16_subnormals_round_trip() {
+        // Smallest positive f16 subnormal = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        // Below half of it underflows to zero.
+        assert_eq!(F16::from_f32(2.0f32.powi(-26)).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn f16_rounding_is_nearest_even() {
+        // 1.0 + 2^-11 rounds down to 1.0 (tie to even).
+        let v = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(v).to_f32(), 1.0);
+        // 1.0 + 3*2^-11 is halfway between steps 1 and 2 above 1.0;
+        // the tie rounds to the even mantissa, i.e. 1.0 + 2*2^-10.
+        let v = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(v).to_f32(), 1.0 + 2.0 * 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn f16_flip_is_involutive_and_sign_flip_negates() {
+        let h = F16::from_f32(3.5);
+        for pos in 0..16u8 {
+            assert_eq!(h.flip_bit(pos).flip_bit(pos), h);
+        }
+        assert_eq!(h.flip_bit(15).to_f32(), -3.5);
+    }
+
+    #[test]
+    fn f16_bit_fields() {
+        assert_eq!(F16::bit_field(0), BitField::Mantissa);
+        assert_eq!(F16::bit_field(9), BitField::Mantissa);
+        assert_eq!(F16::bit_field(10), BitField::Exponent);
+        assert_eq!(F16::bit_field(14), BitField::Exponent);
+        assert_eq!(F16::bit_field(15), BitField::Sign);
+    }
+
+    #[test]
+    fn f16_top_exponent_flip_produces_huge_or_nonfinite() {
+        let h = F16::from_f32(1.0);
+        let c = h.flip_bit(14).to_f32();
+        assert!(!c.is_finite() || c.abs() > 1.0e4);
+    }
+
+    #[test]
+    fn bf16_round_trip_preserves_upper_bits() {
+        for &v in &[0.0f32, 1.0, -1.0, 256.0, 3.0e38, 1.0e-30] {
+            let b = Bf16::from_f32(v);
+            let back = b.to_f32();
+            assert!((back - v).abs() <= v.abs() * 0.01, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn bf16_known_encodings() {
+        assert_eq!(Bf16::from_f32(1.0).0, 0x3F80);
+        assert_eq!(Bf16::from_f32(-2.0).0, 0xC000);
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::from_f32(f32::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn bf16_rounding_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next bf16;
+        // ties round to even (stay at 1.0).
+        let v = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(v).0, 0x3F80);
+        // slightly above the tie rounds up
+        let v = f32::from_bits(0x3F80_8001);
+        assert_eq!(Bf16::from_f32(v).0, 0x3F81);
+    }
+
+    #[test]
+    fn bf16_flip_involutive_and_fields() {
+        let b = Bf16::from_f32(-7.0);
+        for pos in 0..16u8 {
+            assert_eq!(b.flip_bit(pos).flip_bit(pos), b);
+        }
+        assert_eq!(Bf16::bit_field(6), BitField::Mantissa);
+        assert_eq!(Bf16::bit_field(7), BitField::Exponent);
+        assert_eq!(Bf16::bit_field(15), BitField::Sign);
+    }
+
+    #[test]
+    fn bf16_exponent_flip_matches_f32_severity() {
+        // bf16 bit 14 corresponds to f32 bit 30.
+        let v = 1.0f32;
+        let bf = Bf16::from_f32(v).flip_bit(14).to_f32();
+        let f = crate::bits::flip_bit(v, 30);
+        assert_eq!(bf.to_bits(), f.to_bits());
+    }
+}

@@ -1,0 +1,158 @@
+//! Affine `int8` quantization with bit-level fault primitives.
+//!
+//! PyTorchALFI's requirements (§IV-A) include addressing "numeric type
+//! used and bit position within this numeric type". Quantized inference
+//! is the natural third point of comparison next to `f32` and the 16-bit
+//! floats: an `int8` word has no exponent field, so a single-bit upset
+//! perturbs the dequantized value by at most `128 · scale` — a bounded,
+//! linear error in contrast to the exponential blow-ups of floating
+//! point. The numeric-type vulnerability benchmark quantifies exactly
+//! this difference.
+
+/// Parameters of an affine (asymmetric) int8 quantizer:
+/// `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Positive step size between adjacent quantization levels.
+    pub scale: f32,
+    /// The quantized code that maps to real value 0.0.
+    pub zero_point: i8,
+}
+
+impl QuantParams {
+    /// Derives quantization parameters covering `[lo, hi]` with the full
+    /// int8 code range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn from_range(lo: f32, hi: f32) -> QuantParams {
+        assert!(lo.is_finite() && hi.is_finite(), "range bounds must be finite");
+        assert!(lo < hi, "range must be non-degenerate: lo={lo} hi={hi}");
+        let scale = (hi - lo) / 255.0;
+        let zp = (-128.0 - lo / scale).round().clamp(-128.0, 127.0) as i8;
+        QuantParams { scale, zero_point: zp }
+    }
+
+    /// Quantizes a real value to its nearest int8 code (saturating).
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round() + self.zero_point as f32;
+        q.clamp(-128.0, 127.0) as i8
+    }
+
+    /// Dequantizes an int8 code back to a real value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        self.scale * (q as i16 - self.zero_point as i16) as f32
+    }
+
+    /// Largest possible absolute dequantization error for values inside
+    /// the covered range: half a step.
+    pub fn max_round_error(&self) -> f32 {
+        self.scale / 2.0
+    }
+}
+
+/// Number of bits in the int8 encoding.
+pub const I8_BITS: u8 = 8;
+
+/// Flips bit `pos` (LSB-first) of an int8 code — the quantized-domain
+/// fault model. Bit 7 is the two's-complement sign bit.
+///
+/// # Panics
+///
+/// Panics if `pos >= 8`.
+///
+/// # Example
+///
+/// ```
+/// use alfi_tensor::quant::flip_bit_i8;
+///
+/// assert_eq!(flip_bit_i8(0, 0), 1);
+/// assert_eq!(flip_bit_i8(0, 7), -128);
+/// ```
+pub fn flip_bit_i8(q: i8, pos: u8) -> i8 {
+    assert!(pos < I8_BITS, "bit position {pos} out of range for i8");
+    (q as u8 ^ (1u8 << pos)) as i8
+}
+
+/// Worst-case dequantized perturbation of a single-bit flip at `pos`:
+/// `2^pos * scale`. The bound is exact because int8 codes are two's
+/// complement: flipping bit `pos` changes the code by exactly ±2^pos.
+pub fn flip_error_bound(params: &QuantParams, pos: u8) -> f32 {
+    assert!(pos < I8_BITS, "bit position {pos} out of range for i8");
+    (1u32 << pos) as f32 * params.scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_range_round_trips_within_half_step() {
+        let p = QuantParams::from_range(-1.0, 1.0);
+        for i in -100..=100 {
+            let x = i as f32 / 100.0;
+            let back = p.dequantize(p.quantize(x));
+            assert!((back - x).abs() <= p.max_round_error() + 1e-6, "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn zero_maps_near_zero() {
+        let p = QuantParams::from_range(-2.0, 6.0);
+        let back = p.dequantize(p.quantize(0.0));
+        assert!(back.abs() <= p.max_round_error());
+    }
+
+    #[test]
+    fn quantize_saturates_out_of_range() {
+        let p = QuantParams::from_range(-1.0, 1.0);
+        assert_eq!(p.quantize(100.0), 127);
+        assert_eq!(p.quantize(-100.0), -128);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn degenerate_range_panics() {
+        let _ = QuantParams::from_range(1.0, 1.0);
+    }
+
+    #[test]
+    fn flip_bit_i8_is_involutive() {
+        for pos in 0..8u8 {
+            for q in [-128i8, -1, 0, 1, 63, 127] {
+                assert_eq!(flip_bit_i8(flip_bit_i8(q, pos), pos), q);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_bit_flip_shifts_by_128_codes() {
+        assert_eq!(flip_bit_i8(0, 7), -128);
+        assert_eq!(flip_bit_i8(127, 7), -1);
+        assert_eq!(flip_bit_i8(-128, 7), 0);
+    }
+
+    #[test]
+    fn flip_error_bound_is_exact() {
+        let p = QuantParams::from_range(-1.0, 1.0);
+        for pos in 0..8u8 {
+            for q in [-128i8, -5, 0, 17, 127] {
+                let err = (p.dequantize(flip_bit_i8(q, pos)) - p.dequantize(q)).abs();
+                let bound = flip_error_bound(&p, pos);
+                assert!((err - bound).abs() < 1e-5, "pos {pos} q {q}: err {err} bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_worst_case_is_bounded_unlike_float() {
+        // The key property the numeric-type benchmark relies on: int8
+        // worst-case error is 128*scale, finite; f32 exponent flips can be
+        // infinite.
+        let p = QuantParams::from_range(-1.0, 1.0);
+        let worst = flip_error_bound(&p, 7);
+        assert!(worst <= 128.0 * p.scale + 1e-6);
+        assert!(crate::bits::flip_impact(1.0, 30) > worst);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the tensor substrate's core invariants.
+
+use alfi_tensor::conv::{avg_pool2d, conv2d_direct, conv2d_im2col, max_pool2d, ConvConfig};
+use alfi_tensor::f16::{Bf16, F16};
+use alfi_tensor::quant::{flip_bit_i8, QuantParams};
+use alfi_tensor::{bits, Shape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Flipping any bit twice restores the exact bit pattern — the
+    /// transient-fault restore guarantee rests on this.
+    #[test]
+    fn f32_flip_is_involutive(v in any::<f32>(), pos in 0u8..32) {
+        let back = bits::flip_bit(bits::flip_bit(v, pos), pos);
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    /// Flip direction is consistent with the pre-flip bit value.
+    #[test]
+    fn flip_direction_matches_bit(v in any::<f32>(), pos in 0u8..32) {
+        let was_set = bits::get_bit(v, pos);
+        let (_, dir) = bits::flip_bit_traced(v, pos);
+        prop_assert_eq!(dir == bits::FlipDirection::OneToZero, was_set);
+    }
+
+    /// A flipped value always differs from the original in exactly one bit.
+    #[test]
+    fn flip_changes_exactly_one_bit(v in any::<f32>(), pos in 0u8..32) {
+        let c = bits::flip_bit(v, pos);
+        prop_assert_eq!((c.to_bits() ^ v.to_bits()).count_ones(), 1);
+    }
+
+    /// Stuck-at faults are idempotent.
+    #[test]
+    fn stuck_at_is_idempotent(v in any::<f32>(), pos in 0u8..32, bit in any::<bool>()) {
+        let once = bits::set_bit(v, pos, bit);
+        let twice = bits::set_bit(once, pos, bit);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// Shape flat/multi index round trip for arbitrary small shapes.
+    #[test]
+    fn shape_index_round_trip(dims in proptest::collection::vec(1usize..6, 1..5)) {
+        let s = Shape::new(&dims);
+        let n = s.num_elements();
+        for flat in [0, n / 2, n - 1] {
+            let idx = s.multi_index(flat).unwrap();
+            prop_assert_eq!(s.flat_index(&idx).unwrap(), flat);
+        }
+    }
+
+    /// f16 conversion round-trips values already representable in f16.
+    #[test]
+    fn f16_double_conversion_is_stable(v in -60000.0f32..60000.0) {
+        let once = F16::from_f32(v).to_f32();
+        let twice = F16::from_f32(once).to_f32();
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// f16 conversion error is within one ULP of the f16 grid for normal values.
+    #[test]
+    fn f16_error_bound(v in 1.0e-3f32..60000.0) {
+        let back = F16::from_f32(v).to_f32();
+        // ulp at magnitude v is at most v * 2^-10
+        prop_assert!((back - v).abs() <= v * 1.0e-3, "{} -> {}", v, back);
+    }
+
+    /// bf16 conversion error bound for normal values (7-bit mantissa).
+    #[test]
+    fn bf16_error_bound(v in 1.0e-3f32..1.0e30) {
+        let back = Bf16::from_f32(v).to_f32();
+        prop_assert!((back - v).abs() <= v * 8.0e-3, "{} -> {}", v, back);
+    }
+
+    /// f16/bf16 flips are involutive.
+    #[test]
+    fn f16_bf16_flip_involutive(v in any::<f32>(), pos in 0u8..16) {
+        let h = F16::from_f32(v);
+        prop_assert_eq!(h.flip_bit(pos).flip_bit(pos), h);
+        let b = Bf16::from_f32(v);
+        prop_assert_eq!(b.flip_bit(pos).flip_bit(pos), b);
+    }
+
+    /// Quantize/dequantize error stays within half a step for in-range values.
+    #[test]
+    fn quant_round_trip_error(lo in -10.0f32..-0.1, hi in 0.1f32..10.0, x in -0.09f32..0.09) {
+        let p = QuantParams::from_range(lo, hi);
+        let x = x * (hi - lo) * 5.0; // scale into range
+        let x = x.clamp(lo, hi);
+        let back = p.dequantize(p.quantize(x));
+        prop_assert!((back - x).abs() <= p.max_round_error() + p.scale * 1e-3);
+    }
+
+    /// int8 flips are involutive.
+    #[test]
+    fn i8_flip_involutive(q in any::<i8>(), pos in 0u8..8) {
+        prop_assert_eq!(flip_bit_i8(flip_bit_i8(q, pos), pos), q);
+    }
+
+    /// Direct and im2col convolutions agree on random configurations.
+    #[test]
+    fn conv_implementations_agree(
+        seed in any::<u64>(),
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        hw in 3usize..8,
+        k in 1usize..4,
+        pad in 0usize..2,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        prop_assume!(k <= hw + 2 * pad);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor::rand_normal(&mut rng, &[1, c_in, hw, hw], 0.0, 1.0);
+        let weight = Tensor::rand_normal(&mut rng, &[c_out, c_in, k, k], 0.0, 1.0);
+        let cfg = ConvConfig { stride: 1, padding: pad };
+        let a = conv2d_direct(&input, &weight, None, cfg).unwrap();
+        let b = conv2d_im2col(&input, &weight, None, cfg).unwrap();
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-3);
+    }
+
+    /// Max pool output never exceeds the input maximum and avg pool stays
+    /// within [min, max].
+    #[test]
+    fn pooling_bounds(seed in any::<u64>(), hw in 2usize..8, k in 1usize..4) {
+        use rand::{rngs::StdRng, SeedableRng};
+        prop_assume!(k <= hw);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor::rand_normal(&mut rng, &[1, 2, hw, hw], 0.0, 3.0);
+        let cfg = ConvConfig::default();
+        let mx = max_pool2d(&input, k, cfg).unwrap();
+        let av = avg_pool2d(&input, k, cfg).unwrap();
+        prop_assert!(mx.max() <= input.max());
+        prop_assert!(av.max() <= input.max() + 1e-5);
+        prop_assert!(av.min() >= input.min() - 1e-5);
+    }
+
+    /// softmax output is a probability vector for finite inputs.
+    #[test]
+    fn softmax_is_probability(v in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
+        let n = v.len();
+        let t = Tensor::from_vec(v, &[n]).unwrap();
+        let s = t.softmax_lastdim().unwrap();
+        let sum: f32 = s.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(s.data().iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    /// stack/batch_item round trip.
+    #[test]
+    fn stack_round_trip(seed in any::<u64>(), n in 1usize..5, len in 1usize..10) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<Tensor> =
+            (0..n).map(|_| Tensor::rand_uniform(&mut rng, &[len], -1.0, 1.0)).collect();
+        let stacked = Tensor::stack(&items).unwrap();
+        for (i, item) in items.iter().enumerate() {
+            prop_assert_eq!(&stacked.batch_item(i).unwrap(), item);
+        }
+    }
+}

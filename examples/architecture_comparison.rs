@@ -1,0 +1,72 @@
+//! Use case "comparing the robustness of different types of NN" (§V):
+//! run the identical fault scenario over four structurally different
+//! classifier topologies — sequential (AlexNet, VGG-16), residual
+//! (ResNet-50) and densely connected (DenseNet) — and compare SDE/DUE
+//! rates with confidence intervals.
+//!
+//! Run with: `cargo run --release --example architecture_comparison`
+
+use alfi::core::campaign::ImgClassCampaign;
+use alfi::core::ScenarioSweep;
+use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+use alfi::eval::{classification_kpis, SdeCriterion};
+use alfi::nn::models::{alexnet, densenet_tiny, resnet50, vgg16, ModelConfig};
+use alfi::nn::Network;
+use alfi::scenario::{FaultMode, InjectionTarget, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mcfg = ModelConfig { input_hw: 32, width_mult: 0.125, seed: 4, ..ModelConfig::default() };
+    let n_images = 30usize;
+
+    let mut base = Scenario::default();
+    base.dataset_size = n_images;
+    base.injection_target = InjectionTarget::Weights;
+    base.fault_mode = FaultMode::exponent_bit_flip();
+    base.seed = 21;
+
+    type Builder = fn(&ModelConfig) -> Network;
+    let builders: [(&str, Builder); 4] = [
+        ("alexnet", alexnet),
+        ("vgg16", vgg16),
+        ("resnet50", resnet50),
+        ("densenet", densenet_tiny),
+    ];
+
+    println!(
+        "architecture robustness under identical exponent-bit weight faults ({n_images} images, 3 seeds)\n"
+    );
+    println!("{:<10} {:>8} {:>10} {:>10} {:>24}", "model", "params", "SDE", "DUE", "SDE 95% CI");
+
+    for (name, build) in builders {
+        let model = build(&mcfg);
+        // Aggregate over several independent fault draws for tighter CIs
+        // (ScenarioSweep::over_seeds is the §V-D idiom for this).
+        let mut sde = 0usize;
+        let mut due = 0usize;
+        let mut total = 0usize;
+        for scenario in ScenarioSweep::new(base.clone()).over_seeds([21u64, 22, 23]) {
+            let ds = ClassificationDataset::new(n_images, mcfg.num_classes, 3, 32, 5);
+            let loader = ClassificationLoader::new(ds, 1);
+            let result = ImgClassCampaign::new(model.clone(), scenario, loader).run()?;
+            let k = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
+            sde += k.sde.hits;
+            due += k.due.hits;
+            total += k.sde.total;
+        }
+        let rate = alfi::eval::Rate::from_counts(sde, total);
+        let due_rate = alfi::eval::Rate::from_counts(due, total);
+        println!(
+            "{:<10} {:>8} {:>9.1}% {:>9.1}% {:>15.1}% - {:.1}%",
+            name,
+            model.num_weights(),
+            rate.percent(),
+            due_rate.percent(),
+            rate.ci_low * 100.0,
+            rate.ci_high * 100.0,
+        );
+    }
+    println!("\n(structure matters: dense connectivity re-broadcasts corrupted activations,");
+    println!(" residual shortcuts can bypass them, and parameter count shifts where Eq. 1's");
+    println!(" size weighting concentrates the faults)");
+    Ok(())
+}

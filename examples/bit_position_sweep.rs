@@ -1,0 +1,67 @@
+//! Use case §V item 2d: "change the bit flip position ... to verify
+//! which bit positions with a particular fault model are likely to
+//! produce failures in the output".
+//!
+//! Sweeps the flipped bit from 0 (mantissa LSB) to 31 (sign) and reports
+//! the SDE rate per position — the canonical result is that high
+//! exponent bits (28–30) dominate while low mantissa bits are masked.
+//!
+//! Run with: `cargo run --release --example bit_position_sweep`
+
+use alfi::core::Ptfiwrap;
+use alfi::datasets::ClassificationDataset;
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi::tensor::bits::BitField;
+use alfi::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mcfg = ModelConfig { input_hw: 32, width_mult: 0.125, seed: 5, ..ModelConfig::default() };
+    let model = alexnet(&mcfg);
+    let images_per_bit = 10usize;
+
+    let mut scenario = Scenario::default();
+    scenario.dataset_size = images_per_bit;
+    scenario.injection_target = InjectionTarget::Weights;
+    scenario.seed = 123;
+
+    let dataset = ClassificationDataset::new(images_per_bit, mcfg.num_classes, 3, 32, 8);
+    let mut wrapper = Ptfiwrap::new(&model, scenario, &mcfg.input_dims(1))?;
+
+    println!("bit-position sensitivity of alexnet weight faults\n");
+    println!("{:<4} {:<9} {:>8}", "bit", "field", "sde");
+    let mut by_field = [(0usize, 0usize); 3]; // mantissa, exponent, sign
+
+    for bit in 0u8..32 {
+        let mut s = wrapper.scenario().clone();
+        s.fault_mode = FaultMode::BitFlip { bit_range: (bit, bit) };
+        wrapper.set_scenario(s)?;
+
+        let mut sde = 0usize;
+        for i in 0..images_per_bit {
+            let input = Tensor::stack(&[dataset.get(i).image])?;
+            let orig = model.forward(&input)?;
+            let faulty = wrapper.next_faulty_model()?;
+            let corr = faulty.forward(&input)?;
+            if orig.batch_item(0)?.argmax() != corr.batch_item(0)?.argmax() {
+                sde += 1;
+            }
+        }
+        let field = BitField::of(bit);
+        let idx = match field {
+            BitField::Mantissa => 0,
+            BitField::Exponent => 1,
+            BitField::Sign => 2,
+        };
+        by_field[idx].0 += sde;
+        by_field[idx].1 += images_per_bit;
+        let bar = "#".repeat(sde);
+        println!("{bit:<4} {:<9} {sde:>4}/{images_per_bit:<3} {bar}", field.to_string());
+    }
+
+    println!("\naggregate SDE by bit field:");
+    for (name, (sde, total)) in ["mantissa", "exponent", "sign"].iter().zip(by_field) {
+        println!("  {name:<9} {:>5.1}%", 100.0 * sde as f64 / total as f64);
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the paper's Listing-1 low-level integration.
+//!
+//! Wrap an existing model in `Ptfiwrap`, iterate faulty model instances,
+//! and compare each corrupted output against the fault-free output.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use alfi::core::Ptfiwrap;
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // "Initiate the wrapper with the trained baseline model."
+    let cfg = ModelConfig { input_hw: 32, width_mult: 0.125, seed: 7, ..ModelConfig::default() };
+    let orig_model = alexnet(&cfg);
+
+    // Scenario: one exponent-bit weight flip per image, 8 images.
+    let mut scenario = Scenario::default();
+    scenario.dataset_size = 8;
+    scenario.injection_target = InjectionTarget::Weights;
+    scenario.fault_mode = FaultMode::exponent_bit_flip();
+    scenario.seed = 42;
+
+    let mut wrapper = Ptfiwrap::new(&orig_model, scenario, &cfg.input_dims(1))?;
+    println!(
+        "model `{}`: {} injectable layers, {} pre-generated faults",
+        orig_model.name(),
+        wrapper.targets().len(),
+        wrapper.fault_matrix().len()
+    );
+
+    // "Get an iterator over faulty models" and loop over the data set.
+    let input = Tensor::ones(&cfg.input_dims(1));
+    let orig_output = orig_model.forward(&input)?;
+    let orig_top1 = orig_output.batch_item(0)?.argmax().expect("non-empty logits");
+
+    let mut sde = 0usize;
+    let mut image = 0usize;
+    while let Ok(corrupted_model) = wrapper.next_faulty_model() {
+        let corrupted_output = corrupted_model.forward(&input)?;
+        let corr_top1 = corrupted_output.batch_item(0)?.argmax().expect("non-empty logits");
+        let applied = corrupted_model.applied_faults();
+        let a = &applied[0];
+        println!(
+            "image {image}: fault @ layer {} ch {} value {:>12.4e} -> {:>12.4e} | top1 {} -> {}{}",
+            a.record.layer,
+            a.record.channel,
+            a.original,
+            a.corrupted,
+            orig_top1,
+            corr_top1,
+            if corr_top1 != orig_top1 { "  << SDE" } else { "" }
+        );
+        if corr_top1 != orig_top1 {
+            sde += 1;
+        }
+        image += 1;
+    }
+    println!("\nSDE: {sde}/{image} single-fault inferences changed the top-1 class");
+    Ok(())
+}

@@ -1,0 +1,329 @@
+//! `alfi` — command-line front end for fault-injection campaigns.
+//!
+//! Mirrors how PyTorchALFI slots into a development cycle: point the tool
+//! at a scenario file, pick a model, and get the three output sets
+//! (scenario meta, binary fault/trace files, CSV/JSON results) plus KPIs
+//! on stdout.
+//!
+//! ```text
+//! alfi gen-scenario --out default.yml
+//! alfi classify --scenario default.yml --model vgg16 --out runs/c1 [--protect ranger] [--parallel 4]
+//! alfi detect   --scenario default.yml --model yolo  --out runs/d1
+//! alfi inspect-faults runs/c1/faults.bin
+//! ```
+
+use alfi::core::campaign::{ImgClassCampaign, ObjDetCampaign};
+use alfi::core::{load_fault_matrix, FaultValue};
+use alfi::datasets::{ClassificationDataset, ClassificationLoader, DetectionDataset, DetectionLoader};
+use alfi::eval::{
+    classification_kpis, layer_table, outcomes_by_layer, resil_sde_rate, write_detection_outputs,
+    SdeCriterion,
+};
+use alfi::mitigation::{harden, profile_bounds, Protection};
+use alfi::nn::detection::{Detector, DetectorConfig, FrcnnTwoStage, RetinaAnchor, YoloGrid};
+use alfi::nn::models::{alexnet, densenet_tiny, resnet50, vgg16, ModelConfig};
+use alfi::nn::train::{accuracy, train_step, SgdTrainer};
+use alfi::nn::weights::{load_weights, save_weights};
+use alfi::nn::Network;
+use alfi::scenario::Scenario;
+use alfi::tensor::Tensor;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+alfi — application-level fault injection for neural networks
+
+USAGE:
+  alfi gen-scenario --out <file>
+  alfi train    --model <alexnet|vgg16|resnet50|densenet> --out <weights.alfiw>
+                [--epochs <n>] [--images <n>] [--lr <f>]
+                [--width <mult>] [--input <px>] [--seed <n>]
+  alfi classify --scenario <file> --model <alexnet|vgg16|resnet50|densenet> --out <dir>
+                [--weights <weights.alfiw>]
+                [--protect <ranger|clipper>] [--parallel <threads>]
+                [--width <mult>] [--input <px>] [--seed <n>]
+  alfi detect   --scenario <file> --model <yolo|retina|frcnn> --out <dir>
+                [--width <mult>] [--input <px>] [--seed <n>]
+  alfi inspect-faults <faults.bin>
+";
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = BTreeMap::new();
+        let mut positional = Vec::new();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} expects a value"))?;
+                flags.insert(key.to_string(), value.clone());
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { flags, positional })
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map(String::as_str).unwrap_or(default)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "gen-scenario" => cmd_gen_scenario(&argv[1..]),
+        "train" => cmd_train(&argv[1..]),
+        "classify" => cmd_classify(&argv[1..]),
+        "detect" => cmd_detect(&argv[1..]),
+        "inspect-faults" => cmd_inspect(&argv[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_gen_scenario(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let out = args.required("out")?;
+    let text = format!(
+        "# ALFI fault-injection scenario (see `alfi_scenario::Scenario` docs)\n{}",
+        Scenario::default().to_yaml_string()
+    );
+    std::fs::write(out, text).map_err(|e| e.to_string())?;
+    println!("wrote default scenario to {out}");
+    Ok(())
+}
+
+fn model_config(args: &Args) -> Result<ModelConfig, String> {
+    Ok(ModelConfig {
+        input_hw: args.get_or("input", "32").parse().map_err(|_| "bad --input".to_string())?,
+        width_mult: args.get_or("width", "0.125").parse().map_err(|_| "bad --width".to_string())?,
+        seed: args.get_or("seed", "0").parse().map_err(|_| "bad --seed".to_string())?,
+        ..ModelConfig::default()
+    })
+}
+
+fn build_model(name: &str, mcfg: &ModelConfig) -> Result<Network, String> {
+    Ok(match name {
+        "alexnet" => alexnet(mcfg),
+        "vgg16" => vgg16(mcfg),
+        "resnet50" => resnet50(mcfg),
+        "densenet" => densenet_tiny(mcfg),
+        other => return Err(format!("unknown classifier `{other}`")),
+    })
+}
+
+fn cmd_train(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let out = args.required("out")?.to_string();
+    let mcfg = model_config(&args)?;
+    let epochs: u64 = args.get_or("epochs", "6").parse().map_err(|_| "bad --epochs".to_string())?;
+    let images: usize =
+        args.get_or("images", "160").parse().map_err(|_| "bad --images".to_string())?;
+    let lr: f32 = args.get_or("lr", "0.05").parse().map_err(|_| "bad --lr".to_string())?;
+    let mut model = build_model(args.required("model")?, &mcfg)?;
+
+    let train_ds =
+        ClassificationDataset::new(images, mcfg.num_classes, mcfg.in_channels, mcfg.input_hw, 1);
+    let test_ds = ClassificationDataset::new(
+        (images / 4).max(8),
+        mcfg.num_classes,
+        mcfg.in_channels,
+        mcfg.input_hw,
+        2,
+    );
+    let loader = ClassificationLoader::new(train_ds, 16).with_shuffle(true);
+    let mut trainer = SgdTrainer::new(lr, 0.9);
+    for epoch in 0..epochs {
+        let mut loss = 0.0f32;
+        let mut batches = 0usize;
+        for batch in loader.iter_epoch(epoch) {
+            loss += train_step(&mut model, &mut trainer, &batch.images, &batch.labels)
+                .map_err(|e| e.to_string())?;
+            batches += 1;
+        }
+        let mut acc = 0.0f64;
+        for i in 0..test_ds.len() {
+            let s = test_ds.get(i);
+            let x = Tensor::stack(&[s.image]).map_err(|e| e.to_string())?;
+            acc += accuracy(&model, &x, &[s.label]).map_err(|e| e.to_string())?;
+        }
+        println!(
+            "epoch {epoch}: loss {:.4}, test accuracy {:.1}%",
+            loss / batches.max(1) as f32,
+            100.0 * acc / test_ds.len() as f64
+        );
+    }
+    save_weights(&model, &out).map_err(|e| e.to_string())?;
+    println!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn cmd_classify(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let scenario = Scenario::load(args.required("scenario")?).map_err(|e| e.to_string())?;
+    let out_dir = args.required("out")?.to_string();
+    let mcfg = model_config(&args)?;
+    let mut model = build_model(args.required("model")?, &mcfg)?;
+    if let Some(w) = args.flags.get("weights") {
+        load_weights(&mut model, w).map_err(|e| e.to_string())?;
+        println!("loaded checkpoint {w}");
+    }
+    let model = model;
+    let ds = ClassificationDataset::new(
+        scenario.dataset_size,
+        mcfg.num_classes,
+        mcfg.in_channels,
+        mcfg.input_hw,
+        scenario.seed,
+    );
+    let loader = ClassificationLoader::new(ds.clone(), scenario.batch_size);
+    let mut campaign = ImgClassCampaign::new(model.clone(), scenario, loader);
+
+    let protect = args.flags.get("protect").map(|p| match p.as_str() {
+        "ranger" => Ok(Protection::Ranger),
+        "clipper" => Ok(Protection::Clipper),
+        other => Err(format!("unknown protection `{other}`")),
+    });
+    if let Some(p) = protect {
+        let p = p?;
+        let calib: Vec<Tensor> = (0..4.min(ds.len()))
+            .map(|i| Tensor::stack(&[ds.get(i).image]).expect("stack"))
+            .collect();
+        let bounds = profile_bounds(&model, calib.iter()).map_err(|e| e.to_string())?;
+        let hardened = harden(&model, &bounds, p, 0.1).map_err(|e| e.to_string())?;
+        campaign = campaign.with_resil_model(hardened);
+        println!("protection: {p:?}");
+    }
+
+    let threads: usize =
+        args.get_or("parallel", "1").parse().map_err(|_| "bad --parallel".to_string())?;
+    let result = if threads > 1 {
+        campaign.run_parallel(threads).map_err(|e| e.to_string())?
+    } else {
+        campaign.run().map_err(|e| e.to_string())?
+    };
+    result.save_outputs(&out_dir).map_err(|e| e.to_string())?;
+
+    let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
+    println!("images: {}", result.rows.len());
+    println!("SDE:    {}", kpis.sde);
+    println!("DUE:    {}", kpis.due);
+    println!("masked: {}", kpis.masked);
+    let resil = resil_sde_rate(&result.rows, SdeCriterion::Top1Mismatch);
+    if resil.total > 0 {
+        println!("SDE (protected): {resil}");
+    }
+    println!("\nlayer-wise breakdown:");
+    print!("{}", layer_table(&outcomes_by_layer(&result.rows, SdeCriterion::Top1Mismatch)));
+    println!("\noutputs written to {out_dir}");
+    Ok(())
+}
+
+fn cmd_detect(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let scenario = Scenario::load(args.required("scenario")?).map_err(|e| e.to_string())?;
+    let out_dir = args.required("out")?.to_string();
+    let dcfg = DetectorConfig {
+        input_hw: args.get_or("input", "32").parse().map_err(|_| "bad --input".to_string())?,
+        width_mult: args.get_or("width", "0.25").parse().map_err(|_| "bad --width".to_string())?,
+        seed: args.get_or("seed", "0").parse().map_err(|_| "bad --seed".to_string())?,
+        ..DetectorConfig::default()
+    };
+    let mut detector: Box<dyn Detector> = match args.required("model")? {
+        "yolo" => Box::new(YoloGrid::new(&dcfg)),
+        "retina" => Box::new(RetinaAnchor::new(&dcfg)),
+        "frcnn" => Box::new(FrcnnTwoStage::new(&dcfg)),
+        other => return Err(format!("unknown detector `{other}`")),
+    };
+    let ds = DetectionDataset::new(
+        scenario.dataset_size,
+        dcfg.num_classes,
+        dcfg.in_channels,
+        dcfg.input_hw,
+        scenario.seed,
+    );
+    let ground_truth = ds.coco_ground_truth();
+    let loader = DetectionLoader::new(ds, scenario.batch_size);
+    let result = ObjDetCampaign::new(detector.as_mut(), scenario, loader)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let summary = write_detection_outputs(&result, &ground_truth, dcfg.num_classes, 0.5, &out_dir)
+        .map_err(|e| e.to_string())?;
+    println!("model:      {}", summary.model);
+    println!("images:     {}", result.rows.len());
+    println!("IVMOD_SDE:  {}", summary.ivmod.ivmod_sde);
+    println!("IVMOD_DUE:  {}", summary.ivmod.ivmod_due);
+    println!("mAP@.50:    {:.4} (orig) vs {:.4} (corrupted)", summary.orig_coco.map_50, summary.corr_coco.map_50);
+    println!("\noutputs written to {out_dir}");
+    Ok(())
+}
+
+fn cmd_inspect(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let path = args.positional.first().ok_or("expected a faults.bin path")?;
+    let matrix = load_fault_matrix(path).map_err(|e| e.to_string())?;
+    println!(
+        "fault matrix: {} faults, target {:?}, {} per image, {} slots",
+        matrix.len(),
+        matrix.target,
+        matrix.faults_per_image,
+        matrix.num_slots()
+    );
+    println!("\n{:<6} {:>6} {:>6} {:>8} {:>8} {:>7} {:>7} {:>10}", "#", "batch", "layer", "chan", "chan_in", "height", "width", "value");
+    for (i, r) in matrix.records.iter().enumerate().take(50) {
+        let value = match r.value {
+            FaultValue::BitFlip(p) => format!("flip b{p}"),
+            FaultValue::StuckAt { pos, high } => {
+                format!("stuck{} b{pos}", if high { 1 } else { 0 })
+            }
+            FaultValue::Replace(v) => format!("={v:.3}"),
+        };
+        println!(
+            "{:<6} {:>6} {:>6} {:>8} {:>8} {:>7} {:>7} {:>10}",
+            i,
+            r.batch,
+            r.layer,
+            r.channel,
+            r.channel_in,
+            r.height,
+            r.width,
+            value
+        );
+        if let Some(d) = r.depth {
+            println!("{:<6} depth {d}", "");
+        }
+    }
+    if matrix.len() > 50 {
+        println!("... ({} more)", matrix.len() - 50);
+    }
+    Ok(())
+}

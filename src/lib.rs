@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # alfi — Application-Level Fault Injection for neural networks
+//!
+//! A from-scratch Rust reproduction of **PyTorchALFI** (Gräfe, Qutub,
+//! Geissler, Paulitsch — *"Large-Scale Application of Fault Injection
+//! into PyTorch Models"*, DSN-W 2023), including the complete substrate
+//! the original delegates to PyTorch.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`tensor`] | `alfi-tensor` | dense tensors + bit-level fault primitives |
+//! | [`nn`] | `alfi-nn` | layers, hooked network graphs, model zoo, detectors |
+//! | [`scenario`] | `alfi-scenario` | `default.yml`-style campaign configuration |
+//! | [`core`] | `alfi-core` | fault matrices, injection engine, persistence, campaigns |
+//! | [`datasets`] | `alfi-datasets` | synthetic datasets + COCO-style wrappers |
+//! | [`mitigation`] | `alfi-mitigation` | Ranger/Clipper activation-range hardening |
+//! | [`eval`] | `alfi-eval` | SDE/DUE, IVMOD, COCO AP, result writers |
+//!
+//! # Quickstart (paper Listing 1)
+//!
+//! ```
+//! use alfi::core::Ptfiwrap;
+//! use alfi::nn::models::{alexnet, ModelConfig};
+//! use alfi::scenario::{FaultMode, InjectionTarget, Scenario};
+//! use alfi::tensor::Tensor;
+//!
+//! // Initiate the wrapper with the trained baseline model.
+//! let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+//! let orig_model = alexnet(&cfg);
+//! let mut scenario = Scenario::default();
+//! scenario.dataset_size = 3;
+//! scenario.injection_target = InjectionTarget::Weights;
+//! scenario.fault_mode = FaultMode::exponent_bit_flip();
+//! let mut wrapper = Ptfiwrap::new(&orig_model, scenario, &cfg.input_dims(1))?;
+//!
+//! // Get an iterator over faulty models and compare outputs.
+//! let input = Tensor::ones(&cfg.input_dims(1));
+//! for corrupted_model in wrapper.fimodel_iter() {
+//!     let orig_output = orig_model.forward(&input)?;
+//!     let corrupted_output = corrupted_model.forward(&input)?;
+//!     assert_eq!(orig_output.dims(), corrupted_output.dims());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use alfi_core as core;
+pub use alfi_datasets as datasets;
+pub use alfi_eval as eval;
+pub use alfi_mitigation as mitigation;
+pub use alfi_nn as nn;
+pub use alfi_scenario as scenario;
+pub use alfi_tensor as tensor;

@@ -1,0 +1,89 @@
+//! Integration test: the conv3d injection path — Table I's *Depth* row.
+//!
+//! PyTorchALFI supports conv2d, conv3d and linear layers; conv3d fault
+//! records carry an extra depth coordinate. This test drives the full
+//! pipeline (scenario → matrix → injection → trace persistence) over a
+//! 3-D CNN and asserts the depth coordinate is generated, applied and
+//! round-tripped.
+
+use alfi::core::{load_fault_matrix, save_fault_matrix, FaultValue, Ptfiwrap};
+use alfi::nn::models::{c3d, C3dConfig};
+use alfi::nn::LayerKind;
+use alfi::scenario::{FaultMode, InjectionTarget, LayerType, Scenario};
+use alfi::tensor::Tensor;
+
+fn cfg() -> C3dConfig {
+    C3dConfig { frames: 4, input_hw: 8, width_mult: 0.125, seed: 3, ..C3dConfig::default() }
+}
+
+fn scenario(target: InjectionTarget) -> Scenario {
+    let mut s = Scenario::default();
+    s.dataset_size = 30;
+    s.injection_target = target;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    s.layer_types = vec![LayerType::Conv3d]; // only the 3-D convolutions
+    s.seed = 17;
+    s
+}
+
+#[test]
+fn conv3d_weight_faults_carry_depth_and_apply() {
+    let model = c3d(&cfg());
+    let mut wrapper =
+        Ptfiwrap::new(&model, scenario(InjectionTarget::Weights), &cfg().input_dims(1)).unwrap();
+    // only conv3d targets survive the filter
+    assert!(wrapper.targets().iter().all(|t| t.kind == LayerKind::Conv3d));
+    assert_eq!(wrapper.targets().len(), 4);
+    // every record has a depth coordinate within the kernel depth
+    for r in &wrapper.fault_matrix().records {
+        let d = r.depth.expect("conv3d weight faults must carry depth");
+        assert!(d < 3, "kernel depth is 3, got {d}");
+        assert!(matches!(r.value, FaultValue::BitFlip(23..=30)));
+    }
+    // arming applies a real corruption
+    let fm = wrapper.next_faulty_model().unwrap();
+    let log = fm.applied_faults();
+    assert_eq!(log.len(), 1);
+    assert_ne!(log[0].original.to_bits(), log[0].corrupted.to_bits());
+    // and the model still runs
+    let y = fm.forward(&Tensor::ones(&cfg().input_dims(1))).unwrap();
+    assert_eq!(y.dims()[0], 1);
+}
+
+#[test]
+fn conv3d_neuron_faults_use_output_depth() {
+    let model = c3d(&cfg());
+    let mut wrapper =
+        Ptfiwrap::new(&model, scenario(InjectionTarget::Neurons), &cfg().input_dims(1)).unwrap();
+    // neuron coordinates live in the rank-5 output [n, c, d, h, w]
+    let mut saw_nonzero_depth = false;
+    for (i, r) in wrapper.fault_matrix().records.iter().enumerate() {
+        let t = &wrapper.targets()[r.layer];
+        let out = t.output_dims.as_ref().expect("shape-inferred");
+        assert_eq!(out.len(), 5, "record {i}");
+        let d = r.depth.expect("conv3d neuron faults must carry depth");
+        assert!(d < out[2]);
+        saw_nonzero_depth |= d > 0;
+    }
+    assert!(saw_nonzero_depth, "over 30 samples some depth must be nonzero");
+
+    // the hook applies at the exact coordinate
+    let fm = wrapper.next_faulty_model().unwrap();
+    fm.forward(&Tensor::ones(&cfg().input_dims(1))).unwrap();
+    assert_eq!(fm.applied_faults().len(), 1);
+    assert_eq!(fm.skipped_faults(), 0);
+}
+
+#[test]
+fn conv3d_fault_matrix_persists_depth() {
+    let model = c3d(&cfg());
+    let wrapper =
+        Ptfiwrap::new(&model, scenario(InjectionTarget::Weights), &cfg().input_dims(1)).unwrap();
+    let dir = std::env::temp_dir().join("alfi_it_conv3d");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("faults3d.bin");
+    save_fault_matrix(wrapper.fault_matrix(), &path).unwrap();
+    let back = load_fault_matrix(&path).unwrap();
+    assert_eq!(&back, wrapper.fault_matrix());
+    assert!(back.records.iter().all(|r| r.depth.is_some()));
+}

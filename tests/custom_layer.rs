@@ -1,0 +1,156 @@
+//! Integration test: the §V-G extensibility path — a user-defined
+//! custom layer participates in fault injection exactly like a native
+//! conv/linear layer.
+
+use alfi::core::Ptfiwrap;
+use alfi::nn::{CustomLayer, Layer, LayerKind, Network, NnError};
+use alfi::scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi::tensor::Tensor;
+
+/// A depthwise-style scaling layer: one learnable scale per channel of a
+/// `[n, f]` feature vector — a "custom trainable layer not native to
+/// PyTorch" in the paper's terms. It registers as `Linear` for fault
+/// injection; its rank-2 `[f, 1]` weight satisfies the coordinate
+/// sampling contract.
+#[derive(Debug, Clone)]
+struct ChannelScale {
+    weight: Tensor, // [f, 1]
+}
+
+impl ChannelScale {
+    fn new(scales: Vec<f32>) -> Self {
+        let f = scales.len();
+        ChannelScale { weight: Tensor::from_vec(scales, &[f, 1]).expect("length matches") }
+    }
+}
+
+impl CustomLayer for ChannelScale {
+    fn type_name(&self) -> &str {
+        "channel_scale"
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 2 || input.dims()[1] != self.weight.dims()[0] {
+            return Err(NnError::BadInput {
+                layer: "channel_scale".into(),
+                reason: format!("expected [n, {}] input", self.weight.dims()[0]),
+            });
+        }
+        let f = self.weight.dims()[0];
+        let mut out = input.clone();
+        let w = self.weight.data();
+        for (i, v) in out.data_mut().iter_mut().enumerate() {
+            *v *= w[i % f];
+        }
+        Ok(out)
+    }
+
+    fn clone_box(&self) -> Box<dyn CustomLayer> {
+        Box::new(self.clone())
+    }
+
+    fn injection_kind(&self) -> Option<LayerKind> {
+        Some(LayerKind::Linear)
+    }
+
+    fn weight(&self) -> Option<&Tensor> {
+        Some(&self.weight)
+    }
+
+    fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        Some(&mut self.weight)
+    }
+}
+
+fn custom_net() -> Network {
+    let mut net = Network::new("custom");
+    let a = net
+        .push("scale", Layer::Custom(Box::new(ChannelScale::new(vec![1.0, 2.0, 3.0, 4.0]))), &[])
+        .unwrap();
+    net.set_output(a).unwrap();
+    net
+}
+
+#[test]
+fn custom_layer_computes_and_clones() {
+    let net = custom_net();
+    let x = Tensor::ones(&[2, 4]);
+    let y = net.forward(&x).unwrap();
+    assert_eq!(y.batch_item(0).unwrap().data(), &[1.0, 2.0, 3.0, 4.0]);
+    // clones share nothing: mutating the clone leaves the original intact
+    let mut cloned = net.clone();
+    cloned.layer_mut(0).unwrap().weight_mut().unwrap().set(&[0, 0], 99.0);
+    assert_eq!(net.forward(&x).unwrap().batch_item(0).unwrap().data(), &[1.0, 2.0, 3.0, 4.0]);
+    assert_eq!(cloned.forward(&x).unwrap().batch_item(0).unwrap().data()[0], 99.0);
+}
+
+#[test]
+fn custom_layer_is_injectable_as_declared_kind() {
+    let net = custom_net();
+    let inj = net.injectable_layers(None, Some(&[1, 4])).unwrap();
+    assert_eq!(inj.len(), 1);
+    assert_eq!(inj[0].kind, LayerKind::Linear);
+    assert_eq!(inj[0].weight_shape.dims(), &[4, 1]);
+    assert_eq!(inj[0].output_shape.as_ref().unwrap().dims(), &[1, 4]);
+}
+
+#[test]
+fn weight_faults_hit_the_custom_layer() {
+    let net = custom_net();
+    let mut s = Scenario::default();
+    s.dataset_size = 4;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::BitFlip { bit_range: (31, 31) }; // sign flip
+    let mut wrapper = Ptfiwrap::new(&net, s, &[1, 4]).unwrap();
+    let x = Tensor::ones(&[1, 4]);
+    let clean = net.forward(&x).unwrap();
+    let mut saw_negation = false;
+    while let Ok(fm) = wrapper.next_faulty_model() {
+        let log = fm.applied_faults();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].corrupted, -log[0].original, "sign flip negates the scale");
+        let out = fm.forward(&x).unwrap();
+        let idx = log[0].record.channel;
+        assert_eq!(out.data()[idx], -clean.data()[idx]);
+        saw_negation = true;
+    }
+    assert!(saw_negation);
+}
+
+#[test]
+fn neuron_faults_hit_the_custom_layer_output() {
+    let net = custom_net();
+    let mut s = Scenario::default();
+    s.dataset_size = 3;
+    s.injection_target = InjectionTarget::Neurons;
+    s.fault_mode = FaultMode::RandomValue { min: 42.0, max: 42.0 };
+    let mut wrapper = Ptfiwrap::new(&net, s, &[1, 4]).unwrap();
+    let x = Tensor::ones(&[1, 4]);
+    let fm = wrapper.next_faulty_model().unwrap();
+    let out = fm.forward(&x).unwrap();
+    let log = fm.applied_faults();
+    assert_eq!(log.len(), 1);
+    assert_eq!(out.data()[log[0].record.width], 42.0);
+}
+
+#[test]
+fn opt_out_custom_layer_is_not_injectable() {
+    #[derive(Debug, Clone)]
+    struct Passthrough;
+    impl CustomLayer for Passthrough {
+        fn type_name(&self) -> &str {
+            "passthrough"
+        }
+        fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+            Ok(input.clone())
+        }
+        fn clone_box(&self) -> Box<dyn CustomLayer> {
+            Box::new(self.clone())
+        }
+    }
+    let mut net = Network::new("n");
+    let a = net.push("pass", Layer::Custom(Box::new(Passthrough)), &[]).unwrap();
+    net.set_output(a).unwrap();
+    assert!(net.injectable_layers(None, None).unwrap().is_empty());
+    assert_eq!(net.layer(a).unwrap().kind(), LayerKind::Other);
+}

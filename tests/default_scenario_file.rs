@@ -1,0 +1,38 @@
+//! Integration test: the repository's `scenarios/default.yml` is valid,
+//! documents the paper's headline fault model, and drives the Listing-1
+//! convention loader.
+
+use alfi::core::Ptfiwrap;
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{FaultMode, InjectionPolicy, InjectionTarget, Scenario};
+
+#[test]
+fn shipped_default_yml_parses_with_expected_values() {
+    let repo_root = env!("CARGO_MANIFEST_DIR");
+    let s = Scenario::load(format!("{repo_root}/scenarios/default.yml")).unwrap();
+    assert_eq!(s.dataset_size, 100);
+    assert_eq!(s.injection_target, InjectionTarget::Weights);
+    assert_eq!(s.injection_policy, InjectionPolicy::PerImage);
+    assert_eq!(s.fault_mode, FaultMode::exponent_bit_flip());
+    assert!(s.weighted_layer_selection);
+    // round-trips through the serializer
+    let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+    assert_eq!(s, back);
+}
+
+#[test]
+fn from_default_scenario_resolves_the_conventional_path() {
+    // Run with cwd at the repo root so `scenarios/default.yml` resolves
+    // (mirrors how a user integrates ALFI into their project folder).
+    let repo_root = env!("CARGO_MANIFEST_DIR");
+    let original = std::env::current_dir().unwrap();
+    std::env::set_current_dir(repo_root).unwrap();
+    let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+    let model = alexnet(&cfg);
+    let result = Ptfiwrap::from_default_scenario(&model, &cfg.input_dims(1));
+    std::env::set_current_dir(original).unwrap();
+
+    let wrapper = result.unwrap();
+    assert_eq!(wrapper.fault_matrix().len(), 100);
+    assert_eq!(wrapper.scenario().fault_mode, FaultMode::exponent_bit_flip());
+}

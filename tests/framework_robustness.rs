@@ -1,0 +1,138 @@
+//! Failure injection into the framework itself: malformed inputs and
+//! mismatched artifacts must produce typed errors, never panics or
+//! silent misbehaviour.
+
+use alfi::core::campaign::ImgClassCampaign;
+use alfi::core::{arm_faults, resolve_targets, CoreError, FaultMatrix, Ptfiwrap, RunTrace};
+use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+use alfi::nn::models::{alexnet, vgg16, ModelConfig};
+use alfi::nn::{Layer, Network};
+use alfi::scenario::{InjectionTarget, LayerType, Scenario};
+
+fn mcfg() -> ModelConfig {
+    ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() }
+}
+
+#[test]
+fn fault_matrix_from_larger_model_is_rejected_on_smaller_model() {
+    // Generate against vgg16 (16 injectable layers), arm on alexnet (8):
+    // records referencing layers >= 8 must produce a typed error.
+    let big = vgg16(&mcfg());
+    let small = alexnet(&mcfg());
+    let mut s = Scenario::default();
+    s.dataset_size = 40;
+    s.injection_target = InjectionTarget::Weights;
+    s.weighted_layer_selection = false; // spread across all 16 layers
+    let big_targets = resolve_targets(&[&big], &s, &[Some(mcfg().input_dims(1))]).unwrap();
+    let matrix = FaultMatrix::generate(&s, &big_targets).unwrap();
+    assert!(matrix.records.iter().any(|r| r.layer >= 8), "sweep should hit late layers");
+
+    let small_targets = resolve_targets(&[&small], &s, &[Some(mcfg().input_dims(1))]).unwrap();
+    let mut model = small.clone();
+    let result = {
+        let mut nets = [&mut model];
+        arm_faults(&mut nets, &small_targets, &matrix.records, InjectionTarget::Weights)
+    };
+    match result {
+        Err(CoreError::FaultOutOfBounds { .. }) => {}
+        other => panic!("expected FaultOutOfBounds, got {other:?}"),
+    }
+}
+
+#[test]
+fn model_without_injectable_layers_is_rejected() {
+    let mut net = Network::new("reluonly");
+    let a = net.push("relu", Layer::Relu, &[]).unwrap();
+    net.set_output(a).unwrap();
+    let err = Ptfiwrap::new(&net, Scenario::default(), &[1, 4]).unwrap_err();
+    assert_eq!(err, CoreError::NoInjectableLayers);
+}
+
+#[test]
+fn out_of_range_layer_filter_is_rejected() {
+    let model = alexnet(&mcfg());
+    let mut s = Scenario::default();
+    s.layer_range = Some((100, 200)); // model has 8 injectable layers
+    let err = Ptfiwrap::new(&model, s, &mcfg().input_dims(1)).unwrap_err();
+    assert_eq!(err, CoreError::NoInjectableLayers);
+}
+
+#[test]
+fn type_filter_excluding_everything_is_rejected() {
+    let model = alexnet(&mcfg());
+    let mut s = Scenario::default();
+    s.layer_types = vec![LayerType::Conv3d];
+    assert_eq!(
+        Ptfiwrap::new(&model, s, &mcfg().input_dims(1)).unwrap_err(),
+        CoreError::NoInjectableLayers
+    );
+}
+
+#[test]
+fn campaign_handles_dataset_smaller_than_scenario() {
+    // Scenario asks for 10 images but the dataset only has 4: the
+    // campaign processes what exists and reports 4 rows.
+    let mut s = Scenario::default();
+    s.dataset_size = 10;
+    s.injection_target = InjectionTarget::Weights;
+    let ds = ClassificationDataset::new(4, mcfg().num_classes, 3, 32, 1);
+    let loader = ClassificationLoader::new(ds, 1);
+    let result = ImgClassCampaign::new(alexnet(&mcfg()), s, loader).run().unwrap();
+    assert_eq!(result.rows.len(), 4);
+    assert_eq!(result.fault_matrix.num_slots(), 10, "matrix keeps full size for replay");
+}
+
+#[test]
+fn zero_runs_scenario_yields_empty_campaign() {
+    let mut s = Scenario::default();
+    s.dataset_size = 4;
+    s.num_runs = 0;
+    let ds = ClassificationDataset::new(4, mcfg().num_classes, 3, 32, 1);
+    let loader = ClassificationLoader::new(ds, 1);
+    let result = ImgClassCampaign::new(alexnet(&mcfg()), s, loader).run().unwrap();
+    assert!(result.rows.is_empty());
+    assert!(result.trace.entries.is_empty());
+}
+
+#[test]
+fn cross_format_file_confusion_is_detected() {
+    // Feeding a trace file to the fault-matrix loader (and vice versa)
+    // fails on the magic check, not on some deep parse error.
+    let trace_bytes = RunTrace::default().encode();
+    let err = alfi::core::decode_fault_matrix(&trace_bytes).unwrap_err();
+    assert!(matches!(err, CoreError::CorruptFile { kind: "fault", .. }));
+
+    let model = alexnet(&mcfg());
+    let w = Ptfiwrap::new(&model, Scenario::default(), &mcfg().input_dims(1)).unwrap();
+    let fault_bytes = alfi::core::encode_fault_matrix(w.fault_matrix());
+    let err = RunTrace::decode(&fault_bytes).unwrap_err();
+    assert!(matches!(err, CoreError::CorruptFile { kind: "trace", .. }));
+}
+
+#[test]
+fn malformed_scenario_files_fail_with_field_context() {
+    for (text, needle) in [
+        ("injection_target: gpu\n", "injection_target"),
+        ("fault_mode:\n  mode: bitflip\n  rnd_bit_range: [31, 0]\n", "fault_mode"),
+        ("layer_range: [9, 1]\n", "layer_range"),
+    ] {
+        let err = Scenario::from_yaml_str(text).unwrap_err();
+        assert!(err.to_string().contains(needle), "{text:?} -> {err}");
+    }
+}
+
+#[test]
+fn hardened_model_with_mismatched_layers_is_rejected_by_campaign() {
+    // A "hardened" model that is actually a different architecture must
+    // be rejected up front instead of silently mis-mapping faults.
+    let mut s = Scenario::default();
+    s.dataset_size = 2;
+    let ds = ClassificationDataset::new(2, mcfg().num_classes, 3, 32, 1);
+    let loader = ClassificationLoader::new(ds, 1);
+    let wrong_resil = vgg16(&mcfg()); // 16 layers vs alexnet's 8
+    let err = ImgClassCampaign::new(alexnet(&mcfg()), s, loader)
+        .with_resil_model(wrong_resil)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::FaultOutOfBounds { .. }));
+}

@@ -1,0 +1,83 @@
+//! Integration test: the offline post-processing loop — persist a
+//! campaign's outputs, reload them from disk (CSV + binary trace), and
+//! recompute the paper's layer-wise / bit-wise breakdowns from the
+//! reloaded artifacts alone.
+
+use alfi::core::campaign::{CsvVariant, ImgClassCampaign};
+use alfi::core::RunTrace;
+use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+use alfi::eval::{
+    flip_direction_stats, outcomes_by_bit_field, outcomes_by_layer, read_classification_csv,
+    SdeCriterion,
+};
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{FaultCount, FaultMode, InjectionTarget, Scenario};
+
+#[test]
+fn persisted_outputs_support_full_offline_analysis() {
+    let mcfg = ModelConfig { input_hw: 16, width_mult: 0.125, seed: 3, ..ModelConfig::default() };
+    let mut s = Scenario::default();
+    s.dataset_size = 20;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::any_bit_flip();
+    s.faults_per_image = FaultCount::Fixed(2);
+    s.seed = 77;
+    let ds = ClassificationDataset::new(20, mcfg.num_classes, 3, 16, 4);
+    let loader = ClassificationLoader::new(ds, 1);
+    let result = ImgClassCampaign::new(alexnet(&mcfg), s, loader).run().unwrap();
+
+    let dir = std::env::temp_dir().join("alfi_it_offline");
+    let _ = std::fs::remove_dir_all(&dir);
+    result.save_outputs(&dir).unwrap();
+
+    // (1) CSV reload: row identities and fault counts survive.
+    let rows = read_classification_csv(dir.join("results_corr.csv")).unwrap();
+    assert_eq!(rows.len(), 20);
+    for (csv_row, mem_row) in rows.iter().zip(result.rows.iter()) {
+        assert_eq!(csv_row.image_id, mem_row.image_id);
+        assert_eq!(csv_row.fault_layers.len(), 2);
+        assert_eq!(csv_row.top5[0].0, mem_row.corr_top5[0].0);
+    }
+
+    // (2) Trace reload: every applied fault is recoverable bit-exactly.
+    let trace = RunTrace::load(dir.join("trace.bin")).unwrap();
+    assert_eq!(trace.entries.len(), 40); // 20 images * 2 faults
+    let in_memory: Vec<_> = result.rows.iter().flat_map(|r| r.faults.iter()).collect();
+    for (t, m) in trace.entries.iter().zip(in_memory) {
+        assert_eq!(t.applied.record, m.record);
+        assert_eq!(t.applied.corrupted.to_bits(), m.corrupted.to_bits());
+    }
+
+    // (3) Breakdowns computed from the in-memory rows agree with the
+    // totals recoverable from the CSV (same fault layer multiset).
+    let by_layer = outcomes_by_layer(&result.rows, SdeCriterion::Top1Mismatch);
+    let total_from_breakdown: usize = by_layer.values().map(|c| c.total()).sum();
+    assert_eq!(total_from_breakdown, 40);
+    let mut csv_layer_counts = std::collections::BTreeMap::new();
+    for row in &rows {
+        for &l in &row.fault_layers {
+            *csv_layer_counts.entry(l).or_insert(0usize) += 1;
+        }
+    }
+    for (layer, counts) in &by_layer {
+        assert_eq!(csv_layer_counts.get(layer), Some(&counts.total()), "layer {layer}");
+    }
+
+    // (4) Bit-field and direction breakdowns cover every bit-flip fault.
+    let by_field = outcomes_by_bit_field(&result.rows, SdeCriterion::Top1Mismatch);
+    let field_total: usize = by_field.values().map(|c| c.total()).sum();
+    assert_eq!(field_total, 40, "all faults were bit flips");
+    let dirs = flip_direction_stats(&result.rows, SdeCriterion::Top1Mismatch);
+    assert_eq!(dirs.zero_to_one.total() + dirs.one_to_zero.total(), 40);
+
+    // (5) The original (fault-free) CSV reports no faults at all — the
+    // separate-file contract for fault-free outputs.
+    let orig_csv = result.to_csv(CsvVariant::Original);
+    let orig_rows =
+        alfi::eval::parse_classification_csv(&orig_csv).unwrap();
+    // the original run shares rows with faults listed (locations apply to
+    // the corrupted pass) but its top-5 must equal the in-memory orig.
+    for (csv_row, mem_row) in orig_rows.iter().zip(result.rows.iter()) {
+        assert_eq!(csv_row.top5[0].0, mem_row.orig_top5[0].0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the paper's §V experiment use cases:
+//! layer iteration (2a), fault-count escalation (2b), neuron/weight
+//! switching (2c) and bit-position sweeps (2d), plus the PyTorchFI-style
+//! baseline comparison.
+
+use alfi::core::baseline::AdHocInjector;
+use alfi::core::{FaultValue, Ptfiwrap};
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{FaultCount, FaultMode, InjectionTarget, Scenario};
+use alfi::tensor::Tensor;
+
+fn mcfg() -> ModelConfig {
+    ModelConfig { input_hw: 16, width_mult: 0.0625, seed: 13, ..ModelConfig::default() }
+}
+
+fn base_scenario() -> Scenario {
+    let mut s = Scenario::default();
+    s.dataset_size = 4;
+    s.injection_target = InjectionTarget::Weights;
+    s.seed = 404;
+    s
+}
+
+#[test]
+fn use_case_2a_layer_iteration_pins_faults_to_each_layer() {
+    let model = alexnet(&mcfg());
+    let mut wrapper = Ptfiwrap::new(&model, base_scenario(), &mcfg().input_dims(1)).unwrap();
+    let num_layers = model.injectable_layers(None, None).unwrap().len();
+    for layer in 0..num_layers {
+        let mut s = wrapper.scenario().clone();
+        s.layer_range = Some((layer, layer));
+        wrapper.set_scenario(s).unwrap();
+        // all generated faults hit exactly the pinned layer (target index
+        // 0 in the filtered list)
+        assert_eq!(wrapper.targets().len(), 1);
+        for record in &wrapper.fault_matrix().records {
+            assert_eq!(record.layer, 0);
+        }
+        // and the pinned target really is layer `layer` of the full list
+        let expected = model.injectable_layers(None, None).unwrap()[layer].name.clone();
+        assert_eq!(wrapper.targets()[0].name, expected);
+    }
+}
+
+#[test]
+fn use_case_2b_fault_count_escalation_increases_sde() {
+    // More simultaneous exponent faults per image => corruption rate must
+    // not decrease, and must be substantial at 50 faults.
+    let model = alexnet(&mcfg());
+    let input = Tensor::ones(&mcfg().input_dims(1));
+    let orig_top1 = model.forward(&input).unwrap().batch_item(0).unwrap().argmax();
+    let mut rates = Vec::new();
+    for k in [1usize, 10, 50] {
+        let mut s = base_scenario();
+        s.dataset_size = 20;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        s.faults_per_image = FaultCount::Fixed(k);
+        let mut wrapper = Ptfiwrap::new(&model, s, &mcfg().input_dims(1)).unwrap();
+        let mut sde = 0usize;
+        let mut total = 0usize;
+        while let Ok(fm) = wrapper.next_faulty_model() {
+            let out = fm.forward(&input).unwrap();
+            let t1 = out.batch_item(0).unwrap().argmax();
+            let non_finite = out.has_non_finite();
+            if t1 != orig_top1 || non_finite {
+                sde += 1;
+            }
+            total += 1;
+        }
+        rates.push(sde as f64 / total as f64);
+    }
+    assert!(rates[2] >= rates[0], "50-fault rate {} < 1-fault rate {}", rates[2], rates[0]);
+    assert!(rates[2] > 0.2, "50 simultaneous exponent faults should often corrupt: {rates:?}");
+}
+
+#[test]
+fn use_case_2c_switching_between_neuron_and_weight_faults() {
+    let model = alexnet(&mcfg());
+    let mut wrapper = Ptfiwrap::new(&model, base_scenario(), &mcfg().input_dims(1)).unwrap();
+    assert_eq!(wrapper.fault_matrix().target, InjectionTarget::Weights);
+    let mut s = wrapper.scenario().clone();
+    s.injection_target = InjectionTarget::Neurons;
+    wrapper.set_scenario(s).unwrap();
+    assert_eq!(wrapper.fault_matrix().target, InjectionTarget::Neurons);
+    // a neuron-fault model corrupts only during forward
+    let fm = wrapper.next_faulty_model().unwrap();
+    assert!(fm.applied_faults().is_empty());
+    fm.forward(&Tensor::ones(&mcfg().input_dims(1))).unwrap();
+    assert_eq!(fm.applied_faults().len(), 1);
+}
+
+#[test]
+fn use_case_2d_bit_positions_follow_scenario() {
+    let model = alexnet(&mcfg());
+    for bit in [0u8, 15, 23, 30, 31] {
+        let mut s = base_scenario();
+        s.fault_mode = FaultMode::BitFlip { bit_range: (bit, bit) };
+        let wrapper = Ptfiwrap::new(&model, s, &mcfg().input_dims(1)).unwrap();
+        for r in &wrapper.fault_matrix().records {
+            assert_eq!(r.value, FaultValue::BitFlip(bit));
+        }
+    }
+}
+
+#[test]
+fn exponent_bits_corrupt_more_than_low_mantissa_bits() {
+    // The motivating physics: bit 30 faults must produce at least as many
+    // SDEs as bit 0 faults, and strictly more over a decent sample.
+    let cfg = ModelConfig { input_hw: 16, width_mult: 0.125, seed: 6, ..ModelConfig::default() };
+    let model = alexnet(&cfg);
+    let input = Tensor::ones(&cfg.input_dims(1));
+    let orig_top1 = model.forward(&input).unwrap().batch_item(0).unwrap().argmax();
+    let rate_for_bit = |bit: u8| {
+        let mut s = base_scenario();
+        s.dataset_size = 40;
+        s.fault_mode = FaultMode::BitFlip { bit_range: (bit, bit) };
+        let mut wrapper = Ptfiwrap::new(&model, s, &cfg.input_dims(1)).unwrap();
+        let mut sde = 0usize;
+        while let Ok(fm) = wrapper.next_faulty_model() {
+            let out = fm.forward(&input).unwrap();
+            if out.batch_item(0).unwrap().argmax() != orig_top1 || out.has_non_finite() {
+                sde += 1;
+            }
+        }
+        sde
+    };
+    let high = rate_for_bit(30);
+    let low = rate_for_bit(0);
+    assert!(high > low, "bit 30 SDEs ({high}) must exceed bit 0 SDEs ({low})");
+    assert_eq!(low, 0, "single LSB mantissa flips should be fully masked");
+}
+
+#[test]
+fn baseline_adhoc_matches_alfi_fault_space_but_not_replayability() {
+    let model = alexnet(&mcfg());
+    let x = Tensor::ones(&mcfg().input_dims(1));
+
+    // ALFI: two wrappers with the same scenario replay identical faults.
+    let s = base_scenario();
+    let w1 = Ptfiwrap::new(&model, s.clone(), &mcfg().input_dims(1)).unwrap();
+    let w2 = Ptfiwrap::new(&model, s.clone(), &mcfg().input_dims(1)).unwrap();
+    assert_eq!(w1.fault_matrix(), w2.fault_matrix());
+
+    // The baseline runs fine but exposes no fault record at all — the
+    // absence of a persistable artifact *is* the measured difference.
+    let mut adhoc = AdHocInjector::new(&model, s, &mcfg().input_dims(1)).unwrap();
+    let out = adhoc.run_once(&model, &x, 1).unwrap();
+    assert_eq!(out.dims()[0], 1);
+}
+
+#[test]
+fn random_positions_cover_many_layers() {
+    // §V item 1: random positions throughout the network. With weighted
+    // selection over a long run, most layers should be visited.
+    let model = alexnet(&mcfg());
+    let mut s = base_scenario();
+    s.dataset_size = 400;
+    let wrapper = Ptfiwrap::new(&model, s, &mcfg().input_dims(1)).unwrap();
+    let num_layers = wrapper.targets().len();
+    let mut seen = vec![false; num_layers];
+    for r in &wrapper.fault_matrix().records {
+        seen[r.layer] = true;
+    }
+    let visited = seen.iter().filter(|&&s| s).count();
+    assert!(visited >= num_layers - 2, "visited {visited}/{num_layers} layers");
+}
