@@ -8,7 +8,7 @@ use alfi_core::baseline::AdHocInjector;
 use alfi_core::{decode_fault_matrix, encode_fault_matrix, FaultMatrix, Ptfiwrap, resolve_targets};
 use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
 use alfi_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, Criterion};
+use alfi_bench::timing::{Harness};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -20,7 +20,7 @@ fn scenario(n: usize) -> Scenario {
     s
 }
 
-fn bench_efficiency(c: &mut Criterion) {
+fn bench_efficiency(c: &mut Harness) {
     let scale = ExperimentScale::quick();
     let (model, mcfg) = build_classifier("alexnet", scale, 3);
     let input = Tensor::ones(&mcfg.input_dims(1));
@@ -62,5 +62,4 @@ fn bench_efficiency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_efficiency);
-criterion_main!(benches);
+alfi_bench::bench_main!(bench_efficiency);

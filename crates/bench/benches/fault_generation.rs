@@ -7,11 +7,11 @@
 use alfi_bench::{build_classifier, ExperimentScale};
 use alfi_core::{resolve_targets, FaultMatrix};
 use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use alfi_bench::timing::{BenchmarkId, Harness, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_generation(c: &mut Criterion) {
+fn bench_generation(c: &mut Harness) {
     let (model, mcfg) = build_classifier("resnet50", ExperimentScale::quick(), 3);
     let mut scenario = Scenario::default();
     scenario.injection_target = InjectionTarget::Weights;
@@ -38,5 +38,4 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);
+alfi_bench::bench_main!(bench_generation);

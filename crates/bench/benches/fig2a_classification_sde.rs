@@ -1,6 +1,6 @@
 //! Bench target for Fig. 2a (see DESIGN.md experiment F2a): runs the
 //! classification-SDE campaign for each model of the paper's figure and
-//! reports both wall-clock cost (Criterion) and the reproduced SDE
+//! reports both wall-clock cost (the bench harness) and the reproduced SDE
 //! numbers (printed once per model to stderr).
 //!
 //! The full printed table lives in `repro_fig2a`; this target keeps the
@@ -9,10 +9,10 @@
 
 use alfi_bench::{run_fig2a_point, ExperimentScale, CLASSIFIERS};
 use alfi_mitigation::Protection;
-use criterion::{criterion_group, criterion_main, Criterion};
+use alfi_bench::timing::{Harness};
 use std::time::Duration;
 
-fn bench_fig2a(c: &mut Criterion) {
+fn bench_fig2a(c: &mut Harness) {
     let scale = ExperimentScale::quick();
     let mut group = c.benchmark_group("fig2a_classification_sde");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
@@ -33,5 +33,4 @@ fn bench_fig2a(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig2a);
-criterion_main!(benches);
+alfi_bench::bench_main!(bench_fig2a);

@@ -1,12 +1,12 @@
 //! Bench target for Fig. 2b (DESIGN.md experiment F2b): detection IVMOD
-//! campaigns per detector architecture, timed by Criterion, with the
+//! campaigns per detector architecture, timed by the in-tree harness, with the
 //! reproduced IVMOD numbers printed once per configuration.
 
 use alfi_bench::{run_fig2b_point, ExperimentScale, DETECTORS};
-use criterion::{criterion_group, criterion_main, Criterion};
+use alfi_bench::timing::{Harness};
 use std::time::Duration;
 
-fn bench_fig2b(c: &mut Criterion) {
+fn bench_fig2b(c: &mut Harness) {
     let scale = ExperimentScale::quick();
     let mut group = c.benchmark_group("fig2b_detection_ivmod");
     group.sample_size(10).measurement_time(Duration::from_secs(4));
@@ -25,5 +25,4 @@ fn bench_fig2b(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig2b);
-criterion_main!(benches);
+alfi_bench::bench_main!(bench_fig2b);

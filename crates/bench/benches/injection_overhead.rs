@@ -10,12 +10,12 @@ use alfi_core::monitor::{attach_monitor, NanInfMonitor};
 use alfi_core::Ptfiwrap;
 use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
 use alfi_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, Criterion};
+use alfi_bench::timing::{Harness};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn bench_overhead(c: &mut Criterion) {
+fn bench_overhead(c: &mut Harness) {
     let scale = ExperimentScale::quick();
     let (model, mcfg) = build_classifier("alexnet", scale, 3);
     let input = Tensor::ones(&mcfg.input_dims(1));
@@ -59,5 +59,4 @@ fn bench_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);
+alfi_bench::bench_main!(bench_overhead);

@@ -6,14 +6,13 @@
 use alfi_bench::{build_classifier, ExperimentScale, CLASSIFIERS};
 use alfi_tensor::conv::{conv2d_direct, conv2d_im2col, ConvConfig};
 use alfi_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alfi_bench::timing::{BenchmarkId, Harness};
+use alfi_rng::Rng;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_conv_kernels(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
+fn bench_conv_kernels(c: &mut Harness) {
+    let mut rng = Rng::from_seed(3);
     let mut group = c.benchmark_group("conv_kernel_ablation");
     group.sample_size(20).measurement_time(Duration::from_secs(3));
     for &(c_in, c_out, hw, k) in &[(8usize, 16usize, 16usize, 3usize), (16, 32, 32, 3)] {
@@ -31,7 +30,7 @@ fn bench_conv_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_model_forward_and_clone(c: &mut Criterion) {
+fn bench_model_forward_and_clone(c: &mut Harness) {
     let scale = ExperimentScale::quick();
     let mut group = c.benchmark_group("model_substrate");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
@@ -50,5 +49,4 @@ fn bench_model_forward_and_clone(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_conv_kernels, bench_model_forward_and_clone);
-criterion_main!(benches);
+alfi_bench::bench_main!(bench_conv_kernels, bench_model_forward_and_clone);

@@ -8,14 +8,13 @@ use alfi_nn::train::{backward, softmax_cross_entropy, train_step, SgdTrainer};
 use alfi_nn::{Conv2d, Layer, Linear, Network};
 use alfi_tensor::conv::ConvConfig;
 use alfi_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alfi_bench::timing::{Harness};
+use alfi_rng::Rng;
 use std::hint::black_box;
 use std::time::Duration;
 
 fn build_cnn(classes: usize, seed: u64) -> Network {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut he = |dims: &[usize]| {
         let fan_in: usize = dims[1..].iter().product();
         Tensor::rand_normal(&mut rng, dims, 0.0, (2.0 / fan_in as f32).sqrt())
@@ -51,10 +50,10 @@ fn build_cnn(classes: usize, seed: u64) -> Network {
     net
 }
 
-fn bench_training(c: &mut Criterion) {
+fn bench_training(c: &mut Harness) {
     let classes = 4usize;
     let net = build_cnn(classes, 3);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Rng::from_seed(5);
     let images = Tensor::rand_uniform(&mut rng, &[8, 3, 16, 16], 0.0, 1.0);
     let labels: Vec<usize> = (0..8).map(|i| i % classes).collect();
 
@@ -83,5 +82,4 @@ fn bench_training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training);
-criterion_main!(benches);
+alfi_bench::bench_main!(bench_training);

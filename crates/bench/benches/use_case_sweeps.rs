@@ -8,7 +8,7 @@ use alfi_core::Ptfiwrap;
 use alfi_nn::Network;
 use alfi_scenario::{FaultCount, FaultMode, InjectionTarget, Scenario};
 use alfi_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, Criterion};
+use alfi_bench::timing::{Harness};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -35,7 +35,7 @@ fn sde_probability(model: &Network, wrapper: &mut Ptfiwrap, input: &Tensor) -> f
     sde as f64 / total.max(1) as f64
 }
 
-fn bench_sweeps(c: &mut Criterion) {
+fn bench_sweeps(c: &mut Harness) {
     let scale = ExperimentScale::quick();
     let (model, mcfg) = build_classifier("alexnet", scale, 5);
     let input = Tensor::ones(&mcfg.input_dims(1));
@@ -135,5 +135,4 @@ fn bench_sweeps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweeps);
-criterion_main!(benches);
+alfi_bench::bench_main!(bench_sweeps);

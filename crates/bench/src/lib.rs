@@ -5,12 +5,14 @@
 //!
 //! * `src/bin/repro_*` — binaries printing the full reproduced
 //!   tables/series (`cargo run --release -p alfi-bench --bin repro_fig2a`);
-//! * `benches/*` — Criterion micro/meso benchmarks including the
-//!   validation-efficiency comparison against the PyTorchFI-style
-//!   baseline.
+//! * `benches/*` — micro/meso benchmarks on the in-tree [`timing`]
+//!   harness, including the validation-efficiency comparison against
+//!   the PyTorchFI-style baseline.
 //!
 //! The library part hosts the shared experiment drivers so binaries,
 //! benches and tests run exactly the same code.
+
+pub mod timing;
 
 use alfi_core::campaign::{ImgClassCampaign, ObjDetCampaign};
 use alfi_datasets::{ClassificationDataset, ClassificationLoader, DetectionDataset, DetectionLoader};
@@ -29,7 +31,7 @@ pub const DETECTORS: [&str; 3] = ["yolo_grid", "retina_anchor", "frcnn_two_stage
 /// The two synthetic detection datasets standing in for CoCo/Kitti.
 pub const DET_DATASETS: [&str; 2] = ["synth-coco", "synth-kitti"];
 
-/// Scale knobs for experiments: `quick` keeps Criterion runs fast; the
+/// Scale knobs for experiments: `quick` keeps bench loops fast; the
 /// repro binaries use `full`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentScale {

@@ -1,0 +1,371 @@
+//! Minimal in-tree benchmark harness.
+//!
+//! Replaces the external Criterion dependency with a hermetic
+//! warmup + median-of-N timer whose API mirrors the (small) Criterion
+//! surface the `benches/` targets use, so a bench body reads the same:
+//! groups, per-group sample size / measurement time, optional
+//! element-throughput annotation, and `b.iter(..)` routines.
+//!
+//! Every run prints one summary line per benchmark and, when the run
+//! finishes, writes a JSON report (via `alfi-serde`) to
+//! `$ALFI_BENCH_JSON` or `target/alfi-bench/<binary>.json`.
+
+use alfi_serde::Json;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (elements per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark id composed of a function name and a parameter label,
+/// rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: f64,
+    /// Arithmetic mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations folded into each sample.
+    pub iters_per_sample: u64,
+    /// Optional elements-per-iteration annotation.
+    pub throughput_elems: Option<u64>,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("group".to_string(), Json::Str(self.group.clone())),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("median_ns".to_string(), Json::Float(self.median_ns)),
+            ("min_ns".to_string(), Json::Float(self.min_ns)),
+            ("mean_ns".to_string(), Json::Float(self.mean_ns)),
+            ("samples".to_string(), Json::Int(self.samples as i128)),
+            ("iters_per_sample".to_string(), Json::Int(self.iters_per_sample as i128)),
+        ];
+        if let Some(e) = self.throughput_elems {
+            obj.push(("elements_per_iter".to_string(), Json::Int(e as i128)));
+            if self.median_ns > 0.0 {
+                let eps = e as f64 / (self.median_ns / 1.0e9);
+                obj.push(("elements_per_sec".to_string(), Json::Float(eps)));
+            }
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// The timing routine handed to each benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<BencherRun>,
+}
+
+struct BencherRun {
+    per_iter_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`: a short warmup estimates the per-iteration cost, then
+    /// up to `sample_size` samples are collected (each folding enough
+    /// iterations to be reliably measurable) and the per-iteration
+    /// times recorded. Total wall time is capped near the group's
+    /// measurement time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: at least one call, up to ~1/5 of the budget.
+        let warmup_budget = (self.measurement_time / 5).max(Duration::from_millis(20));
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= warmup_budget || warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Fold iterations so each sample runs for a meaningful slice of
+        // the budget (and at least ~50µs for timer resolution).
+        let per_sample = (self.measurement_time.as_secs_f64() / self.sample_size as f64)
+            .max(50.0e-6);
+        let iters = ((per_sample / est_iter.max(1.0e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut per_iter_ns = Vec::with_capacity(self.sample_size);
+        let total_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+            // Hard cap: never run past twice the configured budget.
+            if total_start.elapsed() > self.measurement_time * 2 && per_iter_ns.len() >= 3 {
+                break;
+            }
+        }
+        self.samples.push(BencherRun { per_iter_ns, iters_per_sample: iters });
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchGroup<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<u64>,
+}
+
+impl BenchGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the per-benchmark wall-clock budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with an element throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let Throughput::Elements(n) = t;
+        self.throughput = Some(n);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.record(id.to_string(), b);
+        self
+    }
+
+    /// Runs one parameterized benchmark (`id` renders as `name/param`).
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id.id.clone(), |b| f(b, input))
+    }
+
+    fn record(&mut self, name: String, b: Bencher) {
+        let mut all: Vec<f64> = Vec::new();
+        let mut iters = 1u64;
+        for run in &b.samples {
+            all.extend_from_slice(&run.per_iter_ns);
+            iters = run.iters_per_sample;
+        }
+        if all.is_empty() {
+            eprintln!("[bench] {}/{name}: no samples (b.iter never called)", self.name);
+            return;
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = all[all.len() / 2];
+        let min = all[0];
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        let result = BenchResult {
+            group: self.name.clone(),
+            name,
+            median_ns: median,
+            min_ns: min,
+            mean_ns: mean,
+            samples: all.len(),
+            iters_per_sample: iters,
+            throughput_elems: self.throughput,
+        };
+        let mut line = format!(
+            "[bench] {}/{}: median {} (min {}, {} samples x {} iters)",
+            result.group,
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            result.samples,
+            result.iters_per_sample,
+        );
+        if let Some(e) = result.throughput_elems {
+            if result.median_ns > 0.0 {
+                let eps = e as f64 / (result.median_ns / 1.0e9);
+                line.push_str(&format!(", {eps:.3e} elem/s"));
+            }
+        }
+        eprintln!("{line}");
+        self.harness.results.push(result);
+    }
+
+    /// Ends the group (kept for Criterion-style call sites; all
+    /// bookkeeping happens eagerly).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.3} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The top-level bench harness: collects results from every group and
+/// writes the JSON report at the end of the run.
+pub struct Harness {
+    results: Vec<BenchResult>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        Harness { results: Vec::new() }
+    }
+
+    /// Opens a named benchmark group (10 samples, 3 s budget by
+    /// default).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        BenchGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serializes every result to a JSON report string.
+    pub fn to_json(&self) -> String {
+        Json::Arr(self.results.iter().map(BenchResult::to_json).collect()).pretty()
+    }
+
+    /// Writes the JSON report to `$ALFI_BENCH_JSON`, or to
+    /// `target/alfi-bench/<binary>.json` when unset, and prints the
+    /// destination. Failures are reported but non-fatal: benches should
+    /// not fail because a report directory is read-only.
+    pub fn report(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = std::env::var_os("ALFI_BENCH_JSON").map(std::path::PathBuf::from).unwrap_or_else(
+            || {
+                let stem = std::env::args()
+                    .next()
+                    .and_then(|a| {
+                        std::path::Path::new(&a)
+                            .file_stem()
+                            .map(|s| s.to_string_lossy().into_owned())
+                    })
+                    .unwrap_or_else(|| "bench".to_string());
+                std::path::PathBuf::from("target").join("alfi-bench").join(format!("{stem}.json"))
+            },
+        );
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => eprintln!("[bench] report written to {}", path.display()),
+            Err(e) => eprintln!("[bench] could not write report to {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Expands to the `main` of a bench binary: runs each listed
+/// `fn(&mut Harness)` and writes the JSON report.
+#[macro_export]
+macro_rules! bench_main {
+    ($($f:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::timing::Harness::new();
+            $($f(&mut harness);)+
+            harness.report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples_and_medians() {
+        let mut h = Harness::new();
+        {
+            let mut g = h.benchmark_group("unit");
+            g.sample_size(4).measurement_time(Duration::from_millis(40));
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("spin", |b| {
+                b.iter(|| {
+                    std::hint::black_box((0..100u64).sum::<u64>());
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(h.results().len(), 1);
+        let r = &h.results()[0];
+        assert_eq!(r.group, "unit");
+        assert_eq!(r.name, "spin");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.samples >= 3);
+        assert_eq!(r.throughput_elems, Some(100));
+        let json = h.to_json();
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"elements_per_sec\""));
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        let id = BenchmarkId::new("direct", 64);
+        assert_eq!(id.id, "direct/64");
+    }
+}

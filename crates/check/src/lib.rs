@@ -1,0 +1,261 @@
+//! Minimal property-testing harness for the ALFI workspace.
+//!
+//! A property is a closure that draws its inputs from a seeded
+//! [`alfi_rng::Rng`] and asserts an invariant with the ordinary
+//! `assert!`/`assert_eq!` macros. [`check`] runs it for a configurable
+//! number of cases, each with a distinct, deterministically derived
+//! seed. When a case fails, the harness reports the case's seed so the
+//! exact inputs can be replayed in isolation.
+//!
+//! # Replaying a failure
+//!
+//! A failing run prints a line like:
+//!
+//! ```text
+//! alfi-check: property 'softmax_is_probability' failed at case 17/256 (seed 0x3bf61a9c0d52e871)
+//! alfi-check: replay with ALFI_CHECK_SEED=0x3bf61a9c0d52e871
+//! ```
+//!
+//! Re-running the same test binary with that environment variable set
+//! runs only the failing case:
+//!
+//! ```text
+//! ALFI_CHECK_SEED=0x3bf61a9c0d52e871 cargo test softmax_is_probability
+//! ```
+//!
+//! # Configuration
+//!
+//! - `ALFI_CHECK_CASES=<n>` overrides the case count of every property.
+//! - `ALFI_CHECK_SEED=<hex|dec>` replays a single case by seed.
+//!
+//! # Example
+//!
+//! ```
+//! alfi_check::check("addition_commutes", |rng| {
+//!     let a: i64 = rng.gen_range(-1000..1000);
+//!     let b: i64 = rng.gen_range(-1000..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use alfi_rng::Rng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property (mirrors proptest's default).
+pub const DEFAULT_CASES: usize = 256;
+
+/// Runs `property` for [`DEFAULT_CASES`] seeded cases.
+///
+/// # Panics
+///
+/// Re-raises the property's panic after reporting the failing seed.
+pub fn check(name: &str, property: impl Fn(&mut Rng)) {
+    check_with(DEFAULT_CASES, name, property);
+}
+
+/// Runs `property` for `cases` seeded cases (overridable with
+/// `ALFI_CHECK_CASES`; `ALFI_CHECK_SEED` replays one case instead).
+///
+/// # Panics
+///
+/// Re-raises the property's panic after reporting the failing seed.
+pub fn check_with(cases: usize, name: &str, property: impl Fn(&mut Rng)) {
+    if let Ok(text) = std::env::var("ALFI_CHECK_SEED") {
+        let seed = parse_seed(&text)
+            .unwrap_or_else(|| panic!("ALFI_CHECK_SEED '{text}' is not a valid seed"));
+        eprintln!("alfi-check: replaying property '{name}' with seed 0x{seed:016x}");
+        let mut rng = Rng::from_seed(seed);
+        property(&mut rng);
+        return;
+    }
+    let cases = std::env::var("ALFI_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(cases);
+    let base = fnv1a(name.as_bytes());
+    for case in 0..cases {
+        let seed = case_seed(base, case);
+        let mut rng = Rng::from_seed(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "alfi-check: property '{name}' failed at case {case}/{cases} (seed 0x{seed:016x})"
+            );
+            eprintln!("alfi-check: replay with ALFI_CHECK_SEED=0x{seed:016x}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Skips the current case when a precondition doesn't hold (the ported
+/// form of `prop_assume!`). Use inside a `check` closure.
+#[macro_export]
+macro_rules! assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The seed of case `case` for a property whose name hashes to `base`.
+fn case_seed(base: u64, case: usize) -> u64 {
+    // SplitMix64-style mix keeps per-case seeds uncorrelated.
+    let mut z = base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    let t = text.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse::<u64>().ok()
+    }
+}
+
+/// Input generators mirroring the `proptest` strategies the repo's
+/// property suites were written against.
+pub mod gen {
+    use alfi_rng::Rng;
+
+    /// Arbitrary `f32` bit pattern (includes NaN, infinities, subnormals).
+    pub fn any_f32(rng: &mut Rng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+
+    /// Arbitrary `f64` bit pattern.
+    pub fn any_f64(rng: &mut Rng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+
+    /// Arbitrary `u64`.
+    pub fn any_u64(rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+
+    /// Arbitrary `i8`.
+    pub fn any_i8(rng: &mut Rng) -> i8 {
+        rng.next_u32() as i8
+    }
+
+    /// Arbitrary `bool`.
+    pub fn any_bool(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    /// A `Vec` with length drawn from `len` and elements from `element`.
+    pub fn vec_of<T>(
+        rng: &mut Rng,
+        len: std::ops::Range<usize>,
+        mut element: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let n = rng.gen_range(len);
+        (0..n).map(|_| element(rng)).collect()
+    }
+
+    /// A string of `len` characters drawn uniformly from `alphabet`.
+    pub fn string_from(rng: &mut Rng, alphabet: &[char], len: std::ops::Range<usize>) -> String {
+        let n = rng.gen_range(len);
+        (0..n).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+    }
+
+    /// A printable-ASCII string (the common `"\\PC{0,n}"` pattern).
+    pub fn printable_string(rng: &mut Rng, len: std::ops::Range<usize>) -> String {
+        let n = rng.gen_range(len);
+        (0..n).map(|_| rng.gen_range(0x20u32..0x7F) as u8 as char).collect()
+    }
+
+    /// A non-empty subsequence of `items` with `min..=max` elements,
+    /// preserving order (the ported `proptest::sample::subsequence`).
+    pub fn subsequence<T: Clone>(rng: &mut Rng, items: &[T], min: usize, max: usize) -> Vec<T> {
+        assert!(min >= 1 && min <= max && max <= items.len());
+        let target = rng.gen_range(min..=max);
+        let mut picked: Vec<usize> = (0..items.len()).collect();
+        rng.shuffle(&mut picked);
+        picked.truncate(target);
+        picked.sort_unstable();
+        picked.into_iter().map(|i| items[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0usize);
+        check_with(32, "counting", |_rng| {
+            counter.set(counter.get() + 1);
+        });
+        assert_eq!(counter.get(), 32);
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_deterministic() {
+        let base = fnv1a(b"prop");
+        let a: Vec<u64> = (0..64).map(|i| case_seed(base, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| case_seed(base, i)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 64);
+    }
+
+    #[test]
+    fn different_properties_get_different_streams() {
+        assert_ne!(case_seed(fnv1a(b"a"), 0), case_seed(fnv1a(b"b"), 0));
+    }
+
+    #[test]
+    fn failing_property_panics_and_reports() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_with(16, "always_fails", |_rng| {
+                panic!("intentional");
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn assume_skips_cases() {
+        check_with(64, "assume_filters", |rng| {
+            let x: u32 = rng.gen_range(0..10);
+            assume!(x.is_multiple_of(2));
+            assert_eq!(x % 2, 0);
+        });
+    }
+
+    #[test]
+    fn seed_parses_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("zzz"), None);
+    }
+
+    #[test]
+    fn subsequence_respects_bounds_and_order() {
+        let items = [1, 2, 3, 4, 5];
+        let mut rng = Rng::from_seed(1);
+        for _ in 0..100 {
+            let sub = gen::subsequence(&mut rng, &items, 1, 3);
+            assert!((1..=3).contains(&sub.len()));
+            let mut sorted = sub.clone();
+            sorted.sort_unstable();
+            assert_eq!(sub, sorted);
+        }
+    }
+}

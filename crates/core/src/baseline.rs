@@ -19,9 +19,8 @@ use crate::matrix::LayerTarget;
 use alfi_nn::{ForwardHook, LayerCtx, Network};
 use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
 use alfi_tensor::Tensor;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use alfi_rng::Rng;
+use std::sync::Mutex;
 use std::sync::Arc;
 
 /// Ad-hoc injector: every call samples fresh fault locations directly
@@ -31,7 +30,7 @@ use std::sync::Arc;
 pub struct AdHocInjector {
     targets: Vec<LayerTarget>,
     scenario: Scenario,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl AdHocInjector {
@@ -44,7 +43,7 @@ impl AdHocInjector {
     pub fn new(model: &Network, scenario: Scenario, input_dims: &[usize]) -> Result<Self, CoreError> {
         let targets =
             crate::matrix::resolve_targets(&[model], &scenario, &[Some(input_dims.to_vec())])?;
-        let rng = StdRng::seed_from_u64(scenario.seed);
+        let rng = Rng::from_seed(scenario.seed);
         Ok(AdHocInjector { targets, scenario, rng })
     }
 
@@ -198,13 +197,13 @@ impl CountingHook {
 
     /// Number of invocations so far.
     pub fn count(&self) -> u64 {
-        *self.count.lock()
+        *self.count.lock().unwrap()
     }
 }
 
 impl ForwardHook for CountingHook {
     fn on_output(&self, _ctx: &LayerCtx, _output: &mut Tensor) {
-        *self.count.lock() += 1;
+        *self.count.lock().unwrap() += 1;
     }
 }
 

@@ -388,7 +388,7 @@ impl ImgClassCampaign {
     /// Parallel variant of [`ImgClassCampaign::run`] for `per_image`
     /// scenarios: images are independent under that policy, so the
     /// fault-free / faulty / hardened triple per image fans out across
-    /// `threads` workers (crossbeam scoped threads). Row order, fault
+    /// `threads` workers (std scoped threads). Row order, fault
     /// assignment and all outputs are bit-identical to the sequential
     /// run.
     ///
@@ -465,12 +465,12 @@ impl ImgClassCampaign {
         let targets_ref = &targets;
         let resil_targets_ref = resil_targets.as_deref();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        type Slot = parking_lot::Mutex<Option<Result<(ClassificationRow, Vec<TraceEntry>), CoreError>>>;
-        let results: Vec<Slot> = (0..work.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        type Slot = std::sync::Mutex<Option<Result<(ClassificationRow, Vec<TraceEntry>), CoreError>>>;
+        let results: Vec<Slot> = (0..work.len()).map(|_| std::sync::Mutex::new(None)).collect();
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(item) = work.get(idx) else { break };
                     let outcome = process_image(
@@ -485,16 +485,15 @@ impl ImgClassCampaign {
                         item.label,
                         &item.record,
                     );
-                    *results[idx].lock() = Some(outcome);
+                    *results[idx].lock().unwrap() = Some(outcome);
                 });
             }
-        })
-        .expect("campaign worker panicked");
+        });
 
         let mut rows = Vec::with_capacity(work.len());
         let mut trace = RunTrace::default();
         for cell in results {
-            let (row, entries) = cell.into_inner().expect("all work items processed")?;
+            let (row, entries) = cell.into_inner().unwrap().expect("all work items processed")?;
             rows.push(row);
             trace.entries.extend(entries);
         }

@@ -14,7 +14,7 @@ use alfi_nn::{ForwardHook, HookHandle, LayerCtx, Network, NodeId};
 use alfi_scenario::{FaultDuration, InjectionTarget, Scenario};
 use alfi_tensor::bits::{flip_bit_traced, set_bit, FlipDirection};
 use alfi_tensor::Tensor;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::Arc;
 
 /// Applies one fault value to a scalar, returning the corrupted value and
@@ -76,13 +76,13 @@ impl NeuronFaultHook {
 
     /// Drains the application log.
     pub fn take_log(&self) -> Vec<AppliedFault> {
-        std::mem::take(&mut self.log.lock())
+        std::mem::take(&mut *self.log.lock().unwrap())
     }
 
     /// Number of faults skipped because their coordinates were out of
     /// bounds for the actual runtime tensor shape.
     pub fn skipped(&self) -> usize {
-        *self.skipped.lock()
+        *self.skipped.lock().unwrap()
     }
 }
 
@@ -96,14 +96,14 @@ impl ForwardHook for NeuronFaultHook {
                     let original = data[flat];
                     let (corrupted, direction) = corrupt_value(original, record.value);
                     data[flat] = corrupted;
-                    self.log.lock().push(AppliedFault {
+                    self.log.lock().unwrap().push(AppliedFault {
                         record: *record,
                         original,
                         corrupted,
                         direction,
                     });
                 }
-                None => *self.skipped.lock() += 1,
+                None => *self.skipped.lock().unwrap() += 1,
             }
         }
     }

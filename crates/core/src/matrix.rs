@@ -10,8 +10,7 @@ use crate::error::CoreError;
 use crate::fault::{FaultRecord, FaultValue};
 use alfi_nn::{LayerKind, Network, NodeId};
 use alfi_scenario::{FaultMode, InjectionTarget, LayerType, Scenario};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use alfi_rng::Rng;
 
 /// A fully resolved injection target: one injectable layer of one
 /// network, with its weight geometry and (when shape inference ran) its
@@ -166,7 +165,7 @@ impl FaultMatrix {
             acc += w;
             cdf.push(acc);
         }
-        let mut rng = StdRng::seed_from_u64(scenario.seed);
+        let mut rng = Rng::from_seed(scenario.seed);
         let mut records = Vec::with_capacity(n);
         for _ in 0..n {
             let u: f64 = rng.gen_range(0.0..1.0);
@@ -208,7 +207,7 @@ impl FaultMatrix {
     }
 }
 
-fn sample_value(mode: &FaultMode, rng: &mut StdRng) -> FaultValue {
+fn sample_value(mode: &FaultMode, rng: &mut Rng) -> FaultValue {
     match mode {
         FaultMode::BitFlip { bit_range } => {
             FaultValue::BitFlip(rng.gen_range(bit_range.0..=bit_range.1))
@@ -232,7 +231,7 @@ fn sample_weight_coords(
     layer: usize,
     batch: usize,
     value: FaultValue,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> FaultRecord {
     let d = &t.weight_dims;
     match d.len() {
@@ -275,7 +274,7 @@ fn sample_neuron_coords(
     layer: usize,
     batch: usize,
     value: FaultValue,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> FaultRecord {
     match &t.output_dims {
         Some(d) => match d.len() {

@@ -8,7 +8,7 @@
 
 use alfi_nn::{ForwardHook, HookHandle, LayerCtx, Network, NnError};
 use alfi_tensor::Tensor;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::Arc;
 
 /// Per-layer NaN/Inf counts observed by a [`NanInfMonitor`].
@@ -35,7 +35,7 @@ impl NanInfMonitor {
 
     /// Total counts across all layers since the last reset.
     pub fn totals(&self) -> NanInfCounts {
-        let guard = self.counts.lock();
+        let guard = self.counts.lock().unwrap();
         let mut total = NanInfCounts::default();
         for (_, c) in guard.iter() {
             total.nan += c.nan;
@@ -47,7 +47,7 @@ impl NanInfMonitor {
     /// Per-layer counts `(layer name, counts)` since the last reset,
     /// omitting clean layers.
     pub fn per_layer(&self) -> Vec<(String, NanInfCounts)> {
-        self.counts.lock().clone()
+        self.counts.lock().unwrap().clone()
     }
 
     /// Whether any non-finite value was observed.
@@ -58,7 +58,7 @@ impl NanInfMonitor {
 
     /// Clears all recorded counts.
     pub fn reset(&self) {
-        self.counts.lock().clear();
+        self.counts.lock().unwrap().clear();
     }
 }
 
@@ -67,7 +67,7 @@ impl ForwardHook for NanInfMonitor {
         let nan = output.count_nan();
         let inf = output.count_inf();
         if nan > 0 || inf > 0 {
-            self.counts.lock().push((ctx.name.clone(), NanInfCounts { nan, inf }));
+            self.counts.lock().unwrap().push((ctx.name.clone(), NanInfCounts { nan, inf }));
         }
     }
 }
@@ -87,17 +87,17 @@ impl RangeMonitor {
 
     /// The observed `(min, max)` per node id.
     pub fn ranges(&self) -> std::collections::BTreeMap<usize, (f32, f32)> {
-        self.ranges.lock().clone()
+        self.ranges.lock().unwrap().clone()
     }
 
     /// The observed range for one node.
     pub fn range_of(&self, node_id: usize) -> Option<(f32, f32)> {
-        self.ranges.lock().get(&node_id).copied()
+        self.ranges.lock().unwrap().get(&node_id).copied()
     }
 
     /// Clears all recorded ranges.
     pub fn reset(&self) {
-        self.ranges.lock().clear();
+        self.ranges.lock().unwrap().clear();
     }
 }
 
@@ -111,7 +111,7 @@ impl ForwardHook for RangeMonitor {
             }
         }
         if lo <= hi {
-            let mut guard = self.ranges.lock();
+            let mut guard = self.ranges.lock().unwrap();
             let e = guard.entry(ctx.node_id).or_insert((lo, hi));
             e.0 = e.0.min(lo);
             e.1 = e.1.max(hi);

@@ -13,7 +13,6 @@ use crate::fault::{AppliedFault, FaultRecord, FaultValue};
 use crate::matrix::FaultMatrix;
 use alfi_scenario::InjectionTarget;
 use alfi_tensor::bits::FlipDirection;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::path::Path;
 
 const FAULT_MAGIC: &[u8; 8] = b"ALFIFLT1";
@@ -36,7 +35,93 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-fn put_record(buf: &mut BytesMut, r: &FaultRecord) {
+
+/// Little-endian write helpers over a plain `Vec<u8>` buffer — the
+/// in-tree replacement for the `bytes` crate, emitting byte-identical
+/// output.
+trait PutExt {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_f32_le(&mut self, v: f32);
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl PutExt for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+/// Little-endian cursor over a byte slice.
+///
+/// The `get_*` methods panic when out of bounds; every call site checks
+/// [`Reader::remaining`] first, mirroring the original `bytes`-based
+/// decoding discipline.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// The not-yet-consumed tail (used for checksumming the body).
+    fn rest(&self) -> &'a [u8] {
+        &self.data[self.pos..]
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let chunk = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        chunk
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn copy_to_slice(&mut self, out: &mut [u8]) {
+        let n = out.len();
+        out.copy_from_slice(self.take(n));
+    }
+}
+
+fn put_record(buf: &mut Vec<u8>, r: &FaultRecord) {
     buf.put_u32_le(r.batch as u32);
     buf.put_u32_le(r.layer as u32);
     buf.put_u32_le(r.channel as u32);
@@ -75,7 +160,7 @@ fn put_record(buf: &mut BytesMut, r: &FaultRecord) {
     }
 }
 
-fn get_record(buf: &mut Bytes) -> Result<FaultRecord, CoreError> {
+fn get_record(buf: &mut Reader<'_>) -> Result<FaultRecord, CoreError> {
     if buf.remaining() < 4 * 6 + 1 + 1 + 1 + 1 + 4 {
         return Err(CoreError::CorruptFile { kind: "fault", reason: "truncated record".into() });
     }
@@ -116,7 +201,7 @@ fn get_record(buf: &mut Bytes) -> Result<FaultRecord, CoreError> {
 
 /// Serializes a fault matrix to its binary wire form.
 pub fn encode_fault_matrix(m: &FaultMatrix) -> Vec<u8> {
-    let mut body = BytesMut::new();
+    let mut body: Vec<u8> = Vec::new();
     body.put_u8(match m.target {
         InjectionTarget::Neurons => 0,
         InjectionTarget::Weights => 1,
@@ -126,13 +211,13 @@ pub fn encode_fault_matrix(m: &FaultMatrix) -> Vec<u8> {
     for r in &m.records {
         put_record(&mut body, r);
     }
-    let mut out = BytesMut::new();
+    let mut out: Vec<u8> = Vec::new();
     out.put_slice(FAULT_MAGIC);
     out.put_u32_le(FORMAT_VERSION);
     out.put_u64_le(body.len() as u64);
     out.put_u32_le(crc32(&body));
     out.put_slice(&body);
-    out.to_vec()
+    out
 }
 
 /// Parses a binary fault matrix, validating magic, version, length and
@@ -142,7 +227,7 @@ pub fn encode_fault_matrix(m: &FaultMatrix) -> Vec<u8> {
 ///
 /// Returns [`CoreError::CorruptFile`] for any structural damage.
 pub fn decode_fault_matrix(data: &[u8]) -> Result<FaultMatrix, CoreError> {
-    let mut buf = Bytes::copy_from_slice(data);
+    let mut buf = Reader::new(data);
     if buf.remaining() < 8 + 4 + 8 + 4 {
         return Err(CoreError::CorruptFile { kind: "fault", reason: "file too short".into() });
     }
@@ -166,7 +251,7 @@ pub fn decode_fault_matrix(data: &[u8]) -> Result<FaultMatrix, CoreError> {
             reason: format!("body length mismatch: header says {body_len}, got {}", buf.remaining()),
         });
     }
-    if crc32(&buf) != checksum {
+    if crc32(buf.rest()) != checksum {
         return Err(CoreError::CorruptFile { kind: "fault", reason: "checksum mismatch".into() });
     }
     let target = match buf.get_u8() {
@@ -238,7 +323,7 @@ pub struct RunTrace {
 impl RunTrace {
     /// Serializes the trace to its binary wire form.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = BytesMut::new();
+        let mut body: Vec<u8> = Vec::new();
         body.put_u64_le(self.entries.len() as u64);
         for e in &self.entries {
             body.put_u64_le(e.image_id);
@@ -253,13 +338,13 @@ impl RunTrace {
             body.put_u32_le(e.output_nan_count);
             body.put_u32_le(e.output_inf_count);
         }
-        let mut out = BytesMut::new();
+        let mut out: Vec<u8> = Vec::new();
         out.put_slice(TRACE_MAGIC);
         out.put_u32_le(FORMAT_VERSION);
         out.put_u64_le(body.len() as u64);
         out.put_u32_le(crc32(&body));
         out.put_slice(&body);
-        out.to_vec()
+        out
     }
 
     /// Parses and validates a binary trace.
@@ -268,7 +353,7 @@ impl RunTrace {
     ///
     /// Returns [`CoreError::CorruptFile`] for any structural damage.
     pub fn decode(data: &[u8]) -> Result<RunTrace, CoreError> {
-        let mut buf = Bytes::copy_from_slice(data);
+        let mut buf = Reader::new(data);
         if buf.remaining() < 8 + 4 + 8 + 4 {
             return Err(CoreError::CorruptFile { kind: "trace", reason: "file too short".into() });
         }
@@ -289,7 +374,7 @@ impl RunTrace {
         if buf.remaining() != body_len {
             return Err(CoreError::CorruptFile { kind: "trace", reason: "body length mismatch".into() });
         }
-        if crc32(&buf) != checksum {
+        if crc32(buf.rest()) != checksum {
             return Err(CoreError::CorruptFile { kind: "trace", reason: "checksum mismatch".into() });
         }
         let n = buf.get_u64_le() as usize;

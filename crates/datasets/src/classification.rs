@@ -9,8 +9,7 @@
 
 use crate::record::ImageRecord;
 use alfi_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use alfi_rng::Rng;
 
 /// One classification sample.
 #[derive(Debug, Clone)]
@@ -85,7 +84,7 @@ impl ClassificationDataset {
     /// Panics if `index >= len()`.
     pub fn get(&self, index: usize) -> ClassificationSample {
         assert!(index < self.len, "index {index} out of range for dataset of {}", self.len);
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Rng::from_seed(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let label = rng.gen_range(0..self.num_classes);
         // Class texture: orientation and frequency derive from the label;
         // phase and noise vary per image.

@@ -8,8 +8,7 @@
 
 use crate::record::{CocoAnnotation, CocoCategory, CocoGroundTruth, ImageRecord};
 use alfi_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use alfi_rng::Rng;
 
 /// One ground-truth object in an image.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +77,7 @@ impl DetectionDataset {
     pub fn get(&self, index: usize) -> DetectionSample {
         assert!(index < self.len, "index {index} out of range for dataset of {}", self.len);
         let mut rng =
-            StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            Rng::from_seed(self.seed ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
         let n_objects = rng.gen_range(1..=4usize);
         let hw = self.hw as f32;
         let mut data = vec![0.05f32; self.channels * self.hw * self.hw];

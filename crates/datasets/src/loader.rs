@@ -10,9 +10,7 @@ use crate::classification::ClassificationDataset;
 use crate::detection::{DetectionDataset, GroundTruthBox};
 use crate::record::ImageRecord;
 use alfi_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use alfi_rng::Rng;
 
 /// A batch of classification samples.
 #[derive(Debug, Clone)]
@@ -41,8 +39,8 @@ pub struct DetectionBatch {
 fn epoch_order(len: usize, limit: Option<usize>, shuffle_seed: Option<u64>) -> Vec<usize> {
     let mut order: Vec<usize> = (0..len).collect();
     if let Some(seed) = shuffle_seed {
-        let mut rng = StdRng::seed_from_u64(seed);
-        order.shuffle(&mut rng);
+        let mut rng = Rng::from_seed(seed);
+        rng.shuffle(&mut order);
     }
     if let Some(n) = limit {
         order.truncate(n);

@@ -7,10 +7,10 @@
 //! lets a persisted fault file be traced back to the *exact* image that
 //! was being processed when a fault was active.
 
-use serde::{Deserialize, Serialize};
+use alfi_serde::{json_struct, FromJson, Json, JsonError, ToJson};
 
 /// Metadata preserved for every image flowing through an ALFI campaign.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ImageRecord {
     /// Unique image id within the dataset.
     pub image_id: u64,
@@ -25,7 +25,7 @@ pub struct ImageRecord {
 
 /// One ground-truth object annotation, COCO conventions: `bbox` is
 /// `[x, y, width, height]` in pixels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CocoAnnotation {
     /// Unique annotation id.
     pub id: u64,
@@ -42,7 +42,7 @@ pub struct CocoAnnotation {
 }
 
 /// A category entry of the COCO index.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CocoCategory {
     /// Category id.
     pub id: usize,
@@ -51,9 +51,9 @@ pub struct CocoCategory {
 }
 
 /// A complete COCO-format ground-truth document (images + annotations +
-/// categories), serializable with `serde_json` — the "ground truth and
-/// meta-files" output set of the paper's Fig. 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+/// categories), serializable with the in-tree `alfi-serde` JSON module —
+/// the "ground truth and meta-files" output set of the paper's Fig. 3.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CocoGroundTruth {
     /// Image index.
     pub images: Vec<ImageRecord>,
@@ -63,24 +63,29 @@ pub struct CocoGroundTruth {
     pub categories: Vec<CocoCategory>,
 }
 
+json_struct!(ImageRecord { image_id, file_name, height, width });
+json_struct!(CocoAnnotation { id, image_id, category_id, bbox, area, iscrowd });
+json_struct!(CocoCategory { id, name });
+json_struct!(CocoGroundTruth { images, annotations, categories });
+
 impl CocoGroundTruth {
     /// Serializes to pretty-printed COCO JSON.
     ///
     /// # Errors
     ///
-    /// Returns a `serde_json` error if serialization fails (practically
-    /// impossible for this data model).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Infallible for this data model; the `Result` keeps the historical
+    /// signature.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(ToJson::to_json(self).pretty())
     }
 
     /// Parses a COCO JSON document.
     ///
     /// # Errors
     ///
-    /// Returns a `serde_json` error for malformed input.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    /// Returns a [`JsonError`] for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        FromJson::from_json(&Json::parse(text)?)
     }
 
     /// All annotations for one image.

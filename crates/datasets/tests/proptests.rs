@@ -1,56 +1,65 @@
-//! Property-based tests for dataset determinism and loader invariants.
+//! Property-based tests for dataset determinism and loader invariants,
+//! running on the in-tree `alfi-check` harness.
 
+use alfi_check::{check_with, gen};
 use alfi_datasets::{
     ClassificationDataset, ClassificationLoader, CocoGroundTruth, DetectionDataset,
     DetectionLoader,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// Every sample is a pure function of (seed, index): regenerating the
-    /// dataset yields bit-identical images, labels and records.
-    #[test]
-    fn classification_samples_are_pure(seed in any::<u64>(), len in 1usize..20, idx_seed in any::<usize>()) {
+/// Every sample is a pure function of (seed, index): regenerating the
+/// dataset yields bit-identical images, labels and records.
+#[test]
+fn classification_samples_are_pure() {
+    check_with(CASES, "classification_samples_are_pure", |rng| {
+        let seed = gen::any_u64(rng);
+        let len: usize = rng.gen_range(1usize..20);
+        let idx_seed = gen::any_u64(rng) as usize;
         let a = ClassificationDataset::new(len, 5, 3, 8, seed);
         let b = ClassificationDataset::new(len, 5, 3, 8, seed);
         let idx = idx_seed % len;
         let sa = a.get(idx);
         let sb = b.get(idx);
-        prop_assert_eq!(sa.image.data(), sb.image.data());
-        prop_assert_eq!(sa.label, sb.label);
-        prop_assert_eq!(sa.record, sb.record);
-    }
+        assert_eq!(sa.image.data(), sb.image.data());
+        assert_eq!(sa.label, sb.label);
+        assert_eq!(sa.record, sb.record);
+    });
+}
 
-    /// Detection scenes are pure too, and every annotation stays in frame.
-    #[test]
-    fn detection_scenes_are_pure_and_in_frame(seed in any::<u64>(), len in 1usize..12) {
+/// Detection scenes are pure too, and every annotation stays in frame.
+#[test]
+fn detection_scenes_are_pure_and_in_frame() {
+    check_with(CASES, "detection_scenes_are_pure_and_in_frame", |rng| {
+        let seed = gen::any_u64(rng);
+        let len: usize = rng.gen_range(1usize..12);
         let a = DetectionDataset::new(len, 4, 3, 24, seed);
         let b = DetectionDataset::new(len, 4, 3, 24, seed);
         for i in 0..len {
             let sa = a.get(i);
             let sb = b.get(i);
-            prop_assert_eq!(sa.image.data(), sb.image.data());
-            prop_assert_eq!(&sa.objects, &sb.objects);
+            assert_eq!(sa.image.data(), sb.image.data());
+            assert_eq!(&sa.objects, &sb.objects);
             for o in &sa.objects {
-                prop_assert!(o.bbox[0] >= 0.0 && o.bbox[1] >= 0.0);
-                prop_assert!(o.bbox[0] + o.bbox[2] <= 24.0 + 1e-3);
-                prop_assert!(o.bbox[1] + o.bbox[3] <= 24.0 + 1e-3);
+                assert!(o.bbox[0] >= 0.0 && o.bbox[1] >= 0.0);
+                assert!(o.bbox[0] + o.bbox[2] <= 24.0 + 1e-3);
+                assert!(o.bbox[1] + o.bbox[3] <= 24.0 + 1e-3);
             }
         }
-    }
+    });
+}
 
-    /// The loader partitions the epoch exactly: every image id appears
-    /// exactly once, regardless of batch size or limit.
-    #[test]
-    fn loader_partitions_epoch(
-        len in 1usize..30,
-        batch in 1usize..8,
-        limit in proptest::option::of(1usize..30),
-        shuffle in any::<bool>(),
-        epoch in 0u64..4,
-    ) {
+/// The loader partitions the epoch exactly: every image id appears
+/// exactly once, regardless of batch size or limit.
+#[test]
+fn loader_partitions_epoch() {
+    check_with(CASES, "loader_partitions_epoch", |rng| {
+        let len: usize = rng.gen_range(1usize..30);
+        let batch: usize = rng.gen_range(1usize..8);
+        let limit = if gen::any_bool(rng) { Some(rng.gen_range(1usize..30)) } else { None };
+        let shuffle = gen::any_bool(rng);
+        let epoch: u64 = rng.gen_range(0u64..4);
         let ds = ClassificationDataset::new(len, 3, 1, 8, 5);
         let mut loader = ClassificationLoader::new(ds, batch).with_shuffle(shuffle);
         if let Some(l) = limit {
@@ -61,38 +70,47 @@ proptest! {
             .iter_epoch(epoch)
             .flat_map(|b| b.records.iter().map(|r| r.image_id).collect::<Vec<_>>())
             .collect();
-        prop_assert_eq!(ids.len(), expected);
+        assert_eq!(ids.len(), expected);
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), expected, "no duplicates");
+        assert_eq!(ids.len(), expected, "no duplicates");
         // batch shapes are consistent
         for b in loader.iter_epoch(epoch) {
-            prop_assert_eq!(b.images.dims()[0], b.labels.len());
-            prop_assert_eq!(b.records.len(), b.labels.len());
+            assert_eq!(b.images.dims()[0], b.labels.len());
+            assert_eq!(b.records.len(), b.labels.len());
         }
-    }
+    });
+}
 
-    /// Detection loaders carry ground truth aligned with their images.
-    #[test]
-    fn detection_loader_aligns_ground_truth(len in 1usize..12, batch in 1usize..5) {
+/// Detection loaders carry ground truth aligned with their images.
+#[test]
+fn detection_loader_aligns_ground_truth() {
+    check_with(CASES, "detection_loader_aligns_ground_truth", |rng| {
+        let len: usize = rng.gen_range(1usize..12);
+        let batch: usize = rng.gen_range(1usize..5);
         let ds = DetectionDataset::new(len, 3, 3, 24, 9);
         let loader = DetectionLoader::new(ds.clone(), batch);
         for b in loader.iter_epoch(0) {
-            prop_assert_eq!(b.objects.len(), b.records.len());
+            assert_eq!(b.objects.len(), b.records.len());
             for (objs, rec) in b.objects.iter().zip(b.records.iter()) {
-                prop_assert_eq!(objs, &ds.get(rec.image_id as usize).objects);
+                assert_eq!(objs, &ds.get(rec.image_id as usize).objects);
             }
         }
-    }
+    });
+}
 
-    /// COCO ground-truth export round-trips through JSON for any size.
-    #[test]
-    fn coco_export_round_trips(len in 1usize..10, classes in 1usize..5, seed in any::<u64>()) {
+/// COCO ground-truth export round-trips through JSON for any size.
+#[test]
+fn coco_export_round_trips() {
+    check_with(CASES, "coco_export_round_trips", |rng| {
+        let len: usize = rng.gen_range(1usize..10);
+        let classes: usize = rng.gen_range(1usize..5);
+        let seed = gen::any_u64(rng);
         let ds = DetectionDataset::new(len, classes, 3, 24, seed);
         let gt = ds.coco_ground_truth();
-        prop_assert_eq!(gt.images.len(), len);
-        prop_assert_eq!(gt.categories.len(), classes);
+        assert_eq!(gt.images.len(), len);
+        assert_eq!(gt.categories.len(), classes);
         let back = CocoGroundTruth::from_json(&gt.to_json().unwrap()).unwrap();
-        prop_assert_eq!(gt, back);
-    }
+        assert_eq!(gt, back);
+    });
 }

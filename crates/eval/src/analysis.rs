@@ -12,11 +12,11 @@ use crate::stats::Rate;
 use alfi_core::campaign::ClassificationRow;
 use alfi_core::FaultValue;
 use alfi_tensor::bits::{BitField, FlipDirection};
-use serde::{Deserialize, Serialize};
+use alfi_serde::json_struct;
 use std::collections::BTreeMap;
 
 /// SDE/DUE/masked counts for one slice of a breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OutcomeCounts {
     /// Silent data errors.
     pub sde: usize,
@@ -25,6 +25,8 @@ pub struct OutcomeCounts {
     /// Masked (absorbed) faults.
     pub masked: usize,
 }
+
+json_struct!(OutcomeCounts { sde, due, masked });
 
 impl OutcomeCounts {
     fn add(&mut self, outcome: Outcome) {
@@ -103,13 +105,15 @@ pub fn outcomes_by_bit_field(
 /// Flip-direction statistics: how many applied bit flips were 0→1 vs
 /// 1→0, and the corruption rate of each direction — the paper's trace
 /// files record the direction for exactly this analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DirectionStats {
     /// 0→1 flips observed / corrupted.
     pub zero_to_one: OutcomeCounts,
     /// 1→0 flips observed / corrupted.
     pub one_to_zero: OutcomeCounts,
 }
+
+json_struct!(DirectionStats { zero_to_one, one_to_zero });
 
 /// Computes flip-direction statistics over campaign rows.
 pub fn flip_direction_stats(

@@ -3,11 +3,11 @@
 
 use crate::stats::Rate;
 use alfi_core::campaign::{ClassificationRow, TopK};
-use serde::{Deserialize, Serialize};
+use alfi_serde::{json_struct, FromJson, Json, JsonError, ToJson};
 
 /// Outcome of one fault-injected inference relative to the fault-free
 /// reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// The fault was absorbed: the reference prediction is unchanged.
     Masked,
@@ -19,12 +19,58 @@ pub enum Outcome {
 }
 
 /// Which comparison defines an SDE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SdeCriterion {
     /// The top-1 class changed.
     Top1Mismatch,
     /// The top-5 class *sets* differ (order-insensitive).
     Top5SetMismatch,
+}
+
+impl ToJson for Outcome {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Outcome::Masked => "Masked",
+                Outcome::Sde => "Sde",
+                Outcome::Due => "Due",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Outcome {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(s) if s == "Masked" => Ok(Outcome::Masked),
+            Json::Str(s) if s == "Sde" => Ok(Outcome::Sde),
+            Json::Str(s) if s == "Due" => Ok(Outcome::Due),
+            _ => Err(JsonError::new("expected an Outcome variant name")),
+        }
+    }
+}
+
+impl ToJson for SdeCriterion {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                SdeCriterion::Top1Mismatch => "Top1Mismatch",
+                SdeCriterion::Top5SetMismatch => "Top5SetMismatch",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for SdeCriterion {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(s) if s == "Top1Mismatch" => Ok(SdeCriterion::Top1Mismatch),
+            Json::Str(s) if s == "Top5SetMismatch" => Ok(SdeCriterion::Top5SetMismatch),
+            _ => Err(JsonError::new("expected an SdeCriterion variant name")),
+        }
+    }
 }
 
 fn top1(t: &TopK) -> Option<usize> {
@@ -72,7 +118,7 @@ pub fn classify(
 }
 
 /// Campaign-level classification KPIs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassificationKpis {
     /// Fraction of inferences whose prediction silently changed.
     pub sde: Rate,
@@ -85,6 +131,8 @@ pub struct ClassificationKpis {
     /// Corrupted top-1 accuracy against dataset labels.
     pub corr_top1_accuracy: Rate,
 }
+
+json_struct!(ClassificationKpis { sde, due, masked, orig_top1_accuracy, corr_top1_accuracy });
 
 /// Computes campaign KPIs over all rows.
 pub fn classification_kpis(rows: &[ClassificationRow], criterion: SdeCriterion) -> ClassificationKpis {

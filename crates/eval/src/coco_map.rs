@@ -9,7 +9,7 @@
 
 use alfi_datasets::GroundTruthBox;
 use alfi_nn::detection::{BBox, Detection};
-use serde::{Deserialize, Serialize};
+use alfi_serde::json_struct;
 use std::collections::BTreeMap;
 
 /// Converts a COCO `[x, y, w, h]` ground-truth box to corner form.
@@ -18,7 +18,7 @@ fn gt_bbox(g: &GroundTruthBox) -> BBox {
 }
 
 /// Summary metrics over a detection dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CocoMetrics {
     /// Mean AP at IoU 0.50 over classes with ground truth.
     pub map_50: f64,
@@ -30,6 +30,8 @@ pub struct CocoMetrics {
     /// same IoU grid.
     pub ar_100: f64,
 }
+
+json_struct!(CocoMetrics { map_50, map_50_95, ap_per_class_50, ar_100 });
 
 /// Computes the 101-point interpolated average precision for one class
 /// at one IoU threshold.

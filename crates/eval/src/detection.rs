@@ -10,11 +10,11 @@
 use crate::stats::Rate;
 use alfi_core::campaign::DetectionRow;
 use alfi_nn::detection::{match_detections, Detection};
-use serde::{Deserialize, Serialize};
+use alfi_serde::json_struct;
 
 /// Per-image comparison of a faulty detection set against the fault-free
 /// reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ImageDelta {
     /// Detections present under fault but unmatched in the reference.
     pub false_positives: usize,
@@ -23,6 +23,8 @@ pub struct ImageDelta {
     /// Matched pairs.
     pub matched: usize,
 }
+
+json_struct!(ImageDelta { false_positives, false_negatives, matched });
 
 impl ImageDelta {
     /// Whether the image's detection output degraded at all.
@@ -43,7 +45,7 @@ pub fn image_delta(orig: &[Detection], corr: &[Detection], iou_thresh: f32) -> I
 }
 
 /// Campaign-level IVMOD rates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IvmodKpis {
     /// Fraction of images whose detection set silently degraded.
     pub ivmod_sde: Rate,
@@ -54,6 +56,8 @@ pub struct IvmodKpis {
     /// Mean false negatives per corrupted image.
     pub mean_fn: f64,
 }
+
+json_struct!(IvmodKpis { ivmod_sde, ivmod_due, mean_fp, mean_fn });
 
 /// Computes IVMOD_SDE / IVMOD_DUE over all campaign rows.
 ///

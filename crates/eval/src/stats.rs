@@ -5,10 +5,10 @@
 //! with uncertainty bounds, so every rate carries a Wilson score
 //! interval.
 
-use serde::{Deserialize, Serialize};
+use alfi_serde::json_struct;
 
 /// A binomial rate estimate with a Wilson score confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rate {
     /// Number of positive outcomes.
     pub hits: usize,
@@ -21,6 +21,8 @@ pub struct Rate {
     /// Upper bound of the 95 % Wilson interval.
     pub ci_high: f64,
 }
+
+json_struct!(Rate { hits, total, value, ci_low, ci_high });
 
 impl Rate {
     /// Estimates a rate with a 95 % Wilson score interval.

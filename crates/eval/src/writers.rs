@@ -13,11 +13,11 @@ use alfi_core::campaign::DetectionCampaignResult;
 use alfi_core::CoreError;
 use alfi_datasets::{CocoGroundTruth, GroundTruthBox};
 use alfi_nn::detection::Detection;
-use serde::{Deserialize, Serialize};
+use alfi_serde::{json_struct, FromJson, Json, ToJson};
 use std::path::Path;
 
 /// One image's predictions in the intermediate-result JSON files.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImagePredictions {
     /// Dataset image id.
     pub image_id: u64,
@@ -25,8 +25,10 @@ pub struct ImagePredictions {
     pub detections: Vec<Detection>,
 }
 
+json_struct!(ImagePredictions { image_id, detections });
+
 /// The metrics summary JSON document.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectionSummary {
     /// Detector model name.
     pub model: String,
@@ -37,6 +39,8 @@ pub struct DetectionSummary {
     /// IVMOD rates of corrupted vs fault-free detections.
     pub ivmod: IvmodKpis,
 }
+
+json_struct!(DetectionSummary { model, orig_coco, corr_coco, ivmod });
 
 /// Computes the summary metrics for a detection campaign.
 pub fn detection_summary(
@@ -89,23 +93,14 @@ pub fn write_detection_outputs(
     };
     let orig = to_preds(&|r| r.orig.clone());
     let corr = to_preds(&|r| r.corr.clone());
-    std::fs::write(
-        dir.join("detections_orig.json"),
-        serde_json::to_string_pretty(&orig).map_err(|e| CoreError::Io(e.to_string()))?,
-    )
-    .map_err(|e| CoreError::Io(e.to_string()))?;
-    std::fs::write(
-        dir.join("detections_corr.json"),
-        serde_json::to_string_pretty(&corr).map_err(|e| CoreError::Io(e.to_string()))?,
-    )
-    .map_err(|e| CoreError::Io(e.to_string()))?;
+    std::fs::write(dir.join("detections_orig.json"), ToJson::to_json(&orig).pretty())
+        .map_err(|e| CoreError::Io(e.to_string()))?;
+    std::fs::write(dir.join("detections_corr.json"), ToJson::to_json(&corr).pretty())
+        .map_err(|e| CoreError::Io(e.to_string()))?;
 
     let summary = detection_summary(result, num_classes, iou_thresh);
-    std::fs::write(
-        dir.join("metrics.json"),
-        serde_json::to_string_pretty(&summary).map_err(|e| CoreError::Io(e.to_string()))?,
-    )
-    .map_err(|e| CoreError::Io(e.to_string()))?;
+    std::fs::write(dir.join("metrics.json"), ToJson::to_json(&summary).pretty())
+        .map_err(|e| CoreError::Io(e.to_string()))?;
 
     result
         .scenario
@@ -123,7 +118,8 @@ pub fn write_detection_outputs(
 /// Returns [`CoreError::Io`] on read failures or malformed JSON.
 pub fn read_predictions(path: impl AsRef<Path>) -> Result<Vec<ImagePredictions>, CoreError> {
     let text = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::Io(e.to_string()))?;
-    serde_json::from_str(&text).map_err(|e| CoreError::Io(e.to_string()))
+    let json = Json::parse(&text).map_err(|e| CoreError::Io(e.to_string()))?;
+    FromJson::from_json(&json).map_err(|e| CoreError::Io(e.to_string()))
 }
 
 #[cfg(test)]
@@ -203,7 +199,7 @@ mod tests {
         assert_eq!(orig[0].detections, r.rows[0].orig);
         // metrics parse back
         let text = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
-        let parsed: DetectionSummary = serde_json::from_str(&text).unwrap();
+        let parsed: DetectionSummary = FromJson::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(parsed, summary);
     }
 

@@ -1,99 +1,123 @@
-//! Property-based tests for KPI invariants.
+//! Property-based tests for KPI invariants, running on the in-tree
+//! `alfi-check` harness.
 
+use alfi_check::{check_with, gen};
 use alfi_datasets::GroundTruthBox;
 use alfi_eval::{average_precision, classify, image_delta, recall, Outcome, Rate, SdeCriterion};
 use alfi_nn::detection::{BBox, Detection};
-use proptest::prelude::*;
+use alfi_rng::Rng;
 
-fn arb_topk() -> impl Strategy<Value = Vec<(usize, f32)>> {
-    proptest::collection::vec((0usize..20, 0.0f32..=1.0), 1..6)
+const CASES: usize = 96;
+
+fn arb_topk(rng: &mut Rng) -> Vec<(usize, f32)> {
+    gen::vec_of(rng, 1..6, |rng| (rng.gen_range(0usize..20), rng.gen_range(0.0f32..=1.0)))
 }
 
-fn arb_detection() -> impl Strategy<Value = Detection> {
-    (0.0f32..80.0, 0.0f32..80.0, 1.0f32..30.0, 1.0f32..30.0, 0.0f32..=1.0, 0usize..4).prop_map(
-        |(x, y, w, h, score, class_id)| Detection {
-            bbox: BBox::new(x, y, x + w, y + h),
-            score,
-            class_id,
-        },
-    )
+fn arb_detection(rng: &mut Rng) -> Detection {
+    let x: f32 = rng.gen_range(0.0f32..80.0);
+    let y: f32 = rng.gen_range(0.0f32..80.0);
+    let w: f32 = rng.gen_range(1.0f32..30.0);
+    let h: f32 = rng.gen_range(1.0f32..30.0);
+    Detection {
+        bbox: BBox::new(x, y, x + w, y + h),
+        score: rng.gen_range(0.0f32..=1.0),
+        class_id: rng.gen_range(0usize..4),
+    }
 }
 
-fn arb_gt() -> impl Strategy<Value = GroundTruthBox> {
-    (0.0f32..80.0, 0.0f32..80.0, 1.0f32..30.0, 1.0f32..30.0, 0usize..4)
-        .prop_map(|(x, y, w, h, category_id)| GroundTruthBox { bbox: [x, y, w, h], category_id })
+fn arb_gt(rng: &mut Rng) -> GroundTruthBox {
+    GroundTruthBox {
+        bbox: [
+            rng.gen_range(0.0f32..80.0),
+            rng.gen_range(0.0f32..80.0),
+            rng.gen_range(1.0f32..30.0),
+            rng.gen_range(1.0f32..30.0),
+        ],
+        category_id: rng.gen_range(0usize..4),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Wilson interval always brackets the point estimate and stays in
-    /// [0, 1]; the interval never widens with more samples at the same
-    /// ratio.
-    #[test]
-    fn wilson_interval_invariants(hits in 0usize..500, extra in 0usize..500) {
+/// Wilson interval always brackets the point estimate and stays in
+/// [0, 1]; the interval never widens with more samples at the same
+/// ratio.
+#[test]
+fn wilson_interval_invariants() {
+    check_with(CASES, "wilson_interval_invariants", |rng| {
+        let hits: usize = rng.gen_range(0usize..500);
+        let extra: usize = rng.gen_range(0usize..500);
         let total = hits + extra;
         let r = Rate::from_counts(hits, total);
-        prop_assert!(r.ci_low >= 0.0 && r.ci_high <= 1.0);
+        assert!(r.ci_low >= 0.0 && r.ci_high <= 1.0);
         if total > 0 {
-            prop_assert!(r.ci_low <= r.value + 1e-12);
-            prop_assert!(r.value <= r.ci_high + 1e-12);
+            assert!(r.ci_low <= r.value + 1e-12);
+            assert!(r.value <= r.ci_high + 1e-12);
             let r10 = Rate::from_counts(hits * 10, total * 10);
-            prop_assert!(
+            assert!(
                 r10.ci_high - r10.ci_low <= r.ci_high - r.ci_low + 1e-12,
                 "interval must shrink with 10x samples"
             );
         }
-    }
+    });
+}
 
-    /// Outcome classification is exhaustive and consistent: identical
-    /// top-k with finite scores is never SDE/DUE; any NaN flag is DUE.
-    #[test]
-    fn outcome_classification_invariants(orig in arb_topk(), nan in any::<bool>()) {
+/// Outcome classification is exhaustive and consistent: identical
+/// top-k with finite scores is never SDE/DUE; any NaN flag is DUE.
+#[test]
+fn outcome_classification_invariants() {
+    check_with(CASES, "outcome_classification_invariants", |rng| {
+        let orig = arb_topk(rng);
+        let nan = gen::any_bool(rng);
         let same = classify(&orig, &orig, false, SdeCriterion::Top1Mismatch);
-        prop_assert_eq!(same, Outcome::Masked);
+        assert_eq!(same, Outcome::Masked);
         let flagged = classify(&orig, &orig, nan, SdeCriterion::Top1Mismatch);
-        prop_assert_eq!(flagged, if nan { Outcome::Due } else { Outcome::Masked });
-    }
+        assert_eq!(flagged, if nan { Outcome::Due } else { Outcome::Masked });
+    });
+}
 
-    /// image_delta bookkeeping: matched + FN = |orig|, matched + FP =
-    /// |corr|; comparing a set with itself is clean.
-    #[test]
-    fn image_delta_bookkeeping(
-        orig in proptest::collection::vec(arb_detection(), 0..10),
-        corr in proptest::collection::vec(arb_detection(), 0..10),
-        thr in 0.2f32..0.8,
-    ) {
+/// image_delta bookkeeping: matched + FN = |orig|, matched + FP =
+/// |corr|; comparing a set with itself is clean.
+#[test]
+fn image_delta_bookkeeping() {
+    check_with(CASES, "image_delta_bookkeeping", |rng| {
+        let orig = gen::vec_of(rng, 0..10, arb_detection);
+        let corr = gen::vec_of(rng, 0..10, arb_detection);
+        let thr: f32 = rng.gen_range(0.2f32..0.8);
         let d = image_delta(&orig, &corr, thr);
-        prop_assert_eq!(d.matched + d.false_negatives, orig.len());
-        prop_assert_eq!(d.matched + d.false_positives, corr.len());
+        assert_eq!(d.matched + d.false_negatives, orig.len());
+        assert_eq!(d.matched + d.false_positives, corr.len());
         let self_d = image_delta(&orig, &orig, thr);
-        prop_assert!(!self_d.is_corrupted());
-    }
+        assert!(!self_d.is_corrupted());
+    });
+}
 
-    /// AP and recall stay within [0, 1]; recall is monotone in max_dets
-    /// and antitone in the IoU threshold.
-    #[test]
-    fn ap_recall_bounds_and_monotonicity(
-        dets in proptest::collection::vec(proptest::collection::vec(arb_detection(), 0..6), 1..4),
-        gts in proptest::collection::vec(proptest::collection::vec(arb_gt(), 0..6), 1..4),
-        class_id in 0usize..4,
-    ) {
-        prop_assume!(dets.len() == gts.len());
+/// AP and recall stay within [0, 1]; recall is monotone in max_dets
+/// and antitone in the IoU threshold.
+#[test]
+fn ap_recall_bounds_and_monotonicity() {
+    check_with(CASES, "ap_recall_bounds_and_monotonicity", |rng| {
+        let n: usize = rng.gen_range(1usize..4);
+        let dets: Vec<Vec<Detection>> =
+            (0..n).map(|_| gen::vec_of(rng, 0..6, arb_detection)).collect();
+        let gts: Vec<Vec<GroundTruthBox>> = (0..n).map(|_| gen::vec_of(rng, 0..6, arb_gt)).collect();
+        let class_id: usize = rng.gen_range(0usize..4);
         let ap = average_precision(&dets, &gts, class_id, 0.5);
-        prop_assert!((0.0..=1.0).contains(&ap));
+        assert!((0.0..=1.0).contains(&ap));
         let r_all = recall(&dets, &gts, class_id, 0.5, 100);
         let r_one = recall(&dets, &gts, class_id, 0.5, 1);
-        prop_assert!((0.0..=1.0).contains(&r_all));
-        prop_assert!(r_one <= r_all + 1e-9);
+        assert!((0.0..=1.0).contains(&r_all));
+        assert!(r_one <= r_all + 1e-9);
         let r_strict = recall(&dets, &gts, class_id, 0.9, 100);
-        prop_assert!(r_strict <= r_all + 1e-9);
-    }
+        assert!(r_strict <= r_all + 1e-9);
+    });
+}
 
-    /// Perfect predictions always score AP = 1 for classes with ground
-    /// truth.
-    #[test]
-    fn perfect_predictions_are_perfect(gts in proptest::collection::vec(proptest::collection::vec(arb_gt(), 1..5), 1..4)) {
+/// Perfect predictions always score AP = 1 for classes with ground
+/// truth.
+#[test]
+fn perfect_predictions_are_perfect() {
+    check_with(CASES, "perfect_predictions_are_perfect", |rng| {
+        let n: usize = rng.gen_range(1usize..4);
+        let gts: Vec<Vec<GroundTruthBox>> = (0..n).map(|_| gen::vec_of(rng, 1..5, arb_gt)).collect();
         let dets: Vec<Vec<Detection>> = gts
             .iter()
             .map(|g| {
@@ -115,10 +139,10 @@ proptest! {
             let has_gt = gts.iter().any(|g| g.iter().any(|b| b.category_id == class_id));
             let ap = average_precision(&dets, &gts, class_id, 0.5);
             if has_gt {
-                prop_assert!((ap - 1.0).abs() < 1e-9, "class {class_id}: ap {ap}");
+                assert!((ap - 1.0).abs() < 1e-9, "class {class_id}: ap {ap}");
             } else {
-                prop_assert_eq!(ap, 0.0);
+                assert_eq!(ap, 0.0);
             }
         }
-    }
+    });
 }

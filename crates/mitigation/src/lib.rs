@@ -150,15 +150,14 @@ mod tests {
     use alfi_nn::models::{alexnet, ModelConfig};
     use alfi_nn::{Conv2d, Linear};
     use alfi_tensor::conv::ConvConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use alfi_rng::Rng;
 
     fn tiny_cfg() -> ModelConfig {
         ModelConfig { input_hw: 16, width_mult: 0.0625, ..ModelConfig::default() }
     }
 
     fn calib(cfg: &ModelConfig, n: usize) -> Vec<Tensor> {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::from_seed(11);
         (0..n).map(|_| Tensor::rand_uniform(&mut rng, &cfg.input_dims(1), 0.0, 1.0)).collect()
     }
 

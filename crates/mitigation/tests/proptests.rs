@@ -1,15 +1,17 @@
-//! Property-based tests for range-supervision invariants.
+//! Property-based tests for range-supervision invariants, running on the
+//! in-tree `alfi-check` harness.
 
+use alfi_check::{check_with, gen};
 use alfi_mitigation::{harden, profile_bounds, Bounds, Protection};
 use alfi_nn::{Conv2d, Layer, Linear, Network};
+use alfi_rng::Rng;
 use alfi_tensor::conv::ConvConfig;
 use alfi_tensor::Tensor;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const CASES: usize = 24;
 
 fn small_net(seed: u64) -> Network {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut net = Network::new("small");
     let conv = Layer::Conv2d(Conv2d {
         weight: Tensor::rand_uniform(&mut rng, &[3, 2, 3, 3], -0.5, 0.5),
@@ -28,40 +30,39 @@ fn small_net(seed: u64) -> Network {
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Hardening is transparent on any input drawn from the same
-    /// distribution the bounds were profiled on.
-    #[test]
-    fn hardening_is_transparent_in_distribution(net_seed in any::<u64>(), input_seed in any::<u64>()) {
+/// Hardening is transparent on any input drawn from the same
+/// distribution the bounds were profiled on.
+#[test]
+fn hardening_is_transparent_in_distribution() {
+    check_with(CASES, "hardening_is_transparent_in_distribution", |rng| {
+        let net_seed = gen::any_u64(rng);
+        let input_seed = gen::any_u64(rng);
         let net = small_net(net_seed);
-        let mut rng = StdRng::seed_from_u64(input_seed);
+        let mut input_rng = Rng::from_seed(input_seed);
         let calib: Vec<Tensor> =
-            (0..6).map(|_| Tensor::rand_uniform(&mut rng, &[1, 2, 4, 4], 0.0, 1.0)).collect();
+            (0..6).map(|_| Tensor::rand_uniform(&mut input_rng, &[1, 2, 4, 4], 0.0, 1.0)).collect();
         let bounds = profile_bounds(&net, calib.iter()).unwrap();
         for protection in [Protection::Ranger, Protection::Clipper] {
             let hardened = harden(&net, &bounds, protection, 0.05).unwrap();
             for x in &calib {
                 let a = net.forward(x).unwrap();
                 let b = hardened.forward(x).unwrap();
-                prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-5);
+                assert!(a.max_abs_diff(&b).unwrap() < 1e-5);
             }
         }
-    }
+    });
+}
 
-    /// Ranger output is always within the profiled bounds (+margin) at
-    /// every protected node, no matter how corrupted the weights are.
-    #[test]
-    fn ranger_output_respects_bounds_under_any_corruption(
-        net_seed in any::<u64>(),
-        corrupt in -1.0e30f32..1.0e30,
-        margin in 0.0f32..0.5,
-    ) {
+/// Ranger output is always within the profiled bounds (+margin) at
+/// every protected node, no matter how corrupted the weights are.
+#[test]
+fn ranger_output_respects_bounds_under_any_corruption() {
+    check_with(CASES, "ranger_output_respects_bounds_under_any_corruption", |rng| {
+        let net_seed = gen::any_u64(rng);
+        let corrupt: f32 = rng.gen_range(-1.0e30f32..1.0e30);
+        let margin: f32 = rng.gen_range(0.0f32..0.5);
         let mut net = small_net(net_seed);
-        let x = Tensor::rand_uniform(
-            &mut StdRng::seed_from_u64(1), &[1, 2, 4, 4], 0.0, 1.0,
-        );
+        let x = Tensor::rand_uniform(&mut Rng::from_seed(1), &[1, 2, 4, 4], 0.0, 1.0);
         let bounds = profile_bounds(&net, std::iter::once(&x)).unwrap();
         // corrupt the conv weight with an arbitrary huge value
         net.layer_mut(0).unwrap().weight_mut().unwrap().set(&[0, 0, 0, 0], corrupt);
@@ -70,29 +71,36 @@ proptest! {
         // the final protected node is the fc output's upstream relu; the
         // final output is linear over clamped values, so it is bounded by
         // weight-norm * clamped-range — most importantly it is finite.
-        prop_assert!(!out.has_non_finite());
-    }
+        assert!(!out.has_non_finite());
+    });
+}
 
-    /// With a huge margin no clamp ever binds: the hardened model is
-    /// exactly the free model, even far out of distribution.
-    #[test]
-    fn huge_margin_never_binds(net_seed in any::<u64>(), scale in 1.0f32..20.0) {
+/// With a huge margin no clamp ever binds: the hardened model is
+/// exactly the free model, even far out of distribution.
+#[test]
+fn huge_margin_never_binds() {
+    check_with(CASES, "huge_margin_never_binds", |rng| {
+        let net_seed = gen::any_u64(rng);
+        let scale: f32 = rng.gen_range(1.0f32..20.0);
         let net = small_net(net_seed);
-        let x = Tensor::rand_uniform(&mut StdRng::seed_from_u64(2), &[1, 2, 4, 4], 0.0, 1.0);
+        let x = Tensor::rand_uniform(&mut Rng::from_seed(2), &[1, 2, 4, 4], 0.0, 1.0);
         let bounds = profile_bounds(&net, std::iter::once(&x)).unwrap();
         let probe = x.scale(scale); // out of the profiled distribution
         let free = net.forward(&probe).unwrap();
         let wide = harden(&net, &bounds, Protection::Ranger, 1.0e6).unwrap()
             .forward(&probe)
             .unwrap();
-        prop_assert!(wide.max_abs_diff(&free).unwrap() < 1e-5);
-    }
+        assert!(wide.max_abs_diff(&free).unwrap() < 1e-5);
+    });
+}
 
-    /// Empty bounds never panic and never modify the graph.
-    #[test]
-    fn empty_bounds_are_noop(net_seed in any::<u64>()) {
+/// Empty bounds never panic and never modify the graph.
+#[test]
+fn empty_bounds_are_noop() {
+    check_with(CASES, "empty_bounds_are_noop", |rng| {
+        let net_seed = gen::any_u64(rng);
         let net = small_net(net_seed);
         let hardened = harden(&net, &Bounds::new(), Protection::Clipper, 0.1).unwrap();
-        prop_assert_eq!(hardened.num_nodes(), net.num_nodes());
-    }
+        assert_eq!(hardened.num_nodes(), net.num_nodes());
+    });
 }

@@ -248,8 +248,7 @@ impl Detector for FrcnnTwoStage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use alfi_rng::Rng;
 
     fn cfg() -> DetectorConfig {
         DetectorConfig {
@@ -274,7 +273,7 @@ mod tests {
     #[test]
     fn frcnn_detects_without_panic_and_respects_cap() {
         let det = FrcnnTwoStage::new(&cfg());
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::from_seed(7);
         let imgs = Tensor::rand_uniform(&mut rng, &[2, 3, 32, 32], 0.0, 1.0);
         let out = det.detect(&imgs).unwrap();
         assert_eq!(out.len(), 2);
@@ -298,7 +297,7 @@ mod tests {
     #[test]
     fn proposals_are_bounded_and_sorted() {
         let det = FrcnnTwoStage::new(&cfg());
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::from_seed(8);
         let imgs = Tensor::rand_uniform(&mut rng, &[1, 3, 32, 32], 0.0, 1.0);
         let acts = det.backbone.forward_all(&imgs).unwrap();
         let props = det.proposals(&acts, 0);

@@ -1,10 +1,10 @@
 //! Bounding-box geometry: IoU, detections, non-maximum suppression.
 
-use serde::{Deserialize, Serialize};
+use alfi_serde::json_struct;
 
 /// An axis-aligned bounding box in `(x1, y1, x2, y2)` corner format,
 /// pixel coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BBox {
     /// Left edge.
     pub x1: f32,
@@ -81,7 +81,7 @@ impl BBox {
 }
 
 /// One detected object: box, confidence and class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Detection {
     /// Location of the detected object.
     pub bbox: BBox,
@@ -90,6 +90,9 @@ pub struct Detection {
     /// Predicted class id.
     pub class_id: usize,
 }
+
+json_struct!(BBox { x1, y1, x2, y2 });
+json_struct!(Detection { bbox, score, class_id });
 
 /// Greedy per-class non-maximum suppression.
 ///

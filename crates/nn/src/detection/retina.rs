@@ -163,8 +163,7 @@ impl Detector for RetinaAnchor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use alfi_rng::Rng;
 
     fn cfg() -> DetectorConfig {
         DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() }
@@ -193,7 +192,7 @@ mod tests {
     fn retina_detects_deterministically() {
         let a = RetinaAnchor::new(&cfg());
         let b = RetinaAnchor::new(&cfg());
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::from_seed(5);
         let imgs = Tensor::rand_uniform(&mut rng, &[1, 3, 32, 32], 0.0, 1.0);
         assert_eq!(a.detect(&imgs).unwrap(), b.detect(&imgs).unwrap());
     }
@@ -201,7 +200,7 @@ mod tests {
     #[test]
     fn retina_detections_respect_frame_and_cap() {
         let det = RetinaAnchor::new(&cfg());
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::from_seed(6);
         let imgs = Tensor::rand_uniform(&mut rng, &[2, 3, 32, 32], 0.0, 1.0);
         for dets in det.detect(&imgs).unwrap() {
             assert!(dets.len() <= det.cfg.max_dets);

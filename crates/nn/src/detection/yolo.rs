@@ -156,8 +156,7 @@ impl Detector for YoloGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use alfi_rng::Rng;
 
     fn cfg() -> DetectorConfig {
         DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() }
@@ -166,7 +165,7 @@ mod tests {
     #[test]
     fn yolo_outputs_capped_sorted_detections() {
         let det = YoloGrid::new(&cfg());
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let imgs = Tensor::rand_uniform(&mut rng, &[2, 3, 32, 32], 0.0, 1.0);
         let out = det.detect(&imgs).unwrap();
         assert_eq!(out.len(), 2);

@@ -573,17 +573,17 @@ mod tests {
     fn hooks_receive_correct_context() {
         let mut net = toy_net();
         let conv_id = net.node_by_name("conv").unwrap();
-        let seen = Arc::new(parking_lot::Mutex::new(None));
+        let seen = Arc::new(std::sync::Mutex::new(None));
         let seen2 = Arc::clone(&seen);
         net.register_hook(
             conv_id,
             Arc::new(move |ctx: &LayerCtx, _out: &mut Tensor| {
-                *seen2.lock() = Some((ctx.node_id, ctx.name.clone(), ctx.kind));
+                *seen2.lock().unwrap() = Some((ctx.node_id, ctx.name.clone(), ctx.kind));
             }),
         )
         .unwrap();
         net.forward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
-        let got = seen.lock().clone().unwrap();
+        let got = seen.lock().unwrap().clone().unwrap();
         assert_eq!(got, (conv_id, "conv".to_string(), LayerKind::Conv2d));
     }
 

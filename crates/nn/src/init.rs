@@ -9,20 +9,19 @@
 //! exactly the same values.
 
 use alfi_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alfi_rng::Rng;
 
 /// Seeded weight initializer handed to model builders.
 #[derive(Debug)]
 pub struct Initializer {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Initializer {
     /// Creates an initializer from a seed. Equal seeds yield bit-identical
     /// parameter streams.
     pub fn from_seed(seed: u64) -> Self {
-        Initializer { rng: StdRng::seed_from_u64(seed) }
+        Initializer { rng: Rng::from_seed(seed) }
     }
 
     /// He (Kaiming) normal initialization for a conv weight

@@ -438,8 +438,7 @@ fn upsample2x(x: &Tensor) -> Result<Tensor, NnError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use alfi_rng::Rng;
 
     #[test]
     fn layer_kinds_and_injectability() {
@@ -488,7 +487,7 @@ mod tests {
 
     #[test]
     fn batchnorm_identity_passes_through() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let x = Tensor::rand_normal(&mut rng, &[2, 3, 4, 4], 0.0, 1.0);
         let bn = Layer::BatchNorm2d(BatchNorm2d::identity(3));
         let y = bn.forward(&[&x]).unwrap();

@@ -560,15 +560,14 @@ mod tests {
     use crate::layer::{BatchNorm2d, Conv2d, Linear};
     use crate::models::NetBuilder;
     use alfi_tensor::conv::ConvConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use alfi_rng::Rng;
 
     /// Numerically checks d(loss)/d(param) for every weight element of a
     /// network against the analytic gradient, with loss = sum(output *
     /// probe) for a fixed probe tensor.
     fn finite_diff_check(net: &mut Network, input: &Tensor, tol: f32) {
         let out = net.forward(input).unwrap();
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Rng::from_seed(17);
         let probe = Tensor::rand_uniform(&mut rng, out.dims(), -1.0, 1.0);
         let analytic = backward(net, input, &probe).unwrap();
 
@@ -617,7 +616,7 @@ mod tests {
     }
 
     fn rand_input(dims: &[usize], seed: u64) -> Tensor {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         Tensor::rand_uniform(&mut rng, dims, -1.0, 1.0)
     }
 
@@ -660,7 +659,7 @@ mod tests {
     fn residual_add_gradients_match_finite_differences() {
         // y = relu(conv(x)) + x  (same channel count, 1x1 conv)
         let mut net = Network::new("res");
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::from_seed(9);
         let conv = Layer::Conv2d(Conv2d {
             weight: Tensor::rand_uniform(&mut rng, &[2, 2, 1, 1], -0.5, 0.5),
             bias: Some(Tensor::zeros(&[2])),
@@ -677,7 +676,7 @@ mod tests {
     #[test]
     fn concat_and_sigmoid_gradients_match_finite_differences() {
         let mut net = Network::new("cat");
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::from_seed(11);
         let conv = Layer::Conv2d(Conv2d {
             weight: Tensor::rand_uniform(&mut rng, &[2, 2, 3, 3], -0.5, 0.5),
             bias: Some(Tensor::zeros(&[2])),

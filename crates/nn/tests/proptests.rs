@@ -1,93 +1,111 @@
 //! Property-based tests for network graph and detection-geometry
-//! invariants.
+//! invariants, running on the in-tree `alfi-check` harness.
 
+use alfi_check::{check_with, gen};
 use alfi_nn::detection::{match_detections, nms, BBox, Detection};
 use alfi_nn::models::{alexnet, ModelConfig};
 use alfi_nn::{Layer, LayerCtx, RestrictMode};
+use alfi_rng::Rng;
 use alfi_tensor::Tensor;
-use proptest::prelude::*;
 use std::sync::Arc;
 
-fn arb_bbox() -> impl Strategy<Value = BBox> {
-    (0.0f32..100.0, 0.0f32..100.0, 0.1f32..50.0, 0.1f32..50.0)
-        .prop_map(|(x, y, w, h)| BBox::new(x, y, x + w, y + h))
+const CASES: usize = 64;
+
+fn arb_bbox(rng: &mut Rng) -> BBox {
+    let x: f32 = rng.gen_range(0.0f32..100.0);
+    let y: f32 = rng.gen_range(0.0f32..100.0);
+    let w: f32 = rng.gen_range(0.1f32..50.0);
+    let h: f32 = rng.gen_range(0.1f32..50.0);
+    BBox::new(x, y, x + w, y + h)
 }
 
-fn arb_detection() -> impl Strategy<Value = Detection> {
-    (arb_bbox(), 0.0f32..=1.0, 0usize..5)
-        .prop_map(|(bbox, score, class_id)| Detection { bbox, score, class_id })
+fn arb_detection(rng: &mut Rng) -> Detection {
+    let bbox = arb_bbox(rng);
+    let score: f32 = rng.gen_range(0.0f32..=1.0);
+    let class_id: usize = rng.gen_range(0usize..5);
+    Detection { bbox, score, class_id }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// IoU is symmetric, bounded in [0, 1], and 1 only for identical
-    /// boxes.
-    #[test]
-    fn iou_properties(a in arb_bbox(), b in arb_bbox()) {
+/// IoU is symmetric, bounded in [0, 1], and 1 only for identical boxes.
+#[test]
+fn iou_properties() {
+    check_with(CASES, "iou_properties", |rng| {
+        let a = arb_bbox(rng);
+        let b = arb_bbox(rng);
         let ab = a.iou(&b);
         let ba = b.iou(&a);
-        prop_assert!((ab - ba).abs() < 1e-6);
-        prop_assert!((0.0..=1.0).contains(&ab));
-        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-6);
-    }
+        assert!((ab - ba).abs() < 1e-6);
+        assert!((0.0..=1.0).contains(&ab));
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+    });
+}
 
-    /// NMS output is a subset of its input, sorted by descending score,
-    /// and contains no same-class pair above the IoU threshold.
-    #[test]
-    fn nms_invariants(dets in proptest::collection::vec(arb_detection(), 0..25), thr in 0.1f32..0.9) {
+/// NMS output is a subset of its input, sorted by descending score,
+/// and contains no same-class pair above the IoU threshold.
+#[test]
+fn nms_invariants() {
+    check_with(CASES, "nms_invariants", |rng| {
+        let dets = gen::vec_of(rng, 0..25, arb_detection);
+        let thr: f32 = rng.gen_range(0.1f32..0.9);
         let kept = nms(dets.clone(), thr);
-        prop_assert!(kept.len() <= dets.len());
+        assert!(kept.len() <= dets.len());
         for k in &kept {
-            prop_assert!(dets.iter().any(|d| d == k));
+            assert!(dets.iter().any(|d| d == k));
         }
         for w in kept.windows(2) {
-            prop_assert!(w[0].score >= w[1].score);
+            assert!(w[0].score >= w[1].score);
         }
         for (i, a) in kept.iter().enumerate() {
             for b in kept.iter().skip(i + 1) {
                 if a.class_id == b.class_id {
-                    prop_assert!(a.bbox.iou(&b.bbox) <= thr + 1e-6);
+                    assert!(a.bbox.iou(&b.bbox) <= thr + 1e-6);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Matching is one-to-one, class-consistent and respects the IoU
-    /// threshold.
-    #[test]
-    fn matching_invariants(
-        a in proptest::collection::vec(arb_detection(), 0..12),
-        b in proptest::collection::vec(arb_detection(), 0..12),
-        thr in 0.1f32..0.9,
-    ) {
+/// Matching is one-to-one, class-consistent and respects the IoU
+/// threshold.
+#[test]
+fn matching_invariants() {
+    check_with(CASES, "matching_invariants", |rng| {
+        let a = gen::vec_of(rng, 0..12, arb_detection);
+        let b = gen::vec_of(rng, 0..12, arb_detection);
+        let thr: f32 = rng.gen_range(0.1f32..0.9);
         let pairs = match_detections(&a, &b, thr);
         let mut used_a = std::collections::HashSet::new();
         let mut used_b = std::collections::HashSet::new();
         for (i, j) in pairs {
-            prop_assert!(used_a.insert(i));
-            prop_assert!(used_b.insert(j));
-            prop_assert_eq!(a[i].class_id, b[j].class_id);
-            prop_assert!(a[i].bbox.iou(&b[j].bbox) >= thr - 1e-6);
+            assert!(used_a.insert(i));
+            assert!(used_b.insert(j));
+            assert_eq!(a[i].class_id, b[j].class_id);
+            assert!(a[i].bbox.iou(&b[j].bbox) >= thr - 1e-6);
         }
-    }
+    });
+}
 
-    /// Forward passes are deterministic functions of (weights, input).
-    #[test]
-    fn forward_is_deterministic(seed in any::<u64>()) {
+/// Forward passes are deterministic functions of (weights, input).
+#[test]
+fn forward_is_deterministic() {
+    check_with(CASES, "forward_is_deterministic", |rng| {
+        let seed = gen::any_u64(rng);
         let cfg = ModelConfig { input_hw: 16, width_mult: 0.0625, seed, ..ModelConfig::default() };
         let net = alexnet(&cfg);
-        let mut rng = rand::SeedableRng::seed_from_u64(seed);
-        let x = Tensor::rand_uniform::<rand::rngs::StdRng>(&mut rng, &cfg.input_dims(1), 0.0, 1.0);
+        let mut data_rng = Rng::from_seed(seed);
+        let x = Tensor::rand_uniform(&mut data_rng, &cfg.input_dims(1), 0.0, 1.0);
         let a = net.forward(&x).unwrap();
         let b = net.forward(&x).unwrap();
-        prop_assert_eq!(a.data(), b.data());
-    }
+        assert_eq!(a.data(), b.data());
+    });
+}
 
-    /// Inserting a wide-open RangeRestrict after any node never changes
-    /// the output (graph-surgery correctness on a real model).
-    #[test]
-    fn insert_identity_node_preserves_output(node_seed in any::<usize>()) {
+/// Inserting a wide-open RangeRestrict after any node never changes
+/// the output (graph-surgery correctness on a real model).
+#[test]
+fn insert_identity_node_preserves_output() {
+    check_with(CASES, "insert_identity_node_preserves_output", |rng| {
+        let node_seed = gen::any_u64(rng) as usize;
         let cfg = ModelConfig { input_hw: 16, width_mult: 0.0625, seed: 5, ..ModelConfig::default() };
         let net = alexnet(&cfg);
         let x = Tensor::ones(&cfg.input_dims(1));
@@ -106,14 +124,17 @@ proptest! {
             )
             .unwrap();
         let after = patched.forward(&x).unwrap();
-        prop_assert_eq!(before.data(), after.data());
-    }
+        assert_eq!(before.data(), after.data());
+    });
+}
 
-    /// Hooks observe exactly the value the next layer consumes: doubling
-    /// a node's output via a hook equals doubling it via an inserted
-    /// scaling computation.
-    #[test]
-    fn hook_mutation_equals_graph_mutation(scale in 0.25f32..4.0) {
+/// Hooks observe exactly the value the next layer consumes: doubling
+/// a node's output via a hook equals doubling it via an inserted
+/// scaling computation.
+#[test]
+fn hook_mutation_equals_graph_mutation() {
+    check_with(CASES, "hook_mutation_equals_graph_mutation", |rng| {
+        let scale: f32 = rng.gen_range(0.25f32..4.0);
         let cfg = ModelConfig { input_hw: 16, width_mult: 0.0625, seed: 9, ..ModelConfig::default() };
         let base = alexnet(&cfg);
         let x = Tensor::ones(&cfg.input_dims(1));
@@ -137,6 +158,6 @@ proptest! {
             }
         }
         let via_weights = scaled.forward(&x).unwrap();
-        prop_assert!(via_hook.max_abs_diff(&via_weights).unwrap() < 2e-2 * scale.max(1.0));
-    }
+        assert!(via_hook.max_abs_diff(&via_weights).unwrap() < 2e-2 * scale.max(1.0));
+    });
 }

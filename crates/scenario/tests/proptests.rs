@@ -1,118 +1,138 @@
-//! Property-based tests: scenario and YAML round-trip invariants.
+//! Property-based tests: scenario and YAML round-trip invariants,
+//! running on the in-tree `alfi-check` harness.
 
+use alfi_check::{check_with, gen};
+use alfi_rng::Rng;
 use alfi_scenario::{
     FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerType, Scenario,
     Yaml,
 };
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
-fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    let fault_mode = prop_oneof![
-        (0u8..32, 0u8..32).prop_map(|(a, b)| FaultMode::BitFlip {
-            bit_range: (a.min(b), a.max(b))
-        }),
-        (0u8..32, 0u8..32, any::<bool>()).prop_map(|(a, b, high)| FaultMode::StuckAt {
-            bit_range: (a.min(b), a.max(b)),
-            stuck_high: high,
-        }),
-        (-100.0f32..0.0, 0.0f32..100.0)
-            .prop_map(|(min, max)| FaultMode::RandomValue { min, max }),
-    ];
-    let faults = prop_oneof![
-        (0usize..1000).prop_map(FaultCount::Fixed),
-        (0.0f64..=1.0).prop_map(FaultCount::Fraction),
-    ];
-    let layer_types = proptest::sample::subsequence(
-        vec![LayerType::Conv2d, LayerType::Conv3d, LayerType::Linear],
-        1..=3,
-    );
-    (
-        (0usize..100_000, 0usize..10, faults, 1usize..64),
-        (any::<bool>(), 0usize..3, any::<bool>(), fault_mode),
+const CASES: usize = 128;
+
+fn arb_fault_mode(rng: &mut Rng) -> FaultMode {
+    match rng.gen_range(0u8..3) {
+        0 => {
+            let a: u8 = rng.gen_range(0u8..32);
+            let b: u8 = rng.gen_range(0u8..32);
+            FaultMode::BitFlip { bit_range: (a.min(b), a.max(b)) }
+        }
+        1 => {
+            let a: u8 = rng.gen_range(0u8..32);
+            let b: u8 = rng.gen_range(0u8..32);
+            FaultMode::StuckAt { bit_range: (a.min(b), a.max(b)), stuck_high: gen::any_bool(rng) }
+        }
+        _ => FaultMode::RandomValue {
+            min: rng.gen_range(-100.0f32..0.0),
+            max: rng.gen_range(0.0f32..100.0),
+        },
+    }
+}
+
+fn arb_scenario(rng: &mut Rng) -> Scenario {
+    let faults = if gen::any_bool(rng) {
+        FaultCount::Fixed(rng.gen_range(0usize..1000))
+    } else {
+        FaultCount::Fraction(rng.gen_range(0.0f64..=1.0))
+    };
+    let layer_types =
+        gen::subsequence(rng, &[LayerType::Conv2d, LayerType::Conv3d, LayerType::Linear], 1, 3);
+    let layer_range = if gen::any_bool(rng) {
+        let a: usize = rng.gen_range(0usize..50);
+        let b: usize = rng.gen_range(0usize..50);
+        Some((a.min(b), a.max(b)))
+    } else {
+        None
+    };
+    Scenario {
+        dataset_size: rng.gen_range(0usize..100_000),
+        num_runs: rng.gen_range(0usize..10),
+        faults_per_image: faults,
+        batch_size: rng.gen_range(1usize..64),
+        injection_target: if gen::any_bool(rng) {
+            InjectionTarget::Neurons
+        } else {
+            InjectionTarget::Weights
+        },
+        injection_policy: match rng.gen_range(0usize..3) {
+            0 => InjectionPolicy::PerImage,
+            1 => InjectionPolicy::PerBatch,
+            _ => InjectionPolicy::PerEpoch,
+        },
+        fault_duration: if gen::any_bool(rng) {
+            FaultDuration::Transient
+        } else {
+            FaultDuration::Permanent
+        },
+        fault_mode: arb_fault_mode(rng),
         layer_types,
-        proptest::option::of((0usize..50, 0usize..50)),
-        any::<bool>(),
-        any::<u64>(),
-    )
-        .prop_map(
-            |(
-                (dataset_size, num_runs, faults_per_image, batch_size),
-                (neurons, policy, transient, fault_mode),
-                layer_types,
-                range,
-                weighted_layer_selection,
-                seed,
-            )| Scenario {
-                dataset_size,
-                num_runs,
-                faults_per_image,
-                batch_size,
-                injection_target: if neurons {
-                    InjectionTarget::Neurons
-                } else {
-                    InjectionTarget::Weights
-                },
-                injection_policy: match policy {
-                    0 => InjectionPolicy::PerImage,
-                    1 => InjectionPolicy::PerBatch,
-                    _ => InjectionPolicy::PerEpoch,
-                },
-                fault_duration: if transient {
-                    FaultDuration::Transient
-                } else {
-                    FaultDuration::Permanent
-                },
-                fault_mode,
-                layer_types,
-                layer_range: range.map(|(a, b)| (a.min(b), a.max(b))),
-                weighted_layer_selection,
-                seed,
-            },
-        )
+        layer_range,
+        weighted_layer_selection: gen::any_bool(rng),
+        seed: gen::any_u64(rng),
+    }
 }
 
 /// Arbitrary YAML values over the subset our parser supports. Strings
 /// avoid the characters the emitter would have to escape beyond quoting.
-fn arb_yaml(depth: u32) -> BoxedStrategy<Yaml> {
-    let scalar = prop_oneof![
-        Just(Yaml::Null),
-        any::<bool>().prop_map(Yaml::Bool),
-        any::<i64>().prop_map(Yaml::Int),
-        (-1.0e12f64..1.0e12).prop_map(Yaml::Float),
-        "[a-zA-Z][a-zA-Z0-9 _./-]{0,14}[a-zA-Z0-9]".prop_map(Yaml::Str),
+fn arb_yaml(rng: &mut Rng, depth: u32) -> Yaml {
+    const BODY: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '.', '/', '-',
     ];
+    const EDGE: &[char] = &['a', 'm', 'z', 'A', 'Z', '0', '9'];
+    let scalar = |rng: &mut Rng| match rng.gen_range(0u8..5) {
+        0 => Yaml::Null,
+        1 => Yaml::Bool(gen::any_bool(rng)),
+        2 => Yaml::Int(gen::any_u64(rng) as i64),
+        3 => Yaml::Float(rng.gen_range(-1.0e12f64..1.0e12)),
+        _ => {
+            // Pattern "[a-zA-Z][a-zA-Z0-9 _./-]{0,14}[a-zA-Z0-9]".
+            let first = ['a', 'q', 'z', 'B', 'Y'][rng.gen_range(0..5usize)];
+            let mid = gen::string_from(rng, BODY, 0..15);
+            let last = EDGE[rng.gen_range(0..EDGE.len())];
+            Yaml::Str(format!("{first}{mid}{last}"))
+        }
+    };
     if depth == 0 {
-        return scalar.boxed();
+        return scalar(rng);
     }
-    prop_oneof![
-        4 => scalar.clone(),
-        1 => proptest::collection::vec(scalar.clone(), 0..4).prop_map(Yaml::List),
-        1 => proptest::collection::btree_map(
-            "[a-z][a-z0-9_]{0,10}",
-            arb_yaml(depth - 1),
-            0..4,
-        )
-        .prop_map(|m| Yaml::Map(m.into_iter().collect::<BTreeMap<_, _>>())),
-    ]
-    .boxed()
+    match rng.gen_range(0u8..6) {
+        0 => Yaml::List(gen::vec_of(rng, 0..4, scalar)),
+        1 => {
+            let n = rng.gen_range(0usize..4);
+            let mut m = BTreeMap::new();
+            for _ in 0..n {
+                let head = ['a', 'h', 'p', 'x'][rng.gen_range(0..4usize)];
+                let tail = gen::string_from(
+                    rng,
+                    &['a', 'e', 'k', 's', 'z', '0', '7', '_'],
+                    0..11,
+                );
+                m.insert(format!("{head}{tail}"), arb_yaml(rng, depth - 1));
+            }
+            Yaml::Map(m)
+        }
+        _ => scalar(rng),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every representable scenario round-trips through YAML exactly.
-    #[test]
-    fn scenario_yaml_round_trip(s in arb_scenario()) {
+/// Every representable scenario round-trips through YAML exactly.
+#[test]
+fn scenario_yaml_round_trip() {
+    check_with(CASES, "scenario_yaml_round_trip", |rng| {
+        let s = arb_scenario(rng);
         let text = s.to_yaml_string();
         let back = Scenario::from_yaml_str(&text).unwrap();
-        prop_assert_eq!(s, back);
-    }
+        assert_eq!(s, back);
+    });
+}
 
-    /// YAML documents emitted by the serializer re-parse to the same
-    /// value (maps/lists/scalars, arbitrary nesting).
-    #[test]
-    fn yaml_emit_parse_round_trip(y in arb_yaml(3)) {
+/// YAML documents emitted by the serializer re-parse to the same
+/// value (maps/lists/scalars, arbitrary nesting).
+#[test]
+fn yaml_emit_parse_round_trip() {
+    check_with(CASES, "yaml_emit_parse_round_trip", |rng| {
+        let y = arb_yaml(rng, 3);
         // Top-level scalars serialize as a single line; wrap in a map for
         // the canonical document form too.
         let mut doc = BTreeMap::new();
@@ -120,23 +140,31 @@ proptest! {
         let doc = Yaml::Map(doc);
         let text = doc.to_yaml_string();
         let back = Yaml::parse(&text).unwrap();
-        prop_assert_eq!(doc, back);
-    }
+        assert_eq!(doc, back);
+    });
+}
 
-    /// total_faults never overflows the product semantics for sane sizes.
-    #[test]
-    fn total_faults_is_product(ds in 0usize..1000, runs in 0usize..10, fpi in 0usize..100) {
+/// total_faults never overflows the product semantics for sane sizes.
+#[test]
+fn total_faults_is_product() {
+    check_with(CASES, "total_faults_is_product", |rng| {
+        let ds: usize = rng.gen_range(0usize..1000);
+        let runs: usize = rng.gen_range(0usize..10);
+        let fpi: usize = rng.gen_range(0usize..100);
         let mut s = Scenario::default();
         s.dataset_size = ds;
         s.num_runs = runs;
         s.faults_per_image = FaultCount::Fixed(fpi);
-        prop_assert_eq!(s.total_faults(123), ds * runs * fpi);
-    }
+        assert_eq!(s.total_faults(123), ds * runs * fpi);
+    });
+}
 
-    /// The parser never panics on arbitrary input strings.
-    #[test]
-    fn parser_is_total(input in "\\PC{0,200}") {
+/// The parser never panics on arbitrary input strings.
+#[test]
+fn parser_is_total() {
+    check_with(CASES, "parser_is_total", |rng| {
+        let input = gen::printable_string(rng, 0..200);
         let _ = Yaml::parse(&input);
         let _ = Scenario::from_yaml_str(&input);
-    }
+    });
 }

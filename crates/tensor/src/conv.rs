@@ -457,8 +457,7 @@ pub fn adaptive_avg_pool2d(input: &Tensor, out_hw: usize) -> Result<Tensor, Tens
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use alfi_rng::Rng;
 
     #[test]
     fn conv_config_validates() {
@@ -512,7 +511,7 @@ mod tests {
 
     #[test]
     fn im2col_agrees_with_direct_on_random_inputs() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::from_seed(42);
         for &(n, c_in, c_out, hw, k, s, p) in
             &[(2, 3, 4, 8, 3, 1, 1), (1, 1, 1, 5, 2, 2, 0), (2, 4, 2, 7, 3, 2, 1)]
         {
@@ -537,7 +536,7 @@ mod tests {
 
     #[test]
     fn conv3d_reduces_to_conv2d_for_depth_one() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::from_seed(9);
         let input2 = Tensor::rand_normal(&mut rng, &[1, 2, 5, 5], 0.0, 1.0);
         let weight2 = Tensor::rand_normal(&mut rng, &[3, 2, 3, 3], 0.0, 1.0);
         let input3 = input2.reshape(&[1, 2, 1, 5, 5]).unwrap();
@@ -591,7 +590,7 @@ mod tests {
 
     #[test]
     fn adaptive_avg_pool_identity_when_sizes_match() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let input = Tensor::rand_normal(&mut rng, &[1, 2, 3, 3], 0.0, 1.0);
         let out = adaptive_avg_pool2d(&input, 3).unwrap();
         assert!(input.max_abs_diff(&out).unwrap() < 1e-6);

@@ -12,7 +12,7 @@
 //!   (single-bit flips, bit-field classification, flip direction), the
 //!   core mechanism by which hardware faults are modelled at the
 //!   application level;
-//! * [`f16`] and [`quant`] — software half-precision (`f16`/`bf16`) and
+//! * [`mod@f16`] and [`quant`] — software half-precision (`f16`/`bf16`) and
 //!   affine-quantized `int8` numeric types with the same flip API, used
 //!   for the paper's "vulnerability of different numeric types" use case;
 //! * [`conv`] — convolution and pooling compute kernels used by

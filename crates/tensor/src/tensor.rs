@@ -2,8 +2,7 @@
 //! application-level fault injection.
 
 use crate::{Shape, TensorError};
-use rand::distributions::Distribution;
-use rand::Rng;
+use alfi_rng::Rng;
 
 /// A dense, row-major `f32` tensor.
 ///
@@ -67,18 +66,17 @@ impl Tensor {
     }
 
     /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
-    pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Self {
+    pub fn rand_uniform(rng: &mut Rng, dims: &[usize], lo: f32, hi: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.num_elements();
-        let dist = rand::distributions::Uniform::new(lo, hi);
-        let data = (0..n).map(|_| dist.sample(rng)).collect();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
         Tensor { shape, data }
     }
 
     /// Creates a tensor with elements drawn from a normal distribution
     /// `N(mean, std^2)` using a Box–Muller transform (no external
     /// distribution crates required).
-    pub fn rand_normal<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Self {
+    pub fn rand_normal(rng: &mut Rng, dims: &[usize], mean: f32, std: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.num_elements();
         let mut data = Vec::with_capacity(n);
@@ -474,8 +472,7 @@ impl std::fmt::Display for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use alfi_rng::Rng;
 
     #[test]
     fn constructors_fill_correctly() {
@@ -595,7 +592,7 @@ mod tests {
 
     #[test]
     fn rand_normal_has_plausible_moments() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::from_seed(7);
         let t = Tensor::rand_normal(&mut rng, &[10_000], 2.0, 3.0);
         let mean = t.mean();
         let var = t.map(|x| (x - mean) * (x - mean)).mean();
@@ -605,7 +602,7 @@ mod tests {
 
     #[test]
     fn rand_uniform_respects_bounds() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let t = Tensor::rand_uniform(&mut rng, &[1000], -1.0, 1.0);
         assert!(t.min() >= -1.0 && t.max() < 1.0);
     }

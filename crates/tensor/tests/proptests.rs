@@ -1,160 +1,213 @@
-//! Property-based tests for the tensor substrate's core invariants.
+//! Property-based tests for the tensor substrate's core invariants,
+//! running on the in-tree `alfi-check` harness.
 
+use alfi_check::{assume, check, gen};
+use alfi_rng::Rng;
 use alfi_tensor::conv::{avg_pool2d, conv2d_direct, conv2d_im2col, max_pool2d, ConvConfig};
 use alfi_tensor::f16::{Bf16, F16};
 use alfi_tensor::quant::{flip_bit_i8, QuantParams};
 use alfi_tensor::{bits, Shape, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    /// Flipping any bit twice restores the exact bit pattern — the
-    /// transient-fault restore guarantee rests on this.
-    #[test]
-    fn f32_flip_is_involutive(v in any::<f32>(), pos in 0u8..32) {
+/// Flipping any bit twice restores the exact bit pattern — the
+/// transient-fault restore guarantee rests on this.
+#[test]
+fn f32_flip_is_involutive() {
+    check("f32_flip_is_involutive", |rng| {
+        let v = gen::any_f32(rng);
+        let pos: u8 = rng.gen_range(0u8..32);
         let back = bits::flip_bit(bits::flip_bit(v, pos), pos);
-        prop_assert_eq!(back.to_bits(), v.to_bits());
-    }
+        assert_eq!(back.to_bits(), v.to_bits());
+    });
+}
 
-    /// Flip direction is consistent with the pre-flip bit value.
-    #[test]
-    fn flip_direction_matches_bit(v in any::<f32>(), pos in 0u8..32) {
+/// Flip direction is consistent with the pre-flip bit value.
+#[test]
+fn flip_direction_matches_bit() {
+    check("flip_direction_matches_bit", |rng| {
+        let v = gen::any_f32(rng);
+        let pos: u8 = rng.gen_range(0u8..32);
         let was_set = bits::get_bit(v, pos);
         let (_, dir) = bits::flip_bit_traced(v, pos);
-        prop_assert_eq!(dir == bits::FlipDirection::OneToZero, was_set);
-    }
+        assert_eq!(dir == bits::FlipDirection::OneToZero, was_set);
+    });
+}
 
-    /// A flipped value always differs from the original in exactly one bit.
-    #[test]
-    fn flip_changes_exactly_one_bit(v in any::<f32>(), pos in 0u8..32) {
+/// A flipped value always differs from the original in exactly one bit.
+#[test]
+fn flip_changes_exactly_one_bit() {
+    check("flip_changes_exactly_one_bit", |rng| {
+        let v = gen::any_f32(rng);
+        let pos: u8 = rng.gen_range(0u8..32);
         let c = bits::flip_bit(v, pos);
-        prop_assert_eq!((c.to_bits() ^ v.to_bits()).count_ones(), 1);
-    }
+        assert_eq!((c.to_bits() ^ v.to_bits()).count_ones(), 1);
+    });
+}
 
-    /// Stuck-at faults are idempotent.
-    #[test]
-    fn stuck_at_is_idempotent(v in any::<f32>(), pos in 0u8..32, bit in any::<bool>()) {
+/// Stuck-at faults are idempotent.
+#[test]
+fn stuck_at_is_idempotent() {
+    check("stuck_at_is_idempotent", |rng| {
+        let v = gen::any_f32(rng);
+        let pos: u8 = rng.gen_range(0u8..32);
+        let bit = gen::any_bool(rng);
         let once = bits::set_bit(v, pos, bit);
         let twice = bits::set_bit(once, pos, bit);
-        prop_assert_eq!(once.to_bits(), twice.to_bits());
-    }
+        assert_eq!(once.to_bits(), twice.to_bits());
+    });
+}
 
-    /// Shape flat/multi index round trip for arbitrary small shapes.
-    #[test]
-    fn shape_index_round_trip(dims in proptest::collection::vec(1usize..6, 1..5)) {
+/// Shape flat/multi index round trip for arbitrary small shapes.
+#[test]
+fn shape_index_round_trip() {
+    check("shape_index_round_trip", |rng| {
+        let dims = gen::vec_of(rng, 1..5, |r| r.gen_range(1usize..6));
         let s = Shape::new(&dims);
         let n = s.num_elements();
         for flat in [0, n / 2, n - 1] {
             let idx = s.multi_index(flat).unwrap();
-            prop_assert_eq!(s.flat_index(&idx).unwrap(), flat);
+            assert_eq!(s.flat_index(&idx).unwrap(), flat);
         }
-    }
+    });
+}
 
-    /// f16 conversion round-trips values already representable in f16.
-    #[test]
-    fn f16_double_conversion_is_stable(v in -60000.0f32..60000.0) {
+/// f16 conversion round-trips values already representable in f16.
+#[test]
+fn f16_double_conversion_is_stable() {
+    check("f16_double_conversion_is_stable", |rng| {
+        let v: f32 = rng.gen_range(-60000.0f32..60000.0);
         let once = F16::from_f32(v).to_f32();
         let twice = F16::from_f32(once).to_f32();
-        prop_assert_eq!(once.to_bits(), twice.to_bits());
-    }
+        assert_eq!(once.to_bits(), twice.to_bits());
+    });
+}
 
-    /// f16 conversion error is within one ULP of the f16 grid for normal values.
-    #[test]
-    fn f16_error_bound(v in 1.0e-3f32..60000.0) {
+/// f16 conversion error is within one ULP of the f16 grid for normal values.
+#[test]
+fn f16_error_bound() {
+    check("f16_error_bound", |rng| {
+        let v: f32 = rng.gen_range(1.0e-3f32..60000.0);
         let back = F16::from_f32(v).to_f32();
         // ulp at magnitude v is at most v * 2^-10
-        prop_assert!((back - v).abs() <= v * 1.0e-3, "{} -> {}", v, back);
-    }
+        assert!((back - v).abs() <= v * 1.0e-3, "{} -> {}", v, back);
+    });
+}
 
-    /// bf16 conversion error bound for normal values (7-bit mantissa).
-    #[test]
-    fn bf16_error_bound(v in 1.0e-3f32..1.0e30) {
+/// bf16 conversion error bound for normal values (7-bit mantissa).
+#[test]
+fn bf16_error_bound() {
+    check("bf16_error_bound", |rng| {
+        let v: f32 = rng.gen_range(1.0e-3f32..1.0e30);
         let back = Bf16::from_f32(v).to_f32();
-        prop_assert!((back - v).abs() <= v * 8.0e-3, "{} -> {}", v, back);
-    }
+        assert!((back - v).abs() <= v * 8.0e-3, "{} -> {}", v, back);
+    });
+}
 
-    /// f16/bf16 flips are involutive.
-    #[test]
-    fn f16_bf16_flip_involutive(v in any::<f32>(), pos in 0u8..16) {
+/// f16/bf16 flips are involutive.
+#[test]
+fn f16_bf16_flip_involutive() {
+    check("f16_bf16_flip_involutive", |rng| {
+        let v = gen::any_f32(rng);
+        let pos: u8 = rng.gen_range(0u8..16);
         let h = F16::from_f32(v);
-        prop_assert_eq!(h.flip_bit(pos).flip_bit(pos), h);
+        assert_eq!(h.flip_bit(pos).flip_bit(pos), h);
         let b = Bf16::from_f32(v);
-        prop_assert_eq!(b.flip_bit(pos).flip_bit(pos), b);
-    }
+        assert_eq!(b.flip_bit(pos).flip_bit(pos), b);
+    });
+}
 
-    /// Quantize/dequantize error stays within half a step for in-range values.
-    #[test]
-    fn quant_round_trip_error(lo in -10.0f32..-0.1, hi in 0.1f32..10.0, x in -0.09f32..0.09) {
+/// Quantize/dequantize error stays within half a step for in-range values.
+#[test]
+fn quant_round_trip_error() {
+    check("quant_round_trip_error", |rng| {
+        let lo: f32 = rng.gen_range(-10.0f32..-0.1);
+        let hi: f32 = rng.gen_range(0.1f32..10.0);
+        let x: f32 = rng.gen_range(-0.09f32..0.09);
         let p = QuantParams::from_range(lo, hi);
         let x = x * (hi - lo) * 5.0; // scale into range
         let x = x.clamp(lo, hi);
         let back = p.dequantize(p.quantize(x));
-        prop_assert!((back - x).abs() <= p.max_round_error() + p.scale * 1e-3);
-    }
+        assert!((back - x).abs() <= p.max_round_error() + p.scale * 1e-3);
+    });
+}
 
-    /// int8 flips are involutive.
-    #[test]
-    fn i8_flip_involutive(q in any::<i8>(), pos in 0u8..8) {
-        prop_assert_eq!(flip_bit_i8(flip_bit_i8(q, pos), pos), q);
-    }
+/// int8 flips are involutive.
+#[test]
+fn i8_flip_involutive() {
+    check("i8_flip_involutive", |rng| {
+        let q = gen::any_i8(rng);
+        let pos: u8 = rng.gen_range(0u8..8);
+        assert_eq!(flip_bit_i8(flip_bit_i8(q, pos), pos), q);
+    });
+}
 
-    /// Direct and im2col convolutions agree on random configurations.
-    #[test]
-    fn conv_implementations_agree(
-        seed in any::<u64>(),
-        c_in in 1usize..4,
-        c_out in 1usize..4,
-        hw in 3usize..8,
-        k in 1usize..4,
-        pad in 0usize..2,
-    ) {
-        use rand::{rngs::StdRng, SeedableRng};
-        prop_assume!(k <= hw + 2 * pad);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let input = Tensor::rand_normal(&mut rng, &[1, c_in, hw, hw], 0.0, 1.0);
-        let weight = Tensor::rand_normal(&mut rng, &[c_out, c_in, k, k], 0.0, 1.0);
+/// Direct and im2col convolutions agree on random configurations.
+#[test]
+fn conv_implementations_agree() {
+    check("conv_implementations_agree", |rng| {
+        let seed = gen::any_u64(rng);
+        let c_in: usize = rng.gen_range(1usize..4);
+        let c_out: usize = rng.gen_range(1usize..4);
+        let hw: usize = rng.gen_range(3usize..8);
+        let k: usize = rng.gen_range(1usize..4);
+        let pad: usize = rng.gen_range(0usize..2);
+        assume!(k <= hw + 2 * pad);
+        let mut data_rng = Rng::from_seed(seed);
+        let input = Tensor::rand_normal(&mut data_rng, &[1, c_in, hw, hw], 0.0, 1.0);
+        let weight = Tensor::rand_normal(&mut data_rng, &[c_out, c_in, k, k], 0.0, 1.0);
         let cfg = ConvConfig { stride: 1, padding: pad };
         let a = conv2d_direct(&input, &weight, None, cfg).unwrap();
         let b = conv2d_im2col(&input, &weight, None, cfg).unwrap();
-        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-3);
-    }
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-3);
+    });
+}
 
-    /// Max pool output never exceeds the input maximum and avg pool stays
-    /// within [min, max].
-    #[test]
-    fn pooling_bounds(seed in any::<u64>(), hw in 2usize..8, k in 1usize..4) {
-        use rand::{rngs::StdRng, SeedableRng};
-        prop_assume!(k <= hw);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let input = Tensor::rand_normal(&mut rng, &[1, 2, hw, hw], 0.0, 3.0);
+/// Max pool output never exceeds the input maximum and avg pool stays
+/// within [min, max].
+#[test]
+fn pooling_bounds() {
+    check("pooling_bounds", |rng| {
+        let seed = gen::any_u64(rng);
+        let hw: usize = rng.gen_range(2usize..8);
+        let k: usize = rng.gen_range(1usize..4);
+        assume!(k <= hw);
+        let mut data_rng = Rng::from_seed(seed);
+        let input = Tensor::rand_normal(&mut data_rng, &[1, 2, hw, hw], 0.0, 3.0);
         let cfg = ConvConfig::default();
         let mx = max_pool2d(&input, k, cfg).unwrap();
         let av = avg_pool2d(&input, k, cfg).unwrap();
-        prop_assert!(mx.max() <= input.max());
-        prop_assert!(av.max() <= input.max() + 1e-5);
-        prop_assert!(av.min() >= input.min() - 1e-5);
-    }
+        assert!(mx.max() <= input.max());
+        assert!(av.max() <= input.max() + 1e-5);
+        assert!(av.min() >= input.min() - 1e-5);
+    });
+}
 
-    /// softmax output is a probability vector for finite inputs.
-    #[test]
-    fn softmax_is_probability(v in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
+/// softmax output is a probability vector for finite inputs.
+#[test]
+fn softmax_is_probability() {
+    check("softmax_is_probability", |rng| {
+        let v = gen::vec_of(rng, 1..20, |r| r.gen_range(-50.0f32..50.0));
         let n = v.len();
         let t = Tensor::from_vec(v, &[n]).unwrap();
         let s = t.softmax_lastdim().unwrap();
         let sum: f32 = s.data().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(s.data().iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
-    }
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(s.data().iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    });
+}
 
-    /// stack/batch_item round trip.
-    #[test]
-    fn stack_round_trip(seed in any::<u64>(), n in 1usize..5, len in 1usize..10) {
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(seed);
+/// stack/batch_item round trip.
+#[test]
+fn stack_round_trip() {
+    check("stack_round_trip", |rng| {
+        let seed = gen::any_u64(rng);
+        let n: usize = rng.gen_range(1usize..5);
+        let len: usize = rng.gen_range(1usize..10);
+        let mut data_rng = Rng::from_seed(seed);
         let items: Vec<Tensor> =
-            (0..n).map(|_| Tensor::rand_uniform(&mut rng, &[len], -1.0, 1.0)).collect();
+            (0..n).map(|_| Tensor::rand_uniform(&mut data_rng, &[len], -1.0, 1.0)).collect();
         let stacked = Tensor::stack(&items).unwrap();
         for (i, item) in items.iter().enumerate() {
-            prop_assert_eq!(&stacked.batch_item(i).unwrap(), item);
+            assert_eq!(&stacked.batch_item(i).unwrap(), item);
         }
-    }
+    });
 }

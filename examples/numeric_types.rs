@@ -14,11 +14,10 @@
 use alfi::tensor::f16::{Bf16, F16};
 use alfi::tensor::quant::{flip_bit_i8, QuantParams};
 use alfi::tensor::{bits, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alfi_rng::Rng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::from_seed(42);
     // Representative He-style weight distribution.
     let weights = Tensor::rand_normal(&mut rng, &[2000], 0.0, 0.05);
     let tolerance = 0.5f32; // perturbation that plausibly flips a decision

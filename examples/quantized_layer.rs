@@ -13,8 +13,7 @@ use alfi::nn::{CustomLayer, Layer, LayerKind, Linear, Network, NnError};
 use alfi::tensor::bits;
 use alfi::tensor::quant::{flip_bit_i8, QuantParams};
 use alfi::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alfi_rng::Rng;
 
 /// A linear layer whose weights live as int8 codes. Registers as
 /// non-injectable for the standard f32 fault path (its bits are not
@@ -80,7 +79,7 @@ impl CustomLayer for QuantLinear {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (out_f, in_f) = (16usize, 32usize);
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Rng::from_seed(3);
     let weight = Tensor::rand_normal(&mut rng, &[out_f, in_f], 0.0, 0.1);
     let input = Tensor::rand_uniform(&mut rng, &[1, in_f], 0.0, 1.0);
 

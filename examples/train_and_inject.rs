@@ -15,12 +15,11 @@ use alfi::nn::{Conv2d, Layer, Linear, Network};
 use alfi::scenario::{FaultMode, InjectionTarget, Scenario};
 use alfi::tensor::conv::ConvConfig;
 use alfi::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alfi_rng::Rng;
 
 /// A small trainable CNN: 2 convs + 2 linears over 16x16 textures.
 fn build_cnn(classes: usize, seed: u64) -> Network {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut he = |dims: &[usize]| {
         let fan_in: usize = dims[1..].iter().product();
         Tensor::rand_normal(&mut rng, dims, 0.0, (2.0 / fan_in as f32).sqrt())

@@ -11,7 +11,7 @@ use alfi::nn::models::{alexnet, ModelConfig};
 use alfi::nn::{ForwardHook, LayerCtx};
 use alfi::scenario::{FaultMode, InjectionTarget, Scenario};
 use alfi::tensor::Tensor;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::Arc;
 
 /// Counts, per layer name, how many forward passes produced an
@@ -27,7 +27,7 @@ impl ForwardHook for MagnitudeAlarm {
     fn on_output(&self, ctx: &LayerCtx, output: &mut Tensor) {
         let peak = output.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
         if peak > self.threshold || !peak.is_finite() {
-            self.alarms.lock().push(ctx.name.clone());
+            self.alarms.lock().unwrap().push(ctx.name.clone());
         }
     }
 }
@@ -70,7 +70,7 @@ fn custom_monitor_observes_injected_corruption() {
     observed.forward(&input).unwrap();
     let _ = armed;
 
-    let alarms = alarm.alarms.lock().clone();
+    let alarms = alarm.alarms.lock().unwrap().clone();
     assert!(
         !alarms.is_empty(),
         "a 1e20 weight in the stem must trip the magnitude alarm somewhere"
@@ -86,5 +86,5 @@ fn custom_monitor_observes_injected_corruption() {
     let quiet = Arc::new(MagnitudeAlarm { threshold, alarms: Mutex::new(Vec::new()) });
     attach_monitor(&mut clean, Arc::<MagnitudeAlarm>::clone(&quiet) as _).unwrap();
     clean.forward(&input).unwrap();
-    assert!(quiet.alarms.lock().is_empty());
+    assert!(quiet.alarms.lock().unwrap().is_empty());
 }

@@ -53,7 +53,8 @@ fn fig3_three_output_sets_are_complete_and_consistent() {
 
     // Set (c): metrics parse and match an offline recomputation.
     let text = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
-    let parsed: DetectionSummary = serde_json::from_str(&text).unwrap();
+    let parsed: DetectionSummary =
+        alfi_serde::FromJson::from_json(&alfi_serde::Json::parse(&text).unwrap()).unwrap();
     assert_eq!(parsed, summary);
     let recomputed = ivmod_kpis(&result.rows, 0.5);
     assert_eq!(parsed.ivmod, recomputed);

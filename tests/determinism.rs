@@ -1,0 +1,124 @@
+//! End-to-end determinism: the hermetic stack (alfi-rng sampling,
+//! in-tree persistence, campaign drivers) must make every run a pure
+//! function of the scenario seed. Two campaigns built independently
+//! from the same scenario have to produce byte-identical fault files
+//! and byte-identical result CSVs — the property the paper's fault
+//! re-use workflow ("the identical set of faults can be utilized
+//! across various experiments", §IV-B) depends on.
+
+use alfi::core::campaign::{CsvVariant, ImgClassCampaign};
+use alfi::core::encode_fault_matrix;
+use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{FaultMode, InjectionPolicy, InjectionTarget, Scenario};
+
+fn model_cfg() -> ModelConfig {
+    ModelConfig { input_hw: 16, width_mult: 0.0625, seed: 7, ..ModelConfig::default() }
+}
+
+fn scenario(target: InjectionTarget) -> Scenario {
+    let mut s = Scenario::default();
+    s.dataset_size = 6;
+    s.injection_target = target;
+    s.injection_policy = InjectionPolicy::PerImage;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    s.seed = 0xDE7E_2019;
+    s
+}
+
+fn run_once(target: InjectionTarget) -> (Vec<u8>, String, String) {
+    let mcfg = model_cfg();
+    let ds = ClassificationDataset::new(6, mcfg.num_classes, 3, 16, 11);
+    let loader = ClassificationLoader::new(ds, 2);
+    let result =
+        ImgClassCampaign::new(alexnet(&mcfg), scenario(target), loader).run().unwrap();
+    (
+        encode_fault_matrix(&result.fault_matrix),
+        result.to_csv(CsvVariant::Original),
+        result.to_csv(CsvVariant::Corrupted),
+    )
+}
+
+/// Weight-fault campaigns are byte-reproducible from the seed alone.
+#[test]
+fn weight_campaign_is_byte_reproducible() {
+    let (bytes_a, orig_a, corr_a) = run_once(InjectionTarget::Weights);
+    let (bytes_b, orig_b, corr_b) = run_once(InjectionTarget::Weights);
+    assert_eq!(bytes_a, bytes_b, "fault-matrix bytes must be identical");
+    assert_eq!(orig_a, orig_b, "fault-free CSV must be identical");
+    assert_eq!(corr_a, corr_b, "corrupted CSV must be identical");
+}
+
+/// Neuron-fault campaigns are byte-reproducible too (separate sampling
+/// path: output coordinates instead of weight coordinates).
+#[test]
+fn neuron_campaign_is_byte_reproducible() {
+    let (bytes_a, orig_a, corr_a) = run_once(InjectionTarget::Neurons);
+    let (bytes_b, orig_b, corr_b) = run_once(InjectionTarget::Neurons);
+    assert_eq!(bytes_a, bytes_b);
+    assert_eq!(orig_a, orig_b);
+    assert_eq!(corr_a, corr_b);
+}
+
+/// The std::thread::scope parallel driver produces the same CSV bytes
+/// as the sequential driver, for any worker count.
+#[test]
+fn parallel_campaign_matches_sequential_bytes() {
+    let mcfg = model_cfg();
+    let ds = ClassificationDataset::new(6, mcfg.num_classes, 3, 16, 11);
+
+    let seq = ImgClassCampaign::new(
+        alexnet(&mcfg),
+        scenario(InjectionTarget::Weights),
+        ClassificationLoader::new(ds.clone(), 2),
+    )
+    .run()
+    .unwrap();
+    for threads in [1, 3] {
+        let par = ImgClassCampaign::new(
+            alexnet(&mcfg),
+            scenario(InjectionTarget::Weights),
+            ClassificationLoader::new(ds.clone(), 2),
+        )
+        .run_parallel(threads)
+        .unwrap();
+        assert_eq!(
+            encode_fault_matrix(&seq.fault_matrix),
+            encode_fault_matrix(&par.fault_matrix)
+        );
+        assert_eq!(
+            seq.to_csv(CsvVariant::Corrupted),
+            par.to_csv(CsvVariant::Corrupted),
+            "{threads}-thread run must match sequential"
+        );
+    }
+}
+
+/// On-disk artifacts written twice from the same seed are identical at
+/// the byte level — faults.bin, trace.bin and both CSVs.
+#[test]
+fn written_artifacts_are_byte_identical_across_runs() {
+    let run = |tag: &str| {
+        let mcfg = model_cfg();
+        let ds = ClassificationDataset::new(6, mcfg.num_classes, 3, 16, 11);
+        let loader = ClassificationLoader::new(ds, 2);
+        let result =
+            ImgClassCampaign::new(alexnet(&mcfg), scenario(InjectionTarget::Weights), loader)
+                .run()
+                .unwrap();
+        let dir = std::env::temp_dir().join(format!("alfi_it_determinism_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        result.save_outputs(&dir).unwrap();
+        dir
+    };
+    let a = run("a");
+    let b = run("b");
+    for file in ["faults.bin", "trace.bin", "results_orig.csv", "results_corr.csv", "scenario.yml"]
+    {
+        let fa = std::fs::read(a.join(file)).unwrap();
+        let fb = std::fs::read(b.join(file)).unwrap();
+        assert_eq!(fa, fb, "{file} differs between identical-seed runs");
+    }
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}

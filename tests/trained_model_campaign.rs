@@ -11,11 +11,10 @@ use alfi::nn::{Conv2d, Layer, Linear, Network};
 use alfi::scenario::{FaultCount, FaultMode, InjectionTarget, Scenario};
 use alfi::tensor::conv::ConvConfig;
 use alfi::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alfi_rng::Rng;
 
 fn build_cnn(classes: usize, seed: u64) -> Network {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut he = |dims: &[usize]| {
         let fan_in: usize = dims[1..].iter().product();
         Tensor::rand_normal(&mut rng, dims, 0.0, (2.0 / fan_in as f32).sqrt())
