@@ -10,7 +10,7 @@ use alfi_core::monitor::{attach_monitor, NanInfMonitor};
 use alfi_core::Ptfiwrap;
 use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
 use alfi_tensor::Tensor;
-use alfi_bench::timing::{Harness};
+use alfi_bench::timing::{BenchmarkId, Harness};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -59,4 +59,31 @@ fn bench_overhead(c: &mut Harness) {
     group.finish();
 }
 
-alfi_bench::bench_main!(bench_overhead);
+/// Thread-count sweep: the clean forward pass over a batched input at
+/// pool caps 1/2/4/N, driving the row-chunked matmul and per-item conv
+/// kernels end to end. The results must be bit-identical at every cap
+/// (the determinism tests pin that); this group measures what the caps
+/// cost or buy.
+fn bench_thread_sweep(c: &mut Harness) {
+    let scale = ExperimentScale::quick();
+    let (model, mcfg) = build_classifier("alexnet", scale, 3);
+    let batch = Tensor::ones(&mcfg.input_dims(8));
+
+    let n_max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, n_max];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut group = c.benchmark_group("forward_thread_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &threads in &counts {
+        group.bench_with_input(BenchmarkId::new("forward_batch8", threads), &threads, |b, &t| {
+            b.iter(|| {
+                alfi_pool::with_parallelism(t, || black_box(model.forward(&batch).expect("forward")))
+            })
+        });
+    }
+    group.finish();
+}
+
+alfi_bench::bench_main!(bench_overhead, bench_thread_sweep);

@@ -1,0 +1,121 @@
+//! Bench target: campaign-level scaling on the shared thread pool
+//! (DESIGN.md experiment E1 extension). Times a full per-image
+//! classification campaign sequentially (pool capped at one thread)
+//! and via `run_parallel` at 1/2/4/N threads, then writes a speedup
+//! report alongside the usual timing JSON. The determinism tests pin
+//! that every configuration produces bit-identical artifacts, so the
+//! only thing that may vary here is wall-clock time.
+
+use alfi_bench::timing::{BenchResult, BenchmarkId, Harness};
+use alfi_bench::{build_classifier, ExperimentScale};
+use alfi_core::campaign::ImgClassCampaign;
+use alfi_datasets::{ClassificationDataset, ClassificationLoader};
+use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi_serde::Json;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SEQUENTIAL: &str = "campaign_sequential";
+const PARALLEL: &str = "campaign_parallel";
+
+fn thread_counts() -> Vec<usize> {
+    let n_max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, n_max];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn make_campaign() -> ImgClassCampaign {
+    let scale = ExperimentScale::quick();
+    let (model, mcfg) = build_classifier("alexnet", scale, 3);
+    let ds = ClassificationDataset::new(scale.images, mcfg.num_classes, 3, scale.input_hw, 5);
+    let loader = ClassificationLoader::new(ds, 1);
+    let mut s = Scenario::default();
+    s.dataset_size = scale.images;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    ImgClassCampaign::new(model, s, loader)
+}
+
+fn bench_scaling(c: &mut Harness) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Baseline: the plain sequential driver with the pool pinned to one
+    // thread, so the tensor kernels cannot parallelize either.
+    group.bench_function(SEQUENTIAL, |b| {
+        let mut campaign = make_campaign();
+        b.iter(|| alfi_pool::with_parallelism(1, || black_box(campaign.run().expect("run"))))
+    });
+
+    for threads in thread_counts() {
+        group.bench_with_input(BenchmarkId::new(PARALLEL, threads), &threads, |b, &t| {
+            let mut campaign = make_campaign();
+            b.iter(|| black_box(campaign.run_parallel(t).expect("run_parallel")))
+        });
+    }
+    group.finish();
+}
+
+/// Derives per-thread-count speedups from the harness results and
+/// writes them to `$ALFI_BENCH_SPEEDUP_JSON` or
+/// `target/alfi-bench/parallel_scaling_speedup.json`.
+fn write_speedup_report(results: &[BenchResult]) {
+    let baseline = results.iter().find(|r| r.name == SEQUENTIAL).map(|r| r.median_ns);
+    let mut points = Vec::new();
+    for r in results {
+        let Some(threads) = r.name.strip_prefix(PARALLEL).and_then(|s| s.strip_prefix('/'))
+        else {
+            continue;
+        };
+        let threads: i128 = threads.parse().unwrap_or(0);
+        let speedup = match baseline {
+            Some(seq) if r.median_ns > 0.0 => Json::Float(seq / r.median_ns),
+            _ => Json::Null,
+        };
+        points.push(Json::Obj(vec![
+            ("threads".to_string(), Json::Int(threads)),
+            ("median_ns".to_string(), Json::Float(r.median_ns)),
+            ("speedup_vs_sequential".to_string(), speedup),
+        ]));
+    }
+    let hw_threads =
+        std::thread::available_parallelism().map(|n| n.get() as i128).unwrap_or(1);
+    let pool_env = match std::env::var(alfi_pool::POOL_THREADS_ENV) {
+        Ok(v) => Json::Str(v),
+        Err(_) => Json::Null,
+    };
+    let report = Json::Obj(vec![
+        ("bench".to_string(), Json::Str("parallel_scaling".to_string())),
+        (
+            "baseline_sequential_median_ns".to_string(),
+            baseline.map(Json::Float).unwrap_or(Json::Null),
+        ),
+        ("hardware_threads".to_string(), Json::Int(hw_threads)),
+        (alfi_pool::POOL_THREADS_ENV.to_string(), pool_env),
+        ("points".to_string(), Json::Arr(points)),
+    ]);
+
+    let path = std::env::var_os("ALFI_BENCH_SPEEDUP_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::PathBuf::from("target")
+                .join("alfi-bench")
+                .join("parallel_scaling_speedup.json")
+        });
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, report.pretty()) {
+        Ok(()) => eprintln!("[bench] speedup report written to {}", path.display()),
+        Err(e) => eprintln!("[bench] could not write speedup report to {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let mut harness = Harness::new();
+    bench_scaling(&mut harness);
+    harness.report();
+    write_speedup_report(harness.results());
+}

@@ -388,15 +388,17 @@ impl ImgClassCampaign {
     /// Parallel variant of [`ImgClassCampaign::run`] for `per_image`
     /// scenarios: images are independent under that policy, so the
     /// fault-free / faulty / hardened triple per image fans out across
-    /// `threads` workers (std scoped threads). Row order, fault
-    /// assignment and all outputs are bit-identical to the sequential
-    /// run.
+    /// the shared [`alfi_pool`] pool with parallelism `threads`
+    /// (clamped by `ALFI_POOL_THREADS`). Results are merged in work
+    /// order, so row order, fault assignment and all outputs are
+    /// bit-identical to the sequential run for any thread count.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Scenario`]-level errors as [`run`] does, and
+    /// Returns [`CoreError::Scenario`]-level errors as [`run`] does,
     /// rejects non-`per_image` policies (their fault scopes are
-    /// inherently sequential).
+    /// inherently sequential), and surfaces a panicking worker as
+    /// [`CoreError::WorkerPanic`] instead of unwinding.
     ///
     /// [`run`]: ImgClassCampaign::run
     pub fn run_parallel(&mut self, threads: usize) -> Result<ClassificationCampaignResult, CoreError> {
@@ -464,36 +466,33 @@ impl ImgClassCampaign {
         let matrix_ref = &matrix;
         let targets_ref = &targets;
         let resil_targets_ref = resil_targets.as_deref();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        type Slot = std::sync::Mutex<Option<Result<(ClassificationRow, Vec<TraceEntry>), CoreError>>>;
-        let results: Vec<Slot> = (0..work.len()).map(|_| std::sync::Mutex::new(None)).collect();
 
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(item) = work.get(idx) else { break };
-                    let outcome = process_image(
-                        model,
-                        resil,
-                        scenario,
-                        targets_ref,
-                        resil_targets_ref,
-                        matrix_ref,
-                        item.slot,
-                        &item.image,
-                        item.label,
-                        &item.record,
-                    );
-                    *results[idx].lock().unwrap() = Some(outcome);
-                });
-            }
-        });
+        // Fan the independent per-image triples out on the shared pool.
+        // `try_run_indexed` merges results in work order (deterministic
+        // for any thread count) and converts a worker panic into an
+        // error instead of a double panic through poisoned mutexes.
+        let outcomes = alfi_pool::global()
+            .try_run_indexed(threads, work.len(), |idx| {
+                let item = &work[idx];
+                process_image(
+                    model,
+                    resil,
+                    scenario,
+                    targets_ref,
+                    resil_targets_ref,
+                    matrix_ref,
+                    item.slot,
+                    &item.image,
+                    item.label,
+                    &item.record,
+                )
+            })
+            .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
 
         let mut rows = Vec::with_capacity(work.len());
         let mut trace = RunTrace::default();
-        for cell in results {
-            let (row, entries) = cell.into_inner().unwrap().expect("all work items processed")?;
+        for outcome in outcomes {
+            let (row, entries) = outcome?;
             rows.push(row);
             trace.entries.extend(entries);
         }
@@ -780,6 +779,35 @@ mod tests {
         s.dataset_size = 4;
         s.injection_policy = InjectionPolicy::PerEpoch;
         assert!(campaign(s).run_parallel(2).is_err());
+    }
+
+    #[test]
+    fn parallel_run_surfaces_worker_panic_as_error() {
+        let mut s = Scenario::default();
+        s.dataset_size = 4;
+        s.injection_target = InjectionTarget::Weights;
+        let mut c = campaign(s);
+        // A monitor that blows up mid-forward inside a pool task: the
+        // pool must contain the panic and the campaign must report it as
+        // an error instead of unwinding through (or poisoning) campaign
+        // state. The `in_parallel_task` guard keeps the caller-side
+        // shape-inference forward in `resolve_targets` alive.
+        let bomb: std::sync::Arc<dyn alfi_nn::graph::ForwardHook> =
+            std::sync::Arc::new(|_: &alfi_nn::graph::LayerCtx, _: &mut Tensor| {
+                if alfi_pool::in_parallel_task() {
+                    panic!("monitor exploded");
+                }
+            });
+        attach_monitor(&mut c.model, bomb).unwrap();
+        for threads in [1, 3] {
+            let err = c.run_parallel(threads).unwrap_err();
+            match err {
+                CoreError::WorkerPanic { message } => {
+                    assert!(message.contains("monitor exploded"), "message: {message}")
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -9,14 +9,14 @@
 use crate::error::CoreError;
 use crate::fault::AppliedFault;
 use crate::injector::arm_faults;
-use crate::matrix::{resolve_targets, FaultMatrix};
+use crate::matrix::{resolve_targets, FaultMatrix, LayerTarget};
 use crate::monitor::{attach_monitor, NanInfMonitor};
 use crate::persist::{RunTrace, TraceEntry};
 use alfi_datasets::loader::DetectionLoader;
 use alfi_datasets::GroundTruthBox;
 use alfi_nn::detection::{Detection, Detector};
 use alfi_scenario::{InjectionPolicy, Scenario};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Per-image detection campaign row.
 #[derive(Debug, Clone)]
@@ -210,6 +210,192 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
             model_name: self.detector.name().to_string(),
         })
     }
+
+    /// Parallel variant of [`ObjDetCampaign::run`] for `per_image`
+    /// scenarios. Every image gets its own private detector clone
+    /// (via [`Detector::clone_boxed`]), so workers arm faults without
+    /// sharing mutable state; results merge in slot order, making row
+    /// order, fault assignment and all outputs bit-identical to the
+    /// sequential run for any thread count (clamped by
+    /// `ALFI_POOL_THREADS`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-`per_image` policies (their fault scopes are
+    /// inherently sequential), returns [`CoreError::Unsupported`] when
+    /// the detector cannot be cloned, and surfaces a panicking worker
+    /// as [`CoreError::WorkerPanic`] instead of unwinding.
+    pub fn run_parallel(&mut self, threads: usize) -> Result<DetectionCampaignResult, CoreError> {
+        if self.scenario.injection_policy != InjectionPolicy::PerImage {
+            return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
+                field: "injection_policy",
+                reason: "run_parallel requires per_image".into(),
+            }));
+        }
+        let threads = threads.max(1);
+        let input_dims = {
+            let ds = self.loader.dataset();
+            vec![1usize, 3, ds.image_hw(), ds.image_hw()]
+        };
+        let (targets, matrix) = {
+            let nets = self.detector.networks();
+            let mut dims: Vec<Option<Vec<usize>>> = vec![None; nets.len()];
+            dims[0] = Some(input_dims.clone());
+            let targets = resolve_targets(&nets, &self.scenario, &dims)?;
+            let matrix = match &self.fault_matrix {
+                Some(m) => {
+                    if m.target != self.scenario.injection_target {
+                        return Err(CoreError::CorruptFile {
+                            kind: "fault",
+                            reason: format!(
+                                "replayed matrix target {:?} disagrees with scenario target {:?}",
+                                m.target, self.scenario.injection_target
+                            ),
+                        });
+                    }
+                    m.clone()
+                }
+                None => FaultMatrix::generate(&self.scenario, &targets)?,
+            };
+            (targets, matrix)
+        };
+
+        // Materialize the work list and a private detector clone per
+        // item. Clones are built on the caller thread (so detector
+        // types only need `Send`, not `Sync`) and each task locks only
+        // its own — the mutex is uncontended and exists purely to hand
+        // `&mut` access through the shared closure.
+        struct WorkItem {
+            slot: usize,
+            image: alfi_tensor::Tensor,
+            record: alfi_datasets::ImageRecord,
+            ground_truth: Vec<GroundTruthBox>,
+        }
+        let mut work = Vec::new();
+        let mut slot = 0usize;
+        for epoch in 0..self.scenario.num_runs as u64 {
+            let batches: Vec<_> = self.loader.iter_epoch(epoch).collect();
+            for batch in batches {
+                for i in 0..batch.records.len() {
+                    if slot >= matrix.num_slots() {
+                        break;
+                    }
+                    let image = batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
+                    let image =
+                        alfi_tensor::Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
+                    work.push(WorkItem {
+                        slot,
+                        image,
+                        record: batch.records[i].clone(),
+                        ground_truth: batch.objects[i].clone(),
+                    });
+                    slot += 1;
+                }
+            }
+        }
+        let mut clones: Vec<Mutex<Box<dyn Detector>>> = Vec::with_capacity(work.len());
+        for _ in 0..work.len() {
+            let clone = self.detector.clone_boxed().ok_or_else(|| CoreError::Unsupported {
+                reason: format!(
+                    "detector `{}` does not implement clone_boxed, required by run_parallel",
+                    self.detector.name()
+                ),
+            })?;
+            clones.push(Mutex::new(clone));
+        }
+
+        let scenario_ref = &self.scenario;
+        let targets_ref = &targets;
+        let matrix_ref = &matrix;
+        let clones_ref = &clones;
+        let work_ref = &work;
+        let outcomes = alfi_pool::global()
+            .try_run_indexed(threads, work.len(), |idx| {
+                let item = &work_ref[idx];
+                let mut det = clones_ref[idx].lock().expect("detector clone lock");
+                process_detection_image(
+                    det.as_mut(),
+                    scenario_ref,
+                    targets_ref,
+                    matrix_ref,
+                    item.slot,
+                    &item.image,
+                    &item.record,
+                    &item.ground_truth,
+                )
+            })
+            .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
+
+        let mut rows = Vec::with_capacity(work.len());
+        let mut trace = RunTrace::default();
+        for outcome in outcomes {
+            let (row, entries) = outcome?;
+            rows.push(row);
+            trace.entries.extend(entries);
+        }
+        Ok(DetectionCampaignResult {
+            rows,
+            scenario: self.scenario.clone(),
+            fault_matrix: matrix,
+            trace,
+            model_name: self.detector.name().to_string(),
+        })
+    }
+}
+
+/// Runs the fault-free / faulty detection pair for one image on a
+/// throwaway detector clone — shared logic of the parallel campaign
+/// path. The clone is discarded afterwards, so faults are not disarmed.
+#[allow(clippy::too_many_arguments)]
+fn process_detection_image(
+    det: &mut dyn Detector,
+    scenario: &Scenario,
+    targets: &[LayerTarget],
+    matrix: &FaultMatrix,
+    slot: usize,
+    image: &alfi_tensor::Tensor,
+    record: &alfi_datasets::ImageRecord,
+    ground_truth: &[GroundTruthBox],
+) -> Result<(DetectionRow, Vec<TraceEntry>), CoreError> {
+    let faults = matrix.faults_for_slot(slot).to_vec();
+
+    // Fault-free pass on the still-pristine clone.
+    let orig = det.detect(image)?.remove(0);
+
+    // Arm faults + monitors, corrupted pass.
+    let monitor = Arc::new(NanInfMonitor::new());
+    let armed = {
+        let mut nets = det.networks_mut();
+        for net in nets.iter_mut() {
+            attach_monitor(net, Arc::<NanInfMonitor>::clone(&monitor) as _)?;
+        }
+        arm_faults(&mut nets, targets, &faults, scenario.injection_target)?
+    };
+    let corr = det.detect(image)?.remove(0);
+    let applied = armed.collect_applied();
+    let totals = monitor.totals();
+
+    let entries: Vec<TraceEntry> = applied
+        .iter()
+        .map(|a| TraceEntry {
+            image_id: record.image_id,
+            applied: *a,
+            output_nan_count: totals.nan as u32,
+            output_inf_count: totals.inf as u32,
+        })
+        .collect();
+    Ok((
+        DetectionRow {
+            image_id: record.image_id,
+            ground_truth: ground_truth.to_vec(),
+            orig,
+            corr,
+            faults: applied,
+            corr_nan: totals.nan,
+            corr_inf: totals.inf,
+        },
+        entries,
+    ))
 }
 
 #[cfg(test)]
@@ -286,5 +472,95 @@ mod tests {
             assert_eq!(ra.orig, rb.orig);
             assert_eq!(ra.corr, rb.corr);
         }
+    }
+
+    fn run_parallel_with(scenario: Scenario, threads: usize) -> DetectionCampaignResult {
+        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+        let mut det = YoloGrid::new(&dcfg);
+        let ds = DetectionDataset::new(scenario.dataset_size, dcfg.num_classes, 3, 32, 3);
+        let loader = DetectionLoader::new(ds, scenario.batch_size);
+        ObjDetCampaign::new(&mut det, scenario, loader).run_parallel(threads).unwrap()
+    }
+
+    #[test]
+    fn parallel_detection_matches_sequential_bit_exactly() {
+        let mut s = Scenario::default();
+        s.dataset_size = 5;
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let seq = run_with(s.clone());
+        for threads in [1, 2, 4] {
+            let par = run_parallel_with(s.clone(), threads);
+            assert_eq!(par.rows.len(), seq.rows.len());
+            for (rs, rp) in seq.rows.iter().zip(par.rows.iter()) {
+                assert_eq!(rs.image_id, rp.image_id);
+                assert_eq!(rs.orig, rp.orig, "orig differs at {threads} threads");
+                assert_eq!(rs.corr, rp.corr, "corr differs at {threads} threads");
+                assert_eq!(rs.faults, rp.faults);
+                assert_eq!((rs.corr_nan, rs.corr_inf), (rp.corr_nan, rp.corr_inf));
+            }
+            assert_eq!(seq.trace.entries, par.trace.entries);
+        }
+    }
+
+    #[test]
+    fn parallel_detection_neuron_faults_match_sequential() {
+        let mut s = Scenario::default();
+        s.dataset_size = 4;
+        s.injection_target = InjectionTarget::Neurons;
+        s.fault_mode = FaultMode::RandomValue { min: 100.0, max: 100.1 };
+        let seq = run_with(s.clone());
+        let par = run_parallel_with(s, 3);
+        for (rs, rp) in seq.rows.iter().zip(par.rows.iter()) {
+            assert_eq!(rs.corr, rp.corr);
+            assert_eq!(rs.faults, rp.faults);
+        }
+    }
+
+    #[test]
+    fn parallel_detection_rejects_non_per_image_policy() {
+        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+        let mut det = YoloGrid::new(&dcfg);
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_policy = InjectionPolicy::PerEpoch;
+        s.injection_target = InjectionTarget::Weights;
+        let ds = DetectionDataset::new(3, dcfg.num_classes, 3, 32, 3);
+        let loader = DetectionLoader::new(ds, 1);
+        assert!(ObjDetCampaign::new(&mut det, s, loader).run_parallel(2).is_err());
+    }
+
+    #[test]
+    fn parallel_detection_requires_cloneable_detector() {
+        struct NoClone(YoloGrid);
+        impl Detector for NoClone {
+            fn name(&self) -> &str {
+                "no_clone"
+            }
+            fn num_classes(&self) -> usize {
+                self.0.num_classes()
+            }
+            fn networks(&self) -> Vec<&alfi_nn::graph::Network> {
+                self.0.networks()
+            }
+            fn networks_mut(&mut self) -> Vec<&mut alfi_nn::graph::Network> {
+                self.0.networks_mut()
+            }
+            fn detect(
+                &self,
+                images: &Tensor,
+            ) -> Result<Vec<Vec<Detection>>, alfi_nn::NnError> {
+                self.0.detect(images)
+            }
+        }
+        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+        let mut det = NoClone(YoloGrid::new(&dcfg));
+        let mut s = Scenario::default();
+        s.dataset_size = 2;
+        s.injection_target = InjectionTarget::Weights;
+        let ds = DetectionDataset::new(2, dcfg.num_classes, 3, 32, 3);
+        let loader = DetectionLoader::new(ds, 1);
+        let err = ObjDetCampaign::new(&mut det, s, loader).run_parallel(2).unwrap_err();
+        assert!(matches!(err, CoreError::Unsupported { .. }), "got {err:?}");
     }
 }

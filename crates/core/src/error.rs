@@ -31,6 +31,20 @@ pub enum CoreError {
     /// The fault matrix is exhausted (more models requested than faults
     /// pre-generated).
     MatrixExhausted,
+    /// A parallel campaign worker panicked; the panic was contained by
+    /// the thread pool and surfaced as an error instead of unwinding
+    /// through (or double-panicking in) the campaign driver.
+    WorkerPanic {
+        /// The captured panic message.
+        message: String,
+    },
+    /// The requested operation is not supported by this configuration
+    /// (e.g. a parallel campaign over a detector that cannot be
+    /// cloned).
+    Unsupported {
+        /// Why the operation is unavailable.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -51,6 +65,10 @@ impl fmt::Display for CoreError {
             CoreError::MatrixExhausted => {
                 f.write_str("fault matrix exhausted: no pre-generated faults remain")
             }
+            CoreError::WorkerPanic { message } => {
+                write!(f, "campaign worker panicked: {message}")
+            }
+            CoreError::Unsupported { reason } => write!(f, "unsupported operation: {reason}"),
         }
     }
 }

@@ -26,7 +26,7 @@ const ROI_POOL: usize = 4;
 /// box. Both stages are ordinary [`Network`]s, so ALFI can inject faults
 /// into either — the paper's fault-location "layer index" space simply
 /// spans both networks in order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FrcnnTwoStage {
     backbone: Network,
     head: Network,
@@ -165,6 +165,10 @@ impl FrcnnTwoStage {
 }
 
 impl Detector for FrcnnTwoStage {
+    fn clone_boxed(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &str {
         "frcnn_two_stage"
     }

@@ -95,6 +95,14 @@ pub trait Detector: Send {
     ///
     /// Returns [`NnError`] if the input shape is incompatible.
     fn detect(&self, images: &Tensor) -> Result<Vec<Vec<Detection>>, NnError>;
+
+    /// Deep-copies the detector (weights and all) for parallel
+    /// campaigns, where every worker arms faults on its own private
+    /// clone. Returns `None` when the detector cannot be cloned; the
+    /// in-tree detectors all support it.
+    fn clone_boxed(&self) -> Option<Box<dyn Detector>> {
+        None
+    }
 }
 
 /// Numerically-stable logistic sigmoid used by all decoders.

@@ -23,7 +23,7 @@ const SCALES: [f32; 1] = [1.0];
 /// this preserves the architecture's fault surface — dense sigmoid
 /// classification over anchors at multiple scales — which is what drives
 /// its IVMOD behaviour in Fig. 2b.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RetinaAnchor {
     net: Network,
     cfg: DetectorConfig,
@@ -96,6 +96,10 @@ impl RetinaAnchor {
 }
 
 impl Detector for RetinaAnchor {
+    fn clone_boxed(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &str {
         "retina_anchor"
     }

@@ -28,7 +28,7 @@ const YOLO_ANCHORS: [(f32, f32); 3] = [(10.0, 13.0), (24.0, 17.0), (40.0, 40.0)]
 /// assert_eq!(dets.len(), 1);
 /// # Ok::<(), alfi_nn::NnError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct YoloGrid {
     net: Network,
     cfg: DetectorConfig,
@@ -131,6 +131,10 @@ impl YoloGrid {
 }
 
 impl Detector for YoloGrid {
+    fn clone_boxed(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &str {
         "yolo_grid"
     }

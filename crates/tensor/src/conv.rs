@@ -219,18 +219,46 @@ pub fn conv2d_im2col(
     let h_out = cfg.out_size(h, kh)?;
     let w_out = cfg.out_size(w, kw)?;
     let w_mat = weight.reshape(&[c_out, c_in * kh * kw])?;
-    let mut out = vec![0.0f32; n * c_out * h_out * w_out];
-    for b in 0..n {
+    let spatial = h_out * w_out;
+    let per_item = c_out * spatial;
+    let mut out = vec![0.0f32; n * per_item];
+
+    // One batch item = one fully independent im2col + GEMM + bias add,
+    // writing only its own slice of `out`. The per-item computation is
+    // identical on both paths, so parallel output is bit-identical to
+    // sequential for any thread count.
+    let conv_item = |b: usize, dst_item: &mut [f32]| -> Result<(), TensorError> {
         let cols = im2col(input, b, kh, kw, h_out, w_out, cfg);
         let prod = w_mat.matmul(&cols)?; // [c_out, h_out*w_out]
-        let spatial = h_out * w_out;
         for oc in 0..c_out {
             let bias_v = bias.map_or(0.0, |t| t.data()[oc]);
-            let dst = &mut out[(b * c_out + oc) * spatial..(b * c_out + oc + 1) * spatial];
+            let dst = &mut dst_item[oc * spatial..(oc + 1) * spatial];
             let src = &prod.data()[oc * spatial..(oc + 1) * spatial];
             for (d, &s) in dst.iter_mut().zip(src) {
                 *d = s + bias_v;
             }
+        }
+        Ok(())
+    };
+
+    let threads = alfi_pool::current_parallelism();
+    if threads > 1 && n > 1 {
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        alfi_pool::global().parallel_chunks_mut(threads, &mut out, per_item, |b, chunk| {
+            if conv_item(b, chunk).is_err() {
+                failed.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        // `matmul` can only fail on shape mismatches, which the checks
+        // above already rule out; keep the guard for defence in depth.
+        if failed.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(TensorError::InvalidKernelConfig(
+                "conv2d_im2col worker failed".into(),
+            ));
+        }
+    } else {
+        for b in 0..n {
+            conv_item(b, &mut out[b * per_item..(b + 1) * per_item])?;
         }
     }
     Tensor::from_vec(out, &[n, c_out, h_out, w_out])

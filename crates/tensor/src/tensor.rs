@@ -272,20 +272,24 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order keeps the inner loop sequential over `other`'s
-        // rows for cache friendliness.
-        for i in 0..m {
-            for kk in 0..k {
-                let a = self.data[i * k + kk];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[kk * n..(kk + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row.iter()) {
-                    *d += a * b;
-                }
-            }
+        let threads = alfi_pool::current_parallelism();
+        if threads > 1 && m > 1 && m * k * n >= PAR_MIN_FLOPS {
+            // Row-chunked parallel path. Each output row is produced by
+            // exactly one task running `matmul_rows` — the identical
+            // per-element operation order as the sequential path — and
+            // chunk boundaries depend only on the problem size, so the
+            // result is bit-identical for every thread count.
+            let rows_per_chunk = rows_per_chunk(k, n);
+            alfi_pool::global().parallel_chunks_mut(
+                threads,
+                &mut out,
+                rows_per_chunk * n,
+                |ci, chunk| {
+                    matmul_rows(&self.data, &other.data, chunk, ci * rows_per_chunk, k, n);
+                },
+            );
+        } else {
+            matmul_rows(&self.data, &other.data, &mut out, 0, k, n);
         }
         Tensor::from_vec(out, &[m, n])
     }
@@ -460,6 +464,42 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max))
+    }
+}
+
+/// Minimum multiply-accumulate count (`m * k * n`) before `matmul`
+/// fans out to the pool; below this the fixed task overhead dominates.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+/// Rows per parallel chunk — a pure function of the inner dimensions,
+/// so chunk boundaries never depend on the thread count (part of the
+/// pool's determinism contract).
+fn rows_per_chunk(k: usize, n: usize) -> usize {
+    (PAR_MIN_FLOPS / (k * n).max(1)).max(1)
+}
+
+/// Computes output rows `row0..row0 + out_rows.len() / n` of `a × b`
+/// into `out_rows`. This is the single GEMM inner kernel: the
+/// sequential path calls it once over all rows and the parallel path
+/// once per row chunk, so both perform the identical floating-point
+/// operation sequence per output element.
+fn matmul_rows(a: &[f32], b: &[f32], out_rows: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out_rows.len() / n;
+    // i-k-j loop order keeps the inner loop sequential over `b`'s rows
+    // for cache friendliness.
+    for r in 0..rows {
+        let i = row0 + r;
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let row = &b[kk * n..(kk + 1) * n];
+            let dst = &mut out_rows[r * n..(r + 1) * n];
+            for (d, &bv) in dst.iter_mut().zip(row.iter()) {
+                *d += av * bv;
+            }
+        }
     }
 }
 

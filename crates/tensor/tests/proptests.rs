@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor substrate's core invariants,
 //! running on the in-tree `alfi-check` harness.
 
-use alfi_check::{assume, check, gen};
+use alfi_check::{assume, check, check_with, gen};
 use alfi_rng::Rng;
 use alfi_tensor::conv::{avg_pool2d, conv2d_direct, conv2d_im2col, max_pool2d, ConvConfig};
 use alfi_tensor::f16::{Bf16, F16};
@@ -192,6 +192,71 @@ fn softmax_is_probability() {
         let sum: f32 = s.data().iter().sum();
         assert!((sum - 1.0).abs() < 1e-4);
         assert!(s.data().iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    });
+}
+
+/// The row-chunked parallel matmul is bit-identical to the sequential
+/// kernel at every thread cap 1–8. Shapes straddle the
+/// parallelization threshold (`m·k·n` from ~2k to ~180k), so both the
+/// sequential fast path and the chunked pool path are exercised.
+#[test]
+fn parallel_matmul_is_bit_identical() {
+    check_with(32, "parallel_matmul_is_bit_identical", |rng| {
+        let seed = gen::any_u64(rng);
+        let m: usize = rng.gen_range(2usize..6);
+        let k: usize = rng.gen_range(16usize..96);
+        let n: usize = rng.gen_range(64usize..320);
+        let mut data_rng = Rng::from_seed(seed);
+        let a = Tensor::rand_normal(&mut data_rng, &[m, k], 0.0, 1.0);
+        let b = Tensor::rand_normal(&mut data_rng, &[k, n], 0.0, 1.0);
+        let reference = alfi_pool::with_parallelism(1, || a.matmul(&b).unwrap());
+        for threads in 2..=8 {
+            let par = alfi_pool::with_parallelism(threads, || a.matmul(&b).unwrap());
+            assert_eq!(
+                reference.data(),
+                par.data(),
+                "parallel matmul diverged at {threads} threads (m={m} k={k} n={n})"
+            );
+        }
+    });
+}
+
+/// The batch-parallel im2col convolution is bit-identical to its
+/// sequential path at every thread cap 1–8, and tracks the direct
+/// kernel within FP tolerance (the two differ in summation order, so
+/// bit-equality across *implementations* is not expected).
+#[test]
+fn parallel_conv_is_bit_identical_and_matches_direct() {
+    check_with(32, "parallel_conv_is_bit_identical_and_matches_direct", |rng| {
+        let seed = gen::any_u64(rng);
+        let nb: usize = rng.gen_range(1usize..5);
+        let c_in: usize = rng.gen_range(1usize..4);
+        let c_out: usize = rng.gen_range(1usize..4);
+        let hw: usize = rng.gen_range(4usize..10);
+        let k: usize = rng.gen_range(1usize..4);
+        let pad: usize = rng.gen_range(0usize..2);
+        let stride: usize = rng.gen_range(1usize..3);
+        assume!(k <= hw + 2 * pad);
+        let mut data_rng = Rng::from_seed(seed);
+        let input = Tensor::rand_normal(&mut data_rng, &[nb, c_in, hw, hw], 0.0, 1.0);
+        let weight = Tensor::rand_normal(&mut data_rng, &[c_out, c_in, k, k], 0.0, 1.0);
+        let bias = Tensor::rand_normal(&mut data_rng, &[c_out], 0.0, 1.0);
+        let cfg = ConvConfig { stride, padding: pad };
+        let reference = alfi_pool::with_parallelism(1, || {
+            conv2d_im2col(&input, &weight, Some(&bias), cfg).unwrap()
+        });
+        for threads in 2..=8 {
+            let par = alfi_pool::with_parallelism(threads, || {
+                conv2d_im2col(&input, &weight, Some(&bias), cfg).unwrap()
+            });
+            assert_eq!(
+                reference.data(),
+                par.data(),
+                "parallel conv diverged at {threads} threads (nb={nb} hw={hw} k={k} s={stride} p={pad})"
+            );
+        }
+        let direct = conv2d_direct(&input, &weight, Some(&bias), cfg).unwrap();
+        assert!(direct.max_abs_diff(&reference).unwrap() < 1e-3);
     });
 }
 

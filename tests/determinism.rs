@@ -6,9 +6,11 @@
 //! re-use workflow ("the identical set of faults can be utilized
 //! across various experiments", §IV-B) depends on.
 
-use alfi::core::campaign::{CsvVariant, ImgClassCampaign};
+use alfi::core::campaign::{CsvVariant, ImgClassCampaign, ObjDetCampaign};
 use alfi::core::encode_fault_matrix;
-use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+use alfi::datasets::{ClassificationDataset, ClassificationLoader, DetectionDataset, DetectionLoader};
+use alfi::eval::write_detection_outputs;
+use alfi::nn::detection::{DetectorConfig, YoloGrid};
 use alfi::nn::models::{alexnet, ModelConfig};
 use alfi::scenario::{FaultMode, InjectionPolicy, InjectionTarget, Scenario};
 
@@ -92,6 +94,53 @@ fn parallel_campaign_matches_sequential_bytes() {
             "{threads}-thread run must match sequential"
         );
     }
+}
+
+/// The pool-backed parallel detection campaign writes artifacts that
+/// are byte-identical to the sequential driver's at 1, 2 and 7
+/// threads — fault file, trace, detection JSONs and IVMOD metrics.
+#[test]
+fn parallel_detection_artifacts_match_sequential_bytes() {
+    const FILES: [&str; 7] = [
+        "faults.bin",
+        "trace.bin",
+        "ground_truth.json",
+        "detections_orig.json",
+        "detections_corr.json",
+        "metrics.json",
+        "scenario.yml",
+    ];
+    let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+    let mut s = scenario(InjectionTarget::Weights);
+    s.dataset_size = 5;
+
+    let write = |threads: Option<usize>, tag: &str| {
+        let mut det = YoloGrid::new(&dcfg);
+        let ds = DetectionDataset::new(5, dcfg.num_classes, 3, 32, 9);
+        let gt = ds.coco_ground_truth();
+        let loader = DetectionLoader::new(ds, 1);
+        let mut campaign = ObjDetCampaign::new(&mut det, s.clone(), loader);
+        let result = match threads {
+            None => campaign.run().unwrap(),
+            Some(t) => campaign.run_parallel(t).unwrap(),
+        };
+        let dir = std::env::temp_dir().join(format!("alfi_it_det_parallel_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_detection_outputs(&result, &gt, dcfg.num_classes, 0.5, &dir).unwrap();
+        dir
+    };
+
+    let seq_dir = write(None, "seq");
+    for threads in [1usize, 2, 7] {
+        let par_dir = write(Some(threads), &threads.to_string());
+        for file in FILES {
+            let a = std::fs::read(seq_dir.join(file)).unwrap();
+            let b = std::fs::read(par_dir.join(file)).unwrap();
+            assert_eq!(a, b, "{file} differs between sequential and {threads}-thread runs");
+        }
+        let _ = std::fs::remove_dir_all(&par_dir);
+    }
+    let _ = std::fs::remove_dir_all(&seq_dir);
 }
 
 /// On-disk artifacts written twice from the same seed are identical at
