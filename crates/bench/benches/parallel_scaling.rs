@@ -1,14 +1,14 @@
 //! Bench target: campaign-level scaling on the shared thread pool
 //! (DESIGN.md experiment E1 extension). Times a full per-image
 //! classification campaign sequentially (pool capped at one thread)
-//! and via `run_parallel` at 1/2/4/N threads, then writes a speedup
+//! and via `run_with` at 1/2/4/N threads, then writes a speedup
 //! report alongside the usual timing JSON. The determinism tests pin
 //! that every configuration produces bit-identical artifacts, so the
 //! only thing that may vary here is wall-clock time.
 
 use alfi_bench::timing::{BenchResult, BenchmarkId, Harness};
 use alfi_bench::{build_classifier, ExperimentScale};
-use alfi_core::campaign::ImgClassCampaign;
+use alfi_core::campaign::{ImgClassCampaign, RunConfig};
 use alfi_datasets::{ClassificationDataset, ClassificationLoader};
 use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
 use alfi_serde::Json;
@@ -46,16 +46,54 @@ fn bench_scaling(c: &mut Harness) {
     // thread, so the tensor kernels cannot parallelize either.
     group.bench_function(SEQUENTIAL, |b| {
         let mut campaign = make_campaign();
-        b.iter(|| alfi_pool::with_parallelism(1, || black_box(campaign.run().expect("run"))))
+        b.iter(|| {
+            alfi_pool::with_parallelism(1, || {
+                black_box(campaign.run_with(&RunConfig::default()).expect("run"))
+            })
+        })
     });
 
     for threads in thread_counts() {
         group.bench_with_input(BenchmarkId::new(PARALLEL, threads), &threads, |b, &t| {
             let mut campaign = make_campaign();
-            b.iter(|| black_box(campaign.run_parallel(t).expect("run_parallel")))
+            let cfg = RunConfig::new().threads(t);
+            b.iter(|| black_box(campaign.run_with(&cfg).expect("run_with")))
         });
     }
     group.finish();
+}
+
+/// Runs one traced campaign at the highest benchmarked thread count
+/// and folds the recorder's [`alfi_trace::TraceSummary`] into a JSON
+/// per-phase breakdown (where the campaign wall-clock actually goes:
+/// forward vs inject vs eval).
+fn phase_breakdown() -> Json {
+    let threads = thread_counts().pop().unwrap_or(1);
+    let rec = alfi_trace::Recorder::new();
+    let mut campaign = make_campaign();
+    campaign
+        .run_with(&RunConfig::new().threads(threads).recorder(rec.clone()))
+        .expect("traced run");
+    let summary = rec.summary();
+    let phases = summary
+        .phases
+        .iter()
+        .map(|(name, st)| {
+            Json::Obj(vec![
+                ("phase".to_string(), Json::Str((*name).to_string())),
+                ("count".to_string(), Json::Int(st.count as i128)),
+                ("total_ns".to_string(), Json::Int(st.total_ns as i128)),
+                ("p50_ns".to_string(), Json::Int(st.p50_ns as i128)),
+                ("p95_ns".to_string(), Json::Int(st.p95_ns as i128)),
+                ("max_ns".to_string(), Json::Int(st.max_ns as i128)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("threads".to_string(), Json::Int(threads as i128)),
+        ("items".to_string(), Json::Int(summary.items as i128)),
+        ("phases".to_string(), Json::Arr(phases)),
+    ])
 }
 
 /// Derives per-thread-count speedups from the harness results and
@@ -95,6 +133,7 @@ fn write_speedup_report(results: &[BenchResult]) {
         ("hardware_threads".to_string(), Json::Int(hw_threads)),
         (alfi_pool::POOL_THREADS_ENV.to_string(), pool_env),
         ("points".to_string(), Json::Arr(points)),
+        ("traced_phase_breakdown".to_string(), phase_breakdown()),
     ]);
 
     let path = std::env::var_os("ALFI_BENCH_SPEEDUP_JSON")

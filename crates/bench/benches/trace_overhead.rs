@@ -1,0 +1,146 @@
+//! Bench target: the `alfi-trace` overhead contract. Times the same
+//! per-image classification campaign with a disabled recorder (the
+//! `RunConfig::default()` path — must cost nothing) and with a fully
+//! enabled one (span timings, counters, event assembly), then checks
+//! the enabled cost against the documented ceiling of
+//! [`OVERHEAD_CEILING_PCT`] percent and prints a PASS/FAIL verdict.
+//!
+//! The verdict comes from an *interleaved paired* measurement: each
+//! round times a batch of disabled iterations and a batch of enabled
+//! iterations back-to-back and contributes one enabled/disabled ratio.
+//! Sequential whole-group timing (one mode after the other) is useless
+//! for a 5 % contract here — container CPU-frequency drift between the
+//! two groups routinely exceeds 20 %. The per-round ratio cancels any
+//! drift slower than a round; the median over rounds drops outliers.
+
+use alfi_bench::timing::Harness;
+use alfi_bench::{build_classifier, ExperimentScale};
+use alfi_core::campaign::{ImgClassCampaign, RunConfig};
+use alfi_datasets::{ClassificationDataset, ClassificationLoader};
+use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi_trace::Recorder;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const DISABLED: &str = "campaign_recorder_disabled";
+const ENABLED: &str = "campaign_recorder_enabled";
+
+/// The documented overhead contract: an enabled recorder may slow a
+/// campaign down by at most this much (DESIGN.md, tracing section).
+const OVERHEAD_CEILING_PCT: f64 = 5.0;
+
+/// Paired rounds contributing one enabled/disabled ratio each.
+const ROUNDS: usize = 9;
+
+/// Campaign runs per mode per round.
+const ITERS_PER_ROUND: usize = 3;
+
+fn make_campaign() -> ImgClassCampaign {
+    let scale = ExperimentScale::quick();
+    let (model, mcfg) = build_classifier("alexnet", scale, 3);
+    let ds = ClassificationDataset::new(scale.images, mcfg.num_classes, 3, scale.input_hw, 5);
+    let loader = ClassificationLoader::new(ds, 1);
+    let mut s = Scenario::default();
+    s.dataset_size = scale.images;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    ImgClassCampaign::new(model, s, loader)
+}
+
+fn run_disabled(campaign: &mut ImgClassCampaign, cfg: &RunConfig) -> Duration {
+    let t = Instant::now();
+    for _ in 0..ITERS_PER_ROUND {
+        black_box(campaign.run_with(cfg).expect("run"));
+    }
+    t.elapsed()
+}
+
+fn run_enabled(campaign: &mut ImgClassCampaign) -> Duration {
+    let t = Instant::now();
+    for _ in 0..ITERS_PER_ROUND {
+        // Fresh recorder per iteration: steady-state re-use would
+        // amortize allocation and understate first-run cost.
+        let cfg = RunConfig::new().recorder(Recorder::new());
+        black_box(campaign.run_with(&cfg).expect("run"));
+        black_box(cfg.recorder.summary());
+    }
+    t.elapsed()
+}
+
+/// Runs the interleaved paired measurement and returns
+/// `(median disabled ns/iter, median enabled ns/iter, median per-round
+/// overhead in percent)`.
+fn paired_overhead() -> (f64, f64, f64) {
+    let mut campaign = make_campaign();
+    let disabled_cfg = RunConfig::default();
+
+    // Warmup: one round of each mode, untimed (cold caches, lazy init).
+    black_box(run_disabled(&mut campaign, &disabled_cfg));
+    black_box(run_enabled(&mut campaign));
+
+    let mut disabled_ns = Vec::with_capacity(ROUNDS);
+    let mut enabled_ns = Vec::with_capacity(ROUNDS);
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Alternate which mode goes first so within-round drift does
+        // not systematically favour one side.
+        let (d, e) = if round % 2 == 0 {
+            let d = run_disabled(&mut campaign, &disabled_cfg);
+            let e = run_enabled(&mut campaign);
+            (d, e)
+        } else {
+            let e = run_enabled(&mut campaign);
+            let d = run_disabled(&mut campaign, &disabled_cfg);
+            (d, e)
+        };
+        let d_ns = d.as_nanos() as f64 / ITERS_PER_ROUND as f64;
+        let e_ns = e.as_nanos() as f64 / ITERS_PER_ROUND as f64;
+        disabled_ns.push(d_ns);
+        enabled_ns.push(e_ns);
+        ratios.push(e_ns / d_ns);
+    }
+    (median(&mut disabled_ns), median(&mut enabled_ns), (median(&mut ratios) - 1.0) * 100.0)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench_absolute(c: &mut Harness) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(12).measurement_time(Duration::from_secs(3));
+
+    group.bench_function(DISABLED, |b| {
+        let mut campaign = make_campaign();
+        let cfg = RunConfig::default();
+        b.iter(|| black_box(campaign.run_with(&cfg).expect("run")))
+    });
+
+    group.bench_function(ENABLED, |b| {
+        let mut campaign = make_campaign();
+        b.iter(|| {
+            let cfg = RunConfig::new().recorder(Recorder::new());
+            let result = campaign.run_with(&cfg).expect("run");
+            black_box(cfg.recorder.summary());
+            black_box(result)
+        })
+    });
+
+    group.finish();
+}
+
+fn main() {
+    // Absolute per-mode timings for the JSON report / trend tracking.
+    // Not used for the verdict (see the module docs on drift).
+    let mut harness = Harness::new();
+    bench_absolute(&mut harness);
+    harness.report();
+
+    let (disabled, enabled, overhead_pct) = paired_overhead();
+    let verdict = if overhead_pct <= OVERHEAD_CEILING_PCT { "PASS" } else { "FAIL" };
+    println!(
+        "trace overhead (paired): disabled {disabled:.0} ns, enabled {enabled:.0} ns \
+         => {overhead_pct:+.2}% (ceiling {OVERHEAD_CEILING_PCT}%) [{verdict}]"
+    );
+}

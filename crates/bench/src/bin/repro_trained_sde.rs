@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p alfi-bench --bin repro_trained_sde`
 
-use alfi_core::campaign::ImgClassCampaign;
+use alfi_core::campaign::{ImgClassCampaign, RunConfig};
 use alfi_datasets::{ClassificationDataset, ClassificationLoader};
 use alfi_eval::{classification_kpis, resil_sde_rate, SdeCriterion};
 use alfi_mitigation::{harden, profile_bounds, Protection};
@@ -115,7 +115,7 @@ fn main() {
         let loader = ClassificationLoader::new(test_ds.clone(), 1);
         let result = ImgClassCampaign::new(net.clone(), s, loader)
             .with_resil_model(hardened.clone())
-            .run()
+            .run_with(&RunConfig::default())
             .expect("campaign");
         let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
         let ranger = resil_sde_rate(&result.rows, SdeCriterion::Top1Mismatch);

@@ -14,7 +14,7 @@
 
 pub mod timing;
 
-use alfi_core::campaign::{ImgClassCampaign, ObjDetCampaign};
+use alfi_core::campaign::{ImgClassCampaign, ObjDetCampaign, RunConfig};
 use alfi_datasets::{ClassificationDataset, ClassificationLoader, DetectionDataset, DetectionLoader};
 use alfi_eval::{classification_kpis, ivmod_kpis, resil_sde_rate, IvmodKpis, Rate, SdeCriterion};
 use alfi_mitigation::{harden, profile_bounds, Protection};
@@ -153,7 +153,7 @@ pub fn run_fig2a_point(
         let hardened = harden(&model, &bounds, p, 0.1).expect("hardening succeeds");
         campaign = campaign.with_resil_model(hardened);
     }
-    let result = campaign.run().expect("campaign succeeds");
+    let result = campaign.run_with(&RunConfig::default()).expect("campaign succeeds");
     let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
     let (sde, corrupted) = match protection {
         None => (
@@ -222,7 +222,7 @@ pub fn run_fig2b_point(
 
     let loader = DetectionLoader::new(ds, 1);
     let result = ObjDetCampaign::new(detector.as_mut(), scenario, loader)
-        .run()
+        .run_with(&RunConfig::default())
         .expect("campaign succeeds");
     Fig2bPoint {
         model: detector_name.to_string(),

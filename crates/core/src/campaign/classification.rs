@@ -5,16 +5,18 @@
 //! lock-step over a dataset, producing per-image top-5 rows, the applied
 //! fault trace and CSV/YAML/binary output files (§V-B, §V-F-1).
 
+use crate::campaign::config::RunConfig;
 use crate::error::CoreError;
 use crate::fault::AppliedFault;
-use crate::injector::arm_faults;
+use crate::injector::{arm_faults, injection_event};
 use crate::matrix::{resolve_targets, FaultMatrix, LayerTarget};
 use crate::monitor::{attach_monitor, NanInfMonitor};
-use crate::persist::{save_fault_matrix, RunTrace, TraceEntry};
+use crate::persist::{save_events, save_fault_matrix, RunTrace, TraceEntry};
 use alfi_datasets::loader::ClassificationLoader;
 use alfi_nn::Network;
 use alfi_scenario::{InjectionPolicy, Scenario};
 use alfi_tensor::Tensor;
+use alfi_trace::{EffectClass, Phase, Recorder, RunMeta};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -189,35 +191,48 @@ impl ImgClassCampaign {
         resil_targets: Option<&[LayerTarget]>,
         records: &[alfi_datasets::ImageRecord],
         labels: &[usize],
+        rec: &Recorder,
         rows: &mut Vec<ClassificationRow>,
         trace: &mut RunTrace,
     ) -> Result<(), CoreError> {
         let n = records.len();
-        let orig_logits = self.model.forward(images)?;
+        let orig_logits = {
+            let _span = rec.span(Phase::Forward);
+            self.model.forward_traced(images, rec)?
+        };
 
         let mut corrupted = self.model.clone();
         let monitor = Arc::new(NanInfMonitor::new());
         attach_monitor(&mut corrupted, Arc::<NanInfMonitor>::clone(&monitor) as _)?;
         let armed = {
+            let _span = rec.span(Phase::Inject);
             let mut nets = [&mut corrupted];
             arm_faults(&mut nets, targets, faults, self.scenario.injection_target)?
         };
-        let corr_logits = corrupted.forward(images)?;
+        let corr_logits = {
+            let _span = rec.span(Phase::Forward);
+            corrupted.forward_traced(images, rec)?
+        };
         let applied = armed.collect_applied();
+        rec.record_applied(applied.len() as u64);
         let totals = monitor.totals();
+        monitor.report_to(rec);
 
         let resil_logits = match (&self.resil_model, resil_targets) {
             (Some(resil), Some(rt)) => {
                 let mut hardened = resil.clone();
                 let _armed_r = {
+                    let _span = rec.span(Phase::Inject);
                     let mut nets = [&mut hardened];
                     arm_faults(&mut nets, rt, faults, self.scenario.injection_target)?
                 };
-                Some(hardened.forward(images)?)
+                let _span = rec.span(Phase::Forward);
+                Some(hardened.forward_traced(images, rec)?)
             }
             _ => None,
         };
 
+        let _eval = rec.span(Phase::Eval);
         for a in &applied {
             let img_idx = if self.scenario.injection_target
                 == alfi_scenario::InjectionTarget::Neurons
@@ -251,6 +266,7 @@ impl ImgClassCampaign {
                 corr_nan: totals.nan,
                 corr_inf: totals.inf,
             });
+            rec.item_finished();
         }
         Ok(())
     }
@@ -278,6 +294,52 @@ impl ImgClassCampaign {
         }
     }
 
+    /// Runs the campaign with the given [`RunConfig`] — the single
+    /// entry point unifying the former `run()` / `run_parallel(n)`
+    /// split. `RunConfig::default()` reproduces `run()` byte-for-byte:
+    /// the sequential driver (supporting every injection policy), no
+    /// tracing, no persistence. With `threads > 1` (or `0` = auto on a
+    /// `per_image` scenario) the independent per-image triples fan out
+    /// on the shared [`alfi_pool`] pool with bit-identical results for
+    /// any thread count. An enabled [`Recorder`] collects phase/layer
+    /// timings, injection counters and fault-effect tallies, and its
+    /// JSONL event log is written as `events.jsonl` when
+    /// [`RunConfig::save_dir`] is set (alongside the classic output
+    /// set, which is persisted under a `persist` span).
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution/injection errors; an exhausted fault matrix
+    /// ends the run gracefully instead. With `threads > 1` a
+    /// non-`per_image` policy is rejected (those fault scopes are
+    /// inherently sequential) and a panicking worker surfaces as
+    /// [`CoreError::WorkerPanic`].
+    pub fn run_with(&mut self, cfg: &RunConfig) -> Result<ClassificationCampaignResult, CoreError> {
+        let rec = cfg.recorder.clone();
+        if rec.is_enabled() {
+            rec.set_meta(RunMeta {
+                campaign: "classification".into(),
+                model: self.model.name().to_string(),
+                scenario_hash: alfi_trace::hash_hex(self.scenario.to_yaml_string().as_bytes()),
+                seed: self.scenario.seed,
+                threads: cfg.threads,
+            });
+            rec.begin_items((self.scenario.dataset_size * self.scenario.num_runs) as u64);
+        }
+        let per_image = self.scenario.injection_policy == InjectionPolicy::PerImage;
+        let result = match cfg.resolve_threads(per_image) {
+            0 | 1 => self.run_seq_impl(&rec)?,
+            threads => self.run_par_impl(threads, &rec)?,
+        };
+        record_run_effects(&rec, &result);
+        if let Some(dir) = &cfg.save_dir {
+            let _span = rec.span(Phase::Persist);
+            result.save_outputs(dir)?;
+            save_events(&rec, dir)?;
+        }
+        Ok(result)
+    }
+
     /// Runs the campaign: for every image, a fault-free pass, a faulty
     /// pass (fault set advanced per the injection policy) and optionally
     /// a hardened pass with identical faults.
@@ -286,7 +348,14 @@ impl ImgClassCampaign {
     ///
     /// Returns resolution/injection errors; an exhausted fault matrix
     /// ends the run gracefully instead.
+    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::default())`")]
     pub fn run(&mut self) -> Result<ClassificationCampaignResult, CoreError> {
+        self.run_seq_impl(&Recorder::disabled())
+    }
+
+    /// Sequential driver shared by [`run_with`](Self::run_with) and the
+    /// deprecated [`run`](Self::run).
+    fn run_seq_impl(&mut self, rec: &Recorder) -> Result<ClassificationCampaignResult, CoreError> {
         let input_dims = {
             let ds = self.loader.dataset();
             vec![1, ds.channels(), ds.image_hw(), ds.image_hw()]
@@ -341,6 +410,7 @@ impl ImgClassCampaign {
                                 resil_targets.as_deref(),
                                 &batch.records[i..=i],
                                 &batch.labels[i..=i],
+                                rec,
                                 &mut rows,
                                 &mut trace,
                             )?;
@@ -368,6 +438,7 @@ impl ImgClassCampaign {
                             resil_targets.as_deref(),
                             &batch.records,
                             &batch.labels,
+                            rec,
                             &mut rows,
                             &mut trace,
                         )?;
@@ -401,7 +472,18 @@ impl ImgClassCampaign {
     /// [`CoreError::WorkerPanic`] instead of unwinding.
     ///
     /// [`run`]: ImgClassCampaign::run
+    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::new().threads(n))`")]
     pub fn run_parallel(&mut self, threads: usize) -> Result<ClassificationCampaignResult, CoreError> {
+        self.run_par_impl(threads, &Recorder::disabled())
+    }
+
+    /// Parallel driver shared by [`run_with`](Self::run_with) and the
+    /// deprecated [`run_parallel`](Self::run_parallel).
+    fn run_par_impl(
+        &mut self,
+        threads: usize,
+        rec: &Recorder,
+    ) -> Result<ClassificationCampaignResult, CoreError> {
         if self.scenario.injection_policy != InjectionPolicy::PerImage {
             return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
                 field: "injection_policy",
@@ -485,6 +567,7 @@ impl ImgClassCampaign {
                     &item.image,
                     item.label,
                     &item.record,
+                    rec,
                 )
             })
             .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
@@ -519,37 +602,51 @@ fn process_image(
     image: &Tensor,
     label: usize,
     record: &alfi_datasets::ImageRecord,
+    rec: &Recorder,
 ) -> Result<(ClassificationRow, Vec<TraceEntry>), CoreError> {
+    let worker = alfi_pool::worker_index();
     let faults = matrix.faults_for_slot(slot).to_vec();
 
-    let orig_logits = model.forward(image)?;
+    let orig_logits = {
+        let _span = rec.span_on(Phase::Forward, worker);
+        model.forward_traced(image, rec)?
+    };
     let orig_top5 = softmax_topk(&orig_logits, 5)?;
 
     let mut corrupted = model.clone();
     let monitor = Arc::new(NanInfMonitor::new());
     attach_monitor(&mut corrupted, Arc::<NanInfMonitor>::clone(&monitor) as _)?;
     let armed = {
+        let _span = rec.span_on(Phase::Inject, worker);
         let mut nets = [&mut corrupted];
         arm_faults(&mut nets, targets, &faults, scenario.injection_target)?
     };
-    let corr_logits = corrupted.forward(image)?;
+    let corr_logits = {
+        let _span = rec.span_on(Phase::Forward, worker);
+        corrupted.forward_traced(image, rec)?
+    };
     let corr_top5 = softmax_topk(&corr_logits, 5)?;
     let applied = armed.collect_applied();
+    rec.record_applied(applied.len() as u64);
     let totals = monitor.totals();
+    monitor.report_to(rec);
 
     let resil_top5 = match (resil, resil_targets) {
         (Some(r), Some(rt)) => {
             let mut hardened = r.clone();
             let _armed_r = {
+                let _span = rec.span_on(Phase::Inject, worker);
                 let mut nets = [&mut hardened];
                 arm_faults(&mut nets, rt, &faults, scenario.injection_target)?
             };
-            let logits = hardened.forward(image)?;
+            let _span = rec.span_on(Phase::Forward, worker);
+            let logits = hardened.forward_traced(image, rec)?;
             Some(softmax_topk(&logits, 5)?)
         }
         _ => None,
     };
 
+    let _eval = rec.span_on(Phase::Eval, worker);
     let entries: Vec<TraceEntry> = applied
         .iter()
         .map(|a| TraceEntry {
@@ -559,7 +656,7 @@ fn process_image(
             output_inf_count: totals.inf as u32,
         })
         .collect();
-    Ok((
+    let out = (
         ClassificationRow {
             image_id: record.image_id,
             file_name: record.file_name.clone(),
@@ -572,7 +669,39 @@ fn process_image(
             corr_inf: totals.inf,
         },
         entries,
-    ))
+    );
+    rec.item_finished();
+    Ok(out)
+}
+
+/// Post-run trace bookkeeping shared by the sequential and parallel
+/// paths: classifies every row's fault effect and emits the structured
+/// injection events in deterministic row/trace order (the same order
+/// for any thread count, which keeps the event log byte-reproducible).
+fn record_run_effects(rec: &Recorder, result: &ClassificationCampaignResult) {
+    if !rec.is_enabled() {
+        return;
+    }
+    for row in &result.rows {
+        rec.record_outcome(classify_row(row));
+    }
+    for entry in &result.trace.entries {
+        rec.record_injection(injection_event(entry.image_id, &entry.applied));
+    }
+}
+
+/// Trace-level fault-effect classification of one row, mirroring the
+/// KPI rules in `alfi-eval`: DUE when non-finite values surfaced, SDC
+/// when the top-1 prediction silently changed, masked otherwise.
+fn classify_row(row: &ClassificationRow) -> EffectClass {
+    let corr_top1 = row.corr_top5.first();
+    if row.corr_nan + row.corr_inf > 0 || corr_top1.is_some_and(|&(_, p)| !p.is_finite()) {
+        EffectClass::Due
+    } else if row.orig_top5.first().map(|t| t.0) != corr_top1.map(|t| t.0) {
+        EffectClass::Sdc
+    } else {
+        EffectClass::Masked
+    }
 }
 
 /// Softmax over logits `[1, classes]` followed by top-k extraction.
@@ -608,7 +737,7 @@ mod tests {
         s.dataset_size = 6;
         s.injection_target = InjectionTarget::Weights;
         s.fault_mode = FaultMode::exponent_bit_flip();
-        let result = campaign(s).run().unwrap();
+        let result = campaign(s).run_with(&RunConfig::default()).unwrap();
         assert_eq!(result.rows.len(), 6);
         for row in &result.rows {
             assert_eq!(row.orig_top5.len(), 5);
@@ -625,7 +754,7 @@ mod tests {
         s.dataset_size = 5;
         s.injection_policy = InjectionPolicy::PerEpoch;
         s.injection_target = InjectionTarget::Weights;
-        let result = campaign(s).run().unwrap();
+        let result = campaign(s).run_with(&RunConfig::default()).unwrap();
         assert_eq!(result.rows.len(), 5);
         // every image saw the identical fault record
         let first = result.rows[0].faults[0].record;
@@ -641,7 +770,7 @@ mod tests {
         s.batch_size = 3;
         s.injection_policy = InjectionPolicy::PerBatch;
         s.injection_target = InjectionTarget::Weights;
-        let result = campaign(s).run().unwrap();
+        let result = campaign(s).run_with(&RunConfig::default()).unwrap();
         let r = &result.rows;
         assert_eq!(r[0].faults[0].record, r[1].faults[0].record);
         assert_eq!(r[0].faults[0].record, r[2].faults[0].record);
@@ -654,7 +783,7 @@ mod tests {
         s.dataset_size = 3;
         s.injection_target = InjectionTarget::Neurons;
         s.faults_per_image = FaultCount::Fixed(2);
-        let result = campaign(s).run().unwrap();
+        let result = campaign(s).run_with(&RunConfig::default()).unwrap();
         for row in &result.rows {
             assert_eq!(row.faults.len(), 2, "both neuron faults applied");
         }
@@ -665,7 +794,7 @@ mod tests {
         let mut s = Scenario::default();
         s.dataset_size = 2;
         s.injection_target = InjectionTarget::Weights;
-        let result = campaign(s).run().unwrap();
+        let result = campaign(s).run_with(&RunConfig::default()).unwrap();
         let csv = result.to_csv(CsvVariant::Corrupted);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
@@ -678,7 +807,7 @@ mod tests {
         let mut s = Scenario::default();
         s.dataset_size = 2;
         s.injection_target = InjectionTarget::Weights;
-        let result = campaign(s).run().unwrap();
+        let result = campaign(s).run_with(&RunConfig::default()).unwrap();
         let dir = std::env::temp_dir().join("alfi_campaign_out");
         let _ = std::fs::remove_dir_all(&dir);
         result.save_outputs(&dir).unwrap();
@@ -707,7 +836,7 @@ mod tests {
         s.injection_target = InjectionTarget::Neurons;
         s.fault_mode = FaultMode::RandomValue { min: 7.0, max: 7.1 };
         s.seed = 3; // seed chosen so at least one fault has batch > 0
-        let result = campaign(s).run().unwrap();
+        let result = campaign(s).run_with(&RunConfig::default()).unwrap();
         assert_eq!(result.rows.len(), 8);
         let applied: Vec<_> = result.trace.entries.iter().map(|e| e.applied).collect();
         assert_eq!(applied.len(), 2, "one neuron fault per batch, two batches");
@@ -732,10 +861,10 @@ mod tests {
         let mut s = Scenario::default();
         s.dataset_size = 4;
         s.injection_target = InjectionTarget::Weights;
-        let first = campaign(s.clone()).run().unwrap();
+        let first = campaign(s.clone()).run_with(&RunConfig::default()).unwrap();
         let replay = campaign(s)
             .with_fault_matrix(first.fault_matrix.clone())
-            .run()
+            .run_with(&RunConfig::default())
             .unwrap();
         assert_eq!(first.trace, replay.trace);
         for (a, b) in first.rows.iter().zip(replay.rows.iter()) {
@@ -748,9 +877,9 @@ mod tests {
         let mut s = Scenario::default();
         s.dataset_size = 2;
         s.injection_target = InjectionTarget::Weights;
-        let first = campaign(s.clone()).run().unwrap();
+        let first = campaign(s.clone()).run_with(&RunConfig::default()).unwrap();
         s.injection_target = InjectionTarget::Neurons;
-        let err = campaign(s).with_fault_matrix(first.fault_matrix).run().unwrap_err();
+        let err = campaign(s).with_fault_matrix(first.fault_matrix).run_with(&RunConfig::default()).unwrap_err();
         assert!(matches!(err, crate::CoreError::CorruptFile { .. }));
     }
 
@@ -760,8 +889,8 @@ mod tests {
         s.dataset_size = 8;
         s.injection_target = InjectionTarget::Weights;
         s.fault_mode = FaultMode::exponent_bit_flip();
-        let sequential = campaign(s.clone()).run().unwrap();
-        let parallel = campaign(s).run_parallel(4).unwrap();
+        let sequential = campaign(s.clone()).run_with(&RunConfig::default()).unwrap();
+        let parallel = campaign(s).run_with(&RunConfig::new().threads(4)).unwrap();
         assert_eq!(sequential.rows.len(), parallel.rows.len());
         for (a, b) in sequential.rows.iter().zip(parallel.rows.iter()) {
             assert_eq!(a.image_id, b.image_id);
@@ -778,7 +907,7 @@ mod tests {
         let mut s = Scenario::default();
         s.dataset_size = 4;
         s.injection_policy = InjectionPolicy::PerEpoch;
-        assert!(campaign(s).run_parallel(2).is_err());
+        assert!(campaign(s).run_with(&RunConfig::new().threads(2)).is_err());
     }
 
     #[test]
@@ -800,6 +929,10 @@ mod tests {
             });
         attach_monitor(&mut c.model, bomb).unwrap();
         for threads in [1, 3] {
+            // `run_parallel(1)` keeps the parallel driver (unlike
+            // `run_with` with `threads: 1`, which is sequential), so the
+            // pool guard still fires — exercised here on purpose.
+            #[allow(deprecated)]
             let err = c.run_parallel(threads).unwrap_err();
             match err {
                 CoreError::WorkerPanic { message } => {
@@ -811,12 +944,54 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_run_matches_run_with_default() {
+        let mut s = Scenario::default();
+        s.dataset_size = 4;
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let via_config = campaign(s.clone()).run_with(&RunConfig::default()).unwrap();
+        #[allow(deprecated)]
+        let via_run = campaign(s).run().unwrap();
+        assert_eq!(via_config.rows.len(), via_run.rows.len());
+        for (a, b) in via_config.rows.iter().zip(via_run.rows.iter()) {
+            assert_eq!(a.orig_top5, b.orig_top5);
+            assert_eq!(a.corr_top5, b.corr_top5);
+            assert_eq!(a.faults, b.faults);
+        }
+        assert_eq!(via_config.trace, via_run.trace);
+        assert_eq!(via_config.fault_matrix, via_run.fault_matrix);
+    }
+
+    #[test]
+    fn recorder_collects_counters_and_identical_outputs() {
+        let mut s = Scenario::default();
+        s.dataset_size = 4;
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let plain = campaign(s.clone()).run_with(&RunConfig::default()).unwrap();
+        let rec = alfi_trace::Recorder::new();
+        let traced = campaign(s)
+            .run_with(&RunConfig::new().recorder(rec.clone()))
+            .unwrap();
+        for (a, b) in plain.rows.iter().zip(traced.rows.iter()) {
+            assert_eq!(a.corr_top5, b.corr_top5, "tracing must not change results");
+        }
+        let summary = rec.summary();
+        assert_eq!(summary.items, 4);
+        assert_eq!(summary.injections, 4);
+        assert_eq!(summary.outcomes.total(), 4);
+        assert_eq!(summary.meta.as_ref().unwrap().campaign, "classification");
+        assert!(summary.phases.contains_key("forward"));
+        assert!(!summary.layer_forward.is_empty(), "per-layer forward timings recorded");
+    }
+
+    #[test]
     fn campaign_is_deterministic() {
         let mut s = Scenario::default();
         s.dataset_size = 3;
         s.injection_target = InjectionTarget::Weights;
-        let a = campaign(s.clone()).run().unwrap();
-        let b = campaign(s).run().unwrap();
+        let a = campaign(s.clone()).run_with(&RunConfig::default()).unwrap();
+        let b = campaign(s).run_with(&RunConfig::default()).unwrap();
         assert_eq!(a.rows.len(), b.rows.len());
         for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
             assert_eq!(ra.corr_top5, rb.corr_top5);

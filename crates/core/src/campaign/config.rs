@@ -1,0 +1,116 @@
+//! Unified campaign run configuration.
+//!
+//! [`RunConfig`] is the single entry point for everything that used to
+//! be spread across `run()` / `run_parallel(threads)` call sites plus
+//! ad-hoc `save_outputs` calls: threading, observability and
+//! persistence are configured in one builder-style value and handed to
+//! [`run_with`](crate::campaign::ImgClassCampaign::run_with).
+//! `RunConfig::default()` reproduces the historical `run()` behaviour
+//! byte-for-byte: sequential, untraced, nothing written to disk.
+
+use alfi_trace::Recorder;
+use std::path::{Path, PathBuf};
+
+/// How a campaign run executes: thread count, observability recorder
+/// and optional output directory.
+///
+/// ```
+/// use alfi_core::campaign::RunConfig;
+/// use alfi_trace::Recorder;
+///
+/// let cfg = RunConfig::new().threads(4).recorder(Recorder::new());
+/// assert_eq!(cfg.threads, 4);
+/// assert!(cfg.recorder.is_enabled());
+/// assert!(cfg.save_dir.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Parallelism of the campaign driver. `1` (the default) runs the
+    /// sequential driver, which supports every injection policy. Values
+    /// above `1` fan independent per-image work out on the shared
+    /// [`alfi_pool`] pool (requires the `per_image` policy; clamped by
+    /// `ALFI_POOL_THREADS`). `0` means "auto": the pool's default
+    /// parallelism for `per_image` scenarios, sequential otherwise.
+    pub threads: usize,
+    /// Observability sink. The default [`Recorder::disabled`] collects
+    /// nothing and costs nothing; pass [`Recorder::new`] to get span
+    /// timings, injection counters, outcome tallies and the JSONL event
+    /// log.
+    pub recorder: Recorder,
+    /// When set, the campaign persists its full output set (scenario,
+    /// fault/trace binaries, result CSVs and — with an enabled recorder
+    /// — `events.jsonl`) into this directory after the run.
+    pub save_dir: Option<PathBuf>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { threads: 1, recorder: Recorder::disabled(), save_dir: None }
+    }
+}
+
+impl RunConfig {
+    /// Alias for [`RunConfig::default`]: sequential, untraced, no
+    /// persistence.
+    pub fn new() -> Self {
+        RunConfig::default()
+    }
+
+    /// Sets the driver parallelism (see [`RunConfig::threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches an observability recorder (see [`RunConfig::recorder`]).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Persists campaign outputs into `dir` after the run.
+    pub fn save_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.save_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// The driver parallelism to use for a scenario, resolving the `0`
+    /// = "auto" sentinel: per-image scenarios get the global pool's
+    /// default, everything else falls back to the sequential driver.
+    pub(crate) fn resolve_threads(&self, per_image: bool) -> usize {
+        match self.threads {
+            0 if per_image => alfi_pool::global().threads(),
+            0 => 1,
+            n => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential_untraced_and_unsaved() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.threads, 1);
+        assert!(!cfg.recorder.is_enabled());
+        assert!(cfg.save_dir.is_none());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = RunConfig::new().threads(8).recorder(Recorder::new()).save_dir("/tmp/x");
+        assert_eq!(cfg.threads, 8);
+        assert!(cfg.recorder.is_enabled());
+        assert_eq!(cfg.save_dir.as_deref(), Some(Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn auto_threads_resolve_by_policy() {
+        let cfg = RunConfig::new().threads(0);
+        assert_eq!(cfg.resolve_threads(false), 1, "non-per-image stays sequential");
+        assert!(cfg.resolve_threads(true) >= 1, "per-image uses the pool default");
+        assert_eq!(RunConfig::new().threads(3).resolve_threads(false), 3);
+    }
+}

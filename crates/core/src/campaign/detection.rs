@@ -6,16 +6,19 @@
 //! detector's networks (backbone, heads, second stage); the fault
 //! record's layer index spans the combined injectable-layer list.
 
+use crate::campaign::config::RunConfig;
 use crate::error::CoreError;
 use crate::fault::AppliedFault;
-use crate::injector::arm_faults;
+use crate::injector::{arm_faults, injection_event};
 use crate::matrix::{resolve_targets, FaultMatrix, LayerTarget};
 use crate::monitor::{attach_monitor, NanInfMonitor};
-use crate::persist::{RunTrace, TraceEntry};
+use crate::persist::{save_events, save_fault_matrix, RunTrace, TraceEntry};
 use alfi_datasets::loader::DetectionLoader;
 use alfi_datasets::GroundTruthBox;
 use alfi_nn::detection::{Detection, Detector};
 use alfi_scenario::{InjectionPolicy, Scenario};
+use alfi_trace::{EffectClass, Phase, Recorder, RunMeta};
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 /// Per-image detection campaign row.
@@ -29,6 +32,9 @@ pub struct DetectionRow {
     pub orig: Vec<Detection>,
     /// Fault-injected detections.
     pub corr: Vec<Detection>,
+    /// Hardened (mitigation) detector output under the same faults,
+    /// when a resil detector was given.
+    pub resil: Option<Vec<Detection>>,
     /// Faults applied while this image was processed.
     pub faults: Vec<AppliedFault>,
     /// NaN elements observed in the corrupted detector's networks.
@@ -52,12 +58,41 @@ pub struct DetectionCampaignResult {
     pub model_name: String,
 }
 
-/// The high-level object-detection campaign runner. Owns the detector
-/// mutably for the duration of the run; faults are armed in place and
-/// disarmed after each scope, leaving the detector pristine afterwards.
+impl DetectionCampaignResult {
+    /// Writes the replay set into `dir`: `scenario.yml`, `faults.bin`
+    /// and `trace.bin`. The detection-specific result files (COCO
+    /// ground truth, intermediate detections, mAP/IVMOD metrics) are
+    /// written by `alfi-eval`'s `write_detection_outputs`, which sits
+    /// above this crate in the dependency graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on filesystem failures.
+    pub fn save_outputs(&self, dir: impl AsRef<Path>) -> Result<(), CoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        self.scenario
+            .save(dir.join("scenario.yml"))
+            .map_err(|e| CoreError::Io(e.to_string()))?;
+        save_fault_matrix(&self.fault_matrix, dir.join("faults.bin"))?;
+        self.trace.save(dir.join("trace.bin"))?;
+        Ok(())
+    }
+}
+
+/// The high-level object-detection campaign runner.
+///
+/// Unlike [`ImgClassCampaign`](crate::campaign::ImgClassCampaign),
+/// which owns its [`Network`](alfi_nn::Network)s, the campaign
+/// *borrows* its detector(s) mutably: detectors are trait objects of
+/// arbitrary user types (multi-network pipelines, external wrappers)
+/// that are typically expensive to clone and used again after the
+/// campaign, so the campaign arms faults in place and disarms them
+/// after each scope, returning every detector pristine (see DESIGN.md).
 #[derive(Debug)]
 pub struct ObjDetCampaign<'a, D: Detector + ?Sized> {
     detector: &'a mut D,
+    resil_detector: Option<&'a mut D>,
     scenario: Scenario,
     loader: DetectionLoader,
     fault_matrix: Option<FaultMatrix>,
@@ -67,7 +102,7 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
     /// Creates a campaign over `detector` with the given scenario and
     /// data.
     pub fn new(detector: &'a mut D, scenario: Scenario, loader: DetectionLoader) -> Self {
-        ObjDetCampaign { detector, scenario, loader, fault_matrix: None }
+        ObjDetCampaign { detector, resil_detector: None, scenario, loader, fault_matrix: None }
     }
 
     /// Replays a previously persisted fault matrix instead of generating
@@ -78,43 +113,135 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
         self
     }
 
+    /// Adds a hardened detector to run in lock-step under the *same*
+    /// faults — the detection counterpart of
+    /// [`ImgClassCampaign::with_resil_model`](crate::campaign::ImgClassCampaign::with_resil_model).
+    /// The hardened detector must expose the same injectable-layer list
+    /// as the primary one (mitigation wrappers insert only
+    /// non-injectable protection nodes, preserving it). Like the
+    /// primary detector it is borrowed, armed in place and returned
+    /// pristine.
+    pub fn with_resil_detector(mut self, resil: &'a mut D) -> Self {
+        self.resil_detector = Some(resil);
+        self
+    }
+
+    /// Resolves injectable-layer targets and the fault matrix for the
+    /// primary detector, plus aligned targets for the hardened detector
+    /// when one was attached.
+    #[allow(clippy::type_complexity)]
+    fn resolve_run_inputs(
+        &self,
+        input_dims: &[usize],
+    ) -> Result<(Vec<LayerTarget>, Option<Vec<LayerTarget>>, FaultMatrix), CoreError> {
+        // Reference shapes: the first (primary) network sees the image;
+        // further networks (e.g. RoI heads) have run-time-dependent
+        // inputs, so their neuron coordinates fall back to channel
+        // bounds.
+        let nets = self.detector.networks();
+        let mut dims: Vec<Option<Vec<usize>>> = vec![None; nets.len()];
+        dims[0] = Some(input_dims.to_vec());
+        let targets = resolve_targets(&nets, &self.scenario, &dims)?;
+        let resil_targets = match &self.resil_detector {
+            Some(r) => {
+                let rnets = r.networks();
+                let mut rdims: Vec<Option<Vec<usize>>> = vec![None; rnets.len()];
+                if !rdims.is_empty() {
+                    rdims[0] = Some(input_dims.to_vec());
+                }
+                let rt = resolve_targets(&rnets, &self.scenario, &rdims)?;
+                if rt.len() != targets.len() {
+                    return Err(CoreError::FaultOutOfBounds {
+                        detail: format!(
+                            "hardened detector exposes {} injectable layers, original {}",
+                            rt.len(),
+                            targets.len()
+                        ),
+                    });
+                }
+                Some(rt)
+            }
+            None => None,
+        };
+        let matrix = match &self.fault_matrix {
+            Some(m) => {
+                if m.target != self.scenario.injection_target {
+                    return Err(CoreError::CorruptFile {
+                        kind: "fault",
+                        reason: format!(
+                            "replayed matrix target {:?} disagrees with scenario target {:?}",
+                            m.target, self.scenario.injection_target
+                        ),
+                    });
+                }
+                m.clone()
+            }
+            None => FaultMatrix::generate(&self.scenario, &targets)?,
+        };
+        Ok((targets, resil_targets, matrix))
+    }
+
+    /// Runs the campaign with the given [`RunConfig`] — the single
+    /// entry point unifying the former `run()` / `run_parallel(n)`
+    /// split. `RunConfig::default()` reproduces `run()` byte-for-byte;
+    /// `threads > 1` (or `0` = auto on a `per_image` scenario) fans
+    /// per-image work out on the shared [`alfi_pool`] pool with
+    /// bit-identical results for any thread count. An enabled
+    /// [`Recorder`] collects phase timings, injection counters and
+    /// fault-effect tallies; with [`RunConfig::save_dir`] set, the
+    /// replay set and `events.jsonl` are persisted after the run.
+    ///
+    /// # Errors
+    ///
+    /// As for the sequential/parallel drivers: resolution/injection
+    /// errors, rejection of non-`per_image` policies when parallel,
+    /// [`CoreError::Unsupported`] for uncloneable detectors when
+    /// parallel, [`CoreError::WorkerPanic`] for panicking workers.
+    pub fn run_with(&mut self, cfg: &RunConfig) -> Result<DetectionCampaignResult, CoreError> {
+        let rec = cfg.recorder.clone();
+        if rec.is_enabled() {
+            rec.set_meta(RunMeta {
+                campaign: "detection".into(),
+                model: self.detector.name().to_string(),
+                scenario_hash: alfi_trace::hash_hex(self.scenario.to_yaml_string().as_bytes()),
+                seed: self.scenario.seed,
+                threads: cfg.threads,
+            });
+            rec.begin_items((self.scenario.dataset_size * self.scenario.num_runs) as u64);
+        }
+        let per_image = self.scenario.injection_policy == InjectionPolicy::PerImage;
+        let result = match cfg.resolve_threads(per_image) {
+            0 | 1 => self.run_seq_impl(&rec)?,
+            threads => self.run_par_impl(threads, &rec)?,
+        };
+        record_detection_effects(&rec, &result);
+        if let Some(dir) = &cfg.save_dir {
+            let _span = rec.span(Phase::Persist);
+            result.save_outputs(dir)?;
+            save_events(&rec, dir)?;
+        }
+        Ok(result)
+    }
+
     /// Runs the campaign, one image at a time.
     ///
     /// # Errors
     ///
     /// Returns resolution/injection errors; an exhausted fault matrix
     /// ends the run gracefully instead.
+    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::default())`")]
     pub fn run(&mut self) -> Result<DetectionCampaignResult, CoreError> {
+        self.run_seq_impl(&Recorder::disabled())
+    }
+
+    /// Sequential driver shared by [`run_with`](Self::run_with) and the
+    /// deprecated [`run`](Self::run).
+    fn run_seq_impl(&mut self, rec: &Recorder) -> Result<DetectionCampaignResult, CoreError> {
         let input_dims = {
             let ds = self.loader.dataset();
             vec![1usize, 3, ds.image_hw(), ds.image_hw()]
         };
-        // Reference shapes: the first (primary) network sees the image;
-        // further networks (e.g. RoI heads) have run-time-dependent
-        // inputs, so their neuron coordinates fall back to channel
-        // bounds.
-        let (targets, matrix) = {
-            let nets = self.detector.networks();
-            let mut dims: Vec<Option<Vec<usize>>> = vec![None; nets.len()];
-            dims[0] = Some(input_dims.clone());
-            let targets = resolve_targets(&nets, &self.scenario, &dims)?;
-            let matrix = match &self.fault_matrix {
-                Some(m) => {
-                    if m.target != self.scenario.injection_target {
-                        return Err(CoreError::CorruptFile {
-                            kind: "fault",
-                            reason: format!(
-                                "replayed matrix target {:?} disagrees with scenario target {:?}",
-                                m.target, self.scenario.injection_target
-                            ),
-                        });
-                    }
-                    m.clone()
-                }
-                None => FaultMatrix::generate(&self.scenario, &targets)?,
-            };
-            (targets, matrix)
-        };
+        let (targets, resil_targets, matrix) = self.resolve_run_inputs(&input_dims)?;
 
         let mut rows = Vec::new();
         let mut trace = RunTrace::default();
@@ -149,7 +276,10 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
                     let record = &batch.records[i];
 
                     // Fault-free pass.
-                    let orig = self.detector.detect(&image)?.remove(0);
+                    let orig = {
+                        let _span = rec.span(Phase::Forward);
+                        self.detector.detect(&image)?.remove(0)
+                    };
 
                     // Arm faults + monitors in place, detect, disarm.
                     let monitor = Arc::new(NanInfMonitor::new());
@@ -162,15 +292,23 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
                                 Arc::<NanInfMonitor>::clone(&monitor) as _,
                             )?);
                         }
-                        let armed = arm_faults(
-                            &mut nets,
-                            &targets,
-                            &faults,
-                            self.scenario.injection_target,
-                        )?;
+                        let armed = {
+                            let _span = rec.span(Phase::Inject);
+                            arm_faults(
+                                &mut nets,
+                                &targets,
+                                &faults,
+                                self.scenario.injection_target,
+                            )?
+                        };
                         drop(nets);
-                        let corr = self.detector.detect(&image)?.remove(0);
+                        let corr = {
+                            let _span = rec.span(Phase::Forward);
+                            self.detector.detect(&image)?.remove(0)
+                        };
                         let applied = armed.collect_applied();
+                        rec.record_applied(applied.len() as u64);
+        rec.record_applied(applied.len() as u64);
                         let totals = monitor.totals();
                         let mut nets = self.detector.networks_mut();
                         armed.disarm(&mut nets);
@@ -181,7 +319,34 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
                         }
                         (applied, totals, corr)
                     };
+                    monitor.report_to(rec);
 
+                    // Hardened pass under identical faults, detector
+                    // returned pristine like the primary one.
+                    let resil = match (&mut self.resil_detector, &resil_targets) {
+                        (Some(rdet), Some(rt)) => {
+                            let armed_r = {
+                                let _span = rec.span(Phase::Inject);
+                                let mut nets = rdet.networks_mut();
+                                arm_faults(
+                                    &mut nets,
+                                    rt,
+                                    &faults,
+                                    self.scenario.injection_target,
+                                )?
+                            };
+                            let out = {
+                                let _span = rec.span(Phase::Forward);
+                                rdet.detect(&image)?.remove(0)
+                            };
+                            let mut nets = rdet.networks_mut();
+                            armed_r.disarm(&mut nets);
+                            Some(out)
+                        }
+                        _ => None,
+                    };
+
+                    let _eval = rec.span(Phase::Eval);
                     for a in &applied {
                         trace.entries.push(TraceEntry {
                             image_id: record.image_id,
@@ -195,10 +360,12 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
                         ground_truth: batch.objects[i].clone(),
                         orig,
                         corr,
+                        resil,
                         faults: applied,
                         corr_nan: totals.nan,
                         corr_inf: totals.inf,
                     });
+                    rec.item_finished();
                 }
             }
         }
@@ -225,7 +392,18 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
     /// inherently sequential), returns [`CoreError::Unsupported`] when
     /// the detector cannot be cloned, and surfaces a panicking worker
     /// as [`CoreError::WorkerPanic`] instead of unwinding.
+    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::new().threads(n))`")]
     pub fn run_parallel(&mut self, threads: usize) -> Result<DetectionCampaignResult, CoreError> {
+        self.run_par_impl(threads, &Recorder::disabled())
+    }
+
+    /// Parallel driver shared by [`run_with`](Self::run_with) and the
+    /// deprecated [`run_parallel`](Self::run_parallel).
+    fn run_par_impl(
+        &mut self,
+        threads: usize,
+        rec: &Recorder,
+    ) -> Result<DetectionCampaignResult, CoreError> {
         if self.scenario.injection_policy != InjectionPolicy::PerImage {
             return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
                 field: "injection_policy",
@@ -237,28 +415,7 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
             let ds = self.loader.dataset();
             vec![1usize, 3, ds.image_hw(), ds.image_hw()]
         };
-        let (targets, matrix) = {
-            let nets = self.detector.networks();
-            let mut dims: Vec<Option<Vec<usize>>> = vec![None; nets.len()];
-            dims[0] = Some(input_dims.clone());
-            let targets = resolve_targets(&nets, &self.scenario, &dims)?;
-            let matrix = match &self.fault_matrix {
-                Some(m) => {
-                    if m.target != self.scenario.injection_target {
-                        return Err(CoreError::CorruptFile {
-                            kind: "fault",
-                            reason: format!(
-                                "replayed matrix target {:?} disagrees with scenario target {:?}",
-                                m.target, self.scenario.injection_target
-                            ),
-                        });
-                    }
-                    m.clone()
-                }
-                None => FaultMatrix::generate(&self.scenario, &targets)?,
-            };
-            (targets, matrix)
-        };
+        let (targets, resil_targets, matrix) = self.resolve_run_inputs(&input_dims)?;
 
         // Materialize the work list and a private detector clone per
         // item. Clones are built on the caller thread (so detector
@@ -293,35 +450,53 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
                 }
             }
         }
-        let mut clones: Vec<Mutex<Box<dyn Detector>>> = Vec::with_capacity(work.len());
-        for _ in 0..work.len() {
-            let clone = self.detector.clone_boxed().ok_or_else(|| CoreError::Unsupported {
+        let clone_of = |det: &D, role: &str| {
+            det.clone_boxed().ok_or_else(|| CoreError::Unsupported {
                 reason: format!(
-                    "detector `{}` does not implement clone_boxed, required by run_parallel",
-                    self.detector.name()
+                    "{role} detector `{}` does not implement clone_boxed, required by parallel runs",
+                    det.name()
                 ),
-            })?;
-            clones.push(Mutex::new(clone));
+            })
+        };
+        let mut clones: Vec<Mutex<Box<dyn Detector>>> = Vec::with_capacity(work.len());
+        let mut resil_clones: Vec<Mutex<Box<dyn Detector>>> = Vec::new();
+        for _ in 0..work.len() {
+            clones.push(Mutex::new(clone_of(self.detector, "primary")?));
+            if let Some(r) = &self.resil_detector {
+                resil_clones.push(Mutex::new(clone_of(r, "hardened")?));
+            }
         }
 
         let scenario_ref = &self.scenario;
         let targets_ref = &targets;
+        let resil_targets_ref = resil_targets.as_deref();
         let matrix_ref = &matrix;
         let clones_ref = &clones;
+        let resil_clones_ref = &resil_clones;
         let work_ref = &work;
         let outcomes = alfi_pool::global()
             .try_run_indexed(threads, work.len(), |idx| {
                 let item = &work_ref[idx];
                 let mut det = clones_ref[idx].lock().expect("detector clone lock");
+                let mut resil_guard = resil_clones_ref
+                    .get(idx)
+                    .map(|m| m.lock().expect("hardened detector clone lock"));
+                let resil: Option<&mut dyn Detector> = match resil_guard.as_mut() {
+                    Some(g) => Some(&mut ***g),
+                    None => None,
+                };
                 process_detection_image(
-                    det.as_mut(),
+                    &mut **det,
+                    resil,
                     scenario_ref,
                     targets_ref,
+                    resil_targets_ref,
                     matrix_ref,
                     item.slot,
                     &item.image,
                     &item.record,
                     &item.ground_truth,
+                    rec,
                 )
             })
             .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
@@ -343,38 +518,67 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
     }
 }
 
-/// Runs the fault-free / faulty detection pair for one image on a
-/// throwaway detector clone — shared logic of the parallel campaign
-/// path. The clone is discarded afterwards, so faults are not disarmed.
+/// Runs the fault-free / faulty (/ hardened) detection passes for one
+/// image on throwaway detector clones — shared logic of the parallel
+/// campaign path. The clones are discarded afterwards, so faults are
+/// not disarmed.
 #[allow(clippy::too_many_arguments)]
 fn process_detection_image(
     det: &mut dyn Detector,
+    resil: Option<&mut dyn Detector>,
     scenario: &Scenario,
     targets: &[LayerTarget],
+    resil_targets: Option<&[LayerTarget]>,
     matrix: &FaultMatrix,
     slot: usize,
     image: &alfi_tensor::Tensor,
     record: &alfi_datasets::ImageRecord,
     ground_truth: &[GroundTruthBox],
+    rec: &Recorder,
 ) -> Result<(DetectionRow, Vec<TraceEntry>), CoreError> {
+    let worker = alfi_pool::worker_index();
     let faults = matrix.faults_for_slot(slot).to_vec();
 
     // Fault-free pass on the still-pristine clone.
-    let orig = det.detect(image)?.remove(0);
+    let orig = {
+        let _span = rec.span_on(Phase::Forward, worker);
+        det.detect(image)?.remove(0)
+    };
 
     // Arm faults + monitors, corrupted pass.
     let monitor = Arc::new(NanInfMonitor::new());
     let armed = {
+        let _span = rec.span_on(Phase::Inject, worker);
         let mut nets = det.networks_mut();
         for net in nets.iter_mut() {
             attach_monitor(net, Arc::<NanInfMonitor>::clone(&monitor) as _)?;
         }
         arm_faults(&mut nets, targets, &faults, scenario.injection_target)?
     };
-    let corr = det.detect(image)?.remove(0);
+    let corr = {
+        let _span = rec.span_on(Phase::Forward, worker);
+        det.detect(image)?.remove(0)
+    };
     let applied = armed.collect_applied();
+    rec.record_applied(applied.len() as u64);
     let totals = monitor.totals();
+    monitor.report_to(rec);
 
+    // Hardened pass under identical faults on the hardened clone.
+    let resil_out = match (resil, resil_targets) {
+        (Some(rdet), Some(rt)) => {
+            {
+                let _span = rec.span_on(Phase::Inject, worker);
+                let mut nets = rdet.networks_mut();
+                arm_faults(&mut nets, rt, &faults, scenario.injection_target)?;
+            }
+            let _span = rec.span_on(Phase::Forward, worker);
+            Some(rdet.detect(image)?.remove(0))
+        }
+        _ => None,
+    };
+
+    let _eval = rec.span_on(Phase::Eval, worker);
     let entries: Vec<TraceEntry> = applied
         .iter()
         .map(|a| TraceEntry {
@@ -384,18 +588,48 @@ fn process_detection_image(
             output_inf_count: totals.inf as u32,
         })
         .collect();
-    Ok((
+    let out = (
         DetectionRow {
             image_id: record.image_id,
             ground_truth: ground_truth.to_vec(),
             orig,
             corr,
+            resil: resil_out,
             faults: applied,
             corr_nan: totals.nan,
             corr_inf: totals.inf,
         },
         entries,
-    ))
+    );
+    rec.item_finished();
+    Ok(out)
+}
+
+/// Post-run trace bookkeeping shared by the sequential and parallel
+/// paths (deterministic row/trace order for any thread count).
+fn record_detection_effects(rec: &Recorder, result: &DetectionCampaignResult) {
+    if !rec.is_enabled() {
+        return;
+    }
+    for row in &result.rows {
+        rec.record_outcome(classify_detection_row(row));
+    }
+    for entry in &result.trace.entries {
+        rec.record_injection(injection_event(entry.image_id, &entry.applied));
+    }
+}
+
+/// Trace-level fault-effect classification of one detection row: DUE
+/// when non-finite values surfaced in the corrupted networks, SDC when
+/// the detection set silently changed, masked otherwise.
+fn classify_detection_row(row: &DetectionRow) -> EffectClass {
+    if row.corr_nan + row.corr_inf > 0 {
+        EffectClass::Due
+    } else if row.corr != row.orig {
+        EffectClass::Sdc
+    } else {
+        EffectClass::Masked
+    }
 }
 
 #[cfg(test)]
@@ -406,12 +640,14 @@ mod tests {
     use alfi_scenario::{FaultMode, InjectionTarget};
     use alfi_tensor::Tensor;
 
-    fn run_with(scenario: Scenario) -> DetectionCampaignResult {
+    fn run_campaign(scenario: Scenario) -> DetectionCampaignResult {
         let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
         let mut det = YoloGrid::new(&dcfg);
         let ds = DetectionDataset::new(scenario.dataset_size, dcfg.num_classes, 3, 32, 3);
         let loader = DetectionLoader::new(ds, scenario.batch_size);
-        ObjDetCampaign::new(&mut det, scenario, loader).run().unwrap()
+        ObjDetCampaign::new(&mut det, scenario, loader)
+            .run_with(&RunConfig::default())
+            .unwrap()
     }
 
     #[test]
@@ -420,14 +656,36 @@ mod tests {
         s.dataset_size = 4;
         s.injection_target = InjectionTarget::Weights;
         s.fault_mode = FaultMode::exponent_bit_flip();
-        let result = run_with(s);
+        let result = run_campaign(s);
         assert_eq!(result.rows.len(), 4);
         assert_eq!(result.model_name, "yolo_grid");
         for row in &result.rows {
             assert!(!row.ground_truth.is_empty());
             assert_eq!(row.faults.len(), 1);
+            assert!(row.resil.is_none());
         }
         assert_eq!(result.trace.entries.len(), 4);
+    }
+
+    #[test]
+    fn deprecated_run_matches_run_with_default() {
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_target = InjectionTarget::Weights;
+        let via_config = run_campaign(s.clone());
+        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+        let mut det = YoloGrid::new(&dcfg);
+        let ds = DetectionDataset::new(3, dcfg.num_classes, 3, 32, 3);
+        let loader = DetectionLoader::new(ds, s.batch_size);
+        #[allow(deprecated)]
+        let via_run = ObjDetCampaign::new(&mut det, s, loader).run().unwrap();
+        assert_eq!(via_config.rows.len(), via_run.rows.len());
+        for (a, b) in via_config.rows.iter().zip(via_run.rows.iter()) {
+            assert_eq!(a.orig, b.orig);
+            assert_eq!(a.corr, b.corr);
+            assert_eq!(a.faults, b.faults);
+        }
+        assert_eq!(via_config.trace, via_run.trace);
     }
 
     #[test]
@@ -443,11 +701,62 @@ mod tests {
         s.injection_target = InjectionTarget::Weights;
         let ds = DetectionDataset::new(3, dcfg.num_classes, 3, 32, 3);
         let loader = DetectionLoader::new(ds, 1);
-        ObjDetCampaign::new(&mut det, s, loader).run().unwrap();
+        ObjDetCampaign::new(&mut det, s, loader).run_with(&RunConfig::default()).unwrap();
 
         let after = det.detect(&probe).unwrap();
         assert_eq!(before, after, "weights must be reverted and hooks removed");
         assert_eq!(det.networks()[0].num_hooks(), 0);
+    }
+
+    #[test]
+    fn resil_detector_runs_in_lockstep_and_stays_pristine() {
+        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+        let mut det = YoloGrid::new(&dcfg);
+        let mut resil = YoloGrid::new(&dcfg);
+        let reference = YoloGrid::new(&dcfg);
+        let probe = Tensor::ones(&[1, 3, 32, 32]);
+        let before = reference.detect(&probe).unwrap();
+
+        let mut s = Scenario::default();
+        s.dataset_size = 3;
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let ds = DetectionDataset::new(3, dcfg.num_classes, 3, 32, 3);
+        let loader = DetectionLoader::new(ds, 1);
+        let result = ObjDetCampaign::new(&mut det, s, loader)
+            .with_resil_detector(&mut resil)
+            .run_with(&RunConfig::default())
+            .unwrap();
+        for row in &result.rows {
+            // identical model + identical faults => identical output
+            assert_eq!(row.resil.as_ref(), Some(&row.corr));
+        }
+        assert_eq!(resil.detect(&probe).unwrap(), before, "hardened detector left pristine");
+    }
+
+    #[test]
+    fn parallel_resil_matches_sequential() {
+        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+        let mut s = Scenario::default();
+        s.dataset_size = 4;
+        s.injection_target = InjectionTarget::Weights;
+        s.fault_mode = FaultMode::exponent_bit_flip();
+        let run = |threads: usize| {
+            let mut det = YoloGrid::new(&dcfg);
+            let mut resil = YoloGrid::new(&dcfg);
+            let ds = DetectionDataset::new(4, dcfg.num_classes, 3, 32, 3);
+            let loader = DetectionLoader::new(ds, 1);
+            ObjDetCampaign::new(&mut det, s.clone(), loader)
+                .with_resil_detector(&mut resil)
+                .run_with(&RunConfig::new().threads(threads))
+                .unwrap()
+        };
+        let seq = run(1);
+        let par = run(3);
+        for (a, b) in seq.rows.iter().zip(par.rows.iter()) {
+            assert_eq!(a.resil, b.resil);
+            assert_eq!(a.corr, b.corr);
+        }
     }
 
     #[test]
@@ -456,7 +765,7 @@ mod tests {
         s.dataset_size = 3;
         s.injection_target = InjectionTarget::Neurons;
         s.fault_mode = FaultMode::RandomValue { min: 100.0, max: 100.1 };
-        let result = run_with(s);
+        let result = run_campaign(s);
         let applied: usize = result.rows.iter().map(|r| r.faults.len()).sum();
         assert!(applied >= 2, "most neuron faults should land (batch 1), got {applied}");
     }
@@ -466,20 +775,22 @@ mod tests {
         let mut s = Scenario::default();
         s.dataset_size = 3;
         s.injection_target = InjectionTarget::Weights;
-        let a = run_with(s.clone());
-        let b = run_with(s);
+        let a = run_campaign(s.clone());
+        let b = run_campaign(s);
         for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
             assert_eq!(ra.orig, rb.orig);
             assert_eq!(ra.corr, rb.corr);
         }
     }
 
-    fn run_parallel_with(scenario: Scenario, threads: usize) -> DetectionCampaignResult {
+    fn run_campaign_parallel(scenario: Scenario, threads: usize) -> DetectionCampaignResult {
         let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
         let mut det = YoloGrid::new(&dcfg);
         let ds = DetectionDataset::new(scenario.dataset_size, dcfg.num_classes, 3, 32, 3);
         let loader = DetectionLoader::new(ds, scenario.batch_size);
-        ObjDetCampaign::new(&mut det, scenario, loader).run_parallel(threads).unwrap()
+        ObjDetCampaign::new(&mut det, scenario, loader)
+            .run_with(&RunConfig::new().threads(threads))
+            .unwrap()
     }
 
     #[test]
@@ -488,9 +799,9 @@ mod tests {
         s.dataset_size = 5;
         s.injection_target = InjectionTarget::Weights;
         s.fault_mode = FaultMode::exponent_bit_flip();
-        let seq = run_with(s.clone());
+        let seq = run_campaign(s.clone());
         for threads in [1, 2, 4] {
-            let par = run_parallel_with(s.clone(), threads);
+            let par = run_campaign_parallel(s.clone(), threads);
             assert_eq!(par.rows.len(), seq.rows.len());
             for (rs, rp) in seq.rows.iter().zip(par.rows.iter()) {
                 assert_eq!(rs.image_id, rp.image_id);
@@ -509,8 +820,8 @@ mod tests {
         s.dataset_size = 4;
         s.injection_target = InjectionTarget::Neurons;
         s.fault_mode = FaultMode::RandomValue { min: 100.0, max: 100.1 };
-        let seq = run_with(s.clone());
-        let par = run_parallel_with(s, 3);
+        let seq = run_campaign(s.clone());
+        let par = run_campaign_parallel(s, 3);
         for (rs, rp) in seq.rows.iter().zip(par.rows.iter()) {
             assert_eq!(rs.corr, rp.corr);
             assert_eq!(rs.faults, rp.faults);
@@ -527,7 +838,9 @@ mod tests {
         s.injection_target = InjectionTarget::Weights;
         let ds = DetectionDataset::new(3, dcfg.num_classes, 3, 32, 3);
         let loader = DetectionLoader::new(ds, 1);
-        assert!(ObjDetCampaign::new(&mut det, s, loader).run_parallel(2).is_err());
+        assert!(ObjDetCampaign::new(&mut det, s, loader)
+            .run_with(&RunConfig::new().threads(2))
+            .is_err());
     }
 
     #[test]
@@ -560,7 +873,37 @@ mod tests {
         s.injection_target = InjectionTarget::Weights;
         let ds = DetectionDataset::new(2, dcfg.num_classes, 3, 32, 3);
         let loader = DetectionLoader::new(ds, 1);
-        let err = ObjDetCampaign::new(&mut det, s, loader).run_parallel(2).unwrap_err();
+        let err = ObjDetCampaign::new(&mut det, s, loader)
+            .run_with(&RunConfig::new().threads(2))
+            .unwrap_err();
         assert!(matches!(err, CoreError::Unsupported { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn save_outputs_writes_the_replay_set() {
+        let mut s = Scenario::default();
+        s.dataset_size = 2;
+        s.injection_target = InjectionTarget::Weights;
+        let dir = std::env::temp_dir().join("alfi_det_replay_set");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
+        let mut det = YoloGrid::new(&dcfg);
+        let ds = DetectionDataset::new(2, dcfg.num_classes, 3, 32, 3);
+        let loader = DetectionLoader::new(ds, 1);
+        let result = ObjDetCampaign::new(&mut det, s, loader)
+            .run_with(
+                &RunConfig::new()
+                    .recorder(alfi_trace::Recorder::new())
+                    .save_dir(&dir),
+            )
+            .unwrap();
+        for f in ["scenario.yml", "faults.bin", "trace.bin", "events.jsonl"] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let m = crate::persist::load_fault_matrix(dir.join("faults.bin")).unwrap();
+        assert_eq!(m, result.fault_matrix);
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert!(events.contains("\"campaign\":\"detection\""));
+        assert!(events.contains("\"event\":\"summary\""));
     }
 }

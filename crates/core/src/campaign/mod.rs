@@ -3,9 +3,11 @@
 //! and produce the paper's three output sets.
 
 pub mod classification;
+pub mod config;
 pub mod detection;
 
 pub use classification::{
     ClassificationCampaignResult, ClassificationRow, CsvVariant, ImgClassCampaign, TopK,
 };
+pub use config::RunConfig;
 pub use detection::{DetectionCampaignResult, DetectionRow, ObjDetCampaign};

@@ -30,6 +30,23 @@ pub fn corrupt_value(original: f32, value: FaultValue) -> (f32, Option<FlipDirec
     }
 }
 
+/// Converts one applied fault into its structured trace event. The bit
+/// position comes straight from the fault value (bit flips and stuck-at
+/// faults are bit-addressed; value replacements are not).
+pub fn injection_event(image_id: u64, applied: &AppliedFault) -> alfi_trace::InjectionEvent {
+    alfi_trace::InjectionEvent {
+        image_id,
+        layer: applied.record.layer,
+        bit: match applied.record.value {
+            FaultValue::BitFlip(pos) => Some(pos),
+            FaultValue::StuckAt { pos, .. } => Some(pos),
+            FaultValue::Replace(_) => None,
+        },
+        original: applied.original,
+        corrupted: applied.corrupted,
+    }
+}
+
 /// Computes the flat index of a neuron fault within an output tensor,
 /// or `None` if the coordinates fall outside the actual shape (e.g. a
 /// partial final batch) — such faults are skipped and counted.

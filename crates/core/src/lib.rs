@@ -62,11 +62,14 @@ pub mod sweep;
 
 pub use error::CoreError;
 pub use fault::{AppliedFault, FaultRecord, FaultValue};
-pub use injector::{arm_faults, corrupt_value, ArmedFaults, FaultyModel, FimodelIter, Ptfiwrap};
+pub use campaign::RunConfig;
+pub use injector::{
+    arm_faults, corrupt_value, injection_event, ArmedFaults, FaultyModel, FimodelIter, Ptfiwrap,
+};
 pub use matrix::{layer_weights, resolve_targets, FaultMatrix, LayerTarget};
 pub use monitor::{attach_monitor, NanInfCounts, NanInfMonitor, RangeMonitor};
 pub use sweep::ScenarioSweep;
 pub use persist::{
-    crc32, decode_fault_matrix, encode_fault_matrix, load_fault_matrix, save_fault_matrix,
-    RunTrace, TraceEntry,
+    crc32, decode_fault_matrix, encode_fault_matrix, load_fault_matrix, save_events,
+    save_fault_matrix, RunTrace, TraceEntry,
 };

@@ -60,6 +60,15 @@ impl NanInfMonitor {
     pub fn reset(&self) {
         self.counts.lock().unwrap().clear();
     }
+
+    /// Rolls the current totals up into a trace recorder's NaN/Inf
+    /// tallies. No-op for a disabled recorder.
+    pub fn report_to(&self, recorder: &alfi_trace::Recorder) {
+        if recorder.is_enabled() {
+            let t = self.totals();
+            recorder.record_nonfinite(t.nan as u64, t.inf as u64);
+        }
+    }
 }
 
 impl ForwardHook for NanInfMonitor {

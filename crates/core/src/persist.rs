@@ -297,6 +297,22 @@ pub fn load_fault_matrix(path: impl AsRef<Path>) -> Result<FaultMatrix, CoreErro
     decode_fault_matrix(&data)
 }
 
+/// Writes a recorder's JSONL event log as `events.jsonl` into `dir` —
+/// the observability companion of the paper's three output sets. No-op
+/// (and no file) for a disabled recorder.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Io`] on filesystem failure.
+pub fn save_events(recorder: &alfi_trace::Recorder, dir: impl AsRef<Path>) -> Result<(), CoreError> {
+    if !recorder.is_enabled() {
+        return Ok(());
+    }
+    std::fs::create_dir_all(dir.as_ref())?;
+    recorder.write_events(dir.as_ref().join(alfi_trace::EVENTS_FILE))?;
+    Ok(())
+}
+
 /// One trace entry: what actually happened when a fault was applied
 /// during inference, plus the per-inference NaN/Inf monitor counts.
 #[derive(Debug, Clone, Copy, PartialEq)]

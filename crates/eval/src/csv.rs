@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn round_trips_a_real_campaign_csv() {
-        use alfi_core::campaign::{CsvVariant, ImgClassCampaign};
+        use alfi_core::campaign::{CsvVariant, ImgClassCampaign, RunConfig};
         use alfi_datasets::{ClassificationDataset, ClassificationLoader};
         use alfi_nn::models::{alexnet, ModelConfig};
         use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
@@ -202,7 +202,7 @@ mod tests {
         s.fault_mode = FaultMode::exponent_bit_flip();
         let ds = ClassificationDataset::new(3, mcfg.num_classes, 3, 16, 1);
         let loader = ClassificationLoader::new(ds, 1);
-        let result = ImgClassCampaign::new(alexnet(&mcfg), s, loader).run().unwrap();
+        let result = ImgClassCampaign::new(alexnet(&mcfg), s, loader).run_with(&RunConfig::default()).unwrap();
         let csv = result.to_csv(CsvVariant::Corrupted);
         let rows = parse_classification_csv(&csv).unwrap();
         assert_eq!(rows.len(), result.rows.len());

@@ -108,6 +108,7 @@ mod tests {
             ground_truth: vec![],
             orig,
             corr,
+            resil: None,
             faults: vec![],
             corr_nan: nan,
             corr_inf: 0,

@@ -97,6 +97,11 @@ pub fn write_detection_outputs(
         .map_err(|e| CoreError::Io(e.to_string()))?;
     std::fs::write(dir.join("detections_corr.json"), ToJson::to_json(&corr).pretty())
         .map_err(|e| CoreError::Io(e.to_string()))?;
+    if result.rows.iter().any(|r| r.resil.is_some()) {
+        let resil = to_preds(&|r| r.resil.clone().unwrap_or_default());
+        std::fs::write(dir.join("detections_resil.json"), ToJson::to_json(&resil).pretty())
+            .map_err(|e| CoreError::Io(e.to_string()))?;
+    }
 
     let summary = detection_summary(result, num_classes, iou_thresh);
     std::fs::write(dir.join("metrics.json"), ToJson::to_json(&summary).pretty())
@@ -142,6 +147,7 @@ mod tests {
                     ground_truth: vec![GroundTruthBox { bbox: [0.0, 0.0, 10.0, 10.0], category_id: 1 }],
                     orig: vec![det(0.0, 1, 0.9)],
                     corr: vec![det(40.0, 1, 0.9)],
+                    resil: None,
                     faults: vec![],
                     corr_nan: 0,
                     corr_inf: 0,
@@ -151,6 +157,7 @@ mod tests {
                     ground_truth: vec![GroundTruthBox { bbox: [5.0, 0.0, 10.0, 10.0], category_id: 0 }],
                     orig: vec![det(5.0, 0, 0.8)],
                     corr: vec![det(5.0, 0, 0.8)],
+                    resil: None,
                     faults: vec![],
                     corr_nan: 0,
                     corr_inf: 0,

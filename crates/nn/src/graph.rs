@@ -302,6 +302,30 @@ impl Network {
     /// Returns [`NnError::InvalidGraph`] if no output node is set, or any
     /// layer error encountered during evaluation.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.forward_inner(input, None)
+    }
+
+    /// Runs a forward pass like [`Network::forward`] while attributing
+    /// each node's evaluation time to its layer name on the given
+    /// recorder. With a disabled recorder this takes the exact
+    /// [`Network::forward`] path — no clocks are read per node.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::forward`].
+    pub fn forward_traced(
+        &self,
+        input: &Tensor,
+        recorder: &alfi_trace::Recorder,
+    ) -> Result<Tensor, NnError> {
+        self.forward_inner(input, recorder.is_enabled().then_some(recorder))
+    }
+
+    fn forward_inner(
+        &self,
+        input: &Tensor,
+        recorder: Option<&alfi_trace::Recorder>,
+    ) -> Result<Tensor, NnError> {
         let out = self.output.ok_or_else(|| {
             NnError::InvalidGraph(format!("network `{}` has no output node", self.name))
         })?;
@@ -319,7 +343,11 @@ impl Network {
                     })
                     .collect::<Result<_, _>>()?
             };
+            let started = recorder.map(|_| std::time::Instant::now());
             let mut out_t = node.layer.forward(&inputs)?;
+            if let (Some(rec), Some(t0)) = (recorder, started) {
+                rec.record_layer_ns(&node.name, t0.elapsed().as_nanos() as u64);
+            }
             if !self.hooks[id].is_empty() {
                 let ctx =
                     LayerCtx { node_id: id, name: node.name.clone(), kind: node.layer.kind() };
@@ -519,6 +547,24 @@ mod tests {
         let y = net.forward(&x).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn forward_traced_matches_forward_and_times_each_layer() {
+        let net = toy_net();
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let rec = alfi_trace::Recorder::new();
+        let y = net.forward_traced(&x, &rec).unwrap();
+        assert_eq!(y.data(), net.forward(&x).unwrap().data());
+        let summary = rec.summary();
+        for name in ["conv", "relu", "flatten", "fc"] {
+            let t = summary.layer_forward.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(t.count, 1);
+        }
+        // a disabled recorder collects nothing
+        let off = alfi_trace::Recorder::disabled();
+        net.forward_traced(&x, &off).unwrap();
+        assert!(off.summary().layer_forward.is_empty());
     }
 
     #[test]

@@ -61,6 +61,10 @@ thread_local! {
     /// Thread-local override of the default parallelism (see
     /// [`with_parallelism`]).
     static LOCAL_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Deterministic identity of the current thread for observability:
+    /// `0` on every non-pool thread, `i + 1` on worker `alfi-pool-{i}`.
+    /// Set once at spawn and never changed (see [`worker_index`]).
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(0) };
 }
 
 /// A captured panic from a pool worker, with best-effort message
@@ -333,10 +337,14 @@ impl ThreadPool {
         let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
         while workers.len() < want {
             let inner = Arc::clone(&self.inner);
+            let index = workers.len() + 1;
             let name = format!("alfi-pool-{}", workers.len());
             let handle = std::thread::Builder::new()
                 .name(name)
-                .spawn(move || inner.worker_loop())
+                .spawn(move || {
+                    WORKER_INDEX.with(|c| c.set(index));
+                    inner.worker_loop()
+                })
                 .expect("spawning a pool worker thread failed");
             workers.push(handle);
         }
@@ -576,6 +584,17 @@ pub fn in_parallel_task() -> bool {
     IN_TASK.with(|c| c.get())
 }
 
+/// Deterministic index of the current thread for per-worker span
+/// attribution (used by `alfi-trace`): `0` for any thread that is not a
+/// pool worker (including the submitting caller, which also executes
+/// tasks), `i + 1` for the worker named `alfi-pool-{i}`. Indices are
+/// assigned at spawn in creation order and are stable for the life of
+/// the process, so traces from repeated runs attribute work to the same
+/// identities.
+pub fn worker_index() -> usize {
+    WORKER_INDEX.with(|c| c.get())
+}
+
 /// The parallelism a data-parallel kernel should use right now: 1
 /// inside a pool task, otherwise the thread-local override set by
 /// [`with_parallelism`] or the global pool's default.
@@ -634,6 +653,22 @@ mod tests {
         assert_eq!(seen.len(), 257);
         let unique: HashSet<usize> = seen.iter().copied().collect();
         assert_eq!(unique.len(), 257);
+    }
+
+    #[test]
+    fn worker_indices_are_deterministic_and_bounded() {
+        assert_eq!(worker_index(), 0, "a non-pool thread has index 0");
+        let pool = ThreadPool::new(4);
+        let seen = Mutex::new(HashSet::new());
+        pool.for_each(4, 512, |_| {
+            seen.lock().unwrap().insert(worker_index());
+            std::thread::yield_now();
+        });
+        let seen = seen.into_inner().unwrap();
+        // caller (0) plus at most three spawned workers (1..=3)
+        assert!(!seen.is_empty());
+        assert!(seen.iter().all(|&w| w <= 3), "indices bounded by pool size: {seen:?}");
+        assert_eq!(worker_index(), 0, "caller index unchanged after the run");
     }
 
     #[test]

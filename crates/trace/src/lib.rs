@@ -1,0 +1,902 @@
+#![warn(missing_docs)]
+//! # alfi-trace
+//!
+//! Campaign observability for the ALFI workspace. PyTorchALFI's value
+//! proposition is *validation efficiency at scale* (PAPER.md §IV):
+//! large fault-injection campaigns must be monitorable while they run
+//! and exactly attributable afterwards. This crate provides the
+//! cross-cutting instrumentation layer the campaign drivers, thread
+//! pool, network graphs and benches share:
+//!
+//! * [`Recorder`] — a lock-cheap, clonable handle collecting span
+//!   timings (monotonic clocks), per-layer / per-bit-position injection
+//!   counters, fault-effect tallies keyed by SDC/DUE/masked outcome and
+//!   NaN/Inf monitor rollups. A disabled recorder
+//!   ([`Recorder::disabled`]) is a no-op constant: every method returns
+//!   immediately without reading a clock or touching a lock, so
+//!   uninstrumented runs pay nothing.
+//! * a **live progress line** for long campaigns (rate-limited to
+//!   [`PROGRESS_INTERVAL_MS`], opt-in via [`Recorder::with_progress`]);
+//! * a structured **JSONL event log** ([`Recorder::events_jsonl`])
+//!   whose header records the scenario hash, seed and thread count so
+//!   any run is attributable and replayable. Events carry **no wall
+//!   clock timestamps** and are emitted in deterministic (row) order by
+//!   the campaign drivers, so the log is byte-identical across thread
+//!   counts (modulo the recorded thread-count header field);
+//! * an end-of-run [`TraceSummary`] with per-phase timing histograms
+//!   (p50/p95/max for forward, inject, eval and persist).
+//!
+//! # Example
+//!
+//! ```
+//! use alfi_trace::{EffectClass, InjectionEvent, Phase, Recorder, RunMeta};
+//!
+//! let rec = Recorder::new();
+//! rec.set_meta(RunMeta {
+//!     campaign: "classification".into(),
+//!     model: "alexnet".into(),
+//!     scenario_hash: alfi_trace::hash_hex(b"scenario-yaml"),
+//!     seed: 7,
+//!     threads: 1,
+//! });
+//! {
+//!     let _span = rec.span(Phase::Forward);
+//!     // ... forward pass ...
+//! }
+//! rec.record_injection(InjectionEvent {
+//!     image_id: 0,
+//!     layer: 3,
+//!     bit: Some(30),
+//!     original: 1.0,
+//!     corrupted: -2.0e30,
+//! });
+//! rec.record_outcome(EffectClass::Sdc);
+//! let summary = rec.summary();
+//! assert_eq!(summary.injections, 1);
+//! assert_eq!(summary.outcomes.sdc, 1);
+//! let log = rec.events_jsonl();
+//! assert!(log.starts_with("{\"event\":\"header\""));
+//! ```
+
+use alfi_serde::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Version stamp written into the JSONL header record.
+pub const EVENT_FORMAT_VERSION: u32 = 1;
+
+/// Minimum milliseconds between two live progress lines.
+pub const PROGRESS_INTERVAL_MS: u64 = 200;
+
+/// Default file name campaigns write the event log under.
+pub const EVENTS_FILE: &str = "events.jsonl";
+
+/// The campaign phase a [`Span`] attributes its elapsed time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Model forward passes (fault-free, corrupted and hardened).
+    Forward,
+    /// Fault-matrix resolution and arming/disarming of faults.
+    Inject,
+    /// Output post-processing: softmax/top-k, row assembly, KPIs.
+    Eval,
+    /// Artifact persistence (CSV/JSON/binary/event-log writes).
+    Persist,
+}
+
+impl Phase {
+    /// All phases, in reporting order.
+    pub const ALL: [Phase; 4] = [Phase::Forward, Phase::Inject, Phase::Eval, Phase::Persist];
+
+    /// Stable lowercase name used in reports and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Forward => "forward",
+            Phase::Inject => "inject",
+            Phase::Eval => "eval",
+            Phase::Persist => "persist",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Forward => 0,
+            Phase::Inject => 1,
+            Phase::Eval => 2,
+            Phase::Persist => 3,
+        }
+    }
+}
+
+/// Coarse fault-effect classification of one inference — the trace-level
+/// counterpart of the paper's SDC (silent data corruption, called SDE
+/// in the classification KPIs), DUE (detected uncorrectable error, i.e.
+/// NaN/Inf surfaced) and masked outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectClass {
+    /// The fault was absorbed; the reference prediction is unchanged.
+    Masked,
+    /// The prediction silently changed (no error signature).
+    Sdc,
+    /// NaN/Inf surfaced during the corrupted inference.
+    Due,
+}
+
+impl EffectClass {
+    /// Stable lowercase name used in the event log and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            EffectClass::Masked => "masked",
+            EffectClass::Sdc => "sdc",
+            EffectClass::Due => "due",
+        }
+    }
+}
+
+/// The replay header written as the first JSONL record: everything
+/// needed to attribute a log to the campaign that produced it and to
+/// re-run that campaign exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Campaign kind (`classification` / `detection`).
+    pub campaign: String,
+    /// Model or detector name.
+    pub model: String,
+    /// Hash of the serialized scenario (see [`hash_hex`]).
+    pub scenario_hash: String,
+    /// The scenario's fault-generation seed.
+    pub seed: u64,
+    /// Thread count the run was configured with. This is the only
+    /// header field allowed to differ between otherwise-identical runs.
+    pub threads: usize,
+}
+
+/// One applied fault, in deterministic row order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionEvent {
+    /// Dataset image id the fault was attributed to.
+    pub image_id: u64,
+    /// Index into the model's injectable-layer list.
+    pub layer: usize,
+    /// Flipped/stuck bit position; `None` for value-replacement faults.
+    pub bit: Option<u8>,
+    /// Value before corruption.
+    pub original: f32,
+    /// Value after corruption.
+    pub corrupted: f32,
+}
+
+/// Per-phase aggregate timing statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Sum of all span durations in nanoseconds.
+    pub total_ns: u64,
+    /// Median span duration.
+    pub p50_ns: u64,
+    /// 95th-percentile span duration.
+    pub p95_ns: u64,
+    /// Longest span duration.
+    pub max_ns: u64,
+}
+
+/// Accumulated forward time of one named layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerTime {
+    /// Number of recorded evaluations.
+    pub count: u64,
+    /// Sum of all evaluation times in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Fault-effect tallies over all classified inferences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeTallies {
+    /// Inferences whose prediction was unchanged.
+    pub masked: u64,
+    /// Inferences whose prediction silently changed.
+    pub sdc: u64,
+    /// Inferences that surfaced NaN/Inf.
+    pub due: u64,
+}
+
+impl OutcomeTallies {
+    /// Total classified inferences.
+    pub fn total(&self) -> u64 {
+        self.masked + self.sdc + self.due
+    }
+}
+
+/// End-of-run aggregate view of everything a [`Recorder`] collected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// The replay header, when one was set.
+    pub meta: Option<RunMeta>,
+    /// Per-phase timing histograms, keyed by [`Phase::name`]. Phases
+    /// with no recorded spans are omitted.
+    pub phases: BTreeMap<&'static str, PhaseStats>,
+    /// Busy nanoseconds per deterministic worker index (0 = the
+    /// submitting thread).
+    pub worker_busy_ns: BTreeMap<usize, u64>,
+    /// Accumulated forward time per layer name.
+    pub layer_forward: BTreeMap<String, LayerTime>,
+    /// Total applied faults.
+    pub injections: u64,
+    /// Applied faults per injectable-layer index.
+    pub injections_per_layer: BTreeMap<usize, u64>,
+    /// Applied faults per bit position (value-replacement faults are
+    /// not bit-addressed and are excluded).
+    pub injections_per_bit: BTreeMap<u8, u64>,
+    /// Fault-effect tallies.
+    pub outcomes: OutcomeTallies,
+    /// Total NaN elements observed by the monitors.
+    pub nan: u64,
+    /// Total Inf elements observed by the monitors.
+    pub inf: u64,
+    /// Work items (images) finished.
+    pub items: u64,
+    /// Wall-clock nanoseconds since the recorder was created.
+    pub wall_ns: u64,
+}
+
+impl TraceSummary {
+    /// Renders a compact human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(m) = &self.meta {
+            out.push_str(&format!(
+                "run {} ({}) scenario {} seed {} threads {}\n",
+                m.campaign, m.model, m.scenario_hash, m.seed, m.threads
+            ));
+        }
+        out.push_str(&format!(
+            "items {} | injections {} | masked {} sdc {} due {} | nan {} inf {}\n",
+            self.items,
+            self.injections,
+            self.outcomes.masked,
+            self.outcomes.sdc,
+            self.outcomes.due,
+            self.nan,
+            self.inf
+        ));
+        for phase in Phase::ALL {
+            if let Some(s) = self.phases.get(phase.name()) {
+                out.push_str(&format!(
+                    "phase {:<8} n {:<6} p50 {:>10} p95 {:>10} max {:>10} total {:>10}\n",
+                    phase.name(),
+                    s.count,
+                    fmt_ns(s.p50_ns),
+                    fmt_ns(s.p95_ns),
+                    fmt_ns(s.max_ns),
+                    fmt_ns(s.total_ns)
+                ));
+            }
+        }
+        out
+    }
+
+    /// Sum of recorded span time for one phase, in nanoseconds.
+    pub fn phase_total_ns(&self, phase: Phase) -> u64 {
+        self.phases.get(phase.name()).map_or(0, |s| s.total_ns)
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1.0e9 {
+        format!("{:.3}s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3}ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3}µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Shared mutable recorder state. Hot counters are atomics; everything
+/// that needs aggregation (span samples, maps, the event list) sits
+/// behind short-lived uncontended mutexes that are locked once per
+/// item/span — never per tensor element.
+#[derive(Debug)]
+struct Inner {
+    started: Instant,
+    progress: AtomicBool,
+    meta: Mutex<Option<RunMeta>>,
+    phase_ns: [Mutex<Vec<u64>>; 4],
+    worker_busy_ns: Mutex<BTreeMap<usize, u64>>,
+    layer_ns: Mutex<BTreeMap<String, LayerTime>>,
+    layer_inj: Mutex<BTreeMap<usize, u64>>,
+    bit_inj: Mutex<BTreeMap<u8, u64>>,
+    masked: AtomicU64,
+    sdc: AtomicU64,
+    due: AtomicU64,
+    nan: AtomicU64,
+    inf: AtomicU64,
+    events: Mutex<Vec<InjectionEvent>>,
+    applied_live: AtomicU64,
+    items_done: AtomicU64,
+    items_total: AtomicU64,
+    last_progress_ms: AtomicU64,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            started: Instant::now(),
+            progress: AtomicBool::new(false),
+            meta: Mutex::new(None),
+            phase_ns: [Mutex::new(Vec::new()), Mutex::new(Vec::new()), Mutex::new(Vec::new()), Mutex::new(Vec::new())],
+            worker_busy_ns: Mutex::new(BTreeMap::new()),
+            layer_ns: Mutex::new(BTreeMap::new()),
+            layer_inj: Mutex::new(BTreeMap::new()),
+            bit_inj: Mutex::new(BTreeMap::new()),
+            masked: AtomicU64::new(0),
+            sdc: AtomicU64::new(0),
+            due: AtomicU64::new(0),
+            nan: AtomicU64::new(0),
+            inf: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+            applied_live: AtomicU64::new(0),
+            items_done: AtomicU64::new(0),
+            items_total: AtomicU64::new(0),
+            last_progress_ms: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Locks a mutex, recovering the data if a panicking task poisoned it —
+/// the recorder must stay usable while a campaign reports the panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The campaign observability handle.
+///
+/// Cloning is cheap (an [`Arc`] bump); all clones feed the same
+/// underlying state, which is how the campaign drivers, pool workers
+/// and layer timers share one recorder. A **disabled** recorder
+/// (the default, or [`Recorder::disabled`]) holds no state at all:
+/// every method is a branch-and-return, so instrumentation left in hot
+/// paths costs nothing when tracing is off.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// Creates an enabled recorder.
+    pub fn new() -> Recorder {
+        Recorder { inner: Some(Arc::new(Inner::new())) }
+    }
+
+    /// The no-op recorder: collects nothing, never reads a clock.
+    pub const fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Enables (or disables) the live progress line. No-op when the
+    /// recorder is disabled.
+    pub fn with_progress(self, on: bool) -> Recorder {
+        if let Some(inner) = &self.inner {
+            inner.progress.store(on, Ordering::Relaxed);
+        }
+        self
+    }
+
+    /// Sets the replay header written as the first JSONL record.
+    pub fn set_meta(&self, meta: RunMeta) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.meta) = Some(meta);
+        }
+    }
+
+    /// Opens a timing span for `phase` attributed to worker 0 (the
+    /// submitting thread). Dropping the guard records the elapsed time.
+    pub fn span(&self, phase: Phase) -> Span<'_> {
+        self.span_on(phase, 0)
+    }
+
+    /// Opens a timing span for `phase` attributed to the given
+    /// deterministic worker index (`alfi_pool::worker_index()` in pool
+    /// tasks). Disabled recorders return a guard that never reads the
+    /// clock.
+    pub fn span_on(&self, phase: Phase, worker: usize) -> Span<'_> {
+        match &self.inner {
+            Some(inner) => Span { inner: Some(inner), phase, worker, start: Some(Instant::now()) },
+            None => Span { inner: None, phase, worker, start: None },
+        }
+    }
+
+    /// Records a pre-measured phase duration (used where a guard's
+    /// lifetime is awkward).
+    pub fn record_phase_ns(&self, phase: Phase, worker: usize, ns: u64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.phase_ns[phase.index()]).push(ns);
+            *lock(&inner.worker_busy_ns).entry(worker).or_insert(0) += ns;
+        }
+    }
+
+    /// Accumulates forward time for one named layer.
+    pub fn record_layer_ns(&self, layer: &str, ns: u64) {
+        if let Some(inner) = &self.inner {
+            let mut map = lock(&inner.layer_ns);
+            match map.get_mut(layer) {
+                Some(t) => {
+                    t.count += 1;
+                    t.total_ns += ns;
+                }
+                None => {
+                    map.insert(layer.to_string(), LayerTime { count: 1, total_ns: ns });
+                }
+            }
+        }
+    }
+
+    /// Bumps the live applied-fault counter feeding the progress line.
+    /// Call during processing; the structured [`InjectionEvent`]s are
+    /// recorded separately (post-run, in deterministic row order) via
+    /// [`Recorder::record_injection`] and are what the event log and
+    /// summary count.
+    pub fn record_applied(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.applied_live.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one applied fault: bumps the per-layer / per-bit
+    /// counters and appends the structured event. Campaign drivers call
+    /// this in deterministic row order so the event log is reproducible
+    /// across thread counts.
+    pub fn record_injection(&self, ev: InjectionEvent) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.layer_inj).entry(ev.layer).or_insert(0) += 1;
+            if let Some(bit) = ev.bit {
+                *lock(&inner.bit_inj).entry(bit).or_insert(0) += 1;
+            }
+            lock(&inner.events).push(ev);
+        }
+    }
+
+    /// Tallies one classified inference outcome.
+    pub fn record_outcome(&self, outcome: EffectClass) {
+        if let Some(inner) = &self.inner {
+            let counter = match outcome {
+                EffectClass::Masked => &inner.masked,
+                EffectClass::Sdc => &inner.sdc,
+                EffectClass::Due => &inner.due,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds NaN/Inf element counts observed by a monitor.
+    pub fn record_nonfinite(&self, nan: u64, inf: u64) {
+        if let Some(inner) = &self.inner {
+            if nan > 0 {
+                inner.nan.fetch_add(nan, Ordering::Relaxed);
+            }
+            if inf > 0 {
+                inner.inf.fetch_add(inf, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Declares the expected number of work items (images) for progress
+    /// reporting.
+    pub fn begin_items(&self, total: u64) {
+        if let Some(inner) = &self.inner {
+            inner.items_total.store(total, Ordering::Relaxed);
+            inner.items_done.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks one work item finished and, when the progress line is
+    /// enabled, emits a rate-limited status line to stderr.
+    pub fn item_finished(&self) {
+        let Some(inner) = &self.inner else { return };
+        let done = inner.items_done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !inner.progress.load(Ordering::Relaxed) {
+            return;
+        }
+        let total = inner.items_total.load(Ordering::Relaxed);
+        let elapsed_ms = inner.started.elapsed().as_millis() as u64;
+        let last = inner.last_progress_ms.load(Ordering::Relaxed);
+        let final_item = total > 0 && done >= total;
+        if !final_item && elapsed_ms.saturating_sub(last) < PROGRESS_INTERVAL_MS {
+            return;
+        }
+        if inner
+            .last_progress_ms
+            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+            && !final_item
+        {
+            return; // another thread just printed
+        }
+        let rate = if elapsed_ms > 0 { done as f64 * 1000.0 / elapsed_ms as f64 } else { 0.0 };
+        // Campaigns report applied faults live via `record_applied`
+        // (structured `InjectionEvent`s land post-run, in row order).
+        let injections =
+            inner.applied_live.load(Ordering::Relaxed).max(lock(&inner.events).len() as u64);
+        eprintln!(
+            "[alfi] {done}/{total} items | inj {injections} | masked {} sdc {} due {} | {rate:.1} items/s",
+            inner.masked.load(Ordering::Relaxed),
+            inner.sdc.load(Ordering::Relaxed),
+            inner.due.load(Ordering::Relaxed),
+        );
+    }
+
+    /// Builds the end-of-run summary. Disabled recorders return an
+    /// empty default summary.
+    pub fn summary(&self) -> TraceSummary {
+        let Some(inner) = &self.inner else {
+            return TraceSummary {
+                meta: None,
+                phases: BTreeMap::new(),
+                worker_busy_ns: BTreeMap::new(),
+                layer_forward: BTreeMap::new(),
+                injections: 0,
+                injections_per_layer: BTreeMap::new(),
+                injections_per_bit: BTreeMap::new(),
+                outcomes: OutcomeTallies::default(),
+                nan: 0,
+                inf: 0,
+                items: 0,
+                wall_ns: 0,
+            };
+        };
+        let mut phases = BTreeMap::new();
+        for phase in Phase::ALL {
+            let samples = lock(&inner.phase_ns[phase.index()]).clone();
+            if let Some(stats) = phase_stats(&samples) {
+                phases.insert(phase.name(), stats);
+            }
+        }
+        TraceSummary {
+            meta: lock(&inner.meta).clone(),
+            phases,
+            worker_busy_ns: lock(&inner.worker_busy_ns).clone(),
+            layer_forward: lock(&inner.layer_ns).clone(),
+            injections: lock(&inner.events).len() as u64,
+            injections_per_layer: lock(&inner.layer_inj).clone(),
+            injections_per_bit: lock(&inner.bit_inj).clone(),
+            outcomes: OutcomeTallies {
+                masked: inner.masked.load(Ordering::Relaxed),
+                sdc: inner.sdc.load(Ordering::Relaxed),
+                due: inner.due.load(Ordering::Relaxed),
+            },
+            nan: inner.nan.load(Ordering::Relaxed),
+            inf: inner.inf.load(Ordering::Relaxed),
+            items: inner.items_done.load(Ordering::Relaxed),
+            wall_ns: inner.started.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Renders the structured event log: one JSON object per line —
+    /// the replay header, every injection event in recorded order, and
+    /// a closing summary record of the deterministic counters. Contains
+    /// no timing data, so the log is byte-identical across thread
+    /// counts except for the header's `threads` field.
+    ///
+    /// Disabled recorders return an empty string.
+    pub fn events_jsonl(&self) -> String {
+        let Some(inner) = &self.inner else { return String::new() };
+        let mut out = String::new();
+
+        let meta = lock(&inner.meta).clone();
+        let mut header = vec![
+            ("event".to_string(), Json::Str("header".into())),
+            ("format".to_string(), Json::Int(EVENT_FORMAT_VERSION as i128)),
+        ];
+        if let Some(m) = meta {
+            header.push(("campaign".to_string(), Json::Str(m.campaign)));
+            header.push(("model".to_string(), Json::Str(m.model)));
+            header.push(("scenario_hash".to_string(), Json::Str(m.scenario_hash)));
+            header.push(("seed".to_string(), Json::Int(m.seed as i128)));
+            header.push(("threads".to_string(), Json::Int(m.threads as i128)));
+        }
+        out.push_str(&Json::Obj(header).compact());
+        out.push('\n');
+
+        for ev in lock(&inner.events).iter() {
+            let obj = Json::Obj(vec![
+                ("event".to_string(), Json::Str("injection".into())),
+                ("image_id".to_string(), Json::Int(ev.image_id as i128)),
+                ("layer".to_string(), Json::Int(ev.layer as i128)),
+                (
+                    "bit".to_string(),
+                    match ev.bit {
+                        Some(b) => Json::Int(b as i128),
+                        None => Json::Null,
+                    },
+                ),
+                ("original".to_string(), Json::Float(ev.original as f64)),
+                ("corrupted".to_string(), Json::Float(ev.corrupted as f64)),
+            ]);
+            out.push_str(&obj.compact());
+            out.push('\n');
+        }
+
+        let count_map = |m: &BTreeMap<usize, u64>| {
+            Json::Obj(m.iter().map(|(k, v)| (k.to_string(), Json::Int(*v as i128))).collect())
+        };
+        let bit_map = |m: &BTreeMap<u8, u64>| {
+            Json::Obj(m.iter().map(|(k, v)| (k.to_string(), Json::Int(*v as i128))).collect())
+        };
+        let summary = Json::Obj(vec![
+            ("event".to_string(), Json::Str("summary".into())),
+            ("items".to_string(), Json::Int(inner.items_done.load(Ordering::Relaxed) as i128)),
+            ("injections".to_string(), Json::Int(lock(&inner.events).len() as i128)),
+            ("per_layer".to_string(), count_map(&lock(&inner.layer_inj))),
+            ("per_bit".to_string(), bit_map(&lock(&inner.bit_inj))),
+            (
+                "outcomes".to_string(),
+                Json::Obj(vec![
+                    ("masked".to_string(), Json::Int(inner.masked.load(Ordering::Relaxed) as i128)),
+                    ("sdc".to_string(), Json::Int(inner.sdc.load(Ordering::Relaxed) as i128)),
+                    ("due".to_string(), Json::Int(inner.due.load(Ordering::Relaxed) as i128)),
+                ]),
+            ),
+            ("nan".to_string(), Json::Int(inner.nan.load(Ordering::Relaxed) as i128)),
+            ("inf".to_string(), Json::Int(inner.inf.load(Ordering::Relaxed) as i128)),
+        ]);
+        out.push_str(&summary.compact());
+        out.push('\n');
+        out
+    }
+
+    /// Writes [`Recorder::events_jsonl`] to a file. No-op for disabled
+    /// recorders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_events(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        if !self.is_enabled() {
+            return Ok(());
+        }
+        std::fs::write(path, self.events_jsonl())
+    }
+}
+
+/// RAII span guard: records the elapsed time into its phase histogram
+/// (and the worker busy tally) on drop. Disabled guards do nothing.
+#[must_use]
+#[derive(Debug)]
+pub struct Span<'a> {
+    inner: Option<&'a Inner>,
+    phase: Phase,
+    worker: usize,
+    start: Option<Instant>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let (Some(inner), Some(start)) = (self.inner, self.start) {
+            let ns = start.elapsed().as_nanos() as u64;
+            lock(&inner.phase_ns[self.phase.index()]).push(ns);
+            *lock(&inner.worker_busy_ns).entry(self.worker).or_insert(0) += ns;
+        }
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sample set.
+fn phase_stats(samples: &[u64]) -> Option<PhaseStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let pick = |q: f64| {
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    Some(PhaseStats {
+        count: sorted.len() as u64,
+        total_ns: sorted.iter().sum(),
+        p50_ns: pick(0.50),
+        p95_ns: pick(0.95),
+        max_ns: *sorted.last().expect("non-empty"),
+    })
+}
+
+/// FNV-1a 64-bit hash rendered as 16 hex digits — the scenario
+/// fingerprint written into the replay header. Stable across platforms
+/// and releases (the constant offset/prime pair is part of the event
+/// format).
+pub fn hash_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            campaign: "classification".into(),
+            model: "alexnet".into(),
+            scenario_hash: hash_hex(b"demo"),
+            seed: 42,
+            threads: 4,
+        }
+    }
+
+    fn injection(layer: usize, bit: Option<u8>) -> InjectionEvent {
+        InjectionEvent { image_id: 9, layer, bit, original: 1.5, corrupted: -3.0 }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        {
+            let _s = rec.span(Phase::Forward);
+        }
+        rec.record_injection(injection(0, Some(3)));
+        rec.record_outcome(EffectClass::Due);
+        rec.record_nonfinite(5, 5);
+        rec.begin_items(10);
+        rec.item_finished();
+        let s = rec.summary();
+        assert_eq!(s.injections, 0);
+        assert_eq!(s.outcomes.total(), 0);
+        assert!(s.phases.is_empty());
+        assert_eq!(rec.events_jsonl(), "");
+    }
+
+    #[test]
+    fn default_recorder_is_disabled() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_feed_phase_histograms_and_worker_tallies() {
+        let rec = Recorder::new();
+        for _ in 0..3 {
+            let _s = rec.span(Phase::Forward);
+        }
+        rec.record_phase_ns(Phase::Inject, 2, 1_000);
+        let s = rec.summary();
+        let f = s.phases["forward"];
+        assert_eq!(f.count, 3);
+        assert!(f.p50_ns <= f.p95_ns && f.p95_ns <= f.max_ns);
+        assert_eq!(s.phases["inject"].total_ns, 1_000);
+        assert_eq!(s.worker_busy_ns[&2], 1_000);
+        assert!(s.worker_busy_ns.contains_key(&0));
+        assert!(!s.phases.contains_key("persist"));
+    }
+
+    #[test]
+    fn counters_and_events_accumulate() {
+        let rec = Recorder::new();
+        rec.record_injection(injection(3, Some(30)));
+        rec.record_injection(injection(3, Some(24)));
+        rec.record_injection(injection(1, None));
+        rec.record_outcome(EffectClass::Masked);
+        rec.record_outcome(EffectClass::Sdc);
+        rec.record_outcome(EffectClass::Due);
+        rec.record_nonfinite(7, 2);
+        rec.record_layer_ns("conv1", 100);
+        rec.record_layer_ns("conv1", 50);
+        let s = rec.summary();
+        assert_eq!(s.injections, 3);
+        assert_eq!(s.injections_per_layer[&3], 2);
+        assert_eq!(s.injections_per_layer[&1], 1);
+        assert_eq!(s.injections_per_bit.len(), 2);
+        assert_eq!(s.outcomes, OutcomeTallies { masked: 1, sdc: 1, due: 1 });
+        assert_eq!((s.nan, s.inf), (7, 2));
+        assert_eq!(s.layer_forward["conv1"], LayerTime { count: 2, total_ns: 150 });
+    }
+
+    #[test]
+    fn jsonl_has_header_events_and_summary() {
+        let rec = Recorder::new();
+        rec.set_meta(meta());
+        rec.begin_items(1);
+        rec.record_injection(injection(3, Some(30)));
+        rec.record_outcome(EffectClass::Sdc);
+        rec.item_finished();
+        let log = rec.events_jsonl();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"event\":\"header\""));
+        assert!(lines[0].contains("\"scenario_hash\""));
+        assert!(lines[0].contains("\"threads\":4"));
+        assert!(lines[1].contains("\"event\":\"injection\""));
+        assert!(lines[1].contains("\"bit\":30"));
+        assert!(lines[2].contains("\"event\":\"summary\""));
+        assert!(lines[2].contains("\"sdc\":1"));
+        // every line parses as standalone JSON
+        for line in lines {
+            Json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn jsonl_is_reproducible_and_timestamp_free() {
+        let build = || {
+            let rec = Recorder::new();
+            rec.set_meta(meta());
+            for i in 0..4u8 {
+                let _s = rec.span(Phase::Forward); // timing must not leak into events
+                rec.record_injection(injection(i as usize, Some(i)));
+            }
+            rec.record_outcome(EffectClass::Masked);
+            rec.events_jsonl()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn replace_faults_have_null_bit_and_no_bit_counter() {
+        let rec = Recorder::new();
+        rec.record_injection(injection(0, None));
+        assert!(rec.events_jsonl().contains("\"bit\":null"));
+        assert!(rec.summary().injections_per_bit.is_empty());
+        assert_eq!(rec.summary().injections, 1);
+    }
+
+    #[test]
+    fn summary_render_mentions_phases_and_tallies() {
+        let rec = Recorder::new();
+        rec.set_meta(meta());
+        rec.record_phase_ns(Phase::Forward, 0, 2_000_000);
+        rec.record_outcome(EffectClass::Due);
+        let text = rec.summary().render();
+        assert!(text.contains("phase forward"));
+        assert!(text.contains("due 1"));
+        assert!(text.contains("threads 4"));
+    }
+
+    #[test]
+    fn hash_is_stable_and_input_sensitive() {
+        assert_eq!(hash_hex(b""), "cbf29ce484222325");
+        assert_eq!(hash_hex(b"a"), hash_hex(b"a"));
+        assert_ne!(hash_hex(b"a"), hash_hex(b"b"));
+        assert_eq!(hash_hex(b"scenario").len(), 16);
+    }
+
+    #[test]
+    fn progress_counts_items_without_printing_when_disabled() {
+        let rec = Recorder::new(); // progress line off by default
+        rec.begin_items(3);
+        for _ in 0..3 {
+            rec.item_finished();
+        }
+        assert_eq!(rec.summary().items, 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rec = Recorder::new();
+        let clone = rec.clone();
+        clone.record_outcome(EffectClass::Sdc);
+        assert_eq!(rec.summary().outcomes.sdc, 1);
+    }
+
+    #[test]
+    fn phase_stats_percentiles_are_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = phase_stats(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 51); // ((100-1)*0.5).round() = 50 -> sorted[50]
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.max_ns, 100);
+        assert!(phase_stats(&[]).is_none());
+    }
+}

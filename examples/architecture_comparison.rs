@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example architecture_comparison`
 
-use alfi::core::campaign::ImgClassCampaign;
+use alfi::core::campaign::{ImgClassCampaign, RunConfig};
 use alfi::core::ScenarioSweep;
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::eval::{classification_kpis, SdeCriterion};
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for scenario in ScenarioSweep::new(base.clone()).over_seeds([21u64, 22, 23]) {
             let ds = ClassificationDataset::new(n_images, mcfg.num_classes, 3, 32, 5);
             let loader = ClassificationLoader::new(ds, 1);
-            let result = ImgClassCampaign::new(model.clone(), scenario, loader).run()?;
+            let result = ImgClassCampaign::new(model.clone(), scenario, loader).run_with(&RunConfig::default())?;
             let k = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
             sde += k.sde.hits;
             due += k.due.hits;

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example classification_campaign`
 
-use alfi::core::campaign::ImgClassCampaign;
+use alfi::core::campaign::{ImgClassCampaign, RunConfig};
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::eval::{classification_kpis, resil_sde_rate, SdeCriterion};
 use alfi::mitigation::{harden, profile_bounds, Protection};
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut campaign =
         ImgClassCampaign::new(model, scenario, loader).with_resil_model(hardened);
-    let result = campaign.run()?;
+    let result = campaign.run_with(&RunConfig::default())?;
 
     let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
     let resil = resil_sde_rate(&result.rows, SdeCriterion::Top1Mismatch);

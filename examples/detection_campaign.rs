@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example detection_campaign`
 
-use alfi::core::campaign::ObjDetCampaign;
+use alfi::core::campaign::{ObjDetCampaign, RunConfig};
 use alfi::datasets::{DetectionDataset, DetectionLoader};
 use alfi::eval::write_detection_outputs;
 use alfi::nn::detection::{DetectorConfig, YoloGrid};
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ground_truth = dataset.coco_ground_truth();
     let loader = DetectionLoader::new(dataset, scenario.batch_size);
 
-    let result = ObjDetCampaign::new(&mut detector, scenario, loader).run()?;
+    let result = ObjDetCampaign::new(&mut detector, scenario, loader).run_with(&RunConfig::default())?;
     println!("campaign over {} images complete", result.rows.len());
 
     let out = std::path::Path::new("target/alfi_runs/detection");

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example train_and_inject`
 
-use alfi::core::campaign::ImgClassCampaign;
+use alfi::core::campaign::{ImgClassCampaign, RunConfig};
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::eval::{classification_kpis, SdeCriterion};
 use alfi::nn::train::{accuracy, train_step, SgdTrainer};
@@ -126,7 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.faults_per_image = alfi::scenario::FaultCount::Fixed(k);
         scenario.seed = 99;
         let loader = ClassificationLoader::new(test_ds.clone(), 1);
-        let result = ImgClassCampaign::new(net.clone(), scenario, loader).run()?;
+        let result = ImgClassCampaign::new(net.clone(), scenario, loader).run_with(&RunConfig::default())?;
         let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
         println!(
             "{:<8} {:>11.1}% {:>11.1}% {:>8.1}% {:>8.1}% {:>8.1}%",

@@ -7,13 +7,14 @@
 //!
 //! ```text
 //! alfi gen-scenario --out default.yml
-//! alfi classify --scenario default.yml --model vgg16 --out runs/c1 [--protect ranger] [--parallel 4]
-//! alfi detect   --scenario default.yml --model yolo  --out runs/d1
+//! alfi classify --scenario default.yml --model vgg16 --out runs/c1 [--protect ranger] [--parallel 4] [--trace on]
+//! alfi detect   --scenario default.yml --model yolo  --out runs/d1 [--trace on]
 //! alfi inspect-faults runs/c1/faults.bin
 //! ```
 
-use alfi::core::campaign::{ImgClassCampaign, ObjDetCampaign};
+use alfi::core::campaign::{ImgClassCampaign, ObjDetCampaign, RunConfig};
 use alfi::core::{load_fault_matrix, FaultValue};
+use alfi::trace::Recorder;
 use alfi::datasets::{ClassificationDataset, ClassificationLoader, DetectionDataset, DetectionLoader};
 use alfi::eval::{
     classification_kpis, layer_table, outcomes_by_layer, resil_sde_rate, write_detection_outputs,
@@ -41,8 +42,10 @@ USAGE:
   alfi classify --scenario <file> --model <alexnet|vgg16|resnet50|densenet> --out <dir>
                 [--weights <weights.alfiw>]
                 [--protect <ranger|clipper>] [--parallel <threads>]
+                [--trace <on|off>]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi detect   --scenario <file> --model <yolo|retina|frcnn> --out <dir>
+                [--trace <on|off>]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi inspect-faults <faults.bin>
 ";
@@ -107,6 +110,24 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Builds the campaign recorder from `--trace <on|off>` (default off).
+/// `on` enables span timings, counters, the live progress line and the
+/// `events.jsonl` log in the output directory.
+fn trace_recorder(args: &Args) -> Result<Recorder, String> {
+    match args.get_or("trace", "off") {
+        "on" => Ok(Recorder::new().with_progress(true)),
+        "off" => Ok(Recorder::disabled()),
+        other => Err(format!("bad --trace value `{other}` (expected on|off)")),
+    }
+}
+
+/// Prints the end-of-run trace summary for an enabled recorder.
+fn print_trace_summary(recorder: &Recorder) {
+    if recorder.is_enabled() {
+        print!("{}", recorder.summary().render());
     }
 }
 
@@ -226,12 +247,16 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
 
     let threads: usize =
         args.get_or("parallel", "1").parse().map_err(|_| "bad --parallel".to_string())?;
-    let result = if threads > 1 {
-        campaign.run_parallel(threads).map_err(|e| e.to_string())?
-    } else {
-        campaign.run().map_err(|e| e.to_string())?
-    };
-    result.save_outputs(&out_dir).map_err(|e| e.to_string())?;
+    let recorder = trace_recorder(&args)?;
+    let result = campaign
+        .run_with(
+            &RunConfig::new()
+                .threads(threads)
+                .recorder(recorder.clone())
+                .save_dir(&out_dir),
+        )
+        .map_err(|e| e.to_string())?;
+    print_trace_summary(&recorder);
 
     let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
     println!("images: {}", result.rows.len());
@@ -273,9 +298,11 @@ fn cmd_detect(argv: &[String]) -> Result<(), String> {
     );
     let ground_truth = ds.coco_ground_truth();
     let loader = DetectionLoader::new(ds, scenario.batch_size);
+    let recorder = trace_recorder(&args)?;
     let result = ObjDetCampaign::new(detector.as_mut(), scenario, loader)
-        .run()
+        .run_with(&RunConfig::new().recorder(recorder.clone()).save_dir(&out_dir))
         .map_err(|e| e.to_string())?;
+    print_trace_summary(&recorder);
     let summary = write_detection_outputs(&result, &ground_truth, dcfg.num_classes, 0.5, &out_dir)
         .map_err(|e| e.to_string())?;
     println!("model:      {}", summary.model);

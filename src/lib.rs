@@ -14,6 +14,8 @@
 //! | [`nn`] | `alfi-nn` | layers, hooked network graphs, model zoo, detectors |
 //! | [`scenario`] | `alfi-scenario` | `default.yml`-style campaign configuration |
 //! | [`core`] | `alfi-core` | fault matrices, injection engine, persistence, campaigns |
+//! | [`core::monitor`] | `alfi-core` | NaN/Inf + activation-range monitors ([`core::attach_monitor`]) |
+//! | [`trace`] | `alfi-trace` | campaign observability: [`trace::Recorder`], JSONL event log, [`trace::TraceSummary`] |
 //! | [`datasets`] | `alfi-datasets` | synthetic datasets + COCO-style wrappers |
 //! | [`mitigation`] | `alfi-mitigation` | Ranger/Clipper activation-range hardening |
 //! | [`eval`] | `alfi-eval` | SDE/DUE, IVMOD, COCO AP, result writers |
@@ -44,6 +46,35 @@
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Running a campaign with `run_with` + tracing
+//!
+//! Campaigns run through a single entry point, [`prelude::RunConfig`]:
+//! thread count, an optional [`trace::Recorder`] for observability and
+//! an optional output directory in one builder. The default
+//! configuration reproduces the old sequential `run()` byte-for-byte.
+//!
+//! ```
+//! use alfi::prelude::*;
+//! use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+//! use alfi::nn::models::{alexnet, ModelConfig};
+//!
+//! let cfg = ModelConfig { input_hw: 16, width_mult: 0.0625, ..ModelConfig::default() };
+//! let mut scenario = Scenario::default();
+//! scenario.dataset_size = 4;
+//! scenario.injection_target = InjectionTarget::Weights;
+//! let ds = ClassificationDataset::new(4, cfg.num_classes, 3, 16, 1);
+//! let loader = ClassificationLoader::new(ds, scenario.batch_size);
+//!
+//! let recorder = Recorder::new();
+//! let result = ImgClassCampaign::new(alexnet(&cfg), scenario, loader)
+//!     .run_with(&RunConfig::new().threads(1).recorder(recorder.clone()))?;
+//!
+//! let summary = recorder.summary();
+//! assert_eq!(summary.items as usize, result.rows.len());
+//! assert_eq!(summary.injections, 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use alfi_core as core;
 pub use alfi_datasets as datasets;
@@ -52,3 +83,17 @@ pub use alfi_mitigation as mitigation;
 pub use alfi_nn as nn;
 pub use alfi_scenario as scenario;
 pub use alfi_tensor as tensor;
+pub use alfi_trace as trace;
+
+/// One-stop imports for writing a campaign: `use alfi::prelude::*;`.
+pub mod prelude {
+    pub use crate::core::campaign::{
+        ClassificationCampaignResult, DetectionCampaignResult, ImgClassCampaign, ObjDetCampaign,
+        RunConfig,
+    };
+    pub use crate::core::{attach_monitor, NanInfMonitor, RangeMonitor};
+    pub use crate::scenario::{
+        FaultMode, InjectionPolicy, InjectionTarget, Scenario,
+    };
+    pub use crate::trace::{Recorder, TraceSummary};
+}

@@ -5,7 +5,7 @@
 //! (c) metric summary — all parseable, mutually consistent, and
 //! sufficient to recompute the KPIs offline.
 
-use alfi::core::campaign::ObjDetCampaign;
+use alfi::core::campaign::{ObjDetCampaign, RunConfig};
 use alfi::datasets::{CocoGroundTruth, DetectionDataset, DetectionLoader};
 use alfi::eval::{ivmod_kpis, read_predictions, write_detection_outputs, DetectionSummary};
 use alfi::nn::detection::{Detector, DetectorConfig, FrcnnTwoStage, RetinaAnchor, YoloGrid};
@@ -27,7 +27,7 @@ fn fig3_three_output_sets_are_complete_and_consistent() {
     let ds = DetectionDataset::new(6, dcfg.num_classes, 3, 32, 1);
     let gt = ds.coco_ground_truth();
     let loader = DetectionLoader::new(ds, 1);
-    let result = ObjDetCampaign::new(&mut det, scenario(6), loader).run().unwrap();
+    let result = ObjDetCampaign::new(&mut det, scenario(6), loader).run_with(&RunConfig::default()).unwrap();
 
     let dir = std::env::temp_dir().join("alfi_it_fig3");
     let _ = std::fs::remove_dir_all(&dir);
@@ -70,15 +70,15 @@ fn all_three_detector_families_run_campaigns() {
         let rows = match which {
             "yolo" => {
                 let mut d = YoloGrid::new(&dcfg);
-                ObjDetCampaign::new(&mut d, s, loader).run().unwrap().rows
+                ObjDetCampaign::new(&mut d, s, loader).run_with(&RunConfig::default()).unwrap().rows
             }
             "retina" => {
                 let mut d = RetinaAnchor::new(&dcfg);
-                ObjDetCampaign::new(&mut d, s, loader).run().unwrap().rows
+                ObjDetCampaign::new(&mut d, s, loader).run_with(&RunConfig::default()).unwrap().rows
             }
             _ => {
                 let mut d = FrcnnTwoStage::new(&dcfg);
-                ObjDetCampaign::new(&mut d, s, loader).run().unwrap().rows
+                ObjDetCampaign::new(&mut d, s, loader).run_with(&RunConfig::default()).unwrap().rows
             }
         };
         assert_eq!(rows.len(), 3, "{which}");
@@ -108,7 +108,7 @@ fn frcnn_faults_span_both_networks() {
     let loader = DetectionLoader::new(ds, 1);
     let mut s = scenario(40);
     s.weighted_layer_selection = false;
-    let result = ObjDetCampaign::new(&mut det, s, loader).run().unwrap();
+    let result = ObjDetCampaign::new(&mut det, s, loader).run_with(&RunConfig::default()).unwrap();
     let mut hit_backbone = false;
     let mut hit_head = false;
     for row in &result.rows {
@@ -131,7 +131,7 @@ fn exponent_faults_cause_some_detection_sdes() {
     let mut det = YoloGrid::new(&dcfg);
     let ds = DetectionDataset::new(30, dcfg.num_classes, 3, 32, 4);
     let loader = DetectionLoader::new(ds, 1);
-    let result = ObjDetCampaign::new(&mut det, scenario(30), loader).run().unwrap();
+    let result = ObjDetCampaign::new(&mut det, scenario(30), loader).run_with(&RunConfig::default()).unwrap();
     let k = ivmod_kpis(&result.rows, 0.5);
     let corrupted = k.ivmod_sde.value + k.ivmod_due.value;
     assert!(corrupted > 0.0, "30 exponent faults should corrupt at least one image");

@@ -6,7 +6,7 @@
 //! re-use workflow ("the identical set of faults can be utilized
 //! across various experiments", §IV-B) depends on.
 
-use alfi::core::campaign::{CsvVariant, ImgClassCampaign, ObjDetCampaign};
+use alfi::core::campaign::{CsvVariant, ImgClassCampaign, ObjDetCampaign, RunConfig};
 use alfi::core::encode_fault_matrix;
 use alfi::datasets::{ClassificationDataset, ClassificationLoader, DetectionDataset, DetectionLoader};
 use alfi::eval::write_detection_outputs;
@@ -33,7 +33,7 @@ fn run_once(target: InjectionTarget) -> (Vec<u8>, String, String) {
     let ds = ClassificationDataset::new(6, mcfg.num_classes, 3, 16, 11);
     let loader = ClassificationLoader::new(ds, 2);
     let result =
-        ImgClassCampaign::new(alexnet(&mcfg), scenario(target), loader).run().unwrap();
+        ImgClassCampaign::new(alexnet(&mcfg), scenario(target), loader).run_with(&RunConfig::default()).unwrap();
     (
         encode_fault_matrix(&result.fault_matrix),
         result.to_csv(CsvVariant::Original),
@@ -74,7 +74,7 @@ fn parallel_campaign_matches_sequential_bytes() {
         scenario(InjectionTarget::Weights),
         ClassificationLoader::new(ds.clone(), 2),
     )
-    .run()
+    .run_with(&RunConfig::default())
     .unwrap();
     for threads in [1, 3] {
         let par = ImgClassCampaign::new(
@@ -82,7 +82,7 @@ fn parallel_campaign_matches_sequential_bytes() {
             scenario(InjectionTarget::Weights),
             ClassificationLoader::new(ds.clone(), 2),
         )
-        .run_parallel(threads)
+        .run_with(&RunConfig::new().threads(threads))
         .unwrap();
         assert_eq!(
             encode_fault_matrix(&seq.fault_matrix),
@@ -121,8 +121,8 @@ fn parallel_detection_artifacts_match_sequential_bytes() {
         let loader = DetectionLoader::new(ds, 1);
         let mut campaign = ObjDetCampaign::new(&mut det, s.clone(), loader);
         let result = match threads {
-            None => campaign.run().unwrap(),
-            Some(t) => campaign.run_parallel(t).unwrap(),
+            None => campaign.run_with(&RunConfig::default()).unwrap(),
+            Some(t) => campaign.run_with(&RunConfig::new().threads(t)).unwrap(),
         };
         let dir = std::env::temp_dir().join(format!("alfi_it_det_parallel_{tag}"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -153,7 +153,7 @@ fn written_artifacts_are_byte_identical_across_runs() {
         let loader = ClassificationLoader::new(ds, 2);
         let result =
             ImgClassCampaign::new(alexnet(&mcfg), scenario(InjectionTarget::Weights), loader)
-                .run()
+                .run_with(&RunConfig::default())
                 .unwrap();
         let dir = std::env::temp_dir().join(format!("alfi_it_determinism_{tag}"));
         let _ = std::fs::remove_dir_all(&dir);

@@ -2,7 +2,7 @@
 //! mismatched artifacts must produce typed errors, never panics or
 //! silent misbehaviour.
 
-use alfi::core::campaign::ImgClassCampaign;
+use alfi::core::campaign::{ImgClassCampaign, RunConfig};
 use alfi::core::{arm_faults, resolve_targets, CoreError, FaultMatrix, Ptfiwrap, RunTrace};
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::nn::models::{alexnet, vgg16, ModelConfig};
@@ -77,7 +77,7 @@ fn campaign_handles_dataset_smaller_than_scenario() {
     s.injection_target = InjectionTarget::Weights;
     let ds = ClassificationDataset::new(4, mcfg().num_classes, 3, 32, 1);
     let loader = ClassificationLoader::new(ds, 1);
-    let result = ImgClassCampaign::new(alexnet(&mcfg()), s, loader).run().unwrap();
+    let result = ImgClassCampaign::new(alexnet(&mcfg()), s, loader).run_with(&RunConfig::default()).unwrap();
     assert_eq!(result.rows.len(), 4);
     assert_eq!(result.fault_matrix.num_slots(), 10, "matrix keeps full size for replay");
 }
@@ -89,7 +89,7 @@ fn zero_runs_scenario_yields_empty_campaign() {
     s.num_runs = 0;
     let ds = ClassificationDataset::new(4, mcfg().num_classes, 3, 32, 1);
     let loader = ClassificationLoader::new(ds, 1);
-    let result = ImgClassCampaign::new(alexnet(&mcfg()), s, loader).run().unwrap();
+    let result = ImgClassCampaign::new(alexnet(&mcfg()), s, loader).run_with(&RunConfig::default()).unwrap();
     assert!(result.rows.is_empty());
     assert!(result.trace.entries.is_empty());
 }
@@ -132,7 +132,7 @@ fn hardened_model_with_mismatched_layers_is_rejected_by_campaign() {
     let wrong_resil = vgg16(&mcfg()); // 16 layers vs alexnet's 8
     let err = ImgClassCampaign::new(alexnet(&mcfg()), s, loader)
         .with_resil_model(wrong_resil)
-        .run()
+        .run_with(&RunConfig::default())
         .unwrap_err();
     assert!(matches!(err, CoreError::FaultOutOfBounds { .. }));
 }

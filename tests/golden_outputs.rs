@@ -13,7 +13,7 @@
 //! ALFI_REGEN_GOLDEN=1 cargo test --test golden_outputs
 //! ```
 
-use alfi::core::campaign::{CsvVariant, ImgClassCampaign, ObjDetCampaign};
+use alfi::core::campaign::{CsvVariant, ImgClassCampaign, ObjDetCampaign, RunConfig};
 use alfi::datasets::{ClassificationDataset, ClassificationLoader, DetectionDataset, DetectionLoader};
 use alfi::eval::write_detection_outputs;
 use alfi::nn::detection::{DetectorConfig, YoloGrid};
@@ -72,7 +72,7 @@ fn classification_campaign() -> ImgClassCampaign {
 
 #[test]
 fn classification_artifacts_match_goldens() {
-    let seq = classification_campaign().run().unwrap();
+    let seq = classification_campaign().run_with(&RunConfig::default()).unwrap();
     assert_golden(
         "classification",
         "results_orig.csv",
@@ -94,7 +94,7 @@ fn classification_artifacts_match_goldens() {
 
     // The pool-backed parallel driver must hit the same goldens.
     for threads in [2usize, 5] {
-        let par = classification_campaign().run_parallel(threads).unwrap();
+        let par = classification_campaign().run_with(&RunConfig::new().threads(threads)).unwrap();
         assert_golden(
             "classification",
             "results_corr.csv",
@@ -132,8 +132,8 @@ fn detection_artifacts_match_goldens() {
         let loader = DetectionLoader::new(ds, 1);
         let mut campaign = ObjDetCampaign::new(&mut det, detection_scenario(), loader);
         let result = match threads {
-            None => campaign.run().unwrap(),
-            Some(t) => campaign.run_parallel(t).unwrap(),
+            None => campaign.run_with(&RunConfig::default()).unwrap(),
+            Some(t) => campaign.run_with(&RunConfig::new().threads(t)).unwrap(),
         };
         let dir = std::env::temp_dir().join(format!("alfi_it_golden_det_{tag}"));
         let _ = std::fs::remove_dir_all(&dir);

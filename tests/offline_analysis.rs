@@ -3,7 +3,7 @@
 //! recompute the paper's layer-wise / bit-wise breakdowns from the
 //! reloaded artifacts alone.
 
-use alfi::core::campaign::{CsvVariant, ImgClassCampaign};
+use alfi::core::campaign::{CsvVariant, ImgClassCampaign, RunConfig};
 use alfi::core::RunTrace;
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::eval::{
@@ -24,7 +24,7 @@ fn persisted_outputs_support_full_offline_analysis() {
     s.seed = 77;
     let ds = ClassificationDataset::new(20, mcfg.num_classes, 3, 16, 4);
     let loader = ClassificationLoader::new(ds, 1);
-    let result = ImgClassCampaign::new(alexnet(&mcfg), s, loader).run().unwrap();
+    let result = ImgClassCampaign::new(alexnet(&mcfg), s, loader).run_with(&RunConfig::default()).unwrap();
 
     let dir = std::env::temp_dir().join("alfi_it_offline");
     let _ = std::fs::remove_dir_all(&dir);

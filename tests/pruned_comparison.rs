@@ -1,7 +1,7 @@
 //! Integration test: the "original vs pruned model robustness" use case
 //! (§V) — identical fault files applied to both variants.
 
-use alfi::core::campaign::ImgClassCampaign;
+use alfi::core::campaign::{ImgClassCampaign, RunConfig};
 use alfi::core::Ptfiwrap;
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::eval::{classification_kpis, SdeCriterion};
@@ -55,7 +55,7 @@ fn pruned_campaign_runs_and_reports_kpis() {
     let run = |net| {
         let ds = ClassificationDataset::new(20, mcfg().num_classes, 3, 16, 2);
         let loader = ClassificationLoader::new(ds, 1);
-        let result = ImgClassCampaign::new(net, scenario(), loader).run().unwrap();
+        let result = ImgClassCampaign::new(net, scenario(), loader).run_with(&RunConfig::default()).unwrap();
         classification_kpis(&result.rows, SdeCriterion::Top1Mismatch)
     };
     let model = alexnet(&mcfg());

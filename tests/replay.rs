@@ -7,7 +7,7 @@
 //! reconstructs the world from files alone, and asserts bit-identical
 //! results.
 
-use alfi::core::campaign::{CsvVariant, ImgClassCampaign};
+use alfi::core::campaign::{CsvVariant, ImgClassCampaign, RunConfig};
 use alfi::core::{load_fault_matrix, Ptfiwrap, RunTrace};
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::nn::models::{alexnet, ModelConfig};
@@ -36,7 +36,7 @@ fn campaign_replayed_from_files_is_bit_identical() {
     let mcfg = model_cfg();
     let ds = ClassificationDataset::new(5, mcfg.num_classes, 3, 16, 3);
     let loader = ClassificationLoader::new(ds.clone(), 1);
-    let result1 = ImgClassCampaign::new(alexnet(&mcfg), scenario(), loader).run().unwrap();
+    let result1 = ImgClassCampaign::new(alexnet(&mcfg), scenario(), loader).run_with(&RunConfig::default()).unwrap();
     result1.save_outputs(&dir).unwrap();
 
     // Second run: reconstruct scenario + fault matrix purely from disk.
@@ -66,7 +66,7 @@ fn campaign_replayed_from_files_is_bit_identical() {
 
     // A second full campaign produces identical CSVs.
     let loader = ClassificationLoader::new(ds, 1);
-    let result2 = ImgClassCampaign::new(alexnet(&mcfg), s2, loader).run().unwrap();
+    let result2 = ImgClassCampaign::new(alexnet(&mcfg), s2, loader).run_with(&RunConfig::default()).unwrap();
     assert_eq!(
         result1.to_csv(CsvVariant::Corrupted),
         result2.to_csv(CsvVariant::Corrupted)

@@ -7,7 +7,7 @@
 //! markedly lower SDE rate than the unprotected one (the Fig. 2a
 //! relationship).
 
-use alfi::core::campaign::ImgClassCampaign;
+use alfi::core::campaign::{ImgClassCampaign, RunConfig};
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::eval::{classification_kpis, resil_sde_rate, SdeCriterion};
 use alfi::mitigation::{harden, profile_bounds, Protection};
@@ -37,7 +37,7 @@ fn run_protected_campaign(protection: Protection, faults_per_image: usize) -> (f
     let loader = ClassificationLoader::new(ds, 1);
     let result = ImgClassCampaign::new(model, s, loader)
         .with_resil_model(hardened)
-        .run()
+        .run_with(&RunConfig::default())
         .unwrap();
 
     let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
@@ -87,7 +87,7 @@ fn all_three_outputs_are_logged_per_image() {
     s.injection_target = InjectionTarget::Weights;
     let loader = ClassificationLoader::new(ds, 1);
     let result =
-        ImgClassCampaign::new(model, s, loader).with_resil_model(hardened).run().unwrap();
+        ImgClassCampaign::new(model, s, loader).with_resil_model(hardened).run_with(&RunConfig::default()).unwrap();
 
     for row in &result.rows {
         assert_eq!(row.orig_top5.len(), 5);

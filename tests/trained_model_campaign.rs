@@ -3,7 +3,7 @@
 //! model, asserting both that training genuinely works and that fault
 //! masking behaves as expected on an accurate model.
 
-use alfi::core::campaign::ImgClassCampaign;
+use alfi::core::campaign::{ImgClassCampaign, RunConfig};
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::eval::{classification_kpis, SdeCriterion};
 use alfi::nn::train::{accuracy, train_step, SgdTrainer};
@@ -87,7 +87,7 @@ fn training_reaches_high_accuracy_and_masks_single_faults() {
         s.faults_per_image = FaultCount::Fixed(k);
         s.seed = 99;
         let loader = ClassificationLoader::new(test_ds.clone(), 1);
-        let result = ImgClassCampaign::new(net.clone(), s, loader).run().unwrap();
+        let result = ImgClassCampaign::new(net.clone(), s, loader).run_with(&RunConfig::default()).unwrap();
         let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
         (kpis.sde.hits + kpis.due.hits, kpis.orig_top1_accuracy.value)
     };
