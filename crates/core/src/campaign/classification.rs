@@ -4,19 +4,25 @@
 //! Runs fault-free, faulty and (optionally) hardened model instances in
 //! lock-step over a dataset, producing per-image top-5 rows, the applied
 //! fault trace and CSV/YAML/binary output files (§V-B, §V-F-1).
+//!
+//! The campaign is a thin [`CampaignTask`] adapter: policy iteration,
+//! fault-slot assignment, replay validation, tracing, pool fan-out and
+//! persistence all live in the shared campaign [`Engine`].
 
 use crate::campaign::config::RunConfig;
+use crate::campaign::engine::{CampaignTask, Engine, ScopeCtx, ScopeSink};
 use crate::error::CoreError;
 use crate::fault::AppliedFault;
-use crate::injector::{arm_faults, injection_event};
-use crate::matrix::{resolve_targets, FaultMatrix, LayerTarget};
+use crate::injector::arm_faults;
+use crate::matrix::{FaultMatrix, LayerTarget};
 use crate::monitor::{attach_monitor, NanInfMonitor};
-use crate::persist::{save_events, save_fault_matrix, RunTrace, TraceEntry};
+use crate::persist::{save_fault_matrix, RunTrace, TraceEntry};
 use alfi_datasets::loader::ClassificationLoader;
 use alfi_nn::Network;
 use alfi_scenario::{InjectionPolicy, Scenario};
 use alfi_tensor::Tensor;
-use alfi_trace::{EffectClass, Phase, Recorder, RunMeta};
+use alfi_trace::{EffectClass, Phase, Recorder};
+use std::ops::ControlFlow;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -143,6 +149,17 @@ pub enum CsvVariant {
     Resilient,
 }
 
+/// One classification fault scope: a stacked `[n, c, h, w]` image
+/// tensor with the matching dataset records and labels — a single
+/// image under `per_image`, a whole batch under
+/// `per_batch`/`per_epoch`.
+#[derive(Debug)]
+pub struct ClassificationScope {
+    images: Tensor,
+    records: Vec<alfi_datasets::ImageRecord>,
+    labels: Vec<usize>,
+}
+
 /// The high-level classification campaign runner.
 #[derive(Debug)]
 pub struct ImgClassCampaign {
@@ -169,12 +186,128 @@ impl ImgClassCampaign {
 
     /// Adds a hardened model to run in lock-step under the *same* faults
     /// — the paper's "tight integration of fault-free, faulty, and
-    /// enhanced models". The hardened model must expose the same
-    /// injectable-layer list (mitigation wrappers insert only
-    /// non-injectable protection nodes, preserving it).
+    /// enhanced models". It must expose the same injectable-layer list.
     pub fn with_resil_model(mut self, resil: Network) -> Self {
         self.resil_model = Some(resil);
         self
+    }
+
+    /// Runs the campaign with the given [`RunConfig`] — the single
+    /// entry point for every driver and thread count, delegating to the
+    /// shared campaign [`Engine`] (see its docs for dispatch, tracing
+    /// and persistence semantics). `RunConfig::default()` reproduces
+    /// the sequential driver byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution/injection errors; an exhausted fault matrix
+    /// ends the run gracefully instead. With `threads > 1` a
+    /// non-`per_image` policy is rejected and a panicking worker
+    /// surfaces as [`CoreError::WorkerPanic`].
+    pub fn run_with(&mut self, cfg: &RunConfig) -> Result<ClassificationCampaignResult, CoreError> {
+        Engine::new(cfg).run(&*self)
+    }
+
+    /// Runs the campaign sequentially with tracing and persistence off.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_with`](Self::run_with).
+    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::default())`")]
+    pub fn run(&mut self) -> Result<ClassificationCampaignResult, CoreError> {
+        Engine::sequential(&*self)
+    }
+
+    /// Parallel variant of [`run_with`](Self::run_with) for `per_image`
+    /// scenarios. Unlike `run_with` with `threads: 1`, `threads == 1`
+    /// here still uses the parallel driver (pool task guards stay
+    /// active).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_with`](Self::run_with).
+    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::new().threads(n))`")]
+    pub fn run_parallel(&mut self, threads: usize) -> Result<ClassificationCampaignResult, CoreError> {
+        Engine::forced_parallel(&*self, threads)
+    }
+}
+
+impl CampaignTask for ImgClassCampaign {
+    type Scope = ClassificationScope;
+    type Row = ClassificationRow;
+    type Result = ClassificationCampaignResult;
+    /// Models are [`Sync`], so workers share the campaign itself.
+    type ParCtx<'s> = &'s ImgClassCampaign;
+
+    fn kind(&self) -> &'static str {
+        "classification"
+    }
+
+    fn model_name(&self) -> String {
+        self.model.name().to_string()
+    }
+
+    fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    fn replay_matrix(&self) -> Option<&FaultMatrix> {
+        self.fault_matrix.as_ref()
+    }
+
+    fn resolve_targets(&self) -> Result<(Vec<LayerTarget>, Option<Vec<LayerTarget>>), CoreError> {
+        let input_dims = {
+            let ds = self.loader.dataset();
+            vec![1, ds.channels(), ds.image_hw(), ds.image_hw()]
+        };
+        let targets =
+            crate::matrix::resolve_targets(&[&self.model], &self.scenario, &[Some(input_dims.clone())])?;
+        let resil_targets = match &self.resil_model {
+            Some(r) => {
+                Some(crate::matrix::resolve_targets(&[r], &self.scenario, &[Some(input_dims)])?)
+            }
+            None => None,
+        };
+        Ok((targets, resil_targets))
+    }
+
+    fn stream_scopes(
+        &self,
+        epoch: u64,
+        sink: &mut ScopeSink<'_, ClassificationScope>,
+    ) -> Result<ControlFlow<()>, CoreError> {
+        let per_image = self.scenario.injection_policy == InjectionPolicy::PerImage;
+        for batch in self.loader.iter_epoch(epoch) {
+            if per_image {
+                // One single-image scope per image: fault batch
+                // coordinates are always 0.
+                for i in 0..batch.labels.len() {
+                    let image = batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
+                    let images = Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
+                    let scope = ClassificationScope {
+                        images,
+                        records: vec![batch.records[i].clone()],
+                        labels: vec![batch.labels[i]],
+                    };
+                    if sink(i == 0, scope)?.is_break() {
+                        return Ok(ControlFlow::Break(()));
+                    }
+                }
+            } else {
+                // One whole-batch scope per batch: a single forward
+                // pass, so neuron faults may target any batch
+                // coordinate, exactly as in the paper.
+                let scope = ClassificationScope {
+                    images: batch.images,
+                    records: batch.records,
+                    labels: batch.labels,
+                };
+                if sink(true, scope)?.is_break() {
+                    return Ok(ControlFlow::Break(()));
+                }
+            }
+        }
+        Ok(ControlFlow::Continue(()))
     }
 
     /// Runs the fault-free / faulty / hardened triple for one fault
@@ -182,22 +315,19 @@ impl ImgClassCampaign {
     /// contained image. Trace entries attribute each applied fault to
     /// the image its batch coordinate addressed (weight faults and
     /// out-of-range coordinates attribute to the scope's first image).
-    #[allow(clippy::too_many_arguments)]
     fn process_scope(
         &self,
-        images: &Tensor,
-        faults: &[crate::fault::FaultRecord],
-        targets: &[LayerTarget],
-        resil_targets: Option<&[LayerTarget]>,
-        records: &[alfi_datasets::ImageRecord],
-        labels: &[usize],
+        ctx: &ScopeCtx<'_>,
+        scope: &ClassificationScope,
         rec: &Recorder,
         rows: &mut Vec<ClassificationRow>,
         trace: &mut RunTrace,
     ) -> Result<(), CoreError> {
-        let n = records.len();
+        let worker = alfi_pool::worker_index();
+        let images = &scope.images;
+        let n = scope.records.len();
         let orig_logits = {
-            let _span = rec.span(Phase::Forward);
+            let _span = rec.span_on(Phase::Forward, worker);
             self.model.forward_traced(images, rec)?
         };
 
@@ -205,12 +335,12 @@ impl ImgClassCampaign {
         let monitor = Arc::new(NanInfMonitor::new());
         attach_monitor(&mut corrupted, Arc::<NanInfMonitor>::clone(&monitor) as _)?;
         let armed = {
-            let _span = rec.span(Phase::Inject);
+            let _span = rec.span_on(Phase::Inject, worker);
             let mut nets = [&mut corrupted];
-            arm_faults(&mut nets, targets, faults, self.scenario.injection_target)?
+            arm_faults(&mut nets, ctx.targets, ctx.faults, self.scenario.injection_target)?
         };
         let corr_logits = {
-            let _span = rec.span(Phase::Forward);
+            let _span = rec.span_on(Phase::Forward, worker);
             corrupted.forward_traced(images, rec)?
         };
         let applied = armed.collect_applied();
@@ -218,44 +348,40 @@ impl ImgClassCampaign {
         let totals = monitor.totals();
         monitor.report_to(rec);
 
-        let resil_logits = match (&self.resil_model, resil_targets) {
+        let resil_logits = match (&self.resil_model, ctx.resil_targets) {
             (Some(resil), Some(rt)) => {
                 let mut hardened = resil.clone();
                 let _armed_r = {
-                    let _span = rec.span(Phase::Inject);
+                    let _span = rec.span_on(Phase::Inject, worker);
                     let mut nets = [&mut hardened];
-                    arm_faults(&mut nets, rt, faults, self.scenario.injection_target)?
+                    arm_faults(&mut nets, rt, ctx.faults, self.scenario.injection_target)?
                 };
-                let _span = rec.span(Phase::Forward);
+                let _span = rec.span_on(Phase::Forward, worker);
                 Some(hardened.forward_traced(images, rec)?)
             }
             _ => None,
         };
 
-        let _eval = rec.span(Phase::Eval);
+        let _eval = rec.span_on(Phase::Eval, worker);
         for a in &applied {
-            let img_idx = if self.scenario.injection_target
-                == alfi_scenario::InjectionTarget::Neurons
-            {
-                a.record.batch.min(n - 1)
-            } else {
-                0
+            let img_idx = match self.scenario.injection_target {
+                alfi_scenario::InjectionTarget::Neurons => a.record.batch.min(n - 1),
+                _ => 0,
             };
             trace.entries.push(TraceEntry {
-                image_id: records[img_idx].image_id,
+                image_id: scope.records[img_idx].image_id,
                 applied: *a,
                 output_nan_count: totals.nan as u32,
                 output_inf_count: totals.inf as u32,
             });
         }
         for i in 0..n {
-            // Faults are listed on every row of the scope (the paper's
-            // per-scope fault set); per-image attribution lives in the
-            // trace entries above.
+            // Faults are listed on every row of the scope; per-image
+            // attribution lives in the trace entries above.
             rows.push(ClassificationRow {
-                image_id: records[i].image_id,
-                file_name: records[i].file_name.clone(),
-                label: labels[i],
+                image_id: scope.records[i].image_id,
+                file_name: scope.records[i].file_name.clone(),
+                label: scope.labels[i],
                 orig_top5: softmax_topk_row(&orig_logits, i, 5)?,
                 corr_top5: softmax_topk_row(&corr_logits, i, 5)?,
                 resil_top5: resil_logits
@@ -271,422 +397,47 @@ impl ImgClassCampaign {
         Ok(())
     }
 
-    /// Resolves the fault matrix: a replayed one (validated against the
-    /// scenario target) or a freshly generated one.
-    fn take_or_generate_matrix(
-        &self,
-        targets: &[LayerTarget],
-    ) -> Result<FaultMatrix, CoreError> {
-        match &self.fault_matrix {
-            Some(m) => {
-                if m.target != self.scenario.injection_target {
-                    return Err(CoreError::CorruptFile {
-                        kind: "fault",
-                        reason: format!(
-                            "replayed matrix target {:?} disagrees with scenario target {:?}",
-                            m.target, self.scenario.injection_target
-                        ),
-                    });
-                }
-                Ok(m.clone())
-            }
-            None => FaultMatrix::generate(&self.scenario, targets),
-        }
+    fn prepare_parallel<'s>(&'s self, _items: usize) -> Result<Self::ParCtx<'s>, CoreError> {
+        Ok(self)
     }
 
-    /// Runs the campaign with the given [`RunConfig`] — the single
-    /// entry point unifying the former `run()` / `run_parallel(n)`
-    /// split. `RunConfig::default()` reproduces `run()` byte-for-byte:
-    /// the sequential driver (supporting every injection policy), no
-    /// tracing, no persistence. With `threads > 1` (or `0` = auto on a
-    /// `per_image` scenario) the independent per-image triples fan out
-    /// on the shared [`alfi_pool`] pool with bit-identical results for
-    /// any thread count. An enabled [`Recorder`] collects phase/layer
-    /// timings, injection counters and fault-effect tallies, and its
-    /// JSONL event log is written as `events.jsonl` when
-    /// [`RunConfig::save_dir`] is set (alongside the classic output
-    /// set, which is persisted under a `persist` span).
-    ///
-    /// # Errors
-    ///
-    /// Returns resolution/injection errors; an exhausted fault matrix
-    /// ends the run gracefully instead. With `threads > 1` a
-    /// non-`per_image` policy is rejected (those fault scopes are
-    /// inherently sequential) and a panicking worker surfaces as
-    /// [`CoreError::WorkerPanic`].
-    pub fn run_with(&mut self, cfg: &RunConfig) -> Result<ClassificationCampaignResult, CoreError> {
-        let rec = cfg.recorder.clone();
-        if rec.is_enabled() {
-            rec.set_meta(RunMeta {
-                campaign: "classification".into(),
-                model: self.model.name().to_string(),
-                scenario_hash: alfi_trace::hash_hex(self.scenario.to_yaml_string().as_bytes()),
-                seed: self.scenario.seed,
-                threads: cfg.threads,
-            });
-            rec.begin_items((self.scenario.dataset_size * self.scenario.num_runs) as u64);
-        }
-        let per_image = self.scenario.injection_policy == InjectionPolicy::PerImage;
-        let result = match cfg.resolve_threads(per_image) {
-            0 | 1 => self.run_seq_impl(&rec)?,
-            threads => self.run_par_impl(threads, &rec)?,
-        };
-        record_run_effects(&rec, &result);
-        if let Some(dir) = &cfg.save_dir {
-            let _span = rec.span(Phase::Persist);
-            result.save_outputs(dir)?;
-            save_events(&rec, dir)?;
-        }
-        Ok(result)
-    }
-
-    /// Runs the campaign: for every image, a fault-free pass, a faulty
-    /// pass (fault set advanced per the injection policy) and optionally
-    /// a hardened pass with identical faults.
-    ///
-    /// # Errors
-    ///
-    /// Returns resolution/injection errors; an exhausted fault matrix
-    /// ends the run gracefully instead.
-    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::default())`")]
-    pub fn run(&mut self) -> Result<ClassificationCampaignResult, CoreError> {
-        self.run_seq_impl(&Recorder::disabled())
-    }
-
-    /// Sequential driver shared by [`run_with`](Self::run_with) and the
-    /// deprecated [`run`](Self::run).
-    fn run_seq_impl(&mut self, rec: &Recorder) -> Result<ClassificationCampaignResult, CoreError> {
-        let input_dims = {
-            let ds = self.loader.dataset();
-            vec![1, ds.channels(), ds.image_hw(), ds.image_hw()]
-        };
-        let targets = resolve_targets(&[&self.model], &self.scenario, &[Some(input_dims.clone())])?;
-        let resil_targets: Option<Vec<LayerTarget>> = match &self.resil_model {
-            Some(r) => {
-                let rt = resolve_targets(&[r], &self.scenario, &[Some(input_dims)])?;
-                if rt.len() != targets.len() {
-                    return Err(CoreError::FaultOutOfBounds {
-                        detail: format!(
-                            "hardened model exposes {} injectable layers, original {}",
-                            rt.len(),
-                            targets.len()
-                        ),
-                    });
-                }
-                Some(rt)
-            }
-            None => None,
-        };
-        let matrix = self.take_or_generate_matrix(&targets)?;
-
-        let mut rows = Vec::new();
-        let mut trace = RunTrace::default();
-        let mut slot = 0usize;
-
-        for epoch in 0..self.scenario.num_runs as u64 {
-            let mut epoch_slot_armed = false;
-            for batch in self.loader.iter_epoch(epoch) {
-                if slot >= matrix.num_slots() {
-                    break;
-                }
-                match self.scenario.injection_policy {
-                    InjectionPolicy::PerImage => {
-                        // One fault slot and one single-image forward per
-                        // image: fault batch coordinates are always 0.
-                        for i in 0..batch.labels.len() {
-                            if slot >= matrix.num_slots() {
-                                break;
-                            }
-                            let faults = matrix.faults_for_slot(slot).to_vec();
-                            slot += 1;
-                            let image =
-                                batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
-                            let image =
-                                Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
-                            self.process_scope(
-                                &image,
-                                &faults,
-                                &targets,
-                                resil_targets.as_deref(),
-                                &batch.records[i..=i],
-                                &batch.labels[i..=i],
-                                rec,
-                                &mut rows,
-                                &mut trace,
-                            )?;
-                        }
-                    }
-                    InjectionPolicy::PerBatch | InjectionPolicy::PerEpoch => {
-                        // One fault slot per scope, applied to a whole-batch
-                        // forward pass — neuron faults may target any batch
-                        // coordinate, exactly as in the paper.
-                        let advance = self.scenario.injection_policy
-                            == InjectionPolicy::PerBatch
-                            || !epoch_slot_armed;
-                        let faults = if advance {
-                            epoch_slot_armed = true;
-                            let f = matrix.faults_for_slot(slot).to_vec();
-                            slot += 1;
-                            f
-                        } else {
-                            matrix.faults_for_slot(slot - 1).to_vec()
-                        };
-                        self.process_scope(
-                            &batch.images,
-                            &faults,
-                            &targets,
-                            resil_targets.as_deref(),
-                            &batch.records,
-                            &batch.labels,
-                            rec,
-                            &mut rows,
-                            &mut trace,
-                        )?;
-                    }
-                }
-            }
-        }
-        Ok(ClassificationCampaignResult {
-            rows,
-            scenario: self.scenario.clone(),
-            fault_matrix: matrix,
-            trace,
-        })
-    }
-}
-
-impl ImgClassCampaign {
-    /// Parallel variant of [`ImgClassCampaign::run`] for `per_image`
-    /// scenarios: images are independent under that policy, so the
-    /// fault-free / faulty / hardened triple per image fans out across
-    /// the shared [`alfi_pool`] pool with parallelism `threads`
-    /// (clamped by `ALFI_POOL_THREADS`). Results are merged in work
-    /// order, so row order, fault assignment and all outputs are
-    /// bit-identical to the sequential run for any thread count.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Scenario`]-level errors as [`run`] does,
-    /// rejects non-`per_image` policies (their fault scopes are
-    /// inherently sequential), and surfaces a panicking worker as
-    /// [`CoreError::WorkerPanic`] instead of unwinding.
-    ///
-    /// [`run`]: ImgClassCampaign::run
-    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::new().threads(n))`")]
-    pub fn run_parallel(&mut self, threads: usize) -> Result<ClassificationCampaignResult, CoreError> {
-        self.run_par_impl(threads, &Recorder::disabled())
-    }
-
-    /// Parallel driver shared by [`run_with`](Self::run_with) and the
-    /// deprecated [`run_parallel`](Self::run_parallel).
-    fn run_par_impl(
-        &mut self,
-        threads: usize,
+    fn process_parallel(
+        ctx: &Self::ParCtx<'_>,
+        scope_ctx: &ScopeCtx<'_>,
+        _idx: usize,
+        scope: &ClassificationScope,
         rec: &Recorder,
-    ) -> Result<ClassificationCampaignResult, CoreError> {
-        if self.scenario.injection_policy != InjectionPolicy::PerImage {
-            return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
-                field: "injection_policy",
-                reason: "run_parallel requires per_image".into(),
-            }));
-        }
-        let threads = threads.max(1);
-        let input_dims = {
-            let ds = self.loader.dataset();
-            vec![1, ds.channels(), ds.image_hw(), ds.image_hw()]
-        };
-        let targets = resolve_targets(&[&self.model], &self.scenario, &[Some(input_dims.clone())])?;
-        let resil_targets: Option<Vec<LayerTarget>> = match &self.resil_model {
-            Some(r) => {
-                let rt = resolve_targets(&[r], &self.scenario, &[Some(input_dims)])?;
-                if rt.len() != targets.len() {
-                    return Err(CoreError::FaultOutOfBounds {
-                        detail: format!(
-                            "hardened model exposes {} injectable layers, original {}",
-                            rt.len(),
-                            targets.len()
-                        ),
-                    });
-                }
-                Some(rt)
-            }
-            None => None,
-        };
-        let matrix = self.take_or_generate_matrix(&targets)?;
-
-        // Materialize the work list: (slot, image tensor, label, record).
-        struct WorkItem {
-            slot: usize,
-            image: Tensor,
-            label: usize,
-            record: alfi_datasets::ImageRecord,
-        }
-        let mut work = Vec::new();
-        let mut slot = 0usize;
-        for epoch in 0..self.scenario.num_runs as u64 {
-            for batch in self.loader.iter_epoch(epoch) {
-                for i in 0..batch.labels.len() {
-                    if slot >= matrix.num_slots() {
-                        break;
-                    }
-                    let image = batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
-                    let image = Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
-                    work.push(WorkItem {
-                        slot,
-                        image,
-                        label: batch.labels[i],
-                        record: batch.records[i].clone(),
-                    });
-                    slot += 1;
-                }
-            }
-        }
-
-        let model = &self.model;
-        let resil = self.resil_model.as_ref();
-        let scenario = &self.scenario;
-        let matrix_ref = &matrix;
-        let targets_ref = &targets;
-        let resil_targets_ref = resil_targets.as_deref();
-
-        // Fan the independent per-image triples out on the shared pool.
-        // `try_run_indexed` merges results in work order (deterministic
-        // for any thread count) and converts a worker panic into an
-        // error instead of a double panic through poisoned mutexes.
-        let outcomes = alfi_pool::global()
-            .try_run_indexed(threads, work.len(), |idx| {
-                let item = &work[idx];
-                process_image(
-                    model,
-                    resil,
-                    scenario,
-                    targets_ref,
-                    resil_targets_ref,
-                    matrix_ref,
-                    item.slot,
-                    &item.image,
-                    item.label,
-                    &item.record,
-                    rec,
-                )
-            })
-            .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
-
-        let mut rows = Vec::with_capacity(work.len());
+    ) -> Result<(Vec<ClassificationRow>, Vec<TraceEntry>), CoreError> {
+        let mut rows = Vec::with_capacity(1);
         let mut trace = RunTrace::default();
-        for outcome in outcomes {
-            let (row, entries) = outcome?;
-            rows.push(row);
-            trace.entries.extend(entries);
-        }
-        Ok(ClassificationCampaignResult {
+        ctx.process_scope(scope_ctx, scope, rec, &mut rows, &mut trace)?;
+        Ok((rows, trace.entries))
+    }
+
+    fn classify_row(&self, row: &ClassificationRow) -> EffectClass {
+        classify_row(row)
+    }
+
+    fn finalize(
+        &self,
+        rows: Vec<ClassificationRow>,
+        matrix: FaultMatrix,
+        trace: RunTrace,
+    ) -> ClassificationCampaignResult {
+        ClassificationCampaignResult {
             rows,
             scenario: self.scenario.clone(),
             fault_matrix: matrix,
             trace,
-        })
-    }
-}
-
-/// Runs the orig/faulty/hardened triple for one image — shared by the
-/// sequential and parallel campaign paths.
-#[allow(clippy::too_many_arguments)]
-fn process_image(
-    model: &Network,
-    resil: Option<&Network>,
-    scenario: &Scenario,
-    targets: &[LayerTarget],
-    resil_targets: Option<&[LayerTarget]>,
-    matrix: &FaultMatrix,
-    slot: usize,
-    image: &Tensor,
-    label: usize,
-    record: &alfi_datasets::ImageRecord,
-    rec: &Recorder,
-) -> Result<(ClassificationRow, Vec<TraceEntry>), CoreError> {
-    let worker = alfi_pool::worker_index();
-    let faults = matrix.faults_for_slot(slot).to_vec();
-
-    let orig_logits = {
-        let _span = rec.span_on(Phase::Forward, worker);
-        model.forward_traced(image, rec)?
-    };
-    let orig_top5 = softmax_topk(&orig_logits, 5)?;
-
-    let mut corrupted = model.clone();
-    let monitor = Arc::new(NanInfMonitor::new());
-    attach_monitor(&mut corrupted, Arc::<NanInfMonitor>::clone(&monitor) as _)?;
-    let armed = {
-        let _span = rec.span_on(Phase::Inject, worker);
-        let mut nets = [&mut corrupted];
-        arm_faults(&mut nets, targets, &faults, scenario.injection_target)?
-    };
-    let corr_logits = {
-        let _span = rec.span_on(Phase::Forward, worker);
-        corrupted.forward_traced(image, rec)?
-    };
-    let corr_top5 = softmax_topk(&corr_logits, 5)?;
-    let applied = armed.collect_applied();
-    rec.record_applied(applied.len() as u64);
-    let totals = monitor.totals();
-    monitor.report_to(rec);
-
-    let resil_top5 = match (resil, resil_targets) {
-        (Some(r), Some(rt)) => {
-            let mut hardened = r.clone();
-            let _armed_r = {
-                let _span = rec.span_on(Phase::Inject, worker);
-                let mut nets = [&mut hardened];
-                arm_faults(&mut nets, rt, &faults, scenario.injection_target)?
-            };
-            let _span = rec.span_on(Phase::Forward, worker);
-            let logits = hardened.forward_traced(image, rec)?;
-            Some(softmax_topk(&logits, 5)?)
         }
-        _ => None,
-    };
-
-    let _eval = rec.span_on(Phase::Eval, worker);
-    let entries: Vec<TraceEntry> = applied
-        .iter()
-        .map(|a| TraceEntry {
-            image_id: record.image_id,
-            applied: *a,
-            output_nan_count: totals.nan as u32,
-            output_inf_count: totals.inf as u32,
-        })
-        .collect();
-    let out = (
-        ClassificationRow {
-            image_id: record.image_id,
-            file_name: record.file_name.clone(),
-            label,
-            orig_top5,
-            corr_top5,
-            resil_top5,
-            faults: applied,
-            corr_nan: totals.nan,
-            corr_inf: totals.inf,
-        },
-        entries,
-    );
-    rec.item_finished();
-    Ok(out)
-}
-
-/// Post-run trace bookkeeping shared by the sequential and parallel
-/// paths: classifies every row's fault effect and emits the structured
-/// injection events in deterministic row/trace order (the same order
-/// for any thread count, which keeps the event log byte-reproducible).
-fn record_run_effects(rec: &Recorder, result: &ClassificationCampaignResult) {
-    if !rec.is_enabled() {
-        return;
     }
-    for row in &result.rows {
-        rec.record_outcome(classify_row(row));
-    }
-    for entry in &result.trace.entries {
-        rec.record_injection(injection_event(entry.image_id, &entry.applied));
+
+    fn save_result(
+        &self,
+        result: &ClassificationCampaignResult,
+        dir: &Path,
+    ) -> Result<(), CoreError> {
+        result.save_outputs(dir)
     }
 }
 
@@ -702,11 +453,6 @@ fn classify_row(row: &ClassificationRow) -> EffectClass {
     } else {
         EffectClass::Masked
     }
-}
-
-/// Softmax over logits `[1, classes]` followed by top-k extraction.
-fn softmax_topk(logits: &Tensor, k: usize) -> Result<TopK, CoreError> {
-    softmax_topk_row(logits, 0, k)
 }
 
 /// Softmax over batch logits `[n, classes]` and top-k extraction of row `i`.

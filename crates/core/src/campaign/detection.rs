@@ -5,19 +5,29 @@
 //! detection dataset (§V-B, §V-F-2). Faults may land in any of the
 //! detector's networks (backbone, heads, second stage); the fault
 //! record's layer index spans the combined injectable-layer list.
+//!
+//! The campaign is a thin [`CampaignTask`] adapter: policy iteration,
+//! fault-slot assignment, replay validation, tracing, pool fan-out and
+//! persistence all live in the shared campaign [`Engine`]. Batches are
+//! streamed from the loader one at a time (never collected up front),
+//! so memory stays bounded on large scenarios.
 
 use crate::campaign::config::RunConfig;
+use crate::campaign::engine::{CampaignTask, Engine, ScopeCtx, ScopeSink};
 use crate::error::CoreError;
 use crate::fault::AppliedFault;
-use crate::injector::{arm_faults, injection_event};
-use crate::matrix::{resolve_targets, FaultMatrix, LayerTarget};
+use crate::injector::arm_faults;
+use crate::matrix::{FaultMatrix, LayerTarget};
 use crate::monitor::{attach_monitor, NanInfMonitor};
-use crate::persist::{save_events, save_fault_matrix, RunTrace, TraceEntry};
+use crate::persist::{save_fault_matrix, RunTrace, TraceEntry};
 use alfi_datasets::loader::DetectionLoader;
 use alfi_datasets::GroundTruthBox;
 use alfi_nn::detection::{Detection, Detector};
-use alfi_scenario::{InjectionPolicy, Scenario};
-use alfi_trace::{EffectClass, Phase, Recorder, RunMeta};
+use alfi_scenario::Scenario;
+use alfi_tensor::Tensor;
+use alfi_trace::{EffectClass, Phase, Recorder};
+use std::cell::RefCell;
+use std::ops::ControlFlow;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -80,15 +90,23 @@ impl DetectionCampaignResult {
     }
 }
 
+/// One detection fault scope: a single `[1, c, h, w]` image with its
+/// dataset record and ground-truth boxes. Detection scopes are always
+/// per-image — multi-image batches still run one detect pass per
+/// image, whatever the injection policy.
+#[derive(Debug)]
+pub struct DetectionScope {
+    image: Tensor,
+    record: alfi_datasets::ImageRecord,
+    ground_truth: Vec<GroundTruthBox>,
+}
+
 /// The high-level object-detection campaign runner.
 ///
 /// Unlike [`ImgClassCampaign`](crate::campaign::ImgClassCampaign),
-/// which owns its [`Network`](alfi_nn::Network)s, the campaign
-/// *borrows* its detector(s) mutably: detectors are trait objects of
-/// arbitrary user types (multi-network pipelines, external wrappers)
-/// that are typically expensive to clone and used again after the
-/// campaign, so the campaign arms faults in place and disarms them
-/// after each scope, returning every detector pristine (see DESIGN.md).
+/// which owns its models, the campaign *borrows* its detector(s)
+/// mutably, arms faults in place and disarms them after each scope,
+/// returning every detector pristine (see DESIGN.md).
 #[derive(Debug)]
 pub struct ObjDetCampaign<'a, D: Detector + ?Sized> {
     detector: &'a mut D,
@@ -114,509 +132,342 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
     }
 
     /// Adds a hardened detector to run in lock-step under the *same*
-    /// faults — the detection counterpart of
-    /// [`ImgClassCampaign::with_resil_model`](crate::campaign::ImgClassCampaign::with_resil_model).
-    /// The hardened detector must expose the same injectable-layer list
-    /// as the primary one (mitigation wrappers insert only
-    /// non-injectable protection nodes, preserving it). Like the
-    /// primary detector it is borrowed, armed in place and returned
-    /// pristine.
+    /// faults. It must expose the same injectable-layer list as the
+    /// primary one; like the primary it is borrowed, armed in place
+    /// and returned pristine.
     pub fn with_resil_detector(mut self, resil: &'a mut D) -> Self {
         self.resil_detector = Some(resil);
         self
     }
 
-    /// Resolves injectable-layer targets and the fault matrix for the
-    /// primary detector, plus aligned targets for the hardened detector
-    /// when one was attached.
-    #[allow(clippy::type_complexity)]
-    fn resolve_run_inputs(
-        &self,
-        input_dims: &[usize],
-    ) -> Result<(Vec<LayerTarget>, Option<Vec<LayerTarget>>, FaultMatrix), CoreError> {
+    /// Runs the campaign with the given [`RunConfig`] — the single
+    /// entry point for every driver and thread count, delegating to the
+    /// shared campaign [`Engine`] (see its docs for dispatch, tracing
+    /// and persistence semantics).
+    ///
+    /// # Errors
+    ///
+    /// Resolution/injection errors, rejection of non-`per_image`
+    /// policies when parallel, [`CoreError::Unsupported`] for
+    /// uncloneable detectors when parallel, [`CoreError::WorkerPanic`]
+    /// for panicking workers.
+    pub fn run_with(&mut self, cfg: &RunConfig) -> Result<DetectionCampaignResult, CoreError> {
+        Engine::new(cfg).run(&self.as_task())
+    }
+
+    /// Runs the campaign sequentially with tracing and persistence off.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_with`](Self::run_with).
+    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::default())`")]
+    pub fn run(&mut self) -> Result<DetectionCampaignResult, CoreError> {
+        Engine::sequential(&self.as_task())
+    }
+
+    /// Parallel variant of [`run_with`](Self::run_with) for `per_image`
+    /// scenarios. Unlike `run_with` with `threads: 1`, `threads == 1`
+    /// here still uses the parallel driver (pool task guards stay
+    /// active).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_with`](Self::run_with).
+    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::new().threads(n))`")]
+    pub fn run_parallel(&mut self, threads: usize) -> Result<DetectionCampaignResult, CoreError> {
+        Engine::forced_parallel(&self.as_task(), threads)
+    }
+
+    /// Borrows the campaign's fields into the engine-facing task
+    /// adapter. The detectors go behind [`RefCell`]s so the task can
+    /// stream scopes and arm faults from `&self` — the sequential
+    /// driver is single-threaded, so the borrows never conflict.
+    fn as_task(&mut self) -> DetTask<'_, D> {
+        let ObjDetCampaign { detector, resil_detector, scenario, loader, fault_matrix } = self;
+        DetTask {
+            detector: RefCell::new(&mut **detector),
+            resil_detector: resil_detector.as_mut().map(|r| RefCell::new(&mut **r)),
+            scenario,
+            loader,
+            replay: fault_matrix.as_ref(),
+        }
+    }
+}
+
+/// Engine-facing adapter over a borrowed [`ObjDetCampaign`].
+struct DetTask<'t, D: Detector + ?Sized> {
+    detector: RefCell<&'t mut D>,
+    resil_detector: Option<RefCell<&'t mut D>>,
+    scenario: &'t Scenario,
+    loader: &'t DetectionLoader,
+    replay: Option<&'t FaultMatrix>,
+}
+
+/// Parallel worker context: a private detector clone per work item.
+/// Each task locks only its own clone — the mutex is uncontended and
+/// exists purely to hand `&mut` access through the shared closure.
+struct DetParCtx {
+    clones: Vec<Mutex<Box<dyn Detector>>>,
+    resil_clones: Vec<Mutex<Box<dyn Detector>>>,
+}
+
+impl<'t, D: Detector + ?Sized> CampaignTask for DetTask<'t, D> {
+    type Scope = DetectionScope;
+    type Row = DetectionRow;
+    type Result = DetectionCampaignResult;
+    type ParCtx<'s>
+        = DetParCtx
+    where
+        Self: 's;
+
+    fn kind(&self) -> &'static str {
+        "detection"
+    }
+
+    fn model_name(&self) -> String {
+        self.detector.borrow().name().to_string()
+    }
+
+    fn scenario(&self) -> &Scenario {
+        self.scenario
+    }
+
+    fn hardened_noun(&self) -> &'static str {
+        "detector"
+    }
+
+    fn replay_matrix(&self) -> Option<&FaultMatrix> {
+        self.replay
+    }
+
+    fn resolve_targets(&self) -> Result<(Vec<LayerTarget>, Option<Vec<LayerTarget>>), CoreError> {
         // Reference shapes: the first (primary) network sees the image;
         // further networks (e.g. RoI heads) have run-time-dependent
         // inputs, so their neuron coordinates fall back to channel
         // bounds.
-        let nets = self.detector.networks();
-        let mut dims: Vec<Option<Vec<usize>>> = vec![None; nets.len()];
-        dims[0] = Some(input_dims.to_vec());
-        let targets = resolve_targets(&nets, &self.scenario, &dims)?;
+        let input_dims = {
+            let ds = self.loader.dataset();
+            vec![1usize, 3, ds.image_hw(), ds.image_hw()]
+        };
+        let targets = {
+            let det = self.detector.borrow();
+            let nets = det.networks();
+            let mut dims: Vec<Option<Vec<usize>>> = vec![None; nets.len()];
+            dims[0] = Some(input_dims.clone());
+            crate::matrix::resolve_targets(&nets, self.scenario, &dims)?
+        };
         let resil_targets = match &self.resil_detector {
             Some(r) => {
-                let rnets = r.networks();
+                let rdet = r.borrow();
+                let rnets = rdet.networks();
                 let mut rdims: Vec<Option<Vec<usize>>> = vec![None; rnets.len()];
                 if !rdims.is_empty() {
-                    rdims[0] = Some(input_dims.to_vec());
+                    rdims[0] = Some(input_dims);
                 }
-                let rt = resolve_targets(&rnets, &self.scenario, &rdims)?;
-                if rt.len() != targets.len() {
-                    return Err(CoreError::FaultOutOfBounds {
-                        detail: format!(
-                            "hardened detector exposes {} injectable layers, original {}",
-                            rt.len(),
-                            targets.len()
-                        ),
-                    });
-                }
-                Some(rt)
+                Some(crate::matrix::resolve_targets(&rnets, self.scenario, &rdims)?)
             }
             None => None,
         };
-        let matrix = match &self.fault_matrix {
-            Some(m) => {
-                if m.target != self.scenario.injection_target {
-                    return Err(CoreError::CorruptFile {
-                        kind: "fault",
-                        reason: format!(
-                            "replayed matrix target {:?} disagrees with scenario target {:?}",
-                            m.target, self.scenario.injection_target
-                        ),
-                    });
-                }
-                m.clone()
-            }
-            None => FaultMatrix::generate(&self.scenario, &targets)?,
-        };
-        Ok((targets, resil_targets, matrix))
+        Ok((targets, resil_targets))
     }
 
-    /// Runs the campaign with the given [`RunConfig`] — the single
-    /// entry point unifying the former `run()` / `run_parallel(n)`
-    /// split. `RunConfig::default()` reproduces `run()` byte-for-byte;
-    /// `threads > 1` (or `0` = auto on a `per_image` scenario) fans
-    /// per-image work out on the shared [`alfi_pool`] pool with
-    /// bit-identical results for any thread count. An enabled
-    /// [`Recorder`] collects phase timings, injection counters and
-    /// fault-effect tallies; with [`RunConfig::save_dir`] set, the
-    /// replay set and `events.jsonl` are persisted after the run.
-    ///
-    /// # Errors
-    ///
-    /// As for the sequential/parallel drivers: resolution/injection
-    /// errors, rejection of non-`per_image` policies when parallel,
-    /// [`CoreError::Unsupported`] for uncloneable detectors when
-    /// parallel, [`CoreError::WorkerPanic`] for panicking workers.
-    pub fn run_with(&mut self, cfg: &RunConfig) -> Result<DetectionCampaignResult, CoreError> {
-        let rec = cfg.recorder.clone();
-        if rec.is_enabled() {
-            rec.set_meta(RunMeta {
-                campaign: "detection".into(),
-                model: self.detector.name().to_string(),
-                scenario_hash: alfi_trace::hash_hex(self.scenario.to_yaml_string().as_bytes()),
-                seed: self.scenario.seed,
-                threads: cfg.threads,
-            });
-            rec.begin_items((self.scenario.dataset_size * self.scenario.num_runs) as u64);
-        }
-        let per_image = self.scenario.injection_policy == InjectionPolicy::PerImage;
-        let result = match cfg.resolve_threads(per_image) {
-            0 | 1 => self.run_seq_impl(&rec)?,
-            threads => self.run_par_impl(threads, &rec)?,
-        };
-        record_detection_effects(&rec, &result);
-        if let Some(dir) = &cfg.save_dir {
-            let _span = rec.span(Phase::Persist);
-            result.save_outputs(dir)?;
-            save_events(&rec, dir)?;
-        }
-        Ok(result)
-    }
-
-    /// Runs the campaign, one image at a time.
-    ///
-    /// # Errors
-    ///
-    /// Returns resolution/injection errors; an exhausted fault matrix
-    /// ends the run gracefully instead.
-    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::default())`")]
-    pub fn run(&mut self) -> Result<DetectionCampaignResult, CoreError> {
-        self.run_seq_impl(&Recorder::disabled())
-    }
-
-    /// Sequential driver shared by [`run_with`](Self::run_with) and the
-    /// deprecated [`run`](Self::run).
-    fn run_seq_impl(&mut self, rec: &Recorder) -> Result<DetectionCampaignResult, CoreError> {
-        let input_dims = {
-            let ds = self.loader.dataset();
-            vec![1usize, 3, ds.image_hw(), ds.image_hw()]
-        };
-        let (targets, resil_targets, matrix) = self.resolve_run_inputs(&input_dims)?;
-
-        let mut rows = Vec::new();
-        let mut trace = RunTrace::default();
-        let mut slot = 0usize;
-
-        for epoch in 0..self.scenario.num_runs as u64 {
-            let mut epoch_armed = false;
-            let batches: Vec<_> = self.loader.iter_epoch(epoch).collect();
-            for batch in batches {
-                let n = batch.records.len();
-                for i in 0..n {
-                    if slot >= matrix.num_slots() {
-                        break;
-                    }
-                    let advance = match self.scenario.injection_policy {
-                        InjectionPolicy::PerImage => true,
-                        InjectionPolicy::PerBatch => i == 0,
-                        InjectionPolicy::PerEpoch => !epoch_armed,
-                    };
-                    let faults = if advance {
-                        epoch_armed = true;
-                        let f = matrix.faults_for_slot(slot).to_vec();
-                        slot += 1;
-                        f
-                    } else {
-                        matrix.faults_for_slot(slot - 1).to_vec()
-                    };
-
-                    let image = batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
-                    let image =
-                        alfi_tensor::Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
-                    let record = &batch.records[i];
-
-                    // Fault-free pass.
-                    let orig = {
-                        let _span = rec.span(Phase::Forward);
-                        self.detector.detect(&image)?.remove(0)
-                    };
-
-                    // Arm faults + monitors in place, detect, disarm.
-                    let monitor = Arc::new(NanInfMonitor::new());
-                    let (applied, totals, corr) = {
-                        let mut nets = self.detector.networks_mut();
-                        let mut monitor_handles = Vec::new();
-                        for net in nets.iter_mut() {
-                            monitor_handles.push(attach_monitor(
-                                net,
-                                Arc::<NanInfMonitor>::clone(&monitor) as _,
-                            )?);
-                        }
-                        let armed = {
-                            let _span = rec.span(Phase::Inject);
-                            arm_faults(
-                                &mut nets,
-                                &targets,
-                                &faults,
-                                self.scenario.injection_target,
-                            )?
-                        };
-                        drop(nets);
-                        let corr = {
-                            let _span = rec.span(Phase::Forward);
-                            self.detector.detect(&image)?.remove(0)
-                        };
-                        let applied = armed.collect_applied();
-                        rec.record_applied(applied.len() as u64);
-        rec.record_applied(applied.len() as u64);
-                        let totals = monitor.totals();
-                        let mut nets = self.detector.networks_mut();
-                        armed.disarm(&mut nets);
-                        for (net, handles) in nets.iter_mut().zip(monitor_handles) {
-                            for h in handles {
-                                net.remove_hook(h);
-                            }
-                        }
-                        (applied, totals, corr)
-                    };
-                    monitor.report_to(rec);
-
-                    // Hardened pass under identical faults, detector
-                    // returned pristine like the primary one.
-                    let resil = match (&mut self.resil_detector, &resil_targets) {
-                        (Some(rdet), Some(rt)) => {
-                            let armed_r = {
-                                let _span = rec.span(Phase::Inject);
-                                let mut nets = rdet.networks_mut();
-                                arm_faults(
-                                    &mut nets,
-                                    rt,
-                                    &faults,
-                                    self.scenario.injection_target,
-                                )?
-                            };
-                            let out = {
-                                let _span = rec.span(Phase::Forward);
-                                rdet.detect(&image)?.remove(0)
-                            };
-                            let mut nets = rdet.networks_mut();
-                            armed_r.disarm(&mut nets);
-                            Some(out)
-                        }
-                        _ => None,
-                    };
-
-                    let _eval = rec.span(Phase::Eval);
-                    for a in &applied {
-                        trace.entries.push(TraceEntry {
-                            image_id: record.image_id,
-                            applied: *a,
-                            output_nan_count: totals.nan as u32,
-                            output_inf_count: totals.inf as u32,
-                        });
-                    }
-                    rows.push(DetectionRow {
-                        image_id: record.image_id,
-                        ground_truth: batch.objects[i].clone(),
-                        orig,
-                        corr,
-                        resil,
-                        faults: applied,
-                        corr_nan: totals.nan,
-                        corr_inf: totals.inf,
-                    });
-                    rec.item_finished();
+    fn stream_scopes(
+        &self,
+        epoch: u64,
+        sink: &mut ScopeSink<'_, DetectionScope>,
+    ) -> Result<ControlFlow<()>, CoreError> {
+        for batch in self.loader.iter_epoch(epoch) {
+            for i in 0..batch.records.len() {
+                let image = batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
+                let image = Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
+                let scope = DetectionScope {
+                    image,
+                    record: batch.records[i].clone(),
+                    ground_truth: batch.objects[i].clone(),
+                };
+                if sink(i == 0, scope)?.is_break() {
+                    return Ok(ControlFlow::Break(()));
                 }
             }
         }
-        Ok(DetectionCampaignResult {
-            rows,
-            scenario: self.scenario.clone(),
-            fault_matrix: matrix,
-            trace,
-            model_name: self.detector.name().to_string(),
-        })
+        Ok(ControlFlow::Continue(()))
     }
 
-    /// Parallel variant of [`ObjDetCampaign::run`] for `per_image`
-    /// scenarios. Every image gets its own private detector clone
-    /// (via [`Detector::clone_boxed`]), so workers arm faults without
-    /// sharing mutable state; results merge in slot order, making row
-    /// order, fault assignment and all outputs bit-identical to the
-    /// sequential run for any thread count (clamped by
-    /// `ALFI_POOL_THREADS`).
-    ///
-    /// # Errors
-    ///
-    /// Rejects non-`per_image` policies (their fault scopes are
-    /// inherently sequential), returns [`CoreError::Unsupported`] when
-    /// the detector cannot be cloned, and surfaces a panicking worker
-    /// as [`CoreError::WorkerPanic`] instead of unwinding.
-    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::new().threads(n))`")]
-    pub fn run_parallel(&mut self, threads: usize) -> Result<DetectionCampaignResult, CoreError> {
-        self.run_par_impl(threads, &Recorder::disabled())
-    }
-
-    /// Parallel driver shared by [`run_with`](Self::run_with) and the
-    /// deprecated [`run_parallel`](Self::run_parallel).
-    fn run_par_impl(
-        &mut self,
-        threads: usize,
+    fn process_scope(
+        &self,
+        ctx: &ScopeCtx<'_>,
+        scope: &DetectionScope,
         rec: &Recorder,
-    ) -> Result<DetectionCampaignResult, CoreError> {
-        if self.scenario.injection_policy != InjectionPolicy::PerImage {
-            return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
-                field: "injection_policy",
-                reason: "run_parallel requires per_image".into(),
-            }));
-        }
-        let threads = threads.max(1);
-        let input_dims = {
-            let ds = self.loader.dataset();
-            vec![1usize, 3, ds.image_hw(), ds.image_hw()]
-        };
-        let (targets, resil_targets, matrix) = self.resolve_run_inputs(&input_dims)?;
+        rows: &mut Vec<DetectionRow>,
+        trace: &mut RunTrace,
+    ) -> Result<(), CoreError> {
+        let mut det = self.detector.borrow_mut();
+        let mut resil_guard = self.resil_detector.as_ref().map(|r| r.borrow_mut());
+        let resil: Option<&mut D> = resil_guard.as_mut().map(|g| &mut ***g);
+        process_one(&mut **det, resil, ctx, scope, rec, rows, trace)
+    }
 
-        // Materialize the work list and a private detector clone per
-        // item. Clones are built on the caller thread (so detector
-        // types only need `Send`, not `Sync`) and each task locks only
-        // its own — the mutex is uncontended and exists purely to hand
-        // `&mut` access through the shared closure.
-        struct WorkItem {
-            slot: usize,
-            image: alfi_tensor::Tensor,
-            record: alfi_datasets::ImageRecord,
-            ground_truth: Vec<GroundTruthBox>,
-        }
-        let mut work = Vec::new();
-        let mut slot = 0usize;
-        for epoch in 0..self.scenario.num_runs as u64 {
-            let batches: Vec<_> = self.loader.iter_epoch(epoch).collect();
-            for batch in batches {
-                for i in 0..batch.records.len() {
-                    if slot >= matrix.num_slots() {
-                        break;
-                    }
-                    let image = batch.images.batch_item(i).map_err(alfi_nn::NnError::from)?;
-                    let image =
-                        alfi_tensor::Tensor::stack(&[image]).map_err(alfi_nn::NnError::from)?;
-                    work.push(WorkItem {
-                        slot,
-                        image,
-                        record: batch.records[i].clone(),
-                        ground_truth: batch.objects[i].clone(),
-                    });
-                    slot += 1;
-                }
-            }
-        }
-        let clone_of = |det: &D, role: &str| {
-            det.clone_boxed().ok_or_else(|| CoreError::Unsupported {
+    fn prepare_parallel(&self, items: usize) -> Result<DetParCtx, CoreError> {
+        let clone_of = |d: &D, role: &str| {
+            d.clone_boxed().ok_or_else(|| CoreError::Unsupported {
                 reason: format!(
                     "{role} detector `{}` does not implement clone_boxed, required by parallel runs",
-                    det.name()
+                    d.name()
                 ),
             })
         };
-        let mut clones: Vec<Mutex<Box<dyn Detector>>> = Vec::with_capacity(work.len());
+        let det = self.detector.borrow();
+        let mut clones: Vec<Mutex<Box<dyn Detector>>> = Vec::with_capacity(items);
         let mut resil_clones: Vec<Mutex<Box<dyn Detector>>> = Vec::new();
-        for _ in 0..work.len() {
-            clones.push(Mutex::new(clone_of(self.detector, "primary")?));
+        for _ in 0..items {
+            clones.push(Mutex::new(clone_of(&det, "primary")?));
             if let Some(r) = &self.resil_detector {
-                resil_clones.push(Mutex::new(clone_of(r, "hardened")?));
+                resil_clones.push(Mutex::new(clone_of(&r.borrow(), "hardened")?));
             }
         }
+        Ok(DetParCtx { clones, resil_clones })
+    }
 
-        let scenario_ref = &self.scenario;
-        let targets_ref = &targets;
-        let resil_targets_ref = resil_targets.as_deref();
-        let matrix_ref = &matrix;
-        let clones_ref = &clones;
-        let resil_clones_ref = &resil_clones;
-        let work_ref = &work;
-        let outcomes = alfi_pool::global()
-            .try_run_indexed(threads, work.len(), |idx| {
-                let item = &work_ref[idx];
-                let mut det = clones_ref[idx].lock().expect("detector clone lock");
-                let mut resil_guard = resil_clones_ref
-                    .get(idx)
-                    .map(|m| m.lock().expect("hardened detector clone lock"));
-                let resil: Option<&mut dyn Detector> = match resil_guard.as_mut() {
-                    Some(g) => Some(&mut ***g),
-                    None => None,
-                };
-                process_detection_image(
-                    &mut **det,
-                    resil,
-                    scenario_ref,
-                    targets_ref,
-                    resil_targets_ref,
-                    matrix_ref,
-                    item.slot,
-                    &item.image,
-                    &item.record,
-                    &item.ground_truth,
-                    rec,
-                )
-            })
-            .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
-
-        let mut rows = Vec::with_capacity(work.len());
+    fn process_parallel(
+        ctx: &DetParCtx,
+        scope_ctx: &ScopeCtx<'_>,
+        idx: usize,
+        scope: &DetectionScope,
+        rec: &Recorder,
+    ) -> Result<(Vec<DetectionRow>, Vec<TraceEntry>), CoreError> {
+        let mut det = ctx.clones[idx].lock().expect("detector clone lock");
+        let mut resil_guard = ctx
+            .resil_clones
+            .get(idx)
+            .map(|m| m.lock().expect("hardened detector clone lock"));
+        let resil: Option<&mut dyn Detector> = resil_guard.as_mut().map(|g| &mut ***g);
+        let mut rows = Vec::with_capacity(1);
         let mut trace = RunTrace::default();
-        for outcome in outcomes {
-            let (row, entries) = outcome?;
-            rows.push(row);
-            trace.entries.extend(entries);
-        }
-        Ok(DetectionCampaignResult {
+        process_one(&mut **det, resil, scope_ctx, scope, rec, &mut rows, &mut trace)?;
+        Ok((rows, trace.entries))
+    }
+
+    fn classify_row(&self, row: &DetectionRow) -> EffectClass {
+        classify_detection_row(row)
+    }
+
+    fn finalize(
+        &self,
+        rows: Vec<DetectionRow>,
+        matrix: FaultMatrix,
+        trace: RunTrace,
+    ) -> DetectionCampaignResult {
+        DetectionCampaignResult {
             rows,
             scenario: self.scenario.clone(),
             fault_matrix: matrix,
             trace,
-            model_name: self.detector.name().to_string(),
-        })
+            model_name: self.detector.borrow().name().to_string(),
+        }
+    }
+
+    fn save_result(&self, result: &DetectionCampaignResult, dir: &Path) -> Result<(), CoreError> {
+        result.save_outputs(dir)
     }
 }
 
 /// Runs the fault-free / faulty (/ hardened) detection passes for one
-/// image on throwaway detector clones — shared logic of the parallel
-/// campaign path. The clones are discarded afterwards, so faults are
-/// not disarmed.
-#[allow(clippy::too_many_arguments)]
-fn process_detection_image(
-    det: &mut dyn Detector,
-    resil: Option<&mut dyn Detector>,
-    scenario: &Scenario,
-    targets: &[LayerTarget],
-    resil_targets: Option<&[LayerTarget]>,
-    matrix: &FaultMatrix,
-    slot: usize,
-    image: &alfi_tensor::Tensor,
-    record: &alfi_datasets::ImageRecord,
-    ground_truth: &[GroundTruthBox],
+/// image — the one scope body shared by the sequential driver (on the
+/// campaign's borrowed detectors) and the parallel driver (on private
+/// clones). Every detector comes back pristine.
+fn process_one<D: Detector + ?Sized>(
+    det: &mut D,
+    resil: Option<&mut D>,
+    ctx: &ScopeCtx<'_>,
+    scope: &DetectionScope,
     rec: &Recorder,
-) -> Result<(DetectionRow, Vec<TraceEntry>), CoreError> {
+    rows: &mut Vec<DetectionRow>,
+    trace: &mut RunTrace,
+) -> Result<(), CoreError> {
     let worker = alfi_pool::worker_index();
-    let faults = matrix.faults_for_slot(slot).to_vec();
+    let image = &scope.image;
 
-    // Fault-free pass on the still-pristine clone.
+    // Fault-free pass.
     let orig = {
         let _span = rec.span_on(Phase::Forward, worker);
         det.detect(image)?.remove(0)
     };
 
-    // Arm faults + monitors, corrupted pass.
+    // Arm faults + monitors in place, detect, disarm.
     let monitor = Arc::new(NanInfMonitor::new());
-    let armed = {
-        let _span = rec.span_on(Phase::Inject, worker);
+    let (applied, totals, corr) = {
         let mut nets = det.networks_mut();
+        let mut monitor_handles = Vec::new();
         for net in nets.iter_mut() {
-            attach_monitor(net, Arc::<NanInfMonitor>::clone(&monitor) as _)?;
+            monitor_handles.push(attach_monitor(
+                net,
+                Arc::<NanInfMonitor>::clone(&monitor) as _,
+            )?);
         }
-        arm_faults(&mut nets, targets, &faults, scenario.injection_target)?
+        let armed = {
+            let _span = rec.span_on(Phase::Inject, worker);
+            arm_faults(&mut nets, ctx.targets, ctx.faults, ctx.scenario.injection_target)?
+        };
+        drop(nets);
+        let corr = {
+            let _span = rec.span_on(Phase::Forward, worker);
+            det.detect(image)?.remove(0)
+        };
+        let applied = armed.collect_applied();
+        rec.record_applied(applied.len() as u64);
+        let totals = monitor.totals();
+        let mut nets = det.networks_mut();
+        armed.disarm(&mut nets);
+        for (net, handles) in nets.iter_mut().zip(monitor_handles) {
+            for h in handles {
+                net.remove_hook(h);
+            }
+        }
+        (applied, totals, corr)
     };
-    let corr = {
-        let _span = rec.span_on(Phase::Forward, worker);
-        det.detect(image)?.remove(0)
-    };
-    let applied = armed.collect_applied();
-    rec.record_applied(applied.len() as u64);
-    let totals = monitor.totals();
     monitor.report_to(rec);
 
-    // Hardened pass under identical faults on the hardened clone.
-    let resil_out = match (resil, resil_targets) {
+    // Hardened pass under identical faults, detector returned pristine
+    // like the primary one.
+    let resil_out = match (resil, ctx.resil_targets) {
         (Some(rdet), Some(rt)) => {
-            {
+            let armed_r = {
                 let _span = rec.span_on(Phase::Inject, worker);
                 let mut nets = rdet.networks_mut();
-                arm_faults(&mut nets, rt, &faults, scenario.injection_target)?;
-            }
-            let _span = rec.span_on(Phase::Forward, worker);
-            Some(rdet.detect(image)?.remove(0))
+                arm_faults(&mut nets, rt, ctx.faults, ctx.scenario.injection_target)?
+            };
+            let out = {
+                let _span = rec.span_on(Phase::Forward, worker);
+                rdet.detect(image)?.remove(0)
+            };
+            let mut nets = rdet.networks_mut();
+            armed_r.disarm(&mut nets);
+            Some(out)
         }
         _ => None,
     };
 
     let _eval = rec.span_on(Phase::Eval, worker);
-    let entries: Vec<TraceEntry> = applied
-        .iter()
-        .map(|a| TraceEntry {
-            image_id: record.image_id,
+    for a in &applied {
+        trace.entries.push(TraceEntry {
+            image_id: scope.record.image_id,
             applied: *a,
             output_nan_count: totals.nan as u32,
             output_inf_count: totals.inf as u32,
-        })
-        .collect();
-    let out = (
-        DetectionRow {
-            image_id: record.image_id,
-            ground_truth: ground_truth.to_vec(),
-            orig,
-            corr,
-            resil: resil_out,
-            faults: applied,
-            corr_nan: totals.nan,
-            corr_inf: totals.inf,
-        },
-        entries,
-    );
+        });
+    }
+    rows.push(DetectionRow {
+        image_id: scope.record.image_id,
+        ground_truth: scope.ground_truth.clone(),
+        orig,
+        corr,
+        resil: resil_out,
+        faults: applied,
+        corr_nan: totals.nan,
+        corr_inf: totals.inf,
+    });
     rec.item_finished();
-    Ok(out)
-}
-
-/// Post-run trace bookkeeping shared by the sequential and parallel
-/// paths (deterministic row/trace order for any thread count).
-fn record_detection_effects(rec: &Recorder, result: &DetectionCampaignResult) {
-    if !rec.is_enabled() {
-        return;
-    }
-    for row in &result.rows {
-        rec.record_outcome(classify_detection_row(row));
-    }
-    for entry in &result.trace.entries {
-        rec.record_injection(injection_event(entry.image_id, &entry.applied));
-    }
+    Ok(())
 }
 
 /// Trace-level fault-effect classification of one detection row: DUE
@@ -637,7 +488,7 @@ mod tests {
     use super::*;
     use alfi_datasets::detection::DetectionDataset;
     use alfi_nn::detection::{DetectorConfig, YoloGrid};
-    use alfi_scenario::{FaultMode, InjectionTarget};
+    use alfi_scenario::{FaultMode, InjectionPolicy, InjectionTarget};
     use alfi_tensor::Tensor;
 
     fn run_campaign(scenario: Scenario) -> DetectionCampaignResult {

@@ -1,0 +1,598 @@
+//! The generic campaign engine — one driver for every campaign type,
+//! injection policy and thread count.
+//!
+//! The paper's harness couples fault-free, faulty and hardened model
+//! instances behind a single scenario-driven loop (§III). This module
+//! is that loop, extracted once: a campaign implements [`CampaignTask`]
+//! (how to resolve injectable targets, stream fault scopes, process one
+//! scope into rows and finalize a result) and the [`Engine`] owns
+//! everything the campaigns used to duplicate:
+//!
+//! - epoch/batch/slot iteration for all three
+//!   [`InjectionPolicy`] variants (via [`SlotCursor`]),
+//! - replay validation of a pre-generated [`FaultMatrix`],
+//! - hardened-model injectable-layer cross-checking,
+//! - [`Recorder`] meta / span / outcome / event wiring,
+//! - the [`alfi_pool`] fan-out with ordered merge and
+//!   [`CoreError::WorkerPanic`] propagation,
+//! - `save_dir` persistence (campaign outputs + `events.jsonl`).
+//!
+//! Scopes are *streamed* from the task (one batch materialized at a
+//! time), so memory stays bounded on large scenarios. The engine is
+//! deterministic by construction: the sequential and parallel drivers
+//! assign fault slots in the same order, and the pool merges worker
+//! results in work order, so outputs are bit-identical for any thread
+//! count.
+
+use crate::campaign::config::RunConfig;
+use crate::error::CoreError;
+use crate::fault::FaultRecord;
+use crate::injector::injection_event;
+use crate::matrix::{FaultMatrix, LayerTarget};
+use crate::persist::{save_events, RunTrace, TraceEntry};
+use alfi_scenario::{InjectionPolicy, Scenario};
+use alfi_trace::{EffectClass, Phase, Recorder, RunMeta};
+use std::ops::ControlFlow;
+use std::path::Path;
+
+/// Read-only context handed to scope processing: the scenario, the
+/// resolved injectable-layer targets (primary and hardened) and the
+/// fault set armed for the current scope.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeCtx<'r> {
+    /// The scenario driving the run.
+    pub scenario: &'r Scenario,
+    /// Injectable-layer targets of the primary model.
+    pub targets: &'r [LayerTarget],
+    /// Aligned targets of the hardened model, when one was attached.
+    pub resil_targets: Option<&'r [LayerTarget]>,
+    /// Faults to arm while processing this scope.
+    pub faults: &'r [FaultRecord],
+}
+
+/// Streaming sink for [`CampaignTask::stream_scopes`]. Called once per
+/// scope with `(first_in_batch, scope)`; returns `Break` when the
+/// engine wants the stream to stop (exhausted fault matrix).
+pub type ScopeSink<'a, S> = dyn FnMut(bool, S) -> Result<ControlFlow<()>, CoreError> + 'a;
+
+/// A campaign workload the [`Engine`] can drive.
+///
+/// Implementations own the *what* (model forwards, fault arming, row
+/// shapes); the engine owns the *how* (policy iteration, slot
+/// assignment, replay validation, tracing, pooling, persistence).
+/// [`ImgClassCampaign`](crate::campaign::ImgClassCampaign) and
+/// [`ObjDetCampaign`](crate::campaign::ObjDetCampaign) are the two
+/// in-tree implementations.
+pub trait CampaignTask {
+    /// Unit of work armed with one fault set — a single image or a
+    /// whole batch, at the task's discretion.
+    type Scope: Send + Sync;
+    /// Per-image output row.
+    type Row: Send;
+    /// Finalized campaign output.
+    type Result;
+    /// Shared read-only state for parallel workers (model references,
+    /// per-item detector clones); built once per parallel run.
+    type ParCtx<'s>: Sync
+    where
+        Self: 's;
+
+    /// Campaign kind recorded in the trace header (`"classification"`,
+    /// `"detection"`).
+    fn kind(&self) -> &'static str;
+
+    /// Model name recorded in the trace header.
+    fn model_name(&self) -> String;
+
+    /// The scenario driving the run.
+    fn scenario(&self) -> &Scenario;
+
+    /// Noun used in the hardened-model cross-check error message
+    /// (`"model"` or `"detector"`).
+    fn hardened_noun(&self) -> &'static str {
+        "model"
+    }
+
+    /// A replayed fault matrix, when one was attached. The engine
+    /// validates it against the scenario before use.
+    fn replay_matrix(&self) -> Option<&FaultMatrix>;
+
+    /// Resolves injectable-layer targets for the primary model and,
+    /// when a hardened model is attached, aligned targets for it. The
+    /// engine cross-checks that both lists have the same length.
+    #[allow(clippy::type_complexity)]
+    fn resolve_targets(&self) -> Result<(Vec<LayerTarget>, Option<Vec<LayerTarget>>), CoreError>;
+
+    /// Streams the fault scopes of `epoch` into `sink` in dataset
+    /// order, one batch materialized at a time. `first_in_batch` must
+    /// be `true` exactly for each batch's first scope (it drives
+    /// `per_batch` slot advancement). Returns `Break` when the sink
+    /// stopped the stream.
+    fn stream_scopes(
+        &self,
+        epoch: u64,
+        sink: &mut ScopeSink<'_, Self::Scope>,
+    ) -> Result<ControlFlow<()>, CoreError>;
+
+    /// Runs the fault-free / faulty (/ hardened) passes for one scope,
+    /// appending one row per contained image and the applied-fault
+    /// trace entries. Used by the sequential driver.
+    fn process_scope(
+        &self,
+        ctx: &ScopeCtx<'_>,
+        scope: &Self::Scope,
+        rec: &Recorder,
+        rows: &mut Vec<Self::Row>,
+        trace: &mut RunTrace,
+    ) -> Result<(), CoreError>;
+
+    /// Builds the shared worker context for a parallel run over
+    /// `items` scopes (e.g. one detector clone per item).
+    fn prepare_parallel<'s>(&'s self, items: usize) -> Result<Self::ParCtx<'s>, CoreError>;
+
+    /// Parallel counterpart of [`process_scope`](Self::process_scope):
+    /// processes work item `idx` using only the [`Sync`] context (the
+    /// task itself is not shared with workers). Results are merged by
+    /// the engine in work order.
+    fn process_parallel(
+        ctx: &Self::ParCtx<'_>,
+        scope_ctx: &ScopeCtx<'_>,
+        idx: usize,
+        scope: &Self::Scope,
+        rec: &Recorder,
+    ) -> Result<(Vec<Self::Row>, Vec<TraceEntry>), CoreError>;
+
+    /// Trace-level fault-effect classification of one row
+    /// (masked / SDC / DUE), recorded as an outcome tally.
+    fn classify_row(&self, row: &Self::Row) -> EffectClass;
+
+    /// Assembles the campaign result from the collected rows, the
+    /// fault matrix that drove the run and the applied-fault trace.
+    fn finalize(&self, rows: Vec<Self::Row>, matrix: FaultMatrix, trace: RunTrace) -> Self::Result;
+
+    /// Persists the campaign's own output set into `dir` (the engine
+    /// writes `events.jsonl` alongside it).
+    fn save_result(&self, result: &Self::Result, dir: &Path) -> Result<(), CoreError>;
+}
+
+/// Fault-slot bookkeeping for the sequential driver: decides, per
+/// scope, whether to advance to a fresh matrix slot or reuse the last
+/// armed one, for all three [`InjectionPolicy`] variants.
+///
+/// The run stops (`arm` returns `None`) as soon as the matrix has no
+/// slot left to hand out — checked before *every* scope, so even a
+/// non-advancing `per_batch`/`per_epoch` scope ends the run once the
+/// matrix is exhausted (reuse requires a live matrix). This matches
+/// the paper's semantics of a pre-sized fault matrix bounding the run.
+#[derive(Debug)]
+pub struct SlotCursor<'m> {
+    matrix: &'m FaultMatrix,
+    policy: InjectionPolicy,
+    slot: usize,
+    epoch_armed: bool,
+}
+
+impl<'m> SlotCursor<'m> {
+    /// Creates a cursor at slot 0.
+    pub fn new(matrix: &'m FaultMatrix, policy: InjectionPolicy) -> Self {
+        SlotCursor { matrix, policy, slot: 0, epoch_armed: false }
+    }
+
+    /// Marks the start of a new epoch (`per_epoch` re-arms once per
+    /// epoch).
+    pub fn begin_epoch(&mut self) {
+        self.epoch_armed = false;
+    }
+
+    /// Returns the fault set for the next scope, or `None` when the
+    /// matrix is exhausted and the run should end gracefully.
+    ///
+    /// Advancement: `per_image` takes a fresh slot for every scope,
+    /// `per_batch` for each batch's first scope, `per_epoch` once per
+    /// epoch; non-advancing scopes reuse the last armed slot.
+    pub fn arm(&mut self, first_in_batch: bool) -> Option<&'m [FaultRecord]> {
+        if self.slot >= self.matrix.num_slots() {
+            return None;
+        }
+        let advance = match self.policy {
+            InjectionPolicy::PerImage => true,
+            InjectionPolicy::PerBatch => first_in_batch,
+            InjectionPolicy::PerEpoch => !self.epoch_armed,
+        };
+        // The first scope of a run always advances (nothing is armed
+        // yet), whatever the policy flags claim.
+        if advance || self.slot == 0 {
+            self.epoch_armed = true;
+            self.slot += 1;
+        }
+        Some(self.matrix.faults_for_slot(self.slot - 1))
+    }
+
+    /// The next fresh slot index (also the number of slots consumed).
+    pub fn position(&self) -> usize {
+        self.slot
+    }
+}
+
+/// Collected raw output of a driver, before task finalization.
+struct Parts<T: CampaignTask + ?Sized> {
+    rows: Vec<T::Row>,
+    matrix: FaultMatrix,
+    trace: RunTrace,
+}
+
+/// The one campaign driver: runs any [`CampaignTask`] under a
+/// [`RunConfig`], sequentially or fanned out on the shared
+/// [`alfi_pool`] pool, with identical outputs either way.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine<'c> {
+    cfg: &'c RunConfig,
+}
+
+impl<'c> Engine<'c> {
+    /// Creates an engine over a run configuration.
+    pub fn new(cfg: &'c RunConfig) -> Self {
+        Engine { cfg }
+    }
+
+    /// Runs the task end to end: trace header + item count, driver
+    /// dispatch (`threads` ≤ 1 sequential, otherwise pooled),
+    /// outcome/injection event recording in deterministic row order,
+    /// task finalization and optional `save_dir` persistence.
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution/injection errors; an exhausted fault matrix
+    /// ends the run gracefully instead. With `threads > 1` a
+    /// non-`per_image` policy is rejected (those fault scopes are
+    /// inherently sequential) and a panicking worker surfaces as
+    /// [`CoreError::WorkerPanic`].
+    pub fn run<T: CampaignTask>(&self, task: &T) -> Result<T::Result, CoreError> {
+        let cfg = self.cfg;
+        let rec = cfg.recorder.clone();
+        let scenario = task.scenario();
+        if rec.is_enabled() {
+            rec.set_meta(RunMeta {
+                campaign: task.kind().into(),
+                model: task.model_name(),
+                scenario_hash: alfi_trace::hash_hex(scenario.to_yaml_string().as_bytes()),
+                seed: scenario.seed,
+                threads: cfg.threads,
+            });
+            rec.begin_items((scenario.dataset_size * scenario.num_runs) as u64);
+        }
+        let per_image = scenario.injection_policy == InjectionPolicy::PerImage;
+        let parts = match cfg.resolve_threads(per_image) {
+            0 | 1 => sequential_parts(task, &rec)?,
+            threads => parallel_parts(task, threads, &rec)?,
+        };
+        if rec.is_enabled() {
+            // Outcome tallies and structured injection events in
+            // deterministic row/trace order — the same order for any
+            // thread count, which keeps the event log byte-reproducible.
+            for row in &parts.rows {
+                rec.record_outcome(task.classify_row(row));
+            }
+            for entry in &parts.trace.entries {
+                rec.record_injection(injection_event(entry.image_id, &entry.applied));
+            }
+        }
+        let result = task.finalize(parts.rows, parts.matrix, parts.trace);
+        if let Some(dir) = &cfg.save_dir {
+            let _span = rec.span(Phase::Persist);
+            task.save_result(&result, dir)?;
+            save_events(&rec, dir)?;
+        }
+        Ok(result)
+    }
+
+    /// Bare sequential run with tracing disabled — the engine half of
+    /// the deprecated `run()` wrappers.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), minus the parallel-only errors.
+    pub fn sequential<T: CampaignTask>(task: &T) -> Result<T::Result, CoreError> {
+        let parts = sequential_parts(task, &Recorder::disabled())?;
+        Ok(task.finalize(parts.rows, parts.matrix, parts.trace))
+    }
+
+    /// Bare pooled run with tracing disabled — the engine half of the
+    /// deprecated `run_parallel(n)` wrappers. Unlike [`run`](Self::run)
+    /// with `threads: 1`, `threads == 1` here still uses the parallel
+    /// driver (pool task guards stay active).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run); non-`per_image` policies are rejected.
+    pub fn forced_parallel<T: CampaignTask>(
+        task: &T,
+        threads: usize,
+    ) -> Result<T::Result, CoreError> {
+        let parts = parallel_parts(task, threads, &Recorder::disabled())?;
+        Ok(task.finalize(parts.rows, parts.matrix, parts.trace))
+    }
+}
+
+/// Resolves targets and cross-checks the hardened model's list: a
+/// mitigation wrapper must expose the same injectable layers as the
+/// model it hardens, or slot-aligned fault replay would be meaningless.
+#[allow(clippy::type_complexity)]
+fn resolve_checked<T: CampaignTask + ?Sized>(
+    task: &T,
+) -> Result<(Vec<LayerTarget>, Option<Vec<LayerTarget>>), CoreError> {
+    let (targets, resil_targets) = task.resolve_targets()?;
+    if let Some(rt) = &resil_targets {
+        if rt.len() != targets.len() {
+            return Err(CoreError::FaultOutOfBounds {
+                detail: format!(
+                    "hardened {} exposes {} injectable layers, original {}",
+                    task.hardened_noun(),
+                    rt.len(),
+                    targets.len()
+                ),
+            });
+        }
+    }
+    Ok((targets, resil_targets))
+}
+
+/// Resolves the fault matrix: a replayed one (validated against the
+/// scenario) or a freshly generated one.
+fn take_or_generate<T: CampaignTask + ?Sized>(
+    task: &T,
+    targets: &[LayerTarget],
+) -> Result<FaultMatrix, CoreError> {
+    match task.replay_matrix() {
+        Some(m) => {
+            m.validate_replay(task.scenario())?;
+            Ok(m.clone())
+        }
+        None => FaultMatrix::generate(task.scenario(), targets),
+    }
+}
+
+/// Sequential driver: streams scopes epoch by epoch, arming fault
+/// slots through a [`SlotCursor`] (all three policies) and processing
+/// each scope in place.
+fn sequential_parts<T: CampaignTask + ?Sized>(
+    task: &T,
+    rec: &Recorder,
+) -> Result<Parts<T>, CoreError> {
+    let (targets, resil_targets) = resolve_checked(task)?;
+    let matrix = take_or_generate(task, &targets)?;
+    let scenario = task.scenario();
+    let mut rows = Vec::new();
+    let mut trace = RunTrace::default();
+    let mut cursor = SlotCursor::new(&matrix, scenario.injection_policy);
+    for epoch in 0..scenario.num_runs as u64 {
+        cursor.begin_epoch();
+        let flow = task.stream_scopes(epoch, &mut |first_in_batch, scope| {
+            let Some(faults) = cursor.arm(first_in_batch) else {
+                return Ok(ControlFlow::Break(()));
+            };
+            let ctx = ScopeCtx {
+                scenario,
+                targets: &targets,
+                resil_targets: resil_targets.as_deref(),
+                faults,
+            };
+            task.process_scope(&ctx, &scope, rec, &mut rows, &mut trace)?;
+            Ok(ControlFlow::Continue(()))
+        })?;
+        if flow.is_break() {
+            break;
+        }
+    }
+    Ok(Parts { rows, matrix, trace })
+}
+
+/// Parallel driver (`per_image` only — the other policies couple
+/// scopes through shared slots): materializes the scope list (slot ==
+/// work index), builds the task's worker context and fans out on the
+/// shared pool. `try_run_indexed` merges results in work order, so
+/// row order, fault assignment and all outputs are bit-identical to
+/// the sequential driver for any thread count (clamped by
+/// `ALFI_POOL_THREADS`), and a worker panic is converted into an
+/// error instead of unwinding through campaign state.
+fn parallel_parts<T: CampaignTask>(
+    task: &T,
+    threads: usize,
+    rec: &Recorder,
+) -> Result<Parts<T>, CoreError> {
+    if task.scenario().injection_policy != InjectionPolicy::PerImage {
+        return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
+            field: "injection_policy",
+            reason: "run_parallel requires per_image".into(),
+        }));
+    }
+    let threads = threads.max(1);
+    let (targets, resil_targets) = resolve_checked(task)?;
+    let matrix = take_or_generate(task, &targets)?;
+
+    let mut work: Vec<T::Scope> = Vec::new();
+    for epoch in 0..task.scenario().num_runs as u64 {
+        let flow = task.stream_scopes(epoch, &mut |_, scope| {
+            if work.len() >= matrix.num_slots() {
+                return Ok(ControlFlow::Break(()));
+            }
+            work.push(scope);
+            Ok(ControlFlow::Continue(()))
+        })?;
+        if flow.is_break() {
+            break;
+        }
+    }
+
+    let ctx = task.prepare_parallel(work.len())?;
+    let scenario = task.scenario();
+    let targets_ref: &[LayerTarget] = &targets;
+    let resil_ref = resil_targets.as_deref();
+    let matrix_ref = &matrix;
+    let work_ref = &work;
+    let ctx_ref = &ctx;
+    let outcomes = alfi_pool::global()
+        .try_run_indexed(threads, work.len(), |idx| {
+            let scope_ctx = ScopeCtx {
+                scenario,
+                targets: targets_ref,
+                resil_targets: resil_ref,
+                faults: matrix_ref.faults_for_slot(idx),
+            };
+            T::process_parallel(ctx_ref, &scope_ctx, idx, &work_ref[idx], rec)
+        })
+        .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
+
+    let mut rows = Vec::with_capacity(work.len());
+    let mut trace = RunTrace::default();
+    for outcome in outcomes {
+        let (r, entries) = outcome?;
+        rows.extend(r);
+        trace.entries.extend(entries);
+    }
+    Ok(Parts { rows, matrix, trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultValue;
+    use alfi_scenario::InjectionTarget;
+
+    /// A matrix with `slots` single-fault slots; slot `i`'s record has
+    /// `layer == i`, so tests can read back which slot armed a scope.
+    fn matrix(slots: usize) -> FaultMatrix {
+        let records = (0..slots)
+            .map(|i| FaultRecord {
+                batch: 0,
+                layer: i,
+                channel: 0,
+                channel_in: 0,
+                depth: None,
+                height: 0,
+                width: 0,
+                value: FaultValue::BitFlip(0),
+            })
+            .collect();
+        FaultMatrix { records, target: InjectionTarget::Weights, faults_per_image: 1 }
+    }
+
+    /// Drives `epochs × batches × images` scopes through a cursor and
+    /// returns the armed slot (its `layer`) per scope, `None` marking
+    /// where the run ended.
+    fn drive(
+        cursor: &mut SlotCursor<'_>,
+        epochs: usize,
+        batches: usize,
+        images: usize,
+    ) -> Vec<Option<usize>> {
+        let mut armed = Vec::new();
+        'run: for _ in 0..epochs {
+            cursor.begin_epoch();
+            for _ in 0..batches {
+                for i in 0..images {
+                    match cursor.arm(i == 0) {
+                        Some(f) => armed.push(Some(f[0].layer)),
+                        None => {
+                            armed.push(None);
+                            break 'run;
+                        }
+                    }
+                }
+            }
+        }
+        armed
+    }
+
+    #[test]
+    fn per_image_advances_every_scope() {
+        let m = matrix(12);
+        let mut c = SlotCursor::new(&m, InjectionPolicy::PerImage);
+        let armed = drive(&mut c, 2, 2, 3);
+        let want: Vec<Option<usize>> = (0..12).map(Some).collect();
+        assert_eq!(armed, want);
+        assert_eq!(c.position(), 12);
+    }
+
+    #[test]
+    fn per_batch_advances_on_batch_starts_only() {
+        let m = matrix(5);
+        let mut c = SlotCursor::new(&m, InjectionPolicy::PerBatch);
+        // 2 epochs × 2 batches × 3 images: one slot per batch.
+        let armed = drive(&mut c, 2, 2, 3);
+        assert_eq!(
+            armed,
+            vec![
+                Some(0), Some(0), Some(0),
+                Some(1), Some(1), Some(1),
+                Some(2), Some(2), Some(2),
+                Some(3), Some(3), Some(3),
+            ]
+        );
+        assert_eq!(c.position(), 4);
+    }
+
+    #[test]
+    fn per_epoch_advances_once_per_epoch() {
+        let m = matrix(4);
+        let mut c = SlotCursor::new(&m, InjectionPolicy::PerEpoch);
+        let armed = drive(&mut c, 3, 2, 2);
+        assert_eq!(
+            armed,
+            vec![
+                Some(0), Some(0), Some(0), Some(0),
+                Some(1), Some(1), Some(1), Some(1),
+                Some(2), Some(2), Some(2), Some(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_matrix_ends_per_image_run_mid_batch() {
+        let m = matrix(4);
+        let mut c = SlotCursor::new(&m, InjectionPolicy::PerImage);
+        let armed = drive(&mut c, 1, 2, 3);
+        assert_eq!(armed, vec![Some(0), Some(1), Some(2), Some(3), None]);
+    }
+
+    #[test]
+    fn truncated_matrix_stops_non_advancing_scopes_too() {
+        // Reuse requires a live matrix: once the slots are gone, even a
+        // per_batch scope that would only reuse slot 0 ends the run —
+        // the pre-sized matrix bounds the campaign.
+        let m = matrix(1);
+        let mut c = SlotCursor::new(&m, InjectionPolicy::PerBatch);
+        let armed = drive(&mut c, 1, 2, 3);
+        assert_eq!(armed, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn per_epoch_truncated_matrix_stops_at_epoch_boundary() {
+        // The last slot arms the final epoch's first scope; the next
+        // scope finds the matrix exhausted and ends the run (matching
+        // the drivers' historical break-on-exhausted-slot check).
+        let m = matrix(2);
+        let mut c = SlotCursor::new(&m, InjectionPolicy::PerEpoch);
+        let armed = drive(&mut c, 3, 1, 2);
+        assert_eq!(armed, vec![Some(0), Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn empty_matrix_arms_nothing() {
+        let m = matrix(0);
+        let mut c = SlotCursor::new(&m, InjectionPolicy::PerImage);
+        assert!(c.arm(true).is_none());
+        assert_eq!(c.position(), 0);
+    }
+
+    #[test]
+    fn first_scope_always_arms_a_fresh_slot() {
+        // Defensive: even if a task's stream never flags a batch start,
+        // the first scope arms slot 0 instead of underflowing.
+        let m = matrix(2);
+        let mut c = SlotCursor::new(&m, InjectionPolicy::PerBatch);
+        assert_eq!(c.arm(false).unwrap()[0].layer, 0);
+        assert_eq!(c.arm(false).unwrap()[0].layer, 0);
+        assert_eq!(c.position(), 1);
+    }
+}

@@ -205,6 +205,26 @@ impl FaultMatrix {
     pub fn num_slots(&self) -> usize {
         self.records.len().checked_div(self.faults_per_image).unwrap_or(0)
     }
+
+    /// Validates a replayed matrix against the scenario it is about to
+    /// drive — the paper's `fault_file` reuse is only meaningful when
+    /// the injection target (neurons vs weights) still matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CorruptFile`] on a target mismatch.
+    pub fn validate_replay(&self, scenario: &Scenario) -> Result<(), CoreError> {
+        if self.target != scenario.injection_target {
+            return Err(CoreError::CorruptFile {
+                kind: "fault",
+                reason: format!(
+                    "replayed matrix target {:?} disagrees with scenario target {:?}",
+                    self.target, scenario.injection_target
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 fn sample_value(mode: &FaultMode, rng: &mut Rng) -> FaultValue {

@@ -5,8 +5,12 @@
 //! injection scenarios without manual reconfiguration").
 //!
 //! A [`ScenarioSweep`] takes a base scenario and derives one scenario
-//! per sweep point; feed each into [`crate::Ptfiwrap::set_scenario`] (or
-//! a fresh campaign) to run the series.
+//! per sweep point; feed each into [`crate::Ptfiwrap::set_scenario`] or
+//! a fresh campaign driven through
+//! [`run_with`](crate::campaign::ImgClassCampaign::run_with) to run the
+//! series — every sweep point goes through the same shared campaign
+//! [`Engine`](crate::campaign::Engine), whatever the policy or thread
+//! count.
 
 use alfi_scenario::{FaultCount, FaultMode, InjectionTarget, Scenario};
 
@@ -141,6 +145,22 @@ mod tests {
         assert_eq!(scenarios[0].seed, 7);
         assert_eq!(scenarios[1].seed, 8);
         assert_eq!(scenarios[0].fault_mode, scenarios[1].fault_mode);
+    }
+
+    #[test]
+    fn sweep_scenarios_drive_campaigns_through_run_with() {
+        use crate::campaign::{ImgClassCampaign, RunConfig};
+        use alfi_datasets::classification::ClassificationDataset;
+        use alfi_datasets::loader::ClassificationLoader;
+        let cfg = ModelConfig { input_hw: 16, width_mult: 0.0625, ..ModelConfig::default() };
+        for s in ScenarioSweep::new(base()).over_bit_positions([0u8, 30]) {
+            let ds = ClassificationDataset::new(s.dataset_size, cfg.num_classes, 3, 16, 5);
+            let loader = ClassificationLoader::new(ds, s.batch_size);
+            let result = ImgClassCampaign::new(alexnet(&cfg), s, loader)
+                .run_with(&RunConfig::default())
+                .unwrap();
+            assert_eq!(result.rows.len(), 3);
+        }
     }
 
     #[test]

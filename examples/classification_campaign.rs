@@ -8,6 +8,10 @@
 //! `target/alfi_runs/classification/`.
 //!
 //! Run with: `cargo run --release --example classification_campaign`
+//!
+//! `run_with(&RunConfig)` drives this campaign through the same shared
+//! engine as the detection one (`detection_campaign` example) — only
+//! the per-scope model passes differ.
 
 use alfi::core::campaign::{ImgClassCampaign, RunConfig};
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};

@@ -7,6 +7,10 @@
 //! to `target/alfi_runs/detection/`.
 //!
 //! Run with: `cargo run --release --example detection_campaign`
+//!
+//! `run_with(&RunConfig)` drives this campaign through the same shared
+//! engine as the classification one (`classification_campaign`
+//! example) — only the per-scope detector passes differ.
 
 use alfi::core::campaign::{ObjDetCampaign, RunConfig};
 use alfi::datasets::{DetectionDataset, DetectionLoader};

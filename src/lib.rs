@@ -88,8 +88,8 @@ pub use alfi_trace as trace;
 /// One-stop imports for writing a campaign: `use alfi::prelude::*;`.
 pub mod prelude {
     pub use crate::core::campaign::{
-        ClassificationCampaignResult, DetectionCampaignResult, ImgClassCampaign, ObjDetCampaign,
-        RunConfig,
+        CampaignTask, ClassificationCampaignResult, DetectionCampaignResult, Engine,
+        ImgClassCampaign, ObjDetCampaign, RunConfig,
     };
     pub use crate::core::{attach_monitor, NanInfMonitor, RangeMonitor};
     pub use crate::scenario::{
