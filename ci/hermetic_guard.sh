@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Hermeticity guard: the workspace must stay 100% in-tree. Fails if the
+# dependency graph (Cargo.lock / cargo metadata) contains any package
+# that is not one of our `alfi*` path crates — i.e. if a registry
+# dependency ever creeps in. Run from the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Primary check: the resolved dependency graph. Catches transitive
+# additions regardless of how they entered.
+cargo metadata --format-version 1 --offline |
+  python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+bad = sorted({p["name"] for p in meta["packages"] if not p["name"].startswith("alfi")})
+srcs = sorted({p["name"] for p in meta["packages"] if p["source"] is not None})
+if bad:
+    sys.exit(f"non-workspace packages crept in: {bad}")
+if srcs:
+    sys.exit(f"packages resolved from a registry/git source: {srcs}")
+count = len(meta["packages"])
+print(f"hermetic: {count} packages, all in-tree path crates")
+'
+
+# Belt-and-braces: the committed lockfile itself. `cargo metadata` reads
+# the manifests; this catches a stale/hand-edited Cargo.lock too.
+if [ -f Cargo.lock ]; then
+  python3 - <<'EOF'
+names = []
+with open("Cargo.lock") as f:
+    for line in f:
+        line = line.strip()
+        if line.startswith("name = "):
+            names.append(line.split('"')[1])
+bad = sorted(n for n in names if not n.startswith("alfi"))
+if bad:
+    raise SystemExit(f"Cargo.lock lists non-workspace packages: {bad}")
+print(f"Cargo.lock: {len(names)} packages, all alfi-*")
+EOF
+fi

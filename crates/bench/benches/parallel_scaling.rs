@@ -96,6 +96,50 @@ fn phase_breakdown() -> Json {
     ])
 }
 
+/// Runs one metered campaign at the highest benchmarked thread count
+/// and summarizes its registry snapshot: engine scope throughput plus
+/// the pool's worker-busy fraction (busy seconds across all workers
+/// over `elapsed × pool threads` — how much of the theoretical
+/// parallel capacity the campaign actually used).
+fn metrics_snapshot() -> Json {
+    let threads = thread_counts().pop().unwrap_or(1);
+    let registry = alfi_metrics::Registry::new();
+    let mut campaign = make_campaign();
+    // Pool worker timers publish into the process-global registry, and
+    // only counters that fired inside this window should count.
+    let busy_before = alfi_metrics::global()
+        .snapshot()
+        .float_sum(alfi_metrics::names::POOL_BUSY_SECONDS);
+    let t = std::time::Instant::now();
+    campaign
+        .run_with(&RunConfig::new().threads(threads).metrics(registry.clone()))
+        .expect("metered run");
+    let elapsed = t.elapsed().as_secs_f64();
+    let global = alfi_metrics::global().snapshot();
+    let busy_seconds = global.float_sum(alfi_metrics::names::POOL_BUSY_SECONDS) - busy_before;
+    let pool_threads = alfi_pool::global().threads().max(1);
+    let snap = registry.snapshot();
+    let scopes = snap.counter(alfi_metrics::names::ENGINE_SCOPES);
+    Json::Obj(vec![
+        ("threads".to_string(), Json::Int(threads as i128)),
+        ("scopes".to_string(), Json::Int(scopes as i128)),
+        ("elapsed_s".to_string(), Json::Float(elapsed)),
+        (
+            "scopes_per_second".to_string(),
+            if elapsed > 0.0 { Json::Float(scopes as f64 / elapsed) } else { Json::Null },
+        ),
+        ("pool_busy_seconds".to_string(), Json::Float(busy_seconds)),
+        (
+            "worker_busy_fraction".to_string(),
+            if elapsed > 0.0 {
+                Json::Float(busy_seconds / (elapsed * pool_threads as f64))
+            } else {
+                Json::Null
+            },
+        ),
+    ])
+}
+
 /// Derives per-thread-count speedups from the harness results and
 /// writes them to `$ALFI_BENCH_SPEEDUP_JSON` or
 /// `target/alfi-bench/parallel_scaling_speedup.json`.
@@ -134,6 +178,7 @@ fn write_speedup_report(results: &[BenchResult]) {
         (alfi_pool::POOL_THREADS_ENV.to_string(), pool_env),
         ("points".to_string(), Json::Arr(points)),
         ("traced_phase_breakdown".to_string(), phase_breakdown()),
+        ("metrics_snapshot".to_string(), metrics_snapshot()),
     ]);
 
     let path = std::env::var_os("ALFI_BENCH_SPEEDUP_JSON")

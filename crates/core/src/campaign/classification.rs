@@ -414,8 +414,12 @@ impl CampaignTask for ImgClassCampaign {
         Ok((rows, trace.entries))
     }
 
-    fn classify_row(&self, row: &ClassificationRow) -> EffectClass {
+    fn classify(row: &ClassificationRow) -> EffectClass {
         classify_row(row)
+    }
+
+    fn row_nonfinite(row: &ClassificationRow) -> (u64, u64) {
+        (row.corr_nan as u64, row.corr_inf as u64)
     }
 
     fn finalize(
@@ -675,11 +679,10 @@ mod tests {
             });
         attach_monitor(&mut c.model, bomb).unwrap();
         for threads in [1, 3] {
-            // `run_parallel(1)` keeps the parallel driver (unlike
+            // `forced_parallel(1)` keeps the parallel driver (unlike
             // `run_with` with `threads: 1`, which is sequential), so the
             // pool guard still fires — exercised here on purpose.
-            #[allow(deprecated)]
-            let err = c.run_parallel(threads).unwrap_err();
+            let err = crate::campaign::Engine::forced_parallel(&c, threads).unwrap_err();
             match err {
                 CoreError::WorkerPanic { message } => {
                     assert!(message.contains("monitor exploded"), "message: {message}")

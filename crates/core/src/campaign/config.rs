@@ -8,6 +8,7 @@
 //! `RunConfig::default()` reproduces the historical `run()` behaviour
 //! byte-for-byte: sequential, untraced, nothing written to disk.
 
+use alfi_metrics::{HealthPolicy, Registry};
 use alfi_trace::Recorder;
 use std::path::{Path, PathBuf};
 
@@ -39,13 +40,39 @@ pub struct RunConfig {
     pub recorder: Recorder,
     /// When set, the campaign persists its full output set (scenario,
     /// fault/trace binaries, result CSVs and — with an enabled recorder
-    /// — `events.jsonl`) into this directory after the run.
+    /// — `events.jsonl`; with metrics attached — `metrics.prom`) into
+    /// this directory after the run.
     pub save_dir: Option<PathBuf>,
+    /// Live metrics registry. When set, the engine publishes scope
+    /// throughput, injection counts and outcome tallies into it as the
+    /// campaign runs (and a `metrics.prom` snapshot lands under
+    /// [`save_dir`](RunConfig::save_dir)). When `None` but
+    /// [`metrics_addr`](RunConfig::metrics_addr) or
+    /// [`health`](RunConfig::health) is set, the process-global
+    /// registry ([`alfi_metrics::global`]) is used instead.
+    pub metrics: Option<Registry>,
+    /// When set, an HTTP endpoint serving Prometheus text at
+    /// `GET /metrics` is bound on this address (e.g. `127.0.0.1:9184`)
+    /// for the lifetime of the process. Implies metrics collection.
+    pub metrics_addr: Option<String>,
+    /// When set, a watchdog thread samples the metrics registry at the
+    /// policy's interval and raises [`alfi_metrics::HealthEvent`]s
+    /// (stall, DUE/SDC rate, NaN storm), which are surfaced on the
+    /// recorder and in [`alfi_trace::TraceSummary::health`]. Implies
+    /// metrics collection.
+    pub health: Option<HealthPolicy>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { threads: 1, recorder: Recorder::disabled(), save_dir: None }
+        RunConfig {
+            threads: 1,
+            recorder: Recorder::disabled(),
+            save_dir: None,
+            metrics: None,
+            metrics_addr: None,
+            health: None,
+        }
     }
 }
 
@@ -72,6 +99,36 @@ impl RunConfig {
     pub fn save_dir(mut self, dir: impl AsRef<Path>) -> Self {
         self.save_dir = Some(dir.as_ref().to_path_buf());
         self
+    }
+
+    /// Attaches a live metrics registry (see [`RunConfig::metrics`]).
+    pub fn metrics(mut self, registry: Registry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Serves Prometheus text on `addr` (see
+    /// [`RunConfig::metrics_addr`]).
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Runs a health watchdog under `policy` (see
+    /// [`RunConfig::health`]).
+    pub fn health(mut self, policy: HealthPolicy) -> Self {
+        self.health = Some(policy);
+        self
+    }
+
+    /// The registry the engine should publish into, if any: an explicit
+    /// [`metrics`](RunConfig::metrics) registry wins; otherwise the
+    /// process-global one when an endpoint or watchdog needs data.
+    pub(crate) fn resolve_metrics(&self) -> Option<Registry> {
+        self.metrics.clone().or_else(|| {
+            (self.metrics_addr.is_some() || self.health.is_some())
+                .then(|| alfi_metrics::global().clone())
+        })
     }
 
     /// The driver parallelism to use for a scenario, resolving the `0`
@@ -104,6 +161,20 @@ mod tests {
         assert_eq!(cfg.threads, 8);
         assert!(cfg.recorder.is_enabled());
         assert_eq!(cfg.save_dir.as_deref(), Some(Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn metrics_resolution_prefers_explicit_registry() {
+        assert!(RunConfig::new().resolve_metrics().is_none(), "metrics are opt-in");
+
+        let own = Registry::new();
+        let cfg = RunConfig::new().metrics(own.clone()).metrics_addr("127.0.0.1:0");
+        let resolved = cfg.resolve_metrics().expect("explicit registry resolves");
+        resolved.counter("cfg_test_total", "probe", alfi_metrics::Class::Runtime).inc();
+        assert_eq!(own.snapshot().counter("cfg_test_total"), 1, "same registry");
+
+        let cfg = RunConfig::new().health(HealthPolicy::default());
+        assert!(cfg.resolve_metrics().is_some(), "watchdog alone implies the global registry");
     }
 
     #[test]

@@ -347,8 +347,12 @@ impl<'t, D: Detector + ?Sized> CampaignTask for DetTask<'t, D> {
         Ok((rows, trace.entries))
     }
 
-    fn classify_row(&self, row: &DetectionRow) -> EffectClass {
+    fn classify(row: &DetectionRow) -> EffectClass {
         classify_detection_row(row)
+    }
+
+    fn row_nonfinite(row: &DetectionRow) -> (u64, u64) {
+        (row.corr_nan as u64, row.corr_inf as u64)
     }
 
     fn finalize(

@@ -29,11 +29,15 @@ use crate::error::CoreError;
 use crate::fault::FaultRecord;
 use crate::injector::injection_event;
 use crate::matrix::{FaultMatrix, LayerTarget};
-use crate::persist::{save_events, RunTrace, TraceEntry};
+use crate::persist::{save_events, save_metrics, RunTrace, TraceEntry};
+use alfi_metrics::{names, Class, Counter, HealthSink, Histogram, Registry, Watchdog};
 use alfi_scenario::{InjectionPolicy, Scenario};
 use alfi_trace::{EffectClass, Phase, Recorder, RunMeta};
+use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Read-only context handed to scope processing: the scenario, the
 /// resolved injectable-layer targets (primary and hardened) and the
@@ -143,8 +147,18 @@ pub trait CampaignTask {
     ) -> Result<(Vec<Self::Row>, Vec<TraceEntry>), CoreError>;
 
     /// Trace-level fault-effect classification of one row
-    /// (masked / SDC / DUE), recorded as an outcome tally.
-    fn classify_row(&self, row: &Self::Row) -> EffectClass;
+    /// (masked / SDC / DUE), recorded as an outcome tally. An
+    /// associated function (no `&self`) so both drivers can classify
+    /// rows as they are produced — the parallel workers never see the
+    /// task itself.
+    fn classify(row: &Self::Row) -> EffectClass;
+
+    /// NaN / Inf element counts observed in a row's corrupted output,
+    /// feeding the live `alfi_campaign_nonfinite_total` counters (the
+    /// watchdog's NaN-storm signal). The default reports none.
+    fn row_nonfinite(_row: &Self::Row) -> (u64, u64) {
+        (0, 0)
+    }
 
     /// Assembles the campaign result from the collected rows, the
     /// fault matrix that drove the run and the applied-fault trace.
@@ -221,6 +235,128 @@ struct Parts<T: CampaignTask + ?Sized> {
     trace: RunTrace,
 }
 
+/// Pre-resolved counter handles for the engine's live instrumentation.
+///
+/// Registered once per run; both drivers bump these as scopes finish,
+/// so a metrics endpoint or health watchdog sees throughput, injection
+/// and outcome data *while* the campaign runs instead of after it. All
+/// counters are [`Class::Deterministic`] — their final values depend
+/// only on the scenario, never on thread count or timing — except the
+/// scope-latency histogram, which is wall-clock and stays out of
+/// deterministic renders by construction (histograms are always
+/// runtime-class).
+pub(crate) struct EngineMetrics {
+    registry: Registry,
+    scopes: Counter,
+    items: Counter,
+    injections: Counter,
+    masked: Counter,
+    sdc: Counter,
+    due: Counter,
+    nan: Counter,
+    inf: Counter,
+    scope_seconds: Histogram,
+    /// Lazily-registered per-layer injection counters, keyed by
+    /// injectable-layer index.
+    layers: Mutex<BTreeMap<usize, Counter>>,
+}
+
+impl EngineMetrics {
+    fn new(registry: Registry) -> Self {
+        let outcome = |value: &str| {
+            registry.counter_with(
+                names::CAMPAIGN_OUTCOMES,
+                "Classified fault effects by outcome class",
+                Class::Deterministic,
+                "outcome",
+                value,
+            )
+        };
+        let nonfinite = |value: &str| {
+            registry.counter_with(
+                names::CAMPAIGN_NONFINITE,
+                "Non-finite elements observed in corrupted outputs",
+                Class::Deterministic,
+                "kind",
+                value,
+            )
+        };
+        EngineMetrics {
+            scopes: registry.counter(
+                names::ENGINE_SCOPES,
+                "Fault scopes processed by the campaign engine",
+                Class::Deterministic,
+            ),
+            items: registry.counter(
+                names::ENGINE_ITEMS,
+                "Per-image result rows produced by the campaign engine",
+                Class::Deterministic,
+            ),
+            injections: registry.counter(
+                names::CAMPAIGN_INJECTIONS,
+                "Faults applied across the campaign",
+                Class::Deterministic,
+            ),
+            masked: outcome("masked"),
+            sdc: outcome("sdc"),
+            due: outcome("due"),
+            nan: nonfinite("nan"),
+            inf: nonfinite("inf"),
+            scope_seconds: registry
+                .histogram(names::ENGINE_SCOPE_SECONDS, "Wall-clock latency of one fault scope"),
+            layers: Mutex::new(BTreeMap::new()),
+            registry,
+        }
+    }
+
+    /// Records one finished scope: its rows (classified live) and the
+    /// applied-fault trace entries it produced.
+    fn scope_done<T: CampaignTask + ?Sized>(
+        &self,
+        rows: &[T::Row],
+        entries: &[TraceEntry],
+        started: Instant,
+    ) {
+        self.scopes.inc();
+        self.items.add(rows.len() as u64);
+        self.scope_seconds.observe(started.elapsed().as_secs_f64());
+        for row in rows {
+            match T::classify(row) {
+                EffectClass::Masked => self.masked.inc(),
+                EffectClass::Sdc => self.sdc.inc(),
+                EffectClass::Due => self.due.inc(),
+            }
+            let (nan, inf) = T::row_nonfinite(row);
+            if nan > 0 {
+                self.nan.add(nan);
+            }
+            if inf > 0 {
+                self.inf.add(inf);
+            }
+        }
+        for entry in entries {
+            self.injections.inc();
+            self.layer_counter(entry.applied.record.layer).inc();
+        }
+    }
+
+    fn layer_counter(&self, layer: usize) -> Counter {
+        let mut layers = self.layers.lock().unwrap_or_else(|p| p.into_inner());
+        layers
+            .entry(layer)
+            .or_insert_with(|| {
+                self.registry.counter_with(
+                    names::CAMPAIGN_LAYER_INJECTIONS,
+                    "Faults applied per injectable-layer index",
+                    Class::Deterministic,
+                    "layer",
+                    &layer.to_string(),
+                )
+            })
+            .clone()
+    }
+}
+
 /// The one campaign driver: runs any [`CampaignTask`] under a
 /// [`RunConfig`], sequentially or fanned out on the shared
 /// [`alfi_pool`] pool, with identical outputs either way.
@@ -261,17 +397,46 @@ impl<'c> Engine<'c> {
             });
             rec.begin_items((scenario.dataset_size * scenario.num_runs) as u64);
         }
+        let registry = cfg.resolve_metrics();
+        if registry.is_some() {
+            // Light up the background pool/tensor instrumentation too —
+            // those publish into the process-global registry.
+            alfi_metrics::set_global_enabled(true);
+        }
+        if let (Some(addr), Some(reg)) = (&cfg.metrics_addr, &registry) {
+            alfi_metrics::serve_once(addr, reg)
+                .map_err(|e| CoreError::Io(format!("binding metrics endpoint on {addr}: {e}")))?;
+        }
+        let metrics = registry.clone().map(EngineMetrics::new);
+        let watchdog = match (&cfg.health, &registry) {
+            (Some(policy), Some(reg)) => {
+                let sink: Option<HealthSink> = rec.is_enabled().then(|| {
+                    let rec = rec.clone();
+                    Arc::new(move |e: &alfi_metrics::HealthEvent| rec.record_health(e.to_string()))
+                        as HealthSink
+                });
+                Some(Watchdog::spawn(policy.clone(), reg.clone(), sink))
+            }
+            _ => None,
+        };
         let per_image = scenario.injection_policy == InjectionPolicy::PerImage;
         let parts = match cfg.resolve_threads(per_image) {
-            0 | 1 => sequential_parts(task, &rec)?,
-            threads => parallel_parts(task, threads, &rec)?,
+            0 | 1 => sequential_parts(task, &rec, metrics.as_ref()),
+            threads => parallel_parts(task, threads, &rec, metrics.as_ref()),
         };
+        if let Some(watchdog) = watchdog {
+            // Final registry sample happens inside stop(), so an
+            // end-of-run threshold breach is still raised (and already
+            // delivered to the recorder via the sink).
+            watchdog.stop();
+        }
+        let parts = parts?;
         if rec.is_enabled() {
             // Outcome tallies and structured injection events in
             // deterministic row/trace order — the same order for any
             // thread count, which keeps the event log byte-reproducible.
             for row in &parts.rows {
-                rec.record_outcome(task.classify_row(row));
+                rec.record_outcome(T::classify(row));
             }
             for entry in &parts.trace.entries {
                 rec.record_injection(injection_event(entry.image_id, &entry.applied));
@@ -282,6 +447,7 @@ impl<'c> Engine<'c> {
             let _span = rec.span(Phase::Persist);
             task.save_result(&result, dir)?;
             save_events(&rec, dir)?;
+            save_metrics(registry.as_ref(), dir)?;
         }
         Ok(result)
     }
@@ -293,7 +459,7 @@ impl<'c> Engine<'c> {
     ///
     /// As [`run`](Self::run), minus the parallel-only errors.
     pub fn sequential<T: CampaignTask>(task: &T) -> Result<T::Result, CoreError> {
-        let parts = sequential_parts(task, &Recorder::disabled())?;
+        let parts = sequential_parts(task, &Recorder::disabled(), None)?;
         Ok(task.finalize(parts.rows, parts.matrix, parts.trace))
     }
 
@@ -309,7 +475,7 @@ impl<'c> Engine<'c> {
         task: &T,
         threads: usize,
     ) -> Result<T::Result, CoreError> {
-        let parts = parallel_parts(task, threads, &Recorder::disabled())?;
+        let parts = parallel_parts(task, threads, &Recorder::disabled(), None)?;
         Ok(task.finalize(parts.rows, parts.matrix, parts.trace))
     }
 }
@@ -358,6 +524,7 @@ fn take_or_generate<T: CampaignTask + ?Sized>(
 fn sequential_parts<T: CampaignTask + ?Sized>(
     task: &T,
     rec: &Recorder,
+    metrics: Option<&EngineMetrics>,
 ) -> Result<Parts<T>, CoreError> {
     let (targets, resil_targets) = resolve_checked(task)?;
     let matrix = take_or_generate(task, &targets)?;
@@ -377,7 +544,12 @@ fn sequential_parts<T: CampaignTask + ?Sized>(
                 resil_targets: resil_targets.as_deref(),
                 faults,
             };
+            let started = Instant::now();
+            let (row_mark, entry_mark) = (rows.len(), trace.entries.len());
             task.process_scope(&ctx, &scope, rec, &mut rows, &mut trace)?;
+            if let Some(m) = metrics {
+                m.scope_done::<T>(&rows[row_mark..], &trace.entries[entry_mark..], started);
+            }
             Ok(ControlFlow::Continue(()))
         })?;
         if flow.is_break() {
@@ -399,6 +571,7 @@ fn parallel_parts<T: CampaignTask>(
     task: &T,
     threads: usize,
     rec: &Recorder,
+    metrics: Option<&EngineMetrics>,
 ) -> Result<Parts<T>, CoreError> {
     if task.scenario().injection_policy != InjectionPolicy::PerImage {
         return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
@@ -439,7 +612,15 @@ fn parallel_parts<T: CampaignTask>(
                 resil_targets: resil_ref,
                 faults: matrix_ref.faults_for_slot(idx),
             };
-            T::process_parallel(ctx_ref, &scope_ctx, idx, &work_ref[idx], rec)
+            let started = Instant::now();
+            let out = T::process_parallel(ctx_ref, &scope_ctx, idx, &work_ref[idx], rec);
+            if let (Some(m), Ok((rows, entries))) = (metrics, &out) {
+                // Counter bumps commute, so live publication from
+                // workers in completion order still snapshots to the
+                // same final values as the sequential driver.
+                m.scope_done::<T>(rows, entries, started);
+            }
+            out
         })
         .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
 

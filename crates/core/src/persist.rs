@@ -313,6 +313,24 @@ pub fn save_events(recorder: &alfi_trace::Recorder, dir: impl AsRef<Path>) -> Re
     Ok(())
 }
 
+/// Writes a Prometheus-text snapshot of a metrics registry as
+/// `metrics.prom` into `dir` — the file form of the live `/metrics`
+/// endpoint, so a run's final counters survive the process. No-op (and
+/// no file) when no registry was attached to the run.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Io`] on filesystem failure.
+pub fn save_metrics(
+    registry: Option<&alfi_metrics::Registry>,
+    dir: impl AsRef<Path>,
+) -> Result<(), CoreError> {
+    if let Some(registry) = registry {
+        alfi_metrics::write_snapshot(registry, dir.as_ref())?;
+    }
+    Ok(())
+}
+
 /// One trace entry: what actually happened when a fault was applied
 /// during inference, plus the per-inference NaN/Inf monitor counts.
 #[derive(Debug, Clone, Copy, PartialEq)]

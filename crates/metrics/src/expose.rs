@@ -1,0 +1,230 @@
+//! Prometheus-text exposition: the one-shot `metrics.prom` snapshot
+//! writer and a background `GET /metrics` server on
+//! [`std::net::TcpListener`] — no external dependencies, HTTP/1.1 by
+//! hand.
+
+use crate::registry::Registry;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// File name of the one-shot snapshot written under `save_dir`.
+pub const SNAPSHOT_FILE: &str = "metrics.prom";
+
+/// Content type of the Prometheus text format we emit.
+const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Writes a full-registry snapshot as `metrics.prom` into `dir`,
+/// returning the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_snapshot(registry: &Registry, dir: &Path) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(SNAPSHOT_FILE);
+    std::fs::write(&path, registry.snapshot().render())?;
+    Ok(path)
+}
+
+/// A background metrics server: binds a [`TcpListener`], answers
+/// `GET /metrics` with the registry rendered in Prometheus text format
+/// and anything else with 404. The accept loop is non-blocking with a
+/// short sleep so [`shutdown`](MetricsServer::shutdown) (or drop)
+/// stops it promptly.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsServer({})", self.addr)
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port —
+    /// read it back via [`local_addr`](Self::local_addr)) and starts
+    /// the accept thread serving `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, registry: Registry) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("alfi-metrics-http".into())
+            .spawn(move || accept_loop(listener, registry, stop_flag))
+            .expect("spawn metrics server thread");
+        Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: /metrics is a low-rate scrape target,
+                // not a traffic server.
+                let _ = serve_connection(stream, &registry);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 2048];
+    let mut req = Vec::new();
+    // Read until the end of the request head (or the buffer/timeout
+    // gives up) — we only need the request line.
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let line = req.split(|&b| b == b'\r' || b == b'\n').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = match (method, path) {
+        ("GET", "/metrics") => ("200 OK", registry.snapshot().render()),
+        ("GET", _) => ("404 Not Found", "not found; scrape /metrics\n".to_string()),
+        _ => ("405 Method Not Allowed", "GET only\n".to_string()),
+    };
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Servers started through [`serve_once`], keyed by the requested
+/// address and kept alive for the process lifetime so repeated
+/// `run_with` calls with the same `metrics_addr` reuse one listener.
+static SERVERS: OnceLock<Mutex<HashMap<String, MetricsServer>>> = OnceLock::new();
+
+/// Starts (or reuses) a process-lifetime metrics server on `addr`
+/// serving `registry`, returning the bound address. A second call with
+/// the same `addr` string returns the existing server's address
+/// without rebinding.
+///
+/// # Errors
+///
+/// Propagates bind failures on first use of an address.
+pub fn serve_once(addr: &str, registry: &Registry) -> io::Result<SocketAddr> {
+    let servers = SERVERS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = servers.lock().expect("metrics server table poisoned");
+    if let Some(existing) = map.get(addr) {
+        return Ok(existing.local_addr());
+    }
+    let server = MetricsServer::bind(addr, registry.clone())?;
+    let local = server.local_addr();
+    map.insert(addr.to_string(), server);
+    Ok(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Class;
+
+    fn scrape(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let (head, body) = out.split_once("\r\n\r\n").expect("response has a head");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let reg = Registry::new();
+        reg.counter("alfi_engine_scopes_total", "scopes", Class::Deterministic).add(5);
+        let server = MetricsServer::bind("127.0.0.1:0", reg).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = scrape(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("# TYPE alfi_engine_scopes_total counter"), "{body}");
+        assert!(body.contains("alfi_engine_scopes_total 5"), "{body}");
+
+        let (head, _) = scrape(addr, "/other");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_file_round_trips() {
+        let reg = Registry::new();
+        reg.counter("alfi_engine_items_total", "items", Class::Deterministic).add(3);
+        let dir = std::env::temp_dir().join("alfi_metrics_snapshot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_snapshot(&reg, &dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), SNAPSHOT_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, reg.snapshot().render());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_once_reuses_the_same_address() {
+        let reg = Registry::new();
+        let a = serve_once("127.0.0.1:0", &reg).unwrap();
+        let b = serve_once("127.0.0.1:0", &reg).unwrap();
+        assert_eq!(a, b);
+    }
+}

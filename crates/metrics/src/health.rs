@@ -1,0 +1,434 @@
+//! Campaign health watchdog: samples a [`Registry`] on an interval and
+//! raises structured [`HealthEvent`]s when a campaign looks sick —
+//! stalled (no scope completed within a deadline), DUE/SDC rates above
+//! configured thresholds, or a NaN storm.
+//!
+//! Detection is a pure function ([`evaluate`]) over an observation
+//! delta, so every alarm is unit-testable without threads or clocks;
+//! [`Watchdog`] is the thin sampling thread around it.
+
+use crate::registry::{Class, Registry, Snapshot};
+use crate::names;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A structured health alarm raised by the watchdog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthEvent {
+    /// No fault scope completed within the stall deadline.
+    Stall {
+        /// How long the scope counter has been flat.
+        idle: Duration,
+        /// Scope count at the time of the alarm.
+        scopes: u64,
+    },
+    /// DUE rate above the configured threshold.
+    DueRateHigh {
+        /// Observed DUE fraction of classified rows.
+        rate: f64,
+        /// Configured threshold.
+        limit: f64,
+        /// Rows classified so far.
+        classified: u64,
+    },
+    /// SDC rate above the configured threshold.
+    SdcRateHigh {
+        /// Observed SDC fraction of classified rows.
+        rate: f64,
+        /// Configured threshold.
+        limit: f64,
+        /// Rows classified so far.
+        classified: u64,
+    },
+    /// Non-finite (NaN/Inf) output values above the configured limit.
+    NanStorm {
+        /// Non-finite values observed so far.
+        nonfinite: u64,
+        /// Configured limit.
+        limit: u64,
+    },
+}
+
+impl HealthEvent {
+    /// Stable event kind, used as the `kind` label of
+    /// `alfi_health_events_total`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthEvent::Stall { .. } => "stall",
+            HealthEvent::DueRateHigh { .. } => "due_rate",
+            HealthEvent::SdcRateHigh { .. } => "sdc_rate",
+            HealthEvent::NanStorm { .. } => "nan_storm",
+        }
+    }
+}
+
+impl fmt::Display for HealthEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthEvent::Stall { idle, scopes } => write!(
+                f,
+                "stall: no scope completed for {:.1}s ({} scopes done)",
+                idle.as_secs_f64(),
+                scopes
+            ),
+            HealthEvent::DueRateHigh { rate, limit, classified } => write!(
+                f,
+                "due_rate: DUE rate {:.3} above limit {:.3} after {} classified rows",
+                rate, limit, classified
+            ),
+            HealthEvent::SdcRateHigh { rate, limit, classified } => write!(
+                f,
+                "sdc_rate: SDC rate {:.3} above limit {:.3} after {} classified rows",
+                rate, limit, classified
+            ),
+            HealthEvent::NanStorm { nonfinite, limit } => write!(
+                f,
+                "nan_storm: {} non-finite output values above limit {}",
+                nonfinite, limit
+            ),
+        }
+    }
+}
+
+/// Watchdog thresholds. Every alarm is opt-in via its `Option`; the
+/// default policy only watches for stalls.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Sampling cadence of the watchdog thread.
+    pub interval: Duration,
+    /// Raise [`HealthEvent::Stall`] when no scope completes for this
+    /// long.
+    pub stall_after: Option<Duration>,
+    /// Raise [`HealthEvent::DueRateHigh`] when due/classified exceeds
+    /// this fraction.
+    pub max_due_rate: Option<f64>,
+    /// Raise [`HealthEvent::SdcRateHigh`] when sdc/classified exceeds
+    /// this fraction.
+    pub max_sdc_rate: Option<f64>,
+    /// Rate alarms stay quiet until this many rows are classified
+    /// (avoids small-sample noise).
+    pub min_classified: u64,
+    /// Raise [`HealthEvent::NanStorm`] when the non-finite rollup
+    /// exceeds this count.
+    pub max_nonfinite: Option<u64>,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            interval: Duration::from_millis(250),
+            stall_after: Some(Duration::from_secs(30)),
+            max_due_rate: None,
+            max_sdc_rate: None,
+            min_classified: 20,
+            max_nonfinite: None,
+        }
+    }
+}
+
+/// One registry sample, reduced to the counters the watchdog reasons
+/// about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthObservation {
+    /// `alfi_engine_scopes_total`.
+    pub scopes: u64,
+    /// `alfi_campaign_outcomes_total{class="masked"}`.
+    pub masked: u64,
+    /// `alfi_campaign_outcomes_total{class="sdc"}`.
+    pub sdc: u64,
+    /// `alfi_campaign_outcomes_total{class="due"}`.
+    pub due: u64,
+    /// `alfi_campaign_nonfinite_total` summed over kinds.
+    pub nonfinite: u64,
+}
+
+impl HealthObservation {
+    /// Reads the watchdog counters out of a snapshot (absent counters
+    /// read as 0).
+    pub fn from_snapshot(s: &Snapshot) -> Self {
+        HealthObservation {
+            scopes: s.counter(names::ENGINE_SCOPES),
+            masked: s.counter_labeled(names::CAMPAIGN_OUTCOMES, "masked").unwrap_or(0),
+            sdc: s.counter_labeled(names::CAMPAIGN_OUTCOMES, "sdc").unwrap_or(0),
+            due: s.counter_labeled(names::CAMPAIGN_OUTCOMES, "due").unwrap_or(0),
+            nonfinite: s.counter_sum(names::CAMPAIGN_NONFINITE),
+        }
+    }
+}
+
+/// Carry-over state between [`evaluate`] calls. Each alarm latches
+/// (raises once) until its condition clears.
+#[derive(Debug, Clone, Default)]
+pub struct HealthState {
+    last_scopes: u64,
+    idle: Duration,
+    stall_raised: bool,
+    due_raised: bool,
+    sdc_raised: bool,
+    nan_raised: bool,
+}
+
+/// Pure alarm evaluation: folds one observation (taken `dt` after the
+/// previous one) into `state` and returns the newly raised events.
+/// Deterministic given the same observation/`dt` sequence, so every
+/// alarm path is testable without a watchdog thread.
+pub fn evaluate(
+    policy: &HealthPolicy,
+    state: &mut HealthState,
+    obs: &HealthObservation,
+    dt: Duration,
+) -> Vec<HealthEvent> {
+    let mut events = Vec::new();
+
+    if obs.scopes > state.last_scopes {
+        state.last_scopes = obs.scopes;
+        state.idle = Duration::ZERO;
+        state.stall_raised = false;
+    } else {
+        state.idle += dt;
+    }
+    if let Some(deadline) = policy.stall_after {
+        if state.idle >= deadline && !state.stall_raised {
+            state.stall_raised = true;
+            events.push(HealthEvent::Stall { idle: state.idle, scopes: obs.scopes });
+        }
+    }
+
+    let classified = obs.masked + obs.sdc + obs.due;
+    if classified >= policy.min_classified.max(1) {
+        if let Some(limit) = policy.max_due_rate {
+            let rate = obs.due as f64 / classified as f64;
+            if rate > limit && !state.due_raised {
+                state.due_raised = true;
+                events.push(HealthEvent::DueRateHigh { rate, limit, classified });
+            }
+        }
+        if let Some(limit) = policy.max_sdc_rate {
+            let rate = obs.sdc as f64 / classified as f64;
+            if rate > limit && !state.sdc_raised {
+                state.sdc_raised = true;
+                events.push(HealthEvent::SdcRateHigh { rate, limit, classified });
+            }
+        }
+    }
+
+    if let Some(limit) = policy.max_nonfinite {
+        if obs.nonfinite > limit && !state.nan_raised {
+            state.nan_raised = true;
+            events.push(HealthEvent::NanStorm { nonfinite: obs.nonfinite, limit });
+        }
+    }
+
+    events
+}
+
+/// Extra delivery hook for raised events (the campaign engine wires
+/// this to the trace recorder).
+pub type HealthSink = Arc<dyn Fn(&HealthEvent) + Send + Sync>;
+
+/// The sampling thread around [`evaluate`]: every `policy.interval` it
+/// snapshots the registry, evaluates the policy and delivers raised
+/// events to stderr, the registry's `alfi_health_events_total{kind}`
+/// counter and the optional sink.
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Vec<HealthEvent>>>,
+}
+
+impl fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Watchdog")
+    }
+}
+
+impl Watchdog {
+    /// Spawns the watchdog over `registry`.
+    pub fn spawn(policy: HealthPolicy, registry: Registry, sink: Option<HealthSink>) -> Watchdog {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("alfi-health-watchdog".into())
+            .spawn(move || watch_loop(policy, registry, sink, stop_flag))
+            .expect("spawn health watchdog thread");
+        Watchdog { stop, handle: Some(handle) }
+    }
+
+    /// Stops the watchdog (after one final sample, so threshold
+    /// crossings right at campaign end still alarm) and returns every
+    /// event it raised.
+    pub fn stop(mut self) -> Vec<HealthEvent> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn watch_loop(
+    policy: HealthPolicy,
+    registry: Registry,
+    sink: Option<HealthSink>,
+    stop: Arc<AtomicBool>,
+) -> Vec<HealthEvent> {
+    let mut state = HealthState::default();
+    let mut raised = Vec::new();
+    let mut last = Instant::now();
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        if !stopping {
+            // Sleep in short slices so stop() never waits a full
+            // interval.
+            let slice = Duration::from_millis(10).min(policy.interval);
+            let deadline = Instant::now() + policy.interval;
+            while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(slice);
+            }
+        }
+        let now = Instant::now();
+        let dt = now - last;
+        last = now;
+        let obs = HealthObservation::from_snapshot(&registry.snapshot());
+        for event in evaluate(&policy, &mut state, &obs, dt) {
+            eprintln!("[alfi health] {event}");
+            registry
+                .counter_with(
+                    names::HEALTH_EVENTS,
+                    "Health watchdog events raised, by kind",
+                    Class::Runtime,
+                    "kind",
+                    event.kind(),
+                )
+                .inc();
+            if let Some(sink) = &sink {
+                sink(&event);
+            }
+            raised.push(event);
+        }
+        if stopping {
+            return raised;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            interval: Duration::from_millis(1),
+            stall_after: Some(Duration::from_millis(100)),
+            max_due_rate: Some(0.25),
+            max_sdc_rate: Some(0.5),
+            min_classified: 4,
+            max_nonfinite: Some(10),
+        }
+    }
+
+    #[test]
+    fn stall_raises_after_deadline_and_clears_on_progress() {
+        let p = policy();
+        let mut st = HealthState::default();
+        let obs = HealthObservation { scopes: 3, ..Default::default() };
+        // First sample records progress from 0 → 3.
+        assert!(evaluate(&p, &mut st, &obs, Duration::from_millis(50)).is_empty());
+        // Flat for 60ms — under the 100ms deadline.
+        assert!(evaluate(&p, &mut st, &obs, Duration::from_millis(60)).is_empty());
+        // Flat past the deadline: one stall event, latched.
+        let events = evaluate(&p, &mut st, &obs, Duration::from_millis(60));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], HealthEvent::Stall { scopes: 3, .. }), "{events:?}");
+        assert!(evaluate(&p, &mut st, &obs, Duration::from_millis(60)).is_empty(), "latched");
+        // Progress clears the latch; a fresh stall can raise again.
+        let obs2 = HealthObservation { scopes: 4, ..Default::default() };
+        assert!(evaluate(&p, &mut st, &obs2, Duration::from_millis(60)).is_empty());
+        let events = evaluate(&p, &mut st, &obs2, Duration::from_millis(200));
+        assert_eq!(events.len(), 1, "{events:?}");
+    }
+
+    #[test]
+    fn due_rate_alarm_respects_min_classified_and_threshold() {
+        let p = policy();
+        let mut st = HealthState::default();
+        // 2 of 3 DUE but below min_classified=4: quiet.
+        let small = HealthObservation { scopes: 3, masked: 1, due: 2, ..Default::default() };
+        assert!(evaluate(&p, &mut st, &small, Duration::from_millis(1)).is_empty());
+        // 2 of 8 DUE = 0.25, not strictly above the 0.25 limit: quiet.
+        let at_limit = HealthObservation { scopes: 8, masked: 6, due: 2, ..Default::default() };
+        assert!(evaluate(&p, &mut st, &at_limit, Duration::from_millis(1)).is_empty());
+        // 3 of 9 DUE ≈ 0.33 > 0.25: alarm once.
+        let over = HealthObservation { scopes: 9, masked: 6, due: 3, ..Default::default() };
+        let events = evaluate(&p, &mut st, &over, Duration::from_millis(1));
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            HealthEvent::DueRateHigh { rate, limit, classified } => {
+                assert!((rate - 1.0 / 3.0).abs() < 1e-9);
+                assert_eq!(*limit, 0.25);
+                assert_eq!(*classified, 9);
+            }
+            other => panic!("expected DueRateHigh, got {other:?}"),
+        }
+        assert!(evaluate(&p, &mut st, &over, Duration::from_millis(1)).is_empty(), "latched");
+    }
+
+    #[test]
+    fn sdc_rate_and_nan_storm_alarms_raise() {
+        let p = policy();
+        let mut st = HealthState::default();
+        let obs = HealthObservation { scopes: 10, masked: 2, sdc: 8, nonfinite: 11, ..Default::default() };
+        let events = evaluate(&p, &mut st, &obs, Duration::from_millis(1));
+        let kinds: Vec<_> = events.iter().map(HealthEvent::kind).collect();
+        assert_eq!(kinds, vec!["sdc_rate", "nan_storm"], "{events:?}");
+    }
+
+    #[test]
+    fn observation_reads_the_wellknown_counters() {
+        let reg = Registry::new();
+        reg.counter(names::ENGINE_SCOPES, "h", Class::Deterministic).add(7);
+        reg.counter_with(names::CAMPAIGN_OUTCOMES, "h", Class::Deterministic, "class", "masked").add(4);
+        reg.counter_with(names::CAMPAIGN_OUTCOMES, "h", Class::Deterministic, "class", "due").add(3);
+        reg.counter_with(names::CAMPAIGN_NONFINITE, "h", Class::Deterministic, "kind", "nan").add(2);
+        reg.counter_with(names::CAMPAIGN_NONFINITE, "h", Class::Deterministic, "kind", "inf").add(1);
+        let obs = HealthObservation::from_snapshot(&reg.snapshot());
+        assert_eq!(
+            obs,
+            HealthObservation { scopes: 7, masked: 4, sdc: 0, due: 3, nonfinite: 3 }
+        );
+    }
+
+    #[test]
+    fn watchdog_thread_raises_stall_and_counts_it() {
+        let reg = Registry::new();
+        reg.counter(names::ENGINE_SCOPES, "h", Class::Deterministic).add(1);
+        let p = HealthPolicy {
+            interval: Duration::from_millis(5),
+            stall_after: Some(Duration::from_millis(20)),
+            ..HealthPolicy::default()
+        };
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        let sink: HealthSink = Arc::new(move |e| sink_seen.lock().unwrap().push(e.kind()));
+        let wd = Watchdog::spawn(p, reg.clone(), Some(sink));
+        std::thread::sleep(Duration::from_millis(120));
+        let events = wd.stop();
+        assert!(
+            events.iter().any(|e| matches!(e, HealthEvent::Stall { .. })),
+            "expected a stall, got {events:?}"
+        );
+        assert!(seen.lock().unwrap().contains(&"stall"));
+        assert!(reg.snapshot().counter_labeled(names::HEALTH_EVENTS, "stall").unwrap_or(0) >= 1);
+    }
+}

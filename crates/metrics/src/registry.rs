@@ -1,0 +1,869 @@
+//! The sharded metric registry.
+//!
+//! Handles ([`Counter`], [`FloatCounter`], [`Gauge`], [`Histogram`])
+//! are cheap `Arc` clones; updating one is a relaxed atomic operation
+//! on a cache-line-padded, per-thread shard. Shards are summed only
+//! when a [`Snapshot`] is taken, so the hot path never touches a
+//! shared line and never takes a lock. Registration (name → handle)
+//! does lock, so instrumented code should create handles once and hold
+//! on to them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of update shards per metric. Threads are assigned shards
+/// round-robin on first use; 16 shards keep contention negligible for
+/// the pool's maximum of 64 workers while bounding snapshot cost.
+const SHARDS: usize = 16;
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard index, assigned round-robin on first use.
+    /// Deliberately independent of `alfi-pool` worker indices — the
+    /// pool itself is instrumented, so the registry cannot depend on
+    /// it.
+    static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+#[inline]
+fn shard_id() -> usize {
+    SHARD.with(|s| *s)
+}
+
+/// One cache line per shard so concurrent writers on different shards
+/// never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PadCell(AtomicU64);
+
+/// Determinism class of a metric — the golden-file boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Depends only on scenario/seed; byte-identical across thread
+    /// counts and eligible for golden pinning.
+    Deterministic,
+    /// Wall-clock- or schedule-dependent; excluded from golden
+    /// artifacts.
+    Runtime,
+}
+
+/// Metric kind, as exposed in the Prometheus `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotone integer counter.
+    Counter,
+    /// Monotone float counter (rendered as a Prometheus counter).
+    FloatCounter,
+    /// Instantaneous float value.
+    Gauge,
+    /// Log₂-bucketed histogram.
+    Histogram,
+}
+
+impl Kind {
+    fn type_name(self) -> &'static str {
+        match self {
+            Kind::Counter | Kind::FloatCounter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Default)]
+struct ShardedU64 {
+    cells: [PadCell; SHARDS],
+}
+
+impl ShardedU64 {
+    #[inline]
+    fn add(&self, n: u64) {
+        self.cells[shard_id()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn total(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A monotone integer counter. Cloning shares the underlying cells.
+#[derive(Clone, Default)]
+pub struct Counter {
+    inner: Arc<ShardedU64>,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` — one relaxed atomic add on this thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.add(n);
+    }
+
+    /// Sum across shards (racy under concurrent writers, exact once
+    /// they are quiescent).
+    pub fn value(&self) -> u64 {
+        self.inner.total()
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.value())
+    }
+}
+
+/// One f64-bits cell per shard, updated by compare-exchange.
+#[repr(align(64))]
+struct PadF64Cell(AtomicU64);
+
+impl Default for PadF64Cell {
+    fn default() -> Self {
+        PadF64Cell(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl PadF64Cell {
+    fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct ShardedF64 {
+    cells: [PadF64Cell; SHARDS],
+}
+
+impl ShardedF64 {
+    #[inline]
+    fn add(&self, v: f64) {
+        self.cells[shard_id()].add(v);
+    }
+
+    fn total(&self) -> f64 {
+        self.cells.iter().map(PadF64Cell::get).sum()
+    }
+}
+
+/// A monotone float counter (e.g. busy seconds). Cloning shares state.
+#[derive(Clone, Default)]
+pub struct FloatCounter {
+    inner: Arc<ShardedF64>,
+}
+
+impl FloatCounter {
+    /// Adds `v` to this thread's shard (a relaxed compare-exchange
+    /// loop; uncontended in practice because shards are per-thread).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        self.inner.add(v);
+    }
+
+    /// Sum across shards.
+    pub fn value(&self) -> f64 {
+        self.inner.total()
+    }
+}
+
+impl fmt::Debug for FloatCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FloatCounter({})", self.value())
+    }
+}
+
+/// An instantaneous float value (last write wins).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: Arc::new(AtomicU64::new(0f64.to_bits())) }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.value())
+    }
+}
+
+/// Smallest power-of-two histogram bucket boundary: `2^HIST_K_MIN`
+/// (≈ 0.93 ns as seconds).
+pub const HIST_K_MIN: i32 = -30;
+/// Largest power-of-two histogram bucket boundary: `2^HIST_K_MAX`
+/// (1024 s).
+pub const HIST_K_MAX: i32 = 10;
+/// Total bucket count: a `le="0"` bucket, one bucket per power of two
+/// in `HIST_K_MIN..=HIST_K_MAX`, and the `+Inf` overflow bucket.
+pub const HIST_BUCKETS: usize = (HIST_K_MAX - HIST_K_MIN + 1) as usize + 2;
+
+/// Maps an observation to its bucket. Buckets hold, in order:
+/// `v ≤ 0`, then `2^(k-1) < v ≤ 2^k` for each `k` in
+/// `HIST_K_MIN..=HIST_K_MAX` (subnormals and anything below
+/// `2^HIST_K_MIN` clamp into the first power bucket), then the `+Inf`
+/// overflow bucket (`v > 2^HIST_K_MAX`, `f64::MAX`, infinities, NaN).
+pub(crate) fn bucket_index(v: f64) -> usize {
+    if v.is_nan() {
+        return HIST_BUCKETS - 1;
+    }
+    if v <= 0.0 {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32;
+    let mantissa = bits & ((1u64 << 52) - 1);
+    // ceil(log2(v)) from the raw bits: exact powers of two have a zero
+    // mantissa and land *on* their own boundary (le = 2^k includes
+    // 2^k); subnormals (exp == 0) sit far below HIST_K_MIN and clamp.
+    let k = if exp == 0 {
+        i32::MIN / 2
+    } else {
+        let e = exp - 1023;
+        if mantissa == 0 {
+            e
+        } else {
+            e + 1
+        }
+    };
+    if k > HIST_K_MAX {
+        HIST_BUCKETS - 1
+    } else {
+        (k.max(HIST_K_MIN) - HIST_K_MIN) as usize + 1
+    }
+}
+
+/// Prometheus `le` label for bucket `i` (see [`bucket_index`]).
+pub(crate) fn bucket_le(i: usize) -> String {
+    if i == 0 {
+        "0".into()
+    } else if i == HIST_BUCKETS - 1 {
+        "+Inf".into()
+    } else {
+        let k = HIST_K_MIN + (i as i32 - 1);
+        if k >= 0 {
+            format!("{}", (1u64) << k)
+        } else {
+            format!("{:e}", 2f64.powi(k))
+        }
+    }
+}
+
+/// One histogram shard. Aligned as a whole so *shards* never share a
+/// cache line, but buckets within a shard are deliberately unpadded:
+/// a shard is only ever written through one thread's index, so
+/// per-bucket padding would cost 64× the memory with no contention
+/// benefit.
+#[repr(align(64))]
+struct HistShard {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: PadF64Cell,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        HistShard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: PadF64Cell::default(),
+        }
+    }
+}
+
+/// A log₂-bucketed histogram: zero bucket + one bucket per power of
+/// two + `+Inf` overflow. Cloning shares state.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    shards: Arc<[HistShard; SHARDS]>,
+}
+
+impl Histogram {
+    /// Records one observation: a relaxed add into this thread's shard
+    /// bucket plus a sum update.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let shard = &self.shards[shard_id()];
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.add(v);
+    }
+
+    /// Merged per-bucket counts (not cumulative).
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for shard in self.shards.iter() {
+            for (o, b) in out.iter_mut().zip(shard.buckets.iter()) {
+                *o += b.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.shards.iter().map(|s| s.sum.get()).sum()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram(count={}, sum={})", self.count(), self.sum())
+    }
+}
+
+/// One registered family: a metric name plus its (possibly labelled)
+/// children. Unlabelled metrics are the single child under the empty
+/// label value.
+struct Family {
+    help: &'static str,
+    class: Class,
+    label: Option<&'static str>,
+    data: FamilyData,
+}
+
+enum FamilyData {
+    Counter(BTreeMap<String, Counter>),
+    Float(BTreeMap<String, FloatCounter>),
+    Gauge(BTreeMap<String, Gauge>),
+    Histogram(BTreeMap<String, Histogram>),
+}
+
+impl FamilyData {
+    fn kind(&self) -> Kind {
+        match self {
+            FamilyData::Counter(_) => Kind::Counter,
+            FamilyData::Float(_) => Kind::FloatCounter,
+            FamilyData::Gauge(_) => Kind::Gauge,
+            FamilyData::Histogram(_) => Kind::Histogram,
+        }
+    }
+}
+
+/// The metric registry. Cloning shares the underlying family map, so a
+/// `Registry` value is itself the cheap shareable handle
+/// (`Arc`-backed), mirroring `alfi_trace::Recorder`.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<&'static str, Family>>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.inner.lock().map(|m| m.len()).unwrap_or(0);
+        write!(f, "Registry({n} families)")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal plumbing shared by every register method
+    fn family<R>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        class: Class,
+        label: Option<&'static str>,
+        value: &str,
+        empty: fn() -> FamilyData,
+        pick: impl FnOnce(&mut FamilyData, &str) -> Option<R>,
+    ) -> R {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        let fam = map.entry(name).or_insert_with(|| Family { help, class, label, data: empty() });
+        assert_eq!(
+            fam.label, label,
+            "metric {name} registered with conflicting label ({:?} vs {:?})",
+            fam.label, label
+        );
+        pick(&mut fam.data, value)
+            .unwrap_or_else(|| panic!("metric {name} registered with a different kind"))
+    }
+
+    /// Returns (registering on first use) the integer counter `name`.
+    pub fn counter(&self, name: &'static str, help: &'static str, class: Class) -> Counter {
+        self.family(name, help, class, None, "", || FamilyData::Counter(BTreeMap::new()), pick_counter)
+    }
+
+    /// Returns the `label=value` child of the labelled counter `name`.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        class: Class,
+        label: &'static str,
+        value: &str,
+    ) -> Counter {
+        self.family(name, help, class, Some(label), value, || FamilyData::Counter(BTreeMap::new()), pick_counter)
+    }
+
+    /// Returns (registering on first use) the float counter `name`.
+    pub fn float_counter(&self, name: &'static str, help: &'static str, class: Class) -> FloatCounter {
+        self.family(name, help, class, None, "", || FamilyData::Float(BTreeMap::new()), pick_float)
+    }
+
+    /// Returns the `label=value` child of the labelled float counter
+    /// `name`.
+    pub fn float_counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        class: Class,
+        label: &'static str,
+        value: &str,
+    ) -> FloatCounter {
+        self.family(name, help, class, Some(label), value, || FamilyData::Float(BTreeMap::new()), pick_float)
+    }
+
+    /// Returns (registering on first use) the gauge `name`. Gauges are
+    /// always [`Class::Runtime`].
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        self.family(name, help, Class::Runtime, None, "", || FamilyData::Gauge(BTreeMap::new()), pick_gauge)
+    }
+
+    /// Returns (registering on first use) the histogram `name`.
+    /// Histograms are always [`Class::Runtime`].
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        self.family(name, help, Class::Runtime, None, "", || FamilyData::Histogram(BTreeMap::new()), pick_hist)
+    }
+
+    /// Merges all shards into a point-in-time [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let families = map
+            .iter()
+            .map(|(name, fam)| {
+                let samples = match &fam.data {
+                    FamilyData::Counter(children) => children
+                        .iter()
+                        .map(|(v, c)| Sample { label_value: v.clone(), value: SampleValue::Int(c.value()) })
+                        .collect(),
+                    FamilyData::Float(children) => children
+                        .iter()
+                        .map(|(v, c)| Sample { label_value: v.clone(), value: SampleValue::Float(c.value()) })
+                        .collect(),
+                    FamilyData::Gauge(children) => children
+                        .iter()
+                        .map(|(v, g)| Sample { label_value: v.clone(), value: SampleValue::Float(g.value()) })
+                        .collect(),
+                    FamilyData::Histogram(children) => children
+                        .iter()
+                        .map(|(v, h)| Sample {
+                            label_value: v.clone(),
+                            value: SampleValue::Hist {
+                                buckets: h.bucket_counts(),
+                                sum: h.sum(),
+                            },
+                        })
+                        .collect(),
+                };
+                FamilySnapshot {
+                    name: (*name).into(),
+                    help: fam.help.into(),
+                    class: fam.class,
+                    kind: fam.data.kind(),
+                    label: fam.label.map(Into::into),
+                    samples,
+                }
+            })
+            .collect();
+        Snapshot { families }
+    }
+}
+
+fn pick_counter(data: &mut FamilyData, value: &str) -> Option<Counter> {
+    match data {
+        FamilyData::Counter(children) => Some(children.entry(value.into()).or_default().clone()),
+        _ => None,
+    }
+}
+
+fn pick_float(data: &mut FamilyData, value: &str) -> Option<FloatCounter> {
+    match data {
+        FamilyData::Float(children) => Some(children.entry(value.into()).or_default().clone()),
+        _ => None,
+    }
+}
+
+fn pick_gauge(data: &mut FamilyData, value: &str) -> Option<Gauge> {
+    match data {
+        FamilyData::Gauge(children) => Some(children.entry(value.into()).or_default().clone()),
+        _ => None,
+    }
+}
+
+fn pick_hist(data: &mut FamilyData, value: &str) -> Option<Histogram> {
+    match data {
+        FamilyData::Histogram(children) => Some(children.entry(value.into()).or_default().clone()),
+        _ => None,
+    }
+}
+
+/// One sample within a family snapshot.
+#[derive(Debug, Clone)]
+pub(crate) struct Sample {
+    pub(crate) label_value: String,
+    pub(crate) value: SampleValue,
+}
+
+#[derive(Debug, Clone)]
+// Snapshots are built once per scrape and iterated immediately; the
+// inline bucket array beats a per-sample allocation there.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum SampleValue {
+    Int(u64),
+    Float(f64),
+    Hist { buckets: [u64; HIST_BUCKETS], sum: f64 },
+}
+
+/// One family within a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub(crate) struct FamilySnapshot {
+    pub(crate) name: String,
+    pub(crate) help: String,
+    pub(crate) class: Class,
+    pub(crate) kind: Kind,
+    pub(crate) label: Option<String>,
+    pub(crate) samples: Vec<Sample>,
+}
+
+/// A point-in-time merge of a [`Registry`]: queryable values plus
+/// Prometheus text rendering.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) families: Vec<FamilySnapshot>,
+}
+
+impl Snapshot {
+    fn find(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Value of the unlabelled integer counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counter_labeled(name, "").unwrap_or(0)
+    }
+
+    /// Value of the `label=value` child of counter `name`.
+    pub fn counter_labeled(&self, name: &str, value: &str) -> Option<u64> {
+        let fam = self.find(name)?;
+        fam.samples.iter().find(|s| s.label_value == value).and_then(|s| match s.value {
+            SampleValue::Int(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Sum of an integer counter family across all label values.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.find(name)
+            .map(|f| {
+                f.samples
+                    .iter()
+                    .map(|s| match s.value {
+                        SampleValue::Int(v) => v,
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Sum of a float counter (or gauge) family across all label
+    /// values (0.0 when absent).
+    pub fn float_sum(&self, name: &str) -> f64 {
+        self.find(name)
+            .map(|f| {
+                f.samples
+                    .iter()
+                    .map(|s| match s.value {
+                        SampleValue::Float(v) => v,
+                        _ => 0.0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Renders every family in Prometheus text format 0.0.4.
+    pub fn render(&self) -> String {
+        self.render_filtered(|_| true)
+    }
+
+    /// Renders only [`Class::Deterministic`] families — the golden-file
+    /// subset, byte-identical across thread counts.
+    pub fn render_deterministic(&self) -> String {
+        self.render_filtered(|f| f.class == Class::Deterministic)
+    }
+
+    fn render_filtered(&self, keep: impl Fn(&FamilySnapshot) -> bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for fam in self.families.iter().filter(|f| keep(f)) {
+            let _ = writeln!(out, "# HELP {} {}", fam.name, fam.help);
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.type_name());
+            let mut samples: Vec<&Sample> = fam.samples.iter().collect();
+            // Numeric-aware label ordering (layer="10" after layer="9")
+            // with a lexicographic fallback; fully deterministic.
+            samples.sort_by(|a, b| {
+                let ka = (a.label_value.parse::<u64>().ok(), &a.label_value);
+                let kb = (b.label_value.parse::<u64>().ok(), &b.label_value);
+                ka.cmp(&kb)
+            });
+            for s in samples {
+                let label = match (&fam.label, s.label_value.as_str()) {
+                    (Some(l), v) => format!("{{{}=\"{}\"}}", l, escape_label(v)),
+                    (None, _) => String::new(),
+                };
+                match &s.value {
+                    SampleValue::Int(v) => {
+                        let _ = writeln!(out, "{}{} {}", fam.name, label, v);
+                    }
+                    SampleValue::Float(v) => {
+                        let _ = writeln!(out, "{}{} {}", fam.name, label, fmt_f64(*v));
+                    }
+                    SampleValue::Hist { buckets, sum } => {
+                        let inner = match (&fam.label, s.label_value.as_str()) {
+                            (Some(l), v) => format!("{}=\"{}\",", l, escape_label(v)),
+                            (None, _) => String::new(),
+                        };
+                        let mut cumulative = 0u64;
+                        for (i, b) in buckets.iter().enumerate() {
+                            cumulative += b;
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{{{}le=\"{}\"}} {}",
+                                fam.name,
+                                inner,
+                                bucket_le(i),
+                                cumulative
+                            );
+                        }
+                        let _ = writeln!(out, "{}_sum{} {}", fam.name, label, fmt_f64(*sum));
+                        let _ = writeln!(out, "{}_count{} {}", fam.name, label, cumulative);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf".into() } else { "-Inf".into() };
+    }
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_reads_back() {
+        let r = Registry::new();
+        let c = r.counter("t_total", "help", Class::Deterministic);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+        assert_eq!(r.snapshot().counter("t_total"), 42);
+    }
+
+    #[test]
+    fn handles_share_state_and_reregistration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("t_total", "help", Class::Deterministic);
+        let b = r.counter("t_total", "help", Class::Deterministic);
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("t_total", "help", Class::Deterministic);
+        let _ = r.gauge("t_total", "help");
+    }
+
+    #[test]
+    fn labeled_counters_are_independent_children() {
+        let r = Registry::new();
+        r.counter_with("o_total", "h", Class::Deterministic, "class", "sdc").add(3);
+        r.counter_with("o_total", "h", Class::Deterministic, "class", "due").add(4);
+        let s = r.snapshot();
+        assert_eq!(s.counter_labeled("o_total", "sdc"), Some(3));
+        assert_eq!(s.counter_labeled("o_total", "due"), Some(4));
+        assert_eq!(s.counter_sum("o_total"), 7);
+    }
+
+    #[test]
+    fn float_counter_accumulates() {
+        let r = Registry::new();
+        let f = r.float_counter("busy_seconds_total", "h", Class::Runtime);
+        f.add(0.5);
+        f.add(0.25);
+        assert!((f.value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let r = Registry::new();
+        let g = r.gauge("threads", "h");
+        g.set(4.0);
+        g.set(7.0);
+        assert_eq!(g.value(), 7.0);
+    }
+
+    // -- histogram bucket boundary pins (satellite: zero, subnormal,
+    //    exact powers of two, f64::MAX overflow) --
+
+    #[test]
+    fn zero_and_negative_land_in_the_zero_bucket() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-0.0), 0);
+        assert_eq!(bucket_index(-5.5), 0);
+    }
+
+    #[test]
+    fn subnormals_clamp_into_the_smallest_power_bucket() {
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), 1);
+        assert_eq!(bucket_index(f64::from_bits(1)), 1);
+    }
+
+    #[test]
+    fn exact_powers_of_two_land_on_their_own_boundary() {
+        for k in HIST_K_MIN..=HIST_K_MAX {
+            let v = 2f64.powi(k);
+            let idx = bucket_index(v);
+            assert_eq!(idx, (k - HIST_K_MIN) as usize + 1, "2^{k} must land on le=2^{k}");
+            // Just above the boundary spills into the next bucket.
+            let above = bucket_index(v * 1.0000001);
+            assert_eq!(above, idx + 1, "just above 2^{k} must spill over");
+        }
+    }
+
+    #[test]
+    fn f64_max_and_non_finite_land_in_the_overflow_bucket() {
+        assert_eq!(bucket_index(f64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::INFINITY), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::NAN), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(2f64.powi(HIST_K_MAX) * 1.01), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_le_labels_are_prometheus_style() {
+        assert_eq!(bucket_le(0), "0");
+        assert_eq!(bucket_le((0 - HIST_K_MIN) as usize + 1, ), "1");
+        assert_eq!(bucket_le((1 - HIST_K_MIN) as usize + 1), "2");
+        assert_eq!(bucket_le(HIST_BUCKETS - 1), "+Inf");
+        assert_eq!(bucket_le(1), format!("{:e}", 2f64.powi(HIST_K_MIN)));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("scope_seconds", "h");
+        h.observe(0.0);
+        h.observe(1.0);
+        h.observe(1.0);
+        h.observe(f64::MAX);
+        assert_eq!(h.count(), 4);
+        let text = r.snapshot().render();
+        assert!(text.contains("# TYPE scope_seconds histogram"), "{text}");
+        assert!(text.contains("scope_seconds_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("scope_seconds_bucket{le=\"1\"} 3"), "{text}");
+        assert!(text.contains("scope_seconds_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("scope_seconds_count 4"), "{text}");
+    }
+
+    #[test]
+    fn deterministic_rendering_excludes_runtime_families() {
+        let r = Registry::new();
+        r.counter("det_total", "d", Class::Deterministic).inc();
+        r.counter("rt_total", "r", Class::Runtime).inc();
+        r.histogram("h_seconds", "h").observe(1.0);
+        let det = r.snapshot().render_deterministic();
+        assert!(det.contains("det_total 1"), "{det}");
+        assert!(!det.contains("rt_total"), "{det}");
+        assert!(!det.contains("h_seconds"), "{det}");
+    }
+
+    #[test]
+    fn shard_merge_sums_across_many_threads() {
+        let r = Registry::new();
+        let c = r.counter("threaded_total", "h", Class::Runtime);
+        let h = r.histogram("threaded_seconds", "h");
+        std::thread::scope(|s| {
+            for _ in 0..7 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        h.observe(0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 7000);
+        assert_eq!(h.count(), 7000);
+        assert!((h.sum() - 3500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn label_values_render_numerically_ordered() {
+        let r = Registry::new();
+        for layer in [10usize, 2, 1] {
+            r.counter_with("layer_total", "h", Class::Deterministic, "layer", &layer.to_string()).inc();
+        }
+        let text = r.snapshot().render();
+        let l1 = text.find("layer=\"1\"").unwrap();
+        let l2 = text.find("layer=\"2\"").unwrap();
+        let l10 = text.find("layer=\"10\"").unwrap();
+        assert!(l1 < l2 && l2 < l10, "{text}");
+    }
+}

@@ -43,6 +43,93 @@
 
 use std::any::Any;
 use std::cell::Cell;
+
+/// Hot-path instrumentation into the global `alfi-metrics` registry,
+/// active only while `alfi_metrics::global_enabled()`. Cost model: one
+/// relaxed load per fan-out when disabled; one shard add per job plus
+/// two clock reads per job-join when enabled — never per task.
+mod meter {
+    use alfi_metrics::{names, Class, Counter, FloatCounter};
+    use std::cell::OnceCell;
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    struct Handles {
+        jobs: Counter,
+        tasks: Counter,
+    }
+
+    fn handles() -> &'static Handles {
+        static H: OnceLock<Handles> = OnceLock::new();
+        H.get_or_init(|| {
+            let reg = alfi_metrics::global();
+            Handles {
+                jobs: reg.counter(
+                    names::POOL_JOBS,
+                    "Fan-out jobs executed by the shared pool (inline runs included)",
+                    Class::Runtime,
+                ),
+                tasks: reg.counter(
+                    names::POOL_TASKS,
+                    "Individual tasks submitted to the shared pool",
+                    Class::Runtime,
+                ),
+            }
+        })
+    }
+
+    /// Counts one fan-out of `n` tasks.
+    pub(crate) fn job_submitted(n: u64) {
+        if alfi_metrics::global_enabled() {
+            let h = handles();
+            h.jobs.inc();
+            h.tasks.add(n);
+        }
+    }
+
+    /// Records the global pool's parallelism on first use.
+    pub(crate) fn set_pool_threads(n: usize) {
+        alfi_metrics::global()
+            .gauge(names::POOL_THREADS, "Parallelism (workers + caller) of the shared pool")
+            .set(n as f64);
+    }
+
+    /// Starts a busy-time measurement for one job-join (`None` while
+    /// instrumentation is disabled).
+    pub(crate) fn busy_start() -> Option<Instant> {
+        if alfi_metrics::global_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    thread_local! {
+        /// This participant's `worker="i"` busy-seconds handle, cached
+        /// so the registry lock is taken once per thread, not per job.
+        static BUSY: OnceCell<FloatCounter> = const { OnceCell::new() };
+    }
+
+    /// Ends a busy-time measurement, attributing the elapsed seconds
+    /// to the current participant (`worker="0"` is the submitting
+    /// caller, `worker="i+1"` pool worker `i`).
+    pub(crate) fn busy_end(start: Option<Instant>) {
+        let Some(t0) = start else { return };
+        let secs = t0.elapsed().as_secs_f64();
+        BUSY.with(|cell| {
+            cell.get_or_init(|| {
+                alfi_metrics::global().float_counter_with(
+                    names::POOL_BUSY_SECONDS,
+                    "Seconds pool participants spent running tasks, by worker index",
+                    Class::Runtime,
+                    "worker",
+                    &crate::worker_index().to_string(),
+                )
+            })
+            .add(secs);
+        });
+    }
+}
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -159,6 +246,7 @@ impl Job {
         // SAFETY: see `RawTask` — the closure outlives the job.
         let task = unsafe { &*self.task.0 };
         let _guard = TaskGuard::enter();
+        let busy = meter::busy_start();
         loop {
             let idx = self.next.fetch_add(1, Ordering::Relaxed);
             if idx >= self.n {
@@ -179,6 +267,7 @@ impl Job {
                 self.done_cv.notify_all();
             }
         }
+        meter::busy_end(busy);
     }
 
     fn wait_done(&self) {
@@ -394,8 +483,10 @@ impl ThreadPool {
             return Ok(());
         }
         let threads = self.effective_threads(threads).min(n);
+        meter::job_submitted(n as u64);
         if threads <= 1 {
             let guard = TaskGuard::enter();
+            let busy = meter::busy_start();
             for i in 0..n {
                 match catch_unwind(AssertUnwindSafe(|| f(i))) {
                     Ok(()) => {}
@@ -405,6 +496,7 @@ impl ThreadPool {
                     }
                 }
             }
+            meter::busy_end(busy);
             return Ok(());
         }
         self.ensure_workers(threads - 1);
@@ -575,7 +667,11 @@ static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 /// The process-wide shared pool (created on first use; see the crate
 /// docs for sizing).
 pub fn global() -> &'static ThreadPool {
-    GLOBAL.get_or_init(ThreadPool::new_global)
+    GLOBAL.get_or_init(|| {
+        let pool = ThreadPool::new_global();
+        meter::set_pool_threads(pool.threads());
+        pool
+    })
 }
 
 /// True while the calling thread is executing a pool task. Kernels use

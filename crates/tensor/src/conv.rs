@@ -222,6 +222,7 @@ pub fn conv2d_im2col(
     let spatial = h_out * w_out;
     let per_item = c_out * spatial;
     let mut out = vec![0.0f32; n * per_item];
+    crate::meter::conv2d(n, c_in, c_out, kh, kw, spatial, input.data().len(), weight.data().len());
 
     // One batch item = one fully independent im2col + GEMM + bias add,
     // writing only its own slice of `out`. The per-item computation is

@@ -34,6 +34,7 @@ pub mod bits;
 pub mod conv;
 pub mod error;
 pub mod f16;
+mod meter;
 pub mod quant;
 pub mod shape;
 pub mod tensor;

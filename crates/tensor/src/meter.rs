@@ -1,0 +1,79 @@
+//! Kernel instrumentation into the global `alfi-metrics` registry.
+//!
+//! One relaxed shard add per *kernel invocation* — never per element —
+//! and only while `alfi_metrics::global_enabled()`; a disabled run
+//! pays a single relaxed load per kernel call. The conv kernel runs
+//! its GEMMs through [`crate::Tensor::matmul`], so matmul counters
+//! include conv-issued GEMM work; the conv counters measure the
+//! convolution as a whole.
+
+use alfi_metrics::{names, Class, Counter};
+use std::sync::OnceLock;
+
+struct Handles {
+    matmul_flops: Counter,
+    matmul_bytes: Counter,
+    conv_flops: Counter,
+    conv_bytes: Counter,
+}
+
+fn handles() -> &'static Handles {
+    static H: OnceLock<Handles> = OnceLock::new();
+    H.get_or_init(|| {
+        let reg = alfi_metrics::global();
+        Handles {
+            matmul_flops: reg.counter(
+                names::TENSOR_MATMUL_FLOPS,
+                "Floating-point operations issued by the matmul kernel",
+                Class::Runtime,
+            ),
+            matmul_bytes: reg.counter(
+                names::TENSOR_MATMUL_BYTES,
+                "Bytes of operand and result data touched by the matmul kernel",
+                Class::Runtime,
+            ),
+            conv_flops: reg.counter(
+                names::TENSOR_CONV_FLOPS,
+                "Floating-point operations issued by the im2col conv kernel",
+                Class::Runtime,
+            ),
+            conv_bytes: reg.counter(
+                names::TENSOR_CONV_BYTES,
+                "Bytes of operand and result data touched by the im2col conv kernel",
+                Class::Runtime,
+            ),
+        }
+    })
+}
+
+/// Counts one `[m,k] × [k,n]` matmul (2·m·k·n FLOPs, f32 operands).
+#[inline]
+pub(crate) fn matmul(m: usize, k: usize, n: usize) {
+    if alfi_metrics::global_enabled() {
+        let h = handles();
+        h.matmul_flops.add(2 * (m * k * n) as u64);
+        h.matmul_bytes.add(4 * (m * k + k * n + m * n) as u64);
+    }
+}
+
+/// Counts one im2col convolution over a whole batch.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the conv kernel's geometry parameters
+pub(crate) fn conv2d(
+    batch: usize,
+    c_in: usize,
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    spatial_out: usize,
+    input_elems: usize,
+    weight_elems: usize,
+) {
+    if alfi_metrics::global_enabled() {
+        let h = handles();
+        let macs = batch * c_out * spatial_out * c_in * kh * kw;
+        h.conv_flops.add(2 * macs as u64);
+        h.conv_bytes
+            .add(4 * (input_elems + weight_elems + batch * c_out * spatial_out) as u64);
+    }
+}

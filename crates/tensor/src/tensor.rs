@@ -272,6 +272,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
+        crate::meter::matmul(m, k, n);
         let threads = alfi_pool::current_parallelism();
         if threads > 1 && m > 1 && m * k * n >= PAR_MIN_FLOPS {
             // Row-chunked parallel path. Each output row is produced by

@@ -58,6 +58,10 @@
 //! assert!(log.starts_with("{\"event\":\"header\""));
 //! ```
 
+mod reader;
+
+pub use reader::{EventHeader, EventLog, EventLogError, EventSummaryRecord};
+
 use alfi_serde::Json;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -240,6 +244,10 @@ pub struct TraceSummary {
     pub items: u64,
     /// Wall-clock nanoseconds since the recorder was created.
     pub wall_ns: u64,
+    /// Health watchdog events raised during the run (rendered
+    /// messages, in raise order). Empty when no watchdog ran or the
+    /// campaign stayed healthy.
+    pub health: Vec<String>,
 }
 
 impl TraceSummary {
@@ -274,6 +282,9 @@ impl TraceSummary {
                     fmt_ns(s.total_ns)
                 ));
             }
+        }
+        for msg in &self.health {
+            out.push_str(&format!("health {msg}\n"));
         }
         out
     }
@@ -317,6 +328,7 @@ struct Inner {
     nan: AtomicU64,
     inf: AtomicU64,
     events: Mutex<Vec<InjectionEvent>>,
+    health: Mutex<Vec<String>>,
     applied_live: AtomicU64,
     items_done: AtomicU64,
     items_total: AtomicU64,
@@ -340,6 +352,7 @@ impl Inner {
             nan: AtomicU64::new(0),
             inf: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
+            health: Mutex::new(Vec::new()),
             applied_live: AtomicU64::new(0),
             items_done: AtomicU64::new(0),
             items_total: AtomicU64::new(0),
@@ -478,6 +491,15 @@ impl Recorder {
         }
     }
 
+    /// Appends one rendered health-watchdog event. Wall-clock-driven,
+    /// so health messages surface in [`TraceSummary::health`] but stay
+    /// out of the deterministic JSONL event log.
+    pub fn record_health(&self, msg: impl Into<String>) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.health).push(msg.into());
+        }
+    }
+
     /// Adds NaN/Inf element counts observed by a monitor.
     pub fn record_nonfinite(&self, nan: u64, inf: u64) {
         if let Some(inner) = &self.inner {
@@ -552,6 +574,7 @@ impl Recorder {
                 inf: 0,
                 items: 0,
                 wall_ns: 0,
+                health: Vec::new(),
             };
         };
         let mut phases = BTreeMap::new();
@@ -578,6 +601,7 @@ impl Recorder {
             inf: inner.inf.load(Ordering::Relaxed),
             items: inner.items_done.load(Ordering::Relaxed),
             wall_ns: inner.started.elapsed().as_nanos() as u64,
+            health: lock(&inner.health).clone(),
         }
     }
 

@@ -1,0 +1,408 @@
+//! Reader for the JSONL event log — the consuming half of
+//! [`Recorder::events_jsonl`](crate::Recorder::events_jsonl). Turns a
+//! written log back into typed records (replay header, injection
+//! events, closing summary) so the artifact is an API, not a
+//! write-only file.
+
+use crate::{InjectionEvent, OutcomeTallies, RunMeta, EVENT_FORMAT_VERSION};
+use alfi_serde::Json;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug)]
+pub enum EventLogError {
+    /// The log (or a line of it) was not valid JSON.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        detail: String,
+    },
+    /// A record was structurally wrong (missing/mistyped field,
+    /// unknown event kind, misplaced record).
+    Record {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The log was written by an incompatible format version.
+    Version {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file could not be read.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EventLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventLogError::Json { line, detail } => {
+                write!(f, "line {line}: invalid JSON: {detail}")
+            }
+            EventLogError::Record { line, detail } => write!(f, "line {line}: {detail}"),
+            EventLogError::Version { found } => write!(
+                f,
+                "unsupported event format version {found} (reader supports {EVENT_FORMAT_VERSION})"
+            ),
+            EventLogError::Io(e) => write!(f, "reading event log: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EventLogError {}
+
+impl From<std::io::Error> for EventLogError {
+    fn from(e: std::io::Error) -> Self {
+        EventLogError::Io(e)
+    }
+}
+
+/// The parsed replay header (first record of every log).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventHeader {
+    /// Event format version the log was written with.
+    pub format: u32,
+    /// Replay identity, when the writing recorder had one set.
+    pub meta: Option<RunMeta>,
+}
+
+/// The parsed closing summary record: the deterministic counters the
+/// writer emitted at end of run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventSummaryRecord {
+    /// Work items finished.
+    pub items: u64,
+    /// Total applied faults.
+    pub injections: u64,
+    /// Applied faults per injectable-layer index.
+    pub per_layer: BTreeMap<usize, u64>,
+    /// Applied faults per bit position.
+    pub per_bit: BTreeMap<u8, u64>,
+    /// Fault-effect tallies.
+    pub outcomes: OutcomeTallies,
+    /// NaN elements observed.
+    pub nan: u64,
+    /// Inf elements observed.
+    pub inf: u64,
+}
+
+/// A fully parsed `events.jsonl` log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLog {
+    /// The replay header.
+    pub header: EventHeader,
+    /// Injection events in recorded (deterministic row) order.
+    pub injections: Vec<InjectionEvent>,
+    /// The closing summary, when the log has one.
+    pub summary: Option<EventSummaryRecord>,
+}
+
+fn field<'j>(obj: &'j Json, key: &str, line: usize) -> Result<&'j Json, EventLogError> {
+    obj.get(key)
+        .ok_or_else(|| EventLogError::Record { line, detail: format!("missing field `{key}`") })
+}
+
+fn uint(obj: &Json, key: &str, line: usize) -> Result<u64, EventLogError> {
+    field(obj, key, line)?
+        .as_int()
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or_else(|| EventLogError::Record {
+            line,
+            detail: format!("field `{key}` is not an unsigned integer"),
+        })
+}
+
+fn float(obj: &Json, key: &str, line: usize) -> Result<f64, EventLogError> {
+    field(obj, key, line)?.as_f64().ok_or_else(|| EventLogError::Record {
+        line,
+        detail: format!("field `{key}` is not a number"),
+    })
+}
+
+fn string(obj: &Json, key: &str, line: usize) -> Result<String, EventLogError> {
+    field(obj, key, line)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| EventLogError::Record { line, detail: format!("field `{key}` is not a string") })
+}
+
+/// Parses an integer-keyed count map (the writer renders map keys as
+/// decimal strings).
+fn count_map<K: std::str::FromStr + Ord>(
+    obj: &Json,
+    key: &str,
+    line: usize,
+) -> Result<BTreeMap<K, u64>, EventLogError> {
+    let entries = field(obj, key, line)?.as_obj().ok_or_else(|| EventLogError::Record {
+        line,
+        detail: format!("field `{key}` is not an object"),
+    })?;
+    let mut map = BTreeMap::new();
+    for (k, v) in entries {
+        let parsed_key = k.parse::<K>().map_err(|_| EventLogError::Record {
+            line,
+            detail: format!("field `{key}` has non-numeric key `{k}`"),
+        })?;
+        let count =
+            v.as_int().and_then(|n| u64::try_from(n).ok()).ok_or_else(|| EventLogError::Record {
+                line,
+                detail: format!("field `{key}` has a non-count value under `{k}`"),
+            })?;
+        map.insert(parsed_key, count);
+    }
+    Ok(map)
+}
+
+fn parse_header(obj: &Json, line: usize) -> Result<EventHeader, EventLogError> {
+    let format = uint(obj, "format", line)? as u32;
+    if format != EVENT_FORMAT_VERSION {
+        return Err(EventLogError::Version { found: format });
+    }
+    // Replay identity is present only when the writer had meta set; the
+    // `campaign` key marks it.
+    let meta = if obj.get("campaign").is_some() {
+        Some(RunMeta {
+            campaign: string(obj, "campaign", line)?,
+            model: string(obj, "model", line)?,
+            scenario_hash: string(obj, "scenario_hash", line)?,
+            seed: uint(obj, "seed", line)?,
+            threads: uint(obj, "threads", line)? as usize,
+        })
+    } else {
+        None
+    };
+    Ok(EventHeader { format, meta })
+}
+
+fn parse_injection(obj: &Json, line: usize) -> Result<InjectionEvent, EventLogError> {
+    let bit = match field(obj, "bit", line)? {
+        Json::Null => None,
+        v => Some(v.as_int().and_then(|b| u8::try_from(b).ok()).ok_or_else(|| {
+            EventLogError::Record { line, detail: "field `bit` is not a bit position".into() }
+        })?),
+    };
+    Ok(InjectionEvent {
+        image_id: uint(obj, "image_id", line)?,
+        layer: uint(obj, "layer", line)? as usize,
+        bit,
+        original: float(obj, "original", line)? as f32,
+        corrupted: float(obj, "corrupted", line)? as f32,
+    })
+}
+
+fn parse_summary(obj: &Json, line: usize) -> Result<EventSummaryRecord, EventLogError> {
+    let outcomes = field(obj, "outcomes", line)?;
+    Ok(EventSummaryRecord {
+        items: uint(obj, "items", line)?,
+        injections: uint(obj, "injections", line)?,
+        per_layer: count_map(obj, "per_layer", line)?,
+        per_bit: count_map(obj, "per_bit", line)?,
+        outcomes: OutcomeTallies {
+            masked: uint(outcomes, "masked", line)?,
+            sdc: uint(outcomes, "sdc", line)?,
+            due: uint(outcomes, "due", line)?,
+        },
+        nan: uint(obj, "nan", line)?,
+        inf: uint(obj, "inf", line)?,
+    })
+}
+
+impl EventLog {
+    /// Parses a full JSONL log as written by
+    /// [`Recorder::events_jsonl`](crate::Recorder::events_jsonl): a
+    /// header record first, then injection records in order, then an
+    /// optional closing summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EventLogError`] on malformed JSON, a missing or
+    /// misplaced record, or an incompatible format version.
+    pub fn parse(text: &str) -> Result<EventLog, EventLogError> {
+        let mut header = None;
+        let mut injections = Vec::new();
+        let mut summary: Option<EventSummaryRecord> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let obj = Json::parse(raw)
+                .map_err(|e| EventLogError::Json { line, detail: e.to_string() })?;
+            let kind = string(&obj, "event", line)?;
+            match kind.as_str() {
+                "header" => {
+                    if header.is_some() {
+                        return Err(EventLogError::Record {
+                            line,
+                            detail: "duplicate header record".into(),
+                        });
+                    }
+                    if !injections.is_empty() || summary.is_some() {
+                        return Err(EventLogError::Record {
+                            line,
+                            detail: "header record is not first".into(),
+                        });
+                    }
+                    header = Some(parse_header(&obj, line)?);
+                }
+                "injection" => {
+                    if header.is_none() {
+                        return Err(EventLogError::Record {
+                            line,
+                            detail: "injection record before the header".into(),
+                        });
+                    }
+                    if summary.is_some() {
+                        return Err(EventLogError::Record {
+                            line,
+                            detail: "injection record after the summary".into(),
+                        });
+                    }
+                    injections.push(parse_injection(&obj, line)?);
+                }
+                "summary" => {
+                    if summary.is_some() {
+                        return Err(EventLogError::Record {
+                            line,
+                            detail: "duplicate summary record".into(),
+                        });
+                    }
+                    summary = Some(parse_summary(&obj, line)?);
+                }
+                other => {
+                    return Err(EventLogError::Record {
+                        line,
+                        detail: format!("unknown event kind `{other}`"),
+                    });
+                }
+            }
+        }
+        let header = header.ok_or(EventLogError::Record {
+            line: 1,
+            detail: "log has no header record".into(),
+        })?;
+        Ok(EventLog { header, injections, summary })
+    }
+
+    /// Reads and parses an `events.jsonl` file.
+    ///
+    /// # Errors
+    ///
+    /// As [`parse`](Self::parse), plus I/O failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<EventLog, EventLogError> {
+        Self::parse(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hash_hex, EffectClass, Recorder};
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            campaign: "classification".into(),
+            model: "alexnet".into(),
+            scenario_hash: hash_hex(b"demo"),
+            seed: 42,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let rec = Recorder::new();
+        rec.set_meta(meta());
+        rec.begin_items(3);
+        let events = vec![
+            InjectionEvent { image_id: 0, layer: 2, bit: Some(30), original: 1.5, corrupted: -3.0e12 },
+            InjectionEvent { image_id: 1, layer: 2, bit: Some(7), original: -0.25, corrupted: 0.125 },
+            InjectionEvent { image_id: 2, layer: 5, bit: None, original: 0.0, corrupted: f32::MAX },
+        ];
+        for ev in &events {
+            rec.record_injection(*ev);
+        }
+        rec.record_outcome(EffectClass::Masked);
+        rec.record_outcome(EffectClass::Due);
+        rec.record_nonfinite(4, 1);
+        for _ in 0..3 {
+            rec.item_finished();
+        }
+
+        let log = EventLog::parse(&rec.events_jsonl()).unwrap();
+        assert_eq!(log.header.format, EVENT_FORMAT_VERSION);
+        assert_eq!(log.header.meta, Some(meta()));
+        assert_eq!(log.injections, events);
+        let summary = log.summary.expect("log has a summary");
+        assert_eq!(summary.items, 3);
+        assert_eq!(summary.injections, 3);
+        assert_eq!(summary.per_layer, BTreeMap::from([(2, 2), (5, 1)]));
+        assert_eq!(summary.per_bit, BTreeMap::from([(7, 1), (30, 1)]));
+        assert_eq!(summary.outcomes, OutcomeTallies { masked: 1, sdc: 0, due: 1 });
+        assert_eq!((summary.nan, summary.inf), (4, 1));
+    }
+
+    #[test]
+    fn file_round_trip_via_load() {
+        let rec = Recorder::new();
+        rec.set_meta(meta());
+        rec.record_injection(InjectionEvent {
+            image_id: 7,
+            layer: 1,
+            bit: Some(3),
+            original: 2.0,
+            corrupted: 8.0,
+        });
+        let dir = std::env::temp_dir().join("alfi_trace_reader_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(crate::EVENTS_FILE);
+        rec.write_events(&path).unwrap();
+        let log = EventLog::load(&path).unwrap();
+        assert_eq!(log.injections.len(), 1);
+        assert_eq!(log.injections[0].image_id, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn headerless_meta_parses_as_none() {
+        let rec = Recorder::new();
+        let log = EventLog::parse(&rec.events_jsonl()).unwrap();
+        assert_eq!(log.header.meta, None);
+        assert!(log.injections.is_empty());
+        assert!(log.summary.is_some());
+    }
+
+    #[test]
+    fn malformed_logs_are_rejected_with_line_numbers() {
+        let err = EventLog::parse("{\"event\":\"injection\"}\n").unwrap_err();
+        assert!(matches!(err, EventLogError::Record { line: 1, .. }), "{err}");
+
+        let err = EventLog::parse("not json\n").unwrap_err();
+        assert!(matches!(err, EventLogError::Json { line: 1, .. }), "{err}");
+
+        let good = Recorder::new();
+        good.set_meta(meta());
+        let mut log = good.events_jsonl();
+        log.push_str("{\"event\":\"mystery\"}\n");
+        let err = EventLog::parse(&log).unwrap_err();
+        assert!(matches!(err, EventLogError::Record { .. }), "{err}");
+        assert!(err.to_string().contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected() {
+        let err = EventLog::parse("{\"event\":\"header\",\"format\":999}\n").unwrap_err();
+        assert!(matches!(err, EventLogError::Version { found: 999 }), "{err}");
+    }
+
+    #[test]
+    fn empty_log_has_no_header() {
+        let err = EventLog::parse("").unwrap_err();
+        assert!(err.to_string().contains("no header"), "{err}");
+    }
+}

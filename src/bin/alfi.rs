@@ -42,15 +42,23 @@ USAGE:
   alfi classify --scenario <file> --model <alexnet|vgg16|resnet50|densenet> --out <dir>
                 [--weights <weights.alfiw>]
                 [--protect <ranger|clipper>] [--parallel <threads>]
-                [--trace <on|off>]
+                [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi detect   --scenario <file> --model <yolo|retina|frcnn> --out <dir>
-                [--trace <on|off>]
+                [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi inspect-faults <faults.bin>
+
+Live monitoring: --metrics-addr serves Prometheus text at GET /metrics
+for the life of the process (set ALFI_METRICS_LINGER_MS to keep it up
+after the run, e.g. for a scraper). --strict-health runs the campaign
+health watchdog (stall / DUE-rate / NaN-storm) and exits nonzero if any
+alarm fired.
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
+/// A flag followed by another flag (or by nothing) is a boolean switch
+/// and gets the value `on` — e.g. `--strict-health`.
 struct Args {
     flags: BTreeMap<String, String>,
     positional: Vec<String>,
@@ -60,13 +68,14 @@ impl Args {
     fn parse(argv: &[String]) -> Result<Args, String> {
         let mut flags = BTreeMap::new();
         let mut positional = Vec::new();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} expects a value"))?;
-                flags.insert(key.to_string(), value.clone());
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                    _ => "on".to_string(),
+                };
+                flags.insert(key.to_string(), value);
             } else {
                 positional.push(arg.clone());
             }
@@ -129,6 +138,51 @@ fn print_trace_summary(recorder: &Recorder) {
     if recorder.is_enabled() {
         print!("{}", recorder.summary().render());
     }
+}
+
+/// Applies the shared live-monitoring flags (`--metrics-addr`,
+/// `--strict-health`) to a run configuration. `--strict-health` arms
+/// the default health watchdog; its post-run exit check happens in
+/// [`check_strict_health`].
+fn monitoring_config(cfg: RunConfig, args: &Args) -> Result<RunConfig, String> {
+    let mut cfg = cfg;
+    if let Some(addr) = args.flags.get("metrics-addr") {
+        cfg = cfg.metrics_addr(addr);
+    }
+    match args.get_or("strict-health", "off") {
+        "on" => cfg = cfg.health(alfi::metrics::HealthPolicy::default()),
+        "off" => {}
+        other => return Err(format!("bad --strict-health value `{other}` (expected on|off)")),
+    }
+    Ok(cfg)
+}
+
+/// Keeps the process (and with it a `--metrics-addr` endpoint) alive
+/// for `ALFI_METRICS_LINGER_MS` milliseconds after the run, so an
+/// external scraper can read the final counters.
+fn linger_for_scrape(args: &Args) {
+    if !args.flags.contains_key("metrics-addr") {
+        return;
+    }
+    if let Some(ms) = std::env::var("ALFI_METRICS_LINGER_MS").ok().and_then(|v| v.parse().ok()) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// The `--strict-health` exit gate: fails the process when any health
+/// alarm fired during the run (the watchdog counts every event it
+/// raises under `alfi_health_events_total`).
+fn check_strict_health(args: &Args) -> Result<(), String> {
+    if args.get_or("strict-health", "off") != "on" {
+        return Ok(());
+    }
+    let events = alfi::metrics::global()
+        .snapshot()
+        .counter_sum(alfi::metrics::names::HEALTH_EVENTS);
+    if events > 0 {
+        return Err(format!("--strict-health: {events} health alarm(s) raised during the run"));
+    }
+    Ok(())
 }
 
 fn cmd_gen_scenario(argv: &[String]) -> Result<(), String> {
@@ -248,14 +302,11 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
     let threads: usize =
         args.get_or("parallel", "1").parse().map_err(|_| "bad --parallel".to_string())?;
     let recorder = trace_recorder(&args)?;
-    let result = campaign
-        .run_with(
-            &RunConfig::new()
-                .threads(threads)
-                .recorder(recorder.clone())
-                .save_dir(&out_dir),
-        )
-        .map_err(|e| e.to_string())?;
+    let cfg = monitoring_config(
+        RunConfig::new().threads(threads).recorder(recorder.clone()).save_dir(&out_dir),
+        &args,
+    )?;
+    let result = campaign.run_with(&cfg).map_err(|e| e.to_string())?;
     print_trace_summary(&recorder);
 
     let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
@@ -270,7 +321,8 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
     println!("\nlayer-wise breakdown:");
     print!("{}", layer_table(&outcomes_by_layer(&result.rows, SdeCriterion::Top1Mismatch)));
     println!("\noutputs written to {out_dir}");
-    Ok(())
+    linger_for_scrape(&args);
+    check_strict_health(&args)
 }
 
 fn cmd_detect(argv: &[String]) -> Result<(), String> {
@@ -299,8 +351,10 @@ fn cmd_detect(argv: &[String]) -> Result<(), String> {
     let ground_truth = ds.coco_ground_truth();
     let loader = DetectionLoader::new(ds, scenario.batch_size);
     let recorder = trace_recorder(&args)?;
+    let cfg =
+        monitoring_config(RunConfig::new().recorder(recorder.clone()).save_dir(&out_dir), &args)?;
     let result = ObjDetCampaign::new(detector.as_mut(), scenario, loader)
-        .run_with(&RunConfig::new().recorder(recorder.clone()).save_dir(&out_dir))
+        .run_with(&cfg)
         .map_err(|e| e.to_string())?;
     print_trace_summary(&recorder);
     let summary = write_detection_outputs(&result, &ground_truth, dcfg.num_classes, 0.5, &out_dir)
@@ -311,7 +365,8 @@ fn cmd_detect(argv: &[String]) -> Result<(), String> {
     println!("IVMOD_DUE:  {}", summary.ivmod.ivmod_due);
     println!("mAP@.50:    {:.4} (orig) vs {:.4} (corrupted)", summary.orig_coco.map_50, summary.corr_coco.map_50);
     println!("\noutputs written to {out_dir}");
-    Ok(())
+    linger_for_scrape(&args);
+    check_strict_health(&args)
 }
 
 fn cmd_inspect(argv: &[String]) -> Result<(), String> {

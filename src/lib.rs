@@ -79,6 +79,7 @@
 pub use alfi_core as core;
 pub use alfi_datasets as datasets;
 pub use alfi_eval as eval;
+pub use alfi_metrics as metrics;
 pub use alfi_mitigation as mitigation;
 pub use alfi_nn as nn;
 pub use alfi_scenario as scenario;
@@ -95,5 +96,6 @@ pub mod prelude {
     pub use crate::scenario::{
         FaultMode, InjectionPolicy, InjectionTarget, Scenario,
     };
+    pub use crate::metrics::{HealthEvent, HealthPolicy, Registry};
     pub use crate::trace::{Recorder, TraceSummary};
 }

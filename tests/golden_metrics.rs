@@ -1,0 +1,125 @@
+//! Golden-file lockdown of the deterministic metrics subset.
+//!
+//! A campaign run with a fresh [`Registry`] attached publishes two
+//! kinds of series: deterministic counters (scopes, items, injections
+//! per layer, outcome classes, non-finite tallies — functions of the
+//! scenario alone) and runtime series (scope-latency histogram,
+//! wall-clock driven). `Snapshot::render_deterministic` renders only
+//! the former, and this test pins that text under
+//! `tests/golden/metrics/` — byte-identical for any thread count,
+//! because counter increments commute.
+//!
+//! To bless new goldens after an intentional metric change:
+//!
+//! ```text
+//! ALFI_REGEN_GOLDEN=1 cargo test --test golden_metrics
+//! ```
+
+use alfi::core::campaign::{ImgClassCampaign, RunConfig};
+use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+use alfi::metrics::Registry;
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{FaultMode, InjectionTarget, Scenario};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join("metrics")
+}
+
+fn regen() -> bool {
+    std::env::var_os("ALFI_REGEN_GOLDEN").is_some()
+}
+
+fn assert_golden(name: &str, actual: &str, context: &str) {
+    let path = golden_dir().join(name);
+    if regen() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("[golden] regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run ALFI_REGEN_GOLDEN=1 cargo test --test golden_metrics",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for metrics/{name} ({context}) — \
+         intentional metric changes need ALFI_REGEN_GOLDEN=1"
+    );
+}
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::default();
+    s.dataset_size = 4;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    s.seed = 0x7124CE;
+    s
+}
+
+fn campaign() -> ImgClassCampaign {
+    let mcfg = ModelConfig { input_hw: 16, width_mult: 0.0625, seed: 7, ..ModelConfig::default() };
+    let ds = ClassificationDataset::new(4, mcfg.num_classes, 3, 16, 13);
+    let loader = ClassificationLoader::new(ds, 1);
+    ImgClassCampaign::new(alexnet(&mcfg), scenario(), loader)
+}
+
+/// Runs the golden campaign with a private registry attached and
+/// returns the deterministic Prometheus-text subset.
+fn deterministic_metrics(threads: usize) -> String {
+    let registry = Registry::new();
+    campaign()
+        .run_with(&RunConfig::new().threads(threads).metrics(registry.clone()))
+        .unwrap();
+    registry.snapshot().render_deterministic()
+}
+
+#[test]
+fn deterministic_metrics_match_golden() {
+    assert_golden("metrics.prom", &deterministic_metrics(1), "sequential metered run");
+}
+
+#[test]
+fn deterministic_metrics_are_byte_identical_across_thread_counts() {
+    let seq = deterministic_metrics(1);
+    for threads in [2usize, 4, 7] {
+        assert_eq!(
+            seq,
+            deterministic_metrics(threads),
+            "deterministic metric subset must be byte-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn runtime_series_stay_out_of_the_deterministic_render() {
+    let registry = Registry::new();
+    campaign().run_with(&RunConfig::new().metrics(registry.clone())).unwrap();
+    let snap = registry.snapshot();
+    let full = snap.render();
+    let det = snap.render_deterministic();
+    assert!(
+        full.contains("alfi_engine_scope_seconds_bucket"),
+        "full render includes the wall-clock scope histogram"
+    );
+    assert!(
+        !det.contains("alfi_engine_scope_seconds"),
+        "wall-clock series must never reach the golden-eligible subset"
+    );
+}
+
+#[test]
+fn saved_metrics_file_matches_live_registry() {
+    let registry = Registry::new();
+    let dir = std::env::temp_dir().join("alfi_it_golden_metrics_save");
+    let _ = std::fs::remove_dir_all(&dir);
+    campaign()
+        .run_with(&RunConfig::new().metrics(registry.clone()).save_dir(&dir))
+        .unwrap();
+    let on_disk = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+    assert_eq!(on_disk, registry.snapshot().render());
+    let _ = std::fs::remove_dir_all(&dir);
+}
