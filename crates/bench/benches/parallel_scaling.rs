@@ -140,6 +140,60 @@ fn metrics_snapshot() -> Json {
     ])
 }
 
+/// Runs one early-stopped campaign at the highest benchmarked thread
+/// count and reports executed-vs-total fault-scope counts — the
+/// validation-efficiency headline: what fraction of the planned matrix
+/// a confidence-targeted run actually needed.
+fn early_stop_efficiency() -> Json {
+    use alfi_scenario::{CiMethod, StopPolicy, StopScope};
+    let threads = thread_counts().pop().unwrap_or(1);
+    let policy = StopPolicy {
+        half_width: 0.1,
+        confidence: 0.95,
+        min_samples: 16,
+        check_every: 16,
+        scope: StopScope::Campaign,
+        method: CiMethod::Wilson,
+    };
+    // A matrix large enough that the precision target, not exhaustion,
+    // ends the run (the quick benchmark scale is smaller than the
+    // policy's sample floor).
+    let images = 192;
+    let scale = ExperimentScale::quick();
+    let (model, mcfg) = build_classifier("alexnet", scale, 3);
+    let ds = ClassificationDataset::new(images, mcfg.num_classes, 3, scale.input_hw, 5);
+    let loader = ClassificationLoader::new(ds, 1);
+    let mut s = Scenario::default();
+    s.dataset_size = images;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    let rec = alfi_trace::Recorder::new();
+    let mut campaign = ImgClassCampaign::new(model, s, loader);
+    campaign
+        .run_with(&RunConfig::new().threads(threads).recorder(rec.clone()).stop_policy(policy))
+        .expect("early-stopped run");
+    let Some(outcome) = rec.summary().stop else {
+        return Json::Null;
+    };
+    let executed_fraction = if outcome.planned_scopes > 0 {
+        Json::Float(outcome.executed_scopes as f64 / outcome.planned_scopes as f64)
+    } else {
+        Json::Null
+    };
+    Json::Obj(vec![
+        ("threads".to_string(), Json::Int(threads as i128)),
+        ("requested_half_width".to_string(), Json::Float(outcome.requested_half_width)),
+        ("confidence".to_string(), Json::Float(outcome.confidence)),
+        ("executed_scopes".to_string(), Json::Int(outcome.executed_scopes as i128)),
+        ("skipped_scopes".to_string(), Json::Int(outcome.skipped_scopes as i128)),
+        ("planned_scopes".to_string(), Json::Int(outcome.planned_scopes as i128)),
+        ("executed_fraction".to_string(), executed_fraction),
+        ("achieved_sdc_half_width".to_string(), Json::Float(outcome.achieved_sdc_half_width)),
+        ("achieved_due_half_width".to_string(), Json::Float(outcome.achieved_due_half_width)),
+        ("stopped_early".to_string(), Json::Bool(outcome.stopped_early)),
+    ])
+}
+
 /// Derives per-thread-count speedups from the harness results and
 /// writes them to `$ALFI_BENCH_SPEEDUP_JSON` or
 /// `target/alfi-bench/parallel_scaling_speedup.json`.
@@ -179,6 +233,7 @@ fn write_speedup_report(results: &[BenchResult]) {
         ("points".to_string(), Json::Arr(points)),
         ("traced_phase_breakdown".to_string(), phase_breakdown()),
         ("metrics_snapshot".to_string(), metrics_snapshot()),
+        ("early_stop_efficiency".to_string(), early_stop_efficiency()),
     ]);
 
     let path = std::env::var_os("ALFI_BENCH_SPEEDUP_JSON")

@@ -9,6 +9,7 @@
 //! byte-for-byte: sequential, untraced, nothing written to disk.
 
 use alfi_metrics::{HealthPolicy, Registry};
+use alfi_scenario::{Scenario, StopPolicy};
 use alfi_trace::Recorder;
 use std::path::{Path, PathBuf};
 
@@ -61,6 +62,13 @@ pub struct RunConfig {
     /// recorder and in [`alfi_trace::TraceSummary::health`]. Implies
     /// metrics collection.
     pub health: Option<HealthPolicy>,
+    /// Statistical early-stop policy. When set, the engine evaluates
+    /// SDC/DUE confidence intervals at deterministic scope boundaries
+    /// and ends the campaign (or retires per-layer strata) once the
+    /// target half-width is reached. Overrides the scenario's
+    /// `stop_policy` key; `None` falls back to the scenario, and a
+    /// scenario without one runs the full matrix.
+    pub stop: Option<StopPolicy>,
 }
 
 impl Default for RunConfig {
@@ -72,6 +80,7 @@ impl Default for RunConfig {
             metrics: None,
             metrics_addr: None,
             health: None,
+            stop: None,
         }
     }
 }
@@ -119,6 +128,19 @@ impl RunConfig {
     pub fn health(mut self, policy: HealthPolicy) -> Self {
         self.health = Some(policy);
         self
+    }
+
+    /// Enables statistical early stopping (see [`RunConfig::stop`]).
+    pub fn stop_policy(mut self, policy: StopPolicy) -> Self {
+        self.stop = Some(policy);
+        self
+    }
+
+    /// The effective stop policy for a scenario: an explicit
+    /// [`stop`](RunConfig::stop) wins, else the scenario's
+    /// `stop_policy` key, else none (run the full matrix).
+    pub(crate) fn resolve_stop(&self, scenario: &Scenario) -> Option<StopPolicy> {
+        self.stop.or(scenario.stop_policy)
     }
 
     /// The registry the engine should publish into, if any: an explicit
@@ -175,6 +197,20 @@ mod tests {
 
         let cfg = RunConfig::new().health(HealthPolicy::default());
         assert!(cfg.resolve_metrics().is_some(), "watchdog alone implies the global registry");
+    }
+
+    #[test]
+    fn stop_policy_resolution_prefers_explicit_config() {
+        let mut scenario = Scenario::default();
+        assert!(RunConfig::new().resolve_stop(&scenario).is_none(), "stop is opt-in");
+
+        let from_yaml = StopPolicy { half_width: 0.2, ..StopPolicy::default() };
+        scenario.stop_policy = Some(from_yaml);
+        assert_eq!(RunConfig::new().resolve_stop(&scenario), Some(from_yaml));
+
+        let explicit = StopPolicy { half_width: 0.01, ..StopPolicy::default() };
+        let cfg = RunConfig::new().stop_policy(explicit);
+        assert_eq!(cfg.resolve_stop(&scenario), Some(explicit), "RunConfig wins");
     }
 
     #[test]

@@ -25,13 +25,14 @@
 //! count.
 
 use crate::campaign::config::RunConfig;
+use crate::campaign::stop::{ScopeDecision, StopReport, StopState};
 use crate::error::CoreError;
 use crate::fault::FaultRecord;
 use crate::injector::injection_event;
 use crate::matrix::{FaultMatrix, LayerTarget};
 use crate::persist::{save_events, save_metrics, RunTrace, TraceEntry};
 use alfi_metrics::{names, Class, Counter, HealthSink, Histogram, Registry, Watchdog};
-use alfi_scenario::{InjectionPolicy, Scenario};
+use alfi_scenario::{InjectionPolicy, Scenario, StopPolicy};
 use alfi_trace::{EffectClass, Phase, Recorder, RunMeta};
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
@@ -233,6 +234,9 @@ struct Parts<T: CampaignTask + ?Sized> {
     rows: Vec<T::Row>,
     matrix: FaultMatrix,
     trace: RunTrace,
+    /// Early-stop decisions and achieved precision, when a
+    /// [`StopPolicy`] governed the run.
+    stop: Option<StopReport>,
 }
 
 /// Pre-resolved counter handles for the engine's live instrumentation.
@@ -340,6 +344,33 @@ impl EngineMetrics {
         }
     }
 
+    /// Publishes a run's stop decisions into the registry. Registered
+    /// lazily — runs without a stop policy (or with one that never
+    /// fired) leave no zero-valued series behind, so deterministic
+    /// renders of policy-free runs are unchanged.
+    fn stop_report(&self, report: &StopReport) {
+        for event in &report.events {
+            self.registry
+                .counter_with(
+                    names::CAMPAIGN_STOP_DECISIONS,
+                    "Statistical stop decisions by verdict",
+                    Class::Deterministic,
+                    "verdict",
+                    event.verdict.name(),
+                )
+                .inc();
+        }
+        if report.outcome.skipped_scopes > 0 {
+            self.registry
+                .counter(
+                    names::ENGINE_SCOPES_SKIPPED,
+                    "Fault scopes skipped after stratum retirement",
+                    Class::Deterministic,
+                )
+                .add(report.outcome.skipped_scopes);
+        }
+    }
+
     fn layer_counter(&self, layer: usize) -> Counter {
         let mut layers = self.layers.lock().unwrap_or_else(|p| p.into_inner());
         layers
@@ -420,9 +451,10 @@ impl<'c> Engine<'c> {
             _ => None,
         };
         let per_image = scenario.injection_policy == InjectionPolicy::PerImage;
+        let stop_policy = cfg.resolve_stop(scenario);
         let parts = match cfg.resolve_threads(per_image) {
-            0 | 1 => sequential_parts(task, &rec, metrics.as_ref()),
-            threads => parallel_parts(task, threads, &rec, metrics.as_ref()),
+            0 | 1 => sequential_parts(task, &rec, metrics.as_ref(), stop_policy),
+            threads => parallel_parts(task, threads, &rec, metrics.as_ref(), stop_policy),
         };
         if let Some(watchdog) = watchdog {
             // Final registry sample happens inside stop(), so an
@@ -442,6 +474,20 @@ impl<'c> Engine<'c> {
                 rec.record_injection(injection_event(entry.image_id, &entry.applied));
             }
         }
+        if let Some(report) = &parts.stop {
+            if rec.is_enabled() {
+                // Decisions in decision order — deterministic, so the
+                // event log stays byte-reproducible across thread
+                // counts even for stopped runs.
+                for event in &report.events {
+                    rec.record_stop(*event);
+                }
+                rec.set_stop_outcome(report.outcome);
+            }
+            if let Some(m) = metrics.as_ref() {
+                m.stop_report(report);
+            }
+        }
         let result = task.finalize(parts.rows, parts.matrix, parts.trace);
         if let Some(dir) = &cfg.save_dir {
             let _span = rec.span(Phase::Persist);
@@ -459,7 +505,7 @@ impl<'c> Engine<'c> {
     ///
     /// As [`run`](Self::run), minus the parallel-only errors.
     pub fn sequential<T: CampaignTask>(task: &T) -> Result<T::Result, CoreError> {
-        let parts = sequential_parts(task, &Recorder::disabled(), None)?;
+        let parts = sequential_parts(task, &Recorder::disabled(), None, None)?;
         Ok(task.finalize(parts.rows, parts.matrix, parts.trace))
     }
 
@@ -475,7 +521,7 @@ impl<'c> Engine<'c> {
         task: &T,
         threads: usize,
     ) -> Result<T::Result, CoreError> {
-        let parts = parallel_parts(task, threads, &Recorder::disabled(), None)?;
+        let parts = parallel_parts(task, threads, &Recorder::disabled(), None, None)?;
         Ok(task.finalize(parts.rows, parts.matrix, parts.trace))
     }
 }
@@ -518,26 +564,54 @@ fn take_or_generate<T: CampaignTask + ?Sized>(
     }
 }
 
+/// SDC/DUE counts among freshly produced rows, for stop-policy
+/// observation. Classification is pure, so recounting here costs one
+/// extra pass over the scope's rows and nothing else.
+fn classify_delta<T: CampaignTask + ?Sized>(rows: &[T::Row]) -> (u64, u64) {
+    let (mut sdc, mut due) = (0u64, 0u64);
+    for row in rows {
+        match T::classify(row) {
+            EffectClass::Sdc => sdc += 1,
+            EffectClass::Due => due += 1,
+            EffectClass::Masked => {}
+        }
+    }
+    (sdc, due)
+}
+
 /// Sequential driver: streams scopes epoch by epoch, arming fault
 /// slots through a [`SlotCursor`] (all three policies) and processing
-/// each scope in place.
+/// each scope in place. With a [`StopPolicy`], every scope advances the
+/// stop state's boundary clock and the stream breaks as soon as a
+/// campaign-stop decision fires.
 fn sequential_parts<T: CampaignTask + ?Sized>(
     task: &T,
     rec: &Recorder,
     metrics: Option<&EngineMetrics>,
+    policy: Option<StopPolicy>,
 ) -> Result<Parts<T>, CoreError> {
     let (targets, resil_targets) = resolve_checked(task)?;
     let matrix = take_or_generate(task, &targets)?;
     let scenario = task.scenario();
     let mut rows = Vec::new();
     let mut trace = RunTrace::default();
+    let mut stop = policy.map(|p| StopState::new(p, &matrix));
     let mut cursor = SlotCursor::new(&matrix, scenario.injection_policy);
     for epoch in 0..scenario.num_runs as u64 {
         cursor.begin_epoch();
         let flow = task.stream_scopes(epoch, &mut |first_in_batch, scope| {
+            if stop.as_ref().is_some_and(StopState::stopped) {
+                return Ok(ControlFlow::Break(()));
+            }
             let Some(faults) = cursor.arm(first_in_batch) else {
                 return Ok(ControlFlow::Break(()));
             };
+            if let Some(state) = stop.as_mut() {
+                if state.begin_scope(faults) == ScopeDecision::Skip {
+                    state.boundary_check();
+                    return Ok(ControlFlow::Continue(()));
+                }
+            }
             let ctx = ScopeCtx {
                 scenario,
                 targets: &targets,
@@ -550,13 +624,19 @@ fn sequential_parts<T: CampaignTask + ?Sized>(
             if let Some(m) = metrics {
                 m.scope_done::<T>(&rows[row_mark..], &trace.entries[entry_mark..], started);
             }
+            if let Some(state) = stop.as_mut() {
+                let fresh = &rows[row_mark..];
+                let (sdc, due) = classify_delta::<T>(fresh);
+                state.observe(faults, fresh.len() as u64, sdc, due);
+                state.boundary_check();
+            }
             Ok(ControlFlow::Continue(()))
         })?;
         if flow.is_break() {
             break;
         }
     }
-    Ok(Parts { rows, matrix, trace })
+    Ok(Parts { rows, matrix, trace, stop: stop.map(StopState::finish) })
 }
 
 /// Parallel driver (`per_image` only — the other policies couple
@@ -572,6 +652,7 @@ fn parallel_parts<T: CampaignTask>(
     threads: usize,
     rec: &Recorder,
     metrics: Option<&EngineMetrics>,
+    policy: Option<StopPolicy>,
 ) -> Result<Parts<T>, CoreError> {
     if task.scenario().injection_policy != InjectionPolicy::PerImage {
         return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
@@ -604,34 +685,73 @@ fn parallel_parts<T: CampaignTask>(
     let matrix_ref = &matrix;
     let work_ref = &work;
     let ctx_ref = &ctx;
-    let outcomes = alfi_pool::global()
-        .try_run_indexed(threads, work.len(), |idx| {
-            let scope_ctx = ScopeCtx {
-                scenario,
-                targets: targets_ref,
-                resil_targets: resil_ref,
-                faults: matrix_ref.faults_for_slot(idx),
-            };
-            let started = Instant::now();
-            let out = T::process_parallel(ctx_ref, &scope_ctx, idx, &work_ref[idx], rec);
-            if let (Some(m), Ok((rows, entries))) = (metrics, &out) {
-                // Counter bumps commute, so live publication from
-                // workers in completion order still snapshots to the
-                // same final values as the sequential driver.
-                m.scope_done::<T>(rows, entries, started);
-            }
-            out
-        })
-        .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
+    let process = |idx: usize| {
+        let scope_ctx = ScopeCtx {
+            scenario,
+            targets: targets_ref,
+            resil_targets: resil_ref,
+            faults: matrix_ref.faults_for_slot(idx),
+        };
+        let started = Instant::now();
+        let out = T::process_parallel(ctx_ref, &scope_ctx, idx, &work_ref[idx], rec);
+        if let (Some(m), Ok((rows, entries))) = (metrics, &out) {
+            // Counter bumps commute, so live publication from
+            // workers in completion order still snapshots to the
+            // same final values as the sequential driver.
+            m.scope_done::<T>(rows, entries, started);
+        }
+        out
+    };
 
-    let mut rows = Vec::with_capacity(work.len());
+    let Some(stop_policy) = policy else {
+        // No stop policy: one fan-out over the whole work list.
+        let outcomes = alfi_pool::global()
+            .try_run_indexed(threads, work.len(), process)
+            .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
+        let mut rows = Vec::with_capacity(work.len());
+        let mut trace = RunTrace::default();
+        for outcome in outcomes {
+            let (r, entries) = outcome?;
+            rows.extend(r);
+            trace.entries.extend(entries);
+        }
+        return Ok(Parts { rows, matrix, trace, stop: None });
+    };
+
+    // Stop-policy runs fan out in rounds of `check_every` scopes with
+    // an ordered merge: all of a round's scopes are armed (or skipped)
+    // before any work is dispatched, and the boundary is evaluated only
+    // after the whole round has been merged — exactly the state the
+    // sequential driver sees at the same boundary, so decisions,
+    // executed scope sets and row order are bit-identical for any
+    // thread count.
+    let mut state = StopState::new(stop_policy, &matrix);
+    let mut rows = Vec::new();
     let mut trace = RunTrace::default();
-    for outcome in outcomes {
-        let (r, entries) = outcome?;
-        rows.extend(r);
-        trace.entries.extend(entries);
+    let mut next = 0usize;
+    while next < work.len() && !state.stopped() {
+        let round_end = (next + stop_policy.check_every).min(work.len());
+        let mut round: Vec<usize> = Vec::with_capacity(round_end - next);
+        for idx in next..round_end {
+            if state.begin_scope(matrix.faults_for_slot(idx)) == ScopeDecision::Execute {
+                round.push(idx);
+            }
+        }
+        next = round_end;
+        let round_ref = &round;
+        let outcomes = alfi_pool::global()
+            .try_run_indexed(threads, round.len(), |i| process(round_ref[i]))
+            .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (r, entries) = outcome?;
+            let (sdc, due) = classify_delta::<T>(&r);
+            state.observe(matrix.faults_for_slot(round[i]), r.len() as u64, sdc, due);
+            rows.extend(r);
+            trace.entries.extend(entries);
+        }
+        state.boundary_check();
     }
-    Ok(Parts { rows, matrix, trace })
+    Ok(Parts { rows, matrix, trace, stop: Some(state.finish()) })
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@ pub mod classification;
 pub mod config;
 pub mod detection;
 pub mod engine;
+pub(crate) mod stop;
 
+pub use alfi_scenario::{CiMethod, StopPolicy, StopScope};
 pub use classification::{
     ClassificationCampaignResult, ClassificationRow, CsvVariant, ImgClassCampaign, TopK,
 };

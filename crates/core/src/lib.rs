@@ -58,6 +58,7 @@ pub mod injector;
 pub mod matrix;
 pub mod monitor;
 pub mod persist;
+pub mod stats;
 pub mod sweep;
 
 pub use error::CoreError;

@@ -68,6 +68,7 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
         layer_range: None,
         weighted_layer_selection: gen::any_bool(rng),
         seed: gen::any_u64(rng),
+        stop_policy: None,
     }
 }
 

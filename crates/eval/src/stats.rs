@@ -2,23 +2,30 @@
 //!
 //! Large-scale FI campaigns report *rates* (SDE %, DUE %) estimated from
 //! finite samples; comparing models or protections is only meaningful
-//! with uncertainty bounds, so every rate carries a Wilson score
-//! interval.
+//! with uncertainty bounds, so every rate carries a confidence interval.
+//! The interval math itself lives in [`alfi_core::stats`] (re-exported
+//! here) so the campaign engine's early-stop evaluation and this crate's
+//! reporting use the same bit-deterministic implementation.
 
 use alfi_serde::json_struct;
 
-/// A binomial rate estimate with a Wilson score confidence interval.
+pub use alfi_core::stats::{
+    clopper_pearson_interval, wilson_interval, z_for_confidence, BinomialCi,
+};
+
+/// A binomial rate estimate with a confidence interval (Wilson score by
+/// default, Clopper-Pearson on request).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rate {
-    /// Number of positive outcomes.
+    /// Number of positive outcomes (clamped to `total`).
     pub hits: usize,
     /// Number of trials.
     pub total: usize,
     /// Point estimate `hits / total` (0 for zero trials).
     pub value: f64,
-    /// Lower bound of the 95 % Wilson interval.
+    /// Lower bound of the interval (exactly 0 when `hits == 0`).
     pub ci_low: f64,
-    /// Upper bound of the 95 % Wilson interval.
+    /// Upper bound of the interval (exactly 1 when `hits == total`).
     pub ci_high: f64,
 }
 
@@ -31,28 +38,43 @@ impl Rate {
     }
 
     /// Estimates a rate with a Wilson interval at the given z-score.
+    ///
+    /// Edge cases are exact: `total == 0` yields the vacuous `[0, 1]`,
+    /// `hits == 0` pins the lower bound to `0.0`, `hits >= total` pins
+    /// the upper bound to `1.0` (and clamps `hits`). Bounds always lie
+    /// ordered inside `[0, 1]`.
     pub fn with_confidence(hits: usize, total: usize, z: f64) -> Rate {
-        if total == 0 {
-            return Rate { hits, total, value: 0.0, ci_low: 0.0, ci_high: 1.0 };
-        }
-        let n = total as f64;
-        let p = hits as f64 / n;
-        let z2 = z * z;
-        let denom = 1.0 + z2 / n;
-        let center = (p + z2 / (2.0 * n)) / denom;
-        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-        Rate {
-            hits,
-            total,
-            value: p,
-            ci_low: (center - half).max(0.0),
-            ci_high: (center + half).min(1.0),
-        }
+        Rate::from_interval(hits, total, wilson_interval(hits, total, z))
+    }
+
+    /// Estimates a rate with a Wilson interval at a two-sided
+    /// confidence level (e.g. `0.95`).
+    pub fn wilson(hits: usize, total: usize, confidence: f64) -> Rate {
+        Rate::with_confidence(hits, total, z_for_confidence(confidence))
+    }
+
+    /// Estimates a rate with an exact (conservative) Clopper-Pearson
+    /// interval at a two-sided confidence level. Preferred for the
+    /// near-0 SDC/DUE rates hardened models exhibit, where the normal
+    /// approximation undercovers.
+    pub fn clopper_pearson(hits: usize, total: usize, confidence: f64) -> Rate {
+        Rate::from_interval(hits, total, clopper_pearson_interval(hits, total, confidence))
+    }
+
+    fn from_interval(hits: usize, total: usize, ci: BinomialCi) -> Rate {
+        let hits = hits.min(total);
+        let value = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+        Rate { hits, total, value, ci_low: ci.low, ci_high: ci.high }
     }
 
     /// The rate as a percentage.
     pub fn percent(&self) -> f64 {
         self.value * 100.0
+    }
+
+    /// Half the interval width — the "±" precision of the estimate.
+    pub fn half_width(&self) -> f64 {
+        (self.ci_high - self.ci_low) / 2.0
     }
 
     /// Whether two rates' confidence intervals are disjoint (a crude but
@@ -93,22 +115,25 @@ mod tests {
         let r = Rate::from_counts(10, 100);
         assert!((r.ci_low - 0.0552).abs() < 0.002, "low {}", r.ci_low);
         assert!((r.ci_high - 0.1744).abs() < 0.002, "high {}", r.ci_high);
+        assert!((r.half_width() - (r.ci_high - r.ci_low) / 2.0).abs() < 1e-15);
     }
 
     #[test]
-    fn zero_hits_interval_excludes_negative() {
+    fn zero_hits_lower_bound_is_exactly_zero() {
+        // The old normal approximation left ~5.6e-17 of floating-point
+        // dirt here; the boundary must be exact.
         let r = Rate::from_counts(0, 50);
         assert_eq!(r.value, 0.0);
-        assert_eq!(r.ci_low, 0.0);
+        assert_eq!(r.ci_low, 0.0, "hits == 0 pins the lower bound");
         assert!(r.ci_high > 0.0 && r.ci_high < 0.15);
     }
 
     #[test]
-    fn full_hits_interval_excludes_above_one() {
+    fn full_hits_upper_bound_is_exactly_one() {
         let r = Rate::from_counts(50, 50);
         assert_eq!(r.value, 1.0);
         assert!(r.ci_low > 0.85);
-        assert!(r.ci_high > 1.0 - 1e-9, "upper bound {}", r.ci_high);
+        assert_eq!(r.ci_high, 1.0, "hits == total pins the upper bound");
     }
 
     #[test]
@@ -116,13 +141,50 @@ mod tests {
         let r = Rate::from_counts(0, 0);
         assert_eq!(r.value, 0.0);
         assert_eq!((r.ci_low, r.ci_high), (0.0, 1.0));
+        assert_eq!(r.half_width(), 0.5);
+    }
+
+    #[test]
+    fn excess_hits_clamp_to_total() {
+        // Corrupt inputs (hits > total) clamp instead of yielding a
+        // rate above 1 or a NaN interval.
+        let r = Rate::from_counts(7, 5);
+        assert_eq!((r.hits, r.total), (5, 5));
+        assert_eq!(r.value, 1.0);
+        assert!(r.ci_low >= 0.0 && r.ci_low <= 1.0);
+        assert_eq!(r.ci_high, 1.0);
+    }
+
+    #[test]
+    fn wilson_by_confidence_matches_z_form() {
+        let by_conf = Rate::wilson(10, 100, 0.95);
+        let by_z = Rate::with_confidence(10, 100, z_for_confidence(0.95));
+        assert_eq!(by_conf, by_z);
+    }
+
+    #[test]
+    fn clopper_pearson_known_value_and_boundaries() {
+        // 10/100 at 95%: CP interval approx [0.0490, 0.1762].
+        let r = Rate::clopper_pearson(10, 100, 0.95);
+        assert!((r.ci_low - 0.0490).abs() < 0.002, "low {}", r.ci_low);
+        assert!((r.ci_high - 0.1762).abs() < 0.002, "high {}", r.ci_high);
+
+        let zero = Rate::clopper_pearson(0, 50, 0.95);
+        assert_eq!(zero.ci_low, 0.0);
+        // Rule of three: upper ~ 1 - (alpha/2)^(1/n) ~ 0.0711.
+        assert!((zero.ci_high - 0.0711).abs() < 0.002, "high {}", zero.ci_high);
+
+        let full = Rate::clopper_pearson(50, 50, 0.95);
+        assert_eq!(full.ci_high, 1.0);
+        let vacuous = Rate::clopper_pearson(0, 0, 0.95);
+        assert_eq!((vacuous.ci_low, vacuous.ci_high), (0.0, 1.0));
     }
 
     #[test]
     fn interval_shrinks_with_samples() {
         let small = Rate::from_counts(10, 100);
         let large = Rate::from_counts(100, 1000);
-        assert!(large.ci_high - large.ci_low < small.ci_high - small.ci_low);
+        assert!(large.half_width() < small.half_width());
     }
 
     #[test]

@@ -60,6 +60,86 @@ fn wilson_interval_invariants() {
     });
 }
 
+/// Both interval families produce ordered bounds inside [0, 1] that
+/// bracket the point estimate, for arbitrary (hits, total, confidence)
+/// triples including the hits > total corruption case.
+#[test]
+fn interval_bounds_ordered_and_contain_estimate() {
+    use alfi_eval::stats::{clopper_pearson_interval, wilson_interval, z_for_confidence};
+    check_with(CASES, "interval_bounds_ordered_and_contain_estimate", |rng| {
+        let total: usize = rng.gen_range(0usize..400);
+        let hits: usize = rng.gen_range(0usize..500);
+        let confidence: f64 = rng.gen_range(0.5f64..0.999);
+        let p = if total == 0 { 0.0 } else { hits.min(total) as f64 / total as f64 };
+        for ci in [
+            wilson_interval(hits, total, z_for_confidence(confidence)),
+            clopper_pearson_interval(hits, total, confidence),
+        ] {
+            assert!(ci.low >= 0.0 && ci.high <= 1.0, "bounds in [0,1]: {ci:?}");
+            assert!(ci.low <= ci.high, "bounds ordered: {ci:?}");
+            if total > 0 {
+                assert!(ci.low <= p + 1e-12 && p <= ci.high + 1e-12, "{ci:?} brackets {p}");
+            }
+        }
+    });
+}
+
+/// At a fixed ratio, both interval families shrink (weakly) as the
+/// sample count grows.
+#[test]
+fn interval_half_width_shrinks_with_samples() {
+    use alfi_eval::stats::{clopper_pearson_interval, wilson_interval, z_for_confidence};
+    check_with(CASES, "interval_half_width_shrinks_with_samples", |rng| {
+        let hits: usize = rng.gen_range(0usize..100);
+        let extra: usize = rng.gen_range(1usize..100);
+        let total = hits + extra;
+        let k: usize = rng.gen_range(2usize..12);
+        let confidence: f64 = rng.gen_range(0.5f64..0.999);
+        let z = z_for_confidence(confidence);
+        let w = wilson_interval(hits, total, z);
+        let wk = wilson_interval(hits * k, total * k, z);
+        assert!(wk.half_width() <= w.half_width() + 1e-12, "wilson shrinks with {k}x samples");
+        let c = clopper_pearson_interval(hits, total, confidence);
+        let ck = clopper_pearson_interval(hits * k, total * k, confidence);
+        assert!(ck.half_width() <= c.half_width() + 1e-9, "cp shrinks with {k}x samples");
+    });
+}
+
+/// Clopper-Pearson's defining guarantee, which Wilson only
+/// approximates: its *exact coverage probability* — the chance over
+/// binomial draws that the interval contains the true rate — is at
+/// least the nominal confidence, for every (n, p, confidence). This is
+/// the sense in which CP "covers" Wilson; pointwise containment of one
+/// interval by the other is false in general (either can be tighter on
+/// one side at extreme rates), so that is deliberately not asserted.
+#[test]
+fn clopper_pearson_coverage_is_conservative() {
+    use alfi_eval::stats::clopper_pearson_interval;
+    check_with(CASES, "clopper_pearson_coverage_is_conservative", |rng| {
+        let n: usize = rng.gen_range(2usize..60);
+        let p: f64 = rng.gen_range(0.01f64..0.99);
+        let confidence: f64 = rng.gen_range(0.5f64..0.99);
+        let mut ln_fact = vec![0.0f64; n + 1];
+        for i in 1..=n {
+            ln_fact[i] = ln_fact[i - 1] + (i as f64).ln();
+        }
+        let mut coverage = 0.0;
+        for h in 0..=n {
+            let ci = clopper_pearson_interval(h, n, confidence);
+            if ci.low <= p && p <= ci.high {
+                let ln_pmf = ln_fact[n] - ln_fact[h] - ln_fact[n - h]
+                    + h as f64 * p.ln()
+                    + (n - h) as f64 * (1.0 - p).ln();
+                coverage += ln_pmf.exp();
+            }
+        }
+        assert!(
+            coverage >= confidence - 1e-9,
+            "CP coverage {coverage} < nominal {confidence} at n={n}, p={p}"
+        );
+    });
+}
+
 /// Outcome classification is exhaustive and consistent: identical
 /// top-k with finite scores is never SDE/DUE; any NaN flag is DUE.
 #[test]

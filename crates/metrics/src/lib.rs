@@ -84,6 +84,12 @@ pub mod names {
     pub const TENSOR_CONV_BYTES: &str = "alfi_tensor_conv_bytes_total";
     /// Health watchdog events raised, labelled `kind` (runtime).
     pub const HEALTH_EVENTS: &str = "alfi_health_events_total";
+    /// Statistical stop decisions, labelled `verdict` ∈ stop/retire
+    /// (deterministic — decisions fire only at scope boundaries).
+    pub const CAMPAIGN_STOP_DECISIONS: &str = "alfi_campaign_stop_decisions_total";
+    /// Fault scopes skipped because their layer stratum was already
+    /// retired by the stop policy (deterministic).
+    pub const ENGINE_SCOPES_SKIPPED: &str = "alfi_engine_scopes_skipped_total";
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();

@@ -25,7 +25,7 @@ pub mod scenario;
 pub mod yaml;
 
 pub use scenario::{
-    FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerType, Scenario,
-    ScenarioError,
+    CiMethod, FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerType,
+    Scenario, ScenarioError, StopPolicy, StopScope,
 };
 pub use yaml::{ParseYamlError, Yaml};

@@ -146,6 +146,106 @@ impl FaultCount {
     }
 }
 
+/// Which population a [`StopPolicy`] tracks when deciding to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopScope {
+    /// One confidence interval over the whole campaign; reaching the
+    /// target half-width ends the run.
+    Campaign,
+    /// One interval per injected layer; a layer whose interval is tight
+    /// enough is *retired* (its remaining faults are skipped) while the
+    /// other strata keep sampling.
+    PerLayer,
+}
+
+impl fmt::Display for StopScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StopScope::Campaign => "campaign",
+            StopScope::PerLayer => "per_layer",
+        })
+    }
+}
+
+/// Which binomial confidence interval a [`StopPolicy`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CiMethod {
+    /// Wilson score interval (cheap, good mid-range coverage).
+    Wilson,
+    /// Clopper-Pearson exact interval (conservative, never undercovers —
+    /// preferred for the near-zero rates FI campaigns observe).
+    ClopperPearson,
+}
+
+impl fmt::Display for CiMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CiMethod::Wilson => "wilson",
+            CiMethod::ClopperPearson => "clopper_pearson",
+        })
+    }
+}
+
+/// Statistical early-stop configuration for adaptive campaigns.
+///
+/// The engine evaluates the policy only at deterministic scope
+/// boundaries (every `check_every` armed fault scopes — never from
+/// wall-clock time), stopping the campaign or retiring a layer stratum
+/// once both its SDC- and DUE-rate confidence intervals reach the target
+/// half-width with at least `min_samples` observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopPolicy {
+    /// Target CI half-width (the "±" on the reported rate), in `(0, 0.5]`.
+    pub half_width: f64,
+    /// Two-sided confidence level, e.g. `0.95`, in `(0, 1)`.
+    pub confidence: f64,
+    /// Minimum observations per tracked population before a verdict.
+    pub min_samples: usize,
+    /// Evaluate every this many armed fault scopes (≥ 1).
+    pub check_every: usize,
+    /// Whole-campaign interval or per-layer strata.
+    pub scope: StopScope,
+    /// Interval construction used for the verdict.
+    pub method: CiMethod,
+}
+
+impl Default for StopPolicy {
+    fn default() -> Self {
+        StopPolicy {
+            half_width: 0.05,
+            confidence: 0.95,
+            min_samples: 30,
+            check_every: 16,
+            scope: StopScope::Campaign,
+            method: CiMethod::Wilson,
+        }
+    }
+}
+
+impl StopPolicy {
+    /// Validates field ranges, naming the offending field on error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidField`] when a field is out of
+    /// range.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if !(self.half_width > 0.0 && self.half_width <= 0.5) {
+            return Err(invalid("stop_policy.half_width", "must be in (0, 0.5]"));
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(invalid("stop_policy.confidence", "must be in (0, 1)"));
+        }
+        if self.min_samples == 0 {
+            return Err(invalid("stop_policy.min_samples", "must be at least 1"));
+        }
+        if self.check_every == 0 {
+            return Err(invalid("stop_policy.check_every", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
 /// Error produced when a scenario file is malformed or inconsistent.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioError {
@@ -230,6 +330,10 @@ pub struct Scenario {
     pub weighted_layer_selection: bool,
     /// RNG seed for fault generation.
     pub seed: u64,
+    /// Optional statistical early-stop policy. `None` (the default)
+    /// executes the full fault matrix; the key is omitted from the YAML
+    /// serialization when unset so legacy scenarios hash identically.
+    pub stop_policy: Option<StopPolicy>,
 }
 
 impl Default for Scenario {
@@ -247,6 +351,7 @@ impl Default for Scenario {
             layer_range: None,
             weighted_layer_selection: true,
             seed: 0,
+            stop_policy: None,
         }
     }
 }
@@ -369,6 +474,12 @@ impl Scenario {
             let i = v.as_i64().ok_or_else(|| invalid("seed", "expected an integer"))?;
             s.seed = i as u64;
         }
+        if let Some(v) = y.get("stop_policy") {
+            s.stop_policy = match v {
+                Yaml::Null => None,
+                _ => Some(parse_stop_policy(v)?),
+            };
+        }
         Ok(s)
     }
 
@@ -403,6 +514,12 @@ impl Scenario {
         );
         m.insert("weighted_layer_selection".into(), Yaml::Bool(self.weighted_layer_selection));
         m.insert("seed".into(), Yaml::Int(self.seed as i64));
+        // Emitted only when set: adding the key to every scenario would
+        // change the serialized form (and hence the replay fingerprint)
+        // of campaigns that never opted into early stopping.
+        if let Some(p) = &self.stop_policy {
+            m.insert("stop_policy".into(), stop_policy_yaml(p));
+        }
         Yaml::Map(m).to_yaml_string()
     }
 
@@ -501,6 +618,58 @@ fn parse_fault_mode(v: &Yaml) -> Result<FaultMode, ScenarioError> {
     }
 }
 
+fn parse_stop_policy(v: &Yaml) -> Result<StopPolicy, ScenarioError> {
+    let mut p = StopPolicy::default();
+    if let Some(hw) = v.get("half_width") {
+        p.half_width = hw
+            .as_f64()
+            .ok_or_else(|| invalid("stop_policy.half_width", "expected a number"))?;
+    }
+    if let Some(c) = v.get("confidence") {
+        p.confidence = c
+            .as_f64()
+            .ok_or_else(|| invalid("stop_policy.confidence", "expected a number"))?;
+    }
+    if let Some(m) = v.get("min_samples") {
+        p.min_samples = usize_field(m, "stop_policy.min_samples")?;
+    }
+    if let Some(c) = v.get("check_every") {
+        p.check_every = usize_field(c, "stop_policy.check_every")?;
+    }
+    if let Some(s) = v.get("scope") {
+        p.scope = match s.as_str() {
+            Some("campaign") => StopScope::Campaign,
+            Some("per_layer") => StopScope::PerLayer,
+            _ => return Err(invalid("stop_policy.scope", "expected `campaign` or `per_layer`")),
+        };
+    }
+    if let Some(m) = v.get("method") {
+        p.method = match m.as_str() {
+            Some("wilson") => CiMethod::Wilson,
+            Some("clopper_pearson") => CiMethod::ClopperPearson,
+            _ => {
+                return Err(invalid(
+                    "stop_policy.method",
+                    "expected `wilson` or `clopper_pearson`",
+                ))
+            }
+        };
+    }
+    p.validate()?;
+    Ok(p)
+}
+
+fn stop_policy_yaml(p: &StopPolicy) -> Yaml {
+    let mut map = BTreeMap::new();
+    map.insert("half_width".into(), Yaml::Float(p.half_width));
+    map.insert("confidence".into(), Yaml::Float(p.confidence));
+    map.insert("min_samples".into(), Yaml::Int(p.min_samples as i64));
+    map.insert("check_every".into(), Yaml::Int(p.check_every as i64));
+    map.insert("scope".into(), Yaml::Str(p.scope.to_string()));
+    map.insert("method".into(), Yaml::Str(p.method.to_string()));
+    Yaml::Map(map)
+}
+
 fn fault_mode_yaml(m: &FaultMode) -> Yaml {
     let mut map = BTreeMap::new();
     match m {
@@ -554,6 +723,14 @@ mod tests {
             layer_range: Some((2, 7)),
             weighted_layer_selection: false,
             seed: 42,
+            stop_policy: Some(StopPolicy {
+                half_width: 0.02,
+                confidence: 0.99,
+                min_samples: 64,
+                check_every: 8,
+                scope: StopScope::PerLayer,
+                method: CiMethod::ClopperPearson,
+            }),
         };
         let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
         assert_eq!(s, back);
@@ -625,6 +802,42 @@ seed: 1234
         assert!(Scenario::from_yaml_str("fault_mode:\n  mode: bitflip\n  rnd_bit_range: [0, 40]\n").is_err());
         assert!(Scenario::from_yaml_str("fault_mode:\n  mode: random_value\n  min: 3\n  max: 1\n").is_err());
         assert!(Scenario::from_yaml_str("max_faults_per_image: 1.5\n").is_err());
+    }
+
+    #[test]
+    fn stop_policy_absent_by_default_and_omitted_from_yaml() {
+        let s = Scenario::default();
+        assert_eq!(s.stop_policy, None);
+        assert!(!s.to_yaml_string().contains("stop_policy"));
+    }
+
+    #[test]
+    fn stop_policy_parses_with_partial_keys() {
+        let s = Scenario::from_yaml_str("stop_policy:\n  half_width: 0.1\n").unwrap();
+        let p = s.stop_policy.unwrap();
+        assert_eq!(p.half_width, 0.1);
+        assert_eq!(p.confidence, StopPolicy::default().confidence);
+        assert_eq!(p.scope, StopScope::Campaign);
+        assert_eq!(p.method, CiMethod::Wilson);
+        // Explicit null keeps the policy off.
+        let s = Scenario::from_yaml_str("stop_policy: null\n").unwrap();
+        assert_eq!(s.stop_policy, None);
+    }
+
+    #[test]
+    fn stop_policy_rejects_out_of_range_fields() {
+        for bad in [
+            "stop_policy:\n  half_width: 0.0\n",
+            "stop_policy:\n  half_width: 0.7\n",
+            "stop_policy:\n  confidence: 1.0\n",
+            "stop_policy:\n  min_samples: 0\n",
+            "stop_policy:\n  check_every: 0\n",
+            "stop_policy:\n  scope: sometimes\n",
+            "stop_policy:\n  method: gaussian\n",
+        ] {
+            let e = Scenario::from_yaml_str(bad).unwrap_err();
+            assert!(e.to_string().contains("stop_policy"), "{bad}: {e}");
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use alfi_check::{check_with, gen};
 use alfi_rng::Rng;
 use alfi_scenario::{
-    FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerType, Scenario,
-    Yaml,
+    CiMethod, FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerType,
+    Scenario, StopPolicy, StopScope, Yaml,
 };
 use std::collections::BTreeMap;
 
@@ -27,6 +27,17 @@ fn arb_fault_mode(rng: &mut Rng) -> FaultMode {
             min: rng.gen_range(-100.0f32..0.0),
             max: rng.gen_range(0.0f32..100.0),
         },
+    }
+}
+
+fn arb_stop_policy(rng: &mut Rng) -> StopPolicy {
+    StopPolicy {
+        half_width: rng.gen_range(0.001f64..0.5),
+        confidence: rng.gen_range(0.5f64..0.999),
+        min_samples: rng.gen_range(1usize..500),
+        check_every: rng.gen_range(1usize..100),
+        scope: if gen::any_bool(rng) { StopScope::Campaign } else { StopScope::PerLayer },
+        method: if gen::any_bool(rng) { CiMethod::Wilson } else { CiMethod::ClopperPearson },
     }
 }
 
@@ -70,6 +81,7 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
         layer_range,
         weighted_layer_selection: gen::any_bool(rng),
         seed: gen::any_u64(rng),
+        stop_policy: if gen::any_bool(rng) { Some(arb_stop_policy(rng)) } else { None },
     }
 }
 

@@ -60,7 +60,7 @@
 
 mod reader;
 
-pub use reader::{EventHeader, EventLog, EventLogError, EventSummaryRecord};
+pub use reader::{EventHeader, EventLog, EventLogError, EventStopRecord, EventSummaryRecord};
 
 use alfi_serde::Json;
 use std::collections::BTreeMap;
@@ -172,6 +172,79 @@ pub struct InjectionEvent {
     pub corrupted: f32,
 }
 
+/// The verdict of one statistical stop decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopVerdict {
+    /// The whole campaign reached its target precision and ends here.
+    StopCampaign,
+    /// One layer stratum reached its target precision and is retired;
+    /// the rest of the campaign continues.
+    RetireStratum,
+}
+
+impl StopVerdict {
+    /// Stable lowercase name used in the event log and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopVerdict::StopCampaign => "stop",
+            StopVerdict::RetireStratum => "retire",
+        }
+    }
+}
+
+/// One statistical stop decision, recorded by the engine in
+/// deterministic boundary order. Carries no wall-clock data: the
+/// decision is a pure function of the sample counts at an armed-scope
+/// boundary, so stopped runs stay byte-identical across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopEvent {
+    /// What was decided.
+    pub verdict: StopVerdict,
+    /// Injectable-layer index of the retired stratum; `None` for
+    /// whole-campaign decisions.
+    pub stratum: Option<usize>,
+    /// Number of fault scopes armed (executed + skipped) when the
+    /// decision fired — always a multiple of the policy's `check_every`.
+    pub scope_index: u64,
+    /// Classified inferences backing the decision.
+    pub samples: u64,
+    /// SDC outcomes among those samples.
+    pub sdc: u64,
+    /// DUE outcomes among those samples.
+    pub due: u64,
+    /// SDC-rate confidence interval at the decision.
+    pub sdc_ci: (f64, f64),
+    /// DUE-rate confidence interval at the decision.
+    pub due_ci: (f64, f64),
+    /// The wider of the two half-widths — what was compared against the
+    /// policy target.
+    pub half_width: f64,
+}
+
+/// Achieved-vs-requested precision of an early-stop campaign, surfaced
+/// in [`TraceSummary::stop`] and the final report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopOutcome {
+    /// The policy's target CI half-width.
+    pub requested_half_width: f64,
+    /// The policy's confidence level.
+    pub confidence: f64,
+    /// Campaign-level SDC-rate half-width actually achieved.
+    pub achieved_sdc_half_width: f64,
+    /// Campaign-level DUE-rate half-width actually achieved.
+    pub achieved_due_half_width: f64,
+    /// Fault scopes executed.
+    pub executed_scopes: u64,
+    /// Fault scopes skipped because their stratum was already retired.
+    pub skipped_scopes: u64,
+    /// Total fault-scope budget of the full matrix.
+    pub planned_scopes: u64,
+    /// Stop decisions recorded (retirements plus campaign stop).
+    pub decisions: u64,
+    /// Whether the run ended before exhausting the matrix.
+    pub stopped_early: bool,
+}
+
 /// Per-phase aggregate timing statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PhaseStats {
@@ -248,6 +321,9 @@ pub struct TraceSummary {
     /// messages, in raise order). Empty when no watchdog ran or the
     /// campaign stayed healthy.
     pub health: Vec<String>,
+    /// Achieved-vs-requested precision when the run had a stop policy;
+    /// `None` for exhaustive campaigns.
+    pub stop: Option<StopOutcome>,
 }
 
 impl TraceSummary {
@@ -285,6 +361,21 @@ impl TraceSummary {
         }
         for msg in &self.health {
             out.push_str(&format!("health {msg}\n"));
+        }
+        if let Some(s) = &self.stop {
+            out.push_str(&format!(
+                "stop requested ±{:.4} @{:.0}% | achieved sdc ±{:.4} due ±{:.4} | scopes \
+                 executed {} skipped {} of {} | decisions {} ({})\n",
+                s.requested_half_width,
+                s.confidence * 100.0,
+                s.achieved_sdc_half_width,
+                s.achieved_due_half_width,
+                s.executed_scopes,
+                s.skipped_scopes,
+                s.planned_scopes,
+                s.decisions,
+                if s.stopped_early { "stopped early" } else { "ran to completion" }
+            ));
         }
         out
     }
@@ -328,6 +419,8 @@ struct Inner {
     nan: AtomicU64,
     inf: AtomicU64,
     events: Mutex<Vec<InjectionEvent>>,
+    stops: Mutex<Vec<StopEvent>>,
+    stop_outcome: Mutex<Option<StopOutcome>>,
     health: Mutex<Vec<String>>,
     applied_live: AtomicU64,
     items_done: AtomicU64,
@@ -352,6 +445,8 @@ impl Inner {
             nan: AtomicU64::new(0),
             inf: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
+            stops: Mutex::new(Vec::new()),
+            stop_outcome: Mutex::new(None),
             health: Mutex::new(Vec::new()),
             applied_live: AtomicU64::new(0),
             items_done: AtomicU64::new(0),
@@ -491,6 +586,31 @@ impl Recorder {
         }
     }
 
+    /// Records one statistical stop decision. Campaign drivers call
+    /// this post-run in deterministic boundary order, so the event log
+    /// stays byte-identical across thread counts.
+    pub fn record_stop(&self, ev: StopEvent) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.stops).push(ev);
+        }
+    }
+
+    /// Recorded stop decisions, in boundary order.
+    pub fn stop_events(&self) -> Vec<StopEvent> {
+        match &self.inner {
+            Some(inner) => lock(&inner.stops).clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Sets the achieved-vs-requested precision summary of an
+    /// early-stop run (surfaced in [`TraceSummary::stop`]).
+    pub fn set_stop_outcome(&self, outcome: StopOutcome) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.stop_outcome) = Some(outcome);
+        }
+    }
+
     /// Appends one rendered health-watchdog event. Wall-clock-driven,
     /// so health messages surface in [`TraceSummary::health`] but stay
     /// out of the deterministic JSONL event log.
@@ -575,6 +695,7 @@ impl Recorder {
                 items: 0,
                 wall_ns: 0,
                 health: Vec::new(),
+                stop: None,
             };
         };
         let mut phases = BTreeMap::new();
@@ -602,6 +723,7 @@ impl Recorder {
             items: inner.items_done.load(Ordering::Relaxed),
             wall_ns: inner.started.elapsed().as_nanos() as u64,
             health: lock(&inner.health).clone(),
+            stop: *lock(&inner.stop_outcome),
         }
     }
 
@@ -645,6 +767,35 @@ impl Recorder {
                 ),
                 ("original".to_string(), Json::Float(ev.original as f64)),
                 ("corrupted".to_string(), Json::Float(ev.corrupted as f64)),
+            ]);
+            out.push_str(&obj.compact());
+            out.push('\n');
+        }
+
+        for ev in lock(&inner.stops).iter() {
+            let obj = Json::Obj(vec![
+                ("event".to_string(), Json::Str("stop".into())),
+                ("verdict".to_string(), Json::Str(ev.verdict.name().into())),
+                (
+                    "stratum".to_string(),
+                    match ev.stratum {
+                        Some(layer) => Json::Int(layer as i128),
+                        None => Json::Null,
+                    },
+                ),
+                ("scope_index".to_string(), Json::Int(ev.scope_index as i128)),
+                ("samples".to_string(), Json::Int(ev.samples as i128)),
+                ("sdc".to_string(), Json::Int(ev.sdc as i128)),
+                ("due".to_string(), Json::Int(ev.due as i128)),
+                (
+                    "sdc_ci".to_string(),
+                    Json::Arr(vec![Json::Float(ev.sdc_ci.0), Json::Float(ev.sdc_ci.1)]),
+                ),
+                (
+                    "due_ci".to_string(),
+                    Json::Arr(vec![Json::Float(ev.due_ci.0), Json::Float(ev.due_ci.1)]),
+                ),
+                ("half_width".to_string(), Json::Float(ev.half_width)),
             ]);
             out.push_str(&obj.compact());
             out.push('\n');
@@ -885,6 +1036,69 @@ mod tests {
         assert!(text.contains("phase forward"));
         assert!(text.contains("due 1"));
         assert!(text.contains("threads 4"));
+    }
+
+    #[test]
+    fn stop_events_and_outcome_surface_in_log_and_summary() {
+        let rec = Recorder::new();
+        rec.set_meta(meta());
+        rec.record_stop(StopEvent {
+            verdict: StopVerdict::StopCampaign,
+            stratum: None,
+            scope_index: 48,
+            samples: 48,
+            sdc: 12,
+            due: 4,
+            sdc_ci: (0.14, 0.39),
+            due_ci: (0.02, 0.2),
+            half_width: 0.125,
+        });
+        rec.set_stop_outcome(StopOutcome {
+            requested_half_width: 0.15,
+            confidence: 0.95,
+            achieved_sdc_half_width: 0.125,
+            achieved_due_half_width: 0.09,
+            executed_scopes: 48,
+            skipped_scopes: 0,
+            planned_scopes: 400,
+            decisions: 1,
+            stopped_early: true,
+        });
+        let log = rec.events_jsonl();
+        let stop_line = log.lines().find(|l| l.contains("\"event\":\"stop\"")).unwrap();
+        assert!(stop_line.contains("\"verdict\":\"stop\""), "{stop_line}");
+        assert!(stop_line.contains("\"stratum\":null"), "{stop_line}");
+        assert!(stop_line.contains("\"sdc_ci\":[0.14,0.39]"), "{stop_line}");
+        // Stop records sit between injections and the closing summary.
+        let lines: Vec<&str> = log.lines().collect();
+        assert!(lines[lines.len() - 1].contains("\"event\":\"summary\""));
+        assert!(lines[lines.len() - 2].contains("\"event\":\"stop\""));
+
+        let summary = rec.summary();
+        let outcome = summary.stop.expect("stop outcome set");
+        assert_eq!(outcome.executed_scopes, 48);
+        assert_eq!(rec.stop_events().len(), 1);
+        let text = summary.render();
+        assert!(text.contains("stopped early"), "{text}");
+        assert!(text.contains("executed 48"), "{text}");
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_stop_records() {
+        let rec = Recorder::disabled();
+        rec.record_stop(StopEvent {
+            verdict: StopVerdict::RetireStratum,
+            stratum: Some(1),
+            scope_index: 8,
+            samples: 8,
+            sdc: 0,
+            due: 0,
+            sdc_ci: (0.0, 0.4),
+            due_ci: (0.0, 0.4),
+            half_width: 0.2,
+        });
+        assert!(rec.stop_events().is_empty());
+        assert_eq!(rec.summary().stop, None);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! events, closing summary) so the artifact is an API, not a
 //! write-only file.
 
-use crate::{InjectionEvent, OutcomeTallies, RunMeta, EVENT_FORMAT_VERSION};
+use crate::{InjectionEvent, OutcomeTallies, RunMeta, StopEvent, StopVerdict, EVENT_FORMAT_VERSION};
 use alfi_serde::Json;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -90,6 +90,10 @@ pub struct EventSummaryRecord {
     pub inf: u64,
 }
 
+/// A parsed statistical stop decision (the reader-side name of
+/// [`StopEvent`] — stop records round-trip losslessly).
+pub type EventStopRecord = StopEvent;
+
 /// A fully parsed `events.jsonl` log.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventLog {
@@ -97,6 +101,9 @@ pub struct EventLog {
     pub header: EventHeader,
     /// Injection events in recorded (deterministic row) order.
     pub injections: Vec<InjectionEvent>,
+    /// Statistical stop decisions in boundary order (empty for
+    /// exhaustive campaigns).
+    pub stops: Vec<EventStopRecord>,
     /// The closing summary, when the log has one.
     pub summary: Option<EventSummaryRecord>,
 }
@@ -194,6 +201,56 @@ fn parse_injection(obj: &Json, line: usize) -> Result<InjectionEvent, EventLogEr
     })
 }
 
+fn parse_ci(obj: &Json, key: &str, line: usize) -> Result<(f64, f64), EventLogError> {
+    let arr = field(obj, key, line)?.as_arr().ok_or_else(|| EventLogError::Record {
+        line,
+        detail: format!("field `{key}` is not an array"),
+    })?;
+    match arr {
+        [lo, hi] => match (lo.as_f64(), hi.as_f64()) {
+            (Some(lo), Some(hi)) => Ok((lo, hi)),
+            _ => Err(EventLogError::Record {
+                line,
+                detail: format!("field `{key}` bounds are not numbers"),
+            }),
+        },
+        _ => Err(EventLogError::Record {
+            line,
+            detail: format!("field `{key}` must have exactly two bounds"),
+        }),
+    }
+}
+
+fn parse_stop(obj: &Json, line: usize) -> Result<StopEvent, EventLogError> {
+    let verdict = match string(obj, "verdict", line)?.as_str() {
+        "stop" => StopVerdict::StopCampaign,
+        "retire" => StopVerdict::RetireStratum,
+        other => {
+            return Err(EventLogError::Record {
+                line,
+                detail: format!("unknown stop verdict `{other}`"),
+            })
+        }
+    };
+    let stratum = match field(obj, "stratum", line)? {
+        Json::Null => None,
+        v => Some(v.as_int().and_then(|s| usize::try_from(s).ok()).ok_or_else(|| {
+            EventLogError::Record { line, detail: "field `stratum` is not a layer index".into() }
+        })?),
+    };
+    Ok(StopEvent {
+        verdict,
+        stratum,
+        scope_index: uint(obj, "scope_index", line)?,
+        samples: uint(obj, "samples", line)?,
+        sdc: uint(obj, "sdc", line)?,
+        due: uint(obj, "due", line)?,
+        sdc_ci: parse_ci(obj, "sdc_ci", line)?,
+        due_ci: parse_ci(obj, "due_ci", line)?,
+        half_width: float(obj, "half_width", line)?,
+    })
+}
+
 fn parse_summary(obj: &Json, line: usize) -> Result<EventSummaryRecord, EventLogError> {
     let outcomes = field(obj, "outcomes", line)?;
     Ok(EventSummaryRecord {
@@ -224,6 +281,7 @@ impl EventLog {
     pub fn parse(text: &str) -> Result<EventLog, EventLogError> {
         let mut header = None;
         let mut injections = Vec::new();
+        let mut stops = Vec::new();
         let mut summary: Option<EventSummaryRecord> = None;
         for (i, raw) in text.lines().enumerate() {
             let line = i + 1;
@@ -264,6 +322,21 @@ impl EventLog {
                     }
                     injections.push(parse_injection(&obj, line)?);
                 }
+                "stop" => {
+                    if header.is_none() {
+                        return Err(EventLogError::Record {
+                            line,
+                            detail: "stop record before the header".into(),
+                        });
+                    }
+                    if summary.is_some() {
+                        return Err(EventLogError::Record {
+                            line,
+                            detail: "stop record after the summary".into(),
+                        });
+                    }
+                    stops.push(parse_stop(&obj, line)?);
+                }
                 "summary" => {
                     if summary.is_some() {
                         return Err(EventLogError::Record {
@@ -285,7 +358,7 @@ impl EventLog {
             line: 1,
             detail: "log has no header record".into(),
         })?;
-        Ok(EventLog { header, injections, summary })
+        Ok(EventLog { header, injections, stops, summary })
     }
 
     /// Reads and parses an `events.jsonl` file.
@@ -366,6 +439,47 @@ mod tests {
         assert_eq!(log.injections.len(), 1);
         assert_eq!(log.injections[0].image_id, 7);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_records_round_trip() {
+        let rec = Recorder::new();
+        rec.set_meta(meta());
+        let stops = vec![
+            StopEvent {
+                verdict: StopVerdict::RetireStratum,
+                stratum: Some(3),
+                scope_index: 16,
+                samples: 16,
+                sdc: 5,
+                due: 1,
+                sdc_ci: (0.125, 0.55),
+                due_ci: (0.0, 0.28),
+                half_width: 0.2125,
+            },
+            StopEvent {
+                verdict: StopVerdict::StopCampaign,
+                stratum: None,
+                scope_index: 32,
+                samples: 32,
+                sdc: 9,
+                due: 3,
+                sdc_ci: (0.15, 0.46),
+                due_ci: (0.02, 0.24),
+                half_width: 0.155,
+            },
+        ];
+        for ev in &stops {
+            rec.record_stop(*ev);
+        }
+        let log = EventLog::parse(&rec.events_jsonl()).unwrap();
+        assert_eq!(log.stops, stops);
+
+        let err = EventLog::parse(
+            "{\"event\":\"header\",\"format\":1}\n{\"event\":\"stop\",\"verdict\":\"maybe\"}\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("verdict"), "{err}");
     }
 
     #[test]

@@ -26,7 +26,7 @@ use alfi::nn::models::{alexnet, densenet_tiny, resnet50, vgg16, ModelConfig};
 use alfi::nn::train::{accuracy, train_step, SgdTrainer};
 use alfi::nn::weights::{load_weights, save_weights};
 use alfi::nn::Network;
-use alfi::scenario::Scenario;
+use alfi::scenario::{CiMethod, Scenario, StopPolicy, StopScope};
 use alfi::tensor::Tensor;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -43,9 +43,13 @@ USAGE:
                 [--weights <weights.alfiw>]
                 [--protect <ranger|clipper>] [--parallel <threads>]
                 [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
+                [--stop-halfwidth <f>] [--stop-confidence <f>]
+                [--stop-scope <campaign|per-layer>] [--stop-method <wilson|clopper-pearson>]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi detect   --scenario <file> --model <yolo|retina|frcnn> --out <dir>
                 [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
+                [--stop-halfwidth <f>] [--stop-confidence <f>]
+                [--stop-scope <campaign|per-layer>] [--stop-method <wilson|clopper-pearson>]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi inspect-faults <faults.bin>
 
@@ -54,6 +58,13 @@ for the life of the process (set ALFI_METRICS_LINGER_MS to keep it up
 after the run, e.g. for a scraper). --strict-health runs the campaign
 health watchdog (stall / DUE-rate / NaN-storm) and exits nonzero if any
 alarm fired.
+
+Adaptive campaigns: --stop-halfwidth ±h arms statistical early stopping
+— the run ends (or, with --stop-scope per-layer, individual layer
+strata retire) once the SDC/DUE rate confidence interval is tighter
+than ±h at the requested confidence (default 0.95). Decisions land in
+the trace summary and events.jsonl; they override any stop_policy key
+in the scenario file.
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -155,6 +166,54 @@ fn monitoring_config(cfg: RunConfig, args: &Args) -> Result<RunConfig, String> {
         other => return Err(format!("bad --strict-health value `{other}` (expected on|off)")),
     }
     Ok(cfg)
+}
+
+/// Applies the shared early-stop flags. `--stop-halfwidth` arms the
+/// policy; the other three refine it and are rejected without it so a
+/// typo can't silently run the full matrix. An armed CLI policy
+/// overrides any `stop_policy` key in the scenario file.
+fn stop_config(cfg: RunConfig, args: &Args) -> Result<RunConfig, String> {
+    let half_width = args.flags.get("stop-halfwidth");
+    let refinements = ["stop-confidence", "stop-scope", "stop-method"];
+    if half_width.is_none() {
+        if let Some(orphan) = refinements.iter().find(|k| args.flags.contains_key(**k)) {
+            return Err(format!("--{orphan} requires --stop-halfwidth"));
+        }
+        return Ok(cfg);
+    }
+    let mut policy = StopPolicy {
+        half_width: half_width
+            .unwrap()
+            .parse()
+            .map_err(|_| "bad --stop-halfwidth value".to_string())?,
+        ..StopPolicy::default()
+    };
+    if let Some(c) = args.flags.get("stop-confidence") {
+        policy.confidence = c.parse().map_err(|_| "bad --stop-confidence value".to_string())?;
+    }
+    if let Some(s) = args.flags.get("stop-scope") {
+        policy.scope = match s.as_str() {
+            "campaign" => StopScope::Campaign,
+            "per-layer" => StopScope::PerLayer,
+            other => return Err(format!("bad --stop-scope `{other}` (campaign|per-layer)")),
+        };
+    }
+    if let Some(m) = args.flags.get("stop-method") {
+        policy.method = match m.as_str() {
+            "wilson" => CiMethod::Wilson,
+            "clopper-pearson" | "cp" => CiMethod::ClopperPearson,
+            other => return Err(format!("bad --stop-method `{other}` (wilson|clopper-pearson)")),
+        };
+    }
+    policy.validate().map_err(|e| e.to_string())?;
+    println!(
+        "early stop armed: ±{} @ {:.0}% confidence ({}, {})",
+        policy.half_width,
+        policy.confidence * 100.0,
+        policy.scope,
+        policy.method
+    );
+    Ok(cfg.stop_policy(policy))
 }
 
 /// Keeps the process (and with it a `--metrics-addr` endpoint) alive
@@ -306,6 +365,7 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
         RunConfig::new().threads(threads).recorder(recorder.clone()).save_dir(&out_dir),
         &args,
     )?;
+    let cfg = stop_config(cfg, &args)?;
     let result = campaign.run_with(&cfg).map_err(|e| e.to_string())?;
     print_trace_summary(&recorder);
 
@@ -353,6 +413,7 @@ fn cmd_detect(argv: &[String]) -> Result<(), String> {
     let recorder = trace_recorder(&args)?;
     let cfg =
         monitoring_config(RunConfig::new().recorder(recorder.clone()).save_dir(&out_dir), &args)?;
+    let cfg = stop_config(cfg, &args)?;
     let result = ObjDetCampaign::new(detector.as_mut(), scenario, loader)
         .run_with(&cfg)
         .map_err(|e| e.to_string())?;

@@ -94,8 +94,8 @@ pub mod prelude {
     };
     pub use crate::core::{attach_monitor, NanInfMonitor, RangeMonitor};
     pub use crate::scenario::{
-        FaultMode, InjectionPolicy, InjectionTarget, Scenario,
+        CiMethod, FaultMode, InjectionPolicy, InjectionTarget, Scenario, StopPolicy, StopScope,
     };
     pub use crate::metrics::{HealthEvent, HealthPolicy, Registry};
-    pub use crate::trace::{Recorder, TraceSummary};
+    pub use crate::trace::{Recorder, StopEvent, StopOutcome, StopVerdict, TraceSummary};
 }

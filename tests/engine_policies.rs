@@ -12,7 +12,9 @@ use alfi::datasets::detection::DetectionDataset;
 use alfi::datasets::{ClassificationDataset, ClassificationLoader, DetectionLoader};
 use alfi::nn::detection::{DetectorConfig, YoloGrid};
 use alfi::nn::models::{alexnet, ModelConfig};
-use alfi::scenario::{FaultMode, InjectionPolicy, InjectionTarget, Scenario};
+use alfi::scenario::{
+    CiMethod, FaultMode, InjectionPolicy, InjectionTarget, Scenario, StopPolicy, StopScope,
+};
 
 fn model_cfg() -> ModelConfig {
     ModelConfig { input_hw: 16, width_mult: 0.0625, seed: 7, ..ModelConfig::default() }
@@ -106,6 +108,45 @@ fn truncated_replay_matrix_stops_per_batch_reuse_scopes() {
         .run_with(&RunConfig::default())
         .unwrap();
     assert_eq!(result.rows.len(), 3, "only the batch that armed the slot runs");
+}
+
+#[test]
+fn stop_policy_truncates_to_a_strict_prefix_of_the_unbounded_run() {
+    // A campaign-scope stop policy never skips scopes, so the truncated
+    // run's rows must be a strict prefix of the unbounded run's —
+    // identical faults armed, identical outputs — for both drivers.
+    let s = scenario(InjectionPolicy::PerImage, 48, 1);
+    let full = run_classification(s.clone());
+    assert_eq!(full.rows.len(), 48);
+
+    let policy = StopPolicy {
+        half_width: 0.2,
+        confidence: 0.95,
+        min_samples: 16,
+        check_every: 8,
+        scope: StopScope::Campaign,
+        method: CiMethod::Wilson,
+    };
+    for threads in [1usize, 4] {
+        let mcfg = model_cfg();
+        let ds = ClassificationDataset::new(48, mcfg.num_classes, 3, 16, 9);
+        let loader = ClassificationLoader::new(ds, 1);
+        let truncated = ImgClassCampaign::new(alexnet(&mcfg), s.clone(), loader)
+            .run_with(&RunConfig::new().threads(threads).stop_policy(policy))
+            .unwrap();
+        assert!(
+            truncated.rows.len() < full.rows.len(),
+            "policy must truncate the run ({} threads)",
+            threads
+        );
+        assert!(truncated.rows.len() >= policy.min_samples, "floor respected");
+        for (i, (a, b)) in full.rows.iter().zip(truncated.rows.iter()).enumerate() {
+            let full_faults: Vec<_> = a.faults.iter().map(|f| f.record).collect();
+            let trunc_faults: Vec<_> = b.faults.iter().map(|f| f.record).collect();
+            assert_eq!(full_faults, trunc_faults, "row {i} must arm the same faults");
+            assert_eq!(a.corr_top5, b.corr_top5, "row {i} must match the unbounded run");
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,231 @@
+//! End-to-end lockdown of statistical early-stop campaigns.
+//!
+//! Four angles, all through the public `run_with` API:
+//!
+//! 1. the full `events.jsonl` of a stopped campaign — including its
+//!    `stop` decision records — is golden-pinned under
+//!    `tests/golden/trace/` (bless with `ALFI_REGEN_GOLDEN=1`);
+//! 2. that log is byte-identical at 1/2/4/7 threads (modulo the
+//!    header's recorded thread count), proving stop decisions never
+//!    depend on the pool schedule;
+//! 3. the validation-efficiency claim: a campaign-scope policy reaches
+//!    its configured precision executing at most 25 % of the fault
+//!    matrix, and the trace summary reports achieved ≤ requested;
+//! 4. per-layer strata retire individually, skipped scopes are
+//!    tallied, and the whole-campaign totals stay consistent.
+
+use alfi::core::campaign::{ImgClassCampaign, RunConfig};
+use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{
+    CiMethod, FaultMode, InjectionTarget, Scenario, StopPolicy, StopScope,
+};
+use alfi::trace::{Recorder, StopVerdict};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join("trace")
+}
+
+fn regen() -> bool {
+    std::env::var_os("ALFI_REGEN_GOLDEN").is_some()
+}
+
+fn assert_golden(name: &str, actual: &str, context: &str) {
+    let path = golden_dir().join(name);
+    if regen() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("[golden] regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run ALFI_REGEN_GOLDEN=1 cargo test --test stop_policy",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for trace/{name} ({context}) — \
+         intentional schema changes need ALFI_REGEN_GOLDEN=1"
+    );
+}
+
+fn scenario(dataset_size: usize) -> Scenario {
+    let mut s = Scenario::default();
+    s.dataset_size = dataset_size;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    s.seed = 0x57A7;
+    s
+}
+
+fn campaign(dataset_size: usize) -> ImgClassCampaign {
+    let mcfg = ModelConfig { input_hw: 16, width_mult: 0.0625, seed: 7, ..ModelConfig::default() };
+    let ds = ClassificationDataset::new(dataset_size, mcfg.num_classes, 3, 16, 13);
+    let loader = ClassificationLoader::new(ds, 1);
+    ImgClassCampaign::new(alexnet(&mcfg), scenario(dataset_size), loader)
+}
+
+/// A policy loose enough to stop a small all-but-certain campaign at
+/// an early boundary: Wilson half-width 0.25 is reachable at 16
+/// samples for any rate.
+fn golden_policy() -> StopPolicy {
+    StopPolicy {
+        half_width: 0.25,
+        confidence: 0.95,
+        min_samples: 16,
+        check_every: 8,
+        scope: StopScope::Campaign,
+        method: CiMethod::Wilson,
+    }
+}
+
+fn stopped_event_log(threads: usize) -> String {
+    let rec = Recorder::new();
+    let cfg = RunConfig::new().threads(threads).recorder(rec.clone()).stop_policy(golden_policy());
+    campaign(64).run_with(&cfg).unwrap();
+    rec.events_jsonl()
+}
+
+/// Blanks the header's recorded `threads` field — the only part of the
+/// log that legitimately differs between thread counts.
+fn normalize_threads(log: &str) -> String {
+    let mut lines: Vec<String> = log.lines().map(str::to_string).collect();
+    if let Some(header) = lines.first_mut() {
+        assert!(header.contains("\"event\":\"header\""), "first record must be the header");
+        let start = header.find("\"threads\":").expect("header records the thread count");
+        let rest = &header[start + "\"threads\":".len()..];
+        let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+        header.replace_range(start.."\"threads\":".len() + start + end, "\"threads\":N");
+    }
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn stopped_event_log_matches_golden() {
+    let log = stopped_event_log(1);
+    assert!(log.contains("\"event\":\"stop\""), "stopped run must record its decision");
+    assert_golden("stop_events.jsonl", &log, "sequential early-stopped run");
+}
+
+#[test]
+fn stop_decisions_are_byte_identical_across_thread_counts() {
+    let seq = normalize_threads(&stopped_event_log(1));
+    for threads in [2usize, 4, 7] {
+        let par = normalize_threads(&stopped_event_log(threads));
+        assert_eq!(
+            seq, par,
+            "stopped event log must be byte-identical at {threads} threads (modulo the \
+             header's recorded thread count)"
+        );
+    }
+}
+
+#[test]
+fn campaign_reaches_precision_within_quarter_of_the_matrix() {
+    // Wilson half-width 0.15 at 95 % needs at most ~48 samples even at
+    // the worst-case rate of 0.5, so a 256-slot matrix must stop by the
+    // 48-scope boundary — well under the 25 % efficiency target the
+    // paper's validation argument rests on.
+    let policy = StopPolicy {
+        half_width: 0.15,
+        confidence: 0.95,
+        min_samples: 16,
+        check_every: 16,
+        scope: StopScope::Campaign,
+        method: CiMethod::Wilson,
+    };
+    let rec = Recorder::new();
+    let cfg = RunConfig::new().recorder(rec.clone()).stop_policy(policy);
+    let result = campaign(256).run_with(&cfg).unwrap();
+
+    let summary = rec.summary();
+    let outcome = summary.stop.expect("stop outcome surfaces in the trace summary");
+    assert!(outcome.stopped_early, "the policy must truncate this run");
+    assert_eq!(outcome.planned_scopes, 256);
+    assert_eq!(outcome.executed_scopes as usize, result.rows.len());
+    assert!(
+        outcome.executed_scopes * 4 <= outcome.planned_scopes,
+        "executed {} of {} scopes — early stop must cover <= 25% of the matrix",
+        outcome.executed_scopes,
+        outcome.planned_scopes
+    );
+    assert!(
+        outcome.achieved_sdc_half_width <= outcome.requested_half_width
+            && outcome.achieved_due_half_width <= outcome.requested_half_width,
+        "achieved precision (sdc ±{}, due ±{}) must meet the ±{} request",
+        outcome.achieved_sdc_half_width,
+        outcome.achieved_due_half_width,
+        outcome.requested_half_width
+    );
+    let rendered = summary.render();
+    assert!(rendered.contains("stopped early"), "summary render: {rendered}");
+}
+
+#[test]
+fn per_layer_strata_retire_individually() {
+    let policy = StopPolicy {
+        half_width: 0.35,
+        confidence: 0.9,
+        min_samples: 4,
+        check_every: 8,
+        scope: StopScope::PerLayer,
+        method: CiMethod::ClopperPearson,
+    };
+    let rec = Recorder::new();
+    let cfg = RunConfig::new().recorder(rec.clone()).stop_policy(policy);
+    let result = campaign(160).run_with(&cfg).unwrap();
+
+    let events = rec.stop_events();
+    let retired: Vec<usize> = events
+        .iter()
+        .filter(|e| e.verdict == StopVerdict::RetireStratum)
+        .map(|e| e.stratum.expect("retire events carry their stratum"))
+        .collect();
+    assert!(!retired.is_empty(), "at least one stratum must retire under a loose target");
+    let unique: std::collections::BTreeSet<usize> = retired.iter().copied().collect();
+    assert_eq!(unique.len(), retired.len(), "no stratum retires twice");
+    for event in &events {
+        assert_eq!(event.scope_index % 8, 0, "decisions fire only at check_every boundaries");
+        assert!(event.samples >= 4 || event.verdict == StopVerdict::StopCampaign);
+    }
+
+    let outcome = rec.summary().stop.expect("per-layer runs report an outcome too");
+    assert_eq!(outcome.executed_scopes as usize, result.rows.len());
+    assert!(
+        outcome.executed_scopes + outcome.skipped_scopes <= outcome.planned_scopes,
+        "armed scopes cannot exceed the matrix budget"
+    );
+    if outcome.stopped_early {
+        assert_eq!(
+            events.last().map(|e| e.verdict),
+            Some(StopVerdict::StopCampaign),
+            "a stopped per-layer run ends with a whole-campaign decision"
+        );
+    }
+}
+
+#[test]
+fn per_layer_decisions_match_across_thread_counts() {
+    let policy = StopPolicy {
+        half_width: 0.35,
+        confidence: 0.9,
+        min_samples: 4,
+        check_every: 8,
+        scope: StopScope::PerLayer,
+        method: CiMethod::Wilson,
+    };
+    let run = |threads: usize| {
+        let rec = Recorder::new();
+        let cfg =
+            RunConfig::new().threads(threads).recorder(rec.clone()).stop_policy(policy);
+        campaign(96).run_with(&cfg).unwrap();
+        normalize_threads(&rec.events_jsonl())
+    };
+    let seq = run(1);
+    for threads in [2usize, 7] {
+        assert_eq!(seq, run(threads), "per-layer decisions must not depend on threads");
+    }
+}
