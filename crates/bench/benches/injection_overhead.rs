@@ -59,6 +59,39 @@ fn bench_overhead(c: &mut Harness) {
     group.finish();
 }
 
+/// Range-supervision cost: the spliced hardened model (extra
+/// `RangeRestrict` nodes, each a second full pass over the layer's
+/// activations) against the fused hardened model (the same clamp
+/// folded into the conv/linear GEMM epilogue, applied while the output
+/// tile is still cache-hot). Both produce bit-identical outputs on a
+/// hook-free model; the delta here is the price of the second pass.
+fn bench_hardened_fusion(c: &mut Harness) {
+    use alfi_mitigation::{harden, harden_fused, profile_bounds, Protection};
+
+    let scale = ExperimentScale::quick();
+    let (model, mcfg) = build_classifier("alexnet", scale, 3);
+    let input = Tensor::ones(&mcfg.input_dims(1));
+    let bounds = profile_bounds(&model, std::iter::once(&input)).expect("bounds");
+
+    let mut group = c.benchmark_group("hardened_fusion");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("forward_unhardened", |b| {
+        b.iter(|| black_box(model.forward(&input).expect("forward")))
+    });
+    group.bench_function("forward_hardened_spliced", |b| {
+        let hardened = harden(&model, &bounds, Protection::Ranger, 0.1).expect("harden");
+        b.iter(|| black_box(hardened.forward(&input).expect("forward")))
+    });
+    group.bench_function("forward_hardened_fused", |b| {
+        let hardened =
+            harden_fused(&model, &bounds, Protection::Ranger, 0.1).expect("harden_fused");
+        b.iter(|| black_box(hardened.forward(&input).expect("forward")))
+    });
+
+    group.finish();
+}
+
 /// Thread-count sweep: the clean forward pass over a batched input at
 /// pool caps 1/2/4/N, driving the row-chunked matmul and per-item conv
 /// kernels end to end. The results must be bit-identical at every cap
@@ -86,4 +119,4 @@ fn bench_thread_sweep(c: &mut Harness) {
     group.finish();
 }
 
-alfi_bench::bench_main!(bench_overhead, bench_thread_sweep);
+alfi_bench::bench_main!(bench_overhead, bench_hardened_fusion, bench_thread_sweep);

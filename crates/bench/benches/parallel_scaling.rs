@@ -12,11 +12,14 @@ use alfi_core::campaign::{ImgClassCampaign, RunConfig};
 use alfi_datasets::{ClassificationDataset, ClassificationLoader};
 use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
 use alfi_serde::Json;
+use alfi_tensor::gemm::{self, KernelPath};
+use alfi_tensor::Tensor;
 use std::hint::black_box;
 use std::time::Duration;
 
 const SEQUENTIAL: &str = "campaign_sequential";
 const PARALLEL: &str = "campaign_parallel";
+const KERNEL: &str = "forward_single_thread_kernel";
 
 fn thread_counts() -> Vec<usize> {
     let n_max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -58,6 +61,42 @@ fn bench_scaling(c: &mut Harness) {
             let mut campaign = make_campaign();
             let cfg = RunConfig::new().threads(t);
             b.iter(|| black_box(campaign.run_with(&cfg).expect("run_with")))
+        });
+    }
+    group.finish();
+}
+
+/// Kernel-path comparison on a conv-dominated workload: a pure batched
+/// forward pass (no injection, no campaign machinery) with the pool
+/// pinned to one thread, so the only variable is the GEMM kernel. The
+/// conformance suite pins that both paths produce bit-identical
+/// outputs; this group measures what the cache-blocked packed path
+/// buys over the sequential reference.
+fn bench_kernel_paths(c: &mut Harness) {
+    // A conv-dominated workload: VGG's stride-1 3×3 stacks keep the
+    // spatial extent (GEMM `n`) large through the whole network, so the
+    // forward pass is almost entirely im2col GEMM. The blocked kernel's
+    // win also scales with output-channel count (its packing cost
+    // amortizes as `1/c_out`), and the paper-scale networks are far
+    // wider than the quick campaign scale used above.
+    // Batch 4 keeps the conv GEMMs dominant: the classifier head's
+    // cost is one streaming pass over its weights per *forward* (all
+    // batch rows share it), so it amortizes with batch size while the
+    // conv work scales linearly.
+    let scale = ExperimentScale { width_permille: 1000, ..ExperimentScale::quick() };
+    let (model, mcfg) = build_classifier("vgg16", scale, 3);
+    let batch = Tensor::ones(&mcfg.input_dims(4));
+
+    let mut group = c.benchmark_group("kernel_paths");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for path in [KernelPath::Reference, KernelPath::Blocked] {
+        group.bench_with_input(BenchmarkId::new(KERNEL, path), &path, |b, &p| {
+            let prev = gemm::kernel_override();
+            gemm::set_kernel_override(Some(p));
+            b.iter(|| {
+                alfi_pool::with_parallelism(1, || black_box(model.forward(&batch).expect("forward")))
+            });
+            gemm::set_kernel_override(prev);
         });
     }
     group.finish();
@@ -194,6 +233,30 @@ fn early_stop_efficiency() -> Json {
     ])
 }
 
+/// Summarizes the kernel-path comparison: reference vs blocked median
+/// wall-clock on the single-thread conv-dominated forward pass, and
+/// the resulting speedup multiple.
+fn kernel_speedup(results: &[BenchResult]) -> Json {
+    let median = |path: KernelPath| {
+        results
+            .iter()
+            .find(|r| r.name == format!("{KERNEL}/{path}"))
+            .map(|r| r.median_ns)
+    };
+    let reference = median(KernelPath::Reference);
+    let blocked = median(KernelPath::Blocked);
+    let speedup = match (reference, blocked) {
+        (Some(r), Some(b)) if b > 0.0 => Json::Float(r / b),
+        _ => Json::Null,
+    };
+    Json::Obj(vec![
+        ("reference_median_ns".to_string(), reference.map(Json::Float).unwrap_or(Json::Null)),
+        ("blocked_median_ns".to_string(), blocked.map(Json::Float).unwrap_or(Json::Null)),
+        ("blocked_speedup_vs_reference".to_string(), speedup),
+        ("simd_available".to_string(), Json::Bool(gemm::simd_available())),
+    ])
+}
+
 /// Derives per-thread-count speedups from the harness results and
 /// writes them to `$ALFI_BENCH_SPEEDUP_JSON` or
 /// `target/alfi-bench/parallel_scaling_speedup.json`.
@@ -231,6 +294,7 @@ fn write_speedup_report(results: &[BenchResult]) {
         ("hardware_threads".to_string(), Json::Int(hw_threads)),
         (alfi_pool::POOL_THREADS_ENV.to_string(), pool_env),
         ("points".to_string(), Json::Arr(points)),
+        ("kernel_speedup".to_string(), kernel_speedup(results)),
         ("traced_phase_breakdown".to_string(), phase_breakdown()),
         ("metrics_snapshot".to_string(), metrics_snapshot()),
         ("early_stop_efficiency".to_string(), early_stop_efficiency()),
@@ -255,6 +319,7 @@ fn write_speedup_report(results: &[BenchResult]) {
 fn main() {
     let mut harness = Harness::new();
     bench_scaling(&mut harness);
+    bench_kernel_paths(&mut harness);
     harness.report();
     write_speedup_report(harness.results());
 }

@@ -18,7 +18,7 @@ fn bench_conv_kernels(c: &mut Harness) {
     for &(c_in, c_out, hw, k) in &[(8usize, 16usize, 16usize, 3usize), (16, 32, 32, 3)] {
         let input = Tensor::rand_normal(&mut rng, &[1, c_in, hw, hw], 0.0, 1.0);
         let weight = Tensor::rand_normal(&mut rng, &[c_out, c_in, k, k], 0.0, 0.2);
-        let cfg = ConvConfig { stride: 1, padding: 1 };
+        let cfg = ConvConfig { stride: 1, padding: 1, dilation: 1 };
         let label = format!("{c_in}x{hw}x{hw}_to_{c_out}");
         group.bench_with_input(BenchmarkId::new("direct", &label), &(), |b, ()| {
             b.iter(|| black_box(conv2d_direct(&input, &weight, None, cfg).expect("conv")))

@@ -26,14 +26,14 @@ fn build_cnn(classes: usize, seed: u64) -> Network {
             Layer::Conv2d(Conv2d {
                 weight: he(&[8, 3, 3, 3]),
                 bias: Some(Tensor::zeros(&[8])),
-                cfg: ConvConfig { stride: 1, padding: 1 },
+                cfg: ConvConfig { stride: 1, padding: 1, dilation: 1 },
             }),
             &[],
         )
         .expect("graph");
     let r1 = net.push("relu1", Layer::Relu, &[c1]).expect("graph");
     let p1 = net
-        .push("pool1", Layer::MaxPool2d { k: 2, cfg: ConvConfig { stride: 2, padding: 0 } }, &[r1])
+        .push("pool1", Layer::MaxPool2d { k: 2, cfg: ConvConfig { stride: 2, padding: 0, dilation: 1 } }, &[r1])
         .expect("graph");
     let fl = net.push("flatten", Layer::Flatten, &[p1]).expect("graph");
     let f1 = net

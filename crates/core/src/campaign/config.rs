@@ -10,6 +10,7 @@
 
 use alfi_metrics::{HealthPolicy, Registry};
 use alfi_scenario::{Scenario, StopPolicy};
+use alfi_tensor::gemm::KernelPath;
 use alfi_trace::Recorder;
 use std::path::{Path, PathBuf};
 
@@ -69,6 +70,14 @@ pub struct RunConfig {
     /// `stop_policy` key; `None` falls back to the scenario, and a
     /// scenario without one runs the full matrix.
     pub stop: Option<StopPolicy>,
+    /// GEMM kernel path for every matmul / conv / linear the campaign
+    /// executes. When set, the engine installs a process-wide kernel
+    /// override for the duration of the run (restoring the previous
+    /// selection afterwards); `None` leaves the ambient selection —
+    /// the `ALFI_KERNEL` environment variable, defaulting to
+    /// [`KernelPath::Blocked`] — untouched. Both paths are bit-exact
+    /// by contract, so this only affects wall-clock, never results.
+    pub kernel: Option<KernelPath>,
 }
 
 impl Default for RunConfig {
@@ -81,6 +90,7 @@ impl Default for RunConfig {
             metrics_addr: None,
             health: None,
             stop: None,
+            kernel: None,
         }
     }
 }
@@ -133,6 +143,13 @@ impl RunConfig {
     /// Enables statistical early stopping (see [`RunConfig::stop`]).
     pub fn stop_policy(mut self, policy: StopPolicy) -> Self {
         self.stop = Some(policy);
+        self
+    }
+
+    /// Pins the GEMM kernel path for the run (see
+    /// [`RunConfig::kernel`]).
+    pub fn kernel(mut self, path: KernelPath) -> Self {
+        self.kernel = Some(path);
         self
     }
 

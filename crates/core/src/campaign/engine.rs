@@ -33,6 +33,7 @@ use crate::matrix::{FaultMatrix, LayerTarget};
 use crate::persist::{save_events, save_metrics, RunTrace, TraceEntry};
 use alfi_metrics::{names, Class, Counter, HealthSink, Histogram, Registry, Watchdog};
 use alfi_scenario::{InjectionPolicy, Scenario, StopPolicy};
+use alfi_tensor::gemm::{self, KernelPath};
 use alfi_trace::{EffectClass, Phase, Recorder, RunMeta};
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
@@ -388,6 +389,30 @@ impl EngineMetrics {
     }
 }
 
+/// Scoped process-wide kernel-path override: installs the
+/// [`RunConfig::kernel`] selection for the duration of a campaign run
+/// and restores whatever was in effect before (another override or the
+/// `ALFI_KERNEL` environment default) when the run ends — including on
+/// error paths, via `Drop`. The override is process-global so pool
+/// workers resolve the same path as the driver thread.
+struct KernelGuard {
+    prev: Option<KernelPath>,
+}
+
+impl KernelGuard {
+    fn install(path: KernelPath) -> Self {
+        let prev = gemm::kernel_override();
+        gemm::set_kernel_override(Some(path));
+        KernelGuard { prev }
+    }
+}
+
+impl Drop for KernelGuard {
+    fn drop(&mut self) {
+        gemm::set_kernel_override(self.prev);
+    }
+}
+
 /// The one campaign driver: runs any [`CampaignTask`] under a
 /// [`RunConfig`], sequentially or fanned out on the shared
 /// [`alfi_pool`] pool, with identical outputs either way.
@@ -416,6 +441,7 @@ impl<'c> Engine<'c> {
     /// [`CoreError::WorkerPanic`].
     pub fn run<T: CampaignTask>(&self, task: &T) -> Result<T::Result, CoreError> {
         let cfg = self.cfg;
+        let _kernel = cfg.kernel.map(KernelGuard::install);
         let rec = cfg.recorder.clone();
         let scenario = task.scenario();
         if rec.is_enabled() {

@@ -82,6 +82,9 @@ pub mod names {
     pub const TENSOR_CONV_FLOPS: &str = "alfi_tensor_conv_flops_total";
     /// Bytes touched by the im2col conv kernel (runtime).
     pub const TENSOR_CONV_BYTES: &str = "alfi_tensor_conv_bytes_total";
+    /// Bytes written into packed B panels by the blocked GEMM, counted
+    /// once per GEMM invocation (runtime).
+    pub const TENSOR_GEMM_PACK_BYTES: &str = "alfi_tensor_gemm_pack_bytes_total";
     /// Health watchdog events raised, labelled `kind` (runtime).
     pub const HEALTH_EVENTS: &str = "alfi_health_events_total";
     /// Statistical stop decisions, labelled `verdict` ∈ stop/retire

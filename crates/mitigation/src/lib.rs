@@ -38,7 +38,7 @@
 //! ```
 
 use alfi_nn::{Layer, Network, NnError, NodeId, RestrictMode};
-use alfi_tensor::Tensor;
+use alfi_tensor::{gemm, Tensor};
 use std::collections::BTreeMap;
 
 /// Which range-supervision strategy to apply.
@@ -57,6 +57,20 @@ impl Protection {
             Protection::Clipper => RestrictMode::Zero,
         }
     }
+
+    /// The equivalent clamp mode for the kernel-epilogue form of this
+    /// protection ([`harden_fused`]).
+    pub fn clamp_mode(self) -> gemm::ClampMode {
+        self.restrict_mode().into()
+    }
+}
+
+/// Widens a profiled bound by the relative `margin` — shared by both
+/// hardening forms so spliced and fused clamps use bit-identical
+/// bounds.
+fn widen(lo: f32, hi: f32, margin: f32) -> (f32, f32) {
+    let span = (hi - lo).max(f32::MIN_POSITIVE);
+    (lo - margin * span, hi + margin * span)
 }
 
 /// Per-node healthy activation bounds observed during profiling.
@@ -132,13 +146,52 @@ pub fn harden(
         let Some(&(lo, hi)) = bounds.get(&node_id) else {
             continue; // never observed (e.g. dead branch): leave unprotected
         };
-        let span = (hi - lo).max(f32::MIN_POSITIVE);
-        let (lo, hi) = (lo - margin * span, hi + margin * span);
+        let (lo, hi) = widen(lo, hi, margin);
         let name = format!("__protect_{node_id}");
         hardened.insert_after(
             node_id,
             name,
             Layer::RangeRestrict { lo, hi, mode: protection.restrict_mode() },
+        )?;
+    }
+    Ok(hardened)
+}
+
+/// Builds a hardened clone of `model` with the range clamp **fused
+/// into the compute-kernel epilogue** of every protected node instead
+/// of spliced in as a separate [`Layer::RangeRestrict`] pass — the
+/// hardened forward stops paying a second full pass over activations.
+///
+/// Bounds, margin widening and clamp semantics are bit-identical to
+/// [`harden`]; on a hook-free model the two hardened forms produce
+/// bit-identical outputs. They differ observably only when forward
+/// hooks are registered on protected nodes: the fused clamp runs
+/// *before* a node's hooks (it is part of the kernel), while a spliced
+/// protection node runs after them. Campaigns that inject through
+/// hooks on protected layers should use [`harden`]; fault-free or
+/// weight-fault evaluation can use the fused form for speed. The graph
+/// is unchanged (`num_nodes` stays identical), so layer names, node
+/// ids and the injectable-layer list are trivially preserved.
+///
+/// # Errors
+///
+/// Propagates [`NnError::NoSuchNode`] if `bounds` references a node
+/// outside the model (cannot occur for bounds from [`profile_bounds`]).
+pub fn harden_fused(
+    model: &Network,
+    bounds: &Bounds,
+    protection: Protection,
+    margin: f32,
+) -> Result<Network, NnError> {
+    let mut hardened = model.clone();
+    for node_id in protected_nodes(model) {
+        let Some(&(lo, hi)) = bounds.get(&node_id) else {
+            continue; // never observed (e.g. dead branch): leave unprotected
+        };
+        let (lo, hi) = widen(lo, hi, margin);
+        hardened.set_fused_clamp(
+            node_id,
+            gemm::Clamp { lo, hi, mode: protection.clamp_mode() },
         )?;
     }
     Ok(hardened)
@@ -263,6 +316,57 @@ mod tests {
         net.set_output(a).unwrap();
         let hardened = harden(&net, &Bounds::new(), Protection::Ranger, 0.1).unwrap();
         assert_eq!(hardened.num_nodes(), net.num_nodes());
+    }
+
+    #[test]
+    fn fused_hardening_is_bit_identical_to_spliced() {
+        let cfg = tiny_cfg();
+        let model = alexnet(&cfg);
+        let inputs = calib(&cfg, 3);
+        let bounds = profile_bounds(&model, inputs.iter()).unwrap();
+        for protection in [Protection::Ranger, Protection::Clipper] {
+            let spliced = harden(&model, &bounds, protection, 0.1).unwrap();
+            let fused = harden_fused(&model, &bounds, protection, 0.1).unwrap();
+            assert_eq!(fused.num_nodes(), model.num_nodes(), "fused adds no graph nodes");
+            assert!(fused.num_fused() > 0);
+            for x in &inputs {
+                let a = spliced.forward(x).unwrap();
+                let b = fused.forward(x).unwrap();
+                assert_eq!(a.dims(), b.dims());
+                let bits_equal = a
+                    .data()
+                    .iter()
+                    .zip(b.data().iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(bits_equal, "{protection:?}: fused clamp drifted from spliced clamp");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_hardening_suppresses_weight_corruption() {
+        let mut net = Network::new("one_conv");
+        let conv = Layer::Conv2d(Conv2d {
+            weight: Tensor::full(&[1, 1, 1, 1], 0.5),
+            bias: None,
+            cfg: ConvConfig::default(),
+        });
+        let c = net.push("conv", conv, &[]).unwrap();
+        let r = net.push("relu", Layer::Relu, &[c]).unwrap();
+        net.set_output(r).unwrap();
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let bounds = profile_bounds(&net, std::iter::once(&x)).unwrap();
+
+        let mut corrupted = net.clone();
+        let w = corrupted.layer_mut(c).unwrap().weight_mut().unwrap();
+        w.set(&[0, 0, 0, 0], alfi_tensor::bits::flip_bit(0.5, 30));
+        assert!(corrupted.forward(&x).unwrap().max() > 1.0e10);
+
+        let fused = harden_fused(&corrupted, &bounds, Protection::Ranger, 0.1).unwrap();
+        let (_, hi) = bounds[&c];
+        assert!(fused.forward(&x).unwrap().max() <= hi * 1.2 + 1e-6);
+        let clipper = harden_fused(&corrupted, &bounds, Protection::Clipper, 0.1).unwrap();
+        assert_eq!(clipper.forward(&x).unwrap().max(), 0.0);
     }
 
     #[test]

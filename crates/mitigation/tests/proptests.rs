@@ -16,7 +16,7 @@ fn small_net(seed: u64) -> Network {
     let conv = Layer::Conv2d(Conv2d {
         weight: Tensor::rand_uniform(&mut rng, &[3, 2, 3, 3], -0.5, 0.5),
         bias: Some(Tensor::rand_uniform(&mut rng, &[3], -0.1, 0.1)),
-        cfg: ConvConfig { stride: 1, padding: 1 },
+        cfg: ConvConfig { stride: 1, padding: 1, dilation: 1 },
     });
     let c = net.push("conv", conv, &[]).unwrap();
     let r = net.push("relu", Layer::Relu, &[c]).unwrap();

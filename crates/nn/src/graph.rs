@@ -9,7 +9,7 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, LayerKind};
-use alfi_tensor::{Shape, Tensor};
+use alfi_tensor::{gemm, Shape, Tensor};
 use std::sync::Arc;
 
 /// Identifier of a node within a [`Network`] (its topological position).
@@ -64,6 +64,35 @@ pub struct HookHandle {
     slot: u64,
 }
 
+/// Per-node operations fused into the layer's compute kernel epilogue
+/// instead of running as separate passes over the output tensor.
+///
+/// For `Conv2d` and `Linear` nodes these execute inside the GEMM
+/// epilogue ([`alfi_tensor::gemm::FusedEpilogue`]) while the output
+/// tile is still cache-hot; for every other layer kind they apply as
+/// equivalent separate passes right after the forward computation.
+/// Either way the per-element operation order is **inject → clamp**,
+/// and fused execution is bit-identical to the separate-pass sequence.
+///
+/// Fused ops run *before* any registered [`ForwardHook`]s (a spliced
+/// `RangeRestrict` node would instead run after the producing node's
+/// hooks), and unlike hooks they survive [`Network::clone`] — they are
+/// part of the model, like spliced protection layers.
+#[derive(Debug, Clone, Default)]
+pub struct FusedOps {
+    /// Per-element fault injections keyed by flat output index.
+    pub inject: Option<Arc<gemm::InjectMap>>,
+    /// Range-supervision clamp (Ranger/Clipper as an epilogue op).
+    pub clamp: Option<gemm::Clamp>,
+}
+
+impl FusedOps {
+    /// Whether these ops are a guaranteed no-op.
+    pub fn is_identity(&self) -> bool {
+        self.inject.as_deref().is_none_or(gemm::InjectMap::is_empty) && self.clamp.is_none()
+    }
+}
+
 /// Description of a layer eligible for fault injection.
 #[derive(Debug, Clone)]
 pub struct InjectableLayer {
@@ -101,6 +130,7 @@ pub struct Network {
     output: Option<NodeId>,
     hooks: Vec<Vec<(u64, Arc<dyn ForwardHook>)>>,
     next_hook_slot: u64,
+    fused: Vec<Option<FusedOps>>,
 }
 
 impl std::fmt::Debug for Network {
@@ -125,6 +155,7 @@ impl Clone for Network {
             output: self.output,
             hooks: vec![Vec::new(); self.nodes.len()],
             next_hook_slot: 0,
+            fused: self.fused.clone(),
         }
     }
 }
@@ -138,6 +169,7 @@ impl Network {
             output: None,
             hooks: Vec::new(),
             next_hook_slot: 0,
+            fused: Vec::new(),
         }
     }
 
@@ -196,6 +228,7 @@ impl Network {
         }
         self.nodes.push(Node { name, layer, inputs: inputs.to_vec() });
         self.hooks.push(Vec::new());
+        self.fused.push(None);
         Ok(id)
     }
 
@@ -294,6 +327,110 @@ impl Network {
         self.hooks.iter().map(Vec::len).sum()
     }
 
+    /// Sets (or replaces) the fused range-supervision clamp on node
+    /// `id`. See [`FusedOps`] for the execution contract — fused ops
+    /// run before the node's hooks and survive cloning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoSuchNode`] for an unknown id.
+    pub fn set_fused_clamp(&mut self, id: NodeId, clamp: gemm::Clamp) -> Result<(), NnError> {
+        if id >= self.nodes.len() {
+            return Err(NnError::NoSuchNode(id));
+        }
+        self.fused[id].get_or_insert_with(FusedOps::default).clamp = Some(clamp);
+        Ok(())
+    }
+
+    /// Sets (or replaces) the fused per-element injection map on node
+    /// `id` — the epilogue-fused equivalent of a mutating forward hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoSuchNode`] for an unknown id.
+    pub fn set_fused_inject(
+        &mut self,
+        id: NodeId,
+        inject: Arc<gemm::InjectMap>,
+    ) -> Result<(), NnError> {
+        if id >= self.nodes.len() {
+            return Err(NnError::NoSuchNode(id));
+        }
+        self.fused[id].get_or_insert_with(FusedOps::default).inject = Some(inject);
+        Ok(())
+    }
+
+    /// Removes the fused injection map from node `id` (disarming a
+    /// fault), keeping any fused clamp in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoSuchNode`] for an unknown id.
+    pub fn clear_fused_inject(&mut self, id: NodeId) -> Result<(), NnError> {
+        if id >= self.nodes.len() {
+            return Err(NnError::NoSuchNode(id));
+        }
+        if let Some(f) = &mut self.fused[id] {
+            f.inject = None;
+            if f.is_identity() {
+                self.fused[id] = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes all fused ops from node `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoSuchNode`] for an unknown id.
+    pub fn clear_fused(&mut self, id: NodeId) -> Result<(), NnError> {
+        if id >= self.nodes.len() {
+            return Err(NnError::NoSuchNode(id));
+        }
+        self.fused[id] = None;
+        Ok(())
+    }
+
+    /// The fused ops registered on node `id`, if any.
+    pub fn fused_ops(&self, id: NodeId) -> Option<&FusedOps> {
+        self.fused.get(id).and_then(Option::as_ref)
+    }
+
+    /// Total number of nodes carrying fused ops.
+    pub fn num_fused(&self) -> usize {
+        self.fused.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Evaluates one node, routing through the fused conv/linear kernel
+    /// when the node carries [`FusedOps`]; other layer kinds fall back
+    /// to forward + equivalent separate passes (same per-element order,
+    /// bit-identical result).
+    fn eval_node(&self, id: NodeId, inputs: &[&Tensor]) -> Result<Tensor, NnError> {
+        let node = &self.nodes[id];
+        let Some(f) = self.fused.get(id).and_then(Option::as_ref).filter(|f| !f.is_identity())
+        else {
+            return node.layer.forward(inputs);
+        };
+        let inject = f.inject.as_deref();
+        match &node.layer {
+            Layer::Conv2d(c) => Ok(alfi_tensor::conv::conv2d_fused(
+                inputs[0],
+                &c.weight,
+                c.bias.as_ref(),
+                c.cfg,
+                inject,
+                f.clamp,
+            )?),
+            Layer::Linear(l) => crate::layer::linear_fused(inputs[0], l, inject, f.clamp),
+            other => {
+                let mut t = other.forward(inputs)?;
+                apply_fused_passes(&mut t, f);
+                Ok(t)
+            }
+        }
+    }
+
     /// Runs a forward pass, returning the output of the designated output
     /// node. Hooks run after each node and may mutate its output.
     ///
@@ -344,7 +481,7 @@ impl Network {
                     .collect::<Result<_, _>>()?
             };
             let started = recorder.map(|_| std::time::Instant::now());
-            let mut out_t = node.layer.forward(&inputs)?;
+            let mut out_t = self.eval_node(id, &inputs)?;
             if let (Some(rec), Some(t0)) = (recorder, started) {
                 rec.record_layer_ns(&node.name, t0.elapsed().as_nanos() as u64);
             }
@@ -388,7 +525,7 @@ impl Network {
                     })
                     .collect::<Result<_, _>>()?
             };
-            let mut out_t = node.layer.forward(&inputs)?;
+            let mut out_t = self.eval_node(id, &inputs)?;
             if !self.hooks[id].is_empty() {
                 let ctx =
                     LayerCtx { node_id: id, name: node.name.clone(), kind: node.layer.kind() };
@@ -497,6 +634,7 @@ impl Network {
         }
         self.nodes.insert(new_id, Node { name, layer, inputs: vec![after] });
         self.hooks.insert(new_id, Vec::new());
+        self.fused.insert(new_id, None);
         if let Some(out) = self.output {
             if out == after {
                 self.output = Some(new_id);
@@ -514,6 +652,27 @@ impl Network {
             .filter_map(|n| n.layer.weight())
             .map(|w| w.num_elements())
             .sum()
+    }
+}
+
+/// Separate-pass application of [`FusedOps`] for layer kinds without a
+/// fused kernel: injection entries first (in sorted order, so repeated
+/// indices apply in insertion order), then the clamp over every
+/// element — the identical per-element sequence the GEMM epilogue
+/// performs.
+fn apply_fused_passes(t: &mut Tensor, f: &FusedOps) {
+    let data = t.data_mut();
+    if let Some(map) = f.inject.as_deref() {
+        for &(flat, op) in map.entries() {
+            if let Some(v) = data.get_mut(flat) {
+                *v = op.apply(*v);
+            }
+        }
+    }
+    if let Some(clamp) = f.clamp {
+        for v in data.iter_mut() {
+            *v = clamp.apply(*v);
+        }
     }
 }
 

@@ -9,7 +9,7 @@ use crate::error::NnError;
 use alfi_tensor::conv::{
     adaptive_avg_pool2d, avg_pool2d, conv2d_im2col, conv3d_direct, max_pool2d, ConvConfig,
 };
-use alfi_tensor::Tensor;
+use alfi_tensor::{gemm, Tensor};
 
 /// Classification of layer kinds, used to filter injectable layers in a
 /// fault-injection scenario (`layer_types: [conv2d, linear]`).
@@ -214,6 +214,24 @@ pub enum RestrictMode {
     Zero,
 }
 
+impl From<RestrictMode> for gemm::ClampMode {
+    fn from(mode: RestrictMode) -> Self {
+        match mode {
+            RestrictMode::Clip => gemm::ClampMode::Clip,
+            RestrictMode::Zero => gemm::ClampMode::Zero,
+        }
+    }
+}
+
+impl From<gemm::ClampMode> for RestrictMode {
+    fn from(mode: gemm::ClampMode) -> Self {
+        match mode {
+            gemm::ClampMode::Clip => RestrictMode::Clip,
+            gemm::ClampMode::Zero => RestrictMode::Zero,
+        }
+    }
+}
+
 impl Layer {
     /// The kind used for injectability filtering.
     pub fn kind(&self) -> LayerKind {
@@ -321,6 +339,24 @@ impl Layer {
 }
 
 fn linear_forward(x: &Tensor, l: &Linear) -> Result<Tensor, NnError> {
+    linear_fused(x, l, None, None)
+}
+
+/// Linear layer forward with per-element fault injection and a
+/// range-supervision clamp fused into the GEMM epilogue.
+///
+/// The historical per-element operation order is preserved on both
+/// kernel paths: the accumulator starts at the output's bias value,
+/// products accumulate in ascending input-feature order (no zero-skip
+/// — the linear kernel never had one), then injection (by flat index
+/// into the `[n, out_features]` output) and clamp apply in that order.
+/// With `inject = None` and `clamp = None` this is the plain forward.
+pub(crate) fn linear_fused(
+    x: &Tensor,
+    l: &Linear,
+    inject: Option<&gemm::InjectMap>,
+    clamp: Option<gemm::Clamp>,
+) -> Result<Tensor, NnError> {
     if x.rank() != 2 {
         return Err(NnError::BadInput {
             layer: "linear".into(),
@@ -334,22 +370,22 @@ fn linear_forward(x: &Tensor, l: &Linear) -> Result<Tensor, NnError> {
             reason: format!("input features {} != weight in_features {}", x.dims()[1], in_f),
         });
     }
-    // x [n, in] · W^T [in, out]; transpose W on the fly.
+    // x [n, in] · W^T [in, out]; the GEMM reads W transposed in place.
     let n = x.dims()[0];
     let mut out = vec![0.0f32; n * out_f];
-    let xd = x.data();
-    let wd = l.weight.data();
-    for i in 0..n {
-        for o in 0..out_f {
-            let mut acc = l.bias.as_ref().map_or(0.0, |b| b.data()[o]);
-            let row = &wd[o * in_f..(o + 1) * in_f];
-            let xin = &xd[i * in_f..(i + 1) * in_f];
-            for (a, b) in xin.iter().zip(row.iter()) {
-                acc += a * b;
-            }
-            out[i * out_f + o] = acc;
-        }
-    }
+    let spec = gemm::GemmSpec {
+        m: n,
+        k: in_f,
+        n: out_f,
+        layout: gemm::BLayout::Transposed,
+        skip_zero_a: false,
+        bias: match l.bias.as_ref() {
+            Some(b) => gemm::Bias::InitPerCol(b.data()),
+            None => gemm::Bias::None,
+        },
+    };
+    let epi = gemm::FusedEpilogue { base: 0, inject, clamp };
+    gemm::gemm_with(x.data(), l.weight.data(), &mut out, &spec, &epi, gemm::kernel_path());
     Ok(Tensor::from_vec(out, &[n, out_f])?)
 }
 

@@ -42,5 +42,7 @@ pub mod train;
 pub mod weights;
 
 pub use error::NnError;
-pub use graph::{ForwardHook, HookHandle, InjectableLayer, LayerCtx, Network, Node, NodeId};
+pub use graph::{
+    ForwardHook, FusedOps, HookHandle, InjectableLayer, LayerCtx, Network, Node, NodeId,
+};
 pub use layer::{BatchNorm2d, Conv2d, Conv3d, CustomLayer, Layer, LayerKind, Linear, RestrictMode};

@@ -95,7 +95,7 @@ impl NetBuilder {
         let layer = Layer::Conv2d(Conv2d {
             weight,
             bias: Some(bias),
-            cfg: ConvConfig { stride, padding },
+            cfg: ConvConfig { stride, padding, dilation: 1 },
         });
         self.channels = out_c;
         self.push(name.to_string(), layer)
@@ -107,7 +107,7 @@ impl NetBuilder {
         let layer = Layer::Conv3d(Conv3d {
             weight,
             bias: Some(bias),
-            cfg: ConvConfig { stride, padding },
+            cfg: ConvConfig { stride, padding, dilation: 1 },
         });
         self.channels = out_c;
         self.push(name.to_string(), layer)
@@ -126,7 +126,7 @@ impl NetBuilder {
     }
 
     pub fn maxpool(&mut self, name: &str, k: usize, stride: usize, padding: usize) -> usize {
-        self.push(name.to_string(), Layer::MaxPool2d { k, cfg: ConvConfig { stride, padding } })
+        self.push(name.to_string(), Layer::MaxPool2d { k, cfg: ConvConfig { stride, padding, dilation: 1 } })
     }
 
     pub fn adaptive_avgpool(&mut self, name: &str, out: usize) -> usize {

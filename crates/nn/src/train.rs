@@ -680,7 +680,7 @@ mod tests {
         let conv = Layer::Conv2d(Conv2d {
             weight: Tensor::rand_uniform(&mut rng, &[2, 2, 3, 3], -0.5, 0.5),
             bias: Some(Tensor::zeros(&[2])),
-            cfg: ConvConfig { stride: 1, padding: 1 },
+            cfg: ConvConfig { stride: 1, padding: 1, dilation: 1 },
         });
         let c = net.push("conv", conv, &[]).unwrap();
         let sg = net.push("sig", Layer::Sigmoid, &[c]).unwrap();

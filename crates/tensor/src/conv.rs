@@ -8,54 +8,91 @@
 //!
 //! Two 2-D convolution implementations are provided: a direct 7-loop
 //! kernel (`conv2d_direct`, the reference) and an im2col + GEMM kernel
-//! (`conv2d_im2col`, the fast path). Tests assert they agree bit-for-bit
-//! modulo floating-point associativity.
+//! (`conv2d_im2col`, the fast path, driven by the [`crate::gemm`]
+//! blocked/reference kernels). Tests assert they agree bit-for-bit
+//! modulo floating-point associativity. [`conv2d_fused`] additionally
+//! fuses per-element fault injection and a range-supervision clamp
+//! into the GEMM epilogue so hardened runs avoid a second pass over
+//! the activations.
 
+use crate::gemm::{self, Clamp, InjectMap};
 use crate::{Tensor, TensorError};
 
-/// Stride/padding configuration shared by convolution and pooling kernels.
+/// Stride/padding/dilation configuration shared by convolution and
+/// pooling kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvConfig {
     /// Step between successive kernel applications (same in H and W).
     pub stride: usize,
     /// Zero padding added on every spatial border.
     pub padding: usize,
+    /// Spacing between kernel taps (1 = dense kernel, the default).
+    pub dilation: usize,
 }
 
 impl Default for ConvConfig {
     fn default() -> Self {
-        ConvConfig { stride: 1, padding: 0 }
+        ConvConfig { stride: 1, padding: 0, dilation: 1 }
     }
 }
 
 impl ConvConfig {
-    /// Creates a configuration, validating that the stride is nonzero.
+    /// Creates a dense (dilation 1) configuration, validating that the
+    /// stride is nonzero.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidKernelConfig`] if `stride == 0`.
     pub fn new(stride: usize, padding: usize) -> Result<Self, TensorError> {
+        Self::with_dilation(stride, padding, 1)
+    }
+
+    /// Creates a configuration with an explicit dilation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidKernelConfig`] if `stride == 0` or
+    /// `dilation == 0`.
+    pub fn with_dilation(
+        stride: usize,
+        padding: usize,
+        dilation: usize,
+    ) -> Result<Self, TensorError> {
         if stride == 0 {
             return Err(TensorError::InvalidKernelConfig("stride must be nonzero".into()));
         }
-        Ok(ConvConfig { stride, padding })
+        if dilation == 0 {
+            return Err(TensorError::InvalidKernelConfig("dilation must be nonzero".into()));
+        }
+        Ok(ConvConfig { stride, padding, dilation })
+    }
+
+    /// The span a `k`-tap kernel covers in the input under this
+    /// dilation: `(k - 1) * dilation + 1`.
+    fn effective_kernel(&self, k: usize) -> usize {
+        if k == 0 {
+            0
+        } else {
+            (k - 1) * self.dilation + 1
+        }
     }
 
     /// Output spatial size for an input of size `n` and kernel size `k`.
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::InvalidKernelConfig`] if the kernel does not
-    /// fit in the padded input.
+    /// Returns [`TensorError::InvalidKernelConfig`] if the (dilated)
+    /// kernel does not fit in the padded input.
     pub fn out_size(&self, n: usize, k: usize) -> Result<usize, TensorError> {
         let padded = n + 2 * self.padding;
-        if k == 0 || k > padded {
+        let eff = self.effective_kernel(k);
+        if k == 0 || eff > padded {
             return Err(TensorError::InvalidKernelConfig(format!(
-                "kernel size {k} does not fit input {n} with padding {}",
-                self.padding
+                "kernel size {k} (dilation {}) does not fit input {n} with padding {}",
+                self.dilation, self.padding
             )));
         }
-        Ok((padded - k) / self.stride + 1)
+        Ok((padded - eff) / self.stride + 1)
     }
 }
 
@@ -117,12 +154,12 @@ pub fn conv2d_direct(
                     let mut acc = bias_v;
                     for ic in 0..c_in {
                         for ky in 0..kh {
-                            let iy = (oy * cfg.stride + ky) as isize - pad;
+                            let iy = (oy * cfg.stride + ky * cfg.dilation) as isize - pad;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
                             for kx in 0..kw {
-                                let ix = (ox * cfg.stride + kx) as isize - pad;
+                                let ix = (ox * cfg.stride + kx * cfg.dilation) as isize - pad;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
@@ -159,23 +196,46 @@ fn im2col(
     let cols = h_out * w_out;
     let mut out = vec![0.0f32; rows * cols];
     let data = input.data();
-    let pad = cfg.padding as isize;
+    let pad = cfg.padding;
+    let (stride, dil) = (cfg.stride, cfg.dilation);
+    // Valid output-coordinate range for a tap offset `t = k * dilation`:
+    // the input coordinate `o * stride + t - pad` must land in
+    // `[0, extent)`. Hoisting the range out of the copy loops removes
+    // the per-element boundary branches; out-of-range positions keep
+    // their zero initialization, exactly as the branch-per-element form
+    // produced.
+    let valid = |t: usize, extent: usize, o_count: usize| -> (usize, usize) {
+        let o_min = if t >= pad { 0 } else { (pad - t).div_ceil(stride) };
+        let o_end = if extent + pad <= t {
+            0
+        } else {
+            (extent + pad - t).div_ceil(stride).min(o_count)
+        };
+        (o_min.min(o_end), o_end)
+    };
     for ic in 0..c_in {
+        let plane_start = (b * c_in + ic) * h * w;
+        let plane = &data[plane_start..plane_start + h * w];
         for ky in 0..kh {
+            let ty = ky * dil;
+            let (oy0, oy1) = valid(ty, h, h_out);
             for kx in 0..kw {
+                let tx = kx * dil;
+                let (ox0, ox1) = valid(tx, w, w_out);
                 let row = (ic * kh + ky) * kw + kx;
-                for oy in 0..h_out {
-                    let iy = (oy * cfg.stride + ky) as isize - pad;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..w_out {
-                        let ix = (ox * cfg.stride + kx) as isize - pad;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oy in oy0..oy1 {
+                    let iy = oy * stride + ty - pad;
+                    let src = &plane[iy * w..(iy + 1) * w];
+                    let dst = &mut out_row[oy * w_out + ox0..oy * w_out + ox1];
+                    if stride == 1 {
+                        // Contiguous tap row: one memcpy per output row.
+                        let ix0 = ox0 + tx - pad;
+                        dst.copy_from_slice(&src[ix0..ix0 + dst.len()]);
+                    } else {
+                        for (j, d) in dst.iter_mut().enumerate() {
+                            *d = src[(ox0 + j) * stride + tx - pad];
                         }
-                        out[row * cols + oy * w_out + ox] =
-                            data[((b * c_in + ic) * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
@@ -196,6 +256,31 @@ pub fn conv2d_im2col(
     weight: &Tensor,
     bias: Option<&Tensor>,
     cfg: ConvConfig,
+) -> Result<Tensor, TensorError> {
+    conv2d_fused(input, weight, bias, cfg, None, None)
+}
+
+/// [`conv2d_im2col`] with per-element fault injection and a
+/// range-supervision clamp fused into the GEMM epilogue.
+///
+/// Per output element the operation order is fixed — GEMM sum, bias,
+/// injection (looked up by the element's flat index in the full
+/// `[n, c_out, h_out, w_out]` output), clamp — which is exactly the
+/// separate-pass sequence (forward, then hook mutation, then a spliced
+/// `RangeRestrict` layer), so fused and separate-pass results are
+/// bit-identical. With `inject = None` and `clamp = None` this *is*
+/// `conv2d_im2col`.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or kernels that do not fit.
+pub fn conv2d_fused(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: ConvConfig,
+    inject: Option<&InjectMap>,
+    clamp: Option<Clamp>,
 ) -> Result<Tensor, TensorError> {
     check_rank(input, 4)?;
     check_rank(weight, 4)?;
@@ -218,48 +303,56 @@ pub fn conv2d_im2col(
     }
     let h_out = cfg.out_size(h, kh)?;
     let w_out = cfg.out_size(w, kw)?;
-    let w_mat = weight.reshape(&[c_out, c_in * kh * kw])?;
+    let kdim = c_in * kh * kw;
     let spatial = h_out * w_out;
     let per_item = c_out * spatial;
     let mut out = vec![0.0f32; n * per_item];
     crate::meter::conv2d(n, c_in, c_out, kh, kw, spatial, input.data().len(), weight.data().len());
 
-    // One batch item = one fully independent im2col + GEMM + bias add,
+    // The `[c_out, c_in, kh, kw]` weight buffer is already the
+    // `[c_out, kdim]` GEMM operand in row-major order.
+    let w_data = weight.data();
+    // The historical kernel always ran the bias pass (adding 0.0 when
+    // no bias was given), so a zero vector — not skipping the pass —
+    // preserves bit-identity (`-0.0 + 0.0 == +0.0`).
+    let zero_bias;
+    let bias_row = match bias {
+        Some(t) => t.data(),
+        None => {
+            zero_bias = vec![0.0f32; c_out];
+            &zero_bias[..]
+        }
+    };
+    // Resolve the kernel path on the caller thread so pool workers all
+    // run the same implementation.
+    let path = gemm::kernel_path();
+
+    // One batch item = one fully independent im2col + GEMM + epilogue,
     // writing only its own slice of `out`. The per-item computation is
     // identical on both paths, so parallel output is bit-identical to
     // sequential for any thread count.
-    let conv_item = |b: usize, dst_item: &mut [f32]| -> Result<(), TensorError> {
+    let conv_item = |b: usize, dst_item: &mut [f32]| {
         let cols = im2col(input, b, kh, kw, h_out, w_out, cfg);
-        let prod = w_mat.matmul(&cols)?; // [c_out, h_out*w_out]
-        for oc in 0..c_out {
-            let bias_v = bias.map_or(0.0, |t| t.data()[oc]);
-            let dst = &mut dst_item[oc * spatial..(oc + 1) * spatial];
-            let src = &prod.data()[oc * spatial..(oc + 1) * spatial];
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = s + bias_v;
-            }
-        }
-        Ok(())
+        let spec = gemm::GemmSpec {
+            m: c_out,
+            k: kdim,
+            n: spatial,
+            layout: gemm::BLayout::RowMajor,
+            skip_zero_a: true,
+            bias: gemm::Bias::PostPerRow(bias_row),
+        };
+        let epi = gemm::FusedEpilogue { base: b * per_item, inject, clamp };
+        gemm::gemm_with(w_data, cols.data(), dst_item, &spec, &epi, path);
     };
 
     let threads = alfi_pool::current_parallelism();
     if threads > 1 && n > 1 {
-        let failed = std::sync::atomic::AtomicBool::new(false);
         alfi_pool::global().parallel_chunks_mut(threads, &mut out, per_item, |b, chunk| {
-            if conv_item(b, chunk).is_err() {
-                failed.store(true, std::sync::atomic::Ordering::Relaxed);
-            }
+            conv_item(b, chunk);
         });
-        // `matmul` can only fail on shape mismatches, which the checks
-        // above already rule out; keep the guard for defence in depth.
-        if failed.load(std::sync::atomic::Ordering::Relaxed) {
-            return Err(TensorError::InvalidKernelConfig(
-                "conv2d_im2col worker failed".into(),
-            ));
-        }
     } else {
         for b in 0..n {
-            conv_item(b, &mut out[b * per_item..(b + 1) * per_item])?;
+            conv_item(b, &mut out[b * per_item..(b + 1) * per_item]);
         }
     }
     Tensor::from_vec(out, &[n, c_out, h_out, w_out])
@@ -323,17 +416,17 @@ pub fn conv3d_direct(
                         let mut acc = bias_v;
                         for ic in 0..c_in {
                             for kz in 0..kd {
-                                let iz = (oz * cfg.stride + kz) as isize - pad;
+                                let iz = (oz * cfg.stride + kz * cfg.dilation) as isize - pad;
                                 if iz < 0 || iz >= d as isize {
                                     continue;
                                 }
                                 for ky in 0..kh {
-                                    let iy = (oy * cfg.stride + ky) as isize - pad;
+                                    let iy = (oy * cfg.stride + ky * cfg.dilation) as isize - pad;
                                     if iy < 0 || iy >= h as isize {
                                         continue;
                                     }
                                     for kx in 0..kw {
-                                        let ix = (ox * cfg.stride + kx) as isize - pad;
+                                        let ix = (ox * cfg.stride + kx * cfg.dilation) as isize - pad;
                                         if ix < 0 || ix >= w as isize {
                                             continue;
                                         }
@@ -379,12 +472,12 @@ pub fn max_pool2d(input: &Tensor, k: usize, cfg: ConvConfig) -> Result<Tensor, T
                 for ox in 0..w_out {
                     let mut m = f32::NEG_INFINITY;
                     for ky in 0..k {
-                        let iy = (oy * cfg.stride + ky) as isize - pad;
+                        let iy = (oy * cfg.stride + ky * cfg.dilation) as isize - pad;
                         if iy < 0 || iy >= h as isize {
                             continue;
                         }
                         for kx in 0..k {
-                            let ix = (ox * cfg.stride + kx) as isize - pad;
+                            let ix = (ox * cfg.stride + kx * cfg.dilation) as isize - pad;
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
@@ -422,12 +515,12 @@ pub fn avg_pool2d(input: &Tensor, k: usize, cfg: ConvConfig) -> Result<Tensor, T
                     let mut acc = 0.0f32;
                     let mut cnt = 0usize;
                     for ky in 0..k {
-                        let iy = (oy * cfg.stride + ky) as isize - pad;
+                        let iy = (oy * cfg.stride + ky * cfg.dilation) as isize - pad;
                         if iy < 0 || iy >= h as isize {
                             continue;
                         }
                         for kx in 0..k {
-                            let ix = (ox * cfg.stride + kx) as isize - pad;
+                            let ix = (ox * cfg.stride + kx * cfg.dilation) as isize - pad;
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
@@ -531,7 +624,7 @@ mod tests {
         let input = Tensor::ones(&[1, 1, 3, 3]);
         let weight = Tensor::ones(&[1, 1, 3, 3]);
         let out =
-            conv2d_direct(&input, &weight, None, ConvConfig { stride: 1, padding: 1 }).unwrap();
+            conv2d_direct(&input, &weight, None, ConvConfig { stride: 1, padding: 1, dilation: 1 }).unwrap();
         assert_eq!(out.dims(), &[1, 1, 3, 3]);
         // center sees all 9 ones; corner sees 4
         assert_eq!(out.get(&[0, 0, 1, 1]), 9.0);
@@ -547,7 +640,7 @@ mod tests {
             let input = Tensor::rand_normal(&mut rng, &[n, c_in, hw, hw], 0.0, 1.0);
             let weight = Tensor::rand_normal(&mut rng, &[c_out, c_in, k, k], 0.0, 0.5);
             let bias = Tensor::rand_normal(&mut rng, &[c_out], 0.0, 0.1);
-            let cfg = ConvConfig { stride: s, padding: p };
+            let cfg = ConvConfig { stride: s, padding: p, dilation: 1 };
             let a = conv2d_direct(&input, &weight, Some(&bias), cfg).unwrap();
             let b = conv2d_im2col(&input, &weight, Some(&bias), cfg).unwrap();
             assert_eq!(a.dims(), b.dims());
@@ -596,7 +689,7 @@ mod tests {
     #[test]
     fn max_pool_stride_two_downsamples() {
         let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[1, 1, 4, 4]).unwrap();
-        let out = max_pool2d(&input, 2, ConvConfig { stride: 2, padding: 0 }).unwrap();
+        let out = max_pool2d(&input, 2, ConvConfig { stride: 2, padding: 0, dilation: 1 }).unwrap();
         assert_eq!(out.dims(), &[1, 1, 2, 2]);
         assert_eq!(out.data(), &[5., 7., 13., 15.]);
     }
@@ -604,7 +697,7 @@ mod tests {
     #[test]
     fn avg_pool_ignores_padding_in_divisor() {
         let input = Tensor::ones(&[1, 1, 2, 2]);
-        let out = avg_pool2d(&input, 3, ConvConfig { stride: 1, padding: 1 }).unwrap();
+        let out = avg_pool2d(&input, 3, ConvConfig { stride: 1, padding: 1, dilation: 1 }).unwrap();
         // every window contains only ones (padding excluded from divisor)
         assert!(out.data().iter().all(|&x| (x - 1.0).abs() < 1e-6));
     }

@@ -16,7 +16,11 @@
 //!   affine-quantized `int8` numeric types with the same flip API, used
 //!   for the paper's "vulnerability of different numeric types" use case;
 //! * [`conv`] — convolution and pooling compute kernels used by
-//!   `alfi-nn` layers.
+//!   `alfi-nn` layers;
+//! * [`gemm`] — cache-blocked, panel-packed GEMM microkernels with a
+//!   fused per-element epilogue (fault injection + range clamp), plus
+//!   the `ALFI_KERNEL` reference/blocked path switch. Both paths are
+//!   bit-identical by contract.
 //!
 //! # Example
 //!
@@ -34,6 +38,7 @@ pub mod bits;
 pub mod conv;
 pub mod error;
 pub mod f16;
+pub mod gemm;
 mod meter;
 pub mod quant;
 pub mod shape;
@@ -41,4 +46,4 @@ pub mod tensor;
 
 pub use error::TensorError;
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{matmul_rows, Tensor};

@@ -2,10 +2,13 @@
 //!
 //! One relaxed shard add per *kernel invocation* — never per element —
 //! and only while `alfi_metrics::global_enabled()`; a disabled run
-//! pays a single relaxed load per kernel call. The conv kernel runs
-//! its GEMMs through [`crate::Tensor::matmul`], so matmul counters
-//! include conv-issued GEMM work; the conv counters measure the
-//! convolution as a whole.
+//! pays a single relaxed load per kernel call. The conv kernel drives
+//! [`crate::gemm`] directly (not through [`crate::Tensor::matmul`]),
+//! so matmul counters cover explicit matmul calls only; the conv
+//! counters measure the convolution as a whole. B-panel packing bytes
+//! for the blocked GEMM are accounted once per GEMM invocation —
+//! packing writes each operand element exactly once regardless of how
+//! many register tiles later stream the panel.
 
 use alfi_metrics::{names, Class, Counter};
 use std::sync::OnceLock;
@@ -15,6 +18,7 @@ struct Handles {
     matmul_bytes: Counter,
     conv_flops: Counter,
     conv_bytes: Counter,
+    gemm_pack_bytes: Counter,
 }
 
 fn handles() -> &'static Handles {
@@ -40,6 +44,11 @@ fn handles() -> &'static Handles {
             conv_bytes: reg.counter(
                 names::TENSOR_CONV_BYTES,
                 "Bytes of operand and result data touched by the im2col conv kernel",
+                Class::Runtime,
+            ),
+            gemm_pack_bytes: reg.counter(
+                names::TENSOR_GEMM_PACK_BYTES,
+                "Bytes written into packed B panels by the blocked GEMM (once per GEMM call)",
                 Class::Runtime,
             ),
         }
@@ -75,5 +84,17 @@ pub(crate) fn conv2d(
         h.conv_flops.add(2 * macs as u64);
         h.conv_bytes
             .add(4 * (input_elems + weight_elems + batch * c_out * spatial_out) as u64);
+    }
+}
+
+/// Counts one blocked-GEMM B-pack of `packed_elems` f32 elements.
+/// Called exactly once per GEMM invocation, *not* per tile: the packed
+/// buffer is written once and then shared (read-only) by every worker
+/// and register tile, so charging it per tile would overstate traffic
+/// by `m / MR ×`.
+#[inline]
+pub(crate) fn gemm_pack(packed_elems: usize) {
+    if alfi_metrics::global_enabled() {
+        handles().gemm_pack_bytes.add(4 * packed_elems as u64);
     }
 }

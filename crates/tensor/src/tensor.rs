@@ -1,7 +1,7 @@
 //! Dense `f32` tensor with the kernels needed for CNN inference and
 //! application-level fault injection.
 
-use crate::{Shape, TensorError};
+use crate::{gemm, Shape, TensorError};
 use alfi_rng::Rng;
 
 /// A dense, row-major `f32` tensor.
@@ -273,25 +273,18 @@ impl Tensor {
         }
         let mut out = vec![0.0f32; m * n];
         crate::meter::matmul(m, k, n);
-        let threads = alfi_pool::current_parallelism();
-        if threads > 1 && m > 1 && m * k * n >= PAR_MIN_FLOPS {
-            // Row-chunked parallel path. Each output row is produced by
-            // exactly one task running `matmul_rows` — the identical
-            // per-element operation order as the sequential path — and
-            // chunk boundaries depend only on the problem size, so the
-            // result is bit-identical for every thread count.
-            let rows_per_chunk = rows_per_chunk(k, n);
-            alfi_pool::global().parallel_chunks_mut(
-                threads,
-                &mut out,
-                rows_per_chunk * n,
-                |ci, chunk| {
-                    matmul_rows(&self.data, &other.data, chunk, ci * rows_per_chunk, k, n);
-                },
-            );
-        } else {
-            matmul_rows(&self.data, &other.data, &mut out, 0, k, n);
-        }
+        // Both kernel paths (and every thread count) are bit-identical:
+        // the blocked path preserves the reference per-element operation
+        // order, and chunk boundaries depend only on the problem size.
+        let spec = gemm::GemmSpec {
+            m,
+            k,
+            n,
+            layout: gemm::BLayout::RowMajor,
+            skip_zero_a: true,
+            bias: gemm::Bias::None,
+        };
+        gemm::gemm(&self.data, &other.data, &mut out, &spec, gemm::kernel_path());
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -468,23 +461,14 @@ impl Tensor {
     }
 }
 
-/// Minimum multiply-accumulate count (`m * k * n`) before `matmul`
-/// fans out to the pool; below this the fixed task overhead dominates.
-const PAR_MIN_FLOPS: usize = 64 * 1024;
-
-/// Rows per parallel chunk — a pure function of the inner dimensions,
-/// so chunk boundaries never depend on the thread count (part of the
-/// pool's determinism contract).
-fn rows_per_chunk(k: usize, n: usize) -> usize {
-    (PAR_MIN_FLOPS / (k * n).max(1)).max(1)
-}
-
 /// Computes output rows `row0..row0 + out_rows.len() / n` of `a × b`
-/// into `out_rows`. This is the single GEMM inner kernel: the
-/// sequential path calls it once over all rows and the parallel path
-/// once per row chunk, so both perform the identical floating-point
-/// operation sequence per output element.
-fn matmul_rows(a: &[f32], b: &[f32], out_rows: &mut [f32], row0: usize, k: usize, n: usize) {
+/// into `out_rows`. This is the sequential *reference oracle* kernel:
+/// both paths of [`crate::gemm`] are required to reproduce its
+/// per-element floating-point operation sequence bit-for-bit, and the
+/// kernel-conformance suite pins every blocked/packed variant against
+/// it. It is retained verbatim from the pre-blocked implementation and
+/// must not be "optimized".
+pub fn matmul_rows(a: &[f32], b: &[f32], out_rows: &mut [f32], row0: usize, k: usize, n: usize) {
     let rows = out_rows.len() / n;
     // i-k-j loop order keeps the inner loop sequential over `b`'s rows
     // for cache friendliness.

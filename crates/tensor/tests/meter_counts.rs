@@ -1,0 +1,131 @@
+//! Pinned FLOP/byte accounting for the kernel meters.
+//!
+//! The packed-B GEMM writes each `B` element into its panel exactly
+//! once per GEMM invocation, no matter how many `MR × NR` register
+//! tiles later stream the panel — so `gemm_pack_bytes` must grow by
+//! `4 · ⌈n/NR⌉ · NR · k` per call, not by that amount times the tile
+//! count. These tests pin the exact counter deltas for known shapes on
+//! both kernel paths (the reference path packs nothing).
+//!
+//! Everything lives in one `#[test]` because the counters are
+//! process-global: concurrent test functions would race each other's
+//! deltas.
+
+use alfi_metrics::names;
+use alfi_rng::Rng;
+use alfi_tensor::conv::{conv2d_im2col, ConvConfig};
+use alfi_tensor::gemm::{self, KernelPath, BLOCKED_MIN_M, NR};
+use alfi_tensor::Tensor;
+
+struct Meters {
+    matmul_flops: u64,
+    matmul_bytes: u64,
+    conv_flops: u64,
+    conv_bytes: u64,
+    pack_bytes: u64,
+}
+
+fn read_meters() -> Meters {
+    let snap = alfi_metrics::global().snapshot();
+    Meters {
+        matmul_flops: snap.counter(names::TENSOR_MATMUL_FLOPS),
+        matmul_bytes: snap.counter(names::TENSOR_MATMUL_BYTES),
+        conv_flops: snap.counter(names::TENSOR_CONV_FLOPS),
+        conv_bytes: snap.counter(names::TENSOR_CONV_BYTES),
+        pack_bytes: snap.counter(names::TENSOR_GEMM_PACK_BYTES),
+    }
+}
+
+fn with_kernel<R>(path: KernelPath, f: impl FnOnce() -> R) -> R {
+    let prev = gemm::kernel_override();
+    gemm::set_kernel_override(Some(path));
+    let out = f();
+    gemm::set_kernel_override(prev);
+    out
+}
+
+#[test]
+fn flop_and_byte_counts_are_pinned_for_known_shapes() {
+    alfi_metrics::set_global_enabled(true);
+    let mut rng = Rng::from_seed(7);
+
+    // --- matmul: [m,k] × [k,n] with n deliberately not a multiple of
+    // NR, so the ragged last panel's zero-padding is part of the pin,
+    // and m above the thin-shape floor so the blocked path packs.
+    let (m, k, n) = (BLOCKED_MIN_M + 1, 12usize, 2 * NR + 3);
+    let a = Tensor::rand_normal(&mut rng, &[m, k], 0.0, 1.0);
+    let b = Tensor::rand_normal(&mut rng, &[k, n], 0.0, 1.0);
+
+    let before = read_meters();
+    with_kernel(KernelPath::Blocked, || a.matmul(&b).unwrap());
+    let after = read_meters();
+    assert_eq!(after.matmul_flops - before.matmul_flops, 2 * (m * k * n) as u64);
+    assert_eq!(
+        after.matmul_bytes - before.matmul_bytes,
+        4 * (m * k + k * n + m * n) as u64
+    );
+    let panel_elems = n.div_ceil(NR) * NR * k; // 3 panels of NR·k, zero-padded
+    assert_eq!(
+        after.pack_bytes - before.pack_bytes,
+        4 * panel_elems as u64,
+        "pack bytes must be charged once per GEMM call, not per tile"
+    );
+    assert_eq!(after.conv_flops, before.conv_flops, "matmul must not touch conv meters");
+
+    // The reference path never packs: same matmul meters, zero pack delta.
+    let before = read_meters();
+    with_kernel(KernelPath::Reference, || a.matmul(&b).unwrap());
+    let after = read_meters();
+    assert_eq!(after.matmul_flops - before.matmul_flops, 2 * (m * k * n) as u64);
+    assert_eq!(after.pack_bytes, before.pack_bytes, "reference path packs nothing");
+
+    // --- conv: the conv meter counts the convolution as a whole, and
+    // the blocked path packs one im2col B panel set per batch item.
+    let (nb, c_in, c_out, hw, kk) = (3usize, 2usize, BLOCKED_MIN_M, 9usize, 3usize);
+    let cfg = ConvConfig::new(2, 1).unwrap();
+    let input = Tensor::rand_normal(&mut rng, &[nb, c_in, hw, hw], 0.0, 1.0);
+    let weight = Tensor::rand_normal(&mut rng, &[c_out, c_in, kk, kk], 0.0, 1.0);
+    let out_hw = (hw + 2 - kk) / 2 + 1; // stride 2, pad 1
+    let spatial = out_hw * out_hw;
+    let kdim = c_in * kk * kk;
+
+    let before = read_meters();
+    with_kernel(KernelPath::Blocked, || conv2d_im2col(&input, &weight, None, cfg).unwrap());
+    let after = read_meters();
+    assert_eq!(
+        after.conv_flops - before.conv_flops,
+        2 * (nb * c_out * spatial * kdim) as u64
+    );
+    assert_eq!(
+        after.conv_bytes - before.conv_bytes,
+        4 * (input.num_elements() + weight.num_elements() + nb * c_out * spatial) as u64
+    );
+    assert_eq!(
+        after.pack_bytes - before.pack_bytes,
+        (nb * 4 * spatial.div_ceil(NR) * NR * kdim) as u64,
+        "one pack per batch item's GEMM"
+    );
+    assert_eq!(after.matmul_flops, before.matmul_flops, "conv must not touch matmul meters");
+
+    // --- thin products delegate to the reference kernel: no pack.
+    let thin = Tensor::rand_normal(&mut rng, &[BLOCKED_MIN_M - 1, k], 0.0, 1.0);
+    let before = read_meters();
+    with_kernel(KernelPath::Blocked, || thin.matmul(&b).unwrap());
+    let after = read_meters();
+    assert_eq!(
+        after.matmul_flops - before.matmul_flops,
+        2 * ((BLOCKED_MIN_M - 1) * k * n) as u64
+    );
+    assert_eq!(
+        after.pack_bytes, before.pack_bytes,
+        "below the thin-shape floor the blocked path must not pack"
+    );
+
+    // --- disabled runs meter nothing.
+    alfi_metrics::set_global_enabled(false);
+    let before = read_meters();
+    with_kernel(KernelPath::Blocked, || a.matmul(&b).unwrap());
+    let after = read_meters();
+    assert_eq!(after.matmul_flops, before.matmul_flops);
+    assert_eq!(after.pack_bytes, before.pack_bytes);
+}

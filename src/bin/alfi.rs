@@ -45,11 +45,13 @@ USAGE:
                 [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
                 [--stop-halfwidth <f>] [--stop-confidence <f>]
                 [--stop-scope <campaign|per-layer>] [--stop-method <wilson|clopper-pearson>]
+                [--kernel <reference|blocked>]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi detect   --scenario <file> --model <yolo|retina|frcnn> --out <dir>
                 [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
                 [--stop-halfwidth <f>] [--stop-confidence <f>]
                 [--stop-scope <campaign|per-layer>] [--stop-method <wilson|clopper-pearson>]
+                [--kernel <reference|blocked>]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi inspect-faults <faults.bin>
 
@@ -65,6 +67,11 @@ strata retire) once the SDC/DUE rate confidence interval is tighter
 than ±h at the requested confidence (default 0.95). Decisions land in
 the trace summary and events.jsonl; they override any stop_policy key
 in the scenario file.
+
+Kernel paths: --kernel pins the GEMM kernel (blocked = cache-blocked
+packed SIMD path, the default; reference = the sequential oracle).
+Both produce bit-identical results; the ALFI_KERNEL env var sets the
+ambient default.
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -166,6 +173,22 @@ fn monitoring_config(cfg: RunConfig, args: &Args) -> Result<RunConfig, String> {
         other => return Err(format!("bad --strict-health value `{other}` (expected on|off)")),
     }
     Ok(cfg)
+}
+
+/// Applies the `--kernel <reference|blocked>` flag: pins the GEMM
+/// kernel path for the campaign. Without the flag the ambient
+/// selection applies (`ALFI_KERNEL`, defaulting to the blocked path).
+/// Both paths are bit-exact, so this is a performance knob only.
+fn kernel_config(cfg: RunConfig, args: &Args) -> Result<RunConfig, String> {
+    match args.flags.get("kernel") {
+        None => Ok(cfg),
+        Some(v) => {
+            let path: alfi::tensor::gemm::KernelPath = v
+                .parse()
+                .map_err(|_| format!("bad --kernel value `{v}` (expected reference|blocked)"))?;
+            Ok(cfg.kernel(path))
+        }
+    }
 }
 
 /// Applies the shared early-stop flags. `--stop-halfwidth` arms the
@@ -366,6 +389,7 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
         &args,
     )?;
     let cfg = stop_config(cfg, &args)?;
+    let cfg = kernel_config(cfg, &args)?;
     let result = campaign.run_with(&cfg).map_err(|e| e.to_string())?;
     print_trace_summary(&recorder);
 
@@ -414,6 +438,7 @@ fn cmd_detect(argv: &[String]) -> Result<(), String> {
     let cfg =
         monitoring_config(RunConfig::new().recorder(recorder.clone()).save_dir(&out_dir), &args)?;
     let cfg = stop_config(cfg, &args)?;
+    let cfg = kernel_config(cfg, &args)?;
     let result = ObjDetCampaign::new(detector.as_mut(), scenario, loader)
         .run_with(&cfg)
         .map_err(|e| e.to_string())?;

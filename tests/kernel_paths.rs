@@ -1,0 +1,78 @@
+//! Strict kernel-path bit-identity on a full campaign.
+//!
+//! The blocked packed GEMM is contractually the *same function* as the
+//! sequential reference kernels — so an entire injection campaign
+//! (fault sampling, three-model coupling, outcome classification, CSV
+//! encoding) must produce byte-identical artifacts whichever path
+//! [`RunConfig::kernel`] selects, at every driver thread count. A
+//! single bit of drift anywhere in a forward pass would cascade into
+//! different top-1 labels, different SDE tallies and a visible CSV
+//! diff here.
+//!
+//! Everything runs inside one `#[test]`: the kernel override installed
+//! by the engine is process-global, so concurrent test functions
+//! pinning different paths would race.
+
+use alfi::core::campaign::{CsvVariant, ImgClassCampaign, RunConfig};
+use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+use alfi::mitigation::{harden, profile_bounds, Protection};
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi::tensor::gemm::KernelPath;
+use alfi::tensor::Tensor;
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::default();
+    s.dataset_size = 6;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    s.seed = 0x5EED;
+    s
+}
+
+/// A small but complete campaign: conv + linear layers, a hardened
+/// (range-clamped) companion model, weight faults on every image.
+fn campaign() -> ImgClassCampaign {
+    let mcfg = ModelConfig { input_hw: 16, width_mult: 0.125, seed: 11, ..ModelConfig::default() };
+    let model = alexnet(&mcfg);
+    let ds = ClassificationDataset::new(6, mcfg.num_classes, 3, 16, 21);
+    let calib: Vec<Tensor> = (0..3).map(|i| Tensor::stack(&[ds.get(i).image]).unwrap()).collect();
+    let bounds = profile_bounds(&model, calib.iter()).unwrap();
+    let hardened = harden(&model, &bounds, Protection::Ranger, 0.1).unwrap();
+    let loader = ClassificationLoader::new(ds, 2);
+    ImgClassCampaign::new(model, scenario(), loader).with_resil_model(hardened)
+}
+
+fn run_csvs(path: KernelPath, threads: usize) -> (String, String) {
+    let result = campaign()
+        .run_with(&RunConfig::new().threads(threads).kernel(path))
+        .unwrap();
+    (result.to_csv(CsvVariant::Original), result.to_csv(CsvVariant::Corrupted))
+}
+
+#[test]
+fn campaign_artifacts_are_bit_identical_across_kernel_paths() {
+    // Single-thread reference run is the golden for everything else.
+    let (orig, corr) = run_csvs(KernelPath::Reference, 1);
+    assert!(orig.lines().count() > 1, "campaign produced no rows");
+
+    for threads in [1usize, 2, 4, 7] {
+        for path in [KernelPath::Reference, KernelPath::Blocked] {
+            let (o, c) = run_csvs(path, threads);
+            assert_eq!(
+                orig, o,
+                "fault-free CSV drifted: {path} kernel, {threads} threads"
+            );
+            assert_eq!(
+                corr, c,
+                "corrupted CSV drifted: {path} kernel, {threads} threads"
+            );
+        }
+    }
+
+    // The engine's override guard must restore the ambient selection.
+    assert!(
+        alfi::tensor::gemm::kernel_override().is_none(),
+        "RunConfig::kernel leaked a process-global override past the run"
+    );
+}
