@@ -233,6 +233,39 @@ fn early_stop_efficiency() -> Json {
     ])
 }
 
+/// Runs the same campaign once with CSV row artifacts and once with
+/// the columnar binary store, and reports the on-disk size of each —
+/// the storage-efficiency headline for the `--format binary` path
+/// (DESIGN.md targets a store at most 40% of the CSV pair).
+fn artifact_size() -> Json {
+    use alfi_scenario::ArtifactFormat;
+    let run = |format: ArtifactFormat, tag: &str| {
+        let dir = std::env::temp_dir().join(format!("alfi_bench_artifact_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        make_campaign()
+            .run_with(&RunConfig::new().save_dir(&dir).format(format))
+            .expect("artifact run");
+        let a = alfi_core::Artifacts::new(&dir);
+        let size = |p: std::path::PathBuf| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+        let bytes = size(a.rows_orig()) + size(a.rows_corr()) + size(a.rows_resil())
+            + size(a.rows_store());
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    };
+    let csv_bytes = run(ArtifactFormat::Csv, "csv");
+    let store_bytes = run(ArtifactFormat::Binary, "bin");
+    let ratio = if csv_bytes > 0 {
+        Json::Float(store_bytes as f64 / csv_bytes as f64)
+    } else {
+        Json::Null
+    };
+    Json::Obj(vec![
+        ("csv_bytes".to_string(), Json::Int(csv_bytes as i128)),
+        ("binary_bytes".to_string(), Json::Int(store_bytes as i128)),
+        ("binary_over_csv".to_string(), ratio),
+    ])
+}
+
 /// Summarizes the kernel-path comparison: reference vs blocked median
 /// wall-clock on the single-thread conv-dominated forward pass, and
 /// the resulting speedup multiple.
@@ -298,6 +331,7 @@ fn write_speedup_report(results: &[BenchResult]) {
         ("traced_phase_breakdown".to_string(), phase_breakdown()),
         ("metrics_snapshot".to_string(), metrics_snapshot()),
         ("early_stop_efficiency".to_string(), early_stop_efficiency()),
+        ("artifact_size".to_string(), artifact_size()),
     ]);
 
     let path = std::env::var_os("ALFI_BENCH_SPEEDUP_JSON")

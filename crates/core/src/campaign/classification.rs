@@ -9,6 +9,7 @@
 //! fault-slot assignment, replay validation, tracing, pool fan-out and
 //! persistence all live in the shared campaign [`Engine`].
 
+use crate::artifact::{ArtifactSink, Artifacts, ColumnarSink, SinkStats};
 use crate::campaign::config::RunConfig;
 use crate::campaign::engine::{CampaignTask, Engine, ScopeCtx, ScopeSink};
 use crate::error::CoreError;
@@ -19,11 +20,14 @@ use crate::monitor::{attach_monitor, NanInfMonitor};
 use crate::persist::{save_fault_matrix, RunTrace, TraceEntry};
 use alfi_datasets::loader::ClassificationLoader;
 use alfi_nn::Network;
-use alfi_scenario::{InjectionPolicy, Scenario};
+use alfi_scenario::{ArtifactFormat, InjectionPolicy, Scenario};
+use alfi_store::{ColumnSpec, ColumnType, Encoding, RowKey, Schema, Value};
 use alfi_tensor::Tensor;
 use alfi_trace::{EffectClass, Phase, Recorder};
+use std::fs::File;
+use std::io::{self, Write};
 use std::ops::ControlFlow;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Top-K classes with probabilities for one model output.
@@ -75,17 +79,15 @@ impl ClassificationCampaignResult {
     ///
     /// Returns [`CoreError::Io`] on filesystem failures.
     pub fn save_outputs(&self, dir: impl AsRef<Path>) -> Result<(), CoreError> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        self.scenario
-            .save(dir.join("scenario.yml"))
-            .map_err(|e| CoreError::Io(e.to_string()))?;
-        save_fault_matrix(&self.fault_matrix, dir.join("faults.bin"))?;
-        self.trace.save(dir.join("trace.bin"))?;
-        std::fs::write(dir.join("results_orig.csv"), self.to_csv(CsvVariant::Original))?;
-        std::fs::write(dir.join("results_corr.csv"), self.to_csv(CsvVariant::Corrupted))?;
+        let a = Artifacts::new(dir);
+        std::fs::create_dir_all(a.dir())?;
+        self.scenario.save(a.scenario()).map_err(|e| CoreError::Io(e.to_string()))?;
+        save_fault_matrix(&self.fault_matrix, a.faults())?;
+        self.trace.save(a.trace())?;
+        std::fs::write(a.rows_orig(), self.to_csv(CsvVariant::Original))?;
+        std::fs::write(a.rows_corr(), self.to_csv(CsvVariant::Corrupted))?;
         if self.rows.iter().any(|r| r.resil_top5.is_some()) {
-            std::fs::write(dir.join("results_resil.csv"), self.to_csv(CsvVariant::Resilient))?;
+            std::fs::write(a.rows_resil(), self.to_csv(CsvVariant::Resilient))?;
         }
         Ok(())
     }
@@ -94,12 +96,7 @@ impl ClassificationCampaignResult {
     /// label, top-5 classes and probabilities, fault positions (layer,
     /// channel, depth, height, width, bit) and NaN/Inf counts.
     pub fn to_csv(&self, variant: CsvVariant) -> String {
-        let mut out = String::from(
-            "image_id,file_name,label,\
-             top1,top1_p,top2,top2_p,top3,top3_p,top4,top4_p,top5,top5_p,\
-             fault_layers,fault_channels,fault_depths,fault_heights,fault_widths,fault_bits,\
-             nan_count,inf_count\n",
-        );
+        let mut out = String::from(CSV_HEADER);
         for row in &self.rows {
             let topk: &TopK = match variant {
                 CsvVariant::Original => &row.orig_top5,
@@ -109,33 +106,86 @@ impl ClassificationCampaignResult {
                     None => continue,
                 },
             };
-            out.push_str(&format!("{},{},{}", row.image_id, row.file_name, row.label));
-            for k in 0..5 {
-                match topk.get(k) {
-                    Some((c, p)) => out.push_str(&format!(",{c},{p}")),
-                    None => out.push_str(",,"),
-                }
-            }
-            let join = |f: &dyn Fn(&AppliedFault) -> String| {
-                row.faults.iter().map(f).collect::<Vec<_>>().join(";")
-            };
-            out.push_str(&format!(
-                ",{},{},{},{},{},{}",
-                join(&|a| a.record.layer.to_string()),
-                join(&|a| a.record.channel.to_string()),
-                join(&|a| a.record.depth.map_or("-".into(), |d| d.to_string())),
-                join(&|a| a.record.height.to_string()),
-                join(&|a| a.record.width.to_string()),
-                join(&|a| match a.record.value {
-                    crate::fault::FaultValue::BitFlip(p) => p.to_string(),
-                    crate::fault::FaultValue::StuckAt { pos, .. } => format!("s{pos}"),
-                    crate::fault::FaultValue::Replace(_) => "v".into(),
-                }),
+            out.push_str(&csv_line(
+                row.image_id,
+                &row.file_name,
+                row.label as u64,
+                &padded_topk(topk),
+                &fault_columns(&row.faults),
+                row.corr_nan as u64,
+                row.corr_inf as u64,
             ));
-            out.push_str(&format!(",{},{}\n", row.corr_nan, row.corr_inf));
         }
         out
     }
+}
+
+/// Header line shared by [`ClassificationCampaignResult::to_csv`],
+/// the streaming CSV sink and the store→CSV converter.
+pub(crate) const CSV_HEADER: &str = "image_id,file_name,label,\
+     top1,top1_p,top2,top2_p,top3,top3_p,top4,top4_p,top5,top5_p,\
+     fault_layers,fault_channels,fault_depths,fault_heights,fault_widths,fault_bits,\
+     nan_count,inf_count\n";
+
+/// Sentinel class marking an absent top-k entry in the fixed-width
+/// representation; renders as the empty CSV cells.
+pub(crate) const TOPK_PAD_CLASS: u32 = u32::MAX;
+
+/// Pads a top-k list to exactly five `(class, probability)` pairs.
+pub(crate) fn padded_topk(topk: &TopK) -> [(u32, f32); 5] {
+    let mut out = [(TOPK_PAD_CLASS, 0.0f32); 5];
+    for (slot, &(c, p)) in out.iter_mut().zip(topk.iter()) {
+        *slot = (c as u32, p);
+    }
+    out
+}
+
+/// The six `;`-joined fault-position columns (layer, channel, depth,
+/// height, width, bit), shared by every row renderer.
+pub(crate) fn fault_columns(faults: &[AppliedFault]) -> [String; 6] {
+    let join =
+        |f: &dyn Fn(&AppliedFault) -> String| faults.iter().map(f).collect::<Vec<_>>().join(";");
+    [
+        join(&|a| a.record.layer.to_string()),
+        join(&|a| a.record.channel.to_string()),
+        join(&|a| a.record.depth.map_or("-".into(), |d| d.to_string())),
+        join(&|a| a.record.height.to_string()),
+        join(&|a| a.record.width.to_string()),
+        join(&|a| match a.record.value {
+            crate::fault::FaultValue::BitFlip(p) => p.to_string(),
+            crate::fault::FaultValue::StuckAt { pos, .. } => format!("s{pos}"),
+            crate::fault::FaultValue::Replace(_) => "v".into(),
+        }),
+    ]
+}
+
+/// Renders one CSV data line from plain cells — the single formatting
+/// point shared by the batch writer, the streaming sink and the
+/// store→CSV converter, so all three produce identical bytes by
+/// construction.
+pub(crate) fn csv_line(
+    image_id: u64,
+    file_name: &str,
+    label: u64,
+    topk: &[(u32, f32); 5],
+    faults: &[String; 6],
+    nan: u64,
+    inf: u64,
+) -> String {
+    let mut out = format!("{image_id},{file_name},{label}");
+    for &(c, p) in topk {
+        if c == TOPK_PAD_CLASS {
+            out.push_str(",,");
+        } else {
+            out.push_str(&format!(",{c},{p}"));
+        }
+    }
+    out.push_str(&format!(
+        ",{},{},{},{},{},{}",
+        faults[0], faults[1], faults[2], faults[3], faults[4], faults[5]
+    ));
+    out.push_str(&format!(",{nan},{inf}\n"));
+    out
 }
 
 /// Which of the three synchronized model instances a CSV file reports.
@@ -206,29 +256,6 @@ impl ImgClassCampaign {
     /// surfaces as [`CoreError::WorkerPanic`].
     pub fn run_with(&mut self, cfg: &RunConfig) -> Result<ClassificationCampaignResult, CoreError> {
         Engine::new(cfg).run(&*self)
-    }
-
-    /// Runs the campaign sequentially with tracing and persistence off.
-    ///
-    /// # Errors
-    ///
-    /// As [`run_with`](Self::run_with).
-    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::default())`")]
-    pub fn run(&mut self) -> Result<ClassificationCampaignResult, CoreError> {
-        Engine::sequential(&*self)
-    }
-
-    /// Parallel variant of [`run_with`](Self::run_with) for `per_image`
-    /// scenarios. Unlike `run_with` with `threads: 1`, `threads == 1`
-    /// here still uses the parallel driver (pool task guards stay
-    /// active).
-    ///
-    /// # Errors
-    ///
-    /// As [`run_with`](Self::run_with).
-    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::new().threads(n))`")]
-    pub fn run_parallel(&mut self, threads: usize) -> Result<ClassificationCampaignResult, CoreError> {
-        Engine::forced_parallel(&*self, threads)
     }
 }
 
@@ -436,13 +463,216 @@ impl CampaignTask for ImgClassCampaign {
         }
     }
 
-    fn save_result(
+    fn make_row_sink(
         &self,
-        result: &ClassificationCampaignResult,
-        dir: &Path,
-    ) -> Result<(), CoreError> {
-        result.save_outputs(dir)
+        format: ArtifactFormat,
+        artifacts: &Artifacts,
+    ) -> Result<Option<Box<dyn ArtifactSink<ClassificationRow>>>, CoreError> {
+        match format {
+            ArtifactFormat::Csv => Ok(Some(Box::new(ClassificationCsvSink::create(artifacts)?))),
+            ArtifactFormat::Binary => {
+                let resil = self.resil_model.is_some();
+                Ok(Some(Box::new(ColumnarSink::create(
+                    artifacts.rows_store(),
+                    store_schema(resil),
+                    move |row: &ClassificationRow| store_values(row, resil),
+                )?)))
+            }
+        }
     }
+}
+
+/// Streaming CSV sink: the historical `results_orig.csv` /
+/// `results_corr.csv` (/`results_resil.csv`) files written row by row
+/// as the engine produces them. The resil file is created lazily on
+/// the first hardened row, so runs without a resil model keep the
+/// two-file layout.
+struct ClassificationCsvSink {
+    orig: io::BufWriter<File>,
+    corr: io::BufWriter<File>,
+    resil: Option<io::BufWriter<File>>,
+    resil_path: PathBuf,
+    rows: u64,
+    bytes: u64,
+}
+
+impl ClassificationCsvSink {
+    fn create(artifacts: &Artifacts) -> Result<Self, CoreError> {
+        let mut bytes = 0u64;
+        let mut open = |path: PathBuf| -> Result<io::BufWriter<File>, CoreError> {
+            let mut w = io::BufWriter::new(File::create(path)?);
+            w.write_all(CSV_HEADER.as_bytes())?;
+            bytes += CSV_HEADER.len() as u64;
+            Ok(w)
+        };
+        let orig = open(artifacts.rows_orig())?;
+        let corr = open(artifacts.rows_corr())?;
+        Ok(ClassificationCsvSink {
+            orig,
+            corr,
+            resil: None,
+            resil_path: artifacts.rows_resil(),
+            rows: 0,
+            bytes,
+        })
+    }
+}
+
+impl ArtifactSink<ClassificationRow> for ClassificationCsvSink {
+    fn append(&mut self, _key: RowKey, row: &ClassificationRow) -> Result<(), CoreError> {
+        let faults = fault_columns(&row.faults);
+        let line = |topk: &TopK| {
+            csv_line(
+                row.image_id,
+                &row.file_name,
+                row.label as u64,
+                &padded_topk(topk),
+                &faults,
+                row.corr_nan as u64,
+                row.corr_inf as u64,
+            )
+        };
+        let orig_line = line(&row.orig_top5);
+        self.orig.write_all(orig_line.as_bytes())?;
+        self.bytes += orig_line.len() as u64;
+        let corr_line = line(&row.corr_top5);
+        self.corr.write_all(corr_line.as_bytes())?;
+        self.bytes += corr_line.len() as u64;
+        if let Some(topk) = &row.resil_top5 {
+            if self.resil.is_none() {
+                let mut w = io::BufWriter::new(File::create(&self.resil_path)?);
+                w.write_all(CSV_HEADER.as_bytes())?;
+                self.bytes += CSV_HEADER.len() as u64;
+                self.resil = Some(w);
+            }
+            if let Some(w) = self.resil.as_mut() {
+                let resil_line = line(topk);
+                w.write_all(resil_line.as_bytes())?;
+                self.bytes += resil_line.len() as u64;
+            }
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    fn finalize(&mut self) -> Result<SinkStats, CoreError> {
+        self.orig.flush()?;
+        self.corr.flush()?;
+        if let Some(w) = self.resil.as_mut() {
+            w.flush()?;
+        }
+        Ok(SinkStats { rows: self.rows, bytes: self.bytes })
+    }
+}
+
+/// Columnar store schema for classification rows: the fixed
+/// `image_id, file_name, label` prefix, five `(class, p)` pairs per
+/// model variant, the six fault columns and the NaN/Inf counts.
+/// Probabilities are stored as raw f32 bits, so re-rendering them
+/// reproduces the CSV text exactly.
+fn store_schema(resil: bool) -> Schema {
+    let mut cols = vec![
+        ColumnSpec::new("image_id", ColumnType::U64, Encoding::Delta),
+        ColumnSpec::new("file_name", ColumnType::Str, Encoding::Prefix),
+        ColumnSpec::new("label", ColumnType::U32, Encoding::Plain),
+    ];
+    let variants: &[&str] = if resil { &["orig", "corr", "resil"] } else { &["orig", "corr"] };
+    for v in variants {
+        for k in 1..=5 {
+            cols.push(ColumnSpec::new(format!("{v}_class{k}"), ColumnType::U32, Encoding::Plain));
+            cols.push(ColumnSpec::new(format!("{v}_p{k}"), ColumnType::F32, Encoding::Plain));
+        }
+    }
+    for name in
+        ["fault_layers", "fault_channels", "fault_depths", "fault_heights", "fault_widths", "fault_bits"]
+    {
+        cols.push(ColumnSpec::new(name, ColumnType::Str, Encoding::Plain));
+    }
+    cols.push(ColumnSpec::new("nan_count", ColumnType::U32, Encoding::Plain));
+    cols.push(ColumnSpec::new("inf_count", ColumnType::U32, Encoding::Plain));
+    Schema::new(cols)
+        .with_meta("kind", "classification")
+        .with_meta("resil", if resil { "1" } else { "0" })
+}
+
+/// Projects one row onto the [`store_schema`] column order.
+fn store_values(row: &ClassificationRow, resil: bool) -> Vec<Value> {
+    let mut values = vec![
+        Value::U64(row.image_id),
+        Value::Str(row.file_name.clone()),
+        Value::U32(row.label as u32),
+    ];
+    fn push_topk(values: &mut Vec<Value>, topk: &TopK) {
+        for (c, p) in padded_topk(topk) {
+            values.push(Value::U32(c));
+            values.push(Value::F32(p));
+        }
+    }
+    push_topk(&mut values, &row.orig_top5);
+    push_topk(&mut values, &row.corr_top5);
+    if resil {
+        // Schema arity is fixed per store; a campaign with a resil
+        // model produces a resil top-5 for every row, so the empty
+        // fallback only pads degenerate rows.
+        let empty = TopK::new();
+        push_topk(&mut values, row.resil_top5.as_ref().unwrap_or(&empty));
+    }
+    for col in fault_columns(&row.faults) {
+        values.push(Value::Str(col));
+    }
+    values.push(Value::U32(row.corr_nan as u32));
+    values.push(Value::U32(row.corr_inf as u32));
+    values
+}
+
+/// Rebuilds the CSV artifact set from decoded store rows —
+/// byte-identical to what a CSV-format run writes, because it renders
+/// through the same [`csv_line`] as the live sinks.
+pub(crate) fn store_rows_to_csvs(
+    rows: &[alfi_store::Row],
+    resil: bool,
+) -> Result<Vec<(String, String)>, CoreError> {
+    use crate::artifact::{cell_f32, cell_str, cell_u64};
+    let mut orig = String::from(CSV_HEADER);
+    let mut corr = String::from(CSV_HEADER);
+    let mut resil_csv = String::from(CSV_HEADER);
+    for (_, values) in rows {
+        let image_id = cell_u64(values, 0)?;
+        let file_name = cell_str(values, 1)?;
+        let label = cell_u64(values, 2)?;
+        let topk_at = |base: usize| -> Result<[(u32, f32); 5], CoreError> {
+            let mut out = [(TOPK_PAD_CLASS, 0.0f32); 5];
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = (
+                    cell_u64(values, base + 2 * k)? as u32,
+                    cell_f32(values, base + 2 * k + 1)?,
+                );
+            }
+            Ok(out)
+        };
+        let variants = if resil { 3 } else { 2 };
+        let tail = 3 + variants * 10;
+        let mut faults: [String; 6] = Default::default();
+        for (i, f) in faults.iter_mut().enumerate() {
+            *f = cell_str(values, tail + i)?.to_string();
+        }
+        let nan = cell_u64(values, tail + 6)?;
+        let inf = cell_u64(values, tail + 7)?;
+        orig.push_str(&csv_line(image_id, file_name, label, &topk_at(3)?, &faults, nan, inf));
+        corr.push_str(&csv_line(image_id, file_name, label, &topk_at(13)?, &faults, nan, inf));
+        if resil {
+            resil_csv
+                .push_str(&csv_line(image_id, file_name, label, &topk_at(23)?, &faults, nan, inf));
+        }
+    }
+    let mut out = vec![
+        (Artifacts::ROWS_ORIG.to_string(), orig),
+        (Artifacts::ROWS_CORR.to_string(), corr),
+    ];
+    if resil && !rows.is_empty() {
+        out.push((Artifacts::ROWS_RESIL.to_string(), resil_csv));
+    }
+    Ok(out)
 }
 
 /// Trace-level fault-effect classification of one row, mirroring the
@@ -690,25 +920,6 @@ mod tests {
                 other => panic!("expected WorkerPanic, got {other:?}"),
             }
         }
-    }
-
-    #[test]
-    fn deprecated_run_matches_run_with_default() {
-        let mut s = Scenario::default();
-        s.dataset_size = 4;
-        s.injection_target = InjectionTarget::Weights;
-        s.fault_mode = FaultMode::exponent_bit_flip();
-        let via_config = campaign(s.clone()).run_with(&RunConfig::default()).unwrap();
-        #[allow(deprecated)]
-        let via_run = campaign(s).run().unwrap();
-        assert_eq!(via_config.rows.len(), via_run.rows.len());
-        for (a, b) in via_config.rows.iter().zip(via_run.rows.iter()) {
-            assert_eq!(a.orig_top5, b.orig_top5);
-            assert_eq!(a.corr_top5, b.corr_top5);
-            assert_eq!(a.faults, b.faults);
-        }
-        assert_eq!(via_config.trace, via_run.trace);
-        assert_eq!(via_config.fault_matrix, via_run.fault_matrix);
     }
 
     #[test]

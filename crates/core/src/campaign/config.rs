@@ -9,7 +9,7 @@
 //! byte-for-byte: sequential, untraced, nothing written to disk.
 
 use alfi_metrics::{HealthPolicy, Registry};
-use alfi_scenario::{Scenario, StopPolicy};
+use alfi_scenario::{ArtifactFormat, Scenario, StopPolicy};
 use alfi_tensor::gemm::KernelPath;
 use alfi_trace::Recorder;
 use std::path::{Path, PathBuf};
@@ -70,6 +70,14 @@ pub struct RunConfig {
     /// `stop_policy` key; `None` falls back to the scenario, and a
     /// scenario without one runs the full matrix.
     pub stop: Option<StopPolicy>,
+    /// Row-artifact encoding under [`save_dir`](RunConfig::save_dir):
+    /// [`ArtifactFormat::Csv`] writes the historical `results_*.csv`
+    /// files, [`ArtifactFormat::Binary`] writes one columnar
+    /// `rows.alfic` store instead (convertible back to the exact CSV
+    /// bytes with `alfi store convert`). Overrides the scenario's
+    /// `format` key; `None` falls back to the scenario, and a scenario
+    /// without one writes CSV.
+    pub format: Option<ArtifactFormat>,
     /// GEMM kernel path for every matmul / conv / linear the campaign
     /// executes. When set, the engine installs a process-wide kernel
     /// override for the duration of the run (restoring the previous
@@ -90,6 +98,7 @@ impl Default for RunConfig {
             metrics_addr: None,
             health: None,
             stop: None,
+            format: None,
             kernel: None,
         }
     }
@@ -146,6 +155,12 @@ impl RunConfig {
         self
     }
 
+    /// Selects the row-artifact encoding (see [`RunConfig::format`]).
+    pub fn format(mut self, format: ArtifactFormat) -> Self {
+        self.format = Some(format);
+        self
+    }
+
     /// Pins the GEMM kernel path for the run (see
     /// [`RunConfig::kernel`]).
     pub fn kernel(mut self, path: KernelPath) -> Self {
@@ -158,6 +173,13 @@ impl RunConfig {
     /// `stop_policy` key, else none (run the full matrix).
     pub(crate) fn resolve_stop(&self, scenario: &Scenario) -> Option<StopPolicy> {
         self.stop.or(scenario.stop_policy)
+    }
+
+    /// The effective row-artifact format for a scenario: an explicit
+    /// [`format`](RunConfig::format) wins, else the scenario's
+    /// `format` key, else CSV.
+    pub(crate) fn resolve_format(&self, scenario: &Scenario) -> ArtifactFormat {
+        self.format.or(scenario.artifact_format).unwrap_or_default()
     }
 
     /// The registry the engine should publish into, if any: an explicit
@@ -228,6 +250,22 @@ mod tests {
         let explicit = StopPolicy { half_width: 0.01, ..StopPolicy::default() };
         let cfg = RunConfig::new().stop_policy(explicit);
         assert_eq!(cfg.resolve_stop(&scenario), Some(explicit), "RunConfig wins");
+    }
+
+    #[test]
+    fn format_resolution_prefers_explicit_config() {
+        let mut scenario = Scenario::default();
+        assert_eq!(
+            RunConfig::new().resolve_format(&scenario),
+            ArtifactFormat::Csv,
+            "CSV is the default"
+        );
+
+        scenario.artifact_format = Some(ArtifactFormat::Binary);
+        assert_eq!(RunConfig::new().resolve_format(&scenario), ArtifactFormat::Binary);
+
+        let cfg = RunConfig::new().format(ArtifactFormat::Csv);
+        assert_eq!(cfg.resolve_format(&scenario), ArtifactFormat::Csv, "RunConfig wins");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! streamed from the loader one at a time (never collected up front),
 //! so memory stays bounded on large scenarios.
 
+use crate::artifact::{ArtifactSink, Artifacts, ColumnarSink};
+use crate::campaign::classification::fault_columns;
 use crate::campaign::config::RunConfig;
 use crate::campaign::engine::{CampaignTask, Engine, ScopeCtx, ScopeSink};
 use crate::error::CoreError;
@@ -23,7 +25,9 @@ use crate::persist::{save_fault_matrix, RunTrace, TraceEntry};
 use alfi_datasets::loader::DetectionLoader;
 use alfi_datasets::GroundTruthBox;
 use alfi_nn::detection::{Detection, Detector};
-use alfi_scenario::Scenario;
+use alfi_scenario::{ArtifactFormat, Scenario};
+use alfi_serde::ToJson;
+use alfi_store::{ColumnSpec, ColumnType, Encoding, Schema, Value};
 use alfi_tensor::Tensor;
 use alfi_trace::{EffectClass, Phase, Recorder};
 use std::cell::RefCell;
@@ -79,13 +83,11 @@ impl DetectionCampaignResult {
     ///
     /// Returns [`CoreError::Io`] on filesystem failures.
     pub fn save_outputs(&self, dir: impl AsRef<Path>) -> Result<(), CoreError> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        self.scenario
-            .save(dir.join("scenario.yml"))
-            .map_err(|e| CoreError::Io(e.to_string()))?;
-        save_fault_matrix(&self.fault_matrix, dir.join("faults.bin"))?;
-        self.trace.save(dir.join("trace.bin"))?;
+        let a = Artifacts::new(dir);
+        std::fs::create_dir_all(a.dir())?;
+        self.scenario.save(a.scenario()).map_err(|e| CoreError::Io(e.to_string()))?;
+        save_fault_matrix(&self.fault_matrix, a.faults())?;
+        self.trace.save(a.trace())?;
         Ok(())
     }
 }
@@ -153,29 +155,6 @@ impl<'a, D: Detector + ?Sized> ObjDetCampaign<'a, D> {
     /// for panicking workers.
     pub fn run_with(&mut self, cfg: &RunConfig) -> Result<DetectionCampaignResult, CoreError> {
         Engine::new(cfg).run(&self.as_task())
-    }
-
-    /// Runs the campaign sequentially with tracing and persistence off.
-    ///
-    /// # Errors
-    ///
-    /// As [`run_with`](Self::run_with).
-    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::default())`")]
-    pub fn run(&mut self) -> Result<DetectionCampaignResult, CoreError> {
-        Engine::sequential(&self.as_task())
-    }
-
-    /// Parallel variant of [`run_with`](Self::run_with) for `per_image`
-    /// scenarios. Unlike `run_with` with `threads: 1`, `threads == 1`
-    /// here still uses the parallel driver (pool task guards stay
-    /// active).
-    ///
-    /// # Errors
-    ///
-    /// As [`run_with`](Self::run_with).
-    #[deprecated(since = "0.2.0", note = "use `run_with(&RunConfig::new().threads(n))`")]
-    pub fn run_parallel(&mut self, threads: usize) -> Result<DetectionCampaignResult, CoreError> {
-        Engine::forced_parallel(&self.as_task(), threads)
     }
 
     /// Borrows the campaign's fields into the engine-facing task
@@ -370,9 +349,101 @@ impl<'t, D: Detector + ?Sized> CampaignTask for DetTask<'t, D> {
         }
     }
 
-    fn save_result(&self, result: &DetectionCampaignResult, dir: &Path) -> Result<(), CoreError> {
-        result.save_outputs(dir)
+    fn make_row_sink(
+        &self,
+        format: ArtifactFormat,
+        artifacts: &Artifacts,
+    ) -> Result<Option<Box<dyn ArtifactSink<DetectionRow>>>, CoreError> {
+        match format {
+            // CSV-format detection runs keep their JSON result writers
+            // in `alfi-eval` (COCO ground truth, detections, KPIs); the
+            // engine writes only the replay set.
+            ArtifactFormat::Csv => Ok(None),
+            ArtifactFormat::Binary => {
+                let resil = self.resil_detector.is_some();
+                Ok(Some(Box::new(ColumnarSink::create(
+                    artifacts.rows_store(),
+                    det_store_schema(resil),
+                    move |row: &DetectionRow| det_store_values(row, resil),
+                )?)))
+            }
+        }
     }
+}
+
+/// Columnar store schema for detection rows: numeric image id, the
+/// ground-truth / per-variant detection lists as compact JSON text,
+/// the six fault columns and the NaN/Inf counts.
+fn det_store_schema(resil: bool) -> Schema {
+    let mut cols = vec![
+        ColumnSpec::new("image_id", ColumnType::U64, Encoding::Delta),
+        ColumnSpec::new("ground_truth", ColumnType::Str, Encoding::Plain),
+        ColumnSpec::new("orig", ColumnType::Str, Encoding::Plain),
+        ColumnSpec::new("corr", ColumnType::Str, Encoding::Plain),
+    ];
+    if resil {
+        cols.push(ColumnSpec::new("resil", ColumnType::Str, Encoding::Plain));
+    }
+    for name in
+        ["fault_layers", "fault_channels", "fault_depths", "fault_heights", "fault_widths", "fault_bits"]
+    {
+        cols.push(ColumnSpec::new(name, ColumnType::Str, Encoding::Plain));
+    }
+    cols.push(ColumnSpec::new("nan_count", ColumnType::U32, Encoding::Plain));
+    cols.push(ColumnSpec::new("inf_count", ColumnType::U32, Encoding::Plain));
+    Schema::new(cols).with_meta("kind", "detection").with_meta("resil", if resil { "1" } else { "0" })
+}
+
+/// Projects one row onto the [`det_store_schema`] column order.
+fn det_store_values(row: &DetectionRow, resil: bool) -> Vec<Value> {
+    let mut values = vec![
+        Value::U64(row.image_id),
+        Value::Str(row.ground_truth.to_json().compact()),
+        Value::Str(row.orig.to_json().compact()),
+        Value::Str(row.corr.to_json().compact()),
+    ];
+    if resil {
+        let empty: Vec<Detection> = Vec::new();
+        values.push(Value::Str(row.resil.as_ref().unwrap_or(&empty).to_json().compact()));
+    }
+    for col in fault_columns(&row.faults) {
+        values.push(Value::Str(col));
+    }
+    values.push(Value::U32(row.corr_nan as u32));
+    values.push(Value::U32(row.corr_inf as u32));
+    values
+}
+
+/// Renders one decoded store row as a JSON object line for
+/// `rows.jsonl`. The detection cells already hold JSON text, so they
+/// embed verbatim; the fault columns contain only `[0-9;sv-]`
+/// characters and need no escaping.
+pub(crate) fn store_row_to_json_line(values: &[Value], resil: bool) -> Result<String, CoreError> {
+    use crate::artifact::{cell_str, cell_u64};
+    let image_id = cell_u64(values, 0)?;
+    let gt = cell_str(values, 1)?;
+    let orig = cell_str(values, 2)?;
+    let corr = cell_str(values, 3)?;
+    let mut line = format!(
+        "{{\"image_id\":{image_id},\"ground_truth\":{gt},\"orig\":{orig},\"corr\":{corr}"
+    );
+    let mut idx = 4;
+    if resil {
+        let r = cell_str(values, idx)?;
+        line.push_str(&format!(",\"resil\":{r}"));
+        idx += 1;
+    }
+    for name in
+        ["fault_layers", "fault_channels", "fault_depths", "fault_heights", "fault_widths", "fault_bits"]
+    {
+        let v = cell_str(values, idx)?;
+        line.push_str(&format!(",\"{name}\":\"{v}\""));
+        idx += 1;
+    }
+    let nan = cell_u64(values, idx)?;
+    let inf = cell_u64(values, idx + 1)?;
+    line.push_str(&format!(",\"nan_count\":{nan},\"inf_count\":{inf}}}\n"));
+    Ok(line)
 }
 
 /// Runs the fault-free / faulty (/ hardened) detection passes for one
@@ -520,27 +591,6 @@ mod tests {
             assert!(row.resil.is_none());
         }
         assert_eq!(result.trace.entries.len(), 4);
-    }
-
-    #[test]
-    fn deprecated_run_matches_run_with_default() {
-        let mut s = Scenario::default();
-        s.dataset_size = 3;
-        s.injection_target = InjectionTarget::Weights;
-        let via_config = run_campaign(s.clone());
-        let dcfg = DetectorConfig { input_hw: 32, width_mult: 0.125, ..DetectorConfig::default() };
-        let mut det = YoloGrid::new(&dcfg);
-        let ds = DetectionDataset::new(3, dcfg.num_classes, 3, 32, 3);
-        let loader = DetectionLoader::new(ds, s.batch_size);
-        #[allow(deprecated)]
-        let via_run = ObjDetCampaign::new(&mut det, s, loader).run().unwrap();
-        assert_eq!(via_config.rows.len(), via_run.rows.len());
-        for (a, b) in via_config.rows.iter().zip(via_run.rows.iter()) {
-            assert_eq!(a.orig, b.orig);
-            assert_eq!(a.corr, b.corr);
-            assert_eq!(a.faults, b.faults);
-        }
-        assert_eq!(via_config.trace, via_run.trace);
     }
 
     #[test]

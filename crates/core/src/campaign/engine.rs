@@ -15,7 +15,18 @@
 //! - [`Recorder`] meta / span / outcome / event wiring,
 //! - the [`alfi_pool`] fan-out with ordered merge and
 //!   [`CoreError::WorkerPanic`] propagation,
-//! - `save_dir` persistence (campaign outputs + `events.jsonl`).
+//! - `save_dir` persistence: the replay set ([`Artifacts`]) plus a
+//!   streaming row sink ([`ArtifactSink`]) fed one row at a time at
+//!   scope boundaries, in CSV or columnar binary format
+//!   ([`ArtifactFormat`]).
+//!
+//! Every persisted row carries a deterministic
+//! [`RowKey`] `(epoch, batch, fault_id)`: `fault_id` is the fault
+//! matrix slot that was armed while the row's scope ran, `batch` the
+//! ordinal of its loader batch within the epoch. Both drivers assign
+//! keys identically, so row artifacts are byte-identical at every
+//! thread count — and the columnar store's fault-id index answers
+//! "what did fault *n* do?" without a full scan.
 //!
 //! Scopes are *streamed* from the task (one batch materialized at a
 //! time), so memory stays bounded on large scenarios. The engine is
@@ -24,20 +35,21 @@
 //! results in work order, so outputs are bit-identical for any thread
 //! count.
 
+use crate::artifact::{ArtifactSink, Artifacts};
 use crate::campaign::config::RunConfig;
 use crate::campaign::stop::{ScopeDecision, StopReport, StopState};
 use crate::error::CoreError;
 use crate::fault::FaultRecord;
 use crate::injector::injection_event;
 use crate::matrix::{FaultMatrix, LayerTarget};
-use crate::persist::{save_events, save_metrics, RunTrace, TraceEntry};
+use crate::persist::{save_events, save_fault_matrix, save_metrics, RunTrace, TraceEntry};
 use alfi_metrics::{names, Class, Counter, HealthSink, Histogram, Registry, Watchdog};
-use alfi_scenario::{InjectionPolicy, Scenario, StopPolicy};
+use alfi_scenario::{ArtifactFormat, InjectionPolicy, Scenario, StopPolicy};
+use alfi_store::RowKey;
 use alfi_tensor::gemm::{self, KernelPath};
 use alfi_trace::{EffectClass, Phase, Recorder, RunMeta};
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
-use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -166,9 +178,19 @@ pub trait CampaignTask {
     /// fault matrix that drove the run and the applied-fault trace.
     fn finalize(&self, rows: Vec<Self::Row>, matrix: FaultMatrix, trace: RunTrace) -> Self::Result;
 
-    /// Persists the campaign's own output set into `dir` (the engine
-    /// writes `events.jsonl` alongside it).
-    fn save_result(&self, result: &Self::Result, dir: &Path) -> Result<(), CoreError>;
+    /// Builds the streaming row sink for `save_dir` persistence in the
+    /// given format, or `None` when this campaign has no per-row
+    /// artifact under `format` (detection keeps its JSON writers in
+    /// `alfi-eval` for the CSV format). Called once before the driver
+    /// starts; the engine appends every produced row in deterministic
+    /// order with its [`RowKey`] and finalizes the sink under the
+    /// `persist` trace phase. The replay set (scenario, fault matrix,
+    /// trace, events, metrics) is written by the engine itself.
+    fn make_row_sink(
+        &self,
+        format: ArtifactFormat,
+        artifacts: &Artifacts,
+    ) -> Result<Option<Box<dyn ArtifactSink<Self::Row>>>, CoreError>;
 }
 
 /// Fault-slot bookkeeping for the sequential driver: decides, per
@@ -478,9 +500,19 @@ impl<'c> Engine<'c> {
         };
         let per_image = scenario.injection_policy == InjectionPolicy::PerImage;
         let stop_policy = cfg.resolve_stop(scenario);
+        let artifacts = cfg.save_dir.as_ref().map(Artifacts::new);
+        let mut sink = match &artifacts {
+            Some(a) => {
+                std::fs::create_dir_all(a.dir())?;
+                task.make_row_sink(cfg.resolve_format(scenario), a)?
+            }
+            None => None,
+        };
         let parts = match cfg.resolve_threads(per_image) {
-            0 | 1 => sequential_parts(task, &rec, metrics.as_ref(), stop_policy),
-            threads => parallel_parts(task, threads, &rec, metrics.as_ref(), stop_policy),
+            0 | 1 => sequential_parts(task, &rec, metrics.as_ref(), stop_policy, &mut sink),
+            threads => {
+                parallel_parts(task, threads, &rec, metrics.as_ref(), stop_policy, &mut sink)
+            }
         };
         if let Some(watchdog) = watchdog {
             // Final registry sample happens inside stop(), so an
@@ -514,31 +546,39 @@ impl<'c> Engine<'c> {
                 m.stop_report(report);
             }
         }
-        let result = task.finalize(parts.rows, parts.matrix, parts.trace);
-        if let Some(dir) = &cfg.save_dir {
+        if let Some(a) = &artifacts {
             let _span = rec.span(Phase::Persist);
-            task.save_result(&result, dir)?;
-            save_events(&rec, dir)?;
-            save_metrics(registry.as_ref(), dir)?;
+            scenario.save(a.scenario()).map_err(|e| CoreError::Io(e.to_string()))?;
+            save_fault_matrix(&parts.matrix, a.faults())?;
+            parts.trace.save(a.trace())?;
+            if let Some(s) = sink.as_mut() {
+                let stats = s.finalize()?;
+                if let Some(reg) = &registry {
+                    reg.counter(
+                        names::STORE_ROWS_WRITTEN,
+                        "Result rows persisted by the artifact sink",
+                        Class::Deterministic,
+                    )
+                    .add(stats.rows);
+                    reg.counter(
+                        names::STORE_BYTES_WRITTEN,
+                        "Bytes persisted by the artifact sink",
+                        Class::Deterministic,
+                    )
+                    .add(stats.bytes);
+                }
+            }
+            save_events(&rec, a.dir())?;
+            save_metrics(registry.as_ref(), a.dir())?;
         }
-        Ok(result)
-    }
-
-    /// Bare sequential run with tracing disabled — the engine half of
-    /// the deprecated `run()` wrappers.
-    ///
-    /// # Errors
-    ///
-    /// As [`run`](Self::run), minus the parallel-only errors.
-    pub fn sequential<T: CampaignTask>(task: &T) -> Result<T::Result, CoreError> {
-        let parts = sequential_parts(task, &Recorder::disabled(), None, None)?;
         Ok(task.finalize(parts.rows, parts.matrix, parts.trace))
     }
 
-    /// Bare pooled run with tracing disabled — the engine half of the
-    /// deprecated `run_parallel(n)` wrappers. Unlike [`run`](Self::run)
-    /// with `threads: 1`, `threads == 1` here still uses the parallel
-    /// driver (pool task guards stay active).
+    /// Bare pooled run with tracing and persistence disabled. Unlike
+    /// [`run`](Self::run) with `threads: 1`, `threads == 1` here still
+    /// uses the parallel driver (pool task guards stay active), which
+    /// makes it the hook for tests that must exercise pooled fan-out
+    /// regardless of configuration.
     ///
     /// # Errors
     ///
@@ -547,7 +587,7 @@ impl<'c> Engine<'c> {
         task: &T,
         threads: usize,
     ) -> Result<T::Result, CoreError> {
-        let parts = parallel_parts(task, threads, &Recorder::disabled(), None, None)?;
+        let parts = parallel_parts(task, threads, &Recorder::disabled(), None, None, &mut None)?;
         Ok(task.finalize(parts.rows, parts.matrix, parts.trace))
     }
 }
@@ -609,12 +649,15 @@ fn classify_delta<T: CampaignTask + ?Sized>(rows: &[T::Row]) -> (u64, u64) {
 /// slots through a [`SlotCursor`] (all three policies) and processing
 /// each scope in place. With a [`StopPolicy`], every scope advances the
 /// stop state's boundary clock and the stream breaks as soon as a
-/// campaign-stop decision fires.
+/// campaign-stop decision fires. Rows stream into `sink` (when
+/// persistence is on) as each scope completes, keyed by
+/// `(epoch, batch, armed slot)`.
 fn sequential_parts<T: CampaignTask + ?Sized>(
     task: &T,
     rec: &Recorder,
     metrics: Option<&EngineMetrics>,
     policy: Option<StopPolicy>,
+    sink: &mut Option<Box<dyn ArtifactSink<T::Row>>>,
 ) -> Result<Parts<T>, CoreError> {
     let (targets, resil_targets) = resolve_checked(task)?;
     let matrix = take_or_generate(task, &targets)?;
@@ -625,9 +668,16 @@ fn sequential_parts<T: CampaignTask + ?Sized>(
     let mut cursor = SlotCursor::new(&matrix, scenario.injection_policy);
     for epoch in 0..scenario.num_runs as u64 {
         cursor.begin_epoch();
+        // Loader-batch ordinal within the epoch; −1 until the first
+        // scope so a stream that never flags `first_in_batch` still
+        // lands in batch 0.
+        let mut batch_no: i64 = -1;
         let flow = task.stream_scopes(epoch, &mut |first_in_batch, scope| {
             if stop.as_ref().is_some_and(StopState::stopped) {
                 return Ok(ControlFlow::Break(()));
+            }
+            if first_in_batch || batch_no < 0 {
+                batch_no += 1;
             }
             let Some(faults) = cursor.arm(first_in_batch) else {
                 return Ok(ControlFlow::Break(()));
@@ -649,6 +699,13 @@ fn sequential_parts<T: CampaignTask + ?Sized>(
             task.process_scope(&ctx, &scope, rec, &mut rows, &mut trace)?;
             if let Some(m) = metrics {
                 m.scope_done::<T>(&rows[row_mark..], &trace.entries[entry_mark..], started);
+            }
+            if let Some(s) = sink.as_mut() {
+                let key =
+                    RowKey::new(epoch as u32, batch_no as u32, (cursor.position() - 1) as u64);
+                for row in &rows[row_mark..] {
+                    s.append(key, row)?;
+                }
             }
             if let Some(state) = stop.as_mut() {
                 let fresh = &rows[row_mark..];
@@ -679,6 +736,7 @@ fn parallel_parts<T: CampaignTask>(
     rec: &Recorder,
     metrics: Option<&EngineMetrics>,
     policy: Option<StopPolicy>,
+    sink: &mut Option<Box<dyn ArtifactSink<T::Row>>>,
 ) -> Result<Parts<T>, CoreError> {
     if task.scenario().injection_policy != InjectionPolicy::PerImage {
         return Err(CoreError::Scenario(alfi_scenario::ScenarioError::InvalidField {
@@ -690,12 +748,22 @@ fn parallel_parts<T: CampaignTask>(
     let (targets, resil_targets) = resolve_checked(task)?;
     let matrix = take_or_generate(task, &targets)?;
 
+    // Materialize scopes with their row keys: slot == work index under
+    // `per_image`, and the batch ordinal is counted exactly as the
+    // sequential driver counts it, so both drivers key rows
+    // identically.
     let mut work: Vec<T::Scope> = Vec::new();
+    let mut keys: Vec<RowKey> = Vec::new();
     for epoch in 0..task.scenario().num_runs as u64 {
-        let flow = task.stream_scopes(epoch, &mut |_, scope| {
+        let mut batch_no: i64 = -1;
+        let flow = task.stream_scopes(epoch, &mut |first_in_batch, scope| {
             if work.len() >= matrix.num_slots() {
                 return Ok(ControlFlow::Break(()));
             }
+            if first_in_batch || batch_no < 0 {
+                batch_no += 1;
+            }
+            keys.push(RowKey::new(epoch as u32, batch_no as u32, work.len() as u64));
             work.push(scope);
             Ok(ControlFlow::Continue(()))
         })?;
@@ -736,8 +804,13 @@ fn parallel_parts<T: CampaignTask>(
             .map_err(|p| CoreError::WorkerPanic { message: p.message() })?;
         let mut rows = Vec::with_capacity(work.len());
         let mut trace = RunTrace::default();
-        for outcome in outcomes {
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
             let (r, entries) = outcome?;
+            if let Some(s) = sink.as_mut() {
+                for row in &r {
+                    s.append(keys[idx], row)?;
+                }
+            }
             rows.extend(r);
             trace.entries.extend(entries);
         }
@@ -772,6 +845,11 @@ fn parallel_parts<T: CampaignTask>(
             let (r, entries) = outcome?;
             let (sdc, due) = classify_delta::<T>(&r);
             state.observe(matrix.faults_for_slot(round[i]), r.len() as u64, sdc, due);
+            if let Some(s) = sink.as_mut() {
+                for row in &r {
+                    s.append(keys[round[i]], row)?;
+                }
+            }
             rows.extend(r);
             trace.entries.extend(entries);
         }

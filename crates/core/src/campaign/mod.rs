@@ -13,7 +13,7 @@ pub mod detection;
 pub mod engine;
 pub(crate) mod stop;
 
-pub use alfi_scenario::{CiMethod, StopPolicy, StopScope};
+pub use alfi_scenario::{ArtifactFormat, CiMethod, StopPolicy, StopScope};
 pub use classification::{
     ClassificationCampaignResult, ClassificationRow, CsvVariant, ImgClassCampaign, TopK,
 };

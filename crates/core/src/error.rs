@@ -2,6 +2,7 @@
 
 use alfi_nn::NnError;
 use alfi_scenario::ScenarioError;
+use alfi_store::StoreError;
 use std::fmt;
 
 /// Error produced by fault generation, injection or persistence.
@@ -28,6 +29,9 @@ pub enum CoreError {
     },
     /// File I/O failed.
     Io(String),
+    /// The columnar result store reported an error (I/O, corruption or
+    /// a row that does not match the campaign's schema).
+    Store(StoreError),
     /// The fault matrix is exhausted (more models requested than faults
     /// pre-generated).
     MatrixExhausted,
@@ -62,6 +66,7 @@ impl fmt::Display for CoreError {
                 write!(f, "corrupt {kind} file: {reason}")
             }
             CoreError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CoreError::Store(e) => write!(f, "result store error: {e}"),
             CoreError::MatrixExhausted => {
                 f.write_str("fault matrix exhausted: no pre-generated faults remain")
             }
@@ -78,6 +83,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Nn(e) => Some(e),
             CoreError::Scenario(e) => Some(e),
+            CoreError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -98,6 +104,12 @@ impl From<ScenarioError> for CoreError {
 impl From<std::io::Error> for CoreError {
     fn from(e: std::io::Error) -> Self {
         CoreError::Io(e.to_string())
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
     }
 }
 

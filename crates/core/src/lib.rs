@@ -22,7 +22,10 @@
 //!    versioned, checksummed binary files for exact replay.
 //! 6. [`campaign`] runs the high-level `TestErrorModels_*` flows over
 //!    classification and detection models.
-//! 7. [`baseline`] reimplements plain PyTorchFI-style ad-hoc injection as
+//! 7. [`artifact`] catalogs the output-file set ([`Artifacts`]) and
+//!    streams per-image rows through an [`ArtifactSink`] — CSV or the
+//!    columnar `alfi-store` binary, selected per run.
+//! 8. [`baseline`] reimplements plain PyTorchFI-style ad-hoc injection as
 //!    the efficiency comparator.
 //!
 //! # Example
@@ -50,6 +53,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod artifact;
 pub mod baseline;
 pub mod campaign;
 pub mod error;
@@ -61,6 +65,10 @@ pub mod persist;
 pub mod stats;
 pub mod sweep;
 
+pub use artifact::{
+    store_to_files, store_to_texts, text_to_store, ArtifactSink, Artifacts, ColumnarSink,
+    ReplayReader, SinkStats,
+};
 pub use error::CoreError;
 pub use fault::{AppliedFault, FaultRecord, FaultValue};
 pub use campaign::RunConfig;

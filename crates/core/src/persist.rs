@@ -19,21 +19,7 @@ const FAULT_MAGIC: &[u8; 8] = b"ALFIFLT1";
 const TRACE_MAGIC: &[u8; 8] = b"ALFITRC1";
 const FORMAT_VERSION: u32 = 1;
 
-/// Computes the CRC32 (IEEE 802.3 polynomial, reflected) of a byte slice.
-///
-/// Implemented locally — no checksum crate ships with the offline
-/// toolchain — and exercised against known vectors in the tests.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
-        crc ^= byte as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+pub use alfi_store::crc32;
 
 
 /// Little-endian write helpers over a plain `Vec<u8>` buffer — the
@@ -67,17 +53,22 @@ impl PutExt for Vec<u8> {
 
 /// Little-endian cursor over a byte slice.
 ///
-/// The `get_*` methods panic when out of bounds; every call site checks
-/// [`Reader::remaining`] first, mirroring the original `bytes`-based
-/// decoding discipline.
+/// Every `get_*` method is fallible: running past the end of the buffer
+/// yields a typed [`CoreError::CorruptFile`] naming the file kind, so a
+/// truncated or garbage file surfaces as an error instead of a panic.
 struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
+    kind: &'static str,
 }
 
 impl<'a> Reader<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        Reader { data, pos: 0 }
+    fn new(data: &'a [u8], kind: &'static str) -> Self {
+        Reader { data, pos: 0, kind }
+    }
+
+    fn corrupt(&self, reason: impl Into<String>) -> CoreError {
+        CoreError::CorruptFile { kind: self.kind, reason: reason.into() }
     }
 
     fn remaining(&self) -> usize {
@@ -93,31 +84,32 @@ impl<'a> Reader<'a> {
         &self.data[self.pos..]
     }
 
-    fn take(&mut self, n: usize) -> &'a [u8] {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        if self.remaining() < n {
+            return Err(self.corrupt(format!(
+                "truncated: need {n} more bytes, have {}",
+                self.remaining()
+            )));
+        }
         let chunk = &self.data[self.pos..self.pos + n];
         self.pos += n;
-        chunk
+        Ok(chunk)
     }
 
-    fn get_u8(&mut self) -> u8 {
-        self.take(1)[0]
+    fn get_u8(&mut self) -> Result<u8, CoreError> {
+        Ok(self.take(1)?[0])
     }
 
-    fn get_u32_le(&mut self) -> u32 {
-        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    fn get_u32_le(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap_or([0; 4])))
     }
 
-    fn get_u64_le(&mut self) -> u64 {
-        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    fn get_u64_le(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap_or([0; 8])))
     }
 
-    fn get_f32_le(&mut self) -> f32 {
-        f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
-    }
-
-    fn copy_to_slice(&mut self, out: &mut [u8]) {
-        let n = out.len();
-        out.copy_from_slice(self.take(n));
+    fn get_f32_le(&mut self) -> Result<f32, CoreError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap_or([0; 4])))
     }
 }
 
@@ -161,31 +153,23 @@ fn put_record(buf: &mut Vec<u8>, r: &FaultRecord) {
 }
 
 fn get_record(buf: &mut Reader<'_>) -> Result<FaultRecord, CoreError> {
-    if buf.remaining() < 4 * 6 + 1 + 1 + 1 + 1 + 4 {
-        return Err(CoreError::CorruptFile { kind: "fault", reason: "truncated record".into() });
-    }
-    let batch = buf.get_u32_le() as usize;
-    let layer = buf.get_u32_le() as usize;
-    let channel = buf.get_u32_le() as usize;
-    let channel_in = buf.get_u32_le() as usize;
-    let has_depth = buf.get_u8();
-    let depth_v = buf.get_u32_le() as usize;
-    let height = buf.get_u32_le() as usize;
-    let width = buf.get_u32_le() as usize;
-    let tag = buf.get_u8();
-    let pos = buf.get_u8();
-    let high = buf.get_u8();
-    let fval = buf.get_f32_le();
+    let batch = buf.get_u32_le()? as usize;
+    let layer = buf.get_u32_le()? as usize;
+    let channel = buf.get_u32_le()? as usize;
+    let channel_in = buf.get_u32_le()? as usize;
+    let has_depth = buf.get_u8()?;
+    let depth_v = buf.get_u32_le()? as usize;
+    let height = buf.get_u32_le()? as usize;
+    let width = buf.get_u32_le()? as usize;
+    let tag = buf.get_u8()?;
+    let pos = buf.get_u8()?;
+    let high = buf.get_u8()?;
+    let fval = buf.get_f32_le()?;
     let value = match tag {
         0 => FaultValue::BitFlip(pos),
         1 => FaultValue::StuckAt { pos, high: high != 0 },
         2 => FaultValue::Replace(fval),
-        t => {
-            return Err(CoreError::CorruptFile {
-                kind: "fault",
-                reason: format!("unknown value tag {t}"),
-            })
-        }
+        t => return Err(buf.corrupt(format!("unknown value tag {t}"))),
     };
     Ok(FaultRecord {
         batch,
@@ -227,51 +211,39 @@ pub fn encode_fault_matrix(m: &FaultMatrix) -> Vec<u8> {
 ///
 /// Returns [`CoreError::CorruptFile`] for any structural damage.
 pub fn decode_fault_matrix(data: &[u8]) -> Result<FaultMatrix, CoreError> {
-    let mut buf = Reader::new(data);
-    if buf.remaining() < 8 + 4 + 8 + 4 {
-        return Err(CoreError::CorruptFile { kind: "fault", reason: "file too short".into() });
+    let mut buf = Reader::new(data, "fault");
+    let magic = buf.take(8)?;
+    if magic != FAULT_MAGIC {
+        return Err(buf.corrupt("bad magic"));
     }
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != FAULT_MAGIC {
-        return Err(CoreError::CorruptFile { kind: "fault", reason: "bad magic".into() });
-    }
-    let version = buf.get_u32_le();
+    let version = buf.get_u32_le()?;
     if version != FORMAT_VERSION {
-        return Err(CoreError::CorruptFile {
-            kind: "fault",
-            reason: format!("unsupported version {version}"),
-        });
+        return Err(buf.corrupt(format!("unsupported version {version}")));
     }
-    let body_len = buf.get_u64_le() as usize;
-    let checksum = buf.get_u32_le();
+    let body_len = buf.get_u64_le()? as usize;
+    let checksum = buf.get_u32_le()?;
     if buf.remaining() != body_len {
-        return Err(CoreError::CorruptFile {
-            kind: "fault",
-            reason: format!("body length mismatch: header says {body_len}, got {}", buf.remaining()),
-        });
+        return Err(buf.corrupt(format!(
+            "body length mismatch: header says {body_len}, got {}",
+            buf.remaining()
+        )));
     }
     if crc32(buf.rest()) != checksum {
-        return Err(CoreError::CorruptFile { kind: "fault", reason: "checksum mismatch".into() });
+        return Err(buf.corrupt("checksum mismatch"));
     }
-    let target = match buf.get_u8() {
+    let target = match buf.get_u8()? {
         0 => InjectionTarget::Neurons,
         1 => InjectionTarget::Weights,
-        t => {
-            return Err(CoreError::CorruptFile {
-                kind: "fault",
-                reason: format!("unknown target tag {t}"),
-            })
-        }
+        t => return Err(buf.corrupt(format!("unknown target tag {t}"))),
     };
-    let faults_per_image = buf.get_u32_le() as usize;
-    let n = buf.get_u64_le() as usize;
+    let faults_per_image = buf.get_u32_le()? as usize;
+    let n = buf.get_u64_le()? as usize;
     let mut records = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         records.push(get_record(&mut buf)?);
     }
     if buf.has_remaining() {
-        return Err(CoreError::CorruptFile { kind: "fault", reason: "trailing bytes".into() });
+        return Err(buf.corrupt("trailing bytes"));
     }
     Ok(FaultMatrix { records, target, faults_per_image })
 }
@@ -387,59 +359,38 @@ impl RunTrace {
     ///
     /// Returns [`CoreError::CorruptFile`] for any structural damage.
     pub fn decode(data: &[u8]) -> Result<RunTrace, CoreError> {
-        let mut buf = Reader::new(data);
-        if buf.remaining() < 8 + 4 + 8 + 4 {
-            return Err(CoreError::CorruptFile { kind: "trace", reason: "file too short".into() });
+        let mut buf = Reader::new(data, "trace");
+        let magic = buf.take(8)?;
+        if magic != TRACE_MAGIC {
+            return Err(buf.corrupt("bad magic"));
         }
-        let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
-        if &magic != TRACE_MAGIC {
-            return Err(CoreError::CorruptFile { kind: "trace", reason: "bad magic".into() });
-        }
-        let version = buf.get_u32_le();
+        let version = buf.get_u32_le()?;
         if version != FORMAT_VERSION {
-            return Err(CoreError::CorruptFile {
-                kind: "trace",
-                reason: format!("unsupported version {version}"),
-            });
+            return Err(buf.corrupt(format!("unsupported version {version}")));
         }
-        let body_len = buf.get_u64_le() as usize;
-        let checksum = buf.get_u32_le();
+        let body_len = buf.get_u64_le()? as usize;
+        let checksum = buf.get_u32_le()?;
         if buf.remaining() != body_len {
-            return Err(CoreError::CorruptFile { kind: "trace", reason: "body length mismatch".into() });
+            return Err(buf.corrupt("body length mismatch"));
         }
         if crc32(buf.rest()) != checksum {
-            return Err(CoreError::CorruptFile { kind: "trace", reason: "checksum mismatch".into() });
+            return Err(buf.corrupt("checksum mismatch"));
         }
-        let n = buf.get_u64_le() as usize;
+        let n = buf.get_u64_le()? as usize;
         let mut entries = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
-            if buf.remaining() < 8 {
-                return Err(CoreError::CorruptFile { kind: "trace", reason: "truncated entry".into() });
-            }
-            let image_id = buf.get_u64_le();
-            let record = get_record(&mut buf).map_err(|_| CoreError::CorruptFile {
-                kind: "trace",
-                reason: "truncated record".into(),
-            })?;
-            if buf.remaining() < 4 + 4 + 1 + 4 + 4 {
-                return Err(CoreError::CorruptFile { kind: "trace", reason: "truncated entry".into() });
-            }
-            let original = buf.get_f32_le();
-            let corrupted = buf.get_f32_le();
-            let direction = match buf.get_u8() {
+            let image_id = buf.get_u64_le()?;
+            let record = get_record(&mut buf)?;
+            let original = buf.get_f32_le()?;
+            let corrupted = buf.get_f32_le()?;
+            let direction = match buf.get_u8()? {
                 0 => None,
                 1 => Some(FlipDirection::ZeroToOne),
                 2 => Some(FlipDirection::OneToZero),
-                t => {
-                    return Err(CoreError::CorruptFile {
-                        kind: "trace",
-                        reason: format!("unknown direction tag {t}"),
-                    })
-                }
+                t => return Err(buf.corrupt(format!("unknown direction tag {t}"))),
             };
-            let output_nan_count = buf.get_u32_le();
-            let output_inf_count = buf.get_u32_le();
+            let output_nan_count = buf.get_u32_le()?;
+            let output_inf_count = buf.get_u32_le()?;
             entries.push(TraceEntry {
                 image_id,
                 applied: AppliedFault { record, original, corrupted, direction },
@@ -448,7 +399,7 @@ impl RunTrace {
             });
         }
         if buf.has_remaining() {
-            return Err(CoreError::CorruptFile { kind: "trace", reason: "trailing bytes".into() });
+            return Err(buf.corrupt("trailing bytes"));
         }
         Ok(RunTrace { entries })
     }

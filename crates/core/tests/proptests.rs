@@ -69,6 +69,7 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
         weighted_layer_selection: gen::any_bool(rng),
         seed: gen::any_u64(rng),
         stop_policy: None,
+        artifact_format: None,
     }
 }
 

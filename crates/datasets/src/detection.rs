@@ -19,6 +19,8 @@ pub struct GroundTruthBox {
     pub category_id: usize,
 }
 
+alfi_serde::json_struct!(GroundTruthBox { bbox, category_id });
+
 /// One detection sample.
 #[derive(Debug, Clone)]
 pub struct DetectionSample {

@@ -93,6 +93,17 @@ pub mod names {
     /// Fault scopes skipped because their layer stratum was already
     /// retired by the stop policy (deterministic).
     pub const ENGINE_SCOPES_SKIPPED: &str = "alfi_engine_scopes_skipped_total";
+    /// Result rows appended to the campaign's artifact sink
+    /// (deterministic).
+    pub const STORE_ROWS_WRITTEN: &str = "alfi_store_rows_written_total";
+    /// Bytes persisted by the campaign's artifact sink (deterministic —
+    /// artifacts are byte-identical at every thread count).
+    pub const STORE_BYTES_WRITTEN: &str = "alfi_store_bytes_written_total";
+    /// Rows returned by columnar-store replay lookups (runtime).
+    pub const STORE_ROWS_READ: &str = "alfi_store_rows_read_total";
+    /// Bytes fetched from disk by columnar-store replay lookups
+    /// (runtime).
+    pub const STORE_BYTES_READ: &str = "alfi_store_bytes_read_total";
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();

@@ -25,7 +25,7 @@ pub mod scenario;
 pub mod yaml;
 
 pub use scenario::{
-    CiMethod, FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerType,
-    Scenario, ScenarioError, StopPolicy, StopScope,
+    ArtifactFormat, CiMethod, FaultCount, FaultDuration, FaultMode, InjectionPolicy,
+    InjectionTarget, LayerType, Scenario, ScenarioError, StopPolicy, StopScope,
 };
 pub use yaml::{ParseYamlError, Yaml};

@@ -146,6 +146,42 @@ impl FaultCount {
     }
 }
 
+/// On-disk format for campaign outcome rows.
+///
+/// `Csv` emits the paper's classic `results_*.csv` set; `Binary` writes
+/// a single columnar `rows.alfic` store (smaller, checksummed, and
+/// replay-indexed by fault id) that converts back to the exact CSV
+/// bytes on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArtifactFormat {
+    /// Plain-text CSV result tables (the default).
+    #[default]
+    Csv,
+    /// Columnar binary result store (`rows.alfic`).
+    Binary,
+}
+
+impl fmt::Display for ArtifactFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArtifactFormat::Csv => "csv",
+            ArtifactFormat::Binary => "binary",
+        })
+    }
+}
+
+impl std::str::FromStr for ArtifactFormat {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "csv" => Ok(ArtifactFormat::Csv),
+            "binary" => Ok(ArtifactFormat::Binary),
+            _ => Err(invalid("format", "expected `csv` or `binary`")),
+        }
+    }
+}
+
 /// Which population a [`StopPolicy`] tracks when deciding to stop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StopScope {
@@ -334,6 +370,11 @@ pub struct Scenario {
     /// executes the full fault matrix; the key is omitted from the YAML
     /// serialization when unset so legacy scenarios hash identically.
     pub stop_policy: Option<StopPolicy>,
+    /// Optional on-disk format for outcome rows (YAML key `format`).
+    /// `None` defaults to CSV and — like `stop_policy` — is omitted
+    /// from the serialization so legacy scenario files and replay
+    /// fingerprints are unchanged.
+    pub artifact_format: Option<ArtifactFormat>,
 }
 
 impl Default for Scenario {
@@ -352,6 +393,7 @@ impl Default for Scenario {
             weighted_layer_selection: true,
             seed: 0,
             stop_policy: None,
+            artifact_format: None,
         }
     }
 }
@@ -480,6 +522,16 @@ impl Scenario {
                 _ => Some(parse_stop_policy(v)?),
             };
         }
+        if let Some(v) = y.get("format") {
+            s.artifact_format = match v {
+                Yaml::Null => None,
+                _ => Some(
+                    v.as_str()
+                        .ok_or_else(|| invalid("format", "expected `csv` or `binary`"))?
+                        .parse()?,
+                ),
+            };
+        }
         Ok(s)
     }
 
@@ -519,6 +571,9 @@ impl Scenario {
         // of campaigns that never opted into early stopping.
         if let Some(p) = &self.stop_policy {
             m.insert("stop_policy".into(), stop_policy_yaml(p));
+        }
+        if let Some(fmt) = &self.artifact_format {
+            m.insert("format".into(), Yaml::Str(fmt.to_string()));
         }
         Yaml::Map(m).to_yaml_string()
     }
@@ -731,6 +786,7 @@ mod tests {
                 scope: StopScope::PerLayer,
                 method: CiMethod::ClopperPearson,
             }),
+            artifact_format: Some(ArtifactFormat::Binary),
         };
         let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
         assert_eq!(s, back);
@@ -838,6 +894,27 @@ seed: 1234
             let e = Scenario::from_yaml_str(bad).unwrap_err();
             assert!(e.to_string().contains("stop_policy"), "{bad}: {e}");
         }
+    }
+
+    #[test]
+    fn artifact_format_parses_and_is_omitted_by_default() {
+        let s = Scenario::default();
+        assert_eq!(s.artifact_format, None);
+        assert!(!s.to_yaml_string().contains("format"));
+
+        let s = Scenario::from_yaml_str("format: binary\n").unwrap();
+        assert_eq!(s.artifact_format, Some(ArtifactFormat::Binary));
+        assert!(s.to_yaml_string().contains("format: binary"));
+        let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+        assert_eq!(s, back);
+
+        let s = Scenario::from_yaml_str("format: csv\n").unwrap();
+        assert_eq!(s.artifact_format, Some(ArtifactFormat::Csv));
+        let s = Scenario::from_yaml_str("format: null\n").unwrap();
+        assert_eq!(s.artifact_format, None);
+        assert!(Scenario::from_yaml_str("format: parquet\n").is_err());
+        assert_eq!("binary".parse::<ArtifactFormat>().unwrap(), ArtifactFormat::Binary);
+        assert!("xml".parse::<ArtifactFormat>().is_err());
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use alfi_check::{check_with, gen};
 use alfi_rng::Rng;
 use alfi_scenario::{
-    CiMethod, FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerType,
-    Scenario, StopPolicy, StopScope, Yaml,
+    ArtifactFormat, CiMethod, FaultCount, FaultDuration, FaultMode, InjectionPolicy,
+    InjectionTarget, LayerType, Scenario, StopPolicy, StopScope, Yaml,
 };
 use std::collections::BTreeMap;
 
@@ -82,6 +82,11 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
         weighted_layer_selection: gen::any_bool(rng),
         seed: gen::any_u64(rng),
         stop_policy: if gen::any_bool(rng) { Some(arb_stop_policy(rng)) } else { None },
+        artifact_format: match rng.gen_range(0usize..3) {
+            0 => None,
+            1 => Some(ArtifactFormat::Csv),
+            _ => Some(ArtifactFormat::Binary),
+        },
     }
 }
 

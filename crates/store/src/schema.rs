@@ -1,0 +1,253 @@
+//! Row keys, column types, encodings and typed cell values.
+
+use crate::error::StoreError;
+use std::collections::BTreeMap;
+
+/// The replay key of one stored row: which epoch, which batch within
+/// that epoch, and which fault-matrix slot produced it.
+///
+/// Writers must append rows with non-decreasing `fault_id` — the
+/// trailing index binary-searches on it — which campaign drivers get
+/// for free because the [`SlotCursor`] hands out slots monotonically.
+///
+/// [`SlotCursor`]: https://example.invalid/alfi
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowKey {
+    /// Zero-based epoch of the campaign run.
+    pub epoch: u32,
+    /// Zero-based batch index within the epoch.
+    pub batch: u32,
+    /// Global fault-matrix slot index (monotone across epochs).
+    pub fault_id: u64,
+}
+
+impl RowKey {
+    /// Builds a key from its three parts.
+    pub fn new(epoch: u32, batch: u32, fault_id: u64) -> Self {
+        RowKey { epoch, batch, fault_id }
+    }
+}
+
+/// The physical type of one column's cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Unsigned byte, stored raw.
+    U8,
+    /// Unsigned 32-bit integer, stored as LEB128 varints.
+    U32,
+    /// Unsigned 64-bit integer, stored as LEB128 varints.
+    U64,
+    /// IEEE-754 single float, stored as raw little-endian bits (NaN and
+    /// infinity payloads survive bit-exactly).
+    F32,
+    /// UTF-8 string, stored length-prefixed.
+    Str,
+}
+
+impl ColumnType {
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            ColumnType::U8 => 0,
+            ColumnType::U32 => 1,
+            ColumnType::U64 => 2,
+            ColumnType::F32 => 3,
+            ColumnType::Str => 4,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Result<Self, StoreError> {
+        Ok(match tag {
+            0 => ColumnType::U8,
+            1 => ColumnType::U32,
+            2 => ColumnType::U64,
+            3 => ColumnType::F32,
+            4 => ColumnType::Str,
+            t => return Err(StoreError::corrupt(format!("unknown column type tag {t}"))),
+        })
+    }
+}
+
+/// How a column's cells are encoded inside a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Type-native encoding: raw bytes (`U8`), varints (`U32`/`U64`),
+    /// raw LE bits (`F32`), varint-length-prefixed bytes (`Str`).
+    Plain,
+    /// First value verbatim, then zigzag varint deltas. Integer columns
+    /// only — built for monotone keys like image ids where deltas are
+    /// tiny.
+    Delta,
+    /// Front coding: shared-prefix length with the previous value, then
+    /// the suffix. String columns only — built for file-name columns
+    /// that share long directory prefixes.
+    Prefix,
+}
+
+impl Encoding {
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Delta => 1,
+            Encoding::Prefix => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Result<Self, StoreError> {
+        Ok(match tag {
+            0 => Encoding::Plain,
+            1 => Encoding::Delta,
+            2 => Encoding::Prefix,
+            t => return Err(StoreError::corrupt(format!("unknown encoding tag {t}"))),
+        })
+    }
+}
+
+/// One column declaration: name, cell type and block encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpec {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Physical cell type.
+    pub ty: ColumnType,
+    /// Block encoding; must be compatible with `ty`.
+    pub encoding: Encoding,
+}
+
+impl ColumnSpec {
+    /// Builds a column spec.
+    pub fn new(name: impl Into<String>, ty: ColumnType, encoding: Encoding) -> Self {
+        ColumnSpec { name: name.into(), ty, encoding }
+    }
+}
+
+/// A store file's column directory plus free-form metadata pairs
+/// (campaign kind, resilience flag, …) persisted in the header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// User columns in storage order. The three key columns
+    /// (`epoch`, `batch`, `fault_id`) are implicit and never listed.
+    pub columns: Vec<ColumnSpec>,
+    /// Header metadata, serialized in sorted key order.
+    pub meta: BTreeMap<String, String>,
+}
+
+impl Schema {
+    /// Builds a schema over the given columns with no metadata.
+    pub fn new(columns: Vec<ColumnSpec>) -> Self {
+        Schema { columns, meta: BTreeMap::new() }
+    }
+
+    /// Adds a metadata pair (builder style).
+    #[must_use]
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.insert(key.into(), value.into());
+        self
+    }
+
+    /// Checks structural invariants: non-empty unique column names and
+    /// type-compatible encodings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Schema`] on any violation.
+    pub fn validate(&self) -> Result<(), StoreError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &self.columns {
+            if c.name.is_empty() {
+                return Err(StoreError::schema("empty column name"));
+            }
+            if !seen.insert(c.name.as_str()) {
+                return Err(StoreError::schema(format!("duplicate column name `{}`", c.name)));
+            }
+            match (c.encoding, c.ty) {
+                (Encoding::Plain, _) => {}
+                (Encoding::Delta, ColumnType::U32 | ColumnType::U64) => {}
+                (Encoding::Delta, ty) => {
+                    return Err(StoreError::schema(format!(
+                        "delta encoding requires an integer column, `{}` is {ty:?}",
+                        c.name
+                    )))
+                }
+                (Encoding::Prefix, ColumnType::Str) => {}
+                (Encoding::Prefix, ty) => {
+                    return Err(StoreError::schema(format!(
+                        "prefix encoding requires a string column, `{}` is {ty:?}",
+                        c.name
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One typed cell value.
+///
+/// Equality compares `F32` cells by bit pattern, so a decoded NaN
+/// payload compares equal to the NaN that was written — the property
+/// the codec round-trip tests rely on.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// An unsigned byte.
+    U8(u8),
+    /// An unsigned 32-bit integer.
+    U32(u32),
+    /// An unsigned 64-bit integer.
+    U64(u64),
+    /// A single float (NaN/Inf payloads preserved bit-exactly).
+    F32(f32),
+    /// A UTF-8 string.
+    Str(String),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::U8(a), Value::U8(b)) => a == b,
+            (Value::U32(a), Value::U32(b)) => a == b,
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::F32(a), Value::F32(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Value {
+    /// The physical type of this cell.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::U8(_) => ColumnType::U8,
+            Value::U32(_) => ColumnType::U32,
+            Value::U64(_) => ColumnType::U64,
+            Value::F32(_) => ColumnType::F32,
+            Value::Str(_) => ColumnType::Str,
+        }
+    }
+
+    /// Integer view of an integer cell.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U8(v) => Some(u64::from(*v)),
+            Value::U32(v) => Some(u64::from(*v)),
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float view of an `F32` cell.
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Value::F32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view of a `Str` cell.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Append-only store writer.
+
+use crate::codec::{
+    encode_block_payload, encode_header, encode_index, IndexEntry, END_MAGIC,
+};
+use crate::crc32;
+use crate::error::StoreError;
+use crate::schema::{RowKey, Schema, Value};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Default rows per block — small enough that a replay lookup touches
+/// a few KiB, large enough that varint/delta streams amortize.
+pub const DEFAULT_BLOCK_ROWS: u32 = 256;
+
+/// Summary returned by [`StoreWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Rows appended.
+    pub rows: u64,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// Blocks written.
+    pub blocks: u64,
+}
+
+/// Streams rows into a columnar store file: buffers up to `block_rows`
+/// rows, encodes them column-by-column into a checksummed block, and
+/// writes the block index plus fixed trailer on [`finish`].
+///
+/// [`finish`]: StoreWriter::finish
+pub struct StoreWriter {
+    out: BufWriter<File>,
+    schema: Schema,
+    block_rows: u32,
+    offset: u64,
+    keys: Vec<RowKey>,
+    rows: Vec<Vec<Value>>,
+    index: Vec<IndexEntry>,
+    total_rows: u64,
+    last_fault_id: Option<u64>,
+}
+
+impl StoreWriter {
+    /// Creates (truncating) a store file and writes its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Schema`] for an invalid schema or zero
+    /// `block_rows`, [`StoreError::Io`] on filesystem failure.
+    pub fn create(
+        path: impl AsRef<Path>,
+        schema: Schema,
+        block_rows: u32,
+    ) -> Result<Self, StoreError> {
+        schema.validate()?;
+        if block_rows == 0 {
+            return Err(StoreError::schema("block_rows must be positive"));
+        }
+        let file = File::create(path.as_ref())?;
+        let mut out = BufWriter::new(file);
+        let header = encode_header(&schema, block_rows);
+        out.write_all(&header)?;
+        Ok(StoreWriter {
+            out,
+            schema,
+            block_rows,
+            offset: header.len() as u64,
+            keys: Vec::new(),
+            rows: Vec::new(),
+            index: Vec::new(),
+            total_rows: 0,
+            last_fault_id: None,
+        })
+    }
+
+    /// The schema this writer enforces.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Appends one row. Cells must match the schema's column types in
+    /// order, and `key.fault_id` must be non-decreasing across appends
+    /// (the index binary-searches on it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Schema`] for arity/type/key-order
+    /// violations, [`StoreError::Io`] when flushing a full block fails.
+    pub fn append(&mut self, key: RowKey, values: &[Value]) -> Result<(), StoreError> {
+        if values.len() != self.schema.columns.len() {
+            return Err(StoreError::schema(format!(
+                "row has {} cells, schema has {} columns",
+                values.len(),
+                self.schema.columns.len()
+            )));
+        }
+        for (v, c) in values.iter().zip(&self.schema.columns) {
+            if v.column_type() != c.ty {
+                return Err(StoreError::schema(format!(
+                    "cell for column `{}` is {:?}, expected {:?}",
+                    c.name,
+                    v.column_type(),
+                    c.ty
+                )));
+            }
+        }
+        if let Some(last) = self.last_fault_id {
+            if key.fault_id < last {
+                return Err(StoreError::schema(format!(
+                    "fault_id must be non-decreasing: {} after {last}",
+                    key.fault_id
+                )));
+            }
+        }
+        self.last_fault_id = Some(key.fault_id);
+        self.keys.push(key);
+        self.rows.push(values.to_vec());
+        self.total_rows += 1;
+        if self.keys.len() as u32 >= self.block_rows {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<(), StoreError> {
+        if self.keys.is_empty() {
+            return Ok(());
+        }
+        let payload = encode_block_payload(&self.schema, &self.keys, &self.rows);
+        let crc = crc32(&payload);
+        let record_len = 4 + payload.len() as u64 + 4;
+        self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.out.write_all(&payload)?;
+        self.out.write_all(&crc.to_le_bytes())?;
+        self.index.push(IndexEntry {
+            offset: self.offset,
+            len: record_len as u32,
+            rows: self.keys.len() as u32,
+            first: self.keys[0],
+            last: *self.keys.last().expect("non-empty block"),
+        });
+        self.offset += record_len;
+        self.keys.clear();
+        self.rows.clear();
+        Ok(())
+    }
+
+    /// Flushes the final partial block, writes the index and trailer,
+    /// and syncs the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn finish(mut self) -> Result<StoreStats, StoreError> {
+        self.flush_block()?;
+        let index_bytes = encode_index(&self.index);
+        let index_offset = self.offset;
+        self.out.write_all(&index_bytes)?;
+        self.out.write_all(&index_offset.to_le_bytes())?;
+        self.out.write_all(&(index_bytes.len() as u32).to_le_bytes())?;
+        self.out.write_all(&crc32(&index_bytes).to_le_bytes())?;
+        self.out.write_all(&self.total_rows.to_le_bytes())?;
+        self.out.write_all(END_MAGIC)?;
+        self.out.flush()?;
+        let bytes = index_offset + index_bytes.len() as u64 + crate::codec::TRAILER_LEN;
+        Ok(StoreStats { rows: self.total_rows, bytes, blocks: self.index.len() as u64 })
+    }
+}

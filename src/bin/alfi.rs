@@ -10,10 +10,13 @@
 //! alfi classify --scenario default.yml --model vgg16 --out runs/c1 [--protect ranger] [--parallel 4] [--trace on]
 //! alfi detect   --scenario default.yml --model yolo  --out runs/d1 [--trace on]
 //! alfi inspect-faults runs/c1/faults.bin
+//! alfi store info runs/c1/rows.alfic
+//! alfi store lookup runs/c1/rows.alfic 17
+//! alfi store convert runs/c1/rows.alfic --out runs/c1
 //! ```
 
 use alfi::core::campaign::{ImgClassCampaign, ObjDetCampaign, RunConfig};
-use alfi::core::{load_fault_matrix, FaultValue};
+use alfi::core::{load_fault_matrix, store_to_files, text_to_store, FaultValue, ReplayReader};
 use alfi::trace::Recorder;
 use alfi::datasets::{ClassificationDataset, ClassificationLoader, DetectionDataset, DetectionLoader};
 use alfi::eval::{
@@ -26,7 +29,8 @@ use alfi::nn::models::{alexnet, densenet_tiny, resnet50, vgg16, ModelConfig};
 use alfi::nn::train::{accuracy, train_step, SgdTrainer};
 use alfi::nn::weights::{load_weights, save_weights};
 use alfi::nn::Network;
-use alfi::scenario::{CiMethod, Scenario, StopPolicy, StopScope};
+use alfi::scenario::{ArtifactFormat, CiMethod, Scenario, StopPolicy, StopScope};
+use alfi::store::Value;
 use alfi::tensor::Tensor;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -45,15 +49,18 @@ USAGE:
                 [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
                 [--stop-halfwidth <f>] [--stop-confidence <f>]
                 [--stop-scope <campaign|per-layer>] [--stop-method <wilson|clopper-pearson>]
-                [--kernel <reference|blocked>]
+                [--kernel <reference|blocked>] [--format <csv|binary>]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi detect   --scenario <file> --model <yolo|retina|frcnn> --out <dir>
                 [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
                 [--stop-halfwidth <f>] [--stop-confidence <f>]
                 [--stop-scope <campaign|per-layer>] [--stop-method <wilson|clopper-pearson>]
-                [--kernel <reference|blocked>]
+                [--kernel <reference|blocked>] [--format <csv|binary>]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi inspect-faults <faults.bin>
+  alfi store info    <rows.alfic>
+  alfi store lookup  <rows.alfic> <fault-id>
+  alfi store convert <file> [--out <dir>]
 
 Live monitoring: --metrics-addr serves Prometheus text at GET /metrics
 for the life of the process (set ALFI_METRICS_LINGER_MS to keep it up
@@ -72,6 +79,13 @@ Kernel paths: --kernel pins the GEMM kernel (blocked = cache-blocked
 packed SIMD path, the default; reference = the sequential oracle).
 Both produce bit-identical results; the ALFI_KERNEL env var sets the
 ambient default.
+
+Result store: --format binary writes per-image rows to a columnar
+binary store (rows.alfic) instead of CSV; `alfi store convert` turns a
+store back into the exact CSV/JSON text artifacts (or any text file
+into a store), `alfi store lookup` replays the rows of one fault id
+reading at most one block plus the index, and `alfi store info`
+prints schema and block statistics.
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -125,6 +139,7 @@ fn main() -> ExitCode {
         "classify" => cmd_classify(&argv[1..]),
         "detect" => cmd_detect(&argv[1..]),
         "inspect-faults" => cmd_inspect(&argv[1..]),
+        "store" => cmd_store(&argv[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -187,6 +202,23 @@ fn kernel_config(cfg: RunConfig, args: &Args) -> Result<RunConfig, String> {
                 .parse()
                 .map_err(|_| format!("bad --kernel value `{v}` (expected reference|blocked)"))?;
             Ok(cfg.kernel(path))
+        }
+    }
+}
+
+/// Applies the `--format <csv|binary>` flag: selects the row-artifact
+/// format for the campaign. `csv` (the default) writes the classic
+/// `results_*.csv` set; `binary` writes the columnar `rows.alfic`
+/// store instead (convert back with `alfi store convert`). Without
+/// the flag any `format:` key in the scenario file applies.
+fn format_config(cfg: RunConfig, args: &Args) -> Result<RunConfig, String> {
+    match args.flags.get("format") {
+        None => Ok(cfg),
+        Some(v) => {
+            let format: ArtifactFormat = v
+                .parse()
+                .map_err(|_| format!("bad --format value `{v}` (expected csv|binary)"))?;
+            Ok(cfg.format(format))
         }
     }
 }
@@ -390,6 +422,7 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
     )?;
     let cfg = stop_config(cfg, &args)?;
     let cfg = kernel_config(cfg, &args)?;
+    let cfg = format_config(cfg, &args)?;
     let result = campaign.run_with(&cfg).map_err(|e| e.to_string())?;
     print_trace_summary(&recorder);
 
@@ -439,6 +472,7 @@ fn cmd_detect(argv: &[String]) -> Result<(), String> {
         monitoring_config(RunConfig::new().recorder(recorder.clone()).save_dir(&out_dir), &args)?;
     let cfg = stop_config(cfg, &args)?;
     let cfg = kernel_config(cfg, &args)?;
+    let cfg = format_config(cfg, &args)?;
     let result = ObjDetCampaign::new(detector.as_mut(), scenario, loader)
         .run_with(&cfg)
         .map_err(|e| e.to_string())?;
@@ -492,6 +526,116 @@ fn cmd_inspect(argv: &[String]) -> Result<(), String> {
     }
     if matrix.len() > 50 {
         println!("... ({} more)", matrix.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_store(argv: &[String]) -> Result<(), String> {
+    let sub = argv
+        .first()
+        .map(String::as_str)
+        .ok_or("expected a store subcommand (info|lookup|convert)")?;
+    let args = Args::parse(&argv[1..])?;
+    match sub {
+        "info" => store_info(&args),
+        "lookup" => store_lookup(&args),
+        "convert" => store_convert(&args),
+        other => Err(format!("unknown store subcommand `{other}` (info|lookup|convert)")),
+    }
+}
+
+/// Renders one store cell the way the text artifacts would.
+fn render_cell(value: &Value) -> String {
+    match value {
+        Value::U8(v) => format!("{v}"),
+        Value::U32(v) => format!("{v}"),
+        Value::U64(v) => format!("{v}"),
+        Value::F32(v) => format!("{v}"),
+        Value::Str(s) => s.clone(),
+    }
+}
+
+fn store_info(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("expected a rows.alfic path")?;
+    let replay = ReplayReader::open(path).map_err(|e| e.to_string())?;
+    let reader = replay.reader();
+    let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("store:      {path} ({size} bytes)");
+    println!("kind:       {}", reader.meta("kind").unwrap_or("?"));
+    println!(
+        "rows:       {} in {} block(s) of up to {} rows",
+        reader.total_rows(),
+        reader.block_count(),
+        reader.block_rows()
+    );
+    println!("columns:    {} (+ epoch/batch/fault_id keys)", reader.schema().columns.len());
+    for c in &reader.schema().columns {
+        println!("  {:<12} {:?} ({:?})", c.name, c.ty, c.encoding);
+    }
+    let meta: Vec<String> = reader
+        .schema()
+        .meta
+        .iter()
+        .filter(|(k, _)| k.as_str() != "kind")
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    if !meta.is_empty() {
+        println!("meta:       {}", meta.join(", "));
+    }
+    Ok(())
+}
+
+fn store_lookup(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("expected a rows.alfic path")?;
+    let fault_id: u64 = args
+        .positional
+        .get(1)
+        .ok_or("expected a fault id")?
+        .parse()
+        .map_err(|_| "bad fault id (expected an integer)".to_string())?;
+    let mut replay = ReplayReader::open(path).map_err(|e| e.to_string())?;
+    let rows = replay.lookup_fault(fault_id).map_err(|e| e.to_string())?;
+    let names: Vec<String> =
+        replay.reader().schema().columns.iter().map(|c| c.name.clone()).collect();
+    println!("fault {fault_id}: {} row(s)", rows.len());
+    for (key, cells) in &rows {
+        println!("epoch {} batch {}:", key.epoch, key.batch);
+        for (name, cell) in names.iter().zip(cells) {
+            println!("  {:<12} {}", name, render_cell(cell));
+        }
+    }
+    println!(
+        "read {} byte(s) across {} block(s)",
+        replay.reader().bytes_read(),
+        replay.reader().blocks_read()
+    );
+    Ok(())
+}
+
+fn store_convert(args: &Args) -> Result<(), String> {
+    let input = args.positional.first().ok_or("expected a file to convert")?;
+    let path = std::path::Path::new(input);
+    let parent = path.parent().map(|p| p.to_path_buf()).unwrap_or_default();
+    let out_dir = args
+        .flags
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or(parent);
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    if path.extension().is_some_and(|e| e == "alfic") {
+        let written = store_to_files(path, &out_dir).map_err(|e| e.to_string())?;
+        for f in &written {
+            println!("wrote {}", f.display());
+        }
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or("input file needs a UTF-8 name")?;
+        let out = out_dir.join(format!("{name}.alfic"));
+        let stats = text_to_store(&text, name, &out).map_err(|e| e.to_string())?;
+        println!("wrote {} ({} rows, {} bytes)", out.display(), stats.rows, stats.bytes);
     }
     Ok(())
 }

@@ -83,6 +83,7 @@ pub use alfi_metrics as metrics;
 pub use alfi_mitigation as mitigation;
 pub use alfi_nn as nn;
 pub use alfi_scenario as scenario;
+pub use alfi_store as store;
 pub use alfi_tensor as tensor;
 pub use alfi_trace as trace;
 
@@ -92,9 +93,10 @@ pub mod prelude {
         CampaignTask, ClassificationCampaignResult, DetectionCampaignResult, Engine,
         ImgClassCampaign, ObjDetCampaign, RunConfig,
     };
-    pub use crate::core::{attach_monitor, NanInfMonitor, RangeMonitor};
+    pub use crate::core::{attach_monitor, Artifacts, NanInfMonitor, RangeMonitor, ReplayReader};
     pub use crate::scenario::{
-        CiMethod, FaultMode, InjectionPolicy, InjectionTarget, Scenario, StopPolicy, StopScope,
+        ArtifactFormat, CiMethod, FaultMode, InjectionPolicy, InjectionTarget, Scenario,
+        StopPolicy, StopScope,
     };
     pub use crate::metrics::{HealthEvent, HealthPolicy, Registry};
     pub use crate::trace::{Recorder, StopEvent, StopOutcome, StopVerdict, TraceSummary};
