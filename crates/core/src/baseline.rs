@@ -61,6 +61,11 @@ impl AdHocInjector {
             FaultMode::RandomValue { min, max } => {
                 FaultValue::Replace(if min == max { min } else { self.rng.gen_range(min..max) })
             }
+            FaultMode::QuantStep { bits, amax, bit_range } => FaultValue::QuantStep {
+                bit: self.rng.gen_range(bit_range.0..=bit_range.1),
+                bits,
+                amax,
+            },
         };
         match self.scenario.injection_target {
             InjectionTarget::Weights => {

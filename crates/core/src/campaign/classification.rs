@@ -155,6 +155,7 @@ pub(crate) fn fault_columns(faults: &[AppliedFault]) -> [String; 6] {
             crate::fault::FaultValue::BitFlip(p) => p.to_string(),
             crate::fault::FaultValue::StuckAt { pos, .. } => format!("s{pos}"),
             crate::fault::FaultValue::Replace(_) => "v".into(),
+            crate::fault::FaultValue::QuantStep { bit, .. } => format!("q{bit}"),
         }),
     ]
 }
@@ -240,6 +241,12 @@ impl ImgClassCampaign {
     pub fn with_resil_model(mut self, resil: Network) -> Self {
         self.resil_model = Some(resil);
         self
+    }
+
+    /// Whether a hardened model is attached (drives the store schema's
+    /// column arity).
+    pub(crate) fn has_resil(&self) -> bool {
+        self.resil_model.is_some()
     }
 
     /// Runs the campaign with the given [`RunConfig`] — the single
@@ -472,9 +479,10 @@ impl CampaignTask for ImgClassCampaign {
             ArtifactFormat::Csv => Ok(Some(Box::new(ClassificationCsvSink::create(artifacts)?))),
             ArtifactFormat::Binary => {
                 let resil = self.resil_model.is_some();
+                let schema = with_layer_override_meta(store_schema(resil), &self.scenario);
                 Ok(Some(Box::new(ColumnarSink::create(
                     artifacts.rows_store(),
-                    store_schema(resil),
+                    schema,
                     move |row: &ClassificationRow| store_values(row, resil),
                 )?)))
             }
@@ -486,8 +494,9 @@ impl CampaignTask for ImgClassCampaign {
 /// `results_corr.csv` (/`results_resil.csv`) files written row by row
 /// as the engine produces them. The resil file is created lazily on
 /// the first hardened row, so runs without a resil model keep the
-/// two-file layout.
-struct ClassificationCsvSink {
+/// two-file layout. Shared with the ViT campaign, whose rows use the
+/// identical CSV shape.
+pub(crate) struct ClassificationCsvSink {
     orig: io::BufWriter<File>,
     corr: io::BufWriter<File>,
     resil: Option<io::BufWriter<File>>,
@@ -497,7 +506,7 @@ struct ClassificationCsvSink {
 }
 
 impl ClassificationCsvSink {
-    fn create(artifacts: &Artifacts) -> Result<Self, CoreError> {
+    pub(crate) fn create(artifacts: &Artifacts) -> Result<Self, CoreError> {
         let mut bytes = 0u64;
         let mut open = |path: PathBuf| -> Result<io::BufWriter<File>, CoreError> {
             let mut w = io::BufWriter::new(File::create(path)?);
@@ -570,7 +579,7 @@ impl ArtifactSink<ClassificationRow> for ClassificationCsvSink {
 /// model variant, the six fault columns and the NaN/Inf counts.
 /// Probabilities are stored as raw f32 bits, so re-rendering them
 /// reproduces the CSV text exactly.
-fn store_schema(resil: bool) -> Schema {
+pub(crate) fn store_schema(resil: bool) -> Schema {
     let mut cols = vec![
         ColumnSpec::new("image_id", ColumnType::U64, Encoding::Delta),
         ColumnSpec::new("file_name", ColumnType::Str, Encoding::Prefix),
@@ -595,8 +604,36 @@ fn store_schema(resil: bool) -> Schema {
         .with_meta("resil", if resil { "1" } else { "0" })
 }
 
+/// Appends one `layer.<pattern>` meta key per scenario `layers:`
+/// override, making binary stores self-describing about the
+/// multi-resolution fault model that produced their rows (`alfi store
+/// info` prints them as a dedicated section). Scenarios without
+/// overrides add nothing, so historical store bytes are unchanged.
+pub(crate) fn with_layer_override_meta(mut schema: Schema, scenario: &Scenario) -> Schema {
+    for (pattern, o) in &scenario.layer_overrides {
+        let mut parts = Vec::new();
+        if let Some(r) = o.rate {
+            parts.push(format!("rate={r}"));
+        }
+        if let Some(m) = &o.mode {
+            let name = match m {
+                alfi_scenario::FaultMode::BitFlip { .. } => "bit_flip",
+                alfi_scenario::FaultMode::StuckAt { .. } => "stuck_at",
+                alfi_scenario::FaultMode::RandomValue { .. } => "random_value",
+                alfi_scenario::FaultMode::QuantStep { .. } => "quant_step",
+            };
+            parts.push(format!("mode={name}"));
+        }
+        if let Some((lo, hi)) = o.channel_range {
+            parts.push(format!("channels={lo}-{hi}"));
+        }
+        schema = schema.with_meta(format!("layer.{pattern}"), parts.join(","));
+    }
+    schema
+}
+
 /// Projects one row onto the [`store_schema`] column order.
-fn store_values(row: &ClassificationRow, resil: bool) -> Vec<Value> {
+pub(crate) fn store_values(row: &ClassificationRow, resil: bool) -> Vec<Value> {
     let mut values = vec![
         Value::U64(row.image_id),
         Value::Str(row.file_name.clone()),
@@ -678,7 +715,7 @@ pub(crate) fn store_rows_to_csvs(
 /// Trace-level fault-effect classification of one row, mirroring the
 /// KPI rules in `alfi-eval`: DUE when non-finite values surfaced, SDC
 /// when the top-1 prediction silently changed, masked otherwise.
-fn classify_row(row: &ClassificationRow) -> EffectClass {
+pub(crate) fn classify_row(row: &ClassificationRow) -> EffectClass {
     let corr_top1 = row.corr_top5.first();
     if row.corr_nan + row.corr_inf > 0 || corr_top1.is_some_and(|&(_, p)| !p.is_finite()) {
         EffectClass::Due

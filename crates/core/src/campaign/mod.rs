@@ -2,7 +2,7 @@
 //! tightly couple fault-free, faulty and hardened models over a dataset
 //! and produce the paper's three output sets.
 //!
-//! Both campaigns are thin [`CampaignTask`] adapters over the shared
+//! All campaigns are thin [`CampaignTask`] adapters over the shared
 //! [`Engine`] in [`engine`], which owns policy iteration, fault-slot
 //! assignment, replay validation, tracing, pool fan-out and
 //! persistence for every campaign type and thread count.
@@ -12,6 +12,7 @@ pub mod config;
 pub mod detection;
 pub mod engine;
 pub(crate) mod stop;
+pub mod vit;
 
 pub use alfi_scenario::{ArtifactFormat, CiMethod, StopPolicy, StopScope};
 pub use classification::{
@@ -20,3 +21,4 @@ pub use classification::{
 pub use config::RunConfig;
 pub use detection::{DetectionCampaignResult, DetectionRow, ObjDetCampaign};
 pub use engine::{CampaignTask, Engine, ScopeCtx, ScopeSink, SlotCursor};
+pub use vit::VitCampaign;

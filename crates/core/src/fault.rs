@@ -23,6 +23,20 @@ pub enum FaultValue {
     },
     /// Replace the value outright.
     Replace(f32),
+    /// Flip a bit in the value's symmetric signed `bits`-wide integer
+    /// quantization (MRFI-style quantized-int perturbation): the value
+    /// is quantized with scale `amax / (2^(bits-1) - 1)`, the bit is
+    /// flipped in the two's-complement representation, and the result
+    /// is dequantized back to fp32.
+    QuantStep {
+        /// Bit position inside the `bits`-wide integer, `0 ..= bits-1`
+        /// (`bits-1` is the sign bit).
+        bit: u8,
+        /// Quantization width in bits.
+        bits: u8,
+        /// Absolute-maximum of the symmetric quantization range.
+        amax: f32,
+    },
 }
 
 /// A single pre-generated fault location + value: one column of the
@@ -32,7 +46,8 @@ pub enum FaultValue {
 ///
 /// * **Neuron faults** address the *output tensor* of a layer:
 ///   `(batch, channel, [depth,] height, width)`, or `(batch, width)` for
-///   linear-layer outputs (`channel`, `height` zero).
+///   linear-layer outputs (`channel`, `height` zero), or
+///   `(batch, height=token, width=feature)` for rank-3 token tensors.
 /// * **Weight faults** address the *weight tensor*:
 ///   `(channel_out, channel_in, [depth,] height, width)` for
 ///   convolutions and `(channel_out, width)` for linear weights; `batch`
@@ -60,15 +75,22 @@ pub struct FaultRecord {
 }
 
 impl FaultRecord {
-    /// The conceptual Table I column as `[batch, layer, channel, depth,
-    /// height, width, value-tag]` with `usize::MAX` marking an absent
-    /// depth. Used by tests asserting the matrix layout and by the
-    /// human-readable dump.
-    pub fn as_column(&self) -> [usize; 7] {
+    /// The conceptual Table I column as `[batch, layer, channel,
+    /// channel_in, depth, height, width, value-tag]` with `usize::MAX`
+    /// marking an absent depth.
+    ///
+    /// Both the neuron and the weight interpretation are projected
+    /// explicitly: `channel` is Table I's output channel, `channel_in`
+    /// is the weight-fault input channel (always `0` for neuron
+    /// faults), so nothing is dropped or conflated between the two
+    /// target kinds. Used by tests asserting the matrix layout and by
+    /// the human-readable dump.
+    pub fn as_column(&self) -> [usize; 8] {
         [
             self.batch,
             self.layer,
             self.channel,
+            self.channel_in,
             self.depth.unwrap_or(usize::MAX),
             self.height,
             self.width,
@@ -76,6 +98,7 @@ impl FaultRecord {
                 FaultValue::BitFlip(p) => p as usize,
                 FaultValue::StuckAt { pos, .. } => pos as usize,
                 FaultValue::Replace(_) => usize::MAX,
+                FaultValue::QuantStep { bit, .. } => bit as usize,
             },
         ]
     }
@@ -127,25 +150,50 @@ mod tests {
         let c = record().as_column();
         assert_eq!(c[0], 1); // batch
         assert_eq!(c[1], 4); // layer
-        assert_eq!(c[2], 7); // channel
-        assert_eq!(c[3], usize::MAX); // no depth (not conv3d)
-        assert_eq!(c[4], 3); // height
-        assert_eq!(c[5], 9); // width
-        assert_eq!(c[6], 30); // bit position
+        assert_eq!(c[2], 7); // channel (output channel for weights)
+        assert_eq!(c[3], 2); // input channel (weight faults)
+        assert_eq!(c[4], usize::MAX); // no depth (not conv3d)
+        assert_eq!(c[5], 3); // height
+        assert_eq!(c[6], 9); // width
+        assert_eq!(c[7], 30); // bit position
+    }
+
+    #[test]
+    fn neuron_and_weight_columns_are_disjoint() {
+        // Table I row ordering: a weight fault carries its input
+        // channel in column 3; a neuron fault leaves it 0. A conv3d
+        // depth lives in column 4 and never shadows either channel.
+        let weight = record();
+        let neuron = FaultRecord { channel_in: 0, depth: Some(6), ..record() };
+        assert_eq!(weight.as_column()[3], 2);
+        assert_eq!(neuron.as_column()[3], 0);
+        assert_eq!(neuron.as_column()[4], 6);
+        assert_eq!(weight.as_column()[4], usize::MAX);
+        // All other coordinates project identically.
+        for i in [0, 1, 2, 5, 6, 7] {
+            assert_eq!(weight.as_column()[i], neuron.as_column()[i], "column {i}");
+        }
     }
 
     #[test]
     fn conv3d_column_carries_depth() {
         let mut r = record();
         r.depth = Some(5);
-        assert_eq!(r.as_column()[3], 5);
+        assert_eq!(r.as_column()[4], 5);
     }
 
     #[test]
     fn replace_value_has_sentinel_tag() {
         let mut r = record();
         r.value = FaultValue::Replace(3.5);
-        assert_eq!(r.as_column()[6], usize::MAX);
+        assert_eq!(r.as_column()[7], usize::MAX);
+    }
+
+    #[test]
+    fn quant_step_tag_is_the_flipped_bit() {
+        let mut r = record();
+        r.value = FaultValue::QuantStep { bit: 5, bits: 8, amax: 4.0 };
+        assert_eq!(r.as_column()[7], 5);
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Fault *specification* resolved into a per-layer materialization plan.
+//!
+//! This module is the specification half of the fault-model split: a
+//! [`Scenario`] describes *what* to inject (campaign-wide mode, optional
+//! MRFI-style per-layer `layers:` overrides), and [`FaultModel::resolve`]
+//! turns that description into one [`LayerPlan`] per resolved target —
+//! the selection weight, fault mode and channel scope the generation
+//! loop in [`FaultMatrix::generate`](crate::matrix::FaultMatrix::generate)
+//! consumes without re-interpreting the scenario.
+//!
+//! With no `layers:` overrides the resolved plans carry exactly the
+//! base Eq. (1) (or uniform) weights and the campaign-wide mode, so the
+//! materialization loop performs the identical RNG draw sequence as the
+//! historical flat sampling loop — pinned by the golden artifacts.
+
+use crate::error::CoreError;
+use crate::matrix::{layer_weights, LayerTarget};
+use alfi_scenario::{FaultMode, InjectionTarget, LayerOverride, Scenario, ScenarioError};
+
+/// The resolved injection plan for one target layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    /// Probability of this layer being chosen for a fault (all plans of
+    /// a model sum to 1 unless every weight is 0).
+    pub weight: f64,
+    /// The value-corruption model for faults landing in this layer.
+    pub mode: FaultMode,
+    /// Inclusive output-channel scope faults are restricted to, when an
+    /// override narrowed it; `None` spans all channels.
+    pub channel_range: Option<(usize, usize)>,
+}
+
+/// A fully resolved multi-resolution fault model: one [`LayerPlan`] per
+/// target, in target order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModel {
+    plans: Vec<LayerPlan>,
+    multi_resolution: bool,
+}
+
+impl FaultModel {
+    /// Resolves a scenario against the target list: computes base
+    /// Eq. (1)/uniform weights, applies `layers:` overrides (rate
+    /// renormalization, per-layer mode, channel scope) and validates
+    /// every override against the targets it matches.
+    ///
+    /// Rate semantics are deterministic: overridden rates are clamped
+    /// to `[0, 1]`; when they sum to `S < 1` and some layers are not
+    /// overridden, the remaining `1 - S` is shared among those layers
+    /// proportionally to their base weights; when `S >= 1` (or every
+    /// layer is overridden) all rates are renormalized by `S` and
+    /// non-overridden layers get weight 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Scenario`] when a pattern matches no
+    /// target, a channel scope exceeds a matched layer's channel
+    /// count, or the overridden rates sum to zero with no base weight
+    /// left to fall back to.
+    pub fn resolve(scenario: &Scenario, targets: &[LayerTarget]) -> Result<FaultModel, CoreError> {
+        if targets.is_empty() {
+            return Err(CoreError::NoInjectableLayers);
+        }
+        let base = if scenario.weighted_layer_selection {
+            layer_weights(targets, scenario.injection_target)
+        } else {
+            vec![1.0 / targets.len() as f64; targets.len()]
+        };
+        let mut plans: Vec<LayerPlan> = base
+            .iter()
+            .map(|&weight| LayerPlan {
+                weight,
+                mode: scenario.fault_mode,
+                channel_range: None,
+            })
+            .collect();
+        if scenario.layer_overrides.is_empty() {
+            return Ok(FaultModel { plans, multi_resolution: false });
+        }
+
+        // Apply overrides in map (alphabetical) order; on overlapping
+        // patterns the later pattern wins per field, deterministically.
+        let mut rates: Vec<Option<f64>> = vec![None; targets.len()];
+        for (pattern, o) in &scenario.layer_overrides {
+            let matched =
+                apply_override(pattern, o, scenario.injection_target, targets, &mut plans, &mut rates)?;
+            if matched == 0 {
+                return Err(invalid(format!(
+                    "pattern `{pattern}` matches no injectable layer (targets: {})",
+                    target_names(targets)
+                )));
+            }
+        }
+
+        // Deterministic rate renormalization.
+        let clamped: Vec<Option<f64>> = rates.iter().map(|r| r.map(|v| v.clamp(0.0, 1.0))).collect();
+        let overridden_sum: f64 = clamped.iter().flatten().sum();
+        let rest_base: f64 = clamped
+            .iter()
+            .zip(base.iter())
+            .filter_map(|(r, &b)| r.is_none().then_some(b))
+            .sum();
+        let all_overridden = clamped.iter().all(Option::is_some);
+        if all_overridden && overridden_sum <= 0.0 {
+            return Err(invalid("per-layer rates sum to zero"));
+        }
+        if all_overridden || overridden_sum >= 1.0 {
+            for (plan, r) in plans.iter_mut().zip(clamped.iter()) {
+                plan.weight = r.map_or(0.0, |v| v / overridden_sum);
+            }
+        } else {
+            let rest_total = 1.0 - overridden_sum;
+            let rest_count = clamped.iter().filter(|r| r.is_none()).count();
+            for ((plan, r), &b) in plans.iter_mut().zip(clamped.iter()).zip(base.iter()) {
+                plan.weight = match r {
+                    Some(v) => *v,
+                    None if rest_base > 0.0 => rest_total * b / rest_base,
+                    None => rest_total / rest_count as f64,
+                };
+            }
+        }
+        Ok(FaultModel { plans, multi_resolution: true })
+    }
+
+    /// The per-target plans, in target order.
+    pub fn plans(&self) -> &[LayerPlan] {
+        &self.plans
+    }
+
+    /// Whether any `layers:` override contributed to this model (false
+    /// for the single-resolution legacy path).
+    pub fn is_multi_resolution(&self) -> bool {
+        self.multi_resolution
+    }
+
+    /// The selection weights of all plans, in target order.
+    pub fn weights(&self) -> Vec<f64> {
+        self.plans.iter().map(|p| p.weight).collect()
+    }
+}
+
+fn invalid(reason: impl Into<String>) -> CoreError {
+    CoreError::Scenario(ScenarioError::InvalidField { field: "layers", reason: reason.into() })
+}
+
+fn target_names(targets: &[LayerTarget]) -> String {
+    let names: Vec<&str> = targets.iter().take(8).map(|t| t.name.as_str()).collect();
+    let more = if targets.len() > 8 { ", ..." } else { "" };
+    format!("{}{more}", names.join(", "))
+}
+
+/// Number of addressable output channels of a target — the bound a
+/// `channels:` scope is validated against.
+fn channel_capacity(t: &LayerTarget, target: InjectionTarget) -> usize {
+    match target {
+        InjectionTarget::Weights => t.weight_dims[0],
+        InjectionTarget::Neurons => match &t.output_dims {
+            // Rank-2 linear and rank-3 token outputs address no channel
+            // coordinate; only channel 0 exists.
+            Some(d) if d.len() >= 4 => d[1],
+            Some(_) => 1,
+            None => t.weight_dims[0],
+        },
+    }
+}
+
+/// Whether `pattern` selects the target at `index`: exact name, layer
+/// index (`4`), inclusive index range (`2-5`) or name-prefix glob
+/// (`features*`).
+pub fn pattern_matches(pattern: &str, index: usize, name: &str) -> bool {
+    if pattern == name {
+        return true;
+    }
+    if let Some(prefix) = pattern.strip_suffix('*') {
+        return name.starts_with(prefix);
+    }
+    if let Ok(i) = pattern.parse::<usize>() {
+        return i == index;
+    }
+    if let Some((lo, hi)) = pattern.split_once('-') {
+        if let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) {
+            return (lo..=hi).contains(&index);
+        }
+    }
+    false
+}
+
+fn apply_override(
+    pattern: &str,
+    o: &LayerOverride,
+    target_kind: InjectionTarget,
+    targets: &[LayerTarget],
+    plans: &mut [LayerPlan],
+    rates: &mut [Option<f64>],
+) -> Result<usize, CoreError> {
+    let mut matched = 0usize;
+    for (i, t) in targets.iter().enumerate() {
+        if !pattern_matches(pattern, i, &t.name) {
+            continue;
+        }
+        matched += 1;
+        if let Some(rate) = o.rate {
+            rates[i] = Some(rate);
+        }
+        if let Some(mode) = o.mode {
+            plans[i].mode = mode;
+        }
+        if let Some((lo, hi)) = o.channel_range {
+            let cap = channel_capacity(t, target_kind);
+            if hi >= cap {
+                return Err(invalid(format!(
+                    "pattern `{pattern}`: channel scope {lo}..={hi} exceeds layer `{}` ({cap} channels)",
+                    t.name
+                )));
+            }
+            plans[i].channel_range = Some((lo, hi));
+        }
+    }
+    Ok(matched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfi_nn::models::{alexnet, ModelConfig};
+    use alfi_scenario::LayerOverride;
+    use std::collections::BTreeMap;
+
+    fn model_cfg() -> ModelConfig {
+        ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() }
+    }
+
+    fn targets(scenario: &Scenario) -> Vec<LayerTarget> {
+        let net = alexnet(&model_cfg());
+        crate::matrix::resolve_targets(
+            &[&net],
+            scenario,
+            &[Some(model_cfg().input_dims(scenario.batch_size))],
+        )
+        .unwrap()
+    }
+
+    fn override_rate(rate: f64) -> LayerOverride {
+        LayerOverride { rate: Some(rate), ..Default::default() }
+    }
+
+    #[test]
+    fn no_overrides_reproduce_base_weights() {
+        let s = Scenario::default();
+        let ts = targets(&s);
+        let m = FaultModel::resolve(&s, &ts).unwrap();
+        assert!(!m.is_multi_resolution());
+        assert_eq!(m.weights(), layer_weights(&ts, s.injection_target));
+        assert!(m.plans().iter().all(|p| p.mode == s.fault_mode && p.channel_range.is_none()));
+    }
+
+    #[test]
+    fn partial_rates_share_remainder_proportionally() {
+        let mut s = Scenario::default();
+        s.layer_overrides = BTreeMap::from([("0".to_string(), override_rate(0.5))]);
+        let ts = targets(&s);
+        let base = layer_weights(&ts, s.injection_target);
+        let m = FaultModel::resolve(&s, &ts).unwrap();
+        assert!(m.is_multi_resolution());
+        let w = m.weights();
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        let rest_base: f64 = base[1..].iter().sum();
+        for i in 1..w.len() {
+            assert!((w[i] - 0.5 * base[i] / rest_base).abs() < 1e-12, "layer {i}");
+        }
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_rates_renormalize_and_zero_the_rest() {
+        let mut s = Scenario::default();
+        s.layer_overrides = BTreeMap::from([
+            ("0".to_string(), override_rate(0.9)),
+            ("1".to_string(), override_rate(0.9)),
+        ]);
+        let ts = targets(&s);
+        let w = FaultModel::resolve(&s, &ts).unwrap().weights();
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!(w[2..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn unknown_pattern_is_rejected() {
+        let mut s = Scenario::default();
+        s.layer_overrides = BTreeMap::from([("nope.7".to_string(), override_rate(0.5))]);
+        let ts = targets(&s);
+        let err = FaultModel::resolve(&s, &ts).unwrap_err();
+        assert!(err.to_string().contains("nope.7"), "{err}");
+    }
+
+    #[test]
+    fn zero_rates_on_all_layers_are_rejected() {
+        let mut s = Scenario::default();
+        s.layer_overrides = BTreeMap::from([("0-7".to_string(), override_rate(0.0))]);
+        let ts = targets(&s);
+        assert!(FaultModel::resolve(&s, &ts).is_err());
+    }
+
+    #[test]
+    fn patterns_cover_name_index_range_and_glob() {
+        let ts = targets(&Scenario::default());
+        let name0 = ts[0].name.clone();
+        assert!(pattern_matches(&name0, 0, &name0));
+        assert!(pattern_matches("0", 0, &name0));
+        assert!(!pattern_matches("1", 0, &name0));
+        assert!(pattern_matches("0-3", 2, "x"));
+        assert!(!pattern_matches("0-3", 4, "x"));
+        let prefix: String = name0.chars().take(3).collect();
+        assert!(pattern_matches(&format!("{prefix}*"), 9, &name0));
+        assert!(!pattern_matches("zz*", 0, &name0));
+    }
+
+    #[test]
+    fn mode_and_channel_overrides_land_on_matched_layers() {
+        let mut s = Scenario::default();
+        s.injection_target = InjectionTarget::Weights;
+        let ts = targets(&s);
+        let cap0 = ts[0].weight_dims[0];
+        s.layer_overrides = BTreeMap::from([(
+            "0".to_string(),
+            LayerOverride {
+                rate: None,
+                mode: Some(FaultMode::QuantStep { bits: 8, amax: 2.0, bit_range: (0, 7) }),
+                channel_range: Some((0, cap0 - 1)),
+            },
+        )]);
+        let m = FaultModel::resolve(&s, &ts).unwrap();
+        assert_eq!(
+            m.plans()[0].mode,
+            FaultMode::QuantStep { bits: 8, amax: 2.0, bit_range: (0, 7) }
+        );
+        assert_eq!(m.plans()[0].channel_range, Some((0, cap0 - 1)));
+        assert_eq!(m.plans()[1].mode, s.fault_mode);
+        // Weights untouched when no rate override is present.
+        assert_eq!(m.weights(), layer_weights(&ts, s.injection_target));
+    }
+
+    #[test]
+    fn channel_scope_beyond_capacity_is_rejected() {
+        let mut s = Scenario::default();
+        s.injection_target = InjectionTarget::Weights;
+        let ts = targets(&s);
+        let cap0 = ts[0].weight_dims[0];
+        s.layer_overrides = BTreeMap::from([(
+            "0".to_string(),
+            LayerOverride { channel_range: Some((0, cap0)), ..Default::default() },
+        )]);
+        let err = FaultModel::resolve(&s, &ts).unwrap_err();
+        assert!(err.to_string().contains("channel"), "{err}");
+    }
+
+    #[test]
+    fn later_pattern_wins_on_overlap() {
+        let mut s = Scenario::default();
+        s.layer_overrides = BTreeMap::from([
+            ("0".to_string(), override_rate(0.2)),
+            ("0-1".to_string(), override_rate(0.4)),
+        ]);
+        let ts = targets(&s);
+        // BTreeMap order: "0" then "0-1" — the range override rewrites
+        // layer 0's rate.
+        let w = FaultModel::resolve(&s, &ts).unwrap().weights();
+        assert!((w[0] - 0.4).abs() < 1e-12);
+        assert!((w[1] - 0.4).abs() < 1e-12);
+    }
+}

@@ -27,6 +27,28 @@ pub fn corrupt_value(original: f32, value: FaultValue) -> (f32, Option<FlipDirec
         }
         FaultValue::StuckAt { pos, high } => (set_bit(original, pos, high), None),
         FaultValue::Replace(v) => (v, None),
+        FaultValue::QuantStep { bit, bits, amax } => {
+            // Symmetric signed quantization: q = round(v / scale) in
+            // [-qmax, qmax], flip `bit` in the `bits`-wide two's
+            // complement of q, dequantize. The clamp keeps a corrupt
+            // matrix file from shifting out of range.
+            let bits = bits.clamp(2, 31) as u32;
+            let bit = (bit as u32).min(bits - 1);
+            let qmax = (1i32 << (bits - 1)) - 1;
+            let scale = amax / qmax as f32;
+            let q = (original / scale).round().clamp(-(qmax as f32), qmax as f32) as i32;
+            let mask = (1u32 << bits) - 1;
+            let stored = (q as u32) & mask;
+            let direction = if stored >> bit & 1 == 1 {
+                FlipDirection::OneToZero
+            } else {
+                FlipDirection::ZeroToOne
+            };
+            let flipped = stored ^ (1u32 << bit);
+            let sign = 1u32 << (bits - 1);
+            let q2 = if flipped & sign != 0 { (flipped | !mask) as i32 } else { flipped as i32 };
+            (q2 as f32 * scale, Some(direction))
+        }
     }
 }
 
@@ -41,6 +63,7 @@ pub fn injection_event(image_id: u64, applied: &AppliedFault) -> alfi_trace::Inj
             FaultValue::BitFlip(pos) => Some(pos),
             FaultValue::StuckAt { pos, .. } => Some(pos),
             FaultValue::Replace(_) => None,
+            FaultValue::QuantStep { bit, .. } => Some(bit),
         },
         original: applied.original,
         corrupted: applied.corrupted,
@@ -53,6 +76,9 @@ pub fn injection_event(image_id: u64, applied: &AppliedFault) -> alfi_trace::Inj
 pub fn neuron_flat_index(record: &FaultRecord, dims: &[usize]) -> Option<usize> {
     let coords: Vec<usize> = match dims.len() {
         2 => vec![record.batch, record.width],
+        // Rank-3 token tensors `[batch, token, feature]` (transformer
+        // blocks): height addresses the token, width the feature.
+        3 => vec![record.batch, record.height, record.width],
         4 => vec![record.batch, record.channel, record.height, record.width],
         5 => vec![
             record.batch,
@@ -524,6 +550,51 @@ mod tests {
         assert_eq!(d, None);
         let (v, _) = corrupt_value(1.0, FaultValue::Replace(9.0));
         assert_eq!(v, 9.0);
+    }
+
+    #[test]
+    fn quant_step_flips_in_integer_domain() {
+        // 8-bit symmetric, amax = 127 -> scale = 1.0, so q == round(v).
+        let q8 = |v: f32, bit: u8| corrupt_value(v, FaultValue::QuantStep { bit, bits: 8, amax: 127.0 });
+        // 5 = 0b0000_0101; flipping bit 1 sets it -> 7.
+        let (v, d) = q8(5.0, 1);
+        assert_eq!(v, 7.0);
+        assert_eq!(d, Some(FlipDirection::ZeroToOne));
+        // Flipping bit 0 of 5 clears it -> 4.
+        let (v, d) = q8(5.0, 0);
+        assert_eq!(v, 4.0);
+        assert_eq!(d, Some(FlipDirection::OneToZero));
+        // Sign bit: 5 | 0x80 = 133 -> -123 in 8-bit two's complement.
+        let (v, _) = q8(5.0, 7);
+        assert_eq!(v, -123.0);
+        // Negative input: -3 = 0b1111_1101; flipping bit 1 -> -1.
+        let (v, _) = q8(-3.0, 1);
+        assert_eq!(v, -1.0);
+        // Values beyond amax clamp to qmax before the flip.
+        let (v, _) = q8(1.0e6, 0);
+        assert_eq!(v, 126.0);
+        // The corruption never leaves the finite fp32 range.
+        let (v, _) = corrupt_value(0.5, FaultValue::QuantStep { bit: 15, bits: 16, amax: 2.0 });
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn neuron_flat_index_covers_rank3_token_tensors() {
+        let r = FaultRecord {
+            batch: 1,
+            layer: 0,
+            channel: 0,
+            channel_in: 0,
+            depth: None,
+            height: 2, // token
+            width: 3,  // feature
+            value: FaultValue::BitFlip(0),
+        };
+        let dims = [2usize, 4, 5];
+        assert_eq!(neuron_flat_index(&r, &dims), Some((4 + 2) * 5 + 3));
+        let mut oob = r;
+        oob.height = 4;
+        assert_eq!(neuron_flat_index(&oob, &dims), None);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod baseline;
 pub mod campaign;
 pub mod error;
 pub mod fault;
+pub mod fault_model;
 pub mod injector;
 pub mod matrix;
 pub mod monitor;
@@ -71,6 +72,7 @@ pub use artifact::{
 };
 pub use error::CoreError;
 pub use fault::{AppliedFault, FaultRecord, FaultValue};
+pub use fault_model::{pattern_matches, FaultModel, LayerPlan};
 pub use campaign::RunConfig;
 pub use injector::{
     arm_faults, corrupt_value, injection_event, ArmedFaults, FaultyModel, FimodelIter, Ptfiwrap,

@@ -8,6 +8,7 @@
 
 use crate::error::CoreError;
 use crate::fault::{FaultRecord, FaultValue};
+use crate::fault_model::{FaultModel, LayerPlan};
 use alfi_nn::{LayerKind, Network, NodeId};
 use alfi_scenario::{FaultMode, InjectionTarget, LayerType, Scenario};
 use alfi_rng::Rng;
@@ -137,15 +138,38 @@ impl FaultMatrix {
     /// Generates the full fault matrix for a scenario against resolved
     /// layer targets.
     ///
-    /// Generation is entirely determined by `scenario.seed`, so equal
-    /// scenarios over equal models yield bit-identical matrices — the
-    /// reusability guarantee that lets "the identical set of faults be
-    /// utilized across various experiments" (§IV-B).
+    /// The scenario is first resolved into a [`FaultModel`] — one
+    /// [`LayerPlan`] per target — and materialization then follows the
+    /// plan; this is where the `layers:` multi-resolution overrides take
+    /// effect. Generation is entirely determined by `scenario.seed`, so
+    /// equal scenarios over equal models yield bit-identical matrices —
+    /// the reusability guarantee that lets "the identical set of faults
+    /// be utilized across various experiments" (§IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoInjectableLayers`] for an empty target
+    /// list, or the [`FaultModel::resolve`] validation errors for bad
+    /// `layers:` overrides.
+    pub fn generate(scenario: &Scenario, targets: &[LayerTarget]) -> Result<FaultMatrix, CoreError> {
+        let model = FaultModel::resolve(scenario, targets)?;
+        Self::generate_with_model(scenario, targets, &model)
+    }
+
+    /// Materializes faults for an already resolved [`FaultModel`].
+    ///
+    /// With a model whose plans carry the base weights and campaign-wide
+    /// mode (no overrides) the RNG draw sequence is identical to the
+    /// historical flat loop, keeping legacy artifacts byte-stable.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::NoInjectableLayers`] for an empty target list.
-    pub fn generate(scenario: &Scenario, targets: &[LayerTarget]) -> Result<FaultMatrix, CoreError> {
+    pub fn generate_with_model(
+        scenario: &Scenario,
+        targets: &[LayerTarget],
+        model: &FaultModel,
+    ) -> Result<FaultMatrix, CoreError> {
         if targets.is_empty() {
             return Err(CoreError::NoInjectableLayers);
         }
@@ -153,16 +177,12 @@ impl FaultMatrix {
             targets.iter().map(|t| t.element_count(scenario.injection_target)).sum();
         let per_image = scenario.faults_per_image.resolve(total_elements);
         let n = scenario.dataset_size * scenario.num_runs * per_image;
-        let weights = if scenario.weighted_layer_selection {
-            layer_weights(targets, scenario.injection_target)
-        } else {
-            vec![1.0 / targets.len() as f64; targets.len()]
-        };
+        let plans = model.plans();
         // Cumulative distribution for weighted layer choice.
-        let mut cdf = Vec::with_capacity(weights.len());
+        let mut cdf = Vec::with_capacity(plans.len());
         let mut acc = 0.0f64;
-        for w in &weights {
-            acc += w;
+        for p in plans {
+            acc += p.weight;
             cdf.push(acc);
         }
         let mut rng = Rng::from_seed(scenario.seed);
@@ -171,11 +191,12 @@ impl FaultMatrix {
             let u: f64 = rng.gen_range(0.0..1.0);
             let li = cdf.iter().position(|&c| u < c).unwrap_or(targets.len() - 1);
             let t = &targets[li];
+            let plan = &plans[li];
             let batch = rng.gen_range(0..scenario.batch_size.max(1));
-            let value = sample_value(&scenario.fault_mode, &mut rng);
+            let value = sample_value(&plan.mode, &mut rng);
             let record = match scenario.injection_target {
-                InjectionTarget::Weights => sample_weight_coords(t, li, batch, value, &mut rng),
-                InjectionTarget::Neurons => sample_neuron_coords(t, li, batch, value, &mut rng),
+                InjectionTarget::Weights => sample_weight_coords(t, plan, li, batch, value, &mut rng),
+                InjectionTarget::Neurons => sample_neuron_coords(t, plan, li, batch, value, &mut rng),
             };
             records.push(record);
         }
@@ -243,11 +264,27 @@ fn sample_value(mode: &FaultMode, rng: &mut Rng) -> FaultValue {
                 FaultValue::Replace(rng.gen_range(*min..*max))
             }
         }
+        FaultMode::QuantStep { bits, amax, bit_range } => FaultValue::QuantStep {
+            bit: rng.gen_range(bit_range.0..=bit_range.1),
+            bits: *bits,
+            amax: *amax,
+        },
+    }
+}
+
+/// Draws an output-channel coordinate, restricted to the plan's scope
+/// when one was set. The unrestricted draw is the historical
+/// `gen_range(0..cap)` call, byte-for-byte.
+fn sample_channel(cap: usize, plan: &LayerPlan, rng: &mut Rng) -> usize {
+    match plan.channel_range {
+        Some((lo, hi)) => rng.gen_range(lo..=hi.min(cap.saturating_sub(1))),
+        None => rng.gen_range(0..cap),
     }
 }
 
 fn sample_weight_coords(
     t: &LayerTarget,
+    plan: &LayerPlan,
     layer: usize,
     batch: usize,
     value: FaultValue,
@@ -258,7 +295,7 @@ fn sample_weight_coords(
         2 => FaultRecord {
             batch,
             layer,
-            channel: rng.gen_range(0..d[0]),
+            channel: sample_channel(d[0], plan, rng),
             channel_in: 0,
             depth: None,
             height: 0,
@@ -268,7 +305,7 @@ fn sample_weight_coords(
         4 => FaultRecord {
             batch,
             layer,
-            channel: rng.gen_range(0..d[0]),
+            channel: sample_channel(d[0], plan, rng),
             channel_in: rng.gen_range(0..d[1]),
             depth: None,
             height: rng.gen_range(0..d[2]),
@@ -278,7 +315,7 @@ fn sample_weight_coords(
         5 => FaultRecord {
             batch,
             layer,
-            channel: rng.gen_range(0..d[0]),
+            channel: sample_channel(d[0], plan, rng),
             channel_in: rng.gen_range(0..d[1]),
             depth: Some(rng.gen_range(0..d[2])),
             height: rng.gen_range(0..d[3]),
@@ -291,6 +328,7 @@ fn sample_weight_coords(
 
 fn sample_neuron_coords(
     t: &LayerTarget,
+    plan: &LayerPlan,
     layer: usize,
     batch: usize,
     value: FaultValue,
@@ -308,10 +346,23 @@ fn sample_neuron_coords(
                 width: rng.gen_range(0..d[1]),
                 value,
             },
+            // Rank-3 token tensors `[batch, token, feature]` (the
+            // transformer path): height addresses the token, width the
+            // feature; there is no channel coordinate.
+            3 => FaultRecord {
+                batch,
+                layer,
+                channel: 0,
+                channel_in: 0,
+                depth: None,
+                height: rng.gen_range(0..d[1]),
+                width: rng.gen_range(0..d[2]),
+                value,
+            },
             4 => FaultRecord {
                 batch,
                 layer,
-                channel: rng.gen_range(0..d[1]),
+                channel: sample_channel(d[1], plan, rng),
                 channel_in: 0,
                 depth: None,
                 height: rng.gen_range(0..d[2]),
@@ -321,21 +372,21 @@ fn sample_neuron_coords(
             5 => FaultRecord {
                 batch,
                 layer,
-                channel: rng.gen_range(0..d[1]),
+                channel: sample_channel(d[1], plan, rng),
                 channel_in: 0,
                 depth: Some(rng.gen_range(0..d[2])),
                 height: rng.gen_range(0..d[3]),
                 width: rng.gen_range(0..d[4]),
                 value,
             },
-            _ => unreachable!("layer outputs have rank 2/4/5"),
+            _ => unreachable!("layer outputs have rank 2/3/4/5"),
         },
         // Shape unknown at generation time: bound by output channels;
         // spatial coordinates 0 (the hook validates at run time).
         None => FaultRecord {
             batch,
             layer,
-            channel: rng.gen_range(0..t.weight_dims[0]),
+            channel: sample_channel(t.weight_dims[0], plan, rng),
             channel_in: 0,
             depth: None,
             height: 0,
@@ -520,6 +571,81 @@ mod tests {
         for &c in &counts {
             assert!((c as f64 - expect).abs() < expect * 0.35, "count {c} vs {expect}");
         }
+    }
+
+    #[test]
+    fn base_model_reproduces_flat_loop_exactly() {
+        // The refactored plan-driven loop must be draw-for-draw
+        // identical to the historical flat sampler when no overrides
+        // are present.
+        let mut s = Scenario::default();
+        s.dataset_size = 50;
+        let ts = targets(&s);
+        let model = FaultModel::resolve(&s, &ts).unwrap();
+        assert!(!model.is_multi_resolution());
+        let via_model = FaultMatrix::generate_with_model(&s, &ts, &model).unwrap();
+        let direct = FaultMatrix::generate(&s, &ts).unwrap();
+        assert_eq!(via_model, direct);
+    }
+
+    #[test]
+    fn channel_scope_restricts_weight_fault_channels() {
+        use alfi_scenario::LayerOverride;
+        let mut s = Scenario::default();
+        s.injection_target = InjectionTarget::Weights;
+        s.dataset_size = 400;
+        s.layer_overrides = std::collections::BTreeMap::from([(
+            "0-7".to_string(),
+            LayerOverride { channel_range: Some((0, 0)), ..Default::default() },
+        )]);
+        let m = FaultMatrix::generate(&s, &targets(&s)).unwrap();
+        assert!(m.records.iter().all(|r| r.channel == 0));
+    }
+
+    #[test]
+    fn per_layer_mode_yields_mixed_fault_values() {
+        use alfi_scenario::LayerOverride;
+        let mut s = Scenario::default();
+        s.injection_target = InjectionTarget::Weights;
+        s.dataset_size = 600;
+        s.layer_overrides = std::collections::BTreeMap::from([(
+            "0".to_string(),
+            LayerOverride {
+                rate: Some(0.5),
+                mode: Some(FaultMode::QuantStep { bits: 8, amax: 2.0, bit_range: (0, 7) }),
+                channel_range: None,
+            },
+        )]);
+        let m = FaultMatrix::generate(&s, &targets(&s)).unwrap();
+        let mut quant = 0usize;
+        let mut flips = 0usize;
+        for r in &m.records {
+            match r.value {
+                FaultValue::QuantStep { bit, bits, amax } => {
+                    assert_eq!(r.layer, 0);
+                    assert!(bit < 8);
+                    assert_eq!((bits, amax), (8, 2.0));
+                    quant += 1;
+                }
+                FaultValue::BitFlip(_) => {
+                    assert_ne!(r.layer, 0);
+                    flips += 1;
+                }
+                _ => panic!("unexpected fault value"),
+            }
+        }
+        assert!(quant > 0 && flips > 0, "quant {quant} flips {flips}");
+    }
+
+    #[test]
+    fn bad_layer_override_surfaces_as_generate_error() {
+        use alfi_scenario::LayerOverride;
+        let mut s = Scenario::default();
+        s.layer_overrides = std::collections::BTreeMap::from([(
+            "no.such.layer".to_string(),
+            LayerOverride { rate: Some(0.5), ..Default::default() },
+        )]);
+        assert!(FaultMatrix::generate(&s, &targets(&s)).is_err());
     }
 
     #[test]

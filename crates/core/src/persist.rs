@@ -149,6 +149,12 @@ fn put_record(buf: &mut Vec<u8>, r: &FaultRecord) {
             buf.put_u8(0);
             buf.put_f32_le(v);
         }
+        FaultValue::QuantStep { bit, bits, amax } => {
+            buf.put_u8(3);
+            buf.put_u8(bit);
+            buf.put_u8(bits);
+            buf.put_f32_le(amax);
+        }
     }
 }
 
@@ -169,6 +175,7 @@ fn get_record(buf: &mut Reader<'_>) -> Result<FaultRecord, CoreError> {
         0 => FaultValue::BitFlip(pos),
         1 => FaultValue::StuckAt { pos, high: high != 0 },
         2 => FaultValue::Replace(fval),
+        3 => FaultValue::QuantStep { bit: pos, bits: high, amax: fval },
         t => return Err(buf.corrupt(format!("unknown value tag {t}"))),
     };
     Ok(FaultRecord {
@@ -461,6 +468,16 @@ mod tests {
                     height: 0,
                     width: 0,
                     value: FaultValue::Replace(-123.5),
+                },
+                FaultRecord {
+                    batch: 3,
+                    layer: 2,
+                    channel: 1,
+                    channel_in: 4,
+                    depth: None,
+                    height: 2,
+                    width: 6,
+                    value: FaultValue::QuantStep { bit: 6, bits: 8, amax: 4.0 },
                 },
             ],
             target: InjectionTarget::Weights,

@@ -6,14 +6,15 @@ use alfi_core::persist::crc32;
 use alfi_core::AppliedFault;
 use alfi_core::{
     arm_faults, corrupt_value, decode_fault_matrix, encode_fault_matrix, resolve_targets,
-    FaultMatrix, FaultRecord, FaultValue, Ptfiwrap, RunTrace, TraceEntry,
+    FaultMatrix, FaultModel, FaultRecord, FaultValue, Ptfiwrap, RunTrace, TraceEntry,
 };
 use alfi_nn::models::{alexnet, ModelConfig};
 use alfi_rng::Rng;
 use alfi_scenario::{
-    FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, Scenario,
+    FaultCount, FaultDuration, FaultMode, InjectionPolicy, InjectionTarget, LayerOverride, Scenario,
 };
 use alfi_tensor::bits::FlipDirection;
+use std::collections::BTreeMap;
 
 const CASES: usize = 24;
 
@@ -22,9 +23,17 @@ fn model_cfg() -> ModelConfig {
 }
 
 fn arb_fault_value(rng: &mut Rng) -> FaultValue {
-    match rng.gen_range(0u8..3) {
+    match rng.gen_range(0u8..4) {
         0 => FaultValue::BitFlip(rng.gen_range(0u8..32)),
         1 => FaultValue::StuckAt { pos: rng.gen_range(0u8..32), high: gen::any_bool(rng) },
+        2 => {
+            let bits: u8 = rng.gen_range(2u8..17);
+            FaultValue::QuantStep {
+                bit: rng.gen_range(0u8..bits),
+                bits,
+                amax: rng.gen_range(0.01f32..1000.0),
+            }
+        }
         _ => FaultValue::Replace(rng.gen_range(-1.0e6f32..1.0e6)),
     }
 }
@@ -70,6 +79,7 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
         seed: gen::any_u64(rng),
         stop_policy: None,
         artifact_format: None,
+        layer_overrides: BTreeMap::new(),
     }
 }
 
@@ -220,7 +230,80 @@ fn corrupt_value_properties() {
             FaultValue::Replace(r) => {
                 assert_eq!(c.to_bits(), r.to_bits());
             }
+            FaultValue::QuantStep { bits, amax, .. } => {
+                // The perturbed value stays inside the (slightly
+                // widened) quantization range and carries a direction.
+                assert!(c.is_finite());
+                let qmax = ((1i32 << (bits.clamp(2, 31) - 1)) - 1) as f32;
+                let step = amax / qmax;
+                assert!(c.abs() <= amax + qmax * step, "{c} vs amax {amax}");
+                assert!(dir.is_some());
+            }
         }
+    });
+}
+
+/// Per-layer rate maps always renormalize to a unit simplex: random
+/// subsets of layers overridden with random rates in [0, 1] yield
+/// plan weights that sum to 1, are non-negative, and reproduce the
+/// requested rates (directly when the overridden mass stays below 1,
+/// proportionally once it saturates).
+#[test]
+fn rate_maps_renormalize_deterministically() {
+    check_with(CASES, "rate_maps_renormalize_deterministically", |rng| {
+        let mut s = arb_scenario(rng);
+        let model = alexnet(&model_cfg());
+        let targets =
+            resolve_targets(&[&model], &s, &[Some(model_cfg().input_dims(s.batch_size))]).unwrap();
+        let n = targets.len();
+        let k: usize = rng.gen_range(1..=n);
+        let mut rates: BTreeMap<usize, f64> = BTreeMap::new();
+        while rates.len() < k {
+            rates.insert(rng.gen_range(0..n), rng.gen_range(0.001f64..1.0));
+        }
+        s.layer_overrides = rates
+            .iter()
+            .map(|(&i, &r)| {
+                (i.to_string(), LayerOverride { rate: Some(r), ..Default::default() })
+            })
+            .collect();
+        let m = FaultModel::resolve(&s, &targets).unwrap();
+        assert!(m.is_multi_resolution());
+        let w = m.weights();
+        assert!(w.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        let overridden_sum: f64 = rates.values().sum();
+        for (&i, &r) in &rates {
+            let expect = if k == n || overridden_sum >= 1.0 { r / overridden_sum } else { r };
+            assert!((w[i] - expect).abs() < 1e-9, "layer {i}: {} vs {expect}", w[i]);
+        }
+        // Resolution is a pure function of (scenario, targets).
+        assert_eq!(FaultModel::resolve(&s, &targets).unwrap(), m);
+    });
+}
+
+/// Unknown layer-name patterns are always rejected, regardless of the
+/// other overrides present.
+#[test]
+fn rate_maps_reject_unknown_layer_names() {
+    check_with(CASES, "rate_maps_reject_unknown_layer_names", |rng| {
+        let mut s = arb_scenario(rng);
+        let model = alexnet(&model_cfg());
+        let targets =
+            resolve_targets(&[&model], &s, &[Some(model_cfg().input_dims(s.batch_size))]).unwrap();
+        let mut overrides = BTreeMap::from([(
+            format!("ghost.{}", rng.gen_range(0u64..1000)),
+            LayerOverride { rate: Some(rng.gen_range(0.01f64..1.0)), ..Default::default() },
+        )]);
+        if gen::any_bool(rng) {
+            overrides.insert(
+                rng.gen_range(0..targets.len()).to_string(),
+                LayerOverride { rate: Some(0.25), ..Default::default() },
+            );
+        }
+        s.layer_overrides = overrides;
+        assert!(FaultModel::resolve(&s, &targets).is_err());
     });
 }
 

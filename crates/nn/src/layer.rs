@@ -104,6 +104,25 @@ impl BatchNorm2d {
     }
 }
 
+/// Inference layer normalization over the last dimension (the
+/// transformer's token-feature axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNorm {
+    /// Per-feature scale γ `[dim]`.
+    pub gamma: Tensor,
+    /// Per-feature shift β `[dim]`.
+    pub beta: Tensor,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Identity-initialized layer norm over `dim` features (γ=1, β=0).
+    pub fn identity(dim: usize) -> Self {
+        LayerNorm { gamma: Tensor::ones(&[dim]), beta: Tensor::zeros(&[dim]), eps: 1e-5 }
+    }
+}
+
 /// A user-defined layer operation — the extensibility hook of paper
 /// §V-G ("the tool is designed to easily incorporate new custom
 /// trainable layers not native to PyTorch by adding the custom layer's
@@ -191,6 +210,27 @@ pub enum Layer {
     Upsample2x,
     /// Identity pass-through (graph plumbing).
     Identity,
+    /// Inference layer normalization over the last dimension
+    /// (non-injectable, like batch norm).
+    LayerNorm(LayerNorm),
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Rearranges a patch-embedding output `[n, d, gh, gw]` into the
+    /// token tensor `[n, gh·gw, d]` consumed by transformer blocks.
+    ImageToTokens,
+    /// Adds a learned positional embedding `[tokens, dim]` to a token
+    /// tensor `[n, tokens, dim]` (non-injectable plumbing).
+    PosEmbed(Tensor),
+    /// Multi-head scaled dot-product self-attention over separate
+    /// `(q, k, v)` token tensors `[n, tokens, dim]` — each head runs
+    /// `softmax(Q·Kᵀ/√dₕ)·V` through the shared GEMM kernel path.
+    Attention {
+        /// Number of attention heads; must divide the feature dim.
+        heads: usize,
+    },
+    /// Mean over the token dimension: `[n, t, d]` → `[n, d]` (the
+    /// ViT-style pooling head in lieu of a class token).
+    MeanTokens,
     /// Activation-range supervision (Ranger/Clipper, Geissler et al.):
     /// values outside `[lo, hi]` are clipped to the bound (`Clip`) or
     /// zeroed (`Zero`). Inserted by `alfi-mitigation` to harden models;
@@ -269,10 +309,12 @@ impl Layer {
         }
     }
 
-    /// Number of arguments this layer consumes (1 or 2).
+    /// Number of arguments this layer consumes (1, 2, or 3 for
+    /// attention's `q, k, v`).
     pub fn arity(&self) -> usize {
         match self {
             Layer::Add | Layer::ConcatChannels => 2,
+            Layer::Attention { .. } => 3,
             _ => 1,
         }
     }
@@ -313,6 +355,16 @@ impl Layer {
             }
             Layer::Add => Ok(x.add(inputs[1])?),
             Layer::ConcatChannels => concat_channels(x, inputs[1]),
+            Layer::LayerNorm(ln) => layernorm_forward(x, ln),
+            Layer::Gelu => Ok(x.map(|v| {
+                // tanh approximation of GELU
+                let c = (2.0f32 / std::f32::consts::PI).sqrt();
+                0.5 * v * (1.0 + (c * (v + 0.044_715 * v * v * v)).tanh())
+            })),
+            Layer::ImageToTokens => image_to_tokens(x),
+            Layer::PosEmbed(pe) => pos_embed_forward(x, pe),
+            Layer::Attention { heads } => attention_forward(x, inputs[1], inputs[2], *heads),
+            Layer::MeanTokens => mean_tokens(x),
             Layer::Upsample2x => upsample2x(x),
             Layer::Identity => Ok(x.clone()),
             Layer::RangeRestrict { lo, hi, mode } => {
@@ -357,10 +409,21 @@ pub(crate) fn linear_fused(
     inject: Option<&gemm::InjectMap>,
     clamp: Option<gemm::Clamp>,
 ) -> Result<Tensor, NnError> {
+    // Rank-3 token tensors [n, t, d] apply the linear per token: fold
+    // the token axis into the row dimension, run the identical rank-2
+    // GEMM, and unfold. Flat output indices are unchanged by the fold,
+    // so injection maps address [n, t, out] directly.
+    if x.rank() == 3 {
+        let (n, t) = (x.dims()[0], x.dims()[1]);
+        let folded = x.reshape(&[n * t, x.dims()[2]])?;
+        let y = linear_fused(&folded, l, inject, clamp)?;
+        let out_f = y.dims()[1];
+        return Ok(y.reshape(&[n, t, out_f])?);
+    }
     if x.rank() != 2 {
         return Err(NnError::BadInput {
             layer: "linear".into(),
-            reason: format!("expected rank 2 input, got rank {}", x.rank()),
+            reason: format!("expected rank 2 or 3 input, got rank {}", x.rank()),
         });
     }
     let (out_f, in_f) = (l.weight.dims()[0], l.weight.dims()[1]);
@@ -387,6 +450,193 @@ pub(crate) fn linear_fused(
     let epi = gemm::FusedEpilogue { base: 0, inject, clamp };
     gemm::gemm_with(x.data(), l.weight.data(), &mut out, &spec, &epi, gemm::kernel_path());
     Ok(Tensor::from_vec(out, &[n, out_f])?)
+}
+
+fn layernorm_forward(x: &Tensor, ln: &LayerNorm) -> Result<Tensor, NnError> {
+    if x.rank() < 2 {
+        return Err(NnError::BadInput {
+            layer: "layernorm".into(),
+            reason: format!("expected rank >= 2, got rank {}", x.rank()),
+        });
+    }
+    let d = *x.dims().last().expect("rank >= 2");
+    if ln.gamma.num_elements() != d {
+        return Err(NnError::BadInput {
+            layer: "layernorm".into(),
+            reason: format!("{} features but {} gammas", d, ln.gamma.num_elements()),
+        });
+    }
+    let rows = x.num_elements() / d;
+    let mut out = vec![0.0f32; x.num_elements()];
+    let data = x.data();
+    let (g, b) = (ln.gamma.data(), ln.beta.data());
+    for r in 0..rows {
+        let row = &data[r * d..(r + 1) * d];
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv_std = 1.0 / (var + ln.eps).sqrt();
+        for i in 0..d {
+            out[r * d + i] = (row[i] - mean) * inv_std * g[i] + b[i];
+        }
+    }
+    Ok(Tensor::from_vec(out, x.dims())?)
+}
+
+fn image_to_tokens(x: &Tensor) -> Result<Tensor, NnError> {
+    if x.rank() != 4 {
+        return Err(NnError::BadInput {
+            layer: "image_to_tokens".into(),
+            reason: format!("expected rank 4 input, got rank {}", x.rank()),
+        });
+    }
+    let (n, d, gh, gw) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let t = gh * gw;
+    let mut out = vec![0.0f32; n * t * d];
+    let data = x.data();
+    for b in 0..n {
+        for c in 0..d {
+            for p in 0..t {
+                out[(b * t + p) * d + c] = data[(b * d + c) * t + p];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[n, t, d])?)
+}
+
+fn pos_embed_forward(x: &Tensor, pe: &Tensor) -> Result<Tensor, NnError> {
+    if x.rank() != 3 || pe.rank() != 2 || &x.dims()[1..] != pe.dims() {
+        return Err(NnError::BadInput {
+            layer: "pos_embed".into(),
+            reason: format!("token tensor {:?} vs embedding {:?}", x.dims(), pe.dims()),
+        });
+    }
+    let (n, td) = (x.dims()[0], pe.num_elements());
+    let mut out = x.data().to_vec();
+    let p = pe.data();
+    for b in 0..n {
+        for i in 0..td {
+            out[b * td + i] += p[i];
+        }
+    }
+    Ok(Tensor::from_vec(out, x.dims())?)
+}
+
+fn attention_forward(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> Result<Tensor, NnError> {
+    let bad = |reason: String| NnError::BadInput { layer: "attention".into(), reason };
+    if q.rank() != 3 || q.dims() != k.dims() || q.dims() != v.dims() {
+        return Err(bad(format!(
+            "q/k/v must share a rank-3 shape, got {:?}/{:?}/{:?}",
+            q.dims(),
+            k.dims(),
+            v.dims()
+        )));
+    }
+    let (n, t, d) = (q.dims()[0], q.dims()[1], q.dims()[2]);
+    if heads == 0 || d % heads != 0 {
+        return Err(bad(format!("{heads} heads do not divide feature dim {d}")));
+    }
+    let hd = d / heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut out = vec![0.0f32; n * t * d];
+    let path = gemm::kernel_path();
+    let epi = gemm::FusedEpilogue { base: 0, inject: None, clamp: None };
+    // Per-(batch, head) contiguous [t, hd] operand buffers; both GEMMs
+    // run through the shared kernel path so attention inherits the
+    // blocked/reference conformance story.
+    let mut qh = vec![0.0f32; t * hd];
+    let mut kh = vec![0.0f32; t * hd];
+    let mut vh = vec![0.0f32; t * hd];
+    let mut scores = vec![0.0f32; t * t];
+    let mut ctx = vec![0.0f32; t * hd];
+    for b in 0..n {
+        for h in 0..heads {
+            let off = h * hd;
+            for p in 0..t {
+                let row = (b * t + p) * d + off;
+                qh[p * hd..(p + 1) * hd].copy_from_slice(&q.data()[row..row + hd]);
+                kh[p * hd..(p + 1) * hd].copy_from_slice(&k.data()[row..row + hd]);
+                vh[p * hd..(p + 1) * hd].copy_from_slice(&v.data()[row..row + hd]);
+            }
+            // scores = Q·Kᵀ, reading K transposed in place.
+            let spec = gemm::GemmSpec {
+                m: t,
+                k: hd,
+                n: t,
+                layout: gemm::BLayout::Transposed,
+                skip_zero_a: false,
+                bias: gemm::Bias::None,
+            };
+            gemm::gemm_with(&qh, &kh, &mut scores, &spec, &epi, path);
+            for row in scores.chunks_mut(t) {
+                softmax_row(row, scale);
+            }
+            // ctx = softmax(scores)·V. The row-major reference kernel
+            // accumulates into the output buffer (callers normally pass
+            // a fresh zeroed tensor), so the reused per-head buffer must
+            // be cleared — without this, heads after the first sum onto
+            // the previous head's context on the reference path while
+            // the blocked path's register tiles overwrite, breaking the
+            // cross-kernel bit-identity contract.
+            ctx.fill(0.0);
+            let spec = gemm::GemmSpec {
+                m: t,
+                k: t,
+                n: hd,
+                layout: gemm::BLayout::RowMajor,
+                skip_zero_a: false,
+                bias: gemm::Bias::None,
+            };
+            gemm::gemm_with(&scores, &vh, &mut ctx, &spec, &epi, path);
+            for p in 0..t {
+                let row = (b * t + p) * d + off;
+                out[row..row + hd].copy_from_slice(&ctx[p * hd..(p + 1) * hd]);
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, q.dims())?)
+}
+
+/// Numerically stable softmax of one pre-scaled score row. NaN scores
+/// propagate (a faulted attention row stays observable as a DUE
+/// precursor rather than being masked).
+fn softmax_row(row: &mut [f32], scale: f32) {
+    for v in row.iter_mut() {
+        *v *= scale;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+fn mean_tokens(x: &Tensor) -> Result<Tensor, NnError> {
+    if x.rank() != 3 {
+        return Err(NnError::BadInput {
+            layer: "mean_tokens".into(),
+            reason: format!("expected rank 3 input, got rank {}", x.rank()),
+        });
+    }
+    let (n, t, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let mut out = vec![0.0f32; n * d];
+    let data = x.data();
+    for b in 0..n {
+        for p in 0..t {
+            for i in 0..d {
+                out[b * d + i] += data[(b * t + p) * d + i];
+            }
+        }
+    }
+    for v in out.iter_mut() {
+        *v /= t as f32;
+    }
+    Ok(Tensor::from_vec(out, &[n, d])?)
 }
 
 fn batchnorm_forward(x: &Tensor, bn: &BatchNorm2d) -> Result<Tensor, NnError> {
@@ -598,6 +848,127 @@ mod tests {
         assert_eq!(Layer::Add.arity(), 2);
         assert_eq!(Layer::ConcatChannels.arity(), 2);
         assert_eq!(Layer::Relu.arity(), 1);
+    }
+
+    #[test]
+    fn linear_applies_per_token_on_rank3_input() {
+        let l = Linear {
+            weight: Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+            bias: Some(Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap()),
+        };
+        // [1, 2 tokens, 2 features]
+        let x = Tensor::from_vec(vec![1.0, 1.0, 0.0, 1.0], &[1, 2, 2]).unwrap();
+        let y = Layer::Linear(l.clone()).forward(&[&x]).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(&y.data()[..2], &[13.0, 27.0]); // token 0 == rank-2 case
+        assert_eq!(&y.data()[2..], &[12.0, 24.0]);
+        // token rows match the folded rank-2 computation exactly
+        let folded = x.reshape(&[2, 2]).unwrap();
+        let y2 = Layer::Linear(l).forward(&[&folded]).unwrap();
+        assert_eq!(y.data(), y2.data());
+    }
+
+    #[test]
+    fn layernorm_normalizes_each_token_row() {
+        let ln = LayerNorm::identity(2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, -5.0, 5.0], &[1, 2, 2]).unwrap();
+        let y = Layer::LayerNorm(ln).forward(&[&x]).unwrap();
+        // each row normalized to zero mean / unit variance
+        for row in y.data().chunks(2) {
+            assert!((row[0] + row[1]).abs() < 1e-4);
+            assert!((row[1] - 1.0).abs() < 1e-2);
+        }
+        let bad = LayerNorm::identity(3);
+        assert!(Layer::LayerNorm(bad).forward(&[&x]).is_err());
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, -1.0, 10.0], &[4]).unwrap();
+        let y = Layer::Gelu.forward(&[&x]).unwrap();
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 0.841_19).abs() < 1e-3);
+        assert!((y.data()[2] + 0.158_81).abs() < 1e-3);
+        assert!((y.data()[3] - 10.0).abs() < 1e-3); // identity for large v
+    }
+
+    #[test]
+    fn image_to_tokens_transposes_channels_last() {
+        // [1, 2ch, 1, 2] -> [1, 2 tokens, 2 features]
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 1, 2]).unwrap();
+        let y = Layer::ImageToTokens.forward(&[&x]).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn pos_embed_broadcasts_over_batch() {
+        let pe = Tensor::from_vec(vec![10.0, 20.0], &[1, 2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 2]).unwrap();
+        let y = Layer::PosEmbed(pe).forward(&[&x]).unwrap();
+        assert_eq!(y.data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn attention_uniform_scores_average_values() {
+        // q == k == 0 → uniform attention → each token gets the value
+        // mean.
+        let q = Tensor::zeros(&[1, 2, 2]);
+        let v = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let y = Layer::Attention { heads: 1 }.forward(&[&q, &q, &v]).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        for row in y.data().chunks(2) {
+            assert!((row[0] - 2.0).abs() < 1e-5);
+            assert!((row[1] - 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attention_peaked_scores_select_one_value() {
+        let k = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[1, 2, 2]).unwrap();
+        let v = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[1, 2, 2]).unwrap();
+        // mismatched q/k/v shapes are rejected
+        let short = Tensor::from_vec(vec![100.0, 0.0], &[1, 1, 2]).unwrap();
+        assert!(Layer::Attention { heads: 1 }.forward(&[&short, &k, &v]).is_err());
+        // both queries align strongly with key 0 → both select value row 0
+        let q = Tensor::from_vec(vec![100.0, 0.0, 100.0, 0.0], &[1, 2, 2]).unwrap();
+        let y = Layer::Attention { heads: 1 }.forward(&[&q, &k, &v]).unwrap();
+        for row in y.data().chunks(2) {
+            assert!((row[0] - 5.0).abs() < 1e-3);
+            assert!((row[1] - 6.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn attention_validates_heads() {
+        let x = Tensor::zeros(&[1, 2, 3]);
+        assert!(Layer::Attention { heads: 2 }.forward(&[&x, &x, &x]).is_err());
+        assert!(Layer::Attention { heads: 0 }.forward(&[&x, &x, &x]).is_err());
+        assert_eq!(Layer::Attention { heads: 2 }.arity(), 3);
+    }
+
+    #[test]
+    fn mean_tokens_pools_the_token_axis() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let y = Layer::MeanTokens.forward(&[&x]).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.0, 3.0]);
+        assert!(Layer::MeanTokens.forward(&[&Tensor::zeros(&[2, 2])]).is_err());
+    }
+
+    #[test]
+    fn transformer_layers_are_not_injectable() {
+        for l in [
+            Layer::LayerNorm(LayerNorm::identity(2)),
+            Layer::Gelu,
+            Layer::ImageToTokens,
+            Layer::PosEmbed(Tensor::zeros(&[1, 2])),
+            Layer::Attention { heads: 1 },
+            Layer::MeanTokens,
+        ] {
+            assert_eq!(l.kind(), LayerKind::Other);
+            assert!(l.weight().is_none());
+        }
     }
 
     #[test]

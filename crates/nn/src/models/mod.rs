@@ -14,12 +14,14 @@ mod c3d;
 mod densenet;
 mod resnet;
 mod vgg;
+mod vit;
 
 pub use alexnet::alexnet;
 pub use c3d::{c3d, C3dConfig};
 pub use densenet::densenet_tiny;
 pub use resnet::resnet50;
 pub use vgg::vgg16;
+pub use vit::{vit, vit_tiny, VIT_TINY_DEPTH, VIT_TINY_HEADS};
 
 use crate::graph::Network;
 use crate::init::Initializer;
@@ -197,6 +199,7 @@ mod tests {
             ("alexnet", alexnet as fn(&ModelConfig) -> Network),
             ("vgg16", vgg16),
             ("resnet50", resnet50),
+            ("vit", vit_tiny),
         ] {
             let m1 = build(&cfg);
             let m2 = build(&cfg);
@@ -221,6 +224,27 @@ mod tests {
         // ResNet-50: 53 convs (incl. downsamples) + 1 linear
         let r = resnet50(&cfg).injectable_layers(None, None).unwrap();
         assert_eq!(r.len(), 54, "resnet50 injectable layers");
+        // ViT-tiny: patch-embed conv + 6 linears per block × 2 + head
+        let t = vit_tiny(&cfg).injectable_layers(None, None).unwrap();
+        assert_eq!(t.len(), 14, "vit injectable layers");
+    }
+
+    #[test]
+    fn vit_scales_depth_and_reports_token_shapes() {
+        let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+        let m = vit(&cfg, 1, 3);
+        assert_eq!(m.injectable_layers(None, None).unwrap().len(), 8);
+        let x = Tensor::ones(&cfg.input_dims(2));
+        let y = m.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, cfg.num_classes]);
+        assert!(!y.has_non_finite());
+        // q/k/v linears see rank-3 token outputs in shape inference
+        let layers = m.injectable_layers(None, Some(&cfg.input_dims(1))).unwrap();
+        let q = layers.iter().find(|l| l.name == "blocks.0.attn.q").unwrap();
+        let dims = q.output_shape.as_ref().unwrap().dims().to_vec();
+        assert_eq!(dims.len(), 3);
+        assert_eq!(dims[0], 1);
+        assert_eq!(dims[1], 16); // 4×4 patch grid
     }
 
     #[test]

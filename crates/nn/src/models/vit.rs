@@ -1,0 +1,101 @@
+//! ViT-style transformer classifier with scalable width and depth.
+//!
+//! The transformer counterpart of the CNN zoo, built under the same
+//! substitution rule: seeded deterministic parameters, and fault
+//! injection targets exactly the conv/linear layers (the patch-embed
+//! convolution plus every q/k/v/proj/MLP/head linear). Attention,
+//! layer norm, GELU and token plumbing are non-injectable graph ops,
+//! mirroring how ViT fault-injection studies perturb the GEMM-backed
+//! projections while treating softmax/norm as control structure.
+
+use super::{ModelConfig, NetBuilder};
+use crate::graph::Network;
+use crate::layer::{Layer, LayerNorm};
+
+/// Builds a ViT-style classifier: patch-embed convolution (kernel =
+/// stride = patch size), learned positional embedding, `depth`
+/// pre-norm transformer blocks (multi-head self-attention + GELU MLP,
+/// both residual), and a mean-token pooling head.
+///
+/// Every block contributes six injectable linear layers (`q`, `k`,
+/// `v`, `proj`, `mlp.fc1`, `mlp.fc2`); with the patch-embed conv and
+/// the classification head the model exposes `6·depth + 2` injectable
+/// layers. The embedding width follows `cfg.ch(192)` (ViT-Tiny's dim),
+/// rounded up to a multiple of `heads`.
+pub fn vit(cfg: &ModelConfig, depth: usize, heads: usize) -> Network {
+    let heads = heads.max(1);
+    let dim = cfg.ch(192).div_ceil(heads) * heads;
+    let patch = (cfg.input_hw / 4).max(1);
+    let grid = cfg.input_hw / patch;
+    let tokens = grid * grid;
+
+    let mut b = NetBuilder::new("vit", cfg.seed, cfg.in_channels);
+    b.conv("patch_embed.proj", dim, patch, patch, 0);
+    push(&mut b, "patch_embed.tokens".into(), Layer::ImageToTokens);
+    let pe = b.init.xavier_uniform(&[tokens, dim]);
+    push(&mut b, "pos_embed".into(), Layer::PosEmbed(pe));
+
+    for i in 0..depth {
+        block(&mut b, &format!("blocks.{i}"), dim, heads);
+    }
+
+    push(&mut b, "norm".into(), Layer::LayerNorm(LayerNorm::identity(dim)));
+    push(&mut b, "pool".into(), Layer::MeanTokens);
+    b.linear("head", dim, cfg.num_classes);
+    b.finish()
+}
+
+/// Transformer depth (block count) of the [`vit_tiny`] configuration.
+pub const VIT_TINY_DEPTH: usize = 2;
+
+/// Attention heads per block of the [`vit_tiny`] configuration.
+pub const VIT_TINY_HEADS: usize = 3;
+
+/// ViT-Tiny-flavoured default: 2 blocks, 3 heads — the fast-test
+/// configuration registered in the campaign CLI as `vit`.
+pub fn vit_tiny(cfg: &ModelConfig) -> Network {
+    vit(cfg, VIT_TINY_DEPTH, VIT_TINY_HEADS)
+}
+
+fn push(b: &mut NetBuilder, name: String, layer: Layer) -> usize {
+    let id = match b.last {
+        Some(p) => b.net.push(name, layer, &[p]).expect("valid vit graph"),
+        None => b.net.push(name, layer, &[]).expect("valid vit graph"),
+    };
+    b.last = Some(id);
+    id
+}
+
+/// Appends one pre-norm transformer block: `x + proj(attn(q, k, v))`
+/// over `ln1(x)`, then `x + fc2(gelu(fc1(ln2(x))))`.
+fn block(b: &mut NetBuilder, prefix: &str, dim: usize, heads: usize) {
+    let block_in = b.last.expect("patch embedding precedes blocks");
+
+    let ln1 = push(b, format!("{prefix}.ln1"), Layer::LayerNorm(LayerNorm::identity(dim)));
+    let q = b.linear(&format!("{prefix}.attn.q"), dim, dim);
+    b.last = Some(ln1);
+    let k = b.linear(&format!("{prefix}.attn.k"), dim, dim);
+    b.last = Some(ln1);
+    let v = b.linear(&format!("{prefix}.attn.v"), dim, dim);
+    let attn = b
+        .net
+        .push(format!("{prefix}.attn.out"), Layer::Attention { heads }, &[q, k, v])
+        .expect("valid attention node");
+    b.last = Some(attn);
+    let proj = b.linear(&format!("{prefix}.attn.proj"), dim, dim);
+    let add1 = b
+        .net
+        .push(format!("{prefix}.add_attn"), Layer::Add, &[proj, block_in])
+        .expect("valid residual add");
+    b.last = Some(add1);
+
+    push(b, format!("{prefix}.ln2"), Layer::LayerNorm(LayerNorm::identity(dim)));
+    b.linear(&format!("{prefix}.mlp.fc1"), dim, 4 * dim);
+    push(b, format!("{prefix}.mlp.gelu"), Layer::Gelu);
+    let fc2 = b.linear(&format!("{prefix}.mlp.fc2"), 4 * dim, dim);
+    let add2 = b
+        .net
+        .push(format!("{prefix}.add_mlp"), Layer::Add, &[fc2, add1])
+        .expect("valid residual add");
+    b.last = Some(add2);
+}

@@ -267,9 +267,16 @@ fn layer_backward(
                 None,
             ))
         }
-        Layer::Conv3d(_) | Layer::Custom(_) => Err(NnError::BadInput {
+        Layer::Conv3d(_)
+        | Layer::Custom(_)
+        | Layer::LayerNorm(_)
+        | Layer::Gelu
+        | Layer::ImageToTokens
+        | Layer::PosEmbed(_)
+        | Layer::Attention { .. }
+        | Layer::MeanTokens => Err(NnError::BadInput {
             layer: "backward".into(),
-            reason: "conv3d and custom layers are inference-only".into(),
+            reason: "conv3d, custom and transformer layers are inference-only".into(),
         }),
     }
 }

@@ -26,6 +26,6 @@ pub mod yaml;
 
 pub use scenario::{
     ArtifactFormat, CiMethod, FaultCount, FaultDuration, FaultMode, InjectionPolicy,
-    InjectionTarget, LayerType, Scenario, ScenarioError, StopPolicy, StopScope,
+    InjectionTarget, LayerOverride, LayerType, Scenario, ScenarioError, StopPolicy, StopScope,
 };
 pub use yaml::{ParseYamlError, Yaml};

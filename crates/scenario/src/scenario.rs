@@ -89,6 +89,19 @@ pub enum FaultMode {
         /// Upper bound of the replacement value.
         max: f32,
     },
+    /// Flip one bit of the value's symmetric signed `bits`-wide integer
+    /// quantization (MRFI-style quantized-int perturbation): quantize
+    /// with scale `amax / (2^(bits-1) - 1)`, flip a bit drawn uniformly
+    /// from `bit_range`, dequantize.
+    QuantStep {
+        /// Quantization width in bits, `2 ..= 16`.
+        bits: u8,
+        /// Absolute-maximum of the symmetric quantization range (> 0).
+        amax: f32,
+        /// Inclusive (low, high) bit-position range within the
+        /// `bits`-wide integer (`bits - 1` is the sign bit).
+        bit_range: (u8, u8),
+    },
 }
 
 impl FaultMode {
@@ -101,6 +114,36 @@ impl FaultMode {
     /// Bit flips across the whole 32-bit word.
     pub fn any_bit_flip() -> FaultMode {
         FaultMode::BitFlip { bit_range: (0, 31) }
+    }
+}
+
+/// A per-layer override of the campaign-wide fault model — one entry of
+/// the scenario's `layers:` map (MRFI-style multi-resolution
+/// configuration). Every field is optional; unset fields fall back to
+/// the campaign-wide setting.
+///
+/// The map key is a *layer pattern* matched against the resolved
+/// injectable-layer list: an exact layer name (`features.3`), a layer
+/// index (`4`), an inclusive index range (`2-5`) or a name prefix glob
+/// (`features*`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LayerOverride {
+    /// Relative injection rate for the matched layers, in `[0, 1]`.
+    /// Overridden rates are renormalized deterministically against the
+    /// base (Eq. 1 or uniform) weights of the remaining layers.
+    pub rate: Option<f64>,
+    /// Fault mode replacing the campaign-wide `fault_mode` for faults
+    /// landing in the matched layers.
+    pub mode: Option<FaultMode>,
+    /// Inclusive (low, high) output-channel scope: faults in the
+    /// matched layers only hit channels within this range.
+    pub channel_range: Option<(usize, usize)>,
+}
+
+impl LayerOverride {
+    /// Whether the override changes anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.rate.is_none() && self.mode.is_none() && self.channel_range.is_none()
     }
 }
 
@@ -375,6 +418,12 @@ pub struct Scenario {
     /// from the serialization so legacy scenario files and replay
     /// fingerprints are unchanged.
     pub artifact_format: Option<ArtifactFormat>,
+    /// Multi-resolution per-layer overrides (YAML key `layers`): a map
+    /// from layer pattern to [`LayerOverride`]. Empty (the default)
+    /// means single-resolution injection; the key is omitted from the
+    /// YAML serialization when empty so legacy scenario files and
+    /// replay fingerprints are unchanged.
+    pub layer_overrides: BTreeMap<String, LayerOverride>,
 }
 
 impl Default for Scenario {
@@ -394,6 +443,7 @@ impl Default for Scenario {
             seed: 0,
             stop_policy: None,
             artifact_format: None,
+            layer_overrides: BTreeMap::new(),
         }
     }
 }
@@ -532,6 +582,22 @@ impl Scenario {
                 ),
             };
         }
+        if let Some(v) = y.get("layers") {
+            s.layer_overrides = match v {
+                Yaml::Null => BTreeMap::new(),
+                Yaml::Map(entries) => {
+                    let mut out = BTreeMap::new();
+                    for (pattern, spec) in entries {
+                        if pattern.is_empty() {
+                            return Err(invalid("layers", "layer pattern must not be empty"));
+                        }
+                        out.insert(pattern.clone(), parse_layer_override(spec)?);
+                    }
+                    out
+                }
+                _ => return Err(invalid("layers", "expected a map of layer overrides")),
+            };
+        }
         Ok(s)
     }
 
@@ -574,6 +640,13 @@ impl Scenario {
         }
         if let Some(fmt) = &self.artifact_format {
             m.insert("format".into(), Yaml::Str(fmt.to_string()));
+        }
+        if !self.layer_overrides.is_empty() {
+            let mut layers = BTreeMap::new();
+            for (pattern, o) in &self.layer_overrides {
+                layers.insert(pattern.clone(), layer_override_yaml(o));
+            }
+            m.insert("layers".into(), Yaml::Map(layers));
         }
         Yaml::Map(m).to_yaml_string()
     }
@@ -669,8 +742,84 @@ fn parse_fault_mode(v: &Yaml) -> Result<FaultMode, ScenarioError> {
             }
             Ok(FaultMode::RandomValue { min: min as f32, max: max as f32 })
         }
+        "quant_step" => {
+            let bits = v
+                .get("bits")
+                .map(|b| usize_field(b, "fault_mode"))
+                .transpose()?
+                .unwrap_or(8);
+            if !(2..=16).contains(&bits) {
+                return Err(invalid("fault_mode", "quant_step bits must be in [2, 16]"));
+            }
+            let amax = v
+                .get("amax")
+                .and_then(Yaml::as_f64)
+                .ok_or_else(|| invalid("fault_mode", "quant_step requires numeric `amax`"))?;
+            if !(amax > 0.0 && amax.is_finite()) {
+                return Err(invalid("fault_mode", "quant_step amax must be finite and > 0"));
+            }
+            let range = v
+                .get("rnd_bit_range")
+                .map(|r| bit_range(r, "fault_mode"))
+                .transpose()?
+                .unwrap_or((0, bits as u8 - 1));
+            if range.1 as usize >= bits {
+                return Err(invalid(
+                    "fault_mode",
+                    format!("rnd_bit_range high bound must be below bits ({bits})"),
+                ));
+            }
+            Ok(FaultMode::QuantStep { bits: bits as u8, amax: amax as f32, bit_range: range })
+        }
         other => Err(invalid("fault_mode", format!("unknown mode `{other}`"))),
     }
+}
+
+fn parse_layer_override(v: &Yaml) -> Result<LayerOverride, ScenarioError> {
+    if !matches!(v, Yaml::Map(_)) {
+        return Err(invalid("layers", "each override must be a map"));
+    }
+    let mut o = LayerOverride::default();
+    if let Some(r) = v.get("rate") {
+        let rate = r.as_f64().ok_or_else(|| invalid("layers", "rate must be a number"))?;
+        if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+            return Err(invalid("layers", "rate must be in [0, 1]"));
+        }
+        o.rate = Some(rate);
+    }
+    if let Some(m) = v.get("mode").or_else(|| v.get("fault_mode")) {
+        o.mode = Some(parse_fault_mode(m)?);
+    }
+    if let Some(c) = v.get("channels") {
+        let list = c.as_list().ok_or_else(|| invalid("layers", "channels must be `[low, high]`"))?;
+        if list.len() != 2 {
+            return Err(invalid("layers", "channels must have exactly two entries"));
+        }
+        let lo = usize_field(&list[0], "layers")?;
+        let hi = usize_field(&list[1], "layers")?;
+        if lo > hi {
+            return Err(invalid("layers", "channels low bound exceeds high bound"));
+        }
+        o.channel_range = Some((lo, hi));
+    }
+    if o.is_empty() {
+        return Err(invalid("layers", "override sets none of rate/mode/channels"));
+    }
+    Ok(o)
+}
+
+fn layer_override_yaml(o: &LayerOverride) -> Yaml {
+    let mut map = BTreeMap::new();
+    if let Some(rate) = o.rate {
+        map.insert("rate".into(), Yaml::Float(rate));
+    }
+    if let Some(mode) = &o.mode {
+        map.insert("mode".into(), fault_mode_yaml(mode));
+    }
+    if let Some((lo, hi)) = o.channel_range {
+        map.insert("channels".into(), Yaml::List(vec![Yaml::Int(lo as i64), Yaml::Int(hi as i64)]));
+    }
+    Yaml::Map(map)
 }
 
 fn parse_stop_policy(v: &Yaml) -> Result<StopPolicy, ScenarioError> {
@@ -748,6 +897,15 @@ fn fault_mode_yaml(m: &FaultMode) -> Yaml {
             map.insert("min".into(), Yaml::Float(*min as f64));
             map.insert("max".into(), Yaml::Float(*max as f64));
         }
+        FaultMode::QuantStep { bits, amax, bit_range } => {
+            map.insert("mode".into(), Yaml::Str("quant_step".into()));
+            map.insert("bits".into(), Yaml::Int(*bits as i64));
+            map.insert("amax".into(), Yaml::Float(*amax as f64));
+            map.insert(
+                "rnd_bit_range".into(),
+                Yaml::List(vec![Yaml::Int(bit_range.0 as i64), Yaml::Int(bit_range.1 as i64)]),
+            );
+        }
     }
     Yaml::Map(map)
 }
@@ -787,12 +945,97 @@ mod tests {
                 method: CiMethod::ClopperPearson,
             }),
             artifact_format: Some(ArtifactFormat::Binary),
+            layer_overrides: BTreeMap::from([
+                (
+                    "features*".to_string(),
+                    LayerOverride {
+                        rate: Some(0.25),
+                        mode: Some(FaultMode::QuantStep {
+                            bits: 8,
+                            amax: 4.0,
+                            bit_range: (0, 7),
+                        }),
+                        channel_range: Some((0, 3)),
+                    },
+                ),
+                ("2-5".to_string(), LayerOverride { rate: Some(0.5), ..Default::default() }),
+            ]),
         };
         let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
         assert_eq!(s, back);
         s.fault_mode = FaultMode::RandomValue { min: -2.5, max: 7.25 };
         let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
         assert_eq!(s, back);
+        s.fault_mode = FaultMode::QuantStep { bits: 6, amax: 2.5, bit_range: (1, 5) };
+        let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn quant_step_defaults_and_validation() {
+        let s = Scenario::from_yaml_str("fault_mode:\n  mode: quant_step\n  amax: 2.0\n").unwrap();
+        assert_eq!(s.fault_mode, FaultMode::QuantStep { bits: 8, amax: 2.0, bit_range: (0, 7) });
+        for bad in [
+            "fault_mode:\n  mode: quant_step\n", // amax missing
+            "fault_mode:\n  mode: quant_step\n  amax: 0\n",
+            "fault_mode:\n  mode: quant_step\n  amax: -1.5\n",
+            "fault_mode:\n  mode: quant_step\n  amax: 2.0\n  bits: 1\n",
+            "fault_mode:\n  mode: quant_step\n  amax: 2.0\n  bits: 33\n",
+            "fault_mode:\n  mode: quant_step\n  amax: 2.0\n  bits: 4\n  rnd_bit_range: [0, 4]\n",
+        ] {
+            assert!(Scenario::from_yaml_str(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn layer_overrides_absent_by_default_and_omitted_from_yaml() {
+        let s = Scenario::default();
+        assert!(s.layer_overrides.is_empty());
+        assert!(!s.to_yaml_string().contains("layers"));
+        // Explicit null keeps the map empty.
+        let s = Scenario::from_yaml_str("layers: null\n").unwrap();
+        assert!(s.layer_overrides.is_empty());
+    }
+
+    #[test]
+    fn layer_overrides_parse_and_round_trip() {
+        let text = "\
+layers:
+  features.3:
+    rate: 0.5
+    channels: [0, 15]
+  head:
+    mode:
+      mode: quant_step
+      amax: 4.0
+      bits: 8
+";
+        let s = Scenario::from_yaml_str(text).unwrap();
+        assert_eq!(s.layer_overrides.len(), 2);
+        let f3 = &s.layer_overrides["features.3"];
+        assert_eq!(f3.rate, Some(0.5));
+        assert_eq!(f3.channel_range, Some((0, 15)));
+        assert_eq!(f3.mode, None);
+        let head = &s.layer_overrides["head"];
+        assert_eq!(head.mode, Some(FaultMode::QuantStep { bits: 8, amax: 4.0, bit_range: (0, 7) }));
+        let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn layer_overrides_reject_invalid_entries() {
+        for bad in [
+            "layers: 7\n",
+            "layers:\n  conv1: 3\n",
+            "layers:\n  conv1:\n    rate: 1.5\n",
+            "layers:\n  conv1:\n    rate: -0.1\n",
+            "layers:\n  conv1:\n    channels: [5, 2]\n",
+            "layers:\n  conv1:\n    channels: [1]\n",
+            "layers:\n  conv1:\n    mode:\n      mode: wat\n",
+            "layers:\n  conv1: {}\n",
+        ] {
+            assert!(Scenario::from_yaml_str(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -5,14 +5,14 @@ use alfi_check::{check_with, gen};
 use alfi_rng::Rng;
 use alfi_scenario::{
     ArtifactFormat, CiMethod, FaultCount, FaultDuration, FaultMode, InjectionPolicy,
-    InjectionTarget, LayerType, Scenario, StopPolicy, StopScope, Yaml,
+    InjectionTarget, LayerOverride, LayerType, Scenario, StopPolicy, StopScope, Yaml,
 };
 use std::collections::BTreeMap;
 
 const CASES: usize = 128;
 
 fn arb_fault_mode(rng: &mut Rng) -> FaultMode {
-    match rng.gen_range(0u8..3) {
+    match rng.gen_range(0u8..4) {
         0 => {
             let a: u8 = rng.gen_range(0u8..32);
             let b: u8 = rng.gen_range(0u8..32);
@@ -23,11 +23,58 @@ fn arb_fault_mode(rng: &mut Rng) -> FaultMode {
             let b: u8 = rng.gen_range(0u8..32);
             FaultMode::StuckAt { bit_range: (a.min(b), a.max(b)), stuck_high: gen::any_bool(rng) }
         }
+        2 => {
+            let bits: u8 = rng.gen_range(2u8..17);
+            let a: u8 = rng.gen_range(0..bits);
+            let b: u8 = rng.gen_range(0..bits);
+            FaultMode::QuantStep {
+                bits,
+                amax: rng.gen_range(0.001f32..1000.0),
+                bit_range: (a.min(b), a.max(b)),
+            }
+        }
         _ => FaultMode::RandomValue {
             min: rng.gen_range(-100.0f32..0.0),
             max: rng.gen_range(0.0f32..100.0),
         },
     }
+}
+
+fn arb_layer_overrides(rng: &mut Rng) -> BTreeMap<String, LayerOverride> {
+    let n = rng.gen_range(0usize..4);
+    let mut m = BTreeMap::new();
+    for _ in 0..n {
+        // Keys exercise every pattern form: name, index, range, glob.
+        let key = match rng.gen_range(0u8..4) {
+            0 => format!("features.{}", rng.gen_range(0u64..20)),
+            1 => rng.gen_range(0u64..20).to_string(),
+            2 => {
+                let a: u64 = rng.gen_range(0u64..20);
+                format!("{a}-{}", a + rng.gen_range(0u64..5))
+            }
+            _ => "classifier*".to_string(),
+        };
+        let mut o = LayerOverride::default();
+        // Each override sets at least one field (empty ones are invalid).
+        loop {
+            if gen::any_bool(rng) {
+                o.rate = Some(rng.gen_range(0.0f64..=1.0));
+            }
+            if gen::any_bool(rng) {
+                o.mode = Some(arb_fault_mode(rng));
+            }
+            if gen::any_bool(rng) {
+                let a: usize = rng.gen_range(0usize..64);
+                let b: usize = rng.gen_range(0usize..64);
+                o.channel_range = Some((a.min(b), a.max(b)));
+            }
+            if !o.is_empty() {
+                break;
+            }
+        }
+        m.insert(key, o);
+    }
+    m
 }
 
 fn arb_stop_policy(rng: &mut Rng) -> StopPolicy {
@@ -87,6 +134,7 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
             1 => Some(ArtifactFormat::Csv),
             _ => Some(ArtifactFormat::Binary),
         },
+        layer_overrides: arb_layer_overrides(rng),
     }
 }
 

@@ -8,6 +8,7 @@
 //! ```text
 //! alfi gen-scenario --out default.yml
 //! alfi classify --scenario default.yml --model vgg16 --out runs/c1 [--protect ranger] [--parallel 4] [--trace on]
+//! alfi classify --scenario scenarios/vit.yml --model vit --out runs/v1 [--format binary]
 //! alfi detect   --scenario default.yml --model yolo  --out runs/d1 [--trace on]
 //! alfi inspect-faults runs/c1/faults.bin
 //! alfi store info runs/c1/rows.alfic
@@ -15,7 +16,7 @@
 //! alfi store convert runs/c1/rows.alfic --out runs/c1
 //! ```
 
-use alfi::core::campaign::{ImgClassCampaign, ObjDetCampaign, RunConfig};
+use alfi::core::campaign::{ImgClassCampaign, ObjDetCampaign, RunConfig, VitCampaign};
 use alfi::core::{load_fault_matrix, store_to_files, text_to_store, FaultValue, ReplayReader};
 use alfi::trace::Recorder;
 use alfi::datasets::{ClassificationDataset, ClassificationLoader, DetectionDataset, DetectionLoader};
@@ -25,7 +26,9 @@ use alfi::eval::{
 };
 use alfi::mitigation::{harden, profile_bounds, Protection};
 use alfi::nn::detection::{Detector, DetectorConfig, FrcnnTwoStage, RetinaAnchor, YoloGrid};
-use alfi::nn::models::{alexnet, densenet_tiny, resnet50, vgg16, ModelConfig};
+use alfi::nn::models::{
+    alexnet, densenet_tiny, resnet50, vgg16, vit_tiny, ModelConfig, VIT_TINY_DEPTH, VIT_TINY_HEADS,
+};
 use alfi::nn::train::{accuracy, train_step, SgdTrainer};
 use alfi::nn::weights::{load_weights, save_weights};
 use alfi::nn::Network;
@@ -43,7 +46,7 @@ USAGE:
   alfi train    --model <alexnet|vgg16|resnet50|densenet> --out <weights.alfiw>
                 [--epochs <n>] [--images <n>] [--lr <f>]
                 [--width <mult>] [--input <px>] [--seed <n>]
-  alfi classify --scenario <file> --model <alexnet|vgg16|resnet50|densenet> --out <dir>
+  alfi classify --scenario <file> --model <alexnet|vgg16|resnet50|densenet|vit> --out <dir>
                 [--weights <weights.alfiw>]
                 [--protect <ranger|clipper>] [--parallel <threads>]
                 [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
@@ -326,6 +329,7 @@ fn build_model(name: &str, mcfg: &ModelConfig) -> Result<Network, String> {
         "vgg16" => vgg16(mcfg),
         "resnet50" => resnet50(mcfg),
         "densenet" => densenet_tiny(mcfg),
+        "vit" => vit_tiny(mcfg),
         other => return Err(format!("unknown classifier `{other}`")),
     })
 }
@@ -381,7 +385,8 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
     let scenario = Scenario::load(args.required("scenario")?).map_err(|e| e.to_string())?;
     let out_dir = args.required("out")?.to_string();
     let mcfg = model_config(&args)?;
-    let mut model = build_model(args.required("model")?, &mcfg)?;
+    let model_name = args.required("model")?.to_string();
+    let mut model = build_model(&model_name, &mcfg)?;
     if let Some(w) = args.flags.get("weights") {
         load_weights(&mut model, w).map_err(|e| e.to_string())?;
         println!("loaded checkpoint {w}");
@@ -395,23 +400,25 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
         scenario.seed,
     );
     let loader = ClassificationLoader::new(ds.clone(), scenario.batch_size);
-    let mut campaign = ImgClassCampaign::new(model.clone(), scenario, loader);
 
     let protect = args.flags.get("protect").map(|p| match p.as_str() {
         "ranger" => Ok(Protection::Ranger),
         "clipper" => Ok(Protection::Clipper),
         other => Err(format!("unknown protection `{other}`")),
     });
-    if let Some(p) = protect {
-        let p = p?;
-        let calib: Vec<Tensor> = (0..4.min(ds.len()))
-            .map(|i| Tensor::stack(&[ds.get(i).image]).expect("stack"))
-            .collect();
-        let bounds = profile_bounds(&model, calib.iter()).map_err(|e| e.to_string())?;
-        let hardened = harden(&model, &bounds, p, 0.1).map_err(|e| e.to_string())?;
-        campaign = campaign.with_resil_model(hardened);
-        println!("protection: {p:?}");
-    }
+    let hardened = match protect {
+        Some(p) => {
+            let p = p?;
+            let calib: Vec<Tensor> = (0..4.min(ds.len()))
+                .map(|i| Tensor::stack(&[ds.get(i).image]).expect("stack"))
+                .collect();
+            let bounds = profile_bounds(&model, calib.iter()).map_err(|e| e.to_string())?;
+            let h = harden(&model, &bounds, p, 0.1).map_err(|e| e.to_string())?;
+            println!("protection: {p:?}");
+            Some(h)
+        }
+        None => None,
+    };
 
     let threads: usize =
         args.get_or("parallel", "1").parse().map_err(|_| "bad --parallel".to_string())?;
@@ -423,7 +430,21 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
     let cfg = stop_config(cfg, &args)?;
     let cfg = kernel_config(cfg, &args)?;
     let cfg = format_config(cfg, &args)?;
-    let result = campaign.run_with(&cfg).map_err(|e| e.to_string())?;
+    let result = if model_name == "vit" {
+        let mut campaign =
+            VitCampaign::new(model, VIT_TINY_DEPTH, VIT_TINY_HEADS, scenario, loader);
+        if let Some(h) = hardened {
+            campaign = campaign.with_resil_model(h);
+        }
+        campaign.run_with(&cfg)
+    } else {
+        let mut campaign = ImgClassCampaign::new(model, scenario, loader);
+        if let Some(h) = hardened {
+            campaign = campaign.with_resil_model(h);
+        }
+        campaign.run_with(&cfg)
+    }
+    .map_err(|e| e.to_string())?;
     print_trace_summary(&recorder);
 
     let kpis = classification_kpis(&result.rows, SdeCriterion::Top1Mismatch);
@@ -508,6 +529,7 @@ fn cmd_inspect(argv: &[String]) -> Result<(), String> {
                 format!("stuck{} b{pos}", if high { 1 } else { 0 })
             }
             FaultValue::Replace(v) => format!("={v:.3}"),
+            FaultValue::QuantStep { bit, bits, .. } => format!("quant b{bit}/{bits}"),
         };
         println!(
             "{:<6} {:>6} {:>6} {:>8} {:>8} {:>7} {:>7} {:>10}",
@@ -576,11 +598,25 @@ fn store_info(args: &Args) -> Result<(), String> {
         .schema()
         .meta
         .iter()
-        .filter(|(k, _)| k.as_str() != "kind")
+        .filter(|(k, _)| k.as_str() != "kind" && !k.starts_with("layer."))
         .map(|(k, v)| format!("{k}={v}"))
         .collect();
     if !meta.is_empty() {
         println!("meta:       {}", meta.join(", "));
+    }
+    // Multi-resolution fault-model overrides (`layers:` in the
+    // scenario) are stamped into the schema as `layer.<pattern>` keys.
+    let layers: Vec<(&String, &String)> = reader
+        .schema()
+        .meta
+        .iter()
+        .filter(|(k, _)| k.starts_with("layer."))
+        .collect();
+    if !layers.is_empty() {
+        println!("layers:     {} override pattern(s)", layers.len());
+        for (k, v) in layers {
+            println!("  {:<12} {}", &k["layer.".len()..], v);
+        }
     }
     Ok(())
 }

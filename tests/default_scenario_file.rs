@@ -1,9 +1,10 @@
-//! Integration test: the repository's `scenarios/default.yml` is valid,
-//! documents the paper's headline fault model, and drives the Listing-1
-//! convention loader.
+//! Integration test: the repository's shipped scenario files
+//! (`scenarios/*.yml`) are valid, document the paper's headline fault
+//! model, resolve against the models they name, and drive the
+//! Listing-1 convention loader.
 
-use alfi::core::Ptfiwrap;
-use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::core::{resolve_targets, FaultModel, Ptfiwrap};
+use alfi::nn::models::{alexnet, vit_tiny, ModelConfig};
 use alfi::scenario::{FaultMode, InjectionPolicy, InjectionTarget, Scenario};
 
 #[test]
@@ -18,6 +19,63 @@ fn shipped_default_yml_parses_with_expected_values() {
     // round-trips through the serializer
     let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
     assert_eq!(s, back);
+}
+
+#[test]
+fn shipped_layers_yml_parses_and_resolves_multi_resolution_plan() {
+    let repo_root = env!("CARGO_MANIFEST_DIR");
+    let s = Scenario::load(format!("{repo_root}/scenarios/layers.yml")).unwrap();
+    assert_eq!(s.layer_overrides.len(), 3);
+    assert_eq!(s.layer_overrides["0"].rate, Some(0.4));
+    assert!(matches!(
+        s.layer_overrides["2-3"].mode,
+        Some(FaultMode::QuantStep { bits: 8, .. })
+    ));
+    assert_eq!(s.layer_overrides["5"].channel_range, Some((0, 0)));
+    // round-trips through the serializer
+    let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+    assert_eq!(s, back);
+
+    // Every pattern matches the model the header recommends, and the
+    // resolved plan is multi-resolution with rates summing to one.
+    let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+    let model = alexnet(&cfg);
+    let targets = resolve_targets(&[&model], &s, &[Some(cfg.input_dims(1))]).unwrap();
+    let fm = FaultModel::resolve(&s, &targets).unwrap();
+    assert!(fm.is_multi_resolution());
+    let total: f64 = fm.plans().iter().map(|p| p.weight).sum();
+    assert!((total - 1.0).abs() < 1e-9, "rates sum to {total}");
+}
+
+#[test]
+fn shipped_vit_yml_parses_and_resolves_against_vit_tiny() {
+    let repo_root = env!("CARGO_MANIFEST_DIR");
+    let s = Scenario::load(format!("{repo_root}/scenarios/vit.yml")).unwrap();
+    assert_eq!(s.layer_overrides.len(), 2);
+    assert_eq!(s.layer_overrides["blocks.0.attn*"].rate, Some(0.125));
+    assert!(matches!(
+        s.layer_overrides["head"].mode,
+        Some(FaultMode::QuantStep { bits: 8, .. })
+    ));
+    let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+    assert_eq!(s, back);
+
+    let cfg = ModelConfig { input_hw: 32, width_mult: 0.0625, ..ModelConfig::default() };
+    let model = vit_tiny(&cfg);
+    let targets = resolve_targets(&[&model], &s, &[Some(cfg.input_dims(1))]).unwrap();
+    assert_eq!(targets.len(), 14, "vit_tiny injectable layers");
+    let fm = FaultModel::resolve(&s, &targets).unwrap();
+    assert!(fm.is_multi_resolution());
+    // The glob hits exactly the first block's four attention linears,
+    // which together carry the pinned 50% of the fault budget.
+    let attn_rate: f64 = fm
+        .plans()
+        .iter()
+        .zip(&targets)
+        .filter(|(_, t)| t.name.starts_with("blocks.0.attn"))
+        .map(|(p, _)| p.weight)
+        .sum();
+    assert!((attn_rate - 0.5).abs() < 1e-9, "attn rate sum is {attn_rate}");
 }
 
 #[test]

@@ -96,6 +96,65 @@ fn parallel_campaign_matches_sequential_bytes() {
     }
 }
 
+/// A multi-resolution (per-layer rate map) scenario is just as
+/// thread-count-independent as the flat one: the resolved layer plans
+/// feed the same slot-cursor sampling, so a CNN campaign with rate,
+/// mode and channel overrides produces identical fault-matrix bytes
+/// and CSVs at 1/2/4/7 threads.
+#[test]
+fn rate_map_campaign_matches_sequential_bytes_at_all_thread_counts() {
+    use alfi::scenario::LayerOverride;
+    let mcfg = model_cfg();
+    let ds = ClassificationDataset::new(6, mcfg.num_classes, 3, 16, 11);
+    let scenario = || {
+        let mut s = scenario(InjectionTarget::Weights);
+        s.layer_overrides = std::collections::BTreeMap::from([
+            ("0".to_string(), LayerOverride { rate: Some(0.4), ..Default::default() }),
+            (
+                "2-3".to_string(),
+                LayerOverride {
+                    mode: Some(FaultMode::QuantStep { bits: 8, amax: 4.0, bit_range: (0, 7) }),
+                    ..Default::default()
+                },
+            ),
+            ("5".to_string(), LayerOverride { channel_range: Some((0, 0)), ..Default::default() }),
+        ]);
+        s
+    };
+
+    let seq = ImgClassCampaign::new(
+        alexnet(&mcfg),
+        scenario(),
+        ClassificationLoader::new(ds.clone(), 2),
+    )
+    .run_with(&RunConfig::default())
+    .unwrap();
+    for threads in [1usize, 2, 4, 7] {
+        let par = ImgClassCampaign::new(
+            alexnet(&mcfg),
+            scenario(),
+            ClassificationLoader::new(ds.clone(), 2),
+        )
+        .run_with(&RunConfig::new().threads(threads))
+        .unwrap();
+        assert_eq!(
+            encode_fault_matrix(&seq.fault_matrix),
+            encode_fault_matrix(&par.fault_matrix),
+            "{threads}-thread rate-map fault matrix must match sequential"
+        );
+        assert_eq!(
+            seq.to_csv(CsvVariant::Original),
+            par.to_csv(CsvVariant::Original),
+            "{threads}-thread rate-map fault-free CSV must match sequential"
+        );
+        assert_eq!(
+            seq.to_csv(CsvVariant::Corrupted),
+            par.to_csv(CsvVariant::Corrupted),
+            "{threads}-thread rate-map corrupted CSV must match sequential"
+        );
+    }
+}
+
 /// The pool-backed parallel detection campaign writes artifacts that
 /// are byte-identical to the sequential driver's at 1, 2 and 7
 /// threads — fault file, trace, detection JSONs and IVMOD metrics.

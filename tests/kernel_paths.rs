@@ -13,7 +13,7 @@
 //! by the engine is process-global, so concurrent test functions
 //! pinning different paths would race.
 
-use alfi::core::campaign::{CsvVariant, ImgClassCampaign, RunConfig};
+use alfi::core::campaign::{CsvVariant, ImgClassCampaign, RunConfig, VitCampaign};
 use alfi::datasets::{ClassificationDataset, ClassificationLoader};
 use alfi::mitigation::{harden, profile_bounds, Protection};
 use alfi::nn::models::{alexnet, ModelConfig};
@@ -50,6 +50,25 @@ fn run_csvs(path: KernelPath, threads: usize) -> (String, String) {
     (result.to_csv(CsvVariant::Original), result.to_csv(CsvVariant::Corrupted))
 }
 
+/// The transformer campaign exercises kernel surfaces the CNN one
+/// cannot: attention's Q·Kᵀ GEMM (transposed-`B` layout) and the
+/// softmax(scores)·V GEMM over reused per-head buffers. A
+/// reference-vs-blocked divergence in either showed up here as
+/// different top-k rows.
+fn vit_campaign() -> VitCampaign {
+    let mcfg = ModelConfig { input_hw: 16, width_mult: 0.0625, seed: 11, ..ModelConfig::default() };
+    let ds = ClassificationDataset::new(6, mcfg.num_classes, 3, 16, 21);
+    let loader = ClassificationLoader::new(ds, 2);
+    VitCampaign::tiny(&mcfg, scenario(), loader)
+}
+
+fn run_vit_csvs(path: KernelPath, threads: usize) -> (String, String) {
+    let result = vit_campaign()
+        .run_with(&RunConfig::new().threads(threads).kernel(path))
+        .unwrap();
+    (result.to_csv(CsvVariant::Original), result.to_csv(CsvVariant::Corrupted))
+}
+
 #[test]
 fn campaign_artifacts_are_bit_identical_across_kernel_paths() {
     // Single-thread reference run is the golden for everything else.
@@ -67,6 +86,17 @@ fn campaign_artifacts_are_bit_identical_across_kernel_paths() {
                 corr, c,
                 "corrupted CSV drifted: {path} kernel, {threads} threads"
             );
+        }
+    }
+
+    // Same contract for the transformer campaign.
+    let (vorig, vcorr) = run_vit_csvs(KernelPath::Reference, 1);
+    assert!(vorig.lines().count() > 1, "vit campaign produced no rows");
+    for threads in [1usize, 4] {
+        for path in [KernelPath::Reference, KernelPath::Blocked] {
+            let (o, c) = run_vit_csvs(path, threads);
+            assert_eq!(vorig, o, "vit fault-free CSV drifted: {path} kernel, {threads} threads");
+            assert_eq!(vcorr, c, "vit corrupted CSV drifted: {path} kernel, {threads} threads");
         }
     }
 
