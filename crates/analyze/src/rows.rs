@@ -1,0 +1,314 @@
+//! Streaming row sources: normalize the two row-artifact formats (the
+//! `results_*.csv` pair and the columnar `rows.alfic` store) into one
+//! per-row fact record, so every downstream aggregate is identical
+//! whichever format the campaign wrote.
+//!
+//! Classification mirrors the engine's own row classifier: a row is
+//! DUE when the corrupted inference surfaced NaN/Inf elements or a
+//! non-finite top-1 probability, SDC when the top-1 class silently
+//! changed against the fault-free run, and masked otherwise.
+
+use crate::AnalyzeError;
+use alfi_store::{StoreReader, Value};
+use alfi_trace::EffectClass;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// One fault coordinate a row's outcome is attributed to.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultKey {
+    /// Index into the model's injectable-layer list.
+    pub layer: usize,
+    /// Bit position; `-1` for faults that are not bit-addressed
+    /// (value replacement).
+    pub bit: i64,
+    /// Stable fault-mode name (`bitflip`, `quant`, `replace`,
+    /// `stuck_at`).
+    pub mode: &'static str,
+}
+
+/// The per-row facts every aggregate is built from.
+#[derive(Debug, Clone)]
+pub(crate) struct RowFacts {
+    pub outcome: EffectClass,
+    pub faults: Vec<FaultKey>,
+}
+
+/// Parses one `fault_bits` cell (`30`, `s31`, `v`, `q5`) into its bit
+/// position and mode name.
+pub(crate) fn parse_bit_cell(cell: &str) -> (i64, &'static str) {
+    if cell == "v" {
+        (-1, "replace")
+    } else if let Some(pos) = cell.strip_prefix('s') {
+        (pos.parse().unwrap_or(-1), "stuck_at")
+    } else if let Some(bit) = cell.strip_prefix('q') {
+        (bit.parse().unwrap_or(-1), "quant")
+    } else if let Ok(bit) = cell.parse::<i64>() {
+        (bit, "bitflip")
+    } else {
+        (-1, "unknown")
+    }
+}
+
+fn fault_keys(layers_cell: &str, bits_cell: &str) -> Vec<FaultKey> {
+    if layers_cell.is_empty() {
+        return Vec::new();
+    }
+    let layers = layers_cell.split(';');
+    let mut bits = bits_cell.split(';');
+    layers
+        .map(|l| {
+            let (bit, mode) = parse_bit_cell(bits.next().unwrap_or(""));
+            FaultKey { layer: l.parse().unwrap_or(usize::MAX), bit, mode }
+        })
+        .collect()
+}
+
+/// The campaign-level row classification, shared verbatim between the
+/// two sources: `corr_top1`/`orig_top1` are the top-1 class ids (`None`
+/// when the top-k list was empty), `corr_p1` the corrupted top-1
+/// probability, `nonfinite` the corrupted inference's NaN+Inf element
+/// count.
+fn classify(
+    orig_top1: Option<u64>,
+    corr_top1: Option<u64>,
+    corr_p1: Option<f32>,
+    nonfinite: u64,
+) -> EffectClass {
+    if nonfinite > 0 || corr_p1.is_some_and(|p| !p.is_finite()) {
+        EffectClass::Due
+    } else if orig_top1 != corr_top1 {
+        EffectClass::Sdc
+    } else {
+        EffectClass::Masked
+    }
+}
+
+/// Column positions resolved from a CSV header line.
+struct CsvCols {
+    top1: usize,
+    top1_p: usize,
+    fault_layers: usize,
+    fault_bits: usize,
+    nan: usize,
+    inf: usize,
+}
+
+fn csv_cols(header: &str, file: &str) -> Result<CsvCols, AnalyzeError> {
+    let names: Vec<&str> = header.trim_end().split(',').collect();
+    let find = |name: &str| {
+        names.iter().position(|n| *n == name).ok_or_else(|| {
+            AnalyzeError::Parse(format!("{file}: header lacks a `{name}` column"))
+        })
+    };
+    Ok(CsvCols {
+        top1: find("top1")?,
+        top1_p: find("top1_p")?,
+        fault_layers: find("fault_layers")?,
+        fault_bits: find("fault_bits")?,
+        nan: find("nan_count")?,
+        inf: find("inf_count")?,
+    })
+}
+
+fn cell<'l>(cells: &[&'l str], idx: usize) -> &'l str {
+    cells.get(idx).copied().unwrap_or("")
+}
+
+fn opt_u64(s: &str) -> Option<u64> {
+    if s.is_empty() {
+        None
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Whether a CSV row artifact carries the classification header the
+/// analyzer understands (detection rows have a different shape and
+/// contribute only their event log to a report).
+pub(crate) fn csv_is_classification(path: &Path) -> Result<bool, AnalyzeError> {
+    use std::io::Read;
+    let mut head = String::new();
+    std::fs::File::open(path)?.take(4096).read_to_string(&mut head)?;
+    let header = head.lines().next().unwrap_or("");
+    Ok(csv_cols(header, "results_orig.csv").is_ok())
+}
+
+/// Streams the CSV artifact pair line-by-line (never materialized),
+/// feeding one [`RowFacts`] per aligned row pair into `f`.
+pub(crate) fn stream_csv_rows(
+    orig_path: &Path,
+    corr_path: &Path,
+    mut f: impl FnMut(RowFacts),
+) -> Result<u64, AnalyzeError> {
+    let orig = BufReader::new(std::fs::File::open(orig_path)?);
+    let corr = BufReader::new(std::fs::File::open(corr_path)?);
+    let mut orig_lines = orig.lines();
+    let mut corr_lines = corr.lines();
+    let orig_header = orig_lines.next().transpose()?.unwrap_or_default();
+    let corr_header = corr_lines.next().transpose()?.unwrap_or_default();
+    let ocols = csv_cols(&orig_header, "results_orig.csv")?;
+    let ccols = csv_cols(&corr_header, "results_corr.csv")?;
+    let mut rows = 0u64;
+    loop {
+        let (o, c) = match (orig_lines.next().transpose()?, corr_lines.next().transpose()?) {
+            (Some(o), Some(c)) => (o, c),
+            (None, None) => break,
+            _ => {
+                return Err(AnalyzeError::Parse(
+                    "results_orig.csv / results_corr.csv row counts differ".into(),
+                ))
+            }
+        };
+        if o.trim().is_empty() && c.trim().is_empty() {
+            continue;
+        }
+        let oc: Vec<&str> = o.trim_end().split(',').collect();
+        let cc: Vec<&str> = c.trim_end().split(',').collect();
+        let nonfinite = cell(&cc, ccols.nan).parse::<u64>().unwrap_or(0)
+            + cell(&cc, ccols.inf).parse::<u64>().unwrap_or(0);
+        let corr_p1 = match cell(&cc, ccols.top1_p) {
+            "" => None,
+            p => p.parse::<f32>().ok(),
+        };
+        let outcome = classify(
+            opt_u64(cell(&oc, ocols.top1)),
+            opt_u64(cell(&cc, ccols.top1)),
+            corr_p1,
+            nonfinite,
+        );
+        f(RowFacts {
+            outcome,
+            faults: fault_keys(cell(&cc, ccols.fault_layers), cell(&cc, ccols.fault_bits)),
+        });
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+/// Column positions resolved from a store schema.
+struct StoreCols {
+    orig_class1: usize,
+    corr_class1: usize,
+    corr_p1: usize,
+    fault_layers: usize,
+    fault_bits: usize,
+    nan: usize,
+    inf: usize,
+}
+
+/// The sentinel class the classification schema pads absent top-k
+/// entries with (mirrors `alfi-core`'s `TOPK_PAD_CLASS`).
+const PAD_CLASS: u64 = u32::MAX as u64;
+
+fn store_cols(reader: &StoreReader) -> Result<StoreCols, AnalyzeError> {
+    let find = |name: &str| {
+        reader.schema().columns.iter().position(|c| c.name == name).ok_or_else(|| {
+            AnalyzeError::Parse(format!("rows.alfic: schema lacks a `{name}` column"))
+        })
+    };
+    Ok(StoreCols {
+        orig_class1: find("orig_class1")?,
+        corr_class1: find("corr_class1")?,
+        corr_p1: find("corr_p1")?,
+        fault_layers: find("fault_layers")?,
+        fault_bits: find("fault_bits")?,
+        nan: find("nan_count")?,
+        inf: find("inf_count")?,
+    })
+}
+
+fn value_u64(values: &[Value], idx: usize) -> u64 {
+    match values.get(idx) {
+        Some(Value::U8(v)) => u64::from(*v),
+        Some(Value::U32(v)) => u64::from(*v),
+        Some(Value::U64(v)) => *v,
+        _ => 0,
+    }
+}
+
+fn value_str(values: &[Value], idx: usize) -> &str {
+    match values.get(idx) {
+        Some(Value::Str(s)) => s.as_str(),
+        _ => "",
+    }
+}
+
+/// Whether a columnar store carries the classification schema the
+/// analyzer understands (cheap: opening a store reads only its header,
+/// directory and index).
+pub(crate) fn store_is_classification(path: &Path) -> Result<bool, AnalyzeError> {
+    let reader = StoreReader::open(path)?;
+    Ok(store_cols(&reader).is_ok())
+}
+
+/// Streams the columnar store block-by-block through
+/// [`StoreReader::for_each_row`] (never fully materialized), feeding
+/// one [`RowFacts`] per row into `f`.
+pub(crate) fn stream_store_rows(
+    store_path: &Path,
+    mut f: impl FnMut(RowFacts),
+) -> Result<u64, AnalyzeError> {
+    let mut reader = StoreReader::open(store_path)?;
+    let cols = store_cols(&reader)?;
+    let mut rows = 0u64;
+    reader.for_each_row(|_key, values| {
+        let class = |idx: usize| Some(value_u64(values, idx)).filter(|&c| c != PAD_CLASS);
+        let corr_top1 = class(cols.corr_class1);
+        let corr_p1 = match values.get(cols.corr_p1) {
+            Some(Value::F32(p)) if corr_top1.is_some() => Some(*p),
+            _ => None,
+        };
+        let nonfinite = value_u64(values, cols.nan) + value_u64(values, cols.inf);
+        let outcome = classify(class(cols.orig_class1), corr_top1, corr_p1, nonfinite);
+        f(RowFacts {
+            outcome,
+            faults: fault_keys(
+                value_str(values, cols.fault_layers),
+                value_str(values, cols.fault_bits),
+            ),
+        });
+        rows += 1;
+        Ok(())
+    })?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_cells_cover_every_fault_value_syntax() {
+        assert_eq!(parse_bit_cell("30"), (30, "bitflip"));
+        assert_eq!(parse_bit_cell("s31"), (31, "stuck_at"));
+        assert_eq!(parse_bit_cell("v"), (-1, "replace"));
+        assert_eq!(parse_bit_cell("q5"), (5, "quant"));
+        assert_eq!(parse_bit_cell("junk"), (-1, "unknown"));
+    }
+
+    #[test]
+    fn classification_mirrors_the_engine() {
+        use EffectClass::*;
+        assert_eq!(classify(Some(3), Some(3), Some(0.9), 0), Masked);
+        assert_eq!(classify(Some(3), Some(5), Some(0.9), 0), Sdc);
+        assert_eq!(classify(Some(3), Some(3), Some(0.9), 2), Due);
+        assert_eq!(classify(Some(3), Some(3), Some(f32::NAN), 0), Due);
+        // Padded top-k on one side is a silent prediction change.
+        assert_eq!(classify(Some(3), None, None, 0), Sdc);
+        assert_eq!(classify(None, None, None, 0), Masked);
+    }
+
+    #[test]
+    fn fault_keys_zip_layers_with_bit_cells() {
+        let keys = fault_keys("3;6", "30;s2");
+        assert_eq!(
+            keys,
+            vec![
+                FaultKey { layer: 3, bit: 30, mode: "bitflip" },
+                FaultKey { layer: 6, bit: 2, mode: "stuck_at" },
+            ]
+        );
+        assert!(fault_keys("", "").is_empty());
+    }
+}

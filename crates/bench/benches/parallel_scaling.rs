@@ -10,7 +10,7 @@ use alfi_bench::timing::{BenchResult, BenchmarkId, Harness};
 use alfi_bench::{build_classifier, ExperimentScale};
 use alfi_core::campaign::{ImgClassCampaign, RunConfig};
 use alfi_datasets::{ClassificationDataset, ClassificationLoader};
-use alfi_scenario::{FaultMode, InjectionTarget, Scenario};
+use alfi_scenario::{ArtifactFormat, FaultMode, InjectionTarget, Scenario};
 use alfi_serde::Json;
 use alfi_tensor::gemm::{self, KernelPath};
 use alfi_tensor::Tensor;
@@ -20,6 +20,7 @@ use std::time::Duration;
 const SEQUENTIAL: &str = "campaign_sequential";
 const PARALLEL: &str = "campaign_parallel";
 const KERNEL: &str = "forward_single_thread_kernel";
+const REPORT: &str = "analyze_report";
 
 fn thread_counts() -> Vec<usize> {
     let n_max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -238,7 +239,6 @@ fn early_stop_efficiency() -> Json {
 /// the storage-efficiency headline for the `--format binary` path
 /// (DESIGN.md targets a store at most 40% of the CSV pair).
 fn artifact_size() -> Json {
-    use alfi_scenario::ArtifactFormat;
     let run = |format: ArtifactFormat, tag: &str| {
         let dir = std::env::temp_dir().join(format!("alfi_bench_artifact_{tag}"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -263,6 +263,67 @@ fn artifact_size() -> Json {
         ("csv_bytes".to_string(), Json::Int(csv_bytes as i128)),
         ("binary_bytes".to_string(), Json::Int(store_bytes as i128)),
         ("binary_over_csv".to_string(), ratio),
+    ])
+}
+
+/// Builds one finished quick-scale campaign run directory (with a
+/// trace log, so the report's event-log section is populated) for the
+/// analyzer to consume.
+fn make_report_run(format: ArtifactFormat, tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("alfi_bench_report_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    make_campaign()
+        .run_with(
+            &RunConfig::new()
+                .save_dir(&dir)
+                .format(format)
+                .recorder(alfi_trace::Recorder::new()),
+        )
+        .expect("report source run");
+    dir
+}
+
+/// Report generation over a finished run, for both row-artifact
+/// formats. `analyze_dir` streams the rows (they are never fully
+/// materialized), so this measures pure decode + rate/CI aggregation
+/// throughput over the campaign's persisted artifacts.
+fn bench_report_generation(c: &mut Harness) {
+    let mut group = c.benchmark_group("report_generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (format, tag) in [(ArtifactFormat::Csv, "csv"), (ArtifactFormat::Binary, "binary")] {
+        let dir = make_report_run(format, tag);
+        group.bench_with_input(BenchmarkId::new(REPORT, tag), &dir, |b, d| {
+            b.iter(|| black_box(alfi_analyze::report::analyze_dir(d).expect("analyze")))
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+/// Summarizes report-generation throughput: rows scanned per second
+/// per row-artifact format, from the bench medians and the
+/// (format-independent) row count of the quick campaign.
+fn report_generation_summary(results: &[BenchResult]) -> Json {
+    let dir = make_report_run(ArtifactFormat::Binary, "rowcount");
+    let rows = alfi_analyze::report::analyze_dir(&dir).expect("analyze").rows;
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut formats = Vec::new();
+    for tag in ["csv", "binary"] {
+        let median =
+            results.iter().find(|r| r.name == format!("{REPORT}/{tag}")).map(|r| r.median_ns);
+        let rows_per_second = match median {
+            Some(ns) if ns > 0.0 => Json::Float(rows as f64 * 1e9 / ns),
+            _ => Json::Null,
+        };
+        formats.push(Json::Obj(vec![
+            ("format".to_string(), Json::Str(tag.to_string())),
+            ("median_ns".to_string(), median.map(Json::Float).unwrap_or(Json::Null)),
+            ("rows_per_second".to_string(), rows_per_second),
+        ]));
+    }
+    Json::Obj(vec![
+        ("rows".to_string(), Json::Int(rows as i128)),
+        ("formats".to_string(), Json::Arr(formats)),
     ])
 }
 
@@ -332,6 +393,7 @@ fn write_speedup_report(results: &[BenchResult]) {
         ("metrics_snapshot".to_string(), metrics_snapshot()),
         ("early_stop_efficiency".to_string(), early_stop_efficiency()),
         ("artifact_size".to_string(), artifact_size()),
+        ("report_generation".to_string(), report_generation_summary(results)),
     ]);
 
     let path = std::env::var_os("ALFI_BENCH_SPEEDUP_JSON")
@@ -354,6 +416,7 @@ fn main() {
     let mut harness = Harness::new();
     bench_scaling(&mut harness);
     bench_kernel_paths(&mut harness);
+    bench_report_generation(&mut harness);
     harness.report();
     write_speedup_report(harness.results());
 }

@@ -268,6 +268,13 @@ impl ReplayReader {
         &self.inner
     }
 
+    /// Mutable access to the underlying reader, for block-level
+    /// inspection APIs ([`StoreReader::block_column_stats`]) that need
+    /// to read blocks on demand.
+    pub fn reader_mut(&mut self) -> &mut StoreReader {
+        &mut self.inner
+    }
+
     fn meter(&self, rows: u64, bytes: u64) {
         if alfi_metrics::global_enabled() {
             let reg = alfi_metrics::global();

@@ -1,0 +1,76 @@
+//! End-of-run report hook registry.
+//!
+//! `alfi-analyze` (the post-run analysis crate) depends on `alfi-core`,
+//! so the engine cannot call into it directly. Instead the engine
+//! finalizes `report`-enabled runs through a process-global hook:
+//! `alfi-analyze` registers its generator once via
+//! [`install_report_hook`] (the `alfi` binary does this at startup) and
+//! the engine invokes it with the artifact directory after every other
+//! artifact has been written — so the hook sees the complete run.
+//!
+//! Installation is first-wins and permanent for the process; a
+//! `report`-enabled run with no hook installed warns to stderr and
+//! continues, because a missing report must never fail a finished
+//! campaign.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// An end-of-run report generator: receives the artifact directory
+/// (every artifact already written) and writes its reports into it.
+pub type ReportHook = fn(&Path) -> Result<(), String>;
+
+static HOOK: OnceLock<ReportHook> = OnceLock::new();
+
+/// Installs the process-global report hook. First-wins: returns `true`
+/// when `hook` was installed, `false` when a hook was already present
+/// (the existing one stays).
+pub fn install_report_hook(hook: ReportHook) -> bool {
+    HOOK.set(hook).is_ok()
+}
+
+/// Whether a report hook has been installed.
+pub fn report_hook_installed() -> bool {
+    HOOK.get().is_some()
+}
+
+/// Runs the installed hook against a finished run's artifact
+/// directory. With no hook installed this warns to stderr and succeeds
+/// — report generation is additive and must never fail a campaign that
+/// already persisted its artifacts.
+pub(crate) fn run_report_hook(dir: &Path) -> Result<(), String> {
+    match HOOK.get() {
+        Some(hook) => hook(dir),
+        None => {
+            eprintln!(
+                "alfi: report requested for {} but no report hook is installed \
+                 (run through the `alfi` binary or call \
+                 alfi_analyze::install_engine_hook first)",
+                dir.display()
+            );
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_hook(_dir: &Path) -> Result<(), String> {
+        Ok(())
+    }
+
+    #[test]
+    fn install_is_first_wins_and_uninstalled_runs_warn_but_succeed() {
+        // Before any install, a report-enabled run must not fail.
+        if !report_hook_installed() {
+            assert_eq!(run_report_hook(Path::new("/nonexistent")), Ok(()));
+        }
+        let first = install_report_hook(probe_hook);
+        assert!(report_hook_installed());
+        // A second install never displaces the first.
+        assert!(!install_report_hook(probe_hook) || first);
+        assert_eq!(run_report_hook(Path::new("/nonexistent")), Ok(()));
+    }
+}

@@ -79,6 +79,7 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
         seed: gen::any_u64(rng),
         stop_policy: None,
         artifact_format: None,
+        report: None,
         layer_overrides: BTreeMap::new(),
     }
 }

@@ -418,6 +418,12 @@ pub struct Scenario {
     /// from the serialization so legacy scenario files and replay
     /// fingerprints are unchanged.
     pub artifact_format: Option<ArtifactFormat>,
+    /// Optional end-of-run report generation (YAML key `report`):
+    /// `true` asks the runner to emit `report.json` / `report.md` next
+    /// to the other artifacts at finalize. `None` defaults to off and
+    /// — like `stop_policy` — is omitted from the serialization so
+    /// legacy scenario files and replay fingerprints are unchanged.
+    pub report: Option<bool>,
     /// Multi-resolution per-layer overrides (YAML key `layers`): a map
     /// from layer pattern to [`LayerOverride`]. Empty (the default)
     /// means single-resolution injection; the key is omitted from the
@@ -443,6 +449,7 @@ impl Default for Scenario {
             seed: 0,
             stop_policy: None,
             artifact_format: None,
+            report: None,
             layer_overrides: BTreeMap::new(),
         }
     }
@@ -582,6 +589,14 @@ impl Scenario {
                 ),
             };
         }
+        if let Some(v) = y.get("report") {
+            s.report = match v {
+                Yaml::Null => None,
+                _ => Some(
+                    v.as_bool().ok_or_else(|| invalid("report", "expected true or false"))?,
+                ),
+            };
+        }
         if let Some(v) = y.get("layers") {
             s.layer_overrides = match v {
                 Yaml::Null => BTreeMap::new(),
@@ -640,6 +655,9 @@ impl Scenario {
         }
         if let Some(fmt) = &self.artifact_format {
             m.insert("format".into(), Yaml::Str(fmt.to_string()));
+        }
+        if let Some(report) = self.report {
+            m.insert("report".into(), Yaml::Bool(report));
         }
         if !self.layer_overrides.is_empty() {
             let mut layers = BTreeMap::new();
@@ -945,6 +963,7 @@ mod tests {
                 method: CiMethod::ClopperPearson,
             }),
             artifact_format: Some(ArtifactFormat::Binary),
+            report: Some(true),
             layer_overrides: BTreeMap::from([
                 (
                     "features*".to_string(),
@@ -1158,6 +1177,25 @@ seed: 1234
         assert!(Scenario::from_yaml_str("format: parquet\n").is_err());
         assert_eq!("binary".parse::<ArtifactFormat>().unwrap(), ArtifactFormat::Binary);
         assert!("xml".parse::<ArtifactFormat>().is_err());
+    }
+
+    #[test]
+    fn report_key_parses_and_is_omitted_by_default() {
+        let s = Scenario::default();
+        assert_eq!(s.report, None);
+        assert!(!s.to_yaml_string().contains("report"));
+
+        let s = Scenario::from_yaml_str("report: true\n").unwrap();
+        assert_eq!(s.report, Some(true));
+        assert!(s.to_yaml_string().contains("report: true"));
+        let back = Scenario::from_yaml_str(&s.to_yaml_string()).unwrap();
+        assert_eq!(s, back);
+
+        let s = Scenario::from_yaml_str("report: false\n").unwrap();
+        assert_eq!(s.report, Some(false));
+        let s = Scenario::from_yaml_str("report: null\n").unwrap();
+        assert_eq!(s.report, None);
+        assert!(Scenario::from_yaml_str("report: maybe\n").is_err());
     }
 
     #[test]

@@ -134,6 +134,11 @@ fn arb_scenario(rng: &mut Rng) -> Scenario {
             1 => Some(ArtifactFormat::Csv),
             _ => Some(ArtifactFormat::Binary),
         },
+        report: match rng.gen_range(0usize..3) {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        },
         layer_overrides: arb_layer_overrides(rng),
     }
 }

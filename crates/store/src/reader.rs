@@ -188,11 +188,36 @@ impl StoreReader {
     /// Returns [`StoreError::Io`] or [`StoreError::Corrupt`].
     pub fn scan(&mut self) -> Result<Vec<Row>, StoreError> {
         let mut out = Vec::with_capacity(self.total_rows as usize);
+        self.for_each_row(|key, values| {
+            out.push((*key, values.to_vec()));
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Streams every row in file order through `f` without ever
+    /// materializing more than one decoded block — the scan primitive
+    /// for aggregation passes (e.g. `alfi-analyze` report generation)
+    /// over stores too large to hold as a `Vec<Row>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] or [`StoreError::Corrupt`], or the
+    /// first error `f` returns (which aborts the scan).
+    pub fn for_each_row<F>(&mut self, mut f: F) -> Result<(), StoreError>
+    where
+        F: FnMut(&RowKey, &[Value]) -> Result<(), StoreError>,
+    {
+        let mut row = Vec::new();
         for idx in 0..self.index.len() {
             let block = self.read_block(idx)?;
-            out.extend(Self::block_to_rows(block));
+            for (i, key) in block.keys.iter().enumerate() {
+                row.clear();
+                row.extend(block.columns.iter().map(|c| c[i].clone()));
+                f(key, &row)?;
+            }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Replay lookup: every row whose key's `fault_id` equals the

@@ -14,6 +14,9 @@
 //! alfi store info runs/c1/rows.alfic
 //! alfi store lookup runs/c1/rows.alfic 17
 //! alfi store convert runs/c1/rows.alfic --out runs/c1
+//! alfi analyze report runs/c1
+//! alfi analyze diff runs/c1 runs/c2
+//! alfi analyze export-trace runs/c1
 //! ```
 
 use alfi::core::campaign::{ImgClassCampaign, ObjDetCampaign, RunConfig, VitCampaign};
@@ -33,7 +36,7 @@ use alfi::nn::train::{accuracy, train_step, SgdTrainer};
 use alfi::nn::weights::{load_weights, save_weights};
 use alfi::nn::Network;
 use alfi::scenario::{ArtifactFormat, CiMethod, Scenario, StopPolicy, StopScope};
-use alfi::store::Value;
+use alfi::store::{ColumnStats, ColumnType, Value};
 use alfi::tensor::Tensor;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -52,18 +55,21 @@ USAGE:
                 [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
                 [--stop-halfwidth <f>] [--stop-confidence <f>]
                 [--stop-scope <campaign|per-layer>] [--stop-method <wilson|clopper-pearson>]
-                [--kernel <reference|blocked>] [--format <csv|binary>]
+                [--kernel <reference|blocked>] [--format <csv|binary>] [--report]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi detect   --scenario <file> --model <yolo|retina|frcnn> --out <dir>
                 [--trace <on|off>] [--metrics-addr <ip:port>] [--strict-health]
                 [--stop-halfwidth <f>] [--stop-confidence <f>]
                 [--stop-scope <campaign|per-layer>] [--stop-method <wilson|clopper-pearson>]
-                [--kernel <reference|blocked>] [--format <csv|binary>]
+                [--kernel <reference|blocked>] [--format <csv|binary>] [--report]
                 [--width <mult>] [--input <px>] [--seed <n>]
   alfi inspect-faults <faults.bin>
   alfi store info    <rows.alfic>
   alfi store lookup  <rows.alfic> <fault-id>
   alfi store convert <file> [--out <dir>]
+  alfi analyze report       <run-dir> [--out <dir>]
+  alfi analyze diff         <run-dir-a> <run-dir-b> [--out <dir>]
+  alfi analyze export-trace <run-dir> [--out <dir>]
 
 Live monitoring: --metrics-addr serves Prometheus text at GET /metrics
 for the life of the process (set ALFI_METRICS_LINGER_MS to keep it up
@@ -88,7 +94,17 @@ binary store (rows.alfic) instead of CSV; `alfi store convert` turns a
 store back into the exact CSV/JSON text artifacts (or any text file
 into a store), `alfi store lookup` replays the rows of one fault id
 reading at most one block plus the index, and `alfi store info`
-prints schema and block statistics.
+prints schema, per-column encodings and block min/max footer stats.
+
+Post-run analysis: `alfi analyze report` streams a finished run's row
+artifacts (CSV or binary store) into a per-layer × per-bit × per-mode
+vulnerability report with confidence intervals (report.json +
+report.md); `alfi analyze diff` compares two runs, flagging a delta
+significant only when the intervals separate; `alfi analyze
+export-trace` converts events.jsonl into Chrome-trace/Perfetto JSON
+with deterministic replay-ordinal timestamps. Passing --report to
+classify/detect writes report.json/report.md at the end of the run
+(scenario key `report: true` does the same).
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -131,6 +147,10 @@ impl Args {
 }
 
 fn main() -> ExitCode {
+    // Wire report generation into the campaign engine: runs launched
+    // with --report (or a scenario `report: true` key) emit
+    // report.json/report.md at finalize through this hook.
+    alfi::analyze::install_engine_hook();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().cloned() else {
         eprint!("{USAGE}");
@@ -143,6 +163,7 @@ fn main() -> ExitCode {
         "detect" => cmd_detect(&argv[1..]),
         "inspect-faults" => cmd_inspect(&argv[1..]),
         "store" => cmd_store(&argv[1..]),
+        "analyze" => cmd_analyze(&argv[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -223,6 +244,19 @@ fn format_config(cfg: RunConfig, args: &Args) -> Result<RunConfig, String> {
                 .map_err(|_| format!("bad --format value `{v}` (expected csv|binary)"))?;
             Ok(cfg.format(format))
         }
+    }
+}
+
+/// Applies the `--report <on|off>` flag (bare `--report` means `on`):
+/// asks the engine to generate `report.json` / `report.md` into the
+/// output directory at finalize. Without the flag any `report:` key in
+/// the scenario file applies.
+fn report_config(cfg: RunConfig, args: &Args) -> Result<RunConfig, String> {
+    match args.flags.get("report").map(String::as_str) {
+        None => Ok(cfg),
+        Some("on") => Ok(cfg.report(true)),
+        Some("off") => Ok(cfg.report(false)),
+        Some(other) => Err(format!("bad --report value `{other}` (expected on|off)")),
     }
 }
 
@@ -430,6 +464,7 @@ fn cmd_classify(argv: &[String]) -> Result<(), String> {
     let cfg = stop_config(cfg, &args)?;
     let cfg = kernel_config(cfg, &args)?;
     let cfg = format_config(cfg, &args)?;
+    let cfg = report_config(cfg, &args)?;
     let result = if model_name == "vit" {
         let mut campaign =
             VitCampaign::new(model, VIT_TINY_DEPTH, VIT_TINY_HEADS, scenario, loader);
@@ -494,6 +529,7 @@ fn cmd_detect(argv: &[String]) -> Result<(), String> {
     let cfg = stop_config(cfg, &args)?;
     let cfg = kernel_config(cfg, &args)?;
     let cfg = format_config(cfg, &args)?;
+    let cfg = report_config(cfg, &args)?;
     let result = ObjDetCampaign::new(detector.as_mut(), scenario, loader)
         .run_with(&cfg)
         .map_err(|e| e.to_string())?;
@@ -577,22 +613,73 @@ fn render_cell(value: &Value) -> String {
     }
 }
 
+/// Renders one side of a merged min/max footer stat in the column's own
+/// value domain (floats from their bit pattern, integers as-is).
+fn render_stat_bits(ty: ColumnType, bits: u64) -> String {
+    match ty {
+        ColumnType::F32 => format!("{}", f32::from_bits(bits as u32)),
+        _ => format!("{bits}"),
+    }
+}
+
+/// Merges the per-block min/max footers of one column across every
+/// block. `None` when no block has a meaningful stat for the column
+/// (string columns, all-NaN floats).
+fn merge_column_stats(ty: ColumnType, per_block: &[Vec<ColumnStats>], col: usize) -> Option<(u64, u64)> {
+    let cmp_key = |bits: u64| match ty {
+        // Order floats by value, not bit pattern (negative floats have
+        // larger bit patterns than positive ones).
+        ColumnType::F32 => {
+            let f = f32::from_bits(bits as u32);
+            (if f < 0.0 { 0u8 } else { 1u8 }, if f < 0.0 { !bits } else { bits })
+        }
+        _ => (1u8, bits),
+    };
+    per_block
+        .iter()
+        .filter_map(|stats| stats.get(col))
+        .filter(|s| s.present)
+        .fold(None, |acc: Option<(u64, u64)>, s| {
+            Some(match acc {
+                None => (s.min_bits, s.max_bits),
+                Some((min, max)) => (
+                    if cmp_key(s.min_bits) < cmp_key(min) { s.min_bits } else { min },
+                    if cmp_key(s.max_bits) > cmp_key(max) { s.max_bits } else { max },
+                ),
+            })
+        })
+}
+
 fn store_info(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("expected a rows.alfic path")?;
-    let replay = ReplayReader::open(path).map_err(|e| e.to_string())?;
-    let reader = replay.reader();
+    let mut replay = ReplayReader::open(path).map_err(|e| e.to_string())?;
     let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     println!("store:      {path} ({size} bytes)");
-    println!("kind:       {}", reader.meta("kind").unwrap_or("?"));
+    println!("kind:       {}", replay.reader().meta("kind").unwrap_or("?"));
     println!(
         "rows:       {} in {} block(s) of up to {} rows",
-        reader.total_rows(),
-        reader.block_count(),
-        reader.block_rows()
+        replay.reader().total_rows(),
+        replay.reader().block_count(),
+        replay.reader().block_rows()
     );
+    // Per-block min/max footers, merged per column across every block.
+    let block_count = replay.reader().block_count();
+    let mut per_block = Vec::with_capacity(block_count);
+    for idx in 0..block_count {
+        per_block.push(replay.reader_mut().block_column_stats(idx).map_err(|e| e.to_string())?);
+    }
+    let reader = replay.reader();
     println!("columns:    {} (+ epoch/batch/fault_id keys)", reader.schema().columns.len());
-    for c in &reader.schema().columns {
-        println!("  {:<12} {:?} ({:?})", c.name, c.ty, c.encoding);
+    for (col, c) in reader.schema().columns.iter().enumerate() {
+        let range = match merge_column_stats(c.ty, &per_block, col) {
+            Some((min, max)) => format!(
+                "  min {} max {}",
+                render_stat_bits(c.ty, min),
+                render_stat_bits(c.ty, max)
+            ),
+            None => String::new(),
+        };
+        println!("  {:<12} {:?} ({:?}){range}", c.name, c.ty, c.encoding);
     }
     let meta: Vec<String> = reader
         .schema()
@@ -673,5 +760,71 @@ fn store_convert(args: &Args) -> Result<(), String> {
         let stats = text_to_store(&text, name, &out).map_err(|e| e.to_string())?;
         println!("wrote {} ({} rows, {} bytes)", out.display(), stats.rows, stats.bytes);
     }
+    Ok(())
+}
+
+fn cmd_analyze(argv: &[String]) -> Result<(), String> {
+    let sub = argv
+        .first()
+        .map(String::as_str)
+        .ok_or("expected an analyze subcommand (report|diff|export-trace)")?;
+    let args = Args::parse(&argv[1..])?;
+    match sub {
+        "report" => analyze_report(&args),
+        "diff" => analyze_diff(&args),
+        "export-trace" => analyze_export_trace(&args),
+        other => Err(format!("unknown analyze subcommand `{other}` (report|diff|export-trace)")),
+    }
+}
+
+/// Output directory for an analyze subcommand: `--out` when given,
+/// otherwise the (first) run directory itself.
+fn analyze_out_dir(args: &Args, default: &str) -> Result<std::path::PathBuf, String> {
+    let out = std::path::PathBuf::from(args.get_or("out", default));
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    Ok(out)
+}
+
+fn analyze_report(args: &Args) -> Result<(), String> {
+    let dir = args.positional.first().ok_or("expected a run directory")?;
+    let report = alfi::analyze::report::analyze_dir(dir).map_err(|e| e.to_string())?;
+    let out = analyze_out_dir(args, dir)?;
+    alfi::analyze::report::write_report_files(&report, &out).map_err(|e| e.to_string())?;
+    print!("{}", report.to_markdown());
+    println!(
+        "\nwrote {} and {}",
+        out.join(alfi::analyze::REPORT_JSON).display(),
+        out.join(alfi::analyze::REPORT_MD).display()
+    );
+    Ok(())
+}
+
+fn analyze_diff(args: &Args) -> Result<(), String> {
+    let a_dir = args.positional.first().ok_or("expected two run directories")?;
+    let b_dir = args.positional.get(1).ok_or("expected two run directories")?;
+    let a = alfi::analyze::report::analyze_dir(a_dir).map_err(|e| e.to_string())?;
+    let b = alfi::analyze::report::analyze_dir(b_dir).map_err(|e| e.to_string())?;
+    let diff = alfi::analyze::diff::diff_reports(&a, &b);
+    print!("{}", diff.to_markdown());
+    if args.flags.contains_key("out") {
+        let out = analyze_out_dir(args, ".")?;
+        let path = out.join("diff.json");
+        std::fs::write(&path, diff.to_json_string()).map_err(|e| e.to_string())?;
+        println!("\nwrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn analyze_export_trace(args: &Args) -> Result<(), String> {
+    let dir = args.positional.first().ok_or("expected a run directory")?;
+    let (json, self_time) = alfi::analyze::trace_export::export_dir(dir).map_err(|e| e.to_string())?;
+    let out = analyze_out_dir(args, dir)?;
+    let path = out.join(alfi::analyze::trace_export::TRACE_FILE);
+    std::fs::write(&path, json).map_err(|e| e.to_string())?;
+    print!("{self_time}");
+    println!(
+        "\nwrote {} (load it in chrome://tracing or ui.perfetto.dev; timestamps are replay ordinals, not wall clock)",
+        path.display()
+    );
     Ok(())
 }

@@ -19,6 +19,7 @@
 //! | [`datasets`] | `alfi-datasets` | synthetic datasets + COCO-style wrappers |
 //! | [`mitigation`] | `alfi-mitigation` | Ranger/Clipper activation-range hardening |
 //! | [`eval`] | `alfi-eval` | SDE/DUE, IVMOD, COCO AP, result writers |
+//! | [`analyze`] | `alfi-analyze` | post-run vulnerability reports, run diffing, trace export |
 //!
 //! # Quickstart (paper Listing 1)
 //!
@@ -76,6 +77,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use alfi_analyze as analyze;
 pub use alfi_core as core;
 pub use alfi_datasets as datasets;
 pub use alfi_eval as eval;
@@ -83,6 +85,7 @@ pub use alfi_metrics as metrics;
 pub use alfi_mitigation as mitigation;
 pub use alfi_nn as nn;
 pub use alfi_scenario as scenario;
+pub use alfi_serde as serde;
 pub use alfi_store as store;
 pub use alfi_tensor as tensor;
 pub use alfi_trace as trace;

@@ -1,0 +1,256 @@
+//! Determinism and golden lockdown of the `alfi-analyze` reports.
+//!
+//! The analyzer's contract is that a report is a pure function of a
+//! run's deterministic artifacts: byte-identical whether the campaign
+//! ran on 1, 2, 4 or 7 pool threads, and identical whether the rows
+//! were persisted as CSV or as the columnar binary store. This test
+//! runs real classification and ViT campaigns across that whole matrix
+//! and compares the rendered `report.json` bytes, pins the report over
+//! the checked-in `tests/golden/classification` run as a golden, checks
+//! the Chrome-trace export against the trace-event schema, and
+//! exercises the end-of-run `--report` engine hook.
+//!
+//! To bless a new golden report after an intentional format change:
+//!
+//! ```text
+//! ALFI_REGEN_GOLDEN=1 cargo test --test analyze_reports
+//! ```
+
+use alfi::analyze::diff::diff_reports;
+use alfi::analyze::report::{analyze_dir, write_report_files};
+use alfi::analyze::trace_export;
+use alfi::analyze::{REPORT_JSON, REPORT_MD};
+use alfi::core::campaign::{ImgClassCampaign, RunConfig, VitCampaign};
+use alfi::datasets::{ClassificationDataset, ClassificationLoader};
+use alfi::nn::models::{alexnet, ModelConfig};
+use alfi::scenario::{ArtifactFormat, FaultMode, InjectionTarget, Scenario, StopPolicy};
+use alfi::serde::Json;
+use alfi::trace::Recorder;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn scenario(dataset_size: usize, seed: u64) -> Scenario {
+    let mut s = Scenario::default();
+    s.dataset_size = dataset_size;
+    s.injection_target = InjectionTarget::Weights;
+    s.fault_mode = FaultMode::exponent_bit_flip();
+    s.seed = seed;
+    s
+}
+
+fn model_config() -> ModelConfig {
+    ModelConfig { input_hw: 16, width_mult: 0.0625, seed: 7, ..ModelConfig::default() }
+}
+
+fn loader(s: &Scenario) -> ClassificationLoader {
+    let mcfg = model_config();
+    let ds = ClassificationDataset::new(s.dataset_size, mcfg.num_classes, 3, 16, 13);
+    ClassificationLoader::new(ds, s.batch_size)
+}
+
+/// Runs a campaign into a fresh temp dir and returns the rendered
+/// report bytes (JSON + Markdown). `vit` switches the model family.
+fn run_and_report(
+    format: ArtifactFormat,
+    threads: usize,
+    vit: bool,
+    tag: &str,
+) -> (String, String) {
+    let dir = std::env::temp_dir().join(format!("alfi_it_analyze_{tag}_{threads}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let s = scenario(4, 0x601D);
+    let cfg = RunConfig::new()
+        .threads(threads)
+        .recorder(Recorder::new())
+        .save_dir(&dir)
+        .format(format);
+    if vit {
+        VitCampaign::tiny(&model_config(), s.clone(), loader(&s)).run_with(&cfg).unwrap();
+    } else {
+        ImgClassCampaign::new(alexnet(&model_config()), s.clone(), loader(&s))
+            .run_with(&cfg)
+            .unwrap();
+    }
+    let report = analyze_dir(&dir).unwrap();
+    let out = (report.to_json_string(), report.to_markdown());
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// Reports must be byte-identical across 1/2/4/7 pool threads AND
+/// across the CSV and binary row formats, for both model families.
+#[test]
+fn reports_are_byte_identical_across_threads_and_formats() {
+    for vit in [false, true] {
+        let family = if vit { "vit" } else { "cls" };
+        let baseline = run_and_report(ArtifactFormat::Csv, 1, vit, &format!("{family}_csv"));
+        assert!(baseline.0.contains("\"rows\": 4"), "{}", baseline.0);
+        for threads in [1usize, 2, 4, 7] {
+            let bin =
+                run_and_report(ArtifactFormat::Binary, threads, vit, &format!("{family}_bin"));
+            assert_eq!(
+                baseline.0, bin.0,
+                "{family}: report.json from the {threads}-thread binary run diverges from the 1-thread csv run"
+            );
+            assert_eq!(
+                baseline.1, bin.1,
+                "{family}: report.md from the {threads}-thread binary run diverges"
+            );
+        }
+    }
+}
+
+/// The report over the checked-in `tests/golden/classification` run is
+/// fully input-pinned, so its JSON bytes are a golden artifact.
+#[test]
+fn golden_classification_report_is_pinned() {
+    let report = analyze_dir(golden_dir().join("classification")).unwrap();
+    let actual = report.to_json_string();
+    let path = golden_dir().join("analyze").join("report.json");
+    if std::env::var_os("ALFI_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("[golden] regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden report {} ({e}); run ALFI_REGEN_GOLDEN=1 cargo test --test analyze_reports",
+            path.display()
+        )
+    });
+    assert_eq!(actual, expected, "report.json over the pinned classification run changed");
+}
+
+/// The Chrome-trace export of the pinned trace golden must satisfy the
+/// trace-event schema — a top-level `traceEvents` array whose records
+/// all carry `name`/`ph`/`pid`/`tid`, with complete (`X`) events
+/// carrying integer `ts`/`dur` — and every timestamp must be a replay
+/// ordinal (multiple of the tick), never wall clock.
+#[test]
+fn trace_export_is_valid_ordinal_chrome_trace() {
+    let (json, self_time) = trace_export::export_dir(golden_dir().join("trace")).unwrap();
+    let parsed = Json::parse(&json).expect("export must be valid JSON");
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms"),
+        "{json}"
+    );
+    let events = parsed.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut injections = 0u64;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("every event has ph");
+        assert!(matches!(ph, "M" | "X" | "i"), "unexpected phase {ph}");
+        assert!(ev.get("pid").and_then(Json::as_int).is_some(), "every event has pid");
+        assert!(ev.get("tid").and_then(Json::as_int).is_some(), "every event has tid");
+        assert!(ev.get("name").and_then(Json::as_str).is_some(), "every event has name");
+        if ph == "X" {
+            injections += 1;
+            let ts = ev.get("ts").and_then(Json::as_int).expect("complete events have ts");
+            assert_eq!(ts % trace_export::TICK_US, 0, "ts {ts} is not a replay ordinal");
+            assert_eq!(ev.get("dur").and_then(Json::as_int), Some(trace_export::TICK_US));
+        }
+    }
+    assert!(injections > 0, "the pinned trace has injections");
+    assert!(!json.contains("threads"), "the header threads field must not leak");
+    assert!(self_time.contains("lane"), "{self_time}");
+    // Deterministic: exporting again yields the same bytes.
+    let (again, _) = trace_export::export_dir(golden_dir().join("trace")).unwrap();
+    assert_eq!(json, again);
+}
+
+/// Diffing a run against itself is all-insignificant; diffing two runs
+/// with different seeds still renders, and the JSON view parses.
+#[test]
+fn diff_runs_end_to_end() {
+    let dir_a = std::env::temp_dir().join("alfi_it_analyze_diff_a");
+    let dir_b = std::env::temp_dir().join("alfi_it_analyze_diff_b");
+    for (dir, seed) in [(&dir_a, 0x601Du64), (&dir_b, 0xBEEF)] {
+        let _ = std::fs::remove_dir_all(dir);
+        let s = scenario(4, seed);
+        let cfg = RunConfig::new().save_dir(dir).format(ArtifactFormat::Binary);
+        ImgClassCampaign::new(alexnet(&model_config()), s.clone(), loader(&s))
+            .run_with(&cfg)
+            .unwrap();
+    }
+    let a = analyze_dir(&dir_a).unwrap();
+    let b = analyze_dir(&dir_b).unwrap();
+
+    let self_diff = diff_reports(&a, &a);
+    assert_eq!(self_diff.overall.sdc_delta, 0.0);
+    assert!(!self_diff.overall.sdc_significant && !self_diff.overall.due_significant);
+
+    let cross = diff_reports(&a, &b);
+    let json = Json::parse(&cross.to_json_string()).unwrap();
+    assert!(json.get("overall").is_some() && json.get("layers").is_some());
+    assert!(cross.to_markdown().contains("overall"));
+    // 4-image runs can never separate 95% intervals.
+    assert!(!cross.overall.sdc_significant, "tiny runs must not flag significance");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// `RunConfig::report(true)` (the `--report` flag / scenario `report:`
+/// key) must emit `report.json` and `report.md` at finalize through the
+/// installed engine hook, and the hook's output must equal a standalone
+/// `analyze report` over the same directory.
+#[test]
+fn engine_hook_writes_reports_at_finalize() {
+    alfi::analyze::install_engine_hook();
+    let dir = std::env::temp_dir().join("alfi_it_analyze_hook");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut s = scenario(4, 0x601D);
+    // Exercise the stop-precision section of the hook-generated report.
+    s.stop_policy = Some(StopPolicy { half_width: 0.45, ..StopPolicy::default() });
+    let cfg = RunConfig::new()
+        .recorder(Recorder::new())
+        .save_dir(&dir)
+        .format(ArtifactFormat::Binary)
+        .report(true);
+    ImgClassCampaign::new(alexnet(&model_config()), s.clone(), loader(&s))
+        .run_with(&cfg)
+        .unwrap();
+
+    let json_path = dir.join(REPORT_JSON);
+    let md_path = dir.join(REPORT_MD);
+    assert!(json_path.is_file(), "hook must write report.json");
+    assert!(md_path.is_file(), "hook must write report.md");
+    let hook_json = std::fs::read_to_string(&json_path).unwrap();
+    let parsed = Json::parse(&hook_json).unwrap();
+    assert!(parsed.get("stop").is_some(), "stop-policy runs report achieved precision");
+
+    // Re-analyzing the finished directory reproduces the hook's bytes.
+    let standalone = analyze_dir(&dir).unwrap();
+    assert_eq!(standalone.to_json_string(), hook_json);
+    let out = std::env::temp_dir().join("alfi_it_analyze_hook_out");
+    let _ = std::fs::remove_dir_all(&out);
+    std::fs::create_dir_all(&out).unwrap();
+    write_report_files(&standalone, &out).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(out.join(REPORT_MD)).unwrap(),
+        std::fs::read_to_string(&md_path).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+/// A run configured with `report: false` must not write reports even
+/// when the scenario asks for them.
+#[test]
+fn report_opt_out_overrides_the_scenario() {
+    let dir = std::env::temp_dir().join("alfi_it_analyze_optout");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut s = scenario(4, 0x601D);
+    s.report = Some(true);
+    let cfg = RunConfig::new().save_dir(&dir).report(false);
+    ImgClassCampaign::new(alexnet(&model_config()), s.clone(), loader(&s))
+        .run_with(&cfg)
+        .unwrap();
+    assert!(!dir.join(REPORT_JSON).exists(), "explicit report(false) must win");
+    let _ = std::fs::remove_dir_all(&dir);
+}
